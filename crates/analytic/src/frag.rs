@@ -1,0 +1,95 @@
+//! The expected sequential-run model behind Figure 1.
+//!
+//! A file of `f` blocks has `f − 1` internal boundaries; if each breaks
+//! independently with probability `q`, the file splits into
+//! `1 + (f−1)·q` expected runs, so the average sequential read is
+//!
+//! ```text
+//! E[run] = f / (1 + (f − 1) · q)
+//! ```
+//!
+//! The paper's examples: 5 % fragmentation reduces 32-block files from
+//! 32 to ≈12.5 sequential blocks (−62 %) and 8-block files from 8 to
+//! ≈5.9 (−29 %).
+
+/// Expected sequential-run length of an `f`-block file under
+/// per-boundary break probability `q`.
+///
+/// # Panics
+///
+/// Panics unless `f ≥ 1` and `q ∈ [0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_analytic::expected_sequential_run;
+///
+/// let r = expected_sequential_run(32, 0.05);
+/// assert!((r - 12.55).abs() < 0.01);
+/// ```
+pub fn expected_sequential_run(f: u32, q: f64) -> f64 {
+    assert!(f >= 1, "file must have at least one block");
+    assert!(q.is_finite() && (0.0..=1.0).contains(&q), "q must be in [0,1]");
+    f as f64 / (1.0 + (f as f64 - 1.0) * q)
+}
+
+/// Relative sequentiality loss at fragmentation `q` (the −62 % / −29 %
+/// numbers quoted in §4).
+pub fn sequentiality_loss(f: u32, q: f64) -> f64 {
+    1.0 - expected_sequential_run(f, q) / f as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fragmentation_is_whole_file() {
+        for f in [1, 2, 8, 32] {
+            assert_eq!(expected_sequential_run(f, 0.0), f as f64);
+        }
+    }
+
+    #[test]
+    fn full_fragmentation_is_single_blocks() {
+        for f in [2u32, 8, 32] {
+            assert!((expected_sequential_run(f, 1.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_examples_hold() {
+        // 32-block files at 5%: 32 → ~12.5, a 62% loss.
+        assert!((expected_sequential_run(32, 0.05) - 12.5).abs() < 0.1);
+        assert!((sequentiality_loss(32, 0.05) - 0.61).abs() < 0.02);
+        // 8-block files at 5%: 8 → ~5.9, a 29% loss.
+        assert!((expected_sequential_run(8, 0.05) - 5.9).abs() < 0.05);
+        assert!((sequentiality_loss(8, 0.05) - 0.26).abs() < 0.03);
+    }
+
+    #[test]
+    fn monotone_in_q_and_f() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let r = expected_sequential_run(16, q);
+            assert!(r <= prev);
+            prev = r;
+        }
+        for f in 2..64 {
+            assert!(expected_sequential_run(f + 1, 0.1) > expected_sequential_run(f, 0.1));
+        }
+    }
+
+    #[test]
+    fn single_block_file_immune() {
+        assert_eq!(expected_sequential_run(1, 0.5), 1.0);
+        assert_eq!(sequentiality_loss(1, 0.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in [0,1]")]
+    fn bad_q_panics() {
+        let _ = expected_sequential_run(8, 1.1);
+    }
+}

@@ -1,0 +1,120 @@
+//! The §4 controller-cache hit-rate formulas.
+//!
+//! For a server sequentially reading `t` files of average size `f`
+//! blocks, with the host requesting `p` blocks per access (p ≥ 1,
+//! thanks to file-system prefetching), a controller cache of `c` blocks
+//! and `s` segments:
+//!
+//! ```text
+//! h     = (min(f, c/s) − 1) / min(f, c/s)   if t ≤ s      (conventional)
+//!       = (p − 1) / p                        if t > s
+//!
+//! h_FOR = (f − 1) / f                        if t ≤ c/f
+//!       = (p − 1) / p                        if t > c/f
+//! ```
+//!
+//! Because `c/f > s` for small files and `f ≥ p`, FOR's hit rate
+//! dominates the conventional cache's whenever files are smaller than a
+//! segment and there are more streams than segments — the situation of
+//! every data-intensive server the paper studies.
+
+/// Hit rate of the conventional (segment, blind read-ahead) cache.
+///
+/// # Panics
+///
+/// Panics unless `f ≥ 1`, `p ≥ 1`, `c ≥ s ≥ 1`.
+pub fn conventional_hit_rate(f: f64, c: f64, s: f64, p: f64, t: f64) -> f64 {
+    assert!(f >= 1.0 && p >= 1.0 && s >= 1.0 && c >= s, "invalid parameters");
+    if t <= s {
+        let m = f.min(c / s);
+        (m - 1.0) / m
+    } else {
+        (p - 1.0) / p
+    }
+}
+
+/// Hit rate of FOR's block-organized, file-bounded read-ahead cache.
+///
+/// # Panics
+///
+/// Panics unless `f ≥ 1`, `p ≥ 1`, `c ≥ 1`.
+pub fn for_hit_rate(f: f64, c: f64, p: f64, t: f64) -> f64 {
+    assert!(f >= 1.0 && p >= 1.0 && c >= 1.0, "invalid parameters");
+    if t <= c / f {
+        (f - 1.0) / f
+    } else {
+        (p - 1.0) / p
+    }
+}
+
+/// The paper's headline comparison: with the IBM Ultrastar 36Z15
+/// parameters (4-MByte cache = 1024 blocks, 27 segments), FOR's hit
+/// rate exceeds the conventional cache's for average file sizes below
+/// 128 KBytes (32 blocks) whenever more than 27 streams are active.
+///
+/// Returns `(h_conventional, h_for)`.
+pub fn ultrastar_comparison(f: f64, p: f64, t: f64) -> (f64, f64) {
+    let c = 1024.0;
+    let s = 27.0;
+    (conventional_hit_rate(f, c, s, p, t), for_hit_rate(f, c, p, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn few_streams_conventional_serves_from_segments() {
+        // t <= s: hit rate limited by min(f, segment size).
+        let h = conventional_hit_rate(4.0, 1024.0, 27.0, 1.0, 10.0);
+        assert!((h - 0.75).abs() < 1e-12); // (4-1)/4
+        // Large file capped by segment capacity c/s ≈ 37.9.
+        let h = conventional_hit_rate(100.0, 1024.0, 27.0, 1.0, 10.0);
+        let cap = 1024.0 / 27.0;
+        assert!((h - (cap - 1.0) / cap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_streams_conventional_degrades_to_prefetch_only() {
+        let h = conventional_hit_rate(4.0, 1024.0, 27.0, 1.0, 100.0);
+        assert_eq!(h, 0.0); // p = 1: every access misses
+        let h = conventional_hit_rate(4.0, 1024.0, 27.0, 4.0, 100.0);
+        assert!((h - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_supports_c_over_f_streams() {
+        // 16-KByte files (4 blocks), 1024-block cache: up to 256 streams.
+        let h = for_hit_rate(4.0, 1024.0, 1.0, 256.0);
+        assert!((h - 0.75).abs() < 1e-12);
+        let h = for_hit_rate(4.0, 1024.0, 1.0, 257.0);
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn for_dominates_for_small_files_many_streams() {
+        // The §4 claim: f < 32 blocks and t > 27 ⇒ h_for ≥ h_conv.
+        for f in [2.0, 4.0, 8.0, 16.0, 31.0] {
+            for t in [28.0, 64.0, 128.0, 1024.0 / 31.0] {
+                let (h_conv, h_for) = ultrastar_comparison(f, 1.0, t);
+                assert!(
+                    h_for >= h_conv,
+                    "f={f} t={t}: h_for {h_for} < h_conv {h_conv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_when_both_overloaded() {
+        let (h_conv, h_for) = ultrastar_comparison(4.0, 2.0, 10_000.0);
+        assert_eq!(h_conv, h_for);
+        assert!((h_conv - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid parameters")]
+    fn bad_parameters_panic() {
+        let _ = conventional_hit_rate(0.5, 10.0, 1.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # forhdc-analytic
+//!
+//! The closed-form models of *Improving Disk Throughput in
+//! Data-Intensive Servers* (Carrera & Bianchini, HPCA 2004), kept
+//! separate from the simulator so experiments can check measured
+//! behaviour against the paper's own analysis:
+//!
+//! * [`hitrate`] — the §4 controller-cache hit-rate formulas for the
+//!   conventional segment cache and for FOR.
+//! * [`frag`] — the expected sequential-run length behind Figure 1.
+//! * [`zipf`] — `z_α(H, N)`, the §5 accumulated Zipf probability that
+//!   approximates the HDC hit rate.
+//! * [`striping`] — the §2.2 striped-response-time model
+//!   `T(r) = γ(D) · T(r/D)`.
+//! * [`utilization`] — the §2.1/§4 service-time model
+//!   `T(r) = seek + rot + r·S/xfer` and the HDC sizing bound
+//!   `H_max = D·c − R_min`.
+//! * [`model`] — a first-order prediction of Figure 3, used by the
+//!   harness's `model-check` to cross-validate simulator and analysis.
+
+pub mod frag;
+pub mod model;
+pub mod hitrate;
+pub mod striping;
+pub mod utilization;
+pub mod zipf;
+
+pub use frag::expected_sequential_run;
+pub use model::{predict_fig3, Fig3Prediction};
+pub use hitrate::{conventional_hit_rate, for_hit_rate};
+pub use striping::{gamma_uniform, striped_response_time};
+pub use utilization::{hdc_max_blocks, service_time_ms, ServiceParams};
+pub use zipf::zipf_cumulative;

@@ -1,0 +1,120 @@
+//! A first-order analytic prediction of Figure 3, built entirely from
+//! the paper's formulas — used by the harness's `model-check` to verify
+//! that the simulator and the paper's analysis agree.
+//!
+//! Per whole-file access of `f` blocks with per-boundary coalescing
+//! probability `c`, the host issues `r = 1 + (f−1)(1−c)` requests.
+//! The first misses; under blind read-ahead the controller then has the
+//! whole file (one positioned op of the segment size), under FOR one
+//! positioned op of `f` blocks, and with read-ahead disabled every
+//! request is a positioned op. Positioned-op cost is the §2.1
+//! `T(r) = seek + rot + r·S/xfer`.
+
+use crate::utilization::{service_time_ms, ServiceParams};
+
+/// Predicted per-file-access service costs (milliseconds of disk
+/// utilization) for the three §6.2 systems.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Prediction {
+    /// Conventional blind read-ahead (the 1.0 baseline).
+    pub segm_ms: f64,
+    /// FOR.
+    pub for_ms: f64,
+    /// Read-ahead disabled.
+    pub no_ra_ms: f64,
+}
+
+impl Fig3Prediction {
+    /// FOR's normalized I/O time (the Figure 3 Y value).
+    pub fn for_normalized(&self) -> f64 {
+        self.for_ms / self.segm_ms
+    }
+
+    /// No-RA's normalized I/O time.
+    pub fn no_ra_normalized(&self) -> f64 {
+        self.no_ra_ms / self.segm_ms
+    }
+}
+
+/// Predicts the Figure 3 point for `file_blocks`-block files with
+/// coalescing probability `coalesce` and a `ra_blocks` blind read-ahead
+/// (32 for the Table 1 drive).
+///
+/// # Panics
+///
+/// Panics if `file_blocks` or `ra_blocks` is zero, or `coalesce` is
+/// outside `[0, 1]`.
+pub fn predict_fig3(
+    file_blocks: u32,
+    coalesce: f64,
+    ra_blocks: u32,
+    p: &ServiceParams,
+) -> Fig3Prediction {
+    assert!(file_blocks > 0 && ra_blocks > 0);
+    assert!((0.0..=1.0).contains(&coalesce));
+    let f = file_blocks as f64;
+    // Host requests per file access.
+    let requests = 1.0 + (f - 1.0) * (1.0 - coalesce);
+    // Segm: the first miss reads a whole blind window (covering the
+    // file when it fits); remaining requests hit the cache. Files
+    // larger than the window need ceil(f / window) positioned ops,
+    // each moving a full window.
+    let positioned_ops = (f / ra_blocks as f64).ceil();
+    let segm_ms = positioned_ops * service_time_ms(ra_blocks, p);
+    // FOR: the same number of positioned ops, but each moves only what
+    // the file justifies (min(f, window) blocks).
+    let for_ms = positioned_ops * service_time_ms(file_blocks.min(ra_blocks), p);
+    // No-RA: every host request is a positioned op of f/requests blocks.
+    let per_req_blocks = (f / requests).ceil().max(1.0) as u32;
+    let no_ra_ms = requests * service_time_ms(per_req_blocks, p);
+    Fig3Prediction { segm_ms, for_ms, no_ra_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ServiceParams {
+        ServiceParams::ultrastar_36z15()
+    }
+
+    #[test]
+    fn sixteen_kb_point_matches_the_papers_forty_percent() {
+        // 4-block files, 87% coalescing: FOR around 0.6 normalized.
+        let pred = predict_fig3(4, 0.87, 32, &p());
+        let forn = pred.for_normalized();
+        assert!((0.55..0.80).contains(&forn), "FOR normalized {forn}");
+    }
+
+    #[test]
+    fn no_ra_crossover_exists() {
+        // Small files: No-RA beats the baseline; large files: loses.
+        let small = predict_fig3(2, 0.87, 32, &p());
+        assert!(small.no_ra_normalized() < 1.0);
+        let large = predict_fig3(32, 0.87, 32, &p());
+        assert!(large.no_ra_normalized() > 1.0);
+    }
+
+    #[test]
+    fn for_converges_to_segm_at_window_size() {
+        let pred = predict_fig3(32, 0.87, 32, &p());
+        assert!((pred.for_normalized() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_coalescing_makes_no_ra_optimal_for_small_files() {
+        let pred = predict_fig3(4, 1.0, 32, &p());
+        // One request per file: No-RA == FOR.
+        assert!((pred.no_ra_ms - pred.for_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_file_size() {
+        let mut prev = 0.0;
+        for f in [1u32, 2, 4, 8, 16, 32] {
+            let n = predict_fig3(f, 0.87, 32, &p()).for_normalized();
+            assert!(n >= prev - 1e-9, "FOR normalized not monotone at {f}");
+            prev = n;
+        }
+    }
+}

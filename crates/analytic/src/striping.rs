@@ -1,0 +1,107 @@
+//! The §2.2 striped-request response model.
+//!
+//! In the absence of contention, a request for `r` blocks split into
+//! `D` sub-requests responds in `T(r) = γ(D) · T(r/D)`, where `γ(D)`
+//! depends on the distribution of the sub-request service time; for a
+//! uniform distribution `γ(D) = 2D / (D + 1)` (Simitci & Reed).
+
+/// `γ(D)` for uniformly distributed sub-request times.
+///
+/// # Panics
+///
+/// Panics if `d` is zero.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_analytic::gamma_uniform;
+///
+/// assert_eq!(gamma_uniform(1), 1.0);
+/// assert!((gamma_uniform(4) - 1.6).abs() < 1e-12);
+/// ```
+pub fn gamma_uniform(d: u32) -> f64 {
+    assert!(d > 0, "need at least one sub-request");
+    2.0 * d as f64 / (d as f64 + 1.0)
+}
+
+/// Response time of an `r`-block request split over `d` disks, given a
+/// service-time function `t(blocks)` for a single disk.
+///
+/// # Panics
+///
+/// Panics if `d` is zero.
+pub fn striped_response_time(r: f64, d: u32, t: impl Fn(f64) -> f64) -> f64 {
+    assert!(d > 0, "need at least one disk");
+    gamma_uniform(d) * t(r / d as f64)
+}
+
+/// The fan-out that minimizes the modeled response time for an
+/// `r`-block request, searching `1..=max_d`: splitting wider shrinks
+/// the transfer but pays the `γ(D)` synchronization factor — the
+/// trade-off behind the best-striping-unit curves of Figures 7/9/11.
+pub fn optimal_fan_out(r: f64, max_d: u32, t: impl Fn(f64) -> f64) -> u32 {
+    assert!(max_d > 0);
+    (1..=max_d)
+        .min_by(|&a, &b| {
+            striped_response_time(r, a, &t)
+                .partial_cmp(&striped_response_time(r, b, &t))
+                .expect("finite response times")
+        })
+        .expect("non-empty range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stylized T(r): positioning cost + linear transfer.
+    fn t(blocks: f64) -> f64 {
+        5.4 + 0.074 * blocks
+    }
+
+    #[test]
+    fn gamma_grows_toward_two() {
+        assert_eq!(gamma_uniform(1), 1.0);
+        let mut prev = 0.0;
+        for d in 1..64 {
+            let g = gamma_uniform(d);
+            assert!(g > prev && g < 2.0);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn small_requests_prefer_one_disk() {
+        // Positioning dominates a 4-block request: never split it.
+        assert_eq!(optimal_fan_out(4.0, 8, t), 1);
+    }
+
+    #[test]
+    fn huge_requests_prefer_wide_stripes() {
+        // 16 MB request: transfer dominates, split wide.
+        let d = optimal_fan_out(4096.0, 8, t);
+        assert!(d >= 4, "fan-out {d}");
+    }
+
+    #[test]
+    fn response_time_identity_at_d1() {
+        assert!((striped_response_time(100.0, 1, t) - t(100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossover_is_monotone_in_r() {
+        // The optimal fan-out never decreases as requests grow.
+        let mut prev = 1;
+        for r in [1.0, 8.0, 32.0, 128.0, 512.0, 2048.0] {
+            let d = optimal_fan_out(r, 8, t);
+            assert!(d >= prev, "fan-out shrank at r={r}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_d_panics() {
+        let _ = gamma_uniform(0);
+    }
+}

@@ -1,0 +1,124 @@
+//! `z_α(H, N)`: the accumulated Zipf probability of §5.
+//!
+//! For an array-wide HDC cache of `H` blocks over a population of `N`
+//! blocks whose request distribution is Zipf with coefficient α, the
+//! expected HDC hit rate is the probability mass of the `H` most
+//! popular blocks:
+//!
+//! ```text
+//! z_α(H, N) = Σ_{i=1..H} i^{−α} / Σ_{i=1..N} i^{−α}
+//! ```
+
+/// Exact `z_α(H, N)` by summation.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `alpha` is negative/non-finite.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_analytic::zipf_cumulative;
+///
+/// // Uniform distribution: the top 10% of blocks hold 10% of the mass.
+/// let z = zipf_cumulative(100, 1_000, 0.0);
+/// assert!((z - 0.1).abs() < 1e-12);
+/// ```
+pub fn zipf_cumulative(h: u64, n: u64, alpha: f64) -> f64 {
+    assert!(n > 0, "population must be positive");
+    assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+    if h == 0 {
+        return 0.0;
+    }
+    let h = h.min(n);
+    partial_harmonic(h, alpha) / partial_harmonic(n, alpha)
+}
+
+/// Closed-form approximation of `z_α(H, N)` via the integral
+/// `Σ i^{−α} ≈ (x^{1−α} − 1)/(1 − α) + 1` (and `ln x + 1` at α = 1),
+/// useful for very large `N` where summation is wasteful.
+pub fn zipf_cumulative_approx(h: u64, n: u64, alpha: f64) -> f64 {
+    assert!(n > 0, "population must be positive");
+    assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+    if h == 0 {
+        return 0.0;
+    }
+    let h = h.min(n) as f64;
+    let n = n as f64;
+    // Euler–Maclaurin-flavored constants: γ for the harmonic case, a
+    // half-step correction otherwise.
+    const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+    let mass = |x: f64| {
+        if (alpha - 1.0).abs() < 1e-9 {
+            x.ln() + EULER_GAMMA
+        } else {
+            (x.powf(1.0 - alpha) - 1.0) / (1.0 - alpha) + 0.5 + 0.5 * x.powf(-alpha)
+        }
+    };
+    mass(h) / mass(n)
+}
+
+fn partial_harmonic(k: u64, alpha: f64) -> f64 {
+    (1..=k).map(|i| (i as f64).powf(-alpha)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(zipf_cumulative(0, 100, 0.8), 0.0);
+        assert!((zipf_cumulative(100, 100, 0.8) - 1.0).abs() < 1e-12);
+        assert!((zipf_cumulative(500, 100, 0.8) - 1.0).abs() < 1e-12); // saturates
+    }
+
+    #[test]
+    fn skew_raises_head_mass() {
+        let flat = zipf_cumulative(100, 10_000, 0.0);
+        let mid = zipf_cumulative(100, 10_000, 0.43);
+        let steep = zipf_cumulative(100, 10_000, 1.0);
+        assert!(flat < mid && mid < steep);
+        assert!((flat - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximation_tracks_exact() {
+        for &alpha in &[0.0, 0.4, 0.43, 0.8, 1.0] {
+            for &(h, n) in &[(10u64, 1_000u64), (100, 10_000), (4_096, 1_000_000)] {
+                let exact = zipf_cumulative(h, n, alpha);
+                let approx = zipf_cumulative_approx(h, n, alpha);
+                assert!(
+                    (exact - approx).abs() < 0.02,
+                    "alpha={alpha} H={h} N={n}: {exact} vs {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_h() {
+        let mut prev = 0.0;
+        for h in (0..=1000).step_by(100) {
+            let z = zipf_cumulative(h, 1_000, 0.43);
+            assert!(z >= prev);
+            prev = z;
+        }
+    }
+
+    #[test]
+    fn matches_sampler_cumulative() {
+        // Cross-check against the workload crate's sampler semantics:
+        // the formulas must agree since both normalize i^-alpha.
+        let z = zipf_cumulative(50, 500, 0.43);
+        let manual: f64 = (1..=50).map(|i| (i as f64).powf(-0.43)).sum::<f64>()
+            / (1..=500).map(|i| (i as f64).powf(-0.43)).sum::<f64>();
+        assert!((z - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be positive")]
+    fn zero_population_panics() {
+        let _ = zipf_cumulative(1, 0, 0.5);
+    }
+}

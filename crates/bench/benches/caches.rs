@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the controller-cache organizations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use forhdc_cache::{
+    BlockCache, BlockReplacement, ControllerCache, HdcRegion, SegmentCache, SegmentReplacement,
+};
+use forhdc_sim::PhysBlock;
+
+fn bench_block_cache(c: &mut Criterion) {
+    for policy in [BlockReplacement::Mru, BlockReplacement::Lru] {
+        c.bench_function(&format!("block_cache/{policy:?}_insert_touch"), |b| {
+            b.iter(|| {
+                let mut cache = BlockCache::new(1024, policy);
+                for i in 0..2_000u64 {
+                    cache.insert_run(PhysBlock::new(i * 8 % 16_384), 8, 4);
+                    cache.touch(PhysBlock::new(i * 8 % 16_384));
+                }
+                black_box(cache.resident_blocks())
+            })
+        });
+    }
+}
+
+fn bench_segment_cache(c: &mut Criterion) {
+    c.bench_function("segment_cache/lru_insert_touch", |b| {
+        b.iter(|| {
+            let mut cache = SegmentCache::new(27, 32, SegmentReplacement::Lru);
+            for i in 0..2_000u64 {
+                cache.insert_run(PhysBlock::new(i * 32 % 65_536), 32, 4);
+                cache.touch(PhysBlock::new(i * 32 % 65_536));
+            }
+            black_box(cache.resident_blocks())
+        })
+    });
+    c.bench_function("segment_cache/lookup_extent", |b| {
+        let mut cache = SegmentCache::new(27, 32, SegmentReplacement::Lru);
+        for i in 0..27u64 {
+            cache.insert_run(PhysBlock::new(i * 32), 32, 32);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 13;
+            black_box(cache.lookup_extent(PhysBlock::new(i * 4 % 1_000), 4))
+        })
+    });
+}
+
+fn bench_hdc(c: &mut Criterion) {
+    c.bench_function("hdc/read_mixed", |b| {
+        let mut hdc = HdcRegion::new(512);
+        for i in 0..512u64 {
+            hdc.pin(PhysBlock::new(i * 2)).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(hdc.read(PhysBlock::new(i % 1_024)))
+        })
+    });
+    c.bench_function("hdc/pin_flush_cycle", |b| {
+        b.iter(|| {
+            let mut hdc = HdcRegion::new(256);
+            for i in 0..256u64 {
+                hdc.pin(PhysBlock::new(i)).unwrap();
+                hdc.write(PhysBlock::new(i));
+            }
+            black_box(hdc.flush().len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_block_cache, bench_segment_cache, bench_hdc);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! End-to-end Criterion benchmarks: tiny-scale versions of the paper's
+//! experiments, to track the harness's own performance over time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use forhdc_bench::{experiments, RunOptions};
+
+fn tiny() -> RunOptions {
+    RunOptions { scale: 0.01, synthetic_requests: 300 }
+}
+
+fn bench_micro_experiments(c: &mut Criterion) {
+    c.bench_function("experiment/fig1", |b| {
+        b.iter(|| black_box(experiments::run("fig1", tiny()).rows.len()))
+    });
+    c.bench_function("experiment/table1", |b| {
+        b.iter(|| black_box(experiments::run("table1", tiny()).rows.len()))
+    });
+}
+
+fn bench_synthetic_experiment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment_synth");
+    g.sample_size(10);
+    g.bench_function("fig4_tiny", |b| {
+        b.iter(|| black_box(experiments::run("fig4", tiny()).rows.len()))
+    });
+    g.finish();
+}
+
+fn bench_server_experiment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment_server");
+    g.sample_size(10);
+    g.bench_function("table2_tiny", |b| {
+        b.iter(|| black_box(experiments::run("table2", tiny()).rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_micro_experiments,
+    bench_synthetic_experiment,
+    bench_server_experiment
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the workload/layout models: Zipf sampling,
+//! layout allocation, FOR bitmap construction and queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use forhdc_analytic::zipf_cumulative;
+use forhdc_layout::{build_disk_bitmaps, LayoutBuilder};
+use forhdc_sim::{PhysBlock, StripingMap};
+use forhdc_workload::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_zipf(c: &mut Criterion) {
+    let z = ZipfSampler::new(70_000, 0.43);
+    c.bench_function("zipf/sample_70k", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
+    c.bench_function("zipf/cumulative_closed_form", |b| {
+        let mut h = 0u64;
+        b.iter(|| {
+            h = (h + 37) % 10_000;
+            black_box(zipf_cumulative(h, 10_000, 0.43))
+        })
+    });
+}
+
+fn bench_layout(c: &mut Criterion) {
+    c.bench_function("layout/build_10k_files_frag5", |b| {
+        let sizes = vec![6u32; 10_000];
+        b.iter(|| {
+            black_box(
+                LayoutBuilder::new().fragmentation(0.05).seed(3).build(&sizes).total_blocks(),
+            )
+        })
+    });
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let map = LayoutBuilder::new().fragmentation(0.05).seed(3).build(&vec![6u32; 10_000]);
+    let striping = StripingMap::new(8, 32);
+    c.bench_function("bitmap/build_8_disks", |b| {
+        b.iter(|| black_box(build_disk_bitmaps(&map, &striping, 20_000).len()))
+    });
+    let bitmaps = build_disk_bitmaps(&map, &striping, 20_000);
+    c.bench_function("bitmap/run_ahead", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 101;
+            black_box(bitmaps[0].run_ahead(PhysBlock::new(i % 7_000), 32))
+        })
+    });
+}
+
+criterion_group!(benches, bench_zipf, bench_layout, bench_bitmap);
+criterion_main!(benches);

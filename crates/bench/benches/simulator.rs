@@ -1,0 +1,111 @@
+//! Criterion benchmarks of the simulator substrate: mechanics,
+//! scheduling, striping, event queue, and a full small system run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use forhdc_core::{System, SystemConfig};
+use forhdc_sim::sched::{make_scheduler, QueuedOp};
+use forhdc_sim::{
+    DiskConfig, DiskMechanics, EventQueue, PhysBlock, ReadWrite, SchedulerKind, SimTime,
+    StripingMap,
+};
+use forhdc_workload::SyntheticWorkload;
+
+fn bench_mechanics(c: &mut Criterion) {
+    let cfg = DiskConfig::default();
+    c.bench_function("mechanics/service_4blk", |b| {
+        let mut mech = DiskMechanics::new(&cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 6364136223846793005).wrapping_add(1);
+            let block = PhysBlock::new(i % 4_000_000);
+            let t = mech.service(ReadWrite::Read, block, 4, SimTime::from_nanos(i % 1_000_000));
+            black_box(t.total())
+        })
+    });
+    c.bench_function("mechanics/seek_model", |b| {
+        let seek = cfg.seek;
+        let mut n = 0u32;
+        b.iter(|| {
+            n = (n + 97) % 10_000;
+            black_box(seek.seek_ms(n))
+        })
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    for kind in [SchedulerKind::Look, SchedulerKind::Fcfs, SchedulerKind::Sstf] {
+        c.bench_function(&format!("scheduler/{kind:?}_push_pop_64"), |b| {
+            b.iter(|| {
+                let mut s = make_scheduler(kind);
+                for i in 0..64u64 {
+                    s.push(QueuedOp {
+                        token: i,
+                        start: PhysBlock::new(i * 997 % 100_000),
+                        nblocks: 4,
+                        kind: ReadWrite::Read,
+                        cylinder: (i * 997 % 10_000) as u32,
+                    });
+                }
+                let mut head = 5_000;
+                while let Some(op) = s.pop_next(head) {
+                    head = op.cylinder;
+                }
+                black_box(head)
+            })
+        });
+    }
+}
+
+fn bench_striping(c: &mut Criterion) {
+    let map = StripingMap::new(8, 32);
+    c.bench_function("striping/split_64blk", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 12_345;
+            black_box(map.split(forhdc_sim::LogicalBlock::new(i % 1_000_000), 64))
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine/queue_1k_events", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_nanos(i * 7919 % 1_000_000 + 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some(f) = q.pop() {
+                acc = acc.wrapping_add(f.event);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let wl = SyntheticWorkload::builder()
+        .requests(500)
+        .files(5_000)
+        .file_blocks(4)
+        .streams(64)
+        .seed(7)
+        .build();
+    c.bench_function("system/run_500_requests_segm", |b| {
+        b.iter(|| black_box(System::new(SystemConfig::segm(), &wl).run().io_time))
+    });
+    c.bench_function("system/run_500_requests_for", |b| {
+        b.iter(|| black_box(System::new(SystemConfig::for_(), &wl).run().io_time))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mechanics,
+    bench_scheduler,
+    bench_striping,
+    bench_event_queue,
+    bench_full_system
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! The reproduction harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! repro <experiment|all> [--scale X] [--requests N] [--out DIR]
+//!
+//!   experiment   one of: table1 fig1 fig2 ... fig12 table2
+//!                ablation-{sched,segrepl,blkrepl,segsize,coalesce,periodic}
+//!   --scale X    server-clone request scale (default 1.0)
+//!   --requests N synthetic request count (default 10000)
+//!   --out DIR    CSV output directory (default results/)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use forhdc_bench::{experiments, RunOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = RunOptions::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v > 0.0 => v,
+                    _ => return usage("--scale needs a positive number"),
+                };
+            }
+            "--requests" => {
+                i += 1;
+                opts.synthetic_requests = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v > 0 => v,
+                    _ => return usage("--requests needs a positive integer"),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_dir = match args.get(i) {
+                    Some(d) => PathBuf::from(d),
+                    None => return usage("--out needs a directory"),
+                };
+            }
+            "-h" | "--help" => return usage(""),
+            other => targets.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        return usage("no experiment given");
+    }
+    let ids: Vec<&str> = if targets.iter().any(|t| t == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        let mut ids = Vec::new();
+        for t in &targets {
+            if experiments::ALL.contains(&t.as_str()) {
+                ids.push(t.as_str());
+            } else {
+                return usage(&format!("unknown experiment '{t}'"));
+            }
+        }
+        ids
+    };
+    for id in ids {
+        let started = std::time::Instant::now();
+        let table = experiments::run(id, opts);
+        println!("{table}");
+        println!("({} finished in {:.1}s)\n", id, started.elapsed().as_secs_f64());
+        if let Err(e) = table.write_csv(&out_dir) {
+            eprintln!("warning: could not write {}/{}.csv: {e}", out_dir.display(), id);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro <experiment|all> [--scale X] [--requests N] [--out DIR]\n\nexperiments: {}",
+        experiments::ALL.join(" ")
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,53 @@
+//! One module per group of paper artifacts.
+
+pub mod ablations;
+pub mod micro;
+pub mod servers;
+pub mod synthetic;
+
+use crate::Table;
+use crate::RunOptions;
+
+/// Every experiment the harness knows, in paper order.
+pub const ALL: &[&str] = &[
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "table2", "ablation-sched", "ablation-segrepl",
+    "ablation-blkrepl", "ablation-segsize", "ablation-coalesce", "ablation-periodic", "ablation-flush", "ablation-victim", "ablation-mirror", "ablation-zones", "ablation-coop", "model-check",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the CLI validates first).
+pub fn run(id: &str, opts: RunOptions) -> Table {
+    match id {
+        "table1" => micro::table1(),
+        "fig1" => micro::fig1(),
+        "fig2" => servers::fig2(opts),
+        "fig3" => synthetic::fig3(opts),
+        "fig4" => synthetic::fig4(opts),
+        "fig5" => synthetic::fig5(opts),
+        "fig6" => synthetic::fig6(opts),
+        "fig7" => servers::striping_sweep(forhdc_workload::ServerKind::Web, "fig7", opts),
+        "fig9" => servers::striping_sweep(forhdc_workload::ServerKind::Proxy, "fig9", opts),
+        "fig11" => servers::striping_sweep(forhdc_workload::ServerKind::File, "fig11", opts),
+        "fig8" => servers::hdc_sweep(forhdc_workload::ServerKind::Web, "fig8", opts),
+        "fig10" => servers::hdc_sweep(forhdc_workload::ServerKind::Proxy, "fig10", opts),
+        "fig12" => servers::hdc_sweep(forhdc_workload::ServerKind::File, "fig12", opts),
+        "table2" => servers::table2(opts),
+        "ablation-sched" => ablations::scheduler(opts),
+        "ablation-segrepl" => ablations::segment_replacement(opts),
+        "ablation-blkrepl" => ablations::block_replacement(opts),
+        "ablation-segsize" => ablations::segment_size(opts),
+        "ablation-coalesce" => ablations::coalescing(opts),
+        "ablation-periodic" => ablations::periodic_planner(opts),
+        "ablation-flush" => ablations::flush_period(opts),
+        "ablation-victim" => ablations::victim(opts),
+        "ablation-mirror" => ablations::mirroring(opts),
+        "ablation-zones" => ablations::zoned(opts),
+        "ablation-coop" => ablations::cooperative(opts),
+        "model-check" => micro::model_check(opts),
+        other => panic!("unknown experiment: {other}"),
+    }
+}

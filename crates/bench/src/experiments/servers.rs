@@ -1,0 +1,226 @@
+//! Figure 2, Figures 7–12 and Table 2: the real-workload-clone
+//! evaluation (§6.3).
+
+use forhdc_analytic::zipf_cumulative;
+use forhdc_core::{Report, System, SystemConfig};
+use forhdc_workload::{ServerKind, ServerWorkloadSpec, Workload};
+
+use crate::table::{f1, f3, Table};
+use crate::RunOptions;
+
+/// The striping-unit grid of Figures 7/9/11 (KBytes).
+pub const UNIT_GRID_KB: &[u32] = &[4, 16, 32, 64, 96, 128, 192, 256];
+
+/// The HDC-size grid of Figures 8/10/12 (KBytes per disk).
+pub const HDC_GRID_KB: &[u32] = &[0, 512, 1024, 1536, 2048, 2560, 3072];
+
+/// The striping unit each server's HDC sweep uses, per the paper's
+/// figure captions (web 16 KB, proxy 64 KB, file 128 KB).
+pub fn paper_unit_kb(kind: ServerKind) -> u32 {
+    match kind {
+        ServerKind::Web => 16,
+        ServerKind::Proxy => 64,
+        ServerKind::File => 128,
+    }
+}
+
+fn spec(kind: ServerKind, opts: RunOptions) -> ServerWorkloadSpec {
+    let s = match kind {
+        ServerKind::Web => ServerWorkloadSpec::web(),
+        ServerKind::Proxy => ServerWorkloadSpec::proxy(),
+        ServerKind::File => ServerWorkloadSpec::file_server(),
+    };
+    s.scale(opts.scale)
+}
+
+fn workload(kind: ServerKind, opts: RunOptions) -> Workload {
+    spec(kind, opts).generate().workload
+}
+
+fn run(cfg: SystemConfig, wl: &Workload) -> Report {
+    System::new(cfg, wl).run()
+}
+
+/// Figure 2: access counts of the most-accessed disk blocks for the
+/// three workload clones, next to the Zipf(0.43) reference the paper
+/// plots. Sampled at log-spaced ranks.
+pub fn fig2(opts: RunOptions) -> Table {
+    let mut t = Table::new(
+        "fig2",
+        "Distribution of disk block accesses (top blocks, log-sampled ranks)",
+        &["rank", "web", "proxy", "file", "zipf_0.43_model"],
+    );
+    let curves: Vec<Vec<u32>> = [ServerKind::Web, ServerKind::Proxy, ServerKind::File]
+        .into_iter()
+        .map(|k| workload(k, opts).trace.popularity_curve(300_000))
+        .collect();
+    // Zipf reference scaled to the web curve's total over 300 K blocks.
+    let web_total: u64 = curves[0].iter().map(|&c| c as u64).sum();
+    let n_ref = 300_000u64;
+    let ranks = [1usize, 2, 5, 10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000];
+    for rank in ranks {
+        let sample = |c: &Vec<u32>| {
+            c.get(rank - 1).map(|v| v.to_string()).unwrap_or_else(|| "0".into())
+        };
+        let z = (zipf_cumulative(rank as u64, n_ref, 0.43)
+            - zipf_cumulative(rank as u64 - 1, n_ref, 0.43))
+            * web_total as f64;
+        t.push_row(vec![
+            rank.to_string(),
+            sample(&curves[0]),
+            sample(&curves[1]),
+            sample(&curves[2]),
+            f1(z),
+        ]);
+    }
+    t.note("paper: hottest blocks reach ~88/78/90 accesses (web/proxy/file); the curves track a Zipf with alpha ~0.43");
+    t
+}
+
+/// Figures 7 / 9 / 11: absolute I/O time versus the striping-unit
+/// size, HDC caches = 2 MB where enabled.
+pub fn striping_sweep(kind: ServerKind, id: &str, opts: RunOptions) -> Table {
+    let wl = workload(kind, opts);
+    let mut t = Table::new(
+        id,
+        format!("{kind} server — I/O time (s) vs striping unit (HDC 2 MB)"),
+        &["unit_kb", "segm", "segm_hdc", "for", "for_hdc", "hdc_hit_%"],
+    );
+    const HDC: u64 = 2 * 1024 * 1024;
+    for &unit_kb in UNIT_GRID_KB {
+        let mk = |c: SystemConfig| run(c.with_striping_unit(unit_kb * 1024), &wl);
+        let segm = mk(SystemConfig::segm());
+        let segm_hdc = mk(SystemConfig::segm().with_hdc(HDC));
+        let for_ = mk(SystemConfig::for_());
+        let for_hdc = mk(SystemConfig::for_().with_hdc(HDC));
+        t.push_row(vec![
+            unit_kb.to_string(),
+            f1(segm.io_time.as_secs_f64()),
+            f1(segm_hdc.io_time.as_secs_f64()),
+            f1(for_.io_time.as_secs_f64()),
+            f1(for_hdc.io_time.as_secs_f64()),
+            f1(100.0 * for_hdc.hdc_hit_rate()),
+        ]);
+    }
+    match kind {
+        ServerKind::Web => t.note("paper: best unit 16–32 KB; FOR cuts I/O time 27–34%; FOR+HDC up to 47%"),
+        ServerKind::Proxy => t.note("paper: best unit 32–64 KB; FOR cuts 15–17%; FOR+HDC up to 33%"),
+        ServerKind::File => t.note("paper: best unit 128 KB; FOR cuts up to 12%; FOR+HDC up to 21%"),
+    }
+    t.note("known divergence: our clones lack the real traces' unit-scale burst concentration, so the large-unit load-imbalance penalty is weaker and the best unit lands at 128–256 KB (see EXPERIMENTS.md)");
+    t
+}
+
+/// Figures 8 / 10 / 12: absolute I/O time and HDC hit rate versus the
+/// per-disk HDC memory, at the paper's per-server striping unit.
+pub fn hdc_sweep(kind: ServerKind, id: &str, opts: RunOptions) -> Table {
+    let wl = workload(kind, opts);
+    let unit = paper_unit_kb(kind) * 1024;
+    let mut t = Table::new(
+        id,
+        format!(
+            "{kind} server — I/O time (s) vs HDC memory ({} KB striping unit)",
+            paper_unit_kb(kind)
+        ),
+        &["hdc_kb", "segm_hdc", "for_hdc", "segm_hit_%", "for_hit_%"],
+    );
+    for &hdc_kb in HDC_GRID_KB {
+        let hdc = hdc_kb as u64 * 1024;
+        let segm = run(SystemConfig::segm().with_hdc(hdc).with_striping_unit(unit), &wl);
+        let for_ = run(SystemConfig::for_().with_hdc(hdc).with_striping_unit(unit), &wl);
+        t.push_row(vec![
+            hdc_kb.to_string(),
+            f1(segm.io_time.as_secs_f64()),
+            f1(for_.io_time.as_secs_f64()),
+            f1(100.0 * segm.hdc_hit_rate()),
+            f1(100.0 * for_.hdc_hit_rate()),
+        ]);
+    }
+    t.note("paper shape: gains grow with HDC size to a knee (~2.5 MB), then the shrinking read-ahead cache bites; web hit rate reaches ~13% at 3 MB, file only ~4%");
+    t.note("the FOR bitmap occupies ~546 KB of controller memory, so FOR+HDC cannot reach the full 3 MB grid point with an intact read-ahead cache (paper Fig. 8: the FOR+HDC curve 'does not touch the right side of the graph')");
+    t
+}
+
+/// Table 2: disk-throughput improvements at each server's best
+/// striping unit.
+pub fn table2(opts: RunOptions) -> Table {
+    let mut t = Table::new(
+        "table2",
+        "Disk throughput improvements at the best striping unit",
+        &["server", "best_unit_kb", "for_%", "segm_hdc_%", "for_hdc_%"],
+    );
+    const HDC: u64 = 2 * 1024 * 1024;
+    for kind in [ServerKind::Web, ServerKind::Proxy, ServerKind::File] {
+        let wl = workload(kind, opts);
+        // Best unit by the Segm baseline, as the paper selects it.
+        let (best_unit_kb, segm) = UNIT_GRID_KB
+            .iter()
+            .map(|&u| {
+                (u, run(SystemConfig::segm().with_striping_unit(u * 1024), &wl))
+            })
+            .min_by_key(|(_, r)| r.io_time)
+            .expect("non-empty grid");
+        let unit = best_unit_kb * 1024;
+        let for_ = run(SystemConfig::for_().with_striping_unit(unit), &wl);
+        let segm_hdc = run(SystemConfig::segm().with_hdc(HDC).with_striping_unit(unit), &wl);
+        let for_hdc = run(SystemConfig::for_().with_hdc(HDC).with_striping_unit(unit), &wl);
+        t.push_row(vec![
+            kind.to_string(),
+            best_unit_kb.to_string(),
+            f3(100.0 * for_.improvement_over(&segm)),
+            f3(100.0 * segm_hdc.improvement_over(&segm)),
+            f3(100.0 * for_hdc.improvement_over(&segm)),
+        ]);
+    }
+    t.note("paper Table 2: web 34/24/47%, proxy 17/18/33%, file 12/10/21% (FOR / Segm+HDC / FOR+HDC)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunOptions {
+        RunOptions { scale: 0.02, synthetic_requests: 500 }
+    }
+
+    #[test]
+    fn fig2_curves_are_non_increasing() {
+        let t = fig2(quick());
+        for col in 1..4 {
+            let vals: Vec<u64> = t.rows.iter().map(|r| r[col].parse().unwrap()).collect();
+            for w in vals.windows(2) {
+                assert!(w[1] <= w[0], "popularity curve must be sorted: {vals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn striping_sweep_for_wins_everywhere() {
+        let t = striping_sweep(ServerKind::Web, "fig7", quick());
+        for row in &t.rows {
+            let segm: f64 = row[1].parse().unwrap();
+            let for_: f64 = row[3].parse().unwrap();
+            assert!(for_ <= segm * 1.02, "FOR {for_} vs Segm {segm} at {}", row[0]);
+        }
+    }
+
+    #[test]
+    fn table2_reports_positive_combined_gains() {
+        let t = table2(quick());
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            let combined: f64 = row[4].parse().unwrap();
+            assert!(combined > 0.0, "{} FOR+HDC {combined}%", row[0]);
+        }
+    }
+
+    #[test]
+    fn hdc_sweep_has_full_grid() {
+        let t = hdc_sweep(ServerKind::File, "fig12", quick());
+        assert_eq!(t.rows.len(), HDC_GRID_KB.len());
+        // Hit rate grows with HDC memory.
+        let hits: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(hits.last().unwrap() >= hits.first().unwrap());
+    }
+}

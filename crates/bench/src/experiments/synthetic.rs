@@ -1,0 +1,187 @@
+//! Figures 3–6: the controlled synthetic evaluation (§6.2).
+
+use forhdc_core::{Report, System, SystemConfig};
+use forhdc_workload::{SyntheticWorkload, Workload};
+
+use crate::table::{f3, Table};
+use crate::RunOptions;
+
+fn run(cfg: SystemConfig, wl: &Workload) -> Report {
+    System::new(cfg, wl).run()
+}
+
+/// Figure 3: normalized I/O time as a function of the average file
+/// size, 128 simultaneous streams. Series: Segm (the 1.0 baseline),
+/// Block, No-RA, FOR.
+pub fn fig3(opts: RunOptions) -> Table {
+    let mut t = Table::new(
+        "fig3",
+        "Normalized I/O time vs average file size (128 streams)",
+        &["file_kb", "segm", "block", "no_ra", "for"],
+    );
+    for file_blocks in [1u32, 2, 4, 8, 12, 16, 24, 32] {
+        let wl = SyntheticWorkload::builder()
+            .requests(opts.synthetic_requests)
+            .files(20_000)
+            .file_blocks(file_blocks)
+            .streams(128)
+            .seed(42)
+            .build();
+        let segm = run(SystemConfig::segm(), &wl);
+        let row = vec![
+            (file_blocks * 4).to_string(),
+            f3(1.0),
+            f3(run(SystemConfig::block(), &wl).normalized_io_time(&segm)),
+            f3(run(SystemConfig::no_ra(), &wl).normalized_io_time(&segm)),
+            f3(run(SystemConfig::for_(), &wl).normalized_io_time(&segm)),
+        ];
+        t.push_row(row);
+    }
+    t.note("paper shape: FOR <= all; ~40% gain at 16 KB; No-RA beats blind below ~48 KB, loses badly above");
+    t
+}
+
+/// Figure 4: normalized I/O time as a function of the number of
+/// simultaneous streams, 16-KByte files. Series: Segm, Block, FOR.
+pub fn fig4(opts: RunOptions) -> Table {
+    let mut t = Table::new(
+        "fig4",
+        "Normalized I/O time vs simultaneous streams (16-KB files)",
+        &["streams", "segm", "block", "for"],
+    );
+    for streams in [64u32, 128, 256, 384, 512, 768, 1024] {
+        let wl = SyntheticWorkload::builder()
+            .requests(opts.synthetic_requests)
+            .files(20_000)
+            .file_blocks(4)
+            .streams(streams)
+            .seed(42)
+            .build();
+        let segm = run(SystemConfig::segm(), &wl);
+        t.push_row(vec![
+            streams.to_string(),
+            f3(1.0),
+            f3(run(SystemConfig::block(), &wl).normalized_io_time(&segm)),
+            f3(run(SystemConfig::for_(), &wl).normalized_io_time(&segm)),
+        ]);
+    }
+    t.note("paper shape: FOR gains grow with streams (39% at 64 -> 59% at 1024); Block ~= Segm until ~256, ~3% better at 1024");
+    t
+}
+
+/// Figure 5: normalized I/O time and HDC hit rate as a function of the
+/// Zipf coefficient. HDC caches = 2 MB. Series: Segm, Segm+HDC, FOR,
+/// FOR+HDC (+ hit rate column).
+pub fn fig5(opts: RunOptions) -> Table {
+    let mut t = Table::new(
+        "fig5",
+        "Normalized I/O time vs access-frequency distribution (HDC 2 MB)",
+        &["alpha", "segm", "segm_hdc", "for", "for_hdc", "hdc_hit_%"],
+    );
+    const HDC: u64 = 2 * 1024 * 1024;
+    for tenth in [0u32, 2, 4, 6, 8, 10] {
+        let alpha = tenth as f64 / 10.0;
+        let wl = SyntheticWorkload::builder()
+            .requests(opts.synthetic_requests)
+            .files(20_000)
+            .file_blocks(4)
+            .streams(128)
+            .zipf_alpha(alpha)
+            .seed(42)
+            .build();
+        let segm = run(SystemConfig::segm(), &wl);
+        let segm_hdc = run(SystemConfig::segm().with_hdc(HDC), &wl);
+        let for_ = run(SystemConfig::for_(), &wl);
+        let for_hdc = run(SystemConfig::for_().with_hdc(HDC), &wl);
+        t.push_row(vec![
+            format!("{alpha:.1}"),
+            f3(1.0),
+            f3(segm_hdc.normalized_io_time(&segm)),
+            f3(for_.normalized_io_time(&segm)),
+            f3(for_hdc.normalized_io_time(&segm)),
+            format!("{:.1}", 100.0 * for_hdc.hdc_hit_rate()),
+        ]);
+    }
+    t.note("paper shape: HDC gains ~10% flat for alpha <= 0.6, rising to ~28% at alpha = 1; hit rate rises with alpha (56% at 1.0)");
+    t
+}
+
+/// Figure 6: normalized I/O time as a function of the percentage of
+/// writes. HDC caches = 2 MB, Zipf α = 0.4.
+pub fn fig6(opts: RunOptions) -> Table {
+    let mut t = Table::new(
+        "fig6",
+        "Normalized I/O time vs write percentage (HDC 2 MB, alpha 0.4)",
+        &["write_%", "segm", "segm_hdc", "for", "for_hdc"],
+    );
+    const HDC: u64 = 2 * 1024 * 1024;
+    for pct in [0u32, 10, 20, 30, 40, 50, 60] {
+        let wl = SyntheticWorkload::builder()
+            .requests(opts.synthetic_requests)
+            .files(20_000)
+            .file_blocks(4)
+            .streams(128)
+            .write_fraction(pct as f64 / 100.0)
+            .seed(42)
+            .build();
+        let segm = run(SystemConfig::segm(), &wl);
+        t.push_row(vec![
+            pct.to_string(),
+            f3(1.0),
+            f3(run(SystemConfig::segm().with_hdc(HDC), &wl).normalized_io_time(&segm)),
+            f3(run(SystemConfig::for_(), &wl).normalized_io_time(&segm)),
+            f3(run(SystemConfig::for_().with_hdc(HDC), &wl).normalized_io_time(&segm)),
+        ]);
+    }
+    t.note("paper shape: FOR gains decay with writes (39% -> 19% at 60%); HDC gains roughly constant");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunOptions {
+        RunOptions { scale: 0.02, synthetic_requests: 600 }
+    }
+
+    fn col(t: &Table, name: &str) -> Vec<f64> {
+        let i = t.headers.iter().position(|h| h == name).expect("column");
+        t.rows.iter().map(|r| r[i].parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn fig3_for_always_at_least_as_good() {
+        let t = fig3(quick());
+        for (f, s) in col(&t, "for").iter().zip(col(&t, "segm")) {
+            assert!(*f <= s * 1.05, "FOR {f} vs Segm {s}");
+        }
+    }
+
+    #[test]
+    fn fig4_for_beats_segm_everywhere() {
+        let t = fig4(quick());
+        for f in col(&t, "for") {
+            assert!(f < 1.0, "FOR normalized {f}");
+        }
+    }
+
+    #[test]
+    fn fig5_hit_rate_rises_with_alpha() {
+        // Enough requests that the accessed footprint exceeds the HDC
+        // capacity (otherwise every block is pinned and hits saturate).
+        let t = fig5(RunOptions { scale: 0.02, synthetic_requests: 4_000 });
+        let hits = col(&t, "hdc_hit_%");
+        assert!(*hits.last().unwrap() > hits.first().unwrap() + 5.0, "{hits:?}");
+    }
+
+    #[test]
+    fn fig6_for_gain_decays_with_writes() {
+        let t = fig6(quick());
+        let fors = col(&t, "for");
+        assert!(
+            fors.last().unwrap() > fors.first().unwrap(),
+            "FOR gain should shrink with writes: {fors:?}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # forhdc-bench
+//!
+//! The reproduction harness: one runner per table and figure of the
+//! paper's evaluation (§6), shared between the `repro` binary and the
+//! Criterion benchmarks.
+//!
+//! Every experiment returns a [`Table`] whose rows mirror the series
+//! the paper plots; the binary prints it and writes a CSV next to it.
+//!
+//! | Experiment | Paper artifact |
+//! |---|---|
+//! | [`experiments::micro::table1`] | Table 1 (simulation parameters) |
+//! | [`experiments::micro::fig1`] | Fig. 1 (sequential read vs fragmentation) |
+//! | [`experiments::servers::fig2`] | Fig. 2 (block access distribution) |
+//! | [`experiments::synthetic::fig3`] | Fig. 3 (I/O time vs file size) |
+//! | [`experiments::synthetic::fig4`] | Fig. 4 (I/O time vs streams) |
+//! | [`experiments::synthetic::fig5`] | Fig. 5 (I/O time vs Zipf α) |
+//! | [`experiments::synthetic::fig6`] | Fig. 6 (I/O time vs write %) |
+//! | [`experiments::servers::striping_sweep`] | Figs. 7 / 9 / 11 |
+//! | [`experiments::servers::hdc_sweep`] | Figs. 8 / 10 / 12 |
+//! | [`experiments::servers::table2`] | Table 2 (best-unit improvements) |
+//! | [`experiments::micro::model_check`] | analytic-vs-simulated cross-check |
+//! | [`experiments::ablations`] | ten design-choice ablations (DESIGN.md §8) |
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Global run options shared by the experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Request-count scale for the server workload clones (1.0 = the
+    /// calibrated default; smaller = faster, coarser).
+    pub scale: f64,
+    /// Request count for the synthetic workloads (paper: 10 000).
+    pub synthetic_requests: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { scale: 1.0, synthetic_requests: 10_000 }
+    }
+}

@@ -1,0 +1,363 @@
+//! The block-based controller-cache organization of section 4.
+//!
+//! Blocks are assigned to streams on demand from a pool of free blocks;
+//! when the pool runs dry, individual blocks are replaced. The paper's
+//! FOR technique replaces blocks **MRU** — and the recency that matters
+//! is the *host's* accesses: controller caches have almost no temporal
+//! locality (§2.1), so a block the host just consumed is the least
+//! likely to be needed again (the host now caches it itself), while a
+//! prefetched block that has *not* been consumed yet is exactly the
+//! data a live stream is about to demand. Eviction therefore prefers
+//! consumed blocks (most recently consumed first) and falls back to the
+//! stalest unconsumed prefetch only when every resident block is still
+//! awaiting its first use.
+
+use std::collections::{BTreeSet, HashMap};
+
+use forhdc_sim::PhysBlock;
+
+use crate::stats::CacheStats;
+use crate::ControllerCache;
+
+/// Replacement policy for [`BlockCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockReplacement {
+    /// Evict consumed blocks first, most recently consumed first; fall
+    /// back to the oldest unconsumed prefetch (the paper's FOR choice).
+    #[default]
+    Mru,
+    /// Evict the least recently inserted-or-touched block (ablation).
+    Lru,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    stamp: u64,
+    read_ahead: bool,
+    used: bool,
+}
+
+/// A pool of individually replaceable cache blocks.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_cache::{BlockCache, BlockReplacement, ControllerCache};
+/// use forhdc_sim::PhysBlock;
+///
+/// let mut c = BlockCache::new(4, BlockReplacement::Mru);
+/// c.insert_run(PhysBlock::new(0), 4, 4);
+/// c.touch(PhysBlock::new(0)); // host consumes block 0
+/// // Inserting one more evicts the consumed block, not the live data.
+/// c.insert_run(PhysBlock::new(100), 1, 1);
+/// assert!(!c.contains(PhysBlock::new(0)));
+/// assert!(c.contains(PhysBlock::new(3)));
+/// ```
+#[derive(Debug)]
+pub struct BlockCache {
+    map: HashMap<PhysBlock, BlockMeta>,
+    /// Blocks the host has demanded at least once, by touch stamp.
+    used_order: BTreeSet<(u64, PhysBlock)>,
+    /// Blocks never demanded since insertion, by insert stamp.
+    unused_order: BTreeSet<(u64, PhysBlock)>,
+    capacity: u32,
+    policy: BlockReplacement,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl BlockCache {
+    /// Creates an empty cache of `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32, policy: BlockReplacement) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BlockCache {
+            map: HashMap::with_capacity(capacity as usize),
+            used_order: BTreeSet::new(),
+            unused_order: BTreeSet::new(),
+            capacity,
+            policy,
+            clock: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The replacement policy in force.
+    pub fn policy(&self) -> BlockReplacement {
+        self.policy
+    }
+
+    /// Removes `block` if present (used by HDC hand-off so a block is
+    /// never double-counted in two regions). Returns whether it was
+    /// resident.
+    pub fn evict(&mut self, block: PhysBlock) -> bool {
+        if let Some(meta) = self.map.remove(&block) {
+            self.order_of(meta.used).remove(&(meta.stamp, block));
+            self.stats.evictions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn order_of(&mut self, used: bool) -> &mut BTreeSet<(u64, PhysBlock)> {
+        if used {
+            &mut self.used_order
+        } else {
+            &mut self.unused_order
+        }
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn evict_victim(&mut self) {
+        let victim = match self.policy {
+            BlockReplacement::Mru => self
+                .used_order
+                .iter()
+                .next_back()
+                .or_else(|| self.unused_order.iter().next())
+                .copied(),
+            BlockReplacement::Lru => {
+                // Globally least recent across both sets.
+                match (self.used_order.iter().next(), self.unused_order.iter().next()) {
+                    (Some(&a), Some(&b)) => Some(if a.0 < b.0 { a } else { b }),
+                    (a, b) => a.or(b).copied(),
+                }
+            }
+        };
+        if let Some((stamp, block)) = victim {
+            let used = self.map.remove(&block).map(|m| m.used).unwrap_or(false);
+            self.order_of(used).remove(&(stamp, block));
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn insert_one(&mut self, block: PhysBlock, read_ahead: bool) {
+        let stamp = self.next_stamp();
+        if let Some(meta) = self.map.get_mut(&block) {
+            // Re-read of a resident block: refresh it. A fresh media
+            // read means a new stream wants it, so it re-enters the
+            // unconsumed state.
+            let (old_stamp, old_used) = (meta.stamp, meta.used);
+            meta.stamp = stamp;
+            meta.used = false;
+            meta.read_ahead = read_ahead;
+            if read_ahead {
+                // The speculative fetch is re-counted so that a later
+                // demand keeps `ra_used <= ra_inserted`.
+                self.stats.ra_inserted += 1;
+            }
+            self.order_of(old_used).remove(&(old_stamp, block));
+            self.unused_order.insert((stamp, block));
+            return;
+        }
+        if self.map.len() as u32 >= self.capacity {
+            self.evict_victim();
+        }
+        self.map.insert(block, BlockMeta { stamp, read_ahead, used: false });
+        self.unused_order.insert((stamp, block));
+        self.stats.insertions += 1;
+        if read_ahead {
+            self.stats.ra_inserted += 1;
+        }
+    }
+}
+
+impl ControllerCache for BlockCache {
+    fn contains(&self, block: PhysBlock) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    fn touch(&mut self, block: PhysBlock) -> bool {
+        self.stats.block_lookups += 1;
+        let stamp = self.next_stamp();
+        let Some(meta) = self.map.get_mut(&block) else {
+            return false;
+        };
+        self.stats.block_hits += 1;
+        if meta.read_ahead && !meta.used {
+            self.stats.ra_used += 1;
+        }
+        let (old_stamp, old_used) = (meta.stamp, meta.used);
+        meta.used = true;
+        meta.stamp = stamp;
+        self.order_of(old_used).remove(&(old_stamp, block));
+        self.used_order.insert((stamp, block));
+        true
+    }
+
+    fn insert_run(&mut self, start: PhysBlock, nblocks: u32, requested: u32) {
+        debug_assert!(requested <= nblocks);
+        for i in 0..nblocks as u64 {
+            self.insert_one(start.offset(i), i >= requested as u64);
+        }
+    }
+
+    fn capacity_blocks(&self) -> u32 {
+        self.capacity
+    }
+
+    fn resident_blocks(&self) -> u32 {
+        self.map.len() as u32
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn record_extent(&mut self, hit: bool) {
+        self.stats.extent_lookups += 1;
+        if hit {
+            self.stats.extent_hits += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: u64) -> PhysBlock {
+        PhysBlock::new(n)
+    }
+
+    #[test]
+    fn mru_evicts_consumed_blocks_first() {
+        let mut c = BlockCache::new(3, BlockReplacement::Mru);
+        c.insert_run(b(0), 3, 3);
+        c.touch(b(0));
+        c.touch(b(1)); // 1 is the most recently consumed
+        c.insert_run(b(10), 1, 1);
+        assert!(c.contains(b(0)));
+        assert!(!c.contains(b(1)));
+        assert!(c.contains(b(2))); // unconsumed: protected
+        assert!(c.contains(b(10)));
+    }
+
+    #[test]
+    fn mru_falls_back_to_oldest_unconsumed() {
+        let mut c = BlockCache::new(3, BlockReplacement::Mru);
+        c.insert_run(b(0), 3, 3); // nothing consumed
+        c.insert_run(b(10), 1, 1);
+        assert!(!c.contains(b(0))); // oldest prefetch goes
+        assert!(c.contains(b(1)));
+        assert!(c.contains(b(2)));
+    }
+
+    #[test]
+    fn full_cache_run_insert_does_not_self_destruct() {
+        // The pathology the naive insert-stamp MRU exhibits: inserting a
+        // run into a full cache must not evict the run's own blocks.
+        let mut c = BlockCache::new(32, BlockReplacement::Mru);
+        c.insert_run(b(0), 32, 32);
+        for i in 0..32 {
+            c.touch(b(i)); // consume everything
+        }
+        c.insert_run(b(100), 32, 8);
+        for i in 100..132 {
+            assert!(c.contains(b(i)), "run block {i} missing");
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_overall() {
+        let mut c = BlockCache::new(3, BlockReplacement::Lru);
+        c.insert_run(b(0), 3, 3);
+        c.touch(b(0)); // refresh block 0; LRU victim becomes block 1
+        c.insert_run(b(10), 1, 1);
+        assert!(c.contains(b(0)));
+        assert!(!c.contains(b(1)));
+        assert!(c.contains(b(2)));
+    }
+
+    #[test]
+    fn ra_usage_tracked_once() {
+        let mut c = BlockCache::new(8, BlockReplacement::Mru);
+        c.insert_run(b(0), 4, 2); // blocks 2,3 are read-ahead
+        assert_eq!(c.stats().ra_inserted, 2);
+        c.touch(b(2));
+        c.touch(b(2));
+        c.touch(b(3));
+        assert_eq!(c.stats().ra_used, 2); // counted on first demand only
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = BlockCache::new(4, BlockReplacement::Mru);
+        c.insert_run(b(0), 2, 2);
+        c.insert_run(b(0), 2, 2);
+        assert_eq!(c.resident_blocks(), 2);
+        assert_eq!(c.stats().insertions, 2);
+    }
+
+    #[test]
+    fn reinsert_resets_consumed_state() {
+        let mut c = BlockCache::new(2, BlockReplacement::Mru);
+        c.insert_run(b(0), 2, 2);
+        c.touch(b(0));
+        c.insert_run(b(0), 1, 1); // fresh media read of block 0
+        // Block 1 untouched (unconsumed), block 0 unconsumed again: with
+        // no consumed blocks the oldest unconsumed (block 1) goes.
+        c.insert_run(b(5), 1, 1);
+        assert!(c.contains(b(0)));
+        assert!(!c.contains(b(1)));
+    }
+
+    #[test]
+    fn demand_reinsert_clears_ra_provenance() {
+        let mut c = BlockCache::new(4, BlockReplacement::Mru);
+        c.insert_run(b(0), 2, 0); // both RA
+        c.insert_run(b(0), 1, 1); // block 0 now demanded
+        c.touch(b(0));
+        assert_eq!(c.stats().ra_used, 0, "demanded reinsert should clear RA flag");
+        c.touch(b(1));
+        assert_eq!(c.stats().ra_used, 1);
+    }
+
+    #[test]
+    fn explicit_evict() {
+        let mut c = BlockCache::new(4, BlockReplacement::Mru);
+        c.insert_run(b(5), 1, 1);
+        c.touch(b(5));
+        assert!(c.evict(b(5)));
+        assert!(!c.evict(b(5)));
+        assert_eq!(c.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut c = BlockCache::new(16, BlockReplacement::Mru);
+        for i in 0..100 {
+            c.insert_run(b(i * 3), 3, 1);
+            c.touch(b(i * 3));
+            assert!(c.resident_blocks() <= 16);
+        }
+        assert_eq!(c.resident_blocks(), 16);
+    }
+
+    #[test]
+    fn internal_orders_stay_consistent() {
+        let mut c = BlockCache::new(8, BlockReplacement::Mru);
+        for i in 0..50u64 {
+            c.insert_run(b(i % 12), 1, if i % 3 == 0 { 0 } else { 1 });
+            c.touch(b((i * 7) % 12));
+        }
+        assert_eq!(
+            c.resident_blocks() as usize,
+            c.used_order.len() + c.unused_order.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BlockCache::new(0, BlockReplacement::Mru);
+    }
+}

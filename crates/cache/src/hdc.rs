@@ -1,0 +1,322 @@
+//! The Host-guided Device Caching (HDC) region of section 5.
+//!
+//! The host controls part of each controller cache through three
+//! commands: `pin_blk()` reads a block and marks it non-replaceable,
+//! `unpin_blk()` clears the flag, and `flush_hdc()` writes all dirty
+//! pinned blocks to the media. Dirty pinned blocks are *not* updated on
+//! disk automatically — the host decides when to sync (e.g. the Unix
+//! 30-second policy, whose throughput effect the paper measured at
+//! under 1 %).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use forhdc_sim::PhysBlock;
+
+/// Counters for the HDC region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HdcStats {
+    /// Read lookups that found a pinned block.
+    pub read_hits: u64,
+    /// Read lookups that missed.
+    pub read_misses: u64,
+    /// Writes absorbed by a pinned block (marked dirty, no media op).
+    pub write_hits: u64,
+    /// Writes that missed.
+    pub write_misses: u64,
+    /// Blocks pinned over the region's lifetime.
+    pub pins: u64,
+    /// Blocks unpinned.
+    pub unpins: u64,
+    /// Dirty blocks written back by flushes.
+    pub flushed: u64,
+}
+
+impl HdcStats {
+    /// Total lookups (reads + writes).
+    pub fn lookups(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Overall hit rate (reads and writes) in `[0, 1]`, as the paper
+    /// reports it: "accesses (reads and writes) that hit in the HDC
+    /// caches divided by the total number of accesses".
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.read_hits + self.write_hits) as f64 / lookups as f64
+        }
+    }
+
+    /// Merges another region's counters (array-wide aggregation).
+    pub fn merge(&mut self, other: &HdcStats) {
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+        self.pins += other.pins;
+        self.unpins += other.unpins;
+        self.flushed += other.flushed;
+    }
+}
+
+impl fmt::Display for HdcStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HDC hits {}/{} ({:.1}%), {} pinned over lifetime, {} flushed",
+            self.read_hits + self.write_hits,
+            self.lookups(),
+            100.0 * self.hit_rate(),
+            self.pins,
+            self.flushed
+        )
+    }
+}
+
+/// Error returned by [`HdcRegion::pin`] when the region is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinError {
+    /// The configured capacity that was exhausted.
+    pub capacity: u32,
+}
+
+impl fmt::Display for PinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HDC region full ({} blocks)", self.capacity)
+    }
+}
+
+impl std::error::Error for PinError {}
+
+/// The host-managed, non-replaceable portion of one controller cache.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_cache::HdcRegion;
+/// use forhdc_sim::PhysBlock;
+///
+/// let mut hdc = HdcRegion::new(512); // 2 MB of 4-KByte blocks
+/// hdc.pin(PhysBlock::new(42))?;
+/// assert!(hdc.read(PhysBlock::new(42)));
+/// assert!(hdc.write(PhysBlock::new(42))); // absorbed, marked dirty
+/// assert_eq!(hdc.flush(), vec![PhysBlock::new(42)]);
+/// # Ok::<(), forhdc_cache::PinError>(())
+/// ```
+#[derive(Debug)]
+pub struct HdcRegion {
+    pinned: HashMap<PhysBlock, bool>, // value = dirty
+    capacity: u32,
+    stats: HdcStats,
+}
+
+impl HdcRegion {
+    /// Creates an empty region able to pin `capacity` blocks.
+    /// A zero capacity creates a permanently empty region (HDC off).
+    pub fn new(capacity: u32) -> Self {
+        HdcRegion { pinned: HashMap::with_capacity(capacity as usize), capacity, stats: HdcStats::default() }
+    }
+
+    /// Pins `block` into the region (the `pin_blk()` command). Pinning
+    /// an already pinned block is a no-op that preserves its dirty bit.
+    ///
+    /// The caller is responsible for the media read that loads the
+    /// block's contents (the system simulation charges it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinError`] if the region is at capacity.
+    pub fn pin(&mut self, block: PhysBlock) -> Result<(), PinError> {
+        if self.pinned.contains_key(&block) {
+            return Ok(());
+        }
+        if self.pinned.len() as u32 >= self.capacity {
+            return Err(PinError { capacity: self.capacity });
+        }
+        self.pinned.insert(block, false);
+        self.stats.pins += 1;
+        Ok(())
+    }
+
+    /// Unpins `block` (the `unpin_blk()` command). Returns the dirty
+    /// bit if the block was pinned — a dirty unpinned block must be
+    /// written back by the caller.
+    pub fn unpin(&mut self, block: PhysBlock) -> Option<bool> {
+        let dirty = self.pinned.remove(&block);
+        if dirty.is_some() {
+            self.stats.unpins += 1;
+        }
+        dirty
+    }
+
+    /// Whether `block` is pinned (no stats update).
+    pub fn contains(&self, block: PhysBlock) -> bool {
+        self.pinned.contains_key(&block)
+    }
+
+    /// Read lookup: returns `true` (and counts a hit) when pinned.
+    pub fn read(&mut self, block: PhysBlock) -> bool {
+        if self.pinned.contains_key(&block) {
+            self.stats.read_hits += 1;
+            true
+        } else {
+            self.stats.read_misses += 1;
+            false
+        }
+    }
+
+    /// Write lookup: when pinned, absorbs the write (marks the block
+    /// dirty) and returns `true`; the media is not touched until
+    /// [`HdcRegion::flush`].
+    pub fn write(&mut self, block: PhysBlock) -> bool {
+        if let Some(dirty) = self.pinned.get_mut(&block) {
+            *dirty = true;
+            self.stats.write_hits += 1;
+            true
+        } else {
+            self.stats.write_misses += 1;
+            false
+        }
+    }
+
+    /// The `flush_hdc()` command: clears all dirty bits and returns the
+    /// blocks that must be written to the media, in ascending order
+    /// (deterministic).
+    pub fn flush(&mut self) -> Vec<PhysBlock> {
+        let mut dirty: Vec<PhysBlock> = self
+            .pinned
+            .iter()
+            .filter_map(|(&b, &d)| d.then_some(b))
+            .collect();
+        dirty.sort();
+        for b in &dirty {
+            self.pinned.insert(*b, false);
+        }
+        self.stats.flushed += dirty.len() as u64;
+        dirty
+    }
+
+    /// Number of blocks currently pinned.
+    pub fn len(&self) -> u32 {
+        self.pinned.len() as u32
+    }
+
+    /// Whether nothing is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.pinned.is_empty()
+    }
+
+    /// Number of currently dirty blocks.
+    pub fn dirty_count(&self) -> u32 {
+        self.pinned.values().filter(|&&d| d).count() as u32
+    }
+
+    /// Configured capacity in blocks.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &HdcStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: u64) -> PhysBlock {
+        PhysBlock::new(n)
+    }
+
+    #[test]
+    fn pin_read_write_flush_cycle() {
+        let mut h = HdcRegion::new(4);
+        h.pin(b(1)).unwrap();
+        h.pin(b(2)).unwrap();
+        assert!(h.read(b(1)));
+        assert!(!h.read(b(3)));
+        assert!(h.write(b(2)));
+        assert!(!h.write(b(3)));
+        assert_eq!(h.dirty_count(), 1);
+        assert_eq!(h.flush(), vec![b(2)]);
+        assert_eq!(h.dirty_count(), 0);
+        assert_eq!(h.stats().flushed, 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut h = HdcRegion::new(2);
+        h.pin(b(1)).unwrap();
+        h.pin(b(2)).unwrap();
+        assert_eq!(h.pin(b(3)), Err(PinError { capacity: 2 }));
+        // Re-pinning an existing block is fine even at capacity.
+        assert_eq!(h.pin(b(1)), Ok(()));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn repin_preserves_dirty_bit() {
+        let mut h = HdcRegion::new(2);
+        h.pin(b(1)).unwrap();
+        h.write(b(1));
+        h.pin(b(1)).unwrap();
+        assert_eq!(h.dirty_count(), 1);
+    }
+
+    #[test]
+    fn unpin_returns_dirty_state() {
+        let mut h = HdcRegion::new(2);
+        h.pin(b(1)).unwrap();
+        h.pin(b(2)).unwrap();
+        h.write(b(2));
+        assert_eq!(h.unpin(b(1)), Some(false));
+        assert_eq!(h.unpin(b(2)), Some(true));
+        assert_eq!(h.unpin(b(9)), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_region_rejects_everything() {
+        let mut h = HdcRegion::new(0);
+        assert!(h.pin(b(1)).is_err());
+        assert!(!h.read(b(1)));
+        assert_eq!(h.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn hit_rate_counts_reads_and_writes() {
+        let mut h = HdcRegion::new(4);
+        h.pin(b(1)).unwrap();
+        h.read(b(1)); // hit
+        h.read(b(2)); // miss
+        h.write(b(1)); // hit
+        h.write(b(3)); // miss
+        assert!((h.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(h.stats().lookups(), 4);
+    }
+
+    #[test]
+    fn flush_is_sorted_and_repeatable() {
+        let mut h = HdcRegion::new(8);
+        for i in [5u64, 3, 7, 1] {
+            h.pin(b(i)).unwrap();
+            h.write(b(i));
+        }
+        assert_eq!(h.flush(), vec![b(1), b(3), b(5), b(7)]);
+        assert!(h.flush().is_empty());
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = HdcStats { read_hits: 1, ..HdcStats::default() };
+        let b = HdcStats { read_hits: 2, write_misses: 3, ..HdcStats::default() };
+        a.merge(&b);
+        assert_eq!(a.read_hits, 3);
+        assert_eq!(a.write_misses, 3);
+    }
+}

@@ -1,0 +1,370 @@
+//! The conventional segment-based controller-cache organization.
+//!
+//! The cache is divided into a fixed number of segments, each assigned
+//! to one sequential stream; an entire segment is the minimum unit of
+//! allocation and replacement (§2.1 of the paper). Stream detection is
+//! positional: a run that continues or overlaps an existing segment's
+//! range belongs to that segment's stream and recycles it; anything
+//! else allocates a free segment or evicts a victim whole.
+
+use forhdc_sim::PhysBlock;
+
+use crate::stats::CacheStats;
+use crate::ControllerCache;
+
+/// Victim-selection policy when all segments are busy.
+///
+/// LRU is the usual choice; FIFO, random and round-robin have also been
+/// proposed (Soloviev 94, Ganger 95, Shriver 97) and are kept for the
+/// ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SegmentReplacement {
+    /// Evict the least recently used segment.
+    #[default]
+    Lru,
+    /// Evict the oldest-allocated segment.
+    Fifo,
+    /// Evict a pseudo-random segment (deterministic xorshift).
+    Random,
+    /// Evict segments in rotating order.
+    RoundRobin,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: PhysBlock,
+    len: u32,
+    created: u64,
+    last_used: u64,
+    /// Bit i set ⇒ block `start + i` was inserted by read-ahead.
+    ra_mask: u128,
+    /// Bit i set ⇒ block `start + i` has been demanded since insertion.
+    used_mask: u128,
+}
+
+impl Segment {
+    fn covers(&self, block: PhysBlock) -> Option<u32> {
+        let b = block.index();
+        let s = self.start.index();
+        if b >= s && b < s + self.len as u64 {
+            Some((b - s) as u32)
+        } else {
+            None
+        }
+    }
+
+    fn end(&self) -> PhysBlock {
+        self.start.offset(self.len as u64)
+    }
+}
+
+/// A fixed-count segment cache.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_cache::{ControllerCache, SegmentCache, SegmentReplacement};
+/// use forhdc_sim::PhysBlock;
+///
+/// // Table 1 default: 27 segments of 32 blocks (128 KB).
+/// let mut c = SegmentCache::new(27, 32, SegmentReplacement::Lru);
+/// c.insert_run(PhysBlock::new(0), 32, 4);
+/// assert!(c.lookup_extent(PhysBlock::new(4), 4)); // read-ahead hit
+/// ```
+#[derive(Debug)]
+pub struct SegmentCache {
+    segments: Vec<Option<Segment>>,
+    seg_blocks: u32,
+    policy: SegmentReplacement,
+    clock: u64,
+    rr_cursor: usize,
+    rng_state: u64,
+    stats: CacheStats,
+}
+
+impl SegmentCache {
+    /// Creates a cache of `segments` segments holding `seg_blocks`
+    /// blocks each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero or `seg_blocks` exceeds 128
+    /// (the per-segment bookkeeping uses 128-bit masks).
+    pub fn new(segments: u32, seg_blocks: u32, policy: SegmentReplacement) -> Self {
+        assert!(segments > 0, "need at least one segment");
+        assert!((1..=128).contains(&seg_blocks), "segment blocks must be 1..=128");
+        SegmentCache {
+            segments: vec![None; segments as usize],
+            seg_blocks,
+            policy,
+            clock: 0,
+            rr_cursor: 0,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> u32 {
+        self.segments.len() as u32
+    }
+
+    /// Blocks per segment.
+    pub fn segment_blocks(&self) -> u32 {
+        self.seg_blocks
+    }
+
+    /// The victim-selection policy.
+    pub fn policy(&self) -> SegmentReplacement {
+        self.policy
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn xorshift(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+
+    /// Picks the slot to (re)fill for a run starting at `start`:
+    /// continuation/overlap of an existing stream first, then a free
+    /// slot, then the policy victim.
+    fn slot_for(&mut self, start: PhysBlock, nblocks: u32) -> usize {
+        let run_end = start.index() + nblocks as u64;
+        // Same stream: run overlaps or directly continues the segment.
+        if let Some(i) = self.segments.iter().position(|s| {
+            s.is_some_and(|seg| {
+                let s0 = seg.start.index();
+                let s1 = seg.end().index();
+                start.index() <= s1 && run_end >= s0
+            })
+        }) {
+            return i;
+        }
+        if let Some(i) = self.segments.iter().position(Option::is_none) {
+            return i;
+        }
+        match self.policy {
+            SegmentReplacement::Lru => self
+                .segments
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.map(|seg| seg.last_used).unwrap_or(0))
+                .map(|(i, _)| i)
+                .expect("non-empty segment vector"),
+            SegmentReplacement::Fifo => self
+                .segments
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.map(|seg| seg.created).unwrap_or(0))
+                .map(|(i, _)| i)
+                .expect("non-empty segment vector"),
+            SegmentReplacement::Random => (self.xorshift() % self.segments.len() as u64) as usize,
+            SegmentReplacement::RoundRobin => {
+                let i = self.rr_cursor;
+                self.rr_cursor = (self.rr_cursor + 1) % self.segments.len();
+                i
+            }
+        }
+    }
+}
+
+impl ControllerCache for SegmentCache {
+    fn contains(&self, block: PhysBlock) -> bool {
+        self.segments.iter().flatten().any(|s| s.covers(block).is_some())
+    }
+
+    fn touch(&mut self, block: PhysBlock) -> bool {
+        self.stats.block_lookups += 1;
+        let stamp = self.tick();
+        for seg in self.segments.iter_mut().flatten() {
+            if let Some(i) = seg.covers(block) {
+                self.stats.block_hits += 1;
+                seg.last_used = stamp;
+                let bit = 1u128 << i;
+                if seg.ra_mask & bit != 0 && seg.used_mask & bit == 0 {
+                    self.stats.ra_used += 1;
+                }
+                seg.used_mask |= bit;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn insert_run(&mut self, start: PhysBlock, nblocks: u32, requested: u32) {
+        debug_assert!(requested <= nblocks);
+        // A run longer than a segment keeps only its tail (the freshest
+        // data, matching a circular segment buffer).
+        let (start, nblocks, requested) = if nblocks > self.seg_blocks {
+            let drop = (nblocks - self.seg_blocks) as u64;
+            (start.offset(drop), self.seg_blocks, requested.saturating_sub(drop as u32))
+        } else {
+            (start, nblocks, requested)
+        };
+        let slot = self.slot_for(start, nblocks);
+        let stamp = self.tick();
+        if let Some(old) = self.segments[slot] {
+            self.stats.evictions += old.len as u64;
+        }
+        let mut ra_mask = 0u128;
+        for i in requested..nblocks {
+            ra_mask |= 1u128 << i;
+        }
+        self.stats.insertions += nblocks as u64;
+        self.stats.ra_inserted += (nblocks - requested) as u64;
+        self.segments[slot] = Some(Segment {
+            start,
+            len: nblocks,
+            created: stamp,
+            last_used: stamp,
+            ra_mask,
+            used_mask: 0,
+        });
+    }
+
+    fn capacity_blocks(&self) -> u32 {
+        self.segments.len() as u32 * self.seg_blocks
+    }
+
+    fn resident_blocks(&self) -> u32 {
+        self.segments.iter().flatten().map(|s| s.len).sum()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn record_extent(&mut self, hit: bool) {
+        self.stats.extent_lookups += 1;
+        if hit {
+            self.stats.extent_hits += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: u64) -> PhysBlock {
+        PhysBlock::new(n)
+    }
+
+    #[test]
+    fn whole_segment_replaced_at_once() {
+        let mut c = SegmentCache::new(2, 8, SegmentReplacement::Lru);
+        c.insert_run(b(0), 8, 8);
+        c.insert_run(b(100), 8, 8);
+        assert_eq!(c.resident_blocks(), 16);
+        // Third stream evicts the LRU segment (blocks 0..8) entirely.
+        c.insert_run(b(200), 8, 8);
+        assert!(!c.contains(b(0)));
+        assert!(!c.contains(b(7)));
+        assert!(c.contains(b(100)));
+        assert!(c.contains(b(200)));
+        assert_eq!(c.stats().evictions, 8);
+    }
+
+    #[test]
+    fn continuation_reuses_stream_segment() {
+        let mut c = SegmentCache::new(2, 8, SegmentReplacement::Lru);
+        c.insert_run(b(0), 8, 8);
+        c.insert_run(b(100), 8, 8);
+        // Run continuing stream 1 (blocks 8..16) recycles its segment,
+        // not the LRU victim.
+        c.insert_run(b(8), 8, 8);
+        assert!(c.contains(b(8)));
+        assert!(!c.contains(b(0)));
+        assert!(c.contains(b(100)));
+    }
+
+    #[test]
+    fn lru_picks_least_recent() {
+        let mut c = SegmentCache::new(2, 4, SegmentReplacement::Lru);
+        c.insert_run(b(0), 4, 4);
+        c.insert_run(b(100), 4, 4);
+        c.touch(b(0)); // stream A now more recent
+        c.insert_run(b(200), 4, 4);
+        assert!(c.contains(b(0)));
+        assert!(!c.contains(b(100)));
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c = SegmentCache::new(2, 4, SegmentReplacement::Fifo);
+        c.insert_run(b(0), 4, 4);
+        c.insert_run(b(100), 4, 4);
+        c.touch(b(0)); // does not save stream A under FIFO
+        c.insert_run(b(200), 4, 4);
+        assert!(!c.contains(b(0)));
+        assert!(c.contains(b(100)));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut c = SegmentCache::new(2, 4, SegmentReplacement::RoundRobin);
+        c.insert_run(b(0), 4, 4);
+        c.insert_run(b(100), 4, 4);
+        c.insert_run(b(200), 4, 4); // evicts slot 0
+        c.insert_run(b(300), 4, 4); // evicts slot 1
+        assert!(!c.contains(b(0)));
+        assert!(!c.contains(b(100)));
+        assert!(c.contains(b(200)));
+        assert!(c.contains(b(300)));
+    }
+
+    #[test]
+    fn random_policy_is_deterministic() {
+        let run = || {
+            let mut c = SegmentCache::new(3, 4, SegmentReplacement::Random);
+            for i in 0..20u64 {
+                c.insert_run(b(i * 50), 4, 4);
+            }
+            (0..20u64).map(|i| c.contains(b(i * 50))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn oversized_run_keeps_tail() {
+        let mut c = SegmentCache::new(2, 4, SegmentReplacement::Lru);
+        c.insert_run(b(0), 10, 10);
+        assert!(!c.contains(b(5)));
+        assert!(c.contains(b(6)));
+        assert!(c.contains(b(9)));
+        assert_eq!(c.resident_blocks(), 4);
+    }
+
+    #[test]
+    fn ra_tracking_within_segment() {
+        let mut c = SegmentCache::new(2, 8, SegmentReplacement::Lru);
+        c.insert_run(b(0), 8, 2); // 6 RA blocks
+        assert_eq!(c.stats().ra_inserted, 6);
+        c.touch(b(2));
+        c.touch(b(2));
+        c.touch(b(0)); // demanded block, not RA
+        assert_eq!(c.stats().ra_used, 1);
+    }
+
+    #[test]
+    fn capacity_accounts_all_segments() {
+        let c = SegmentCache::new(27, 32, SegmentReplacement::Lru);
+        assert_eq!(c.capacity_blocks(), 27 * 32);
+        assert_eq!(c.segment_count(), 27);
+        assert_eq!(c.segment_blocks(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment blocks")]
+    fn oversized_segment_panics() {
+        let _ = SegmentCache::new(1, 129, SegmentReplacement::Lru);
+    }
+}

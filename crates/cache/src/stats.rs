@@ -1,0 +1,135 @@
+//! Cache statistics shared by both organizations.
+
+use std::fmt;
+
+/// Hit/miss and read-ahead-effectiveness counters.
+///
+/// Block-level counters track individual block touches; extent-level
+/// counters track whole-request lookups (a request hits only when all
+/// its blocks do).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Individual block lookups.
+    pub block_lookups: u64,
+    /// Individual block hits.
+    pub block_hits: u64,
+    /// Whole-extent lookups.
+    pub extent_lookups: u64,
+    /// Whole-extent hits (every block present).
+    pub extent_hits: u64,
+    /// Blocks inserted.
+    pub insertions: u64,
+    /// Blocks evicted to make room.
+    pub evictions: u64,
+    /// Blocks inserted speculatively by read-ahead.
+    pub ra_inserted: u64,
+    /// Read-ahead blocks that were later actually demanded (first hit).
+    pub ra_used: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Block-level hit rate in `[0, 1]` (0 when no lookups).
+    pub fn block_hit_rate(&self) -> f64 {
+        if self.block_lookups == 0 {
+            0.0
+        } else {
+            self.block_hits as f64 / self.block_lookups as f64
+        }
+    }
+
+    /// Extent-level (request) hit rate in `[0, 1]` (0 when no lookups).
+    pub fn extent_hit_rate(&self) -> f64 {
+        if self.extent_lookups == 0 {
+            0.0
+        } else {
+            self.extent_hits as f64 / self.extent_lookups as f64
+        }
+    }
+
+    /// Fraction of read-ahead blocks that proved useful, in `[0, 1]`
+    /// (0 when read-ahead never ran).
+    pub fn ra_accuracy(&self) -> f64 {
+        if self.ra_inserted == 0 {
+            0.0
+        } else {
+            self.ra_used as f64 / self.ra_inserted as f64
+        }
+    }
+
+    /// Merges counters from another cache (array-wide aggregation).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.block_lookups += other.block_lookups;
+        self.block_hits += other.block_hits;
+        self.extent_lookups += other.extent_lookups;
+        self.extent_hits += other.extent_hits;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.ra_inserted += other.ra_inserted;
+        self.ra_used += other.ra_used;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "extents {}/{} ({:.1}%), blocks {}/{} ({:.1}%), RA accuracy {:.1}%",
+            self.extent_hits,
+            self.extent_lookups,
+            100.0 * self.extent_hit_rate(),
+            self.block_hits,
+            self.block_lookups,
+            100.0 * self.block_hit_rate(),
+            100.0 * self.ra_accuracy(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = CacheStats::new();
+        assert_eq!(s.block_hit_rate(), 0.0);
+        assert_eq!(s.extent_hit_rate(), 0.0);
+        assert_eq!(s.ra_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = CacheStats {
+            block_lookups: 10,
+            block_hits: 4,
+            extent_lookups: 5,
+            extent_hits: 1,
+            ra_inserted: 8,
+            ra_used: 6,
+            ..CacheStats::new()
+        };
+        assert!((s.block_hit_rate() - 0.4).abs() < 1e-12);
+        assert!((s.extent_hit_rate() - 0.2).abs() < 1e-12);
+        assert!((s.ra_accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CacheStats { block_lookups: 1, block_hits: 1, ..CacheStats::new() };
+        let b = CacheStats { block_lookups: 2, evictions: 3, ..CacheStats::new() };
+        a.merge(&b);
+        assert_eq!(a.block_lookups, 3);
+        assert_eq!(a.block_hits, 1);
+        assert_eq!(a.evictions, 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!CacheStats::new().to_string().is_empty());
+    }
+}

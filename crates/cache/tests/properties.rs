@@ -1,0 +1,159 @@
+//! Property-based invariants of the cache organizations: arbitrary
+//! operation sequences never violate capacity, residency, or stats
+//! consistency; the HDC region tracks a reference model exactly.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use forhdc_cache::{
+    BlockCache, BlockReplacement, ControllerCache, HdcRegion, SegmentCache, SegmentReplacement,
+};
+use forhdc_sim::PhysBlock;
+
+/// One step of an arbitrary cache workout.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { start: u64, n: u32, requested: u32 },
+    Touch(u64),
+    Lookup { start: u64, n: u32 },
+}
+
+fn op_strategy(space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..space, 1u32..40).prop_map(|(start, n)| {
+            Op::Insert { start, n, requested: n / 2 }
+        }),
+        (0..space).prop_map(Op::Touch),
+        (0..space, 1u32..8).prop_map(|(start, n)| Op::Lookup { start, n }),
+    ]
+}
+
+fn workout(cache: &mut dyn ControllerCache, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Insert { start, n, requested } => {
+                cache.insert_run(PhysBlock::new(start), n, requested)
+            }
+            Op::Touch(b) => {
+                cache.touch(PhysBlock::new(b));
+            }
+            Op::Lookup { start, n } => {
+                cache.lookup_extent(PhysBlock::new(start), n);
+            }
+        }
+    }
+}
+
+fn check_invariants(cache: &dyn ControllerCache) {
+    assert!(cache.resident_blocks() <= cache.capacity_blocks());
+    let s = cache.stats();
+    assert!(s.block_hits <= s.block_lookups);
+    assert!(s.extent_hits <= s.extent_lookups);
+    assert!(s.ra_used <= s.ra_inserted);
+    assert!(s.insertions >= s.evictions || cache.resident_blocks() > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn block_cache_invariants(
+        ops in prop::collection::vec(op_strategy(500), 1..300),
+        capacity in 1u32..128,
+        mru in any::<bool>(),
+    ) {
+        let policy = if mru { BlockReplacement::Mru } else { BlockReplacement::Lru };
+        let mut cache = BlockCache::new(capacity, policy);
+        workout(&mut cache, &ops);
+        check_invariants(&cache);
+        // A final insert-then-contains always holds for the demanded
+        // block (it was just placed or refreshed).
+        cache.insert_run(PhysBlock::new(9_999), 1, 1);
+        prop_assert!(cache.contains(PhysBlock::new(9_999)));
+    }
+
+    #[test]
+    fn segment_cache_invariants(
+        ops in prop::collection::vec(op_strategy(500), 1..300),
+        segments in 1u32..32,
+        seg_blocks in 1u32..64,
+    ) {
+        let mut cache = SegmentCache::new(segments, seg_blocks, SegmentReplacement::Lru);
+        workout(&mut cache, &ops);
+        check_invariants(&cache);
+    }
+
+    /// Hit after insert: any block of a freshly inserted run is
+    /// resident until the next insertion.
+    #[test]
+    fn freshly_inserted_runs_are_resident(
+        start in 0u64..1_000,
+        n in 1u32..32,
+    ) {
+        let mut cache = BlockCache::new(64, BlockReplacement::Mru);
+        let n = n.min(64);
+        cache.insert_run(PhysBlock::new(start), n, n);
+        for i in 0..n as u64 {
+            prop_assert!(cache.contains(PhysBlock::new(start + i)));
+        }
+    }
+
+    /// The HDC region behaves exactly like a bounded map with dirty
+    /// bits.
+    #[test]
+    fn hdc_matches_reference_model(
+        ops in prop::collection::vec((0u8..5, 0u64..64), 1..200),
+        capacity in 1u32..32,
+    ) {
+        let mut hdc = HdcRegion::new(capacity);
+        let mut model: HashMap<u64, bool> = HashMap::new();
+        for (kind, block) in ops {
+            let b = PhysBlock::new(block);
+            match kind {
+                0 => {
+                    let ok = hdc.pin(b).is_ok();
+                    let model_ok =
+                        model.contains_key(&block) || (model.len() as u32) < capacity;
+                    prop_assert_eq!(ok, model_ok);
+                    if ok {
+                        model.entry(block).or_insert(false);
+                    }
+                }
+                1 => {
+                    let got = hdc.unpin(b);
+                    let expect = model.remove(&block);
+                    prop_assert_eq!(got, expect);
+                }
+                2 => {
+                    prop_assert_eq!(hdc.read(b), model.contains_key(&block));
+                }
+                3 => {
+                    let hit = hdc.write(b);
+                    prop_assert_eq!(hit, model.contains_key(&block));
+                    if hit {
+                        model.insert(block, true);
+                    }
+                }
+                _ => {
+                    let mut dirty: Vec<u64> = model
+                        .iter()
+                        .filter_map(|(&k, &d)| d.then_some(k))
+                        .collect();
+                    dirty.sort();
+                    let flushed: Vec<u64> =
+                        hdc.flush().into_iter().map(|p| p.index()).collect();
+                    prop_assert_eq!(flushed, dirty);
+                    for v in model.values_mut() {
+                        *v = false;
+                    }
+                }
+            }
+            prop_assert_eq!(hdc.len() as usize, model.len());
+            prop_assert_eq!(
+                hdc.dirty_count() as usize,
+                model.values().filter(|&&d| d).count()
+            );
+        }
+    }
+}

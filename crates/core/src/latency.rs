@@ -1,0 +1,219 @@
+//! Response-time distribution tracking.
+//!
+//! The paper reports aggregate I/O time; a storage engineer also wants
+//! the tail. [`LatencyHistogram`] is a compact log-bucketed histogram
+//! (no allocation per sample) recording every host request's response
+//! time; the [`crate::Report`] carries one and exposes percentiles.
+
+use std::fmt;
+
+use forhdc_sim::SimDuration;
+
+/// Log-bucketed latency histogram: 1-µs resolution at the bottom,
+/// ~4 % relative resolution throughout (16 sub-buckets per octave).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Bucket `i` counts samples with `index(sample) == i`.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+const SUB_BUCKETS: u64 = 16;
+const BASE_NS: u64 = 1_000; // 1 µs floor
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: Vec::new(), count: 0, sum_ns: 0, max_ns: 0 }
+    }
+
+    fn index(ns: u64) -> usize {
+        if ns < BASE_NS {
+            return 0;
+        }
+        let octave = (ns / BASE_NS).ilog2() as u64;
+        let lower = BASE_NS << octave;
+        let sub = (ns - lower) * SUB_BUCKETS / lower;
+        (octave * SUB_BUCKETS + sub) as usize + 1
+    }
+
+    /// Lower bound of bucket `i` in nanoseconds.
+    fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            return 0;
+        }
+        let i = i as u64 - 1;
+        let octave = i / SUB_BUCKETS;
+        let sub = i % SUB_BUCKETS;
+        let lower = BASE_NS << octave;
+        lower + lower * sub / SUB_BUCKETS
+    }
+
+    /// Records one response time.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let idx = Self::index(ns);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean response time ([`SimDuration::ZERO`] when empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a bucket lower bound —
+    /// accurate to the histogram's ~4 % resolution. Returns
+    /// [`SimDuration::ZERO`] when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return SimDuration::from_nanos(Self::bucket_floor(i));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50 {} / p95 {} / p99 {} / max {} over {} samples",
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+            self.max(),
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.5), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_dominates_all_quantiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(ms(5));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q).as_millis_f64();
+            assert!((v - 5.0).abs() / 5.0 < 0.07, "q={q}: {v}");
+        }
+        assert_eq!(h.mean(), ms(5));
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1_000u64 {
+            h.record(SimDuration::from_micros(i * 10)); // 10 µs .. 10 ms
+        }
+        let p50 = h.quantile(0.5).as_millis_f64();
+        assert!((p50 - 5.0).abs() < 0.5, "p50 {p50}");
+        let p95 = h.quantile(0.95).as_millis_f64();
+        assert!((p95 - 9.5).abs() < 0.6, "p95 {p95}");
+        assert!(h.quantile(0.99) <= h.max());
+        assert!((h.mean().as_millis_f64() - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn resolution_is_about_four_percent() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(1_234));
+        let v = h.quantile(1.0).as_nanos() as f64;
+        let err = (v - 1_234_000.0).abs() / 1_234_000.0;
+        assert!(err < 0.07, "resolution error {err}");
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = LatencyHistogram::new();
+        a.record(ms(1));
+        let mut b = LatencyHistogram::new();
+        b.record(ms(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.quantile(0.25).as_millis_f64() < 2.0);
+        assert!(a.quantile(1.0).as_millis_f64() > 90.0);
+    }
+
+    #[test]
+    fn sub_microsecond_lands_in_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_nanos(10));
+        assert_eq!(h.quantile(1.0), SimDuration::ZERO); // floor of bucket 0
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn bad_quantile_panics() {
+        LatencyHistogram::new().quantile(1.5);
+    }
+}

@@ -1,0 +1,80 @@
+//! The read-ahead disciplines compared in the paper's evaluation.
+
+use std::fmt;
+
+/// Which read-ahead technique (and cache organization) a controller
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReadAheadKind {
+    /// The conventional drive: blind read-ahead filling a segment of
+    /// the segment-organized cache (`Segm` in the figures).
+    #[default]
+    BlindSegment,
+    /// Blind read-ahead over the block-organized cache (`Block`).
+    BlindBlock,
+    /// Read-ahead disabled, block-organized cache (`No-RA`).
+    None,
+    /// File-Oriented Read-ahead: bitmap-bounded read-ahead over the
+    /// block-organized cache with MRU replacement (`FOR`).
+    For,
+    /// Partial-track buffering (Shriver 97, cited in §2.1): blind
+    /// read-ahead that stops at the end of the current physical track,
+    /// over the block-organized cache. A classic controller policy
+    /// included as an extra baseline.
+    PartialTrack,
+}
+
+impl ReadAheadKind {
+    /// The figure label the paper uses.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadAheadKind::BlindSegment => "Segm",
+            ReadAheadKind::BlindBlock => "Block",
+            ReadAheadKind::None => "No-RA",
+            ReadAheadKind::For => "FOR",
+            ReadAheadKind::PartialTrack => "Track",
+        }
+    }
+
+    /// Whether this discipline uses the block-based cache organization.
+    pub fn uses_block_cache(self) -> bool {
+        !matches!(self, ReadAheadKind::BlindSegment)
+    }
+
+    /// Whether this discipline needs the FOR continuation bitmap.
+    pub fn needs_bitmap(self) -> bool {
+        matches!(self, ReadAheadKind::For)
+    }
+}
+
+impl fmt::Display for ReadAheadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(ReadAheadKind::BlindSegment.to_string(), "Segm");
+        assert_eq!(ReadAheadKind::BlindBlock.to_string(), "Block");
+        assert_eq!(ReadAheadKind::None.to_string(), "No-RA");
+        assert_eq!(ReadAheadKind::For.to_string(), "FOR");
+        assert_eq!(ReadAheadKind::PartialTrack.to_string(), "Track");
+        assert!(ReadAheadKind::PartialTrack.uses_block_cache());
+        assert!(!ReadAheadKind::PartialTrack.needs_bitmap());
+    }
+
+    #[test]
+    fn organization_flags() {
+        assert!(!ReadAheadKind::BlindSegment.uses_block_cache());
+        assert!(ReadAheadKind::BlindBlock.uses_block_cache());
+        assert!(ReadAheadKind::None.uses_block_cache());
+        assert!(ReadAheadKind::For.uses_block_cache());
+        assert!(ReadAheadKind::For.needs_bitmap());
+        assert!(!ReadAheadKind::BlindBlock.needs_bitmap());
+    }
+}

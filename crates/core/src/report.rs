@@ -1,0 +1,233 @@
+//! Measurement report of one full-system run.
+
+use std::fmt;
+
+use forhdc_cache::{CacheStats, HdcStats};
+use forhdc_sim::{DiskStats, SimDuration};
+
+use crate::latency::LatencyHistogram;
+use crate::policy::ReadAheadKind;
+
+/// Everything a figure needs from one simulation run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Workload label.
+    pub workload: String,
+    /// Read-ahead discipline that ran.
+    pub policy: ReadAheadKind,
+    /// HDC memory per disk, bytes (0 = HDC off).
+    pub hdc_bytes_per_disk: u64,
+    /// Total I/O time: completion instant of the last request (the
+    /// quantity plotted in Figures 3–12).
+    pub io_time: SimDuration,
+    /// Host requests completed.
+    pub requests: u64,
+    /// Payload bytes the host demanded (excludes read-ahead).
+    pub payload_bytes: u64,
+    /// Merged read-ahead-cache statistics.
+    pub cache: CacheStats,
+    /// Merged HDC statistics.
+    pub hdc: HdcStats,
+    /// Merged mechanical statistics.
+    pub disk: DiskStats,
+    /// Per-disk busy times (load-balance diagnostics).
+    pub per_disk_busy: Vec<SimDuration>,
+    /// Time the shared bus was held.
+    pub bus_busy: SimDuration,
+    /// Time transfers waited for the bus.
+    pub bus_wait: SimDuration,
+    /// Mean host-request response time.
+    pub mean_response: SimDuration,
+    /// Worst host-request response time.
+    pub max_response: SimDuration,
+    /// Full response-time distribution (log-bucketed, ~4 % resolution).
+    pub latency: LatencyHistogram,
+    /// Read extents served by the cooperative pin set (0 unless
+    /// cooperative HDC was enabled).
+    pub coop_hits: u64,
+    /// Total FOR bitmap bits scanned (0 for non-FOR runs).
+    pub bitmap_scans: u64,
+}
+
+impl Report {
+    /// Payload throughput in MB/s (0 when no time elapsed). This is the
+    /// "disk throughput" of the paper's title: since the servers are
+    /// I/O-bound and the log is replayed flat-out, throughput is
+    /// inversely proportional to I/O time.
+    pub fn throughput_mbps(&self) -> f64 {
+        if self.io_time == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.payload_bytes as f64 / 1e6 / self.io_time.as_secs_f64()
+    }
+
+    /// Completed requests per second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.io_time == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.requests as f64 / self.io_time.as_secs_f64()
+    }
+
+    /// This run's I/O time normalized to `base` (the paper's Y axis in
+    /// Figures 3–6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` took zero time.
+    pub fn normalized_io_time(&self, base: &Report) -> f64 {
+        assert!(base.io_time > SimDuration::ZERO, "cannot normalize to a zero-time run");
+        self.io_time.as_nanos() as f64 / base.io_time.as_nanos() as f64
+    }
+
+    /// Throughput improvement over `base` (`base.io_time / io_time − 1`;
+    /// Table 2 reports these percentages).
+    pub fn improvement_over(&self, base: &Report) -> f64 {
+        base.io_time.as_nanos() as f64 / self.io_time.as_nanos() as f64 - 1.0
+    }
+
+    /// Mean disk utilization over the run, in `[0, 1]`.
+    pub fn mean_disk_utilization(&self) -> f64 {
+        if self.io_time == SimDuration::ZERO || self.per_disk_busy.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .per_disk_busy
+            .iter()
+            .map(|b| b.as_nanos() as f64 / self.io_time.as_nanos() as f64)
+            .sum();
+        (total / self.per_disk_busy.len() as f64).min(1.0)
+    }
+
+    /// Load imbalance: max over mean per-disk busy time (1.0 = perfect).
+    pub fn load_imbalance(&self) -> f64 {
+        if self.per_disk_busy.is_empty() {
+            return 1.0;
+        }
+        let max = self.per_disk_busy.iter().map(|b| b.as_nanos()).max().unwrap_or(0) as f64;
+        let mean = self.per_disk_busy.iter().map(|b| b.as_nanos()).sum::<u64>() as f64
+            / self.per_disk_busy.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// HDC hit rate as the paper reports it (reads + writes).
+    pub fn hdc_hit_rate(&self) -> f64 {
+        self.hdc.hit_rate()
+    }
+
+    /// Label of the configuration, e.g. `FOR+HDC`.
+    pub fn label(&self) -> String {
+        if self.hdc_bytes_per_disk > 0 {
+            format!("{}+HDC", self.policy)
+        } else {
+            self.policy.to_string()
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {} requests on {}", self.label(), self.requests, self.workload)?;
+        writeln!(
+            f,
+            "  io_time {}  throughput {:.2} MB/s  {:.0} req/s",
+            self.io_time,
+            self.throughput_mbps(),
+            self.requests_per_sec()
+        )?;
+        writeln!(
+            f,
+            "  cache: {}  util {:.1}%  imbalance {:.2}",
+            self.cache,
+            100.0 * self.mean_disk_utilization(),
+            self.load_imbalance()
+        )?;
+        if self.hdc_bytes_per_disk > 0 {
+            writeln!(f, "  {}", self.hdc)?;
+        }
+        writeln!(f, "  latency: {}", self.latency)?;
+        write!(
+            f,
+            "  media: {} ops, {} blocks read ({} RA), {} written",
+            self.disk.media_ops,
+            self.disk.blocks_read,
+            self.disk.read_ahead_blocks,
+            self.disk.blocks_written
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(io_ms: u64) -> Report {
+        Report {
+            workload: "test".into(),
+            policy: ReadAheadKind::For,
+            hdc_bytes_per_disk: 0,
+            io_time: SimDuration::from_millis(io_ms),
+            requests: 100,
+            payload_bytes: 1_000_000,
+            cache: CacheStats::default(),
+            hdc: HdcStats::default(),
+            disk: DiskStats::default(),
+            per_disk_busy: vec![SimDuration::from_millis(io_ms / 2); 4],
+            bus_busy: SimDuration::ZERO,
+            bus_wait: SimDuration::ZERO,
+            mean_response: SimDuration::from_millis(1),
+            max_response: SimDuration::from_millis(2),
+            latency: LatencyHistogram::new(),
+            coop_hits: 0,
+            bitmap_scans: 0,
+        }
+    }
+
+    #[test]
+    fn throughput_and_rates() {
+        let r = report(1000);
+        assert!((r.throughput_mbps() - 1.0).abs() < 1e-9);
+        assert!((r.requests_per_sec() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_and_improvement() {
+        let base = report(1000);
+        let faster = report(600);
+        assert!((faster.normalized_io_time(&base) - 0.6).abs() < 1e-9);
+        assert!((faster.improvement_over(&base) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((base.normalized_io_time(&base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_and_imbalance() {
+        let r = report(1000);
+        assert!((r.mean_disk_utilization() - 0.5).abs() < 1e-9);
+        assert!((r.load_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels() {
+        let mut r = report(1);
+        assert_eq!(r.label(), "FOR");
+        r.hdc_bytes_per_disk = 2 * 1024 * 1024;
+        assert_eq!(r.label(), "FOR+HDC");
+    }
+
+    #[test]
+    fn zero_time_degenerates_gracefully() {
+        let r = report(0);
+        assert_eq!(r.throughput_mbps(), 0.0);
+        assert_eq!(r.requests_per_sec(), 0.0);
+        assert_eq!(r.mean_disk_utilization(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_label() {
+        assert!(report(5).to_string().contains("[FOR]"));
+    }
+}

@@ -1,0 +1,995 @@
+//! The full-system simulation: disk array + controllers + bus + host
+//! streams, driven by a deterministic event loop.
+//!
+//! This is the experiment vehicle of §6: a workload's disk-level trace
+//! is replayed closed-loop by `S` streams over the 8-disk Ultra160
+//! array, and the total I/O time (completion of the last request) is
+//! the figure of merit. "Contention for buses, memories, and other
+//! components is simulated in detail. For request scheduling, each disk
+//! controller has a queue that implements the LOOK algorithm. Before
+//! queuing a new request, the disk controller checks the cache."
+
+use std::collections::HashMap;
+
+use forhdc_cache::{BlockReplacement, SegmentReplacement};
+use forhdc_host::StreamDriver;
+use forhdc_layout::build_disk_bitmaps;
+use forhdc_sim::sched::{make_scheduler, DiskScheduler, QueuedOp};
+use forhdc_sim::{
+    ArrayConfig, BusModel, DiskId, DiskMechanics, DiskStats, EventQueue, ReadWrite,
+    SchedulerKind, SimDuration, SimTime, StreamId, StripingMap,
+};
+use forhdc_workload::{TraceRequest, Workload};
+
+use crate::controller::{ControllerDecision, DiskController};
+use crate::planner::{plan_cooperative, plan_top_misses, CoopPlan, HdcPlan};
+use crate::victim::HdcCommand;
+use crate::policy::ReadAheadKind;
+use crate::report::Report;
+
+/// Configuration of one experimental system (one curve point).
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The array hardware (Table 1 defaults).
+    pub array: ArrayConfig,
+    /// Read-ahead discipline.
+    pub read_ahead: ReadAheadKind,
+    /// Host-guided cache per disk, in bytes (0 = HDC off).
+    pub hdc_bytes_per_disk: u64,
+    /// Block-cache replacement (MRU per §4; LRU for ablation).
+    pub block_replacement: BlockReplacement,
+    /// Segment-cache replacement (LRU conventional; others for
+    /// ablation).
+    pub segment_replacement: SegmentReplacement,
+    /// Cooperative HDC (§5's future-work remark): the pinned set is
+    /// planned *globally*; blocks whose home controller is full
+    /// overflow into sibling controllers and are served over the bus
+    /// like any other controller-cache hit. Only meaningful with
+    /// `hdc_bytes_per_disk > 0`.
+    pub cooperative_hdc: bool,
+    /// Periodic `flush_hdc()` interval. `None` reproduces the paper's
+    /// default (dirty HDC blocks written only at the end of the run);
+    /// `Some(30 s)` models the Unix sync policy whose throughput cost
+    /// the paper measured at under 1 %. Flush write-backs are charged
+    /// as real media operations.
+    pub hdc_flush_period: Option<SimDuration>,
+}
+
+impl SystemConfig {
+    fn with_policy(read_ahead: ReadAheadKind) -> Self {
+        SystemConfig {
+            array: ArrayConfig::default(),
+            read_ahead,
+            hdc_bytes_per_disk: 0,
+            block_replacement: BlockReplacement::Mru,
+            segment_replacement: SegmentReplacement::Lru,
+            cooperative_hdc: false,
+            hdc_flush_period: None,
+        }
+    }
+
+    /// The conventional drive: segment cache + blind read-ahead
+    /// (`Segm`).
+    pub fn segm() -> Self {
+        SystemConfig::with_policy(ReadAheadKind::BlindSegment)
+    }
+
+    /// Blind read-ahead over the block-organized cache (`Block`).
+    pub fn block() -> Self {
+        SystemConfig::with_policy(ReadAheadKind::BlindBlock)
+    }
+
+    /// Read-ahead disabled (`No-RA`).
+    pub fn no_ra() -> Self {
+        SystemConfig::with_policy(ReadAheadKind::None)
+    }
+
+    /// File-Oriented Read-ahead (`FOR`).
+    pub fn for_() -> Self {
+        SystemConfig::with_policy(ReadAheadKind::For)
+    }
+
+    /// Partial-track read-ahead (`Track`, Shriver 97 — an extra
+    /// baseline beyond the paper's four systems).
+    pub fn partial_track() -> Self {
+        SystemConfig::with_policy(ReadAheadKind::PartialTrack)
+    }
+
+    /// Dedicates `bytes` of each controller cache to HDC.
+    pub fn with_hdc(mut self, bytes: u64) -> Self {
+        self.hdc_bytes_per_disk = bytes;
+        self
+    }
+
+    /// Sets the striping unit in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is zero or misaligned (see
+    /// [`ArrayConfig::with_striping_unit_bytes`]).
+    pub fn with_striping_unit(mut self, bytes: u32) -> Self {
+        self.array = self.array.with_striping_unit_bytes(bytes);
+        self
+    }
+
+    /// Sets the per-disk scheduler (ablation).
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.array.scheduler = kind;
+        self
+    }
+
+    /// Sets the segment size (and Table 1 segment count).
+    pub fn with_segment_bytes(mut self, bytes: u32) -> Self {
+        self.array.disk = self.array.disk.with_segment_bytes(bytes);
+        self
+    }
+
+    /// Sets the cache replacement policies (ablation).
+    pub fn with_replacement(
+        mut self,
+        block: BlockReplacement,
+        segment: SegmentReplacement,
+    ) -> Self {
+        self.block_replacement = block;
+        self.segment_replacement = segment;
+        self
+    }
+
+    /// Enables the Ultrastar-like zoned-recording profile (outer
+    /// cylinders transfer faster; Table 1's 54 MB/s stays the average).
+    pub fn with_zoned_recording(mut self) -> Self {
+        self.array.disk = self.array.disk.with_zoned_recording();
+        self
+    }
+
+    /// Enables RAID-1 mirroring over adjacent disk pairs (§2.2:
+    /// redundancy for reliable servers). Reads go to the closest copy;
+    /// writes to both members.
+    pub fn with_mirroring(mut self) -> Self {
+        self.array.mirrored = true;
+        self
+    }
+
+    /// Enables cooperative HDC planning (global top-K with overflow
+    /// into sibling controllers).
+    pub fn with_cooperative_hdc(mut self) -> Self {
+        self.cooperative_hdc = true;
+        self
+    }
+
+    /// Enables periodic HDC flushing every `period` (e.g. the Unix
+    /// 30-second sync).
+    pub fn with_hdc_flush_period(mut self, period: SimDuration) -> Self {
+        self.hdc_flush_period = Some(period);
+        self
+    }
+
+    /// HDC capacity per disk in blocks.
+    pub fn hdc_blocks(&self) -> u32 {
+        (self.hdc_bytes_per_disk / self.array.disk.block_bytes() as u64) as u32
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::segm()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    MediaDone { disk: DiskId },
+    SubDone { req: u64 },
+    HdcFlush,
+}
+
+/// Tokens at or above this mark internal flush write-backs: they carry
+/// no host request, so no bus transfer or completion is due.
+const FLUSH_TOKEN_BASE: u64 = 1 << 63;
+
+#[derive(Debug)]
+struct CurrentOp {
+    token: u64,
+    kind: ReadWrite,
+    start: forhdc_sim::PhysBlock,
+    total: u32,
+    requested: u32,
+    timing: forhdc_sim::ServiceTiming,
+}
+
+struct DiskState {
+    mech: DiskMechanics,
+    sched: Box<dyn DiskScheduler>,
+    ctl: DiskController,
+    stats: DiskStats,
+    busy: bool,
+    current: Option<CurrentOp>,
+    /// Extra metadata for queued ops (requested prefix of the extended
+    /// extent), keyed by (token) — one extent per disk per request.
+    op_meta: HashMap<u64, u32>,
+}
+
+impl std::fmt::Debug for DiskState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskState")
+            .field("busy", &self.busy)
+            .field("queued", &self.sched.len())
+            .finish()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingReq {
+    stream: StreamId,
+    remaining: u32,
+    issued_at: SimTime,
+}
+
+/// A fully assembled system ready to replay one workload.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_core::{System, SystemConfig};
+/// use forhdc_workload::SyntheticWorkload;
+///
+/// let wl = SyntheticWorkload::builder().requests(100).files(1_000).seed(3).build();
+/// let report = System::new(SystemConfig::for_().with_hdc(2 * 1024 * 1024), &wl).run();
+/// assert_eq!(report.requests, wl.trace.len() as u64);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    striping: StripingMap,
+    disks: Vec<DiskState>,
+    bus: BusModel,
+    queue: EventQueue<Event>,
+    driver: StreamDriver,
+    pending: HashMap<u64, PendingReq>,
+    next_req: u64,
+    workload_name: String,
+    payload_bytes: u64,
+    response_sum: SimDuration,
+    response_max: SimDuration,
+    completed: u64,
+    last_completion: SimTime,
+    /// Host HDC commands to apply before the issue with the given
+    /// sequence number (victim-cache mode).
+    hdc_commands: HashMap<u64, Vec<HdcCommand>>,
+    issued_count: u64,
+    latency: crate::latency::LatencyHistogram,
+    /// Overflow pins of the cooperative plan: (home virtual disk, phys
+    /// block) → holder. Reads covered by home HDC ∪ this map are bus
+    /// hits.
+    coop_overflow: HashMap<(u16, u64), u16>,
+    coop_hits: u64,
+}
+
+impl System {
+    /// Assembles a system for `cfg` serving `workload`, planning the
+    /// HDC contents from the trace (perfect knowledge, as in §6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload footprint exceeds the array capacity.
+    pub fn new(cfg: SystemConfig, workload: &Workload) -> Self {
+        let striping =
+            StripingMap::new(cfg.array.virtual_disks(), cfg.array.striping_unit_blocks());
+        if cfg.cooperative_hdc && cfg.hdc_blocks() > 0 {
+            let coop = plan_cooperative(&workload.trace, &striping, cfg.hdc_blocks());
+            return System::with_coop_plan(cfg, workload, coop);
+        }
+        let plan = if cfg.hdc_blocks() > 0 {
+            plan_top_misses(&workload.trace, &striping, cfg.hdc_blocks())
+        } else {
+            HdcPlan::empty(cfg.array.virtual_disks())
+        };
+        System::with_plan(cfg, workload, plan)
+    }
+
+    /// Assembles a system around a cooperative plan: home pins go into
+    /// their controllers' HDC regions; overflow pins are tracked at the
+    /// host and served as controller-cache hits from their holders.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`System::with_plan`].
+    pub fn with_coop_plan(cfg: SystemConfig, workload: &Workload, coop: CoopPlan) -> Self {
+        assert!(
+            !cfg.array.mirrored,
+            "cooperative HDC over mirrored pairs is not supported (pins address virtual disks)"
+        );
+        let plan = HdcPlan::from_per_disk(coop.home.clone());
+        let mut sys = System::with_plan(cfg, workload, plan);
+        for ((home_disk, block), holder) in coop.overflow {
+            sys.coop_overflow.insert((home_disk, block.index()), holder);
+        }
+        sys
+    }
+
+    /// Assembles a system with an explicit HDC plan (for the periodic
+    /// planner and for planning-policy ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload footprint exceeds the array capacity or
+    /// the plan covers a different disk count.
+    pub fn with_plan(cfg: SystemConfig, workload: &Workload, plan: HdcPlan) -> Self {
+        let virtual_disks = cfg.array.virtual_disks();
+        let striping = StripingMap::new(virtual_disks, cfg.array.striping_unit_blocks());
+        assert_eq!(plan.disks(), virtual_disks as usize, "plan/array disk mismatch");
+        let disk_capacity = cfg.array.disk.geometry.capacity_blocks();
+        assert!(
+            workload.layout.total_blocks() <= disk_capacity * virtual_disks as u64,
+            "workload footprint exceeds array capacity"
+        );
+        // Bitmaps and HDC plans address virtual disks; under mirroring
+        // both members of a pair hold identical data and get identical
+        // copies.
+        let bitmaps: Vec<Option<forhdc_layout::ForBitmap>> =
+            if cfg.read_ahead.needs_bitmap() {
+                build_disk_bitmaps(&workload.layout, &striping, disk_capacity)
+                    .into_iter()
+                    .map(Some)
+                    .collect()
+            } else {
+                (0..virtual_disks).map(|_| None).collect()
+            };
+        let disks: Vec<DiskState> = (0..cfg.array.disks as usize)
+            .map(|pd| {
+                let vd = if cfg.array.mirrored { pd / 2 } else { pd };
+                let mut ctl = DiskController::new(
+                    &cfg.array.disk,
+                    cfg.read_ahead,
+                    cfg.hdc_blocks(),
+                    bitmaps[vd].clone(),
+                )
+                .with_replacement(cfg.block_replacement, cfg.segment_replacement);
+                for &block in plan.blocks_for(vd) {
+                    // The initial pin loads happen before the replay and
+                    // are amortized over the period (§5), so they are
+                    // not charged to the I/O time.
+                    let pinned = ctl.pin(block);
+                    debug_assert!(pinned, "plan exceeded HDC capacity");
+                }
+                DiskState {
+                    mech: DiskMechanics::new(&cfg.array.disk),
+                    sched: make_scheduler(cfg.array.scheduler),
+                    ctl,
+                    stats: DiskStats::new(),
+                    busy: false,
+                    current: None,
+                    op_meta: HashMap::new(),
+                }
+            })
+            .collect();
+        let payload_bytes =
+            workload.trace.total_blocks() * cfg.array.disk.block_bytes() as u64;
+        let bus = BusModel::new(cfg.array.bus_rate, cfg.array.bus_overhead);
+        let driver = StreamDriver::new(&workload.trace, workload.streams);
+        System {
+            cfg,
+            striping,
+            disks,
+            bus,
+            queue: EventQueue::new(),
+            driver,
+            pending: HashMap::new(),
+            next_req: 0,
+            workload_name: workload.name.clone(),
+            payload_bytes,
+            response_sum: SimDuration::ZERO,
+            response_max: SimDuration::ZERO,
+            completed: 0,
+            last_completion: SimTime::ZERO,
+            hdc_commands: HashMap::new(),
+            issued_count: 0,
+            latency: crate::latency::LatencyHistogram::new(),
+            coop_overflow: HashMap::new(),
+            coop_hits: 0,
+        }
+    }
+
+    /// Attaches a host HDC command stream (victim-cache mode, §5):
+    /// commands mapped to issue index `k` are applied just before the
+    /// `k`-th request is issued. Pins charge a host→controller bus
+    /// transfer.
+    pub fn with_hdc_commands(mut self, commands: HashMap<u64, Vec<HdcCommand>>) -> Self {
+        self.hdc_commands = commands;
+        self
+    }
+
+    /// Runs the replay to completion and returns the report.
+    pub fn run(mut self) -> Report {
+        let initial = self.driver.start();
+        for (stream, req) in initial {
+            self.issue(stream, req, SimTime::ZERO);
+        }
+        if let Some(period) = self.cfg.hdc_flush_period {
+            if self.cfg.hdc_blocks() > 0 && !self.queue.is_empty() {
+                self.queue.schedule(SimTime::ZERO + period, Event::HdcFlush);
+            }
+        }
+        while let Some(fired) = self.queue.pop() {
+            match fired.event {
+                Event::MediaDone { disk } => self.media_done(disk, fired.time),
+                Event::SubDone { req } => self.sub_done(req, fired.time),
+                Event::HdcFlush => self.hdc_flush(fired.time),
+            }
+        }
+        // The figure of merit is the completion of the last host
+        // request; trailing internal work (a final scheduled flush) is
+        // not the workload's I/O time.
+        let io_time = self.last_completion.since(SimTime::ZERO);
+        debug_assert!(self.driver.is_done(), "trace not drained: simulator stalled");
+        self.build_report(io_time)
+    }
+
+    fn issue(&mut self, stream: StreamId, req: TraceRequest, now: SimTime) {
+        if !self.hdc_commands.is_empty() {
+            if let Some(cmds) = self.hdc_commands.remove(&self.issued_count) {
+                for cmd in cmds {
+                    self.apply_hdc_command(cmd, now);
+                }
+            }
+        }
+        self.issued_count += 1;
+        let id = self.next_req;
+        self.next_req += 1;
+        let extents = self.striping.split(req.start, req.nblocks);
+        // Under mirroring a write produces one completion per member;
+        // count the sub-completions as they are created.
+        self.pending.insert(id, PendingReq { stream, remaining: 0, issued_at: now });
+        let mut remaining = 0u32;
+        for extent in extents {
+            remaining += self.arrive(id, extent, req.kind, now);
+        }
+        self.pending.get_mut(&id).expect("just inserted").remaining = remaining;
+    }
+
+    /// The physical members backing a virtual disk.
+    fn members(&self, vd: usize) -> Vec<usize> {
+        if self.cfg.array.mirrored {
+            vec![2 * vd, 2 * vd + 1]
+        } else {
+            vec![vd]
+        }
+    }
+
+    /// Picks the mirror member to serve a read: a member that already
+    /// caches the extent ("closest copy"), else the less-loaded one.
+    fn pick_read_member(&self, vd: usize, start: forhdc_sim::PhysBlock, nblocks: u32) -> usize {
+        let a = 2 * vd;
+        let b = 2 * vd + 1;
+        if self.disks[a].ctl.covers(start, nblocks) {
+            return a;
+        }
+        if self.disks[b].ctl.covers(start, nblocks) {
+            return b;
+        }
+        let load = |i: usize| self.disks[i].sched.len() + usize::from(self.disks[i].busy);
+        if load(b) < load(a) {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Applies one host HDC command: a pin moves one block of data
+    /// host→controller over the shared bus; an unpin is command-only.
+    fn apply_hdc_command(&mut self, cmd: HdcCommand, now: SimTime) {
+        match cmd {
+            HdcCommand::Pin(logical) => {
+                let (disk, phys) = self.striping.locate(logical);
+                let block_bytes = self.cfg.array.disk.block_bytes() as u64;
+                self.bus.reserve(now, block_bytes);
+                for m in self.members(disk.as_usize()) {
+                    let _ = self.disks[m].ctl.pin(phys);
+                }
+            }
+            HdcCommand::Unpin(logical) => {
+                let (disk, phys) = self.striping.locate(logical);
+                for m in self.members(disk.as_usize()) {
+                    self.disks[m].ctl.unpin(phys);
+                }
+            }
+        }
+    }
+
+    /// Routes one extent to its physical disk(s) and returns how many
+    /// sub-completions were scheduled (one normally; one per mirror
+    /// member for mirrored writes).
+    fn arrive(
+        &mut self,
+        id: u64,
+        extent: forhdc_sim::request::DiskExtent,
+        kind: ReadWrite,
+        now: SimTime,
+    ) -> u32 {
+        if !self.cfg.array.mirrored {
+            self.dispatch(id, extent.disk.as_usize(), extent.start, extent.nblocks, kind, now);
+            return 1;
+        }
+        let vd = extent.disk.as_usize();
+        match kind {
+            ReadWrite::Read => {
+                let member = self.pick_read_member(vd, extent.start, extent.nblocks);
+                self.dispatch(id, member, extent.start, extent.nblocks, kind, now);
+                1
+            }
+            ReadWrite::Write => {
+                // Both members must be updated.
+                self.dispatch(id, 2 * vd, extent.start, extent.nblocks, kind, now);
+                self.dispatch(id, 2 * vd + 1, extent.start, extent.nblocks, kind, now);
+                2
+            }
+        }
+    }
+
+    /// Presents one extent to one physical disk's controller.
+    /// Whether a read extent is fully covered by the cooperative pin
+    /// set (home HDC region plus sibling-held overflow blocks).
+    fn coop_covers(&self, disk_idx: usize, start: forhdc_sim::PhysBlock, nblocks: u32) -> bool {
+        if self.coop_overflow.is_empty() {
+            return false;
+        }
+        let home = disk_idx as u16;
+        (0..nblocks as u64).all(|i| {
+            let b = start.offset(i);
+            self.coop_overflow.contains_key(&(home, b.index()))
+                || self.disks[disk_idx].ctl.covers(b, 1)
+        })
+    }
+
+    fn dispatch(
+        &mut self,
+        id: u64,
+        disk_idx: usize,
+        start: forhdc_sim::PhysBlock,
+        nblocks: u32,
+        kind: ReadWrite,
+        now: SimTime,
+    ) {
+        let block_bytes = self.cfg.array.disk.block_bytes() as u64;
+        if kind.is_read() && self.coop_covers(disk_idx, start, nblocks) {
+            // Cooperative hit: some blocks come from sibling
+            // controllers, all over the same shared bus.
+            self.coop_hits += 1;
+            let slot = self.bus.reserve(now, nblocks as u64 * block_bytes);
+            self.queue.schedule(slot.end, Event::SubDone { req: id });
+            return;
+        }
+        let d = &mut self.disks[disk_idx];
+        match d.ctl.on_request(kind, start, nblocks) {
+            ControllerDecision::CacheHit | ControllerDecision::HdcWriteAbsorbed => {
+                // Controller memory ↔ host transfer over the shared bus.
+                let slot = self.bus.reserve(now, nblocks as u64 * block_bytes);
+                self.queue.schedule(slot.end, Event::SubDone { req: id });
+            }
+            ControllerDecision::Media { start, nblocks: total, read_ahead: _ } => {
+                let cylinder = d.mech.geometry().cylinder_of(start);
+                d.op_meta.insert(id, nblocks);
+                d.sched.push(QueuedOp { token: id, start, nblocks: total, kind, cylinder });
+                d.stats.note_queue_depth(d.sched.len());
+                if !d.busy {
+                    self.start_next(DiskId::new(disk_idx as u16), now);
+                }
+            }
+        }
+    }
+
+    fn start_next(&mut self, disk: DiskId, now: SimTime) {
+        let scan_cost = self.cfg.array.disk.bitmap_scan_per_block;
+        let is_for = self.cfg.read_ahead.needs_bitmap();
+        let d = &mut self.disks[disk.as_usize()];
+        debug_assert!(!d.busy);
+        let Some(op) = d.sched.pop_next(d.mech.head_cylinder()) else {
+            return;
+        };
+        let requested = d.op_meta.remove(&op.token).expect("queued op has metadata");
+        let timing = d.mech.service(op.kind, op.start, op.nblocks, now);
+        // Charge the FOR bitmap scan: one bit per block examined.
+        let extra = if is_for && op.kind.is_read() {
+            scan_cost * (op.nblocks as u64 + 1)
+        } else {
+            SimDuration::ZERO
+        };
+        d.busy = true;
+        d.current = Some(CurrentOp {
+            token: op.token,
+            kind: op.kind,
+            start: op.start,
+            total: op.nblocks,
+            requested,
+            timing,
+        });
+        self.queue.schedule(now + timing.total() + extra, Event::MediaDone { disk });
+    }
+
+    fn media_done(&mut self, disk: DiskId, now: SimTime) {
+        let block_bytes = self.cfg.array.disk.block_bytes() as u64;
+        let d = &mut self.disks[disk.as_usize()];
+        let op = d.current.take().expect("media completion without an op");
+        d.busy = false;
+        let ra = op.total - op.requested;
+        match op.kind {
+            ReadWrite::Read => {
+                d.stats.record_op(&op.timing, op.total as u64, 0, ra as u64)
+            }
+            ReadWrite::Write => d.stats.record_op(&op.timing, 0, op.total as u64, 0),
+        }
+        d.ctl.on_media_complete(op.kind, op.start, op.total, op.requested);
+        if op.token < FLUSH_TOKEN_BASE {
+            // Only the demanded payload crosses the bus; read-ahead
+            // stays in the controller cache. Flush write-backs move
+            // cache -> media only, so they skip both bus and completion.
+            let slot = self.bus.reserve(now, op.requested as u64 * block_bytes);
+            self.queue.schedule(slot.end, Event::SubDone { req: op.token });
+        }
+        self.start_next(disk, now);
+    }
+
+    /// Periodic `flush_hdc()`: write every dirty pinned block back to
+    /// the media, as coalesced runs, charged like any other write.
+    fn hdc_flush(&mut self, now: SimTime) {
+        for di in 0..self.disks.len() {
+            let d = &mut self.disks[di];
+            let dirty = d.ctl.flush_hdc();
+            let mut i = 0;
+            while i < dirty.len() {
+                // Coalesce physically contiguous dirty blocks.
+                let start = dirty[i];
+                let mut n = 1u32;
+                while i + (n as usize) < dirty.len()
+                    && dirty[i + n as usize] == start.offset(n as u64)
+                {
+                    n += 1;
+                }
+                i += n as usize;
+                let token = FLUSH_TOKEN_BASE + self.next_req;
+                self.next_req += 1;
+                let cylinder = d.mech.geometry().cylinder_of(start);
+                d.op_meta.insert(token, n);
+                d.sched.push(QueuedOp {
+                    token,
+                    start,
+                    nblocks: n,
+                    kind: ReadWrite::Write,
+                    cylinder,
+                });
+                d.stats.note_queue_depth(d.sched.len());
+            }
+            if !self.disks[di].busy {
+                self.start_next(DiskId::new(di as u16), now);
+            }
+        }
+        // Keep flushing while host work remains.
+        if let Some(period) = self.cfg.hdc_flush_period {
+            if !(self.pending.is_empty() && self.driver.is_done()) {
+                self.queue.schedule(now + period, Event::HdcFlush);
+            }
+        }
+    }
+
+    fn sub_done(&mut self, id: u64, now: SimTime) {
+        let p = self.pending.get_mut(&id).expect("completion for unknown request");
+        p.remaining -= 1;
+        if p.remaining > 0 {
+            return;
+        }
+        let p = self.pending.remove(&id).expect("just seen");
+        let response = now.since(p.issued_at);
+        self.response_sum += response;
+        self.response_max = self.response_max.max(response);
+        self.latency.record(response);
+        self.completed += 1;
+        self.last_completion = self.last_completion.max(now);
+        if let Some((stream, req)) = self.driver.complete(p.stream) {
+            self.issue(stream, req, now);
+        }
+    }
+
+    fn build_report(mut self, io_time: SimDuration) -> Report {
+        let mut cache = forhdc_cache::CacheStats::default();
+        let mut hdc = forhdc_cache::HdcStats::default();
+        let mut disk = DiskStats::default();
+        let mut per_disk_busy = Vec::with_capacity(self.disks.len());
+        let mut bitmap_scans = 0;
+        for d in &mut self.disks {
+            // End-of-run flush (§6.1: dirty HDC blocks are updated at the
+            // end of the execution; the paper measured the periodic-sync
+            // alternative at <1% throughput effect).
+            let _ = d.ctl.flush_hdc();
+            cache.merge(d.ctl.cache_stats());
+            hdc.merge(d.ctl.hdc_stats());
+            disk.merge(&d.stats);
+            per_disk_busy.push(d.stats.busy_time);
+            bitmap_scans += d.ctl.bitmap_scans();
+        }
+        let mean_response = if self.completed == 0 {
+            SimDuration::ZERO
+        } else {
+            self.response_sum / self.completed
+        };
+        Report {
+            workload: self.workload_name,
+            policy: self.cfg.read_ahead,
+            hdc_bytes_per_disk: self.cfg.hdc_bytes_per_disk,
+            io_time,
+            requests: self.completed,
+            payload_bytes: self.payload_bytes,
+            cache,
+            hdc,
+            disk,
+            per_disk_busy,
+            bus_busy: self.bus.busy_time(),
+            bus_wait: self.bus.wait_time(),
+            mean_response,
+            max_response: self.response_max,
+            latency: self.latency,
+            coop_hits: self.coop_hits,
+            bitmap_scans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forhdc_workload::SyntheticWorkload;
+
+    fn small_wl(seed: u64) -> Workload {
+        SyntheticWorkload::builder()
+            .requests(400)
+            .files(3_000)
+            .file_blocks(4)
+            .streams(32)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let wl = small_wl(1);
+        let r = System::new(SystemConfig::segm(), &wl).run();
+        assert_eq!(r.requests, wl.trace.len() as u64);
+        assert!(r.io_time > SimDuration::ZERO);
+        assert!(r.disk.media_ops > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let wl = small_wl(2);
+        let a = System::new(SystemConfig::for_(), &wl).run();
+        let b = System::new(SystemConfig::for_(), &wl).run();
+        assert_eq!(a.io_time, b.io_time);
+        assert_eq!(a.disk.media_ops, b.disk.media_ops);
+        assert_eq!(a.cache.block_hits, b.cache.block_hits);
+    }
+
+    #[test]
+    fn for_beats_blind_on_small_files() {
+        let wl = small_wl(3);
+        let segm = System::new(SystemConfig::segm(), &wl).run();
+        let for_ = System::new(SystemConfig::for_(), &wl).run();
+        assert!(
+            for_.io_time < segm.io_time,
+            "FOR {} !< Segm {}",
+            for_.io_time,
+            segm.io_time
+        );
+        // FOR moves far fewer speculative blocks.
+        assert!(for_.disk.read_ahead_blocks < segm.disk.read_ahead_blocks / 2);
+    }
+
+    #[test]
+    fn hdc_reduces_io_time_on_skewed_workload() {
+        let wl = SyntheticWorkload::builder()
+            .requests(600)
+            .files(3_000)
+            .file_blocks(4)
+            .zipf_alpha(0.9)
+            .streams(32)
+            .seed(4)
+            .build();
+        let base = System::new(SystemConfig::segm(), &wl).run();
+        let hdc = System::new(SystemConfig::segm().with_hdc(2 * 1024 * 1024), &wl).run();
+        assert!(hdc.io_time <= base.io_time);
+        assert!(hdc.hdc_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn no_ra_never_reads_ahead() {
+        let wl = small_wl(5);
+        let r = System::new(SystemConfig::no_ra(), &wl).run();
+        assert_eq!(r.disk.read_ahead_blocks, 0);
+    }
+
+    #[test]
+    fn writes_hit_the_media_without_hdc() {
+        let wl = SyntheticWorkload::builder()
+            .requests(300)
+            .files(2_000)
+            .write_fraction(0.5)
+            .seed(6)
+            .build();
+        let r = System::new(SystemConfig::segm(), &wl).run();
+        assert!(r.disk.blocks_written > 0);
+    }
+
+    #[test]
+    fn empty_trace_finishes_instantly() {
+        let wl = Workload {
+            name: "empty".into(),
+            layout: forhdc_layout::LayoutBuilder::new().build(&[]),
+            trace: forhdc_workload::Trace::default(),
+            streams: 4,
+        };
+        let r = System::new(SystemConfig::segm(), &wl).run();
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.io_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn striping_unit_sweep_runs() {
+        let wl = small_wl(7);
+        for unit in [16 * 1024u32, 64 * 1024, 128 * 1024] {
+            let r = System::new(SystemConfig::segm().with_striping_unit(unit), &wl).run();
+            assert_eq!(r.requests, wl.trace.len() as u64, "unit {unit}");
+        }
+    }
+
+    #[test]
+    fn periodic_flush_writes_dirty_blocks_and_costs_little() {
+        // The paper: 30-second periodic syncs cost < 1% of throughput.
+        // Proportions matter: the paper's claim holds for 30-second
+        // syncs against 100+-second runs with ~2-20% writes. This
+        // scaled-down version keeps the ratio of dirty traffic to run
+        // length comparable; the full-scale check is the repro
+        // harness's ablation-flush on the web clone.
+        let wl = SyntheticWorkload::builder()
+            .requests(3_000)
+            .files(3_000)
+            .file_blocks(4)
+            .zipf_alpha(0.9)
+            .write_fraction(0.05)
+            .streams(64)
+            .seed(9)
+            .build();
+        let lazy = System::new(SystemConfig::segm().with_hdc(2 << 20), &wl).run();
+        let periodic = System::new(
+            SystemConfig::segm()
+                .with_hdc(2 << 20)
+                .with_hdc_flush_period(SimDuration::from_secs(2)),
+            &wl,
+        )
+        .run();
+        assert_eq!(periodic.requests, lazy.requests);
+        // The skewed write workload absorbs writes into HDC and the
+        // periodic system writes them back during the run.
+        assert!(periodic.hdc.flushed > 0, "no dirty blocks flushed");
+        assert!(periodic.disk.blocks_written > lazy.disk.blocks_written);
+        let slowdown = periodic.io_time.as_nanos() as f64 / lazy.io_time.as_nanos() as f64;
+        assert!(
+            slowdown < 1.05,
+            "periodic flush cost {:.2}% at this write intensity",
+            (slowdown - 1.0) * 100.0
+        );
+    }
+
+    #[test]
+    fn partial_track_policy_lands_between_no_ra_and_blind() {
+        let wl = small_wl(10);
+        let blind = System::new(SystemConfig::block(), &wl).run();
+        let track = System::new(SystemConfig::partial_track(), &wl).run();
+        let no_ra = System::new(SystemConfig::no_ra(), &wl).run();
+        // Track-bounded read-ahead moves fewer speculative blocks than
+        // blind, more than none.
+        assert!(track.disk.read_ahead_blocks < blind.disk.read_ahead_blocks);
+        assert!(track.disk.read_ahead_blocks > no_ra.disk.read_ahead_blocks);
+    }
+
+    #[test]
+    fn mirrored_array_completes_and_doubles_writes() {
+        let wl = SyntheticWorkload::builder()
+            .requests(400)
+            .files(3_000)
+            .file_blocks(4)
+            .write_fraction(0.3)
+            .streams(32)
+            .seed(11)
+            .build();
+        let plain = System::new(SystemConfig::segm(), &wl).run();
+        let mirrored = System::new(SystemConfig::segm().with_mirroring(), &wl).run();
+        assert_eq!(mirrored.requests, wl.trace.len() as u64);
+        // Every write lands on both members.
+        let written = mirrored.disk.blocks_written;
+        assert!(
+            written >= plain.disk.blocks_written * 2 * 9 / 10,
+            "mirrored writes {written} vs plain {}",
+            plain.disk.blocks_written
+        );
+    }
+
+    #[test]
+    fn mirrored_reads_use_both_members() {
+        let wl = SyntheticWorkload::builder()
+            .requests(600)
+            .files(4_000)
+            .file_blocks(4)
+            .streams(64)
+            .seed(12)
+            .build();
+        let r = System::new(SystemConfig::segm().with_mirroring(), &wl).run();
+        // Read load balancing: no member idles while its twin works.
+        let max = r.per_disk_busy.iter().map(|b| b.as_nanos()).max().unwrap();
+        let min = r.per_disk_busy.iter().map(|b| b.as_nanos()).min().unwrap();
+        assert!(min > 0, "an entire member idled");
+        assert!(max < min * 3, "member imbalance {max} vs {min}");
+    }
+
+    #[test]
+    fn mirroring_is_deterministic_too() {
+        let wl = small_wl(13);
+        let a = System::new(SystemConfig::for_().with_mirroring(), &wl).run();
+        let b = System::new(SystemConfig::for_().with_mirroring(), &wl).run();
+        assert_eq!(a.io_time, b.io_time);
+    }
+
+    #[test]
+    fn cooperative_hdc_serves_overflow_from_siblings() {
+        // Heat concentrated on ONE disk: with 32-block units, logical
+        // units 0, 8, 16, … live on disk 0. 600 hot blocks there exceed
+        // a 256-block HDC region; the per-disk plan can pin only 256 of
+        // them, the cooperative plan pins all 600 (344 in siblings).
+        use forhdc_workload::{Trace, TraceRequest};
+        let layout = forhdc_layout::LayoutBuilder::new().build(&vec![4u32; 20_000]);
+        let mut reqs = Vec::new();
+        // Hot: blocks inside disk-0 units (unit u maps to disk u % 8).
+        for round in 0..6u64 {
+            for i in 0..600u64 {
+                let unit = (i / 32) * 8; // disk 0
+                let l = unit * 32 + i % 32 + round % 1; // stable hot set
+                reqs.push(TraceRequest {
+                    start: forhdc_sim::LogicalBlock::new(l),
+                    nblocks: 1,
+                    kind: ReadWrite::Read,
+                });
+            }
+        }
+        // Cold background spread everywhere.
+        for i in 0..1_200u64 {
+            reqs.push(TraceRequest {
+                start: forhdc_sim::LogicalBlock::new(20_000 + i * 37 % 50_000),
+                nblocks: 1,
+                kind: ReadWrite::Read,
+            });
+        }
+        let wl = Workload { name: "hot-disk".into(), layout, trace: Trace::new(reqs), streams: 64 };
+        const HDC: u64 = 1 << 20; // 256 blocks per disk
+        let per_disk = System::new(SystemConfig::segm().with_hdc(HDC), &wl).run();
+        let coop = System::new(
+            SystemConfig::segm().with_hdc(HDC).with_cooperative_hdc(),
+            &wl,
+        )
+        .run();
+        assert_eq!(coop.requests, wl.trace.len() as u64);
+        assert_eq!(per_disk.coop_hits, 0);
+        assert!(coop.coop_hits > 0, "no sibling-served hits");
+        assert!(
+            coop.io_time < per_disk.io_time,
+            "coop {} should beat per-disk {} under one-disk heat",
+            coop.io_time,
+            per_disk.io_time
+        );
+    }
+
+    #[test]
+    fn bitmap_scan_cost_charged_only_for_for() {
+        let wl = small_wl(8);
+        let segm = System::new(SystemConfig::segm(), &wl).run();
+        let for_ = System::new(SystemConfig::for_(), &wl).run();
+        assert_eq!(segm.bitmap_scans, 0);
+        assert!(for_.bitmap_scans > 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! An LRU file-system buffer cache with per-block miss accounting.
+//!
+//! The buffer cache is what makes disk-controller caches so peculiar:
+//! any block with temporal locality is absorbed here, so the accesses
+//! that reach the disk have almost none (§2.1). HDC inverts this:
+//! the host *knows* which blocks keep missing in this cache, and pins
+//! exactly those in the controller memories (§5).
+
+use std::collections::HashMap;
+
+use forhdc_sim::{LogicalBlock, ReadWrite};
+
+/// Outcome of one buffer-cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferAccess {
+    /// Served from memory; the disk is not involved.
+    Hit,
+    /// The block must be read from (or, for a write in write-through
+    /// accounting, written to) the disk.
+    Miss,
+}
+
+impl BufferAccess {
+    /// Returns `true` for [`BufferAccess::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, BufferAccess::Hit)
+    }
+}
+
+/// A fixed-capacity LRU buffer cache over logical blocks.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_host::BufferCache;
+/// use forhdc_sim::{LogicalBlock, ReadWrite};
+///
+/// let mut bc = BufferCache::new(2);
+/// assert!(!bc.access(LogicalBlock::new(1), ReadWrite::Read).is_hit());
+/// assert!(bc.access(LogicalBlock::new(1), ReadWrite::Read).is_hit());
+/// ```
+#[derive(Debug)]
+pub struct BufferCache {
+    map: HashMap<LogicalBlock, u64>,
+    order: std::collections::BTreeSet<(u64, LogicalBlock)>,
+    capacity: u64,
+    clock: u64,
+    miss_counts: HashMap<LogicalBlock, u32>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferCache {
+    /// Creates an empty cache of `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "buffer cache capacity must be positive");
+        BufferCache {
+            map: HashMap::new(),
+            order: std::collections::BTreeSet::new(),
+            capacity,
+            clock: 0,
+            miss_counts: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses one block; on a miss the block is brought in (evicting
+    /// the LRU block if needed) and the block's miss count increments.
+    /// Reads and writes are treated alike for residency (a write miss
+    /// allocates), which matches the paper's logs containing both.
+    pub fn access(&mut self, block: LogicalBlock, kind: ReadWrite) -> BufferAccess {
+        let _ = kind;
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(old) = self.map.get_mut(&block) {
+            self.order.remove(&(*old, block));
+            *old = stamp;
+            self.order.insert((stamp, block));
+            self.hits += 1;
+            return BufferAccess::Hit;
+        }
+        self.misses += 1;
+        *self.miss_counts.entry(block).or_insert(0) += 1;
+        if self.map.len() as u64 >= self.capacity {
+            if let Some(&(s, victim)) = self.order.iter().next() {
+                self.order.remove(&(s, victim));
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(block, stamp);
+        self.order.insert((stamp, block));
+        BufferAccess::Miss
+    }
+
+    /// Inserts a block without counting a miss (used for prefetched
+    /// blocks: the disk access is charged to the prefetch, not to the
+    /// later demand access).
+    pub fn install(&mut self, block: LogicalBlock) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(old) = self.map.get_mut(&block) {
+            self.order.remove(&(*old, block));
+            *old = stamp;
+            self.order.insert((stamp, block));
+            return;
+        }
+        if self.map.len() as u64 >= self.capacity {
+            if let Some(&(s, victim)) = self.order.iter().next() {
+                self.order.remove(&(s, victim));
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(block, stamp);
+        self.order.insert((stamp, block));
+    }
+
+    /// Whether `block` is resident.
+    pub fn contains(&self, block: LogicalBlock) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    /// Resident block count.
+    pub fn len(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 before any access).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The `top` blocks by miss count, descending (ties by block
+    /// number, deterministic) — the HDC planner's raw input.
+    pub fn top_missing_blocks(&self, top: usize) -> Vec<(LogicalBlock, u32)> {
+        let mut v: Vec<(LogicalBlock, u32)> =
+            self.miss_counts.iter().map(|(&b, &c)| (b, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(top);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: u64) -> LogicalBlock {
+        LogicalBlock::new(n)
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = BufferCache::new(2);
+        c.access(b(1), ReadWrite::Read);
+        c.access(b(2), ReadWrite::Read);
+        c.access(b(1), ReadWrite::Read); // 1 is now MRU
+        c.access(b(3), ReadWrite::Read); // evicts 2
+        assert!(c.contains(b(1)));
+        assert!(!c.contains(b(2)));
+        assert!(c.contains(b(3)));
+    }
+
+    #[test]
+    fn miss_counts_accumulate_per_block() {
+        let mut c = BufferCache::new(1);
+        c.access(b(1), ReadWrite::Read); // miss
+        c.access(b(2), ReadWrite::Read); // miss, evicts 1
+        c.access(b(1), ReadWrite::Read); // miss again
+        let top = c.top_missing_blocks(10);
+        assert_eq!(top[0], (b(1), 2));
+        assert_eq!(top[1], (b(2), 1));
+        assert_eq!(c.misses(), 3);
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn install_does_not_count_misses() {
+        let mut c = BufferCache::new(4);
+        c.install(b(5));
+        assert!(c.contains(b(5)));
+        assert_eq!(c.misses(), 0);
+        assert!(c.access(b(5), ReadWrite::Read).is_hit());
+        assert_eq!(c.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn writes_allocate() {
+        let mut c = BufferCache::new(4);
+        assert!(!c.access(b(7), ReadWrite::Write).is_hit());
+        assert!(c.access(b(7), ReadWrite::Read).is_hit());
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = BufferCache::new(8);
+        for i in 0..100 {
+            c.access(b(i), ReadWrite::Read);
+            assert!(c.len() <= 8);
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.capacity(), 8);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn hit_rate_zero_before_accesses() {
+        assert_eq!(BufferCache::new(1).hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BufferCache::new(0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # forhdc-host
+//!
+//! Host-side models: everything between the application and the disk
+//! array.
+//!
+//! The paper's disk logs are captured *below* the application and
+//! file-system buffer caches of an instrumented Linux 2.4.18 kernel
+//! (§6.3). This crate models that stack so file-level request streams
+//! can be turned into disk-level traces, and so the HDC planner can ask
+//! "which blocks cause the most buffer-cache misses":
+//!
+//! * [`BufferCache`] — an LRU file-system buffer cache with per-block
+//!   miss accounting.
+//! * [`SequentialPrefetcher`] — the classic UNIX sequential prefetch
+//!   ramp (§2.3): the prefetch window grows with detected sequentiality
+//!   up to 64 KBytes and collapses on random accesses.
+//! * [`coalesce`] — request coalescing: accesses to consecutive blocks
+//!   within a 2-msec window merge into one disk request (§6.3).
+//! * [`StreamDriver`] — the closed-loop replay engine: `S` concurrent
+//!   streams pull requests from the log "as fast as possible" (§6.1).
+//! * [`pipeline`] — glue: file-level accesses → prefetch → buffer
+//!   cache → coalescing → disk-level [`forhdc_workload::Trace`].
+
+pub mod buffer_cache;
+pub mod coalesce;
+pub mod pipeline;
+pub mod prefetch;
+pub mod streams;
+
+pub use buffer_cache::BufferCache;
+pub use prefetch::SequentialPrefetcher;
+pub use streams::StreamDriver;

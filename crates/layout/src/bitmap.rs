@@ -1,0 +1,264 @@
+//! The FOR continuation bitmap (section 4 of the paper).
+//!
+//! One bit per physical disk block; bit `p` is set iff block `p` is the
+//! logical continuation *within a file* of the physically preceding
+//! block `p − 1` on the same disk. The read-ahead decision is then a
+//! run of 1-bits: "from the location of the block that missed in the
+//! cache, we only need to count the number of bits until a 0 bit is
+//! found."
+//!
+//! With striping, two physically adjacent blocks on one disk are
+//! logically adjacent only inside a striping unit; across unit
+//! boundaries the next physical block holds the file data one full
+//! stripe later. The bitmap builder therefore sets the bit whenever the
+//! two blocks belong to the same file *and* the later block holds a
+//! later file offset — the precise condition for the read-ahead data to
+//! be useful to the stream.
+
+use forhdc_sim::{PhysBlock, StripingMap};
+
+use crate::filemap::FileMap;
+
+/// A per-disk continuation bitmap.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_layout::ForBitmap;
+/// use forhdc_sim::PhysBlock;
+///
+/// let mut bm = ForBitmap::new(16);
+/// for i in 1..8 {
+///     bm.set(PhysBlock::new(i), true);
+/// }
+/// // A miss at block 0 may read ahead 7 more blocks (1..8 continue it).
+/// assert_eq!(bm.run_ahead(PhysBlock::new(0), 32), 7);
+/// // Capped by the read-ahead limit.
+/// assert_eq!(bm.run_ahead(PhysBlock::new(0), 4), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ForBitmap {
+    words: Vec<u64>,
+    nblocks: u64,
+}
+
+impl ForBitmap {
+    /// Creates an all-zero bitmap covering `nblocks` physical blocks.
+    pub fn new(nblocks: u64) -> Self {
+        ForBitmap { words: vec![0; nblocks.div_ceil(64) as usize], nblocks }
+    }
+
+    /// Number of blocks covered.
+    pub fn len(&self) -> u64 {
+        self.nblocks
+    }
+
+    /// Whether the bitmap covers zero blocks.
+    pub fn is_empty(&self) -> bool {
+        self.nblocks == 0
+    }
+
+    /// Size of the bitmap in bytes (the controller-memory overhead the
+    /// paper prices at 0.003 %).
+    pub fn size_bytes(&self) -> u64 {
+        self.nblocks.div_ceil(8)
+    }
+
+    /// Sets or clears the continuation bit of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn set(&mut self, block: PhysBlock, continued: bool) {
+        let i = block.index();
+        assert!(i < self.nblocks, "block {block} beyond bitmap ({})", self.nblocks);
+        let word = &mut self.words[(i / 64) as usize];
+        let bit = 1u64 << (i % 64);
+        if continued {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
+    }
+
+    /// The continuation bit of `block`; blocks out of range read as 0
+    /// (no continuation past the end of the disk).
+    pub fn get(&self, block: PhysBlock) -> bool {
+        let i = block.index();
+        if i >= self.nblocks {
+            return false;
+        }
+        self.words[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits (for stats and tests).
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// FOR's read-ahead decision: how many blocks after `last` (the
+    /// last block of the demanded run) continue the same file, capped
+    /// at `max` blocks. Counts consecutive 1-bits starting at
+    /// `last + 1`.
+    pub fn run_ahead(&self, last: PhysBlock, max: u32) -> u32 {
+        let mut n = 0u32;
+        while n < max && self.get(last.offset(n as u64 + 1)) {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Builds the per-disk FOR bitmaps for a striped layout: one bitmap per
+/// disk, each `disk_blocks` long.
+///
+/// Bit `p` on disk `d` is set iff the logical blocks mapped to physical
+/// blocks `p − 1` and `p` of disk `d` belong to the same file with
+/// increasing file offsets.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_layout::{build_disk_bitmaps, LayoutBuilder};
+/// use forhdc_sim::StripingMap;
+///
+/// let map = LayoutBuilder::new().build(&[64; 10]);
+/// let striping = StripingMap::new(4, 8);
+/// let bitmaps = build_disk_bitmaps(&map, &striping, 1 << 16);
+/// assert_eq!(bitmaps.len(), 4);
+/// ```
+pub fn build_disk_bitmaps(
+    map: &FileMap,
+    striping: &StripingMap,
+    disk_blocks: u64,
+) -> Vec<ForBitmap> {
+    let mut bitmaps: Vec<ForBitmap> = (0..striping.disks())
+        .map(|_| ForBitmap::new(disk_blocks))
+        .collect();
+    // Walk the allocated logical space once; for each logical block,
+    // find its physical location and compare with the physically
+    // preceding block of the same disk.
+    for l in 0..map.total_blocks() {
+        let (disk, phys) = striping.locate(forhdc_sim::LogicalBlock::new(l));
+        if phys.index() == 0 || phys.index() >= disk_blocks {
+            continue;
+        }
+        let prev_logical = striping.logical_of(disk, PhysBlock::new(phys.index() - 1));
+        let (Some(cur), Some(prev)) = (
+            map.owner(forhdc_sim::LogicalBlock::new(l)),
+            map.owner(prev_logical),
+        ) else {
+            continue;
+        };
+        if cur.file == prev.file && cur.offset > prev.offset {
+            bitmaps[disk.as_usize()].set(phys, true);
+        }
+    }
+    bitmaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::LayoutBuilder;
+    use forhdc_sim::LogicalBlock;
+
+    #[test]
+    fn bitmap_set_get_roundtrip() {
+        let mut bm = ForBitmap::new(200);
+        for i in (0..200).step_by(3) {
+            bm.set(PhysBlock::new(i), true);
+        }
+        for i in 0..200 {
+            assert_eq!(bm.get(PhysBlock::new(i)), i % 3 == 0);
+        }
+        assert_eq!(bm.count_ones(), 67);
+        bm.set(PhysBlock::new(0), false);
+        assert!(!bm.get(PhysBlock::new(0)));
+    }
+
+    #[test]
+    fn out_of_range_reads_zero() {
+        let bm = ForBitmap::new(10);
+        assert!(!bm.get(PhysBlock::new(10)));
+        assert!(!bm.get(PhysBlock::new(1_000_000)));
+    }
+
+    #[test]
+    fn run_ahead_stops_at_zero_bit() {
+        let mut bm = ForBitmap::new(64);
+        // Continuations at 5,6,7 only.
+        for i in 5..8 {
+            bm.set(PhysBlock::new(i), true);
+        }
+        assert_eq!(bm.run_ahead(PhysBlock::new(4), 32), 3);
+        assert_eq!(bm.run_ahead(PhysBlock::new(5), 32), 2);
+        assert_eq!(bm.run_ahead(PhysBlock::new(8), 32), 0);
+        assert_eq!(bm.run_ahead(PhysBlock::new(60), 32), 0); // hits the end
+    }
+
+    #[test]
+    fn size_matches_one_bit_per_block() {
+        // An 18 GB disk of 4-KByte blocks: ~4.4M blocks = ~549 KB.
+        let bm = ForBitmap::new(4_396_000);
+        let kb = bm.size_bytes() / 1024;
+        assert!((530..560).contains(&kb), "bitmap {kb} KB");
+    }
+
+    #[test]
+    fn single_disk_bitmap_matches_filemap_continuations() {
+        let map = LayoutBuilder::new().fragmentation(0.15).seed(5).build(&[16; 200]);
+        let striping = StripingMap::new(1, 32);
+        let bm = &build_disk_bitmaps(&map, &striping, map.total_blocks())[0];
+        for l in 1..map.total_blocks() {
+            assert_eq!(
+                bm.get(PhysBlock::new(l)),
+                map.is_continuation(LogicalBlock::new(l)),
+                "mismatch at block {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn striping_unit_boundary_breaks_small_files() {
+        // 4 disks, 8-block units, 8-block files laid contiguously: each
+        // file exactly fills one unit, so no continuation bit survives —
+        // adjacent physical blocks on one disk straddle unit boundaries
+        // and belong to different files.
+        let map = LayoutBuilder::new().build(&[8; 40]);
+        let striping = StripingMap::new(4, 8);
+        let bms = build_disk_bitmaps(&map, &striping, 128);
+        // Bits within each unit (offsets 1..8 of a unit) are set when the
+        // same file owns them; at unit boundaries (phys offset % 8 == 0)
+        // the owning files differ (file i vs file i+4).
+        for bm in &bms {
+            for p in 0..80u64 {
+                let expect = p % 8 != 0 && p < 80;
+                if bm.get(PhysBlock::new(p)) != expect && p < 72 {
+                    panic!("unexpected bit at phys {p}: {}", bm.get(PhysBlock::new(p)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_file_spanning_stripe_keeps_forward_continuation() {
+        // One 64-block file over 2 disks with 8-block units: physical
+        // blocks of disk 0 hold offsets 0..8, 16..24, 32..40, 48..56 —
+        // all increasing, same file, so every bit (except phys 0) is set.
+        let map = LayoutBuilder::new().build(&[64]);
+        let striping = StripingMap::new(2, 8);
+        let bms = build_disk_bitmaps(&map, &striping, 64);
+        for (d, bm) in bms.iter().enumerate() {
+            for p in 1..32u64 {
+                assert!(bm.get(PhysBlock::new(p)), "disk {d} phys {p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond bitmap")]
+    fn set_out_of_range_panics() {
+        ForBitmap::new(4).set(PhysBlock::new(4), true);
+    }
+}

@@ -1,0 +1,256 @@
+//! Ownership map from logical blocks to files.
+
+use std::fmt;
+
+use forhdc_sim::LogicalBlock;
+
+/// Identifier of a file in the layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FileId(u32);
+
+impl FileId {
+    /// Creates a file id from its raw index.
+    pub const fn new(raw: u32) -> Self {
+        FileId(raw)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the raw index widened to `usize`.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+
+/// A physically contiguous run of one file's blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First logical block of the run.
+    pub start: LogicalBlock,
+    /// Length in blocks.
+    pub len: u32,
+    /// Offset (in blocks) of the run within its file.
+    pub file_offset: u64,
+}
+
+impl Extent {
+    /// One-past-the-end logical block.
+    pub fn end(&self) -> LogicalBlock {
+        self.start.offset(self.len as u64)
+    }
+}
+
+/// Which file, and which offset within it, owns a logical block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockOwner {
+    /// The owning file.
+    pub file: FileId,
+    /// The block's offset within the file, in blocks.
+    pub offset: u64,
+}
+
+/// The host file system's placement of files in the logical block space.
+///
+/// Built by [`crate::LayoutBuilder`]; queried by the FOR bitmap builder
+/// and by the workload generators (to turn "read file F" into logical
+/// block requests).
+///
+/// # Example
+///
+/// ```
+/// use forhdc_layout::LayoutBuilder;
+/// use forhdc_sim::LogicalBlock;
+///
+/// // Two files of 4 blocks each, no fragmentation: laid back-to-back.
+/// let map = LayoutBuilder::new().build(&[4, 4]);
+/// let owner = map.owner(LogicalBlock::new(5)).unwrap();
+/// assert_eq!(owner.file.index(), 1);
+/// assert_eq!(owner.offset, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FileMap {
+    extents: Vec<Vec<Extent>>, // per file, ordered by file_offset
+    owner: Vec<Option<BlockOwner>>,
+    total_blocks: u64,
+}
+
+impl FileMap {
+    /// Assembles a map from per-file extent lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if extents overlap, a file's extents do not cover offsets
+    /// `0..size` exactly, or an extent has zero length.
+    pub fn from_extents(extents: Vec<Vec<Extent>>) -> Self {
+        let total_blocks = extents
+            .iter()
+            .flatten()
+            .map(|e| e.end().index())
+            .max()
+            .unwrap_or(0);
+        let mut owner: Vec<Option<BlockOwner>> = vec![None; total_blocks as usize];
+        for (fi, file) in extents.iter().enumerate() {
+            let mut covered = 0u64;
+            let mut sorted = file.clone();
+            sorted.sort_by_key(|e| e.file_offset);
+            for e in &sorted {
+                assert!(e.len > 0, "zero-length extent in {}", FileId::new(fi as u32));
+                assert_eq!(
+                    e.file_offset, covered,
+                    "extent gap in {}: expected offset {covered}",
+                    FileId::new(fi as u32)
+                );
+                covered += e.len as u64;
+                for i in 0..e.len as u64 {
+                    let slot = &mut owner[(e.start.index() + i) as usize];
+                    assert!(slot.is_none(), "overlapping extents at {}", e.start.offset(i));
+                    *slot = Some(BlockOwner {
+                        file: FileId::new(fi as u32),
+                        offset: e.file_offset + i,
+                    });
+                }
+            }
+        }
+        FileMap { extents, owner, total_blocks }
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> u32 {
+        self.extents.len() as u32
+    }
+
+    /// Size of a file in blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `file` is out of range.
+    pub fn file_blocks(&self, file: FileId) -> u64 {
+        self.extents[file.as_usize()].iter().map(|e| e.len as u64).sum()
+    }
+
+    /// The file's extents in file-offset order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `file` is out of range.
+    pub fn extents(&self, file: FileId) -> &[Extent] {
+        &self.extents[file.as_usize()]
+    }
+
+    /// The logical block holding offset `offset` of `file`, or `None`
+    /// past the end of the file.
+    pub fn block_at(&self, file: FileId, offset: u64) -> Option<LogicalBlock> {
+        let exts = self.extents.get(file.as_usize())?;
+        let e = exts
+            .iter()
+            .find(|e| offset >= e.file_offset && offset < e.file_offset + e.len as u64)?;
+        Some(e.start.offset(offset - e.file_offset))
+    }
+
+    /// Ownership of a logical block, or `None` for unallocated space.
+    pub fn owner(&self, block: LogicalBlock) -> Option<BlockOwner> {
+        self.owner.get(block.index() as usize).copied().flatten()
+    }
+
+    /// One-past-the-last allocated logical block (the footprint).
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Whether `block` continues, within a file, the logically
+    /// preceding block — the FOR bitmap predicate for a single-disk
+    /// (unstriped) layout: same file, strictly later file offset (so a
+    /// whole-file sequential reader will still want the data).
+    pub fn is_continuation(&self, block: LogicalBlock) -> bool {
+        if block.index() == 0 {
+            return false;
+        }
+        let (Some(cur), Some(prev)) =
+            (self.owner(block), self.owner(LogicalBlock::new(block.index() - 1)))
+        else {
+            return false;
+        };
+        cur.file == prev.file && cur.offset > prev.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext(start: u64, len: u32, file_offset: u64) -> Extent {
+        Extent { start: LogicalBlock::new(start), len, file_offset }
+    }
+
+    #[test]
+    fn contiguous_two_files() {
+        let map = FileMap::from_extents(vec![vec![ext(0, 4, 0)], vec![ext(4, 2, 0)]]);
+        assert_eq!(map.file_count(), 2);
+        assert_eq!(map.file_blocks(FileId::new(0)), 4);
+        assert_eq!(map.total_blocks(), 6);
+        assert_eq!(
+            map.owner(LogicalBlock::new(3)),
+            Some(BlockOwner { file: FileId::new(0), offset: 3 })
+        );
+        assert_eq!(
+            map.owner(LogicalBlock::new(4)),
+            Some(BlockOwner { file: FileId::new(1), offset: 0 })
+        );
+        assert_eq!(map.owner(LogicalBlock::new(6)), None);
+    }
+
+    #[test]
+    fn fragmented_file_continuation_bits() {
+        // File 0: blocks 0..2 then 6..8; file 1: blocks 2..6.
+        let map = FileMap::from_extents(vec![
+            vec![ext(0, 2, 0), ext(6, 2, 2)],
+            vec![ext(2, 4, 0)],
+        ]);
+        assert!(!map.is_continuation(LogicalBlock::new(0)));
+        assert!(map.is_continuation(LogicalBlock::new(1)));
+        assert!(!map.is_continuation(LogicalBlock::new(2))); // file boundary
+        assert!(map.is_continuation(LogicalBlock::new(3)));
+        assert!(!map.is_continuation(LogicalBlock::new(6))); // jump in file 0
+        assert!(map.is_continuation(LogicalBlock::new(7)));
+    }
+
+    #[test]
+    fn block_at_walks_extents() {
+        let map = FileMap::from_extents(vec![vec![ext(0, 2, 0), ext(6, 2, 2)]]);
+        assert_eq!(map.block_at(FileId::new(0), 0), Some(LogicalBlock::new(0)));
+        assert_eq!(map.block_at(FileId::new(0), 1), Some(LogicalBlock::new(1)));
+        assert_eq!(map.block_at(FileId::new(0), 2), Some(LogicalBlock::new(6)));
+        assert_eq!(map.block_at(FileId::new(0), 3), Some(LogicalBlock::new(7)));
+        assert_eq!(map.block_at(FileId::new(0), 4), None);
+        assert_eq!(map.block_at(FileId::new(9), 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_panics() {
+        let _ = FileMap::from_extents(vec![vec![ext(0, 4, 0)], vec![ext(3, 2, 0)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "extent gap")]
+    fn offset_gap_panics() {
+        let _ = FileMap::from_extents(vec![vec![ext(0, 2, 0), ext(4, 2, 3)]]);
+    }
+
+    #[test]
+    fn empty_map() {
+        let map = FileMap::from_extents(vec![]);
+        assert_eq!(map.file_count(), 0);
+        assert_eq!(map.total_blocks(), 0);
+        assert!(!map.is_continuation(LogicalBlock::new(0)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Sequential-run statistics: the measurement behind Figure 1.
+//!
+//! Figure 1 plots the *average sequential read* — the mean number of
+//! physically consecutive, logically in-order blocks a reader of whole
+//! files encounters — as a function of the fragmentation degree, for
+//! several file sizes. A file of `f` blocks whose `f − 1` boundaries
+//! each break with probability `q` splits into `1 + (f−1)·q` expected
+//! runs, giving an expected run length of `f / (1 + (f−1)·q)`
+//! (the closed form lives in `forhdc-analytic`; this module measures
+//! the same quantity empirically on a real layout).
+
+use crate::filemap::{FileId, FileMap};
+
+/// Per-layout sequentiality measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Total file blocks in the layout.
+    pub total_blocks: u64,
+    /// Total physically contiguous runs across all files.
+    pub total_runs: u64,
+    /// Mean run length (`total_blocks / total_runs`).
+    pub mean_run_blocks: f64,
+}
+
+/// Measures the average sequential run length over every file of the
+/// layout.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_layout::{frag::measure_runs, LayoutBuilder};
+///
+/// let map = LayoutBuilder::new().build(&[32; 100]);
+/// let stats = measure_runs(&map);
+/// assert_eq!(stats.mean_run_blocks, 32.0); // unfragmented
+/// ```
+pub fn measure_runs(map: &FileMap) -> RunStats {
+    let mut total_blocks = 0u64;
+    let mut total_runs = 0u64;
+    for f in 0..map.file_count() {
+        let file = FileId::new(f);
+        total_blocks += map.file_blocks(file);
+        total_runs += count_runs(map, file);
+    }
+    let mean = if total_runs == 0 { 0.0 } else { total_blocks as f64 / total_runs as f64 };
+    RunStats { total_blocks, total_runs, mean_run_blocks: mean }
+}
+
+/// Number of physically contiguous runs a whole-file sequential read of
+/// `file` breaks into. Extents that happen to land adjacently on disk
+/// (in file order) count as one run.
+pub fn count_runs(map: &FileMap, file: FileId) -> u64 {
+    let extents = map.extents(file);
+    if extents.is_empty() {
+        return 0;
+    }
+    let mut runs = 1u64;
+    for pair in extents.windows(2) {
+        if pair[0].end() != pair[1].start {
+            runs += 1;
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::LayoutBuilder;
+
+    #[test]
+    fn unfragmented_runs_equal_file_size() {
+        let map = LayoutBuilder::new().build(&[8; 500]);
+        let s = measure_runs(&map);
+        assert_eq!(s.total_blocks, 4000);
+        assert_eq!(s.total_runs, 500);
+        assert_eq!(s.mean_run_blocks, 8.0);
+    }
+
+    #[test]
+    fn five_percent_fragmentation_matches_paper_figure1() {
+        // Paper: 5% fragmentation cuts 32-block files from 32 to ~12.5
+        // sequential blocks and 8-block files from 8 to ~5.9.
+        let map32 = LayoutBuilder::new().fragmentation(0.05).seed(1).build(&[32; 4000]);
+        let m32 = measure_runs(&map32).mean_run_blocks;
+        assert!((m32 - 12.5).abs() < 1.0, "32-block mean run {m32}");
+
+        let map8 = LayoutBuilder::new().fragmentation(0.05).seed(2).build(&[8; 4000]);
+        let m8 = measure_runs(&map8).mean_run_blocks;
+        assert!((m8 - 5.9).abs() < 0.5, "8-block mean run {m8}");
+    }
+
+    #[test]
+    fn empirical_tracks_closed_form() {
+        // f / (1 + (f-1) q) across a grid.
+        for &f in &[2u32, 4, 16] {
+            for &q in &[0.02f64, 0.1, 0.3] {
+                let map = LayoutBuilder::new()
+                    .fragmentation(q)
+                    .seed((f as u64) << 8 | (q * 100.0) as u64)
+                    .build(&vec![f; 6000]);
+                let measured = measure_runs(&map).mean_run_blocks;
+                let expect = f as f64 / (1.0 + (f as f64 - 1.0) * q);
+                let rel = (measured - expect).abs() / expect;
+                assert!(rel < 0.08, "f={f} q={q}: measured {measured}, expected {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_layout() {
+        let map = LayoutBuilder::new().build(&[]);
+        let s = measure_runs(&map);
+        assert_eq!(s.total_runs, 0);
+        assert_eq!(s.mean_run_blocks, 0.0);
+    }
+
+    #[test]
+    fn single_block_files_are_single_runs() {
+        let map = LayoutBuilder::new().fragmentation(0.5).seed(3).build(&[1; 100]);
+        let s = measure_runs(&map);
+        assert_eq!(s.total_runs, 100);
+        assert_eq!(s.mean_run_blocks, 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Round-robin striping of the logical block space over the array.
+//!
+//! Logical blocks are grouped into fixed-size striping units laid out
+//! across the `D` physical disks in round-robin fashion (section 2.2 of
+//! the paper). Smaller units balance load better; units larger than a
+//! file keep each file on one disk.
+
+use crate::request::{DiskExtent, DiskId, LogicalBlock, PhysBlock};
+
+/// The logical→physical striping map.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_sim::StripingMap;
+/// use forhdc_sim::request::LogicalBlock;
+///
+/// // 4 disks, 2-block units.
+/// let map = StripingMap::new(4, 2);
+/// let (disk, phys) = map.locate(LogicalBlock::new(5));
+/// assert_eq!(disk.index(), 2);       // unit 2 lives on disk 2
+/// assert_eq!(phys.index(), 1);       // second block of that unit
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripingMap {
+    disks: u16,
+    unit_blocks: u32,
+}
+
+impl StripingMap {
+    /// Creates a map over `disks` disks with `unit_blocks`-block units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(disks: u16, unit_blocks: u32) -> Self {
+        assert!(disks > 0, "need at least one disk");
+        assert!(unit_blocks > 0, "striping unit must be positive");
+        StripingMap { disks, unit_blocks }
+    }
+
+    /// Number of disks in the array.
+    pub fn disks(&self) -> u16 {
+        self.disks
+    }
+
+    /// Striping unit in blocks.
+    pub fn unit_blocks(&self) -> u32 {
+        self.unit_blocks
+    }
+
+    /// Maps a logical block to `(disk, physical block)`.
+    pub fn locate(&self, block: LogicalBlock) -> (DiskId, PhysBlock) {
+        let unit = block.index() / self.unit_blocks as u64;
+        let within = block.index() % self.unit_blocks as u64;
+        let disk = (unit % self.disks as u64) as u16;
+        let disk_unit = unit / self.disks as u64;
+        (DiskId::new(disk), PhysBlock::new(disk_unit * self.unit_blocks as u64 + within))
+    }
+
+    /// Inverse of [`StripingMap::locate`].
+    pub fn logical_of(&self, disk: DiskId, phys: PhysBlock) -> LogicalBlock {
+        let disk_unit = phys.index() / self.unit_blocks as u64;
+        let within = phys.index() % self.unit_blocks as u64;
+        let unit = disk_unit * self.disks as u64 + disk.index() as u64;
+        LogicalBlock::new(unit * self.unit_blocks as u64 + within)
+    }
+
+    /// Splits a logical extent into per-disk physical extents, merging
+    /// the pieces that land contiguously on the same disk.
+    ///
+    /// The returned extents are in logical order; a request touching
+    /// more than `disks` units wraps around and produces merged extents
+    /// (contiguous on disk because round-robin units on one disk are
+    /// physically adjacent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nblocks` is zero.
+    pub fn split(&self, start: LogicalBlock, nblocks: u32) -> Vec<DiskExtent> {
+        assert!(nblocks > 0, "cannot split an empty extent");
+        let mut out: Vec<DiskExtent> = Vec::new();
+        let mut remaining = nblocks as u64;
+        let mut cursor = start;
+        while remaining > 0 {
+            let (disk, phys) = self.locate(cursor);
+            let within = cursor.index() % self.unit_blocks as u64;
+            let chunk = (self.unit_blocks as u64 - within).min(remaining) as u32;
+            // Merge with an earlier extent on the same disk if physically
+            // adjacent (happens when the request wraps the whole stripe).
+            if let Some(prev) = out
+                .iter_mut()
+                .find(|e| e.disk == disk && e.end() == phys)
+            {
+                prev.nblocks += chunk;
+            } else {
+                out.push(DiskExtent { disk, start: phys, nblocks: chunk });
+            }
+            cursor = cursor.offset(chunk as u64);
+            remaining -= chunk as u64;
+        }
+        out
+    }
+
+    /// Number of distinct disks a logical extent touches.
+    pub fn fan_out(&self, start: LogicalBlock, nblocks: u32) -> usize {
+        let mut disks: Vec<DiskId> = self.split(start, nblocks).iter().map(|e| e.disk).collect();
+        disks.sort();
+        disks.dedup();
+        disks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_round_robin() {
+        let m = StripingMap::new(3, 4);
+        // Units: [0..4) -> d0, [4..8) -> d1, [8..12) -> d2, [12..16) -> d0 ...
+        assert_eq!(m.locate(LogicalBlock::new(0)), (DiskId::new(0), PhysBlock::new(0)));
+        assert_eq!(m.locate(LogicalBlock::new(4)), (DiskId::new(1), PhysBlock::new(0)));
+        assert_eq!(m.locate(LogicalBlock::new(8)), (DiskId::new(2), PhysBlock::new(0)));
+        assert_eq!(m.locate(LogicalBlock::new(12)), (DiskId::new(0), PhysBlock::new(4)));
+        assert_eq!(m.locate(LogicalBlock::new(14)), (DiskId::new(0), PhysBlock::new(6)));
+    }
+
+    #[test]
+    fn locate_roundtrips_via_logical_of() {
+        let m = StripingMap::new(8, 32);
+        for i in 0..10_000u64 {
+            let l = LogicalBlock::new(i * 7 + 3);
+            let (d, p) = m.locate(l);
+            assert_eq!(m.logical_of(d, p), l);
+        }
+    }
+
+    #[test]
+    fn split_within_one_unit() {
+        let m = StripingMap::new(4, 8);
+        let parts = m.split(LogicalBlock::new(2), 4);
+        assert_eq!(parts, vec![DiskExtent {
+            disk: DiskId::new(0),
+            start: PhysBlock::new(2),
+            nblocks: 4,
+        }]);
+    }
+
+    #[test]
+    fn split_across_units() {
+        let m = StripingMap::new(4, 8);
+        // Blocks 6..14: last 2 of unit 0 (disk 0) + first 6 of unit 1 (disk 1).
+        let parts = m.split(LogicalBlock::new(6), 8);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].disk, DiskId::new(0));
+        assert_eq!(parts[0].nblocks, 2);
+        assert_eq!(parts[1].disk, DiskId::new(1));
+        assert_eq!(parts[1].start, PhysBlock::new(0));
+        assert_eq!(parts[1].nblocks, 6);
+    }
+
+    #[test]
+    fn split_wrapping_whole_stripe_merges() {
+        let m = StripingMap::new(2, 4);
+        // 16 blocks over 2 disks with 4-block units: each disk gets two
+        // physically adjacent units, merged into one 8-block extent.
+        let parts = m.split(LogicalBlock::new(0), 16);
+        assert_eq!(parts.len(), 2);
+        for p in &parts {
+            assert_eq!(p.nblocks, 8);
+            assert_eq!(p.start, PhysBlock::new(0));
+        }
+    }
+
+    #[test]
+    fn split_conserves_blocks() {
+        let m = StripingMap::new(8, 32);
+        for n in [1u32, 5, 32, 100, 300] {
+            let parts = m.split(LogicalBlock::new(12345), n);
+            let total: u32 = parts.iter().map(|e| e.nblocks).sum();
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn fan_out_counts_disks() {
+        let m = StripingMap::new(4, 8);
+        assert_eq!(m.fan_out(LogicalBlock::new(0), 8), 1);
+        assert_eq!(m.fan_out(LogicalBlock::new(0), 9), 2);
+        assert_eq!(m.fan_out(LogicalBlock::new(0), 32), 4);
+        assert_eq!(m.fan_out(LogicalBlock::new(0), 64), 4); // wraps
+    }
+
+    #[test]
+    #[should_panic(expected = "empty extent")]
+    fn split_zero_panics() {
+        StripingMap::new(2, 4).split(LogicalBlock::new(0), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! The shared host-interface bus (Ultra160 SCSI) as a serializing
+//! resource.
+//!
+//! All disks in the array hang off one SCSI card, so controller-cache
+//! hits and media-read completions contend for the same 160 MB/s of bus
+//! bandwidth. The model is a FIFO resource: a transfer starts at
+//! `max(now, busy_until)` and holds the bus for a fixed per-command
+//! overhead plus `bytes / rate`.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A reserved slot on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusSlot {
+    /// When the transfer begins (≥ the requested instant).
+    pub start: SimTime,
+    /// When the transfer completes and the bus frees.
+    pub end: SimTime,
+}
+
+impl BusSlot {
+    /// Time spent waiting for the bus before the transfer started.
+    pub fn queueing(&self, requested_at: SimTime) -> SimDuration {
+        self.start.since(requested_at)
+    }
+}
+
+/// A serializing bus with fixed bandwidth and per-transfer overhead.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_sim::{BusModel, SimDuration, SimTime};
+///
+/// let mut bus = BusModel::new(160_000_000, SimDuration::from_micros(50));
+/// let a = bus.reserve(SimTime::ZERO, 4096);
+/// let b = bus.reserve(SimTime::ZERO, 4096);
+/// assert_eq!(b.start, a.end); // second transfer waits for the first
+/// ```
+#[derive(Debug, Clone)]
+pub struct BusModel {
+    rate: u64,
+    overhead: SimDuration,
+    busy_until: SimTime,
+    transfers: u64,
+    bytes_moved: u64,
+    busy_time: SimDuration,
+    wait_time: SimDuration,
+}
+
+impl BusModel {
+    /// Creates a bus with `rate` bytes/second and a fixed `overhead`
+    /// charged per transfer (command processing, arbitration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    pub fn new(rate: u64, overhead: SimDuration) -> Self {
+        assert!(rate > 0, "bus rate must be positive");
+        BusModel {
+            rate,
+            overhead,
+            busy_until: SimTime::ZERO,
+            transfers: 0,
+            bytes_moved: 0,
+            busy_time: SimDuration::ZERO,
+            wait_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Reserves the bus for a `bytes`-long transfer requested at `now`,
+    /// returning when the transfer starts and ends. Zero-byte transfers
+    /// still pay the per-command overhead.
+    pub fn reserve(&mut self, now: SimTime, bytes: u64) -> BusSlot {
+        let start = now.max(self.busy_until);
+        let hold = self.overhead + SimDuration::for_transfer(bytes, self.rate);
+        let end = start + hold;
+        self.busy_until = end;
+        self.transfers += 1;
+        self.bytes_moved += bytes;
+        self.busy_time += hold;
+        self.wait_time += start.since(now);
+        BusSlot { start, end }
+    }
+
+    /// The instant the bus next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Transfers completed or scheduled so far.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total payload bytes moved.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Total time the bus was held.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Total time transfers spent queued behind earlier ones.
+    pub fn wait_time(&self) -> SimDuration {
+        self.wait_time
+    }
+
+    /// Bus utilization over `elapsed` total simulated time, in `[0, 1]`
+    /// (clamped).
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        (self.busy_time.as_nanos() as f64 / elapsed.as_nanos() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> BusModel {
+        BusModel::new(160_000_000, SimDuration::from_micros(50))
+    }
+
+    #[test]
+    fn idle_bus_starts_immediately() {
+        let mut b = bus();
+        let slot = b.reserve(SimTime::from_nanos(123), 0);
+        assert_eq!(slot.start, SimTime::from_nanos(123));
+        assert_eq!(slot.queueing(SimTime::from_nanos(123)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfers_serialize() {
+        let mut b = bus();
+        let a = b.reserve(SimTime::ZERO, 1_600_000); // 10 ms of data + 50 us
+        let c = b.reserve(SimTime::ZERO, 1_600_000);
+        assert_eq!(c.start, a.end);
+        assert!(c.queueing(SimTime::ZERO) > SimDuration::from_millis(9));
+    }
+
+    #[test]
+    fn later_request_after_idle_gap() {
+        let mut b = bus();
+        let a = b.reserve(SimTime::ZERO, 16_000); // short
+        let later = a.end + SimDuration::from_millis(5);
+        let c = b.reserve(later, 16_000);
+        assert_eq!(c.start, later);
+    }
+
+    #[test]
+    fn transfer_duration_matches_rate() {
+        let mut b = BusModel::new(160_000_000, SimDuration::ZERO);
+        let slot = b.reserve(SimTime::ZERO, 160_000_000); // one second of data
+        assert_eq!(slot.end.since(slot.start), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut b = bus();
+        b.reserve(SimTime::ZERO, 1000);
+        b.reserve(SimTime::ZERO, 2000);
+        assert_eq!(b.transfers(), 2);
+        assert_eq!(b.bytes_moved(), 3000);
+        assert!(b.busy_time() > SimDuration::from_micros(100));
+        assert!(b.wait_time() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        let mut b = bus();
+        b.reserve(SimTime::ZERO, 160_000);
+        assert_eq!(b.utilization(SimDuration::ZERO), 0.0);
+        assert!(b.utilization(SimDuration::from_nanos(1)) <= 1.0);
+        let u = b.utilization(SimDuration::from_secs(1));
+        assert!(u > 0.0 && u < 0.01);
+    }
+}

@@ -1,0 +1,241 @@
+//! Disk geometry: mapping physical block numbers to cylinders, surfaces,
+//! and sectors.
+//!
+//! The model is a classic non-zoned geometry (constant sectors per track).
+//! The paper's drive, an IBM Ultrastar 36Z15, has roughly 440 sectors per
+//! track; the default geometry here reproduces the drive's 18-GByte
+//! capacity and its ~3.4 ms average seek time (see
+//! [`crate::seek::SeekModel`]).
+
+use crate::request::PhysBlock;
+
+/// The physical location of a block: which cylinder, which surface (head),
+/// and the first sector of the block on that track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockAddress {
+    /// Cylinder index, `0..cylinders`.
+    pub cylinder: u32,
+    /// Surface (head) index, `0..surfaces`.
+    pub surface: u32,
+    /// First 512-byte sector of the block within the track.
+    pub sector: u32,
+}
+
+/// Non-zoned disk geometry.
+///
+/// Blocks are laid out track-by-track within a cylinder, then
+/// cylinder-by-cylinder, which is the layout that makes sequential
+/// physical blocks cheap to read (no seek within a cylinder).
+///
+/// # Example
+///
+/// ```
+/// use forhdc_sim::DiskGeometry;
+///
+/// let g = DiskGeometry::ultrastar_36z15();
+/// assert_eq!(g.block_bytes(), 4096);
+/// // 18 GB drive => ~4.3M 4-KByte blocks.
+/// assert!(g.capacity_blocks() > 4_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskGeometry {
+    sectors_per_track: u32,
+    surfaces: u32,
+    cylinders: u32,
+    sectors_per_block: u32,
+}
+
+/// Bytes in one 512-byte sector.
+pub const SECTOR_BYTES: u32 = 512;
+
+impl DiskGeometry {
+    /// Creates a geometry from explicit parameters.
+    ///
+    /// `sectors_per_block` is `block_bytes / 512`; blocks must align to
+    /// track boundaries cleanly enough to address, so `sectors_per_track`
+    /// must be a multiple of `sectors_per_block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or if `sectors_per_track` is not a
+    /// multiple of `sectors_per_block`.
+    pub fn new(sectors_per_track: u32, surfaces: u32, cylinders: u32, block_bytes: u32) -> Self {
+        assert!(sectors_per_track > 0 && surfaces > 0 && cylinders > 0 && block_bytes > 0);
+        assert!(block_bytes.is_multiple_of(SECTOR_BYTES), "block size must be a multiple of 512");
+        let sectors_per_block = block_bytes / SECTOR_BYTES;
+        assert!(
+            sectors_per_track.is_multiple_of(sectors_per_block),
+            "sectors per track ({sectors_per_track}) must be a multiple of sectors per block ({sectors_per_block})"
+        );
+        DiskGeometry { sectors_per_track, surfaces, cylinders, sectors_per_block }
+    }
+
+    /// Creates a geometry with (at least) `capacity_bytes` of space by
+    /// solving for the cylinder count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero parameters or misaligned block size (see
+    /// [`DiskGeometry::new`]).
+    pub fn with_capacity(
+        capacity_bytes: u64,
+        sectors_per_track: u32,
+        surfaces: u32,
+        block_bytes: u32,
+    ) -> Self {
+        let cylinder_bytes = sectors_per_track as u64 * SECTOR_BYTES as u64 * surfaces as u64;
+        assert!(cylinder_bytes > 0);
+        let cylinders = capacity_bytes.div_ceil(cylinder_bytes) as u32;
+        DiskGeometry::new(sectors_per_track, surfaces, cylinders, block_bytes)
+    }
+
+    /// Geometry matched to the paper's IBM Ultrastar 36Z15: 18 GBytes,
+    /// ~440 sectors per track, 4-KByte blocks, and a cylinder count
+    /// (~10 000) that reproduces the drive's 3.4 ms average seek under
+    /// the paper's seek model.
+    pub fn ultrastar_36z15() -> Self {
+        DiskGeometry::with_capacity(18_000_000_000, 440, 8, 4096)
+    }
+
+    /// Sectors on one track.
+    pub fn sectors_per_track(&self) -> u32 {
+        self.sectors_per_track
+    }
+
+    /// Number of recording surfaces (heads).
+    pub fn surfaces(&self) -> u32 {
+        self.surfaces
+    }
+
+    /// Number of cylinders.
+    pub fn cylinders(&self) -> u32 {
+        self.cylinders
+    }
+
+    /// Bytes in one block.
+    pub fn block_bytes(&self) -> u32 {
+        self.sectors_per_block * SECTOR_BYTES
+    }
+
+    /// Blocks on one track.
+    pub fn blocks_per_track(&self) -> u32 {
+        self.sectors_per_track / self.sectors_per_block
+    }
+
+    /// Blocks in one cylinder (all surfaces).
+    pub fn blocks_per_cylinder(&self) -> u32 {
+        self.blocks_per_track() * self.surfaces
+    }
+
+    /// Total addressable blocks on the disk.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.blocks_per_cylinder() as u64 * self.cylinders as u64
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_blocks() * self.block_bytes() as u64
+    }
+
+    /// Maps a physical block to its on-disk address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is beyond the disk capacity.
+    pub fn address(&self, block: PhysBlock) -> BlockAddress {
+        assert!(
+            block.index() < self.capacity_blocks(),
+            "block {block} beyond capacity {}",
+            self.capacity_blocks()
+        );
+        let bpc = self.blocks_per_cylinder() as u64;
+        let bpt = self.blocks_per_track() as u64;
+        let cylinder = (block.index() / bpc) as u32;
+        let within = block.index() % bpc;
+        let surface = (within / bpt) as u32;
+        let block_in_track = (within % bpt) as u32;
+        BlockAddress { cylinder, surface, sector: block_in_track * self.sectors_per_block }
+    }
+
+    /// The cylinder holding `block` (convenience for schedulers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is beyond the disk capacity.
+    pub fn cylinder_of(&self, block: PhysBlock) -> u32 {
+        self.address(block).cylinder
+    }
+
+    /// The angular position of the start of `block` on its track, as a
+    /// fraction of a revolution in `[0, 1)`.
+    pub fn angle_of(&self, block: PhysBlock) -> f64 {
+        let addr = self.address(block);
+        addr.sector as f64 / self.sectors_per_track as f64
+    }
+}
+
+impl Default for DiskGeometry {
+    fn default() -> Self {
+        DiskGeometry::ultrastar_36z15()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ultrastar_matches_paper_capacity() {
+        let g = DiskGeometry::ultrastar_36z15();
+        assert!(g.capacity_bytes() >= 18_000_000_000);
+        // Cylinder count near 10k keeps average seek near the nominal 3.4 ms.
+        assert!((9_000..11_000).contains(&g.cylinders()), "cylinders = {}", g.cylinders());
+        assert_eq!(g.blocks_per_track(), 55);
+    }
+
+    #[test]
+    fn address_roundtrip_layout() {
+        let g = DiskGeometry::new(40, 2, 10, 4096); // 5 blocks/track
+        assert_eq!(g.blocks_per_track(), 5);
+        assert_eq!(g.blocks_per_cylinder(), 10);
+        assert_eq!(g.capacity_blocks(), 100);
+        // Block 0: first block of cylinder 0, surface 0.
+        assert_eq!(g.address(PhysBlock::new(0)), BlockAddress { cylinder: 0, surface: 0, sector: 0 });
+        // Block 5: first block of surface 1, same cylinder.
+        assert_eq!(g.address(PhysBlock::new(5)), BlockAddress { cylinder: 0, surface: 1, sector: 0 });
+        // Block 10: next cylinder.
+        assert_eq!(g.address(PhysBlock::new(10)).cylinder, 1);
+        // Sequential blocks advance sectors by the block size.
+        assert_eq!(g.address(PhysBlock::new(1)).sector, 8);
+    }
+
+    #[test]
+    fn angle_wraps_track() {
+        let g = DiskGeometry::new(40, 2, 10, 4096);
+        assert_eq!(g.angle_of(PhysBlock::new(0)), 0.0);
+        assert!((g.angle_of(PhysBlock::new(1)) - 0.2).abs() < 1e-12);
+        assert!((g.angle_of(PhysBlock::new(4)) - 0.8).abs() < 1e-12);
+        assert_eq!(g.angle_of(PhysBlock::new(5)), 0.0); // new track
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn address_out_of_range_panics() {
+        let g = DiskGeometry::new(40, 2, 10, 4096);
+        g.address(PhysBlock::new(100));
+    }
+
+    #[test]
+    fn with_capacity_rounds_up() {
+        let g = DiskGeometry::with_capacity(1_000_000, 40, 2, 4096);
+        assert!(g.capacity_bytes() >= 1_000_000);
+        assert!(g.capacity_bytes() < 1_000_000 + 2 * 40 * 512 * 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_block_size_panics() {
+        // 24 sectors/track not divisible by 16-sector (8 KiB) blocks? 24 % 16 != 0.
+        let _ = DiskGeometry::new(24, 2, 10, 8192);
+    }
+}

@@ -1,0 +1,229 @@
+//! Core identifier and request newtypes shared across the simulator.
+//!
+//! The simulator distinguishes *logical* blocks (the array-wide address
+//! space the host file system sees, before striping) from *physical*
+//! blocks (per-disk addresses after striping). Mixing the two is a
+//! classic source of simulator bugs, so they are separate newtypes.
+
+use std::fmt;
+
+/// A block address in the host-visible, array-wide logical space
+/// (before striping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LogicalBlock(u64);
+
+/// A block address on one physical disk (after striping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysBlock(u64);
+
+/// Index of a disk within the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DiskId(u16);
+
+/// Identifier of a concurrent host I/O stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StreamId(u32);
+
+/// Identifier of a host-level request (one trace record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RequestId(u64);
+
+/// Whether an access reads or writes the media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadWrite {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+impl ReadWrite {
+    /// Returns `true` for [`ReadWrite::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, ReadWrite::Read)
+    }
+
+    /// Returns `true` for [`ReadWrite::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, ReadWrite::Write)
+    }
+}
+
+macro_rules! impl_block_newtype {
+    ($name:ident, $tag:literal) => {
+        impl $name {
+            /// Creates the identifier from its raw index.
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw index.
+            pub const fn index(self) -> u64 {
+                self.0
+            }
+
+            /// The address `n` blocks after this one.
+            pub const fn offset(self, n: u64) -> Self {
+                $name(self.0 + n)
+            }
+
+            /// Blocks between `self` and `earlier` (`self - earlier`).
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `earlier > self`.
+            pub fn distance_from(self, earlier: Self) -> u64 {
+                debug_assert!(earlier.0 <= self.0);
+                self.0 - earlier.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_block_newtype!(LogicalBlock, "L");
+impl_block_newtype!(PhysBlock, "P");
+
+impl DiskId {
+    /// Creates a disk id from its raw index.
+    pub const fn new(raw: u16) -> Self {
+        DiskId(raw)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the raw index widened to `usize` (for array indexing).
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl StreamId {
+    /// Creates a stream id from its raw index.
+    pub const fn new(raw: u32) -> Self {
+        StreamId(raw)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the raw index widened to `usize` (for array indexing).
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RequestId {
+    /// Creates a request id from its raw index.
+    pub const fn new(raw: u64) -> Self {
+        RequestId(raw)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DiskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk{}", self.0)
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// A contiguous extent of physical blocks on one disk.
+///
+/// Produced by [`crate::StripingMap::split`] when a logical request is
+/// scattered over the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiskExtent {
+    /// Which disk the extent lives on.
+    pub disk: DiskId,
+    /// First physical block of the extent.
+    pub start: PhysBlock,
+    /// Number of blocks in the extent.
+    pub nblocks: u32,
+}
+
+impl DiskExtent {
+    /// One-past-the-end physical block.
+    pub fn end(&self) -> PhysBlock {
+        self.start.offset(self.nblocks as u64)
+    }
+
+    /// Iterates over the physical blocks of the extent.
+    pub fn blocks(&self) -> impl Iterator<Item = PhysBlock> + '_ {
+        (0..self.nblocks as u64).map(move |i| self.start.offset(i))
+    }
+}
+
+impl fmt::Display for DiskExtent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}..+{}]", self.disk, self.start, self.nblocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtypes_are_distinct_and_ordered() {
+        let a = LogicalBlock::new(1);
+        let b = LogicalBlock::new(2);
+        assert!(a < b);
+        assert_eq!(b.distance_from(a), 1);
+        assert_eq!(a.offset(4), LogicalBlock::new(5));
+    }
+
+    #[test]
+    fn extent_end_and_blocks() {
+        let e = DiskExtent { disk: DiskId::new(3), start: PhysBlock::new(10), nblocks: 4 };
+        assert_eq!(e.end(), PhysBlock::new(14));
+        let blocks: Vec<_> = e.blocks().collect();
+        assert_eq!(blocks, vec![
+            PhysBlock::new(10),
+            PhysBlock::new(11),
+            PhysBlock::new(12),
+            PhysBlock::new(13),
+        ]);
+    }
+
+    #[test]
+    fn read_write_predicates() {
+        assert!(ReadWrite::Read.is_read());
+        assert!(!ReadWrite::Read.is_write());
+        assert!(ReadWrite::Write.is_write());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LogicalBlock::new(7).to_string(), "L7");
+        assert_eq!(PhysBlock::new(7).to_string(), "P7");
+        assert_eq!(DiskId::new(2).to_string(), "disk2");
+        assert_eq!(StreamId::new(9).to_string(), "stream9");
+        assert_eq!(RequestId::new(1).to_string(), "req1");
+    }
+}

@@ -1,0 +1,133 @@
+//! Rotational-position model.
+//!
+//! The platter spins continuously; the angular position at any simulated
+//! instant is `(t mod T_rev) / T_rev`. Rotational latency to a target
+//! sector is the time until that sector's leading edge rotates under the
+//! head — simulated "in detail" as the paper puts it, rather than drawn
+//! from a distribution.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A constant-velocity spindle.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_sim::RotationModel;
+///
+/// let r = RotationModel::new(15_000);
+/// assert_eq!(r.period().as_nanos(), 4_000_000); // 4 ms per revolution
+/// assert_eq!(r.average_latency().as_nanos(), 2_000_000); // Table 1: 2.0 ms
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotationModel {
+    rpm: u32,
+    period_ns: u64,
+}
+
+impl RotationModel {
+    /// Creates a spindle spinning at `rpm` revolutions per minute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rpm` is zero.
+    pub fn new(rpm: u32) -> Self {
+        assert!(rpm > 0, "rpm must be positive");
+        let period_ns = 60_000_000_000u64 / rpm as u64;
+        RotationModel { rpm, period_ns }
+    }
+
+    /// The spindle speed in revolutions per minute.
+    pub fn rpm(&self) -> u32 {
+        self.rpm
+    }
+
+    /// Duration of one revolution.
+    pub fn period(&self) -> SimDuration {
+        SimDuration::from_nanos(self.period_ns)
+    }
+
+    /// Average rotational latency (half a revolution).
+    pub fn average_latency(&self) -> SimDuration {
+        SimDuration::from_nanos(self.period_ns / 2)
+    }
+
+    /// Angular position at instant `t`, as a fraction of a revolution in
+    /// `[0, 1)`.
+    pub fn angle_at(&self, t: SimTime) -> f64 {
+        (t.as_nanos() % self.period_ns) as f64 / self.period_ns as f64
+    }
+
+    /// Time from instant `t` until the platter reaches angular position
+    /// `target` (fraction of a revolution in `[0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `target` is outside `[0, 1)`.
+    pub fn latency_to(&self, target: f64, t: SimTime) -> SimDuration {
+        debug_assert!((0.0..1.0).contains(&target), "target angle {target} out of range");
+        let target_ns = (target * self.period_ns as f64).round() as u64 % self.period_ns;
+        let now_ns = t.as_nanos() % self.period_ns;
+        let wait = if target_ns >= now_ns {
+            target_ns - now_ns
+        } else {
+            self.period_ns - (now_ns - target_ns)
+        };
+        SimDuration::from_nanos(wait)
+    }
+}
+
+impl Default for RotationModel {
+    fn default() -> Self {
+        RotationModel::new(15_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_of_15000_rpm_is_4ms() {
+        let r = RotationModel::new(15_000);
+        assert_eq!(r.period(), SimDuration::from_millis(4));
+        assert_eq!(r.rpm(), 15_000);
+    }
+
+    #[test]
+    fn angle_advances_linearly_and_wraps() {
+        let r = RotationModel::new(15_000);
+        assert_eq!(r.angle_at(SimTime::ZERO), 0.0);
+        assert!((r.angle_at(SimTime::from_nanos(1_000_000)) - 0.25).abs() < 1e-12);
+        assert!((r.angle_at(SimTime::from_nanos(5_000_000)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_to_ahead_and_behind() {
+        let r = RotationModel::new(15_000);
+        let t = SimTime::from_nanos(1_000_000); // angle 0.25
+        // Target just ahead: quarter revolution away.
+        assert_eq!(r.latency_to(0.5, t), SimDuration::from_millis(1));
+        // Target just behind: three quarters away.
+        assert_eq!(r.latency_to(0.0, t), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn latency_at_exact_target_is_zero() {
+        let r = RotationModel::new(15_000);
+        let t = SimTime::from_nanos(2_000_000); // angle 0.5
+        assert_eq!(r.latency_to(0.5, t), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn latency_never_exceeds_period() {
+        let r = RotationModel::new(15_000);
+        for i in 0..200u64 {
+            let t = SimTime::from_nanos(i * 37_911);
+            for j in 0..20 {
+                let target = j as f64 / 20.0;
+                assert!(r.latency_to(target, t) < r.period());
+            }
+        }
+    }
+}

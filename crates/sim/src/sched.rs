@@ -1,0 +1,340 @@
+//! Per-disk request schedulers.
+//!
+//! Each disk controller keeps a queue of pending media operations. The
+//! paper's controllers use the LOOK (elevator) algorithm; FCFS, SSTF and
+//! C-LOOK are provided for scheduling ablations.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::config::SchedulerKind;
+use crate::request::{PhysBlock, ReadWrite};
+
+/// A media operation waiting in a disk queue.
+///
+/// `token` is an opaque caller-owned identifier (the system simulation
+/// uses it to find the sub-request the operation belongs to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedOp {
+    /// Caller-owned identifier.
+    pub token: u64,
+    /// First physical block requested (before read-ahead extension).
+    pub start: PhysBlock,
+    /// Number of blocks requested.
+    pub nblocks: u32,
+    /// Read or write.
+    pub kind: ReadWrite,
+    /// Target cylinder (precomputed by the caller from the geometry).
+    pub cylinder: u32,
+}
+
+/// A disk-queue scheduling discipline.
+///
+/// Implementations must eventually serve every pushed operation
+/// (no starvation under a finite arrival stream).
+pub trait DiskScheduler: std::fmt::Debug {
+    /// Adds an operation to the queue.
+    fn push(&mut self, op: QueuedOp);
+
+    /// Removes and returns the next operation to service, given the
+    /// head's current cylinder.
+    fn pop_next(&mut self, head_cylinder: u32) -> Option<QueuedOp>;
+
+    /// Number of queued operations.
+    fn len(&self) -> usize;
+
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The discipline's kind tag.
+    fn kind(&self) -> SchedulerKind;
+}
+
+/// Creates a boxed scheduler of the requested kind.
+///
+/// # Example
+///
+/// ```
+/// use forhdc_sim::config::SchedulerKind;
+/// use forhdc_sim::sched::make_scheduler;
+///
+/// let s = make_scheduler(SchedulerKind::Look);
+/// assert!(s.is_empty());
+/// assert_eq!(s.kind(), SchedulerKind::Look);
+/// ```
+pub fn make_scheduler(kind: SchedulerKind) -> Box<dyn DiskScheduler> {
+    match kind {
+        SchedulerKind::Look => Box::new(LookScheduler::new()),
+        SchedulerKind::Fcfs => Box::new(FcfsScheduler::new()),
+        SchedulerKind::Sstf => Box::new(SstfScheduler::new()),
+        SchedulerKind::Clook => Box::new(ClookScheduler::new()),
+    }
+}
+
+/// LOOK (elevator) scheduling: sweep in the current direction serving
+/// every queued cylinder, reverse when nothing remains ahead.
+#[derive(Debug, Default)]
+pub struct LookScheduler {
+    queue: BTreeMap<(u32, u64), QueuedOp>,
+    seq: u64,
+    sweeping_up: bool,
+}
+
+impl LookScheduler {
+    /// Creates an empty LOOK queue sweeping upward.
+    pub fn new() -> Self {
+        LookScheduler { queue: BTreeMap::new(), seq: 0, sweeping_up: true }
+    }
+}
+
+impl DiskScheduler for LookScheduler {
+    fn push(&mut self, op: QueuedOp) {
+        let key = (op.cylinder, self.seq);
+        self.seq += 1;
+        self.queue.insert(key, op);
+    }
+
+    fn pop_next(&mut self, head_cylinder: u32) -> Option<QueuedOp> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        if self.sweeping_up {
+            if let Some((&key, _)) = self.queue.range((head_cylinder, 0)..).next() {
+                return self.queue.remove(&key);
+            }
+            self.sweeping_up = false;
+        }
+        // Sweeping down: largest key at or below the head; if none,
+        // reverse again.
+        if let Some((&key, _)) = self.queue.range(..(head_cylinder + 1, 0)).next_back() {
+            return self.queue.remove(&key);
+        }
+        self.sweeping_up = true;
+        let (&key, _) = self.queue.range((head_cylinder, 0)..).next()?;
+        self.queue.remove(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Look
+    }
+}
+
+/// First-come first-served scheduling.
+#[derive(Debug, Default)]
+pub struct FcfsScheduler {
+    queue: VecDeque<QueuedOp>,
+}
+
+impl FcfsScheduler {
+    /// Creates an empty FCFS queue.
+    pub fn new() -> Self {
+        FcfsScheduler { queue: VecDeque::new() }
+    }
+}
+
+impl DiskScheduler for FcfsScheduler {
+    fn push(&mut self, op: QueuedOp) {
+        self.queue.push_back(op);
+    }
+
+    fn pop_next(&mut self, _head_cylinder: u32) -> Option<QueuedOp> {
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Fcfs
+    }
+}
+
+/// Shortest-seek-time-first scheduling (greedy nearest cylinder; can
+/// starve under sustained load, which is why it is ablation-only).
+#[derive(Debug, Default)]
+pub struct SstfScheduler {
+    queue: Vec<QueuedOp>,
+}
+
+impl SstfScheduler {
+    /// Creates an empty SSTF queue.
+    pub fn new() -> Self {
+        SstfScheduler { queue: Vec::new() }
+    }
+}
+
+impl DiskScheduler for SstfScheduler {
+    fn push(&mut self, op: QueuedOp) {
+        self.queue.push(op);
+    }
+
+    fn pop_next(&mut self, head_cylinder: u32) -> Option<QueuedOp> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let (idx, _) = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, op)| (op.cylinder.abs_diff(head_cylinder), *i))
+            .expect("non-empty queue");
+        Some(self.queue.swap_remove(idx))
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Sstf
+    }
+}
+
+/// Circular LOOK: always sweep upward; when nothing remains ahead, jump
+/// back to the lowest queued cylinder.
+#[derive(Debug, Default)]
+pub struct ClookScheduler {
+    queue: BTreeMap<(u32, u64), QueuedOp>,
+    seq: u64,
+}
+
+impl ClookScheduler {
+    /// Creates an empty C-LOOK queue.
+    pub fn new() -> Self {
+        ClookScheduler { queue: BTreeMap::new(), seq: 0 }
+    }
+}
+
+impl DiskScheduler for ClookScheduler {
+    fn push(&mut self, op: QueuedOp) {
+        let key = (op.cylinder, self.seq);
+        self.seq += 1;
+        self.queue.insert(key, op);
+    }
+
+    fn pop_next(&mut self, head_cylinder: u32) -> Option<QueuedOp> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let key = match self.queue.range((head_cylinder, 0)..).next() {
+            Some((&key, _)) => key,
+            None => *self.queue.keys().next().expect("non-empty queue"),
+        };
+        self.queue.remove(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Clook
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(token: u64, cylinder: u32) -> QueuedOp {
+        QueuedOp {
+            token,
+            start: PhysBlock::new(cylinder as u64 * 440),
+            nblocks: 1,
+            kind: ReadWrite::Read,
+            cylinder,
+        }
+    }
+
+    fn drain(s: &mut dyn DiskScheduler, mut head: u32) -> Vec<u32> {
+        let mut order = Vec::new();
+        while let Some(o) = s.pop_next(head) {
+            order.push(o.cylinder);
+            head = o.cylinder;
+        }
+        order
+    }
+
+    #[test]
+    fn look_sweeps_up_then_down() {
+        let mut s = LookScheduler::new();
+        for &c in &[50, 10, 80, 30, 60] {
+            s.push(op(c as u64, c));
+        }
+        // Head at 40, sweeping up: 50, 60, 80, then down: 30, 10.
+        assert_eq!(drain(&mut s, 40), vec![50, 60, 80, 30, 10]);
+    }
+
+    #[test]
+    fn look_reverses_twice_if_needed() {
+        let mut s = LookScheduler::new();
+        s.push(op(1, 10));
+        assert_eq!(s.pop_next(40).unwrap().cylinder, 10); // nothing above 40
+        s.push(op(2, 90));
+        // Now sweeping down from 10; nothing below, so reverse to 90.
+        assert_eq!(s.pop_next(10).unwrap().cylinder, 90);
+    }
+
+    #[test]
+    fn look_same_cylinder_is_fifo() {
+        let mut s = LookScheduler::new();
+        s.push(op(1, 5));
+        s.push(op(2, 5));
+        assert_eq!(s.pop_next(0).unwrap().token, 1);
+        assert_eq!(s.pop_next(5).unwrap().token, 2);
+    }
+
+    #[test]
+    fn fcfs_preserves_arrival_order() {
+        let mut s = FcfsScheduler::new();
+        for &c in &[50, 10, 80] {
+            s.push(op(c as u64, c));
+        }
+        assert_eq!(drain(&mut s, 0), vec![50, 10, 80]);
+    }
+
+    #[test]
+    fn sstf_picks_nearest() {
+        let mut s = SstfScheduler::new();
+        for &c in &[50, 10, 80, 42] {
+            s.push(op(c as u64, c));
+        }
+        // 42 (dist 2), then 50 (8), then 80 (30) beats 10 (40), then 10.
+        assert_eq!(drain(&mut s, 40), vec![42, 50, 80, 10]);
+    }
+
+    #[test]
+    fn clook_wraps_to_bottom() {
+        let mut s = ClookScheduler::new();
+        for &c in &[50, 10, 80, 30] {
+            s.push(op(c as u64, c));
+        }
+        // Head at 40: 50, 80, wrap to 10, 30.
+        assert_eq!(drain(&mut s, 40), vec![50, 80, 10, 30]);
+    }
+
+    #[test]
+    fn all_schedulers_serve_everything() {
+        for kind in [
+            SchedulerKind::Look,
+            SchedulerKind::Fcfs,
+            SchedulerKind::Sstf,
+            SchedulerKind::Clook,
+        ] {
+            let mut s = make_scheduler(kind);
+            for i in 0..100u64 {
+                s.push(op(i, ((i * 37) % 500) as u32));
+            }
+            assert_eq!(s.len(), 100);
+            let served = drain(s.as_mut(), 250);
+            assert_eq!(served.len(), 100, "{kind:?} lost requests");
+            assert!(s.is_empty());
+        }
+    }
+}

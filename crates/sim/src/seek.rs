@@ -1,0 +1,274 @@
+//! The paper's piecewise seek-time model and a least-squares fitter.
+//!
+//! Section 2.1 of the paper approximates seek time as
+//!
+//! ```text
+//!               ⎧ 0             n = 0
+//! seek_time(n) =⎨ α + β·√n      0 < n ≤ θ
+//!               ⎩ γ + δ·n       n > θ
+//! ```
+//!
+//! where `n` is the number of cylinders traveled. The constants for the
+//! IBM Ultrastar 36Z15 (paper §6.1) are α = 0.9336, β = 0.0364,
+//! γ = 1.5503, δ = 0.00054 (milliseconds) and θ = 1150 cylinders.
+
+use crate::time::SimDuration;
+
+/// Piecewise seek-time model (`α + β·√n` for short seeks, `γ + δ·n` for
+/// long ones).
+///
+/// # Example
+///
+/// ```
+/// use forhdc_sim::SeekModel;
+///
+/// let m = SeekModel::ultrastar_36z15();
+/// assert_eq!(m.seek_time(0).as_nanos(), 0);
+/// // A one-cylinder seek costs about α + β ≈ 0.97 ms.
+/// assert!((m.seek_time(1).as_millis_f64() - 0.97).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekModel {
+    alpha_ms: f64,
+    beta_ms: f64,
+    gamma_ms: f64,
+    delta_ms: f64,
+    theta: u32,
+}
+
+impl SeekModel {
+    /// Creates a model from explicit constants (milliseconds and a
+    /// cylinder threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is negative or `theta` is zero.
+    pub fn new(alpha_ms: f64, beta_ms: f64, gamma_ms: f64, delta_ms: f64, theta: u32) -> Self {
+        assert!(alpha_ms >= 0.0 && beta_ms >= 0.0 && gamma_ms >= 0.0 && delta_ms >= 0.0);
+        assert!(theta > 0, "theta must be positive");
+        SeekModel { alpha_ms, beta_ms, gamma_ms, delta_ms, theta }
+    }
+
+    /// The constants the paper fits to the IBM Ultrastar 36Z15.
+    pub fn ultrastar_36z15() -> Self {
+        SeekModel::new(0.9336, 0.0364, 1.5503, 0.00054, 1150)
+    }
+
+    /// Seek time for a travel of `n` cylinders.
+    pub fn seek_time(&self, n: u32) -> SimDuration {
+        SimDuration::from_millis_f64(self.seek_ms(n))
+    }
+
+    /// Seek time in fractional milliseconds (the raw model output).
+    pub fn seek_ms(&self, n: u32) -> f64 {
+        if n == 0 {
+            0.0
+        } else if n <= self.theta {
+            self.alpha_ms + self.beta_ms * (n as f64).sqrt()
+        } else {
+            self.gamma_ms + self.delta_ms * n as f64
+        }
+    }
+
+    /// The short-seek intercept α (ms).
+    pub fn alpha_ms(&self) -> f64 {
+        self.alpha_ms
+    }
+
+    /// The short-seek √ coefficient β (ms).
+    pub fn beta_ms(&self) -> f64 {
+        self.beta_ms
+    }
+
+    /// The long-seek intercept γ (ms).
+    pub fn gamma_ms(&self) -> f64 {
+        self.gamma_ms
+    }
+
+    /// The long-seek slope δ (ms per cylinder).
+    pub fn delta_ms(&self) -> f64 {
+        self.delta_ms
+    }
+
+    /// The crossover distance θ (cylinders).
+    pub fn theta(&self) -> u32 {
+        self.theta
+    }
+
+    /// Expected seek time for uniformly random start and target cylinders
+    /// on a disk of `cylinders` cylinders.
+    ///
+    /// For independent uniform endpoints, the travel distance `d` has
+    /// density `2(C - d) / C²`; this integrates the model against it
+    /// (exactly, by summing over all distances).
+    pub fn average_seek_ms(&self, cylinders: u32) -> f64 {
+        assert!(cylinders > 0);
+        let c = cylinders as f64;
+        let mut acc = 0.0;
+        for d in 1..cylinders {
+            let p = 2.0 * (c - d as f64) / (c * c);
+            acc += p * self.seek_ms(d);
+        }
+        acc
+    }
+
+    /// Fits model constants to `(distance, seek_ms)` samples by least
+    /// squares, given a fixed crossover `theta`.
+    ///
+    /// Samples at distance ≤ θ fit `α + β·√n`; the rest fit `γ + δ·n`.
+    /// A region with fewer than two samples keeps zero coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `theta` is zero.
+    pub fn fit_with_theta(samples: &[(u32, f64)], theta: u32) -> Self {
+        assert!(!samples.is_empty(), "need samples to fit");
+        assert!(theta > 0);
+        let short: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|&&(n, _)| n > 0 && n <= theta)
+            .map(|&(n, t)| ((n as f64).sqrt(), t))
+            .collect();
+        let long: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|&&(n, _)| n > theta)
+            .map(|&(n, t)| (n as f64, t))
+            .collect();
+        let (alpha, beta) = linear_fit(&short).unwrap_or((0.0, 0.0));
+        let (gamma, delta) = linear_fit(&long).unwrap_or((0.0, 0.0));
+        SeekModel::new(alpha.max(0.0), beta.max(0.0), gamma.max(0.0), delta.max(0.0), theta)
+    }
+
+    /// Fits model constants to samples, searching candidate crossover
+    /// points for the θ with the lowest total squared error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` has fewer than four points.
+    pub fn fit(samples: &[(u32, f64)]) -> Self {
+        assert!(samples.len() >= 4, "need at least 4 samples to fit a crossover");
+        let max_n = samples.iter().map(|&(n, _)| n).max().unwrap();
+        let mut best: Option<(f64, SeekModel)> = None;
+        // Candidate thetas: each observed distance (other than the max).
+        for &(theta, _) in samples {
+            if theta == 0 || theta >= max_n {
+                continue;
+            }
+            let model = SeekModel::fit_with_theta(samples, theta);
+            let err: f64 = samples
+                .iter()
+                .map(|&(n, t)| {
+                    let e = model.seek_ms(n) - t;
+                    e * e
+                })
+                .sum();
+            if best.as_ref().is_none_or(|(b, _)| err < *b) {
+                best = Some((err, model));
+            }
+        }
+        best.expect("at least one candidate theta").1
+    }
+}
+
+impl Default for SeekModel {
+    fn default() -> Self {
+        SeekModel::ultrastar_36z15()
+    }
+}
+
+/// Ordinary least squares for `y = a + b·x`. Returns `None` with fewer
+/// than two points or a degenerate x spread.
+fn linear_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    Some((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_is_free() {
+        assert_eq!(SeekModel::ultrastar_36z15().seek_ms(0), 0.0);
+    }
+
+    #[test]
+    fn model_is_continuous_at_theta() {
+        let m = SeekModel::ultrastar_36z15();
+        let at = m.seek_ms(m.theta());
+        let after = m.seek_ms(m.theta() + 1);
+        assert!((after - at).abs() < 0.05, "discontinuity at theta: {at} vs {after}");
+    }
+
+    #[test]
+    fn model_is_monotonic() {
+        let m = SeekModel::ultrastar_36z15();
+        let mut prev = 0.0;
+        for n in 1..5000 {
+            let t = m.seek_ms(n);
+            assert!(t >= prev, "seek time decreased at {n}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn average_seek_matches_nominal_3_4ms() {
+        // Table 1: average seek 3.4 ms on the ~10k-cylinder geometry.
+        let m = SeekModel::ultrastar_36z15();
+        let avg = m.average_seek_ms(9_988);
+        assert!((avg - 3.4).abs() < 0.35, "average seek {avg} far from nominal 3.4 ms");
+    }
+
+    #[test]
+    fn fit_recovers_known_constants() {
+        let truth = SeekModel::ultrastar_36z15();
+        let samples: Vec<(u32, f64)> = (1..40)
+            .map(|i| {
+                let n = i * 250; // spans both regions (theta = 1150)
+                (n, truth.seek_ms(n))
+            })
+            .collect();
+        let fitted = SeekModel::fit(&samples);
+        for n in [1u32, 100, 500, 1150, 2000, 8000] {
+            let err = (fitted.seek_ms(n) - truth.seek_ms(n)).abs();
+            assert!(err < 0.08, "fit error {err} at n={n}");
+        }
+    }
+
+    #[test]
+    fn fit_with_theta_handles_one_region() {
+        // All samples short: the long region stays zeroed.
+        let truth = SeekModel::ultrastar_36z15();
+        let samples: Vec<(u32, f64)> = (1..20).map(|n| (n * 10, truth.seek_ms(n * 10))).collect();
+        let fitted = SeekModel::fit_with_theta(&samples, 1150);
+        assert!((fitted.alpha_ms() - truth.alpha_ms()).abs() < 0.05);
+        assert_eq!(fitted.gamma_ms(), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 + 3.0 * i as f64)).collect();
+        let (a, b) = linear_fit(&pts).unwrap();
+        assert!((a - 2.0).abs() < 1e-9);
+        assert!((b - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_is_none() {
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+}

@@ -1,0 +1,285 @@
+//! Disk-level access traces.
+//!
+//! A [`Trace`] is the stream of logical-block requests that reaches the
+//! disk array — what remains *after* the application and file-system
+//! buffer caches (the paper instruments Linux 2.4.18 to log exactly
+//! this). Requests are replayed by the closed-loop stream driver "as
+//! fast as possible" to find the maximum throughput.
+
+use forhdc_layout::FileMap;
+use forhdc_sim::{LogicalBlock, ReadWrite};
+
+/// One logged disk access: a contiguous logical extent, read or written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRequest {
+    /// First logical block.
+    pub start: LogicalBlock,
+    /// Extent length in blocks.
+    pub nblocks: u32,
+    /// Read or write.
+    pub kind: ReadWrite,
+}
+
+/// An ordered disk-access log, optionally grouped into *jobs*.
+///
+/// A job is the request sequence of one server-level operation (e.g.
+/// all the disk requests of one whole-file read). The stream driver
+/// issues a job's requests sequentially on one stream — a server
+/// worker handles one file at a time — while different jobs run
+/// concurrently across streams.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    requests: Vec<TraceRequest>,
+    /// Length of each job; empty means every request is its own job.
+    job_lens: Vec<u32>,
+}
+
+impl Trace {
+    /// Creates a trace where every request is an independent job.
+    pub fn new(requests: Vec<TraceRequest>) -> Self {
+        Trace { requests, job_lens: Vec::new() }
+    }
+
+    /// Creates a trace with explicit job grouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job lengths do not sum to the request count or any
+    /// job is empty.
+    pub fn with_jobs(requests: Vec<TraceRequest>, job_lens: Vec<u32>) -> Self {
+        let total: u64 = job_lens.iter().map(|&l| l as u64).sum();
+        assert_eq!(total, requests.len() as u64, "job lengths must cover the requests");
+        assert!(job_lens.iter().all(|&l| l > 0), "jobs must be non-empty");
+        Trace { requests, job_lens }
+    }
+
+    /// Number of jobs.
+    pub fn job_count(&self) -> usize {
+        if self.job_lens.is_empty() {
+            self.requests.len()
+        } else {
+            self.job_lens.len()
+        }
+    }
+
+    /// Iterates over the jobs as request slices.
+    pub fn jobs(&self) -> impl Iterator<Item = &[TraceRequest]> + '_ {
+        JobIter { trace: self, req_idx: 0, job_idx: 0 }
+    }
+
+    /// The logged requests, in arrival order.
+    pub fn requests(&self) -> &[TraceRequest] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Total blocks accessed (with repetition).
+    pub fn total_blocks(&self) -> u64 {
+        self.requests.iter().map(|r| r.nblocks as u64).sum()
+    }
+
+    /// Fraction of requests that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.requests.iter().filter(|r| r.kind.is_write()).count() as f64
+            / self.requests.len() as f64
+    }
+
+    /// Mean request size in blocks.
+    pub fn mean_request_blocks(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.total_blocks() as f64 / self.requests.len() as f64
+    }
+
+    /// One-past-the-highest logical block touched (0 for an empty trace).
+    pub fn footprint_blocks(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|r| r.start.index() + r.nblocks as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-block access counts over the whole trace, indexed by logical
+    /// block up to the footprint. This is the raw data of Figure 2 and
+    /// the input to the HDC planner ("the blocks that cause the most
+    /// misses in the buffer cache").
+    pub fn block_access_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.footprint_blocks() as usize];
+        for r in &self.requests {
+            for i in 0..r.nblocks as u64 {
+                counts[(r.start.index() + i) as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Access counts of the `top` most-accessed blocks, descending —
+    /// the Figure 2 curve.
+    pub fn popularity_curve(&self, top: usize) -> Vec<u32> {
+        let mut counts = self.block_access_counts();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts.truncate(top);
+        counts
+    }
+}
+
+struct JobIter<'a> {
+    trace: &'a Trace,
+    req_idx: usize,
+    job_idx: usize,
+}
+
+impl<'a> Iterator for JobIter<'a> {
+    type Item = &'a [TraceRequest];
+
+    fn next(&mut self) -> Option<&'a [TraceRequest]> {
+        if self.req_idx >= self.trace.requests.len() {
+            return None;
+        }
+        let len = if self.trace.job_lens.is_empty() {
+            1
+        } else {
+            self.trace.job_lens[self.job_idx] as usize
+        };
+        let slice = &self.trace.requests[self.req_idx..self.req_idx + len];
+        self.req_idx += len;
+        self.job_idx += 1;
+        Some(slice)
+    }
+}
+
+impl FromIterator<TraceRequest> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceRequest>>(iter: I) -> Self {
+        Trace::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<TraceRequest> for Trace {
+    fn extend<I: IntoIterator<Item = TraceRequest>>(&mut self, iter: I) {
+        let before = self.requests.len();
+        self.requests.extend(iter);
+        if !self.job_lens.is_empty() {
+            // Appended requests become singleton jobs.
+            self.job_lens.extend(std::iter::repeat_n(1, self.requests.len() - before));
+        }
+    }
+}
+
+/// A complete simulator input: the file layout, the disk-access trace
+/// over it, and the number of concurrent I/O streams replaying it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable label (appears in reports).
+    pub name: String,
+    /// The host file system's placement of files.
+    pub layout: FileMap,
+    /// The disk-access log.
+    pub trace: Trace,
+    /// Concurrent streams replaying the log (the paper's server worker
+    /// count: 16 for the Web server, 128 for proxy and file server).
+    pub streams: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(start: u64, n: u32, kind: ReadWrite) -> TraceRequest {
+        TraceRequest { start: LogicalBlock::new(start), nblocks: n, kind }
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let t = Trace::new(vec![
+            req(0, 4, ReadWrite::Read),
+            req(8, 2, ReadWrite::Write),
+            req(0, 4, ReadWrite::Read),
+        ]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_blocks(), 10);
+        assert!((t.write_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((t.mean_request_blocks() - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.footprint_blocks(), 10);
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.write_fraction(), 0.0);
+        assert_eq!(t.mean_request_blocks(), 0.0);
+        assert_eq!(t.footprint_blocks(), 0);
+        assert!(t.popularity_curve(10).is_empty());
+    }
+
+    #[test]
+    fn access_counts_and_popularity() {
+        let t = Trace::new(vec![
+            req(0, 2, ReadWrite::Read),
+            req(1, 2, ReadWrite::Read),
+            req(1, 1, ReadWrite::Write),
+        ]);
+        assert_eq!(t.block_access_counts(), vec![1, 3, 1]);
+        assert_eq!(t.popularity_curve(2), vec![3, 1]);
+        assert_eq!(t.popularity_curve(10), vec![3, 1, 1]);
+    }
+
+    #[test]
+    fn default_jobs_are_singletons() {
+        let t = Trace::new(vec![req(0, 1, ReadWrite::Read); 3]);
+        assert_eq!(t.job_count(), 3);
+        let jobs: Vec<usize> = t.jobs().map(|j| j.len()).collect();
+        assert_eq!(jobs, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn explicit_jobs_group_requests() {
+        let t = Trace::with_jobs(vec![req(0, 1, ReadWrite::Read); 5], vec![2, 1, 2]);
+        assert_eq!(t.job_count(), 3);
+        let jobs: Vec<usize> = t.jobs().map(|j| j.len()).collect();
+        assert_eq!(jobs, vec![2, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the requests")]
+    fn mismatched_job_lengths_panic() {
+        let _ = Trace::with_jobs(vec![req(0, 1, ReadWrite::Read); 3], vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_job_panics() {
+        let _ = Trace::with_jobs(vec![req(0, 1, ReadWrite::Read); 2], vec![2, 0]);
+    }
+
+    #[test]
+    fn extend_keeps_job_invariant() {
+        let mut t = Trace::with_jobs(vec![req(0, 1, ReadWrite::Read); 2], vec![2]);
+        t.extend([req(5, 1, ReadWrite::Write)]);
+        assert_eq!(t.job_count(), 2);
+        assert_eq!(t.jobs().last().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: Trace = (0..5).map(|i| req(i, 1, ReadWrite::Read)).collect();
+        assert_eq!(t.len(), 5);
+        let mut t2 = t.clone();
+        t2.extend([req(9, 1, ReadWrite::Write)]);
+        assert_eq!(t2.len(), 6);
+    }
+}

@@ -1,0 +1,102 @@
+//! Small numeric helpers: deterministic normal and log-normal sampling
+//! (Box–Muller over the crate's uniform RNG — `rand_distr` is not in
+//! the approved dependency set).
+
+use rand::Rng;
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 (ln(0) = -inf).
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::EPSILON {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws one log-normal sample with the given *arithmetic mean* and
+/// log-space standard deviation `sigma` (`μ = ln(mean) − σ²/2`).
+///
+/// # Panics
+///
+/// Panics if `mean` is not positive or `sigma` is negative.
+pub fn lognormal_with_mean<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(mean > 0.0, "mean must be positive");
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    let mu = mean.ln() - sigma * sigma / 2.0;
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Samples a file size in blocks: log-normal with the given mean (in
+/// blocks), clamped to `1..=max_blocks`.
+///
+/// # Panics
+///
+/// Panics if `mean_blocks` is not positive or `max_blocks` is zero.
+pub fn sample_file_blocks<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean_blocks: f64,
+    sigma: f64,
+    max_blocks: u32,
+) -> u32 {
+    assert!(max_blocks > 0);
+    let x = lognormal_with_mean(rng, mean_blocks, sigma);
+    (x.round() as u64).clamp(1, max_blocks as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn lognormal_hits_target_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let target = 6.0;
+        let mean = (0..n)
+            .map(|_| lognormal_with_mean(&mut rng, target, 1.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - target).abs() / target < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert!((lognormal_with_mean(&mut rng, 4.0, 0.0) - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn file_blocks_clamped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let b = sample_file_blocks(&mut rng, 6.0, 2.0, 64);
+            assert!((1..=64).contains(&b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn bad_mean_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = lognormal_with_mean(&mut rng, 0.0, 1.0);
+    }
+}

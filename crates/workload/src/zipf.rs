@@ -1,0 +1,187 @@
+//! Bradford/Zipf popularity sampling.
+//!
+//! The paper draws request targets from a "Bradford Zipf distribution"
+//! with coefficient α (default 0.4 for the synthetics; Figure 2 fits
+//! the real disk logs with α ≈ 0.43). Rank `i` (1-based) is requested
+//! with probability proportional to `1 / i^α`; α = 0 degenerates to the
+//! uniform distribution and larger α concentrates mass on few ranks.
+
+use rand::Rng;
+
+/// A sampler over ranks `0..n` with Zipf(α) popularity.
+///
+/// Construction is `O(n)`; sampling is `O(log n)` (binary search over
+/// the precomputed CDF).
+///
+/// # Example
+///
+/// ```
+/// use forhdc_workload::ZipfSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let z = ZipfSampler::new(1000, 0.8);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let first = z.sample(&mut rng);
+/// assert!(first < 1000);
+/// // Rank 0 is the most popular.
+/// assert!(z.probability(0) > z.probability(999));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with coefficient `alpha ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += (i as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf, alpha }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over zero ranks (never true — construction
+    /// rejects `n = 0` — but provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The coefficient α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability of rank `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Accumulated probability of the `k` most popular ranks — the
+    /// `z_α(H, N)` of section 5 (expected HDC hit rate for `H` pinned
+    /// blocks). `k` larger than `n` saturates at 1.
+    pub fn cumulative(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[(k - 1).min(self.cdf.len() - 1)]
+        }
+    }
+
+    /// Draws one rank (0-based; rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = ZipfSampler::new(100, 0.0);
+        for i in 0..100 {
+            assert!((z.probability(i) - 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for alpha in [0.0, 0.4, 0.43, 1.0, 2.0] {
+            let z = ZipfSampler::new(1000, alpha);
+            let sum: f64 = (0..1000).map(|i| z.probability(i)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "alpha {alpha}: sum {sum}");
+            assert!((z.cumulative(1000) - 1.0).abs() < 1e-12);
+            assert!((z.cumulative(5000) - 1.0).abs() < 1e-12);
+            assert_eq!(z.cumulative(0), 0.0);
+        }
+    }
+
+    #[test]
+    fn higher_alpha_concentrates_mass() {
+        let lo = ZipfSampler::new(10_000, 0.2);
+        let hi = ZipfSampler::new(10_000, 1.0);
+        assert!(hi.cumulative(100) > lo.cumulative(100));
+        assert!(hi.probability(0) > lo.probability(0));
+    }
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let z = ZipfSampler::new(50, 0.8);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0u32; 50];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in [0usize, 1, 10, 49] {
+            let emp = counts[i] as f64 / n as f64;
+            let exp = z.probability(i);
+            assert!((emp - exp).abs() < 0.01, "rank {i}: {emp} vs {exp}");
+        }
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let z = ZipfSampler::new(500, 0.43);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = ZipfSampler::new(1, 0.9);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_alpha_panics() {
+        let _ = ZipfSampler::new(10, -0.1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based invariants of the workload crate: the trace text
+//! format round-trips arbitrary traces, the Zipf sampler's CDF is
+//! coherent, and the generators conserve what they promise.
+
+use proptest::prelude::*;
+
+use forhdc_sim::{LogicalBlock, ReadWrite};
+use forhdc_workload::io::{read_trace, write_trace};
+use forhdc_workload::{SyntheticWorkload, Trace, TraceRequest, ZipfSampler};
+
+fn arb_request() -> impl Strategy<Value = TraceRequest> {
+    (0u64..1_000_000, 1u32..200, any::<bool>()).prop_map(|(start, n, w)| TraceRequest {
+        start: LogicalBlock::new(start),
+        nblocks: n,
+        kind: if w { ReadWrite::Write } else { ReadWrite::Read },
+    })
+}
+
+/// Random job partition of `n` requests.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_request(), 0..80).prop_flat_map(|reqs| {
+        let n = reqs.len();
+        prop::collection::vec(1u32..5, 0..n.max(1)).prop_map(move |cuts| {
+            // Build job lengths summing exactly to n.
+            let mut lens: Vec<u32> = Vec::new();
+            let mut left = n as u32;
+            for c in cuts {
+                if left == 0 {
+                    break;
+                }
+                let take = c.min(left);
+                lens.push(take);
+                left -= take;
+            }
+            if left > 0 {
+                lens.push(left);
+            }
+            Trace::with_jobs(reqs.clone(), lens)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// write_trace → read_trace is the identity (requests and jobs).
+    #[test]
+    fn trace_text_roundtrip(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.requests(), trace.requests());
+        prop_assert_eq!(back.job_count(), trace.job_count());
+        let a: Vec<usize> = trace.jobs().map(<[TraceRequest]>::len).collect();
+        let b: Vec<usize> = back.jobs().map(<[TraceRequest]>::len).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The Zipf CDF is monotone, normalized, and sampling stays in
+    /// range.
+    #[test]
+    fn zipf_cdf_coherent(n in 1usize..2_000, alpha in 0.0f64..2.0, seed in 0u64..500) {
+        let z = ZipfSampler::new(n, alpha);
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = z.probability(i);
+            prop_assert!(p >= 0.0);
+            if i > 0 {
+                prop_assert!(p <= z.probability(i - 1) + 1e-12, "not non-increasing at {i}");
+            }
+            acc += p;
+        }
+        prop_assert!((acc - 1.0).abs() < 1e-6);
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        // cumulative() matches the probability prefix sums.
+        let k = (n / 2).max(1);
+        let prefix: f64 = (0..k).map(|i| z.probability(i)).sum();
+        prop_assert!((z.cumulative(k) - prefix).abs() < 1e-9);
+    }
+
+    /// Synthetic generation: every request stays within the layout and
+    /// reads whole files exactly.
+    #[test]
+    fn synthetic_requests_stay_in_bounds(
+        requests in 1usize..50,
+        file_blocks in 1u32..16,
+        coalesce in 0.0f64..1.0,
+        seed in 0u64..200,
+    ) {
+        let wl = SyntheticWorkload::builder()
+            .requests(requests)
+            .files(300)
+            .file_blocks(file_blocks)
+            .coalesce_prob(coalesce)
+            .seed(seed)
+            .build();
+        let footprint = wl.layout.total_blocks();
+        for r in wl.trace.requests() {
+            prop_assert!(r.start.index() + r.nblocks as u64 <= footprint);
+            // Every request lies entirely within one file.
+            let owner = wl.layout.owner(r.start).expect("request into a file");
+            let last = wl.layout
+                .owner(LogicalBlock::new(r.start.index() + r.nblocks as u64 - 1))
+                .expect("request end in a file");
+            prop_assert_eq!(owner.file, last.file);
+        }
+        // Each job covers exactly one whole file's worth of blocks.
+        for job in wl.trace.jobs() {
+            let blocks: u64 = job.iter().map(|r| r.nblocks as u64).sum();
+            prop_assert_eq!(blocks, file_blocks as u64);
+        }
+    }
+}

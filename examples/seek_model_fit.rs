@@ -1,0 +1,50 @@
+//! Calibrating the seek model: fit the paper's piecewise
+//! `α + β·√n / γ + δ·n` curve from (noisy) seek-time measurements, the
+//! way §6.1 derives its constants "by performing regressions on actual
+//! seek times".
+//!
+//! ```text
+//! cargo run --release --example seek_model_fit
+//! ```
+
+use forhdc::sim::SeekModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Pretend these came off a real drive: the Ultrastar 36Z15 curve
+    // plus ±3% measurement noise.
+    let truth = SeekModel::ultrastar_36z15();
+    let mut rng = StdRng::seed_from_u64(2002);
+    let samples: Vec<(u32, f64)> = (1..=60)
+        .map(|i| {
+            let n = i * 160; // 160 .. 9600 cylinders
+            let noise = 1.0 + (rng.gen::<f64>() - 0.5) * 0.06;
+            (n, truth.seek_ms(n) * noise)
+        })
+        .collect();
+
+    let fitted = SeekModel::fit(&samples);
+    println!("fitted constants (truth in parentheses):");
+    println!("  alpha = {:.4} ms   ({:.4})", fitted.alpha_ms(), truth.alpha_ms());
+    println!("  beta  = {:.4} ms   ({:.4})", fitted.beta_ms(), truth.beta_ms());
+    println!("  gamma = {:.4} ms   ({:.4})", fitted.gamma_ms(), truth.gamma_ms());
+    println!("  delta = {:.5} ms   ({:.5})", fitted.delta_ms(), truth.delta_ms());
+    println!("  theta = {} cyl  ({})", fitted.theta(), truth.theta());
+
+    println!("\n{:>10} {:>12} {:>12} {:>8}", "distance", "true (ms)", "fitted (ms)", "err");
+    let mut worst: f64 = 0.0;
+    for n in [1u32, 50, 200, 800, 1150, 2000, 5000, 9000] {
+        let t = truth.seek_ms(n);
+        let f = fitted.seek_ms(n);
+        let err = (f - t).abs() / t;
+        worst = worst.max(err);
+        println!("{n:>10} {t:>12.3} {f:>12.3} {:>7.2}%", err * 100.0);
+    }
+    println!("\nworst relative error: {:.2}% — good enough to reproduce Table 1's 3.4 ms average seek", worst * 100.0);
+    println!(
+        "average seek over 10k cylinders: fitted {:.2} ms, true {:.2} ms",
+        fitted.average_seek_ms(10_000),
+        truth.average_seek_ms(10_000)
+    );
+}

@@ -1,0 +1,48 @@
+//! # forhdc — disk-controller cache management for data-intensive servers
+//!
+//! A full reproduction of *Improving Disk Throughput in Data-Intensive
+//! Servers* (Carrera & Bianchini, HPCA 2004): the **FOR** (File-Oriented
+//! Read-ahead) and **HDC** (Host-guided Device Caching) controller-cache
+//! techniques, together with the complete substrate they are evaluated
+//! on — a detailed discrete-event simulator of an Ultra160 SCSI disk
+//! array, controller cache organizations, a file-system layout model,
+//! host-side prefetching/caching, and calibrated server workloads.
+//!
+//! This facade crate re-exports the individual crates:
+//!
+//! * [`sim`] — disk mechanics, scheduling, bus, striping.
+//! * [`cache`] — segment/block controller caches and the HDC region.
+//! * [`layout`] — file layout, fragmentation, the FOR bitmap.
+//! * [`workload`] — Zipf synthetics and server workload clones.
+//! * [`host`] — buffer cache, OS prefetch, coalescing, stream driver.
+//! * [`core`] — the paper's techniques and the full-system simulation.
+//! * [`analytic`] — the paper's closed-form models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use forhdc::core::{SystemConfig, ReadAheadKind, System};
+//! use forhdc::workload::SyntheticWorkload;
+//!
+//! // A small synthetic workload: 200 whole-file reads of 16-KByte files.
+//! let wl = SyntheticWorkload::builder()
+//!     .requests(200)
+//!     .file_blocks(4)
+//!     .files(2_000)
+//!     .seed(42)
+//!     .build();
+//!
+//! // Conventional controller (segment cache + blind read-ahead) ...
+//! let base = System::new(SystemConfig::segm(), &wl).run();
+//! // ... versus FOR.
+//! let for_ = System::new(SystemConfig::for_(), &wl).run();
+//! assert!(for_.io_time <= base.io_time);
+//! ```
+
+pub use forhdc_analytic as analytic;
+pub use forhdc_cache as cache;
+pub use forhdc_core as core;
+pub use forhdc_host as host;
+pub use forhdc_layout as layout;
+pub use forhdc_sim as sim;
+pub use forhdc_workload as workload;

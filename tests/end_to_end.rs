@@ -1,0 +1,170 @@
+//! Cross-crate integration: every policy and configuration completes
+//! every workload, deterministically, with coherent accounting.
+
+use forhdc_cache::{BlockReplacement, SegmentReplacement};
+use forhdc_core::{System, SystemConfig};
+use forhdc_sim::{SchedulerKind, SimDuration};
+use forhdc_workload::{ServerWorkloadSpec, SyntheticWorkload, Workload};
+
+fn small_synthetic(seed: u64) -> Workload {
+    SyntheticWorkload::builder()
+        .requests(500)
+        .files(4_000)
+        .file_blocks(4)
+        .streams(64)
+        .write_fraction(0.1)
+        .seed(seed)
+        .build()
+}
+
+fn all_configs() -> Vec<(String, SystemConfig)> {
+    let mut v = Vec::new();
+    for (name, cfg) in [
+        ("segm", SystemConfig::segm()),
+        ("block", SystemConfig::block()),
+        ("no_ra", SystemConfig::no_ra()),
+        ("for", SystemConfig::for_()),
+    ] {
+        v.push((name.to_string(), cfg.clone()));
+        v.push((format!("{name}+hdc"), cfg.with_hdc(2 * 1024 * 1024)));
+    }
+    v
+}
+
+#[test]
+fn every_policy_completes_every_request() {
+    let wl = small_synthetic(1);
+    for (name, cfg) in all_configs() {
+        let r = System::new(cfg, &wl).run();
+        assert_eq!(r.requests, wl.trace.len() as u64, "{name} lost requests");
+        assert!(r.io_time > SimDuration::ZERO, "{name} zero time");
+        assert!(r.mean_response <= r.max_response, "{name} response stats");
+    }
+}
+
+#[test]
+fn accounting_is_coherent() {
+    let wl = small_synthetic(2);
+    for (name, cfg) in all_configs() {
+        let r = System::new(cfg, &wl).run();
+        // Every block read off the media is either demanded or read-ahead.
+        assert!(r.disk.read_ahead_blocks <= r.disk.blocks_read, "{name}");
+        // Cache stats: hits never exceed lookups.
+        assert!(r.cache.block_hits <= r.cache.block_lookups, "{name}");
+        assert!(r.cache.extent_hits <= r.cache.extent_lookups, "{name}");
+        assert!(r.cache.ra_used <= r.cache.ra_inserted, "{name}");
+        // Busy time per disk can't exceed the run length.
+        for busy in &r.per_disk_busy {
+            assert!(*busy <= r.io_time, "{name}: disk busier than the clock");
+        }
+        // The bus moved at least the payload (hits and media payloads
+        // both cross it; read-ahead doesn't).
+        assert!(r.bus_busy > SimDuration::ZERO, "{name}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let wl = small_synthetic(3);
+    for (name, cfg) in all_configs() {
+        let a = System::new(cfg.clone(), &wl).run();
+        let b = System::new(cfg, &wl).run();
+        assert_eq!(a.io_time, b.io_time, "{name}");
+        assert_eq!(a.disk.media_ops, b.disk.media_ops, "{name}");
+        assert_eq!(a.cache.block_hits, b.cache.block_hits, "{name}");
+        assert_eq!(a.hdc.read_hits, b.hdc.read_hits, "{name}");
+    }
+}
+
+#[test]
+fn schedulers_and_replacements_compose() {
+    let wl = small_synthetic(4);
+    for sched in [
+        SchedulerKind::Look,
+        SchedulerKind::Fcfs,
+        SchedulerKind::Sstf,
+        SchedulerKind::Clook,
+    ] {
+        for (blk, seg) in [
+            (BlockReplacement::Mru, SegmentReplacement::Lru),
+            (BlockReplacement::Lru, SegmentReplacement::Fifo),
+            (BlockReplacement::Mru, SegmentReplacement::Random),
+            (BlockReplacement::Lru, SegmentReplacement::RoundRobin),
+        ] {
+            let r = System::new(
+                SystemConfig::segm().with_scheduler(sched).with_replacement(blk, seg),
+                &wl,
+            )
+            .run();
+            assert_eq!(r.requests, wl.trace.len() as u64, "{sched:?}/{seg:?}");
+        }
+    }
+}
+
+#[test]
+fn striping_units_preserve_work() {
+    let wl = small_synthetic(5);
+    let payload = wl.trace.total_blocks();
+    for unit_kb in [4u32, 16, 64, 128, 256, 1024] {
+        let r = System::new(SystemConfig::no_ra().with_striping_unit(unit_kb * 1024), &wl).run();
+        // Without read-ahead and without HDC, the media moves exactly
+        // the missed payload; with a cold cache and little reuse it is
+        // within the payload bound.
+        assert!(
+            r.disk.blocks_read + r.disk.blocks_written <= payload,
+            "unit {unit_kb}: media moved more than demanded without RA"
+        );
+        assert_eq!(r.requests, wl.trace.len() as u64);
+    }
+}
+
+#[test]
+fn tiny_server_clones_run_end_to_end() {
+    for spec in [
+        ServerWorkloadSpec::web(),
+        ServerWorkloadSpec::proxy(),
+        ServerWorkloadSpec::file_server(),
+    ] {
+        let wl = spec.scale(0.005).generate().workload;
+        let segm = System::new(SystemConfig::segm(), &wl).run();
+        let for_hdc = System::new(SystemConfig::for_().with_hdc(1 << 20), &wl).run();
+        assert_eq!(segm.requests, wl.trace.len() as u64, "{}", wl.name);
+        assert_eq!(for_hdc.requests, wl.trace.len() as u64, "{}", wl.name);
+    }
+}
+
+#[test]
+fn single_stream_equals_serial_execution() {
+    // With one stream, the sum of response times equals the total I/O
+    // time (nothing overlaps).
+    let wl = SyntheticWorkload::builder()
+        .requests(100)
+        .files(1_000)
+        .streams(1)
+        .seed(6)
+        .build();
+    let r = System::new(SystemConfig::no_ra(), &wl).run();
+    let serial = r.mean_response * r.requests;
+    let err = (serial.as_nanos() as f64 - r.io_time.as_nanos() as f64).abs()
+        / r.io_time.as_nanos() as f64;
+    assert!(err < 0.01, "serial {} vs io_time {}", serial, r.io_time);
+}
+
+#[test]
+fn more_streams_never_hurt_throughput_much() {
+    // Closed-loop: adding streams adds parallelism; I/O time must not
+    // grow (modulo small cache-interference effects).
+    let build = |streams| {
+        SyntheticWorkload::builder()
+            .requests(800)
+            .files(8_000)
+            .streams(streams)
+            .seed(7)
+            .build()
+    };
+    let t1 = System::new(SystemConfig::no_ra(), &build(1)).run().io_time;
+    let t16 = System::new(SystemConfig::no_ra(), &build(16)).run().io_time;
+    let t64 = System::new(SystemConfig::no_ra(), &build(64)).run().io_time;
+    assert!(t16 < t1, "16 streams {} vs 1 stream {}", t16, t1);
+    assert!(t64.as_nanos() as f64 <= t16.as_nanos() as f64 * 1.10);
+}

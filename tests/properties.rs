@@ -1,0 +1,135 @@
+//! Property-based cross-crate invariants (proptest): arbitrary
+//! workloads and configurations never wedge the simulator, lose
+//! requests, or violate conservation laws.
+
+use proptest::prelude::*;
+
+use forhdc_core::{System, SystemConfig};
+use forhdc_layout::{FileId, LayoutBuilder};
+use forhdc_sim::{LogicalBlock, StripingMap};
+use forhdc_workload::SyntheticWorkload;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any synthetic workload completes under any policy, and the
+    /// payload accounting holds.
+    #[test]
+    fn any_workload_completes(
+        requests in 1usize..120,
+        file_blocks in 1u32..24,
+        files in 50usize..1_000,
+        streams in 1u32..64,
+        writes in 0.0f64..0.6,
+        frag in 0.0f64..0.3,
+        policy in 0usize..4,
+        hdc_mb in 0u64..3,
+        seed in 0u64..1_000,
+    ) {
+        let wl = SyntheticWorkload::builder()
+            .requests(requests)
+            .file_blocks(file_blocks)
+            .files(files)
+            .streams(streams)
+            .write_fraction(writes)
+            .fragmentation(frag)
+            .seed(seed)
+            .build();
+        let cfg = match policy {
+            0 => SystemConfig::segm(),
+            1 => SystemConfig::block(),
+            2 => SystemConfig::no_ra(),
+            _ => SystemConfig::for_(),
+        }
+        .with_hdc(hdc_mb * 1024 * 1024);
+        let r = System::new(cfg, &wl).run();
+        prop_assert_eq!(r.requests, wl.trace.len() as u64);
+        prop_assert!(r.cache.ra_used <= r.cache.ra_inserted);
+        prop_assert!(r.disk.read_ahead_blocks <= r.disk.blocks_read);
+        prop_assert!(r.hdc.read_hits + r.hdc.read_misses + r.hdc.write_hits + r.hdc.write_misses
+            >= r.hdc.read_hits);
+    }
+
+    /// Striping round-trips for arbitrary geometry.
+    #[test]
+    fn striping_roundtrip(
+        disks in 1u16..32,
+        unit in 1u32..128,
+        block in 0u64..10_000_000,
+    ) {
+        let map = StripingMap::new(disks, unit);
+        let l = LogicalBlock::new(block);
+        let (d, p) = map.locate(l);
+        prop_assert_eq!(map.logical_of(d, p), l);
+        prop_assert!(d.index() < disks);
+    }
+
+    /// Splitting conserves blocks and never emits empty extents.
+    #[test]
+    fn split_conserves(
+        disks in 1u16..16,
+        unit in 1u32..64,
+        start in 0u64..1_000_000,
+        nblocks in 1u32..500,
+    ) {
+        let map = StripingMap::new(disks, unit);
+        let parts = map.split(LogicalBlock::new(start), nblocks);
+        let total: u32 = parts.iter().map(|e| e.nblocks).sum();
+        prop_assert_eq!(total, nblocks);
+        prop_assert!(parts.iter().all(|e| e.nblocks > 0));
+    }
+
+    /// Layouts conserve every file's size under fragmentation,
+    /// alignment, and spacing; the FOR bitmap never exceeds one bit of
+    /// continuation per allocated block.
+    #[test]
+    fn layout_conservation(
+        nfiles in 1usize..120,
+        size in 1u32..40,
+        frag in 0.0f64..1.0,
+        align in 1u32..64,
+        spacing in 0u64..16,
+        seed in 0u64..500,
+    ) {
+        let sizes = vec![size; nfiles];
+        let map = LayoutBuilder::new()
+            .fragmentation(frag)
+            .align_blocks(align)
+            .spacing_blocks(spacing)
+            .seed(seed)
+            .build(&sizes);
+        for f in 0..nfiles {
+            prop_assert_eq!(map.file_blocks(FileId::new(f as u32)), size as u64);
+        }
+        // Every block of every file is reachable through block_at.
+        for f in 0..nfiles.min(10) {
+            for off in 0..size as u64 {
+                let b = map.block_at(FileId::new(f as u32), off);
+                prop_assert!(b.is_some());
+                let owner = map.owner(b.unwrap()).unwrap();
+                prop_assert_eq!(owner.file, FileId::new(f as u32));
+                prop_assert_eq!(owner.offset, off);
+            }
+        }
+    }
+
+    /// The trace generator conserves blocks: splitting by coalescing
+    /// probability never loses or duplicates file data.
+    #[test]
+    fn trace_conserves_blocks(
+        requests in 1usize..60,
+        file_blocks in 1u32..16,
+        coalesce in 0.0f64..1.0,
+        seed in 0u64..300,
+    ) {
+        let wl = SyntheticWorkload::builder()
+            .requests(requests)
+            .files(500)
+            .file_blocks(file_blocks)
+            .coalesce_prob(coalesce)
+            .seed(seed)
+            .build();
+        prop_assert_eq!(wl.trace.total_blocks(), requests as u64 * file_blocks as u64);
+        prop_assert_eq!(wl.trace.job_count(), requests);
+    }
+}

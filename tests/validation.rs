@@ -1,0 +1,126 @@
+//! Simulator validation — the stand-in for §6.1's hardware validation.
+//!
+//! The paper validates its simulator against a real Ultrastar 36Z15
+//! with read-only and write-only micro-benchmarks of "small files
+//! located randomly on a disk" (within 8% for reads, 3% for writes).
+//! We have no drive, so we validate against the paper's *own analytic
+//! model* `T(r) = seek + rot + r·S/xfer` instead: replaying the same
+//! micro-benchmarks, the measured mean service time must match the
+//! closed form.
+
+use forhdc_core::{System, SystemConfig};
+use forhdc_layout::LayoutBuilder;
+use forhdc_sim::{ArrayConfig, LogicalBlock, ReadWrite};
+use forhdc_workload::{Trace, TraceRequest, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FILES: u32 = 40_000;
+
+/// Random whole-file accesses to small files *spread over the whole
+/// array* (sparse layout), replayed by one stream so the mean service
+/// time is directly observable.
+fn micro_benchmark(kind: ReadWrite, nblocks: u32, requests: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let array = ArrayConfig::default();
+    // Spacing that spreads the files over ~90% of the array.
+    let capacity = array.capacity_blocks();
+    let spacing = capacity * 9 / 10 / FILES as u64 - nblocks as u64;
+    let layout = LayoutBuilder::new()
+        .spacing_blocks(spacing)
+        .build(&vec![nblocks; FILES as usize]);
+    let reqs: Vec<TraceRequest> = (0..requests)
+        .map(|_| {
+            let f = rng.gen_range(0..FILES) as u64;
+            TraceRequest {
+                start: LogicalBlock::new(f * (nblocks as u64 + spacing)),
+                nblocks,
+                kind,
+            }
+        })
+        .collect();
+    Workload { name: format!("micro-{kind:?}"), layout, trace: Trace::new(reqs), streams: 1 }
+}
+
+/// The closed-form per-request time for this geometry: average random
+/// seek + half a revolution + media transfer + controller overhead +
+/// bus transfer.
+fn model_ms(nblocks: u32) -> f64 {
+    let a = ArrayConfig::default();
+    let seek = a.disk.seek.average_seek_ms(a.disk.geometry.cylinders());
+    let rot = 2.0;
+    let media = nblocks as f64 * 4096.0 / a.disk.media_rate as f64 * 1e3;
+    let ctl = a.disk.controller_overhead.as_millis_f64();
+    let bus = a.bus_overhead.as_millis_f64() + nblocks as f64 * 4096.0 / a.bus_rate as f64 * 1e3;
+    seek + rot + media + ctl + bus
+}
+
+fn measured_ms(kind: ReadWrite, nblocks: u32) -> f64 {
+    let wl = micro_benchmark(kind, nblocks, 2_000);
+    let report = System::new(SystemConfig::no_ra(), &wl).run();
+    report.io_time.as_millis_f64() / report.requests as f64
+}
+
+#[test]
+fn read_micro_benchmark_matches_analytic_model() {
+    for nblocks in [1u32, 4, 8] {
+        let measured = measured_ms(ReadWrite::Read, nblocks);
+        let expected = model_ms(nblocks);
+        let err = (measured - expected).abs() / expected;
+        assert!(
+            err < 0.08,
+            "reads of {nblocks} blocks: measured {measured:.3} ms vs model {expected:.3} ms ({:.1}% off)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn write_micro_benchmark_matches_analytic_model() {
+    for nblocks in [1u32, 4] {
+        let measured = measured_ms(ReadWrite::Write, nblocks);
+        let expected = model_ms(nblocks);
+        let err = (measured - expected).abs() / expected;
+        assert!(
+            err < 0.03,
+            "writes of {nblocks} blocks: measured {measured:.3} ms vs model {expected:.3} ms ({:.1}% off)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn blind_read_ahead_costs_the_transfer_difference() {
+    // With read-ahead enabled, each miss reads a whole 32-block segment:
+    // service grows by exactly the extra transfer time (128 KB − r·4 KB
+    // at 54 MB/s), since seek and rotation are unchanged — the paper's
+    // central utilization argument (§4).
+    let wl = micro_benchmark(ReadWrite::Read, 4, 2_000);
+    let no_ra = System::new(SystemConfig::no_ra(), &wl).run();
+    let blind = System::new(SystemConfig::block(), &wl).run();
+    let no_ra_ms = no_ra.io_time.as_millis_f64() / no_ra.requests as f64;
+    let blind_ms = blind.io_time.as_millis_f64() / blind.requests as f64;
+    let extra_transfer = (32.0 - 4.0) * 4096.0 / 54e6 * 1e3;
+    let delta = blind_ms - no_ra_ms;
+    assert!(
+        (delta - extra_transfer).abs() / extra_transfer < 0.15,
+        "extra per-op cost {delta:.3} ms vs extra transfer {extra_transfer:.3} ms"
+    );
+}
+
+#[test]
+fn utilization_reduction_matches_paper_29_percent() {
+    // §4: "FOR reduces the disk utilization by 29% in comparison to a
+    // conventional 128-KByte read-ahead" for 4-KByte average files.
+    let wl = micro_benchmark(ReadWrite::Read, 1, 2_000);
+    let blind = System::new(SystemConfig::block(), &wl).run();
+    let for_ = System::new(SystemConfig::for_(), &wl).run();
+    // Single-block files: FOR's bitmap stops read-ahead at the file
+    // boundary immediately.
+    let reduction = 1.0
+        - for_.disk.busy_time.as_nanos() as f64 / blind.disk.busy_time.as_nanos() as f64;
+    assert!(
+        (reduction - 0.29).abs() < 0.05,
+        "utilization reduction {reduction:.3}, paper says 0.29"
+    );
+}
