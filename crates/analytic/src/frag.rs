@@ -29,7 +29,10 @@
 /// ```
 pub fn expected_sequential_run(f: u32, q: f64) -> f64 {
     assert!(f >= 1, "file must have at least one block");
-    assert!(q.is_finite() && (0.0..=1.0).contains(&q), "q must be in [0,1]");
+    assert!(
+        q.is_finite() && (0.0..=1.0).contains(&q),
+        "q must be in [0,1]"
+    );
     f as f64 / (1.0 + (f as f64 - 1.0) * q)
 }
 

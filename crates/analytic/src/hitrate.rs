@@ -24,7 +24,10 @@
 ///
 /// Panics unless `f ≥ 1`, `p ≥ 1`, `c ≥ s ≥ 1`.
 pub fn conventional_hit_rate(f: f64, c: f64, s: f64, p: f64, t: f64) -> f64 {
-    assert!(f >= 1.0 && p >= 1.0 && s >= 1.0 && c >= s, "invalid parameters");
+    assert!(
+        f >= 1.0 && p >= 1.0 && s >= 1.0 && c >= s,
+        "invalid parameters"
+    );
     if t <= s {
         let m = f.min(c / s);
         (m - 1.0) / m
@@ -56,7 +59,10 @@ pub fn for_hit_rate(f: f64, c: f64, p: f64, t: f64) -> f64 {
 pub fn ultrastar_comparison(f: f64, p: f64, t: f64) -> (f64, f64) {
     let c = 1024.0;
     let s = 27.0;
-    (conventional_hit_rate(f, c, s, p, t), for_hit_rate(f, c, p, t))
+    (
+        conventional_hit_rate(f, c, s, p, t),
+        for_hit_rate(f, c, p, t),
+    )
 }
 
 #[cfg(test)]
@@ -68,7 +74,7 @@ mod tests {
         // t <= s: hit rate limited by min(f, segment size).
         let h = conventional_hit_rate(4.0, 1024.0, 27.0, 1.0, 10.0);
         assert!((h - 0.75).abs() < 1e-12); // (4-1)/4
-        // Large file capped by segment capacity c/s ≈ 37.9.
+                                           // Large file capped by segment capacity c/s ≈ 37.9.
         let h = conventional_hit_rate(100.0, 1024.0, 27.0, 1.0, 10.0);
         let cap = 1024.0 / 27.0;
         assert!((h - (cap - 1.0) / cap).abs() < 1e-12);

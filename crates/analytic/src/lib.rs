@@ -19,15 +19,15 @@
 //!   harness's `model-check` to cross-validate simulator and analysis.
 
 pub mod frag;
-pub mod model;
 pub mod hitrate;
+pub mod model;
 pub mod striping;
 pub mod utilization;
 pub mod zipf;
 
 pub use frag::expected_sequential_run;
-pub use model::{predict_fig3, Fig3Prediction};
 pub use hitrate::{conventional_hit_rate, for_hit_rate};
+pub use model::{predict_fig3, Fig3Prediction};
 pub use striping::{gamma_uniform, striped_response_time};
 pub use utilization::{hdc_max_blocks, service_time_ms, ServiceParams};
 pub use zipf::zipf_cumulative;

@@ -67,7 +67,11 @@ pub fn predict_fig3(
     // No-RA: every host request is a positioned op of f/requests blocks.
     let per_req_blocks = (f / requests).ceil().max(1.0) as u32;
     let no_ra_ms = requests * service_time_ms(per_req_blocks, p);
-    Fig3Prediction { segm_ms, for_ms, no_ra_ms }
+    Fig3Prediction {
+        segm_ms,
+        for_ms,
+        no_ra_ms,
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,12 @@ impl ServiceParams {
     /// Table 1 values: 3.4 ms seek, 2.0 ms rotation, 4-KByte blocks,
     /// 54 MB/s media rate.
     pub fn ultrastar_36z15() -> Self {
-        ServiceParams { seek_ms: 3.4, rot_ms: 2.0, block_bytes: 4096, xfer_rate: 54_000_000 }
+        ServiceParams {
+            seek_ms: 3.4,
+            rot_ms: 2.0,
+            block_bytes: 4096,
+            xfer_rate: 54_000_000,
+        }
     }
 }
 

@@ -26,7 +26,10 @@
 /// ```
 pub fn zipf_cumulative(h: u64, n: u64, alpha: f64) -> f64 {
     assert!(n > 0, "population must be positive");
-    assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+    assert!(
+        alpha.is_finite() && alpha >= 0.0,
+        "alpha must be non-negative"
+    );
     if h == 0 {
         return 0.0;
     }
@@ -39,7 +42,10 @@ pub fn zipf_cumulative(h: u64, n: u64, alpha: f64) -> f64 {
 /// useful for very large `N` where summation is wasteful.
 pub fn zipf_cumulative_approx(h: u64, n: u64, alpha: f64) -> f64 {
     assert!(n > 0, "population must be positive");
-    assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+    assert!(
+        alpha.is_finite() && alpha >= 0.0,
+        "alpha must be non-negative"
+    );
     if h == 0 {
         return 0.0;
     }

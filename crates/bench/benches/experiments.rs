@@ -6,7 +6,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use forhdc_bench::{experiments, RunOptions};
 
 fn tiny() -> RunOptions {
-    RunOptions { scale: 0.01, synthetic_requests: 300 }
+    RunOptions {
+        scale: 0.01,
+        synthetic_requests: 300,
+    }
 }
 
 fn bench_micro_experiments(c: &mut Criterion) {

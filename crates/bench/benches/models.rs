@@ -30,14 +30,21 @@ fn bench_layout(c: &mut Criterion) {
         let sizes = vec![6u32; 10_000];
         b.iter(|| {
             black_box(
-                LayoutBuilder::new().fragmentation(0.05).seed(3).build(&sizes).total_blocks(),
+                LayoutBuilder::new()
+                    .fragmentation(0.05)
+                    .seed(3)
+                    .build(&sizes)
+                    .total_blocks(),
             )
         })
     });
 }
 
 fn bench_bitmap(c: &mut Criterion) {
-    let map = LayoutBuilder::new().fragmentation(0.05).seed(3).build(&vec![6u32; 10_000]);
+    let map = LayoutBuilder::new()
+        .fragmentation(0.05)
+        .seed(3)
+        .build(&vec![6u32; 10_000]);
     let striping = StripingMap::new(8, 32);
     c.bench_function("bitmap/build_8_disks", |b| {
         b.iter(|| black_box(build_disk_bitmaps(&map, &striping, 20_000).len()))

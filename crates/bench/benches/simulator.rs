@@ -19,7 +19,12 @@ fn bench_mechanics(c: &mut Criterion) {
         b.iter(|| {
             i = (i * 6364136223846793005).wrapping_add(1);
             let block = PhysBlock::new(i % 4_000_000);
-            let t = mech.service(ReadWrite::Read, block, 4, SimTime::from_nanos(i % 1_000_000));
+            let t = mech.service(
+                ReadWrite::Read,
+                block,
+                4,
+                SimTime::from_nanos(i % 1_000_000),
+            );
             black_box(t.total())
         })
     });
@@ -34,7 +39,11 @@ fn bench_mechanics(c: &mut Criterion) {
 }
 
 fn bench_scheduler(c: &mut Criterion) {
-    for kind in [SchedulerKind::Look, SchedulerKind::Fcfs, SchedulerKind::Sstf] {
+    for kind in [
+        SchedulerKind::Look,
+        SchedulerKind::Fcfs,
+        SchedulerKind::Sstf,
+    ] {
         c.bench_function(&format!("scheduler/{kind:?}_push_pop_64"), |b| {
             b.iter(|| {
                 let mut s = make_scheduler(kind);

@@ -2,24 +2,38 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! repro <experiment|all> [--scale X] [--requests N] [--out DIR]
+//! repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR]
+//! repro --list
 //!
 //!   experiment   one of: table1 fig1 fig2 ... fig12 table2
-//!                ablation-{sched,segrepl,blkrepl,segsize,coalesce,periodic}
+//!                ablation-{sched,segrepl,blkrepl,segsize,coalesce,periodic,...}
+//!   --jobs N     worker threads for sweep experiments (default 1);
+//!                output is byte-identical for every N
+//!   --no-cache   bypass the result cache (<out>/.cache/)
 //!   --scale X    server-clone request scale (default 1.0)
 //!   --requests N synthetic request count (default 10000)
 //!   --out DIR    CSV output directory (default results/)
+//!   --list       print the experiment ids, one per line
 //! ```
+//!
+//! Sweep experiments run as independent jobs on a worker pool and
+//! reassemble in deterministic point order, so `--jobs 8` produces the
+//! same bytes as a serial run. Completed jobs persist in the result
+//! cache, making an interrupted `repro all` resumable. Each run writes
+//! `<out>/manifest.json` with per-experiment timings and job counts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use forhdc_bench::{experiments, RunOptions};
+use forhdc_runner::{ExperimentStats, RunManifest, Runner};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = RunOptions::default();
     let mut out_dir = PathBuf::from("results");
+    let mut jobs = 1usize;
+    let mut use_cache = true;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -28,30 +42,47 @@ fn main() -> ExitCode {
                 i += 1;
                 opts.scale = match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(v) if v > 0.0 => v,
-                    _ => return usage("--scale needs a positive number"),
+                    _ => return usage_err("--scale needs a positive number"),
                 };
             }
             "--requests" => {
                 i += 1;
                 opts.synthetic_requests = match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(v) if v > 0 => v,
-                    _ => return usage("--requests needs a positive integer"),
+                    _ => return usage_err("--requests needs a positive integer"),
                 };
             }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v > 0 => v,
+                    _ => return usage_err("--jobs needs a positive integer"),
+                };
+            }
+            "--no-cache" => use_cache = false,
             "--out" => {
                 i += 1;
                 out_dir = match args.get(i) {
                     Some(d) => PathBuf::from(d),
-                    None => return usage("--out needs a directory"),
+                    None => return usage_err("--out needs a directory"),
                 };
             }
-            "-h" | "--help" => return usage(""),
+            "--list" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{}", usage_text());
+                return ExitCode::SUCCESS;
+            }
             other => targets.push(other.to_string()),
         }
         i += 1;
     }
     if targets.is_empty() {
-        return usage("no experiment given");
+        return usage_err("no experiment given");
     }
     let ids: Vec<&str> = if targets.iter().any(|t| t == "all") {
         experiments::ALL.to_vec()
@@ -61,34 +92,75 @@ fn main() -> ExitCode {
             if experiments::ALL.contains(&t.as_str()) {
                 ids.push(t.as_str());
             } else {
-                return usage(&format!("unknown experiment '{t}'"));
+                return usage_err(&format!("unknown experiment '{t}'"));
             }
         }
         ids
     };
+
+    let cache_dir = use_cache.then(|| out_dir.join(".cache"));
+    let mut runner = Runner::new(jobs);
+    if let Some(dir) = &cache_dir {
+        runner = runner.cache_dir(dir);
+    }
+    let mut manifest = RunManifest::new(jobs, cache_dir.as_deref());
+    let mut io_failed = false;
     for id in ids {
         let started = std::time::Instant::now();
-        let table = experiments::run(id, opts);
+        let table = match experiments::plan(id, opts) {
+            Some(p) => {
+                let (table, stats) = p.run_with(&runner);
+                manifest.record(&stats);
+                table
+            }
+            // Legacy serial path: single simulations and bespoke
+            // builders with nothing to decompose (jobs = 0).
+            None => {
+                let table = experiments::run(id, opts);
+                manifest.record(&ExperimentStats {
+                    id: id.to_string(),
+                    jobs: 0,
+                    cache_hits: 0,
+                    wall: started.elapsed(),
+                });
+                table
+            }
+        };
         println!("{table}");
-        println!("({} finished in {:.1}s)\n", id, started.elapsed().as_secs_f64());
+        println!(
+            "({} finished in {:.1}s)\n",
+            id,
+            started.elapsed().as_secs_f64()
+        );
         if let Err(e) = table.write_csv(&out_dir) {
-            eprintln!("warning: could not write {}/{}.csv: {e}", out_dir.display(), id);
+            eprintln!(
+                "error: could not write {}/{}.csv: {e}",
+                out_dir.display(),
+                id
+            );
+            io_failed = true;
         }
     }
-    ExitCode::SUCCESS
+    let manifest_path = out_dir.join("manifest.json");
+    if let Err(e) = manifest.write(&manifest_path) {
+        eprintln!("error: could not write {}: {e}", manifest_path.display());
+        io_failed = true;
+    }
+    if io_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
-fn usage(err: &str) -> ExitCode {
-    if !err.is_empty() {
-        eprintln!("error: {err}\n");
-    }
-    eprintln!(
-        "usage: repro <experiment|all> [--scale X] [--requests N] [--out DIR]\n\nexperiments: {}",
+fn usage_text() -> String {
+    format!(
+        "usage: repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR]\n       repro --list\n\nexperiments: {}",
         experiments::ALL.join(" ")
-    );
-    if err.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(2)
-    }
+    )
+}
+
+fn usage_err(err: &str) -> ExitCode {
+    eprintln!("error: {err}\n\n{}", usage_text());
+    ExitCode::from(2)
 }

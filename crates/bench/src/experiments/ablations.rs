@@ -1,184 +1,579 @@
 //! Design-choice ablations beyond the paper's figures (DESIGN.md §8).
+//!
+//! The grid-shaped ablations are [`PlannedExperiment`]s (one job per
+//! grid point × configuration); `cooperative` and `victim` keep the
+//! legacy serial shape — their bespoke trace/plan construction is not a
+//! sweep and would gain nothing from decomposition.
 
 use forhdc_cache::{BlockReplacement, SegmentReplacement};
-use forhdc_core::{plan_periodic, plan_top_misses, System, SystemConfig};
+use forhdc_core::{plan_periodic, System, SystemConfig};
+use forhdc_runner::{point_seed, JobSpec, SimJob};
 use forhdc_sim::{SchedulerKind, StripingMap};
 use forhdc_workload::{ServerWorkloadSpec, SyntheticWorkload};
 
+use crate::plan::{
+    report_metrics, shared, sim_job, NamedConfig, PlannedExperiment, SharedWorkload,
+};
 use crate::table::{f1, f3, Table};
 use crate::RunOptions;
 
-/// Request schedulers under the web clone: LOOK (the paper's choice)
-/// against FCFS, SSTF and C-LOOK.
-pub fn scheduler(opts: RunOptions) -> Table {
-    let wl = ServerWorkloadSpec::web().scale(opts.scale).generate().workload;
-    let mut t = Table::new(
-        "ablation-sched",
-        "Scheduler ablation (web clone, Segm, 64-KB unit)",
-        &["scheduler", "io_time_s", "mean_response_ms"],
-    );
-    for (name, kind) in [
-        ("LOOK", SchedulerKind::Look),
-        ("FCFS", SchedulerKind::Fcfs),
-        ("SSTF", SchedulerKind::Sstf),
-        ("C-LOOK", SchedulerKind::Clook),
-    ] {
-        let r = System::new(
-            SystemConfig::segm().with_scheduler(kind).with_striping_unit(64 * 1024),
-            &wl,
-        )
-        .run();
-        t.push_row(vec![
-            name.to_string(),
-            f1(r.io_time.as_secs_f64()),
-            f3(r.mean_response.as_millis_f64()),
-        ]);
-    }
-    t.note("expected: LOOK/C-LOOK/SSTF clearly beat FCFS; LOOK avoids SSTF's starvation bias");
-    t
+fn web_workload(opts: RunOptions) -> SharedWorkload {
+    shared(move || {
+        ServerWorkloadSpec::web()
+            .scale(opts.scale)
+            .generate()
+            .workload
+    })
 }
 
-/// Segment-replacement policies (LRU vs FIFO/random/round-robin, after
-/// Soloviev 94 / Ganger 95 / Shriver 97) under the synthetic workload.
-pub fn segment_replacement(opts: RunOptions) -> Table {
-    let wl = SyntheticWorkload::builder()
-        .requests(opts.synthetic_requests)
-        .files(20_000)
-        .file_blocks(4)
-        .streams(128)
-        .seed(42)
-        .build();
-    let mut t = Table::new(
-        "ablation-segrepl",
-        "Segment replacement ablation (synthetic 16-KB files)",
-        &["policy", "io_time_s", "cache_hit_%"],
-    );
-    for (name, pol) in [
-        ("LRU", SegmentReplacement::Lru),
-        ("FIFO", SegmentReplacement::Fifo),
-        ("random", SegmentReplacement::Random),
-        ("round-robin", SegmentReplacement::RoundRobin),
-    ] {
-        let r = System::new(
-            SystemConfig::segm().with_replacement(BlockReplacement::Mru, pol),
-            &wl,
-        )
-        .run();
-        t.push_row(vec![
-            name.to_string(),
-            f1(r.io_time.as_secs_f64()),
-            f1(100.0 * r.cache.extent_hit_rate()),
-        ]);
-    }
-    t
-}
-
-/// Block-replacement for FOR: the paper's MRU against LRU.
-pub fn block_replacement(opts: RunOptions) -> Table {
-    let mut t = Table::new(
-        "ablation-blkrepl",
-        "FOR block replacement ablation (synthetic)",
-        &["file_kb", "mru_io_s", "lru_io_s", "mru_hit_%", "lru_hit_%"],
-    );
-    for file_blocks in [2u32, 4, 8] {
-        let wl = SyntheticWorkload::builder()
+/// The calibrated synthetic (16-KB files, 128 streams) used by several
+/// ablations, seeded per experiment point.
+fn synth_workload(opts: RunOptions, file_blocks: u32, seed: u64) -> SharedWorkload {
+    shared(move || {
+        SyntheticWorkload::builder()
             .requests(opts.synthetic_requests)
             .files(20_000)
             .file_blocks(file_blocks)
             .streams(128)
-            .seed(42)
-            .build();
-        let mru = System::new(
-            SystemConfig::for_()
-                .with_replacement(BlockReplacement::Mru, SegmentReplacement::Lru),
-            &wl,
-        )
-        .run();
-        let lru = System::new(
-            SystemConfig::for_()
-                .with_replacement(BlockReplacement::Lru, SegmentReplacement::Lru),
-            &wl,
-        )
-        .run();
-        t.push_row(vec![
-            (file_blocks * 4).to_string(),
-            f1(mru.io_time.as_secs_f64()),
-            f1(lru.io_time.as_secs_f64()),
-            f1(100.0 * mru.cache.extent_hit_rate()),
-            f1(100.0 * lru.cache.extent_hit_rate()),
-        ]);
+            .seed(seed)
+            .build()
+    })
+}
+
+/// Request schedulers under the web clone: LOOK (the paper's choice)
+/// against FCFS, SSTF and C-LOOK.
+pub fn plan_scheduler(opts: RunOptions) -> PlannedExperiment {
+    const SCHEDULERS: [(&str, SchedulerKind); 4] = [
+        ("LOOK", SchedulerKind::Look),
+        ("FCFS", SchedulerKind::Fcfs),
+        ("SSTF", SchedulerKind::Sstf),
+        ("C-LOOK", SchedulerKind::Clook),
+    ];
+    let wl = web_workload(opts);
+    let mut jobs = Vec::new();
+    for (name, kind) in SCHEDULERS {
+        let spec = JobSpec::new("ablation-sched", jobs.len(), name)
+            .param("scale", opts.scale)
+            .param("scheduler", name)
+            .param("unit_kb", 64);
+        jobs.push(sim_job(spec, &wl, move || {
+            SystemConfig::segm()
+                .with_scheduler(kind)
+                .with_striping_unit(64 * 1024)
+        }));
     }
-    t.note("the paper picks MRU for FOR's block pool (consumed blocks are dead at a controller cache)");
-    t
+    PlannedExperiment {
+        id: "ablation-sched",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "ablation-sched",
+                "Scheduler ablation (web clone, Segm, 64-KB unit)",
+                &["scheduler", "io_time_s", "mean_response_ms"],
+            );
+            for ((name, _), o) in SCHEDULERS.iter().zip(out) {
+                t.push_row(vec![
+                    name.to_string(),
+                    f1(o.get("io_ns") / 1e9),
+                    f3(o.get("mean_response_ns") / 1e6),
+                ]);
+            }
+            t.note(
+                "expected: LOOK/C-LOOK/SSTF clearly beat FCFS; LOOK avoids SSTF's starvation bias",
+            );
+            t
+        }),
+    }
+}
+
+/// Segment-replacement policies (LRU vs FIFO/random/round-robin, after
+/// Soloviev 94 / Ganger 95 / Shriver 97) under the synthetic workload.
+pub fn plan_segment_replacement(opts: RunOptions) -> PlannedExperiment {
+    const POLICIES: [(&str, SegmentReplacement); 4] = [
+        ("LRU", SegmentReplacement::Lru),
+        ("FIFO", SegmentReplacement::Fifo),
+        ("random", SegmentReplacement::Random),
+        ("round-robin", SegmentReplacement::RoundRobin),
+    ];
+    let seed = point_seed("ablation-segrepl", 0);
+    let wl = synth_workload(opts, 4, seed);
+    let mut jobs = Vec::new();
+    for (name, pol) in POLICIES {
+        let spec = JobSpec::new("ablation-segrepl", jobs.len(), name)
+            .param("requests", opts.synthetic_requests)
+            .param("seed", seed)
+            .param("policy", name);
+        jobs.push(sim_job(spec, &wl, move || {
+            SystemConfig::segm().with_replacement(BlockReplacement::Mru, pol)
+        }));
+    }
+    PlannedExperiment {
+        id: "ablation-segrepl",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "ablation-segrepl",
+                "Segment replacement ablation (synthetic 16-KB files)",
+                &["policy", "io_time_s", "cache_hit_%"],
+            );
+            for ((name, _), o) in POLICIES.iter().zip(out) {
+                t.push_row(vec![
+                    name.to_string(),
+                    f1(o.get("io_ns") / 1e9),
+                    f1(100.0 * o.get("cache_hit_rate")),
+                ]);
+            }
+            t
+        }),
+    }
+}
+
+/// Block-replacement for FOR: the paper's MRU against LRU.
+pub fn plan_block_replacement(opts: RunOptions) -> PlannedExperiment {
+    const FILE_BLOCKS: [u32; 3] = [2, 4, 8];
+    let mut jobs = Vec::new();
+    for (row, &file_blocks) in FILE_BLOCKS.iter().enumerate() {
+        let seed = point_seed("ablation-blkrepl", row);
+        let wl = synth_workload(opts, file_blocks, seed);
+        for (name, blk) in [
+            ("mru", BlockReplacement::Mru),
+            ("lru", BlockReplacement::Lru),
+        ] {
+            let spec = JobSpec::new(
+                "ablation-blkrepl",
+                jobs.len(),
+                format!("file={}KB {name}", file_blocks * 4),
+            )
+            .param("requests", opts.synthetic_requests)
+            .param("file_blocks", file_blocks)
+            .param("seed", seed)
+            .param("policy", name);
+            jobs.push(sim_job(spec, &wl, move || {
+                SystemConfig::for_().with_replacement(blk, SegmentReplacement::Lru)
+            }));
+        }
+    }
+    PlannedExperiment {
+        id: "ablation-blkrepl",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "ablation-blkrepl",
+                "FOR block replacement ablation (synthetic)",
+                &["file_kb", "mru_io_s", "lru_io_s", "mru_hit_%", "lru_hit_%"],
+            );
+            for (row, &file_blocks) in FILE_BLOCKS.iter().enumerate() {
+                let o = &out[row * 2..(row + 1) * 2];
+                t.push_row(vec![
+                    (file_blocks * 4).to_string(),
+                    f1(o[0].get("io_ns") / 1e9),
+                    f1(o[1].get("io_ns") / 1e9),
+                    f1(100.0 * o[0].get("cache_hit_rate")),
+                    f1(100.0 * o[1].get("cache_hit_rate")),
+                ]);
+            }
+            t.note("the paper picks MRU for FOR's block pool (consumed blocks are dead at a controller cache)");
+            t
+        }),
+    }
 }
 
 /// Segment-size row of Table 1: 128/256/512-KB segments with 27/13/6
 /// segments, under the synthetic workload.
-pub fn segment_size(opts: RunOptions) -> Table {
-    let wl = SyntheticWorkload::builder()
-        .requests(opts.synthetic_requests)
-        .files(20_000)
-        .file_blocks(4)
-        .streams(128)
-        .seed(42)
-        .build();
-    let mut t = Table::new(
-        "ablation-segsize",
-        "Segment size ablation (Segm, synthetic 16-KB files)",
-        &["segment_kb", "segments", "io_time_s", "ra_blocks_per_op"],
-    );
-    for seg_kb in [128u32, 256, 512] {
-        let r = System::new(SystemConfig::segm().with_segment_bytes(seg_kb * 1024), &wl).run();
-        let ra_per_op = if r.disk.media_ops == 0 {
-            0.0
-        } else {
-            r.disk.read_ahead_blocks as f64 / r.disk.media_ops as f64
-        };
-        t.push_row(vec![
-            seg_kb.to_string(),
-            match seg_kb {
-                128 => "27",
-                256 => "13",
-                _ => "6",
-            }
-            .to_string(),
-            f1(r.io_time.as_secs_f64()),
-            f1(ra_per_op),
-        ]);
+pub fn plan_segment_size(opts: RunOptions) -> PlannedExperiment {
+    const SEG_KB: [u32; 3] = [128, 256, 512];
+    let seed = point_seed("ablation-segsize", 0);
+    let wl = synth_workload(opts, 4, seed);
+    let mut jobs = Vec::new();
+    for seg_kb in SEG_KB {
+        let spec = JobSpec::new("ablation-segsize", jobs.len(), format!("seg={seg_kb}KB"))
+            .param("requests", opts.synthetic_requests)
+            .param("seed", seed)
+            .param("segment_kb", seg_kb);
+        jobs.push(sim_job(spec, &wl, move || {
+            SystemConfig::segm().with_segment_bytes(seg_kb * 1024)
+        }));
     }
-    t.note("bigger segments read ahead more per miss — worse for small-file servers");
-    t
+    PlannedExperiment {
+        id: "ablation-segsize",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "ablation-segsize",
+                "Segment size ablation (Segm, synthetic 16-KB files)",
+                &["segment_kb", "segments", "io_time_s", "ra_blocks_per_op"],
+            );
+            for (seg_kb, o) in SEG_KB.iter().zip(out) {
+                let media_ops = o.get("media_ops");
+                let ra_per_op = if media_ops == 0.0 {
+                    0.0
+                } else {
+                    o.get("ra_blocks") / media_ops
+                };
+                t.push_row(vec![
+                    seg_kb.to_string(),
+                    match seg_kb {
+                        128 => "27",
+                        256 => "13",
+                        _ => "6",
+                    }
+                    .to_string(),
+                    f1(o.get("io_ns") / 1e9),
+                    f1(ra_per_op),
+                ]);
+            }
+            t.note("bigger segments read ahead more per miss — worse for small-file servers");
+            t
+        }),
+    }
 }
 
 /// Coalescing-probability sweep, including the paper's remark that
 /// No-RA does not beat FOR even with perfect (100%) coalescing.
-pub fn coalescing(opts: RunOptions) -> Table {
-    let mut t = Table::new(
-        "ablation-coalesce",
-        "Coalescing probability sweep (16-KB files, normalized to Segm at each point)",
-        &["coalesce_%", "segm", "no_ra", "for"],
-    );
-    for pct in [0u32, 25, 50, 75, 87, 100] {
-        let wl = SyntheticWorkload::builder()
-            .requests(opts.synthetic_requests)
-            .files(20_000)
-            .file_blocks(4)
-            .streams(128)
-            .coalesce_prob(pct as f64 / 100.0)
-            .seed(42)
-            .build();
-        let segm = System::new(SystemConfig::segm(), &wl).run();
-        let no_ra = System::new(SystemConfig::no_ra(), &wl).run();
-        let for_ = System::new(SystemConfig::for_(), &wl).run();
-        t.push_row(vec![
-            pct.to_string(),
-            f3(1.0),
-            f3(no_ra.normalized_io_time(&segm)),
-            f3(for_.normalized_io_time(&segm)),
-        ]);
+pub fn plan_coalescing(opts: RunOptions) -> PlannedExperiment {
+    const PCTS: [u32; 6] = [0, 25, 50, 75, 87, 100];
+    const CONFIGS: [NamedConfig; 3] = [
+        ("segm", SystemConfig::segm),
+        ("no_ra", SystemConfig::no_ra),
+        ("for", SystemConfig::for_),
+    ];
+    let mut jobs = Vec::new();
+    for (row, &pct) in PCTS.iter().enumerate() {
+        let seed = point_seed("ablation-coalesce", row);
+        let wl = shared(move || {
+            SyntheticWorkload::builder()
+                .requests(opts.synthetic_requests)
+                .files(20_000)
+                .file_blocks(4)
+                .streams(128)
+                .coalesce_prob(pct as f64 / 100.0)
+                .seed(seed)
+                .build()
+        });
+        for (name, cfg) in CONFIGS {
+            let spec = JobSpec::new(
+                "ablation-coalesce",
+                jobs.len(),
+                format!("coalesce={pct}% {name}"),
+            )
+            .param("requests", opts.synthetic_requests)
+            .param("coalesce_pct", pct)
+            .param("seed", seed)
+            .param("config", name);
+            jobs.push(sim_job(spec, &wl, cfg));
+        }
     }
-    t.note("paper: No-RA improves with coalescing but does not outperform FOR even at an unrealistic 100%");
-    t
+    PlannedExperiment {
+        id: "ablation-coalesce",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "ablation-coalesce",
+                "Coalescing probability sweep (16-KB files, normalized to Segm at each point)",
+                &["coalesce_%", "segm", "no_ra", "for"],
+            );
+            for (row, &pct) in PCTS.iter().enumerate() {
+                let o = &out[row * 3..(row + 1) * 3];
+                let segm = o[0].get("io_ns");
+                t.push_row(vec![
+                    pct.to_string(),
+                    f3(1.0),
+                    f3(o[1].get("io_ns") / segm),
+                    f3(o[2].get("io_ns") / segm),
+                ]);
+            }
+            t.note("paper: No-RA improves with coalescing but does not outperform FOR even at an unrealistic 100%");
+            t
+        }),
+    }
+}
+
+/// Zoned recording as a sensitivity check: the paper simulates the
+/// Ultrastar's *average* media rate; real zones make outer cylinders
+/// ~22% faster. The comparison results must be insensitive to this
+/// refinement.
+pub fn plan_zoned(opts: RunOptions) -> PlannedExperiment {
+    const MODES: [(&str, bool); 2] = [("uniform", false), ("zoned", true)];
+    let seed = point_seed("ablation-zones", 0);
+    let wl = synth_workload(opts, 4, seed);
+    let mut jobs = Vec::new();
+    for (mode, zoned) in MODES {
+        for (name, base) in [
+            ("segm", SystemConfig::segm as fn() -> SystemConfig),
+            ("for", SystemConfig::for_),
+        ] {
+            let spec = JobSpec::new("ablation-zones", jobs.len(), format!("{mode} {name}"))
+                .param("requests", opts.synthetic_requests)
+                .param("seed", seed)
+                .param("recording", mode)
+                .param("config", name);
+            jobs.push(sim_job(spec, &wl, move || {
+                let c = base();
+                if zoned {
+                    c.with_zoned_recording()
+                } else {
+                    c
+                }
+            }));
+        }
+    }
+    PlannedExperiment {
+        id: "ablation-zones",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "ablation-zones",
+                "Uniform vs zoned media rate (synthetic 16-KB files)",
+                &["recording", "segm_io_s", "for_io_s", "for_gain_%"],
+            );
+            for (row, (mode, _)) in MODES.iter().enumerate() {
+                let o = &out[row * 2..(row + 1) * 2];
+                let (segm, for_) = (o[0].get("io_ns"), o[1].get("io_ns"));
+                t.push_row(vec![
+                    mode.to_string(),
+                    f1(segm / 1e9),
+                    f1(for_ / 1e9),
+                    f1(100.0 * (1.0 - for_ / segm)),
+                ]);
+            }
+            t.note("our layouts start at cylinder 0 (outer = fast), so zoned runs are slightly faster in absolute terms; the FOR/Segm comparison is unchanged");
+            t
+        }),
+    }
+}
+
+/// §2.2's redundancy option: the same 8 spindles as RAID-0 (8-wide
+/// striping) vs RAID-10 (4 mirrored pairs), under read-mostly and
+/// write-heavy synthetics.
+pub fn plan_mirroring(opts: RunOptions) -> PlannedExperiment {
+    const PCTS: [u32; 3] = [0, 20, 50];
+    let mut jobs = Vec::new();
+    for (row, &pct) in PCTS.iter().enumerate() {
+        let seed = point_seed("ablation-mirror", row);
+        let wl = shared(move || {
+            SyntheticWorkload::builder()
+                .requests(opts.synthetic_requests)
+                .files(20_000)
+                .file_blocks(4)
+                .streams(128)
+                .write_fraction(pct as f64 / 100.0)
+                .seed(seed)
+                .build()
+        });
+        for (name, mirrored) in [("raid0", false), ("raid10", true)] {
+            let spec = JobSpec::new(
+                "ablation-mirror",
+                jobs.len(),
+                format!("writes={pct}% {name}"),
+            )
+            .param("requests", opts.synthetic_requests)
+            .param("write_pct", pct)
+            .param("seed", seed)
+            .param("config", name);
+            jobs.push(sim_job(spec, &wl, move || {
+                if mirrored {
+                    SystemConfig::segm().with_mirroring()
+                } else {
+                    SystemConfig::segm()
+                }
+            }));
+        }
+    }
+    PlannedExperiment {
+        id: "ablation-mirror",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "ablation-mirror",
+                "RAID-0 vs RAID-10 on 8 spindles (Segm)",
+                &["write_%", "raid0_io_s", "raid10_io_s", "raid10_penalty_%"],
+            );
+            for (row, &pct) in PCTS.iter().enumerate() {
+                let o = &out[row * 2..(row + 1) * 2];
+                let (raid0, raid10) = (o[0].get("io_ns"), o[1].get("io_ns"));
+                t.push_row(vec![
+                    pct.to_string(),
+                    f1(raid0 / 1e9),
+                    f1(raid10 / 1e9),
+                    f1((raid10 / raid0 - 1.0) * 100.0),
+                ]);
+            }
+            t.note("mirroring halves the stripe width but serves reads from either member; the write penalty grows with the write fraction");
+            t
+        }),
+    }
+}
+
+/// §6.1's periodic-sync claim: "we have determined the effect of such
+/// periodic syncs on overall throughput to be negligible (< 1%),
+/// assuming periods of 30 seconds" — measured on the web clone.
+pub fn plan_flush_period(opts: RunOptions) -> PlannedExperiment {
+    const PERIODS_S: [u64; 3] = [120, 30, 10];
+    let wl = web_workload(opts);
+    let cfg = || {
+        SystemConfig::segm()
+            .with_hdc(2 * 1024 * 1024)
+            .with_striping_unit(64 * 1024)
+    };
+    let mut jobs = Vec::new();
+    let spec = JobSpec::new("ablation-flush", 0, "end-of-run")
+        .param("scale", opts.scale)
+        .param("flush_period_s", "none");
+    jobs.push(sim_job(spec, &wl, cfg));
+    for secs in PERIODS_S {
+        let spec = JobSpec::new("ablation-flush", jobs.len(), format!("period={secs}s"))
+            .param("scale", opts.scale)
+            .param("flush_period_s", secs);
+        jobs.push(sim_job(spec, &wl, move || {
+            cfg().with_hdc_flush_period(forhdc_sim::SimDuration::from_secs(secs))
+        }));
+    }
+    PlannedExperiment {
+        id: "ablation-flush",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "ablation-flush",
+                "Periodic flush_hdc() cost (web clone, Segm+HDC, 64-KB unit)",
+                &["flush_period_s", "io_time_s", "flushed_blocks", "cost_%"],
+            );
+            let lazy = out[0].get("io_ns");
+            t.push_row(vec![
+                "end-of-run".into(),
+                f1(lazy / 1e9),
+                (out[0].get("hdc_flushed") as u64).to_string(),
+                f3(0.0),
+            ]);
+            for (secs, o) in PERIODS_S.iter().zip(&out[1..]) {
+                t.push_row(vec![
+                    secs.to_string(),
+                    f1(o.get("io_ns") / 1e9),
+                    (o.get("hdc_flushed") as u64).to_string(),
+                    f3((o.get("io_ns") / lazy - 1.0) * 100.0),
+                ]);
+            }
+            t.note("paper: 30-second periods cost < 1%");
+            t
+        }),
+    }
+}
+
+/// The §5 deployment story: HDC planned per period from the previous
+/// period's history, against the §6.1 perfect-knowledge plan.
+pub fn plan_periodic_planner(opts: RunOptions) -> PlannedExperiment {
+    const PERIODS: [usize; 3] = [2, 4, 8];
+    let wl = web_workload(opts);
+    let cfg = || {
+        SystemConfig::segm()
+            .with_hdc(2 * 1024 * 1024)
+            .with_striping_unit(64 * 1024)
+    };
+    let mut jobs = Vec::new();
+    let spec = JobSpec::new("ablation-periodic", 0, "no-hdc")
+        .param("scale", opts.scale)
+        .param("plan", "no-hdc");
+    jobs.push(sim_job(spec, &wl, || {
+        SystemConfig::segm().with_striping_unit(64 * 1024)
+    }));
+    let spec = JobSpec::new("ablation-periodic", 1, "perfect")
+        .param("scale", opts.scale)
+        .param("plan", "perfect");
+    jobs.push(sim_job(spec, &wl, cfg));
+    for periods in PERIODS {
+        let spec = JobSpec::new(
+            "ablation-periodic",
+            jobs.len(),
+            format!("history/{periods}"),
+        )
+        .param("scale", opts.scale)
+        .param("plan", format!("history/{periods}"));
+        let wl = wl.clone();
+        jobs.push(SimJob::new(spec, move || {
+            // Approximate the periodic deployment: plan from the first
+            // (periods − 1)/periods of the trace's history, replay whole.
+            let wl = wl.get();
+            let cfg = cfg();
+            let striping = StripingMap::new(cfg.array.disks, cfg.array.striping_unit_blocks());
+            let plans = plan_periodic(&wl.trace, &striping, cfg.hdc_blocks(), periods);
+            let last = plans.last().expect("at least one period").clone();
+            report_metrics(&System::with_plan(cfg, wl, last).run())
+        }));
+    }
+    PlannedExperiment {
+        id: "ablation-periodic",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "ablation-periodic",
+                "HDC planning: perfect knowledge vs history-based periods (web clone)",
+                &["plan", "io_time_s", "hdc_hit_%"],
+            );
+            t.push_row(vec![
+                "no-hdc".into(),
+                f1(out[0].get("io_ns") / 1e9),
+                f1(0.0),
+            ]);
+            t.push_row(vec![
+                "perfect".into(),
+                f1(out[1].get("io_ns") / 1e9),
+                f1(100.0 * out[1].get("hdc_hit_rate")),
+            ]);
+            for (periods, o) in PERIODS.iter().zip(&out[2..]) {
+                t.push_row(vec![
+                    format!("history/{periods}"),
+                    f1(o.get("io_ns") / 1e9),
+                    f1(100.0 * o.get("hdc_hit_rate")),
+                ]);
+            }
+            t.note("history-based plans approach the perfect-knowledge plan as history accumulates (stable popularity)");
+            t
+        }),
+    }
+}
+
+/// Scheduler ablation on the serial path (same jobs, same assembly).
+pub fn scheduler(opts: RunOptions) -> Table {
+    plan_scheduler(opts).run_serial()
+}
+
+/// Segment-replacement ablation on the serial path.
+pub fn segment_replacement(opts: RunOptions) -> Table {
+    plan_segment_replacement(opts).run_serial()
+}
+
+/// Block-replacement ablation on the serial path.
+pub fn block_replacement(opts: RunOptions) -> Table {
+    plan_block_replacement(opts).run_serial()
+}
+
+/// Segment-size ablation on the serial path.
+pub fn segment_size(opts: RunOptions) -> Table {
+    plan_segment_size(opts).run_serial()
+}
+
+/// Coalescing ablation on the serial path.
+pub fn coalescing(opts: RunOptions) -> Table {
+    plan_coalescing(opts).run_serial()
+}
+
+/// Zoned-recording ablation on the serial path.
+pub fn zoned(opts: RunOptions) -> Table {
+    plan_zoned(opts).run_serial()
+}
+
+/// Mirroring ablation on the serial path.
+pub fn mirroring(opts: RunOptions) -> Table {
+    plan_mirroring(opts).run_serial()
+}
+
+/// Flush-period ablation on the serial path.
+pub fn flush_period(opts: RunOptions) -> Table {
+    plan_flush_period(opts).run_serial()
+}
+
+/// Periodic-planner ablation on the serial path.
+pub fn periodic_planner(opts: RunOptions) -> Table {
+    plan_periodic_planner(opts).run_serial()
 }
 
 /// §5's cooperative-caching remark: per-disk top-K pinning vs a
@@ -203,7 +598,7 @@ pub fn cooperative(opts: RunOptions) -> Table {
         .file_blocks(4)
         .zipf_alpha(0.8)
         .streams(128)
-        .seed(42)
+        .seed(point_seed("ablation-coop", 0))
         .build();
     // (b) one-disk heat: hot blocks confined to disk 0's units.
     let hot_disk = {
@@ -226,12 +621,20 @@ pub fn cooperative(opts: RunOptions) -> Table {
                 kind: forhdc_sim::ReadWrite::Read,
             });
         }
-        Workload { name: "hot-disk".into(), layout, trace: Trace::new(reqs), streams: 64 }
+        Workload {
+            name: "hot-disk".into(),
+            layout,
+            trace: Trace::new(reqs),
+            streams: 64,
+        }
     };
     for (name, wl) in [("balanced", &balanced), ("one-disk", &hot_disk)] {
         let per_disk = System::new(SystemConfig::segm().with_hdc(HDC), wl).run();
-        let coop =
-            System::new(SystemConfig::segm().with_hdc(HDC).with_cooperative_hdc(), wl).run();
+        let coop = System::new(
+            SystemConfig::segm().with_hdc(HDC).with_cooperative_hdc(),
+            wl,
+        )
+        .run();
         t.push_row(vec![
             name.to_string(),
             f1(per_disk.io_time.as_secs_f64()),
@@ -240,76 +643,6 @@ pub fn cooperative(opts: RunOptions) -> Table {
         ]);
     }
     t.note("the paper kept per-disk pinning for simplicity; cooperation only pays when the hot set is spatially concentrated beyond one controller's memory");
-    t
-}
-
-/// Zoned recording as a sensitivity check: the paper simulates the
-/// Ultrastar's *average* media rate; real zones make outer cylinders
-/// ~22% faster. The comparison results must be insensitive to this
-/// refinement.
-pub fn zoned(opts: RunOptions) -> Table {
-    let wl = SyntheticWorkload::builder()
-        .requests(opts.synthetic_requests)
-        .files(20_000)
-        .file_blocks(4)
-        .streams(128)
-        .seed(42)
-        .build();
-    let mut t = Table::new(
-        "ablation-zones",
-        "Uniform vs zoned media rate (synthetic 16-KB files)",
-        &["recording", "segm_io_s", "for_io_s", "for_gain_%"],
-    );
-    for (name, zoned) in [("uniform", false), ("zoned", true)] {
-        let mk = |mut c: SystemConfig| {
-            if zoned {
-                c = c.with_zoned_recording();
-            }
-            System::new(c, &wl).run()
-        };
-        let segm = mk(SystemConfig::segm());
-        let for_ = mk(SystemConfig::for_());
-        t.push_row(vec![
-            name.to_string(),
-            f1(segm.io_time.as_secs_f64()),
-            f1(for_.io_time.as_secs_f64()),
-            f1(100.0 * (1.0 - for_.io_time.as_nanos() as f64 / segm.io_time.as_nanos() as f64)),
-        ]);
-    }
-    t.note("our layouts start at cylinder 0 (outer = fast), so zoned runs are slightly faster in absolute terms; the FOR/Segm comparison is unchanged");
-    t
-}
-
-/// §2.2's redundancy option: the same 8 spindles as RAID-0 (8-wide
-/// striping) vs RAID-10 (4 mirrored pairs), under read-mostly and
-/// write-heavy synthetics.
-pub fn mirroring(opts: RunOptions) -> Table {
-    let mut t = Table::new(
-        "ablation-mirror",
-        "RAID-0 vs RAID-10 on 8 spindles (Segm)",
-        &["write_%", "raid0_io_s", "raid10_io_s", "raid10_penalty_%"],
-    );
-    for pct in [0u32, 20, 50] {
-        let wl = SyntheticWorkload::builder()
-            .requests(opts.synthetic_requests)
-            .files(20_000)
-            .file_blocks(4)
-            .streams(128)
-            .write_fraction(pct as f64 / 100.0)
-            .seed(42)
-            .build();
-        let raid0 = System::new(SystemConfig::segm(), &wl).run();
-        let raid10 = System::new(SystemConfig::segm().with_mirroring(), &wl).run();
-        let penalty =
-            (raid10.io_time.as_nanos() as f64 / raid0.io_time.as_nanos() as f64 - 1.0) * 100.0;
-        t.push_row(vec![
-            pct.to_string(),
-            f1(raid0.io_time.as_secs_f64()),
-            f1(raid10.io_time.as_secs_f64()),
-            f1(penalty),
-        ]);
-    }
-    t.note("mirroring halves the stripe width but serves reads from either member; the write penalty grows with the write fraction");
     t
 }
 
@@ -360,7 +693,11 @@ pub fn victim(opts: RunOptions) -> Table {
         &["mode", "io_time_s", "hdc_hit_%"],
     );
     let none = System::new(SystemConfig::segm(), &vw.workload).run();
-    t.push_row(vec!["no-hdc".into(), f1(none.io_time.as_secs_f64()), f1(0.0)]);
+    t.push_row(vec![
+        "no-hdc".into(),
+        f1(none.io_time.as_secs_f64()),
+        f1(0.0),
+    ]);
     let top = System::new(SystemConfig::segm().with_hdc(HDC), &vw.workload).run();
     t.push_row(vec![
         "top-miss".into(),
@@ -390,98 +727,31 @@ pub fn victim(opts: RunOptions) -> Table {
     t
 }
 
-/// §6.1's periodic-sync claim: "we have determined the effect of such
-/// periodic syncs on overall throughput to be negligible (< 1%),
-/// assuming periods of 30 seconds" — measured on the web clone.
-pub fn flush_period(opts: RunOptions) -> Table {
-    let wl = ServerWorkloadSpec::web().scale(opts.scale).generate().workload;
-    let cfg = || {
-        SystemConfig::segm()
-            .with_hdc(2 * 1024 * 1024)
-            .with_striping_unit(64 * 1024)
-    };
-    let mut t = Table::new(
-        "ablation-flush",
-        "Periodic flush_hdc() cost (web clone, Segm+HDC, 64-KB unit)",
-        &["flush_period_s", "io_time_s", "flushed_blocks", "cost_%"],
-    );
-    let lazy = System::new(cfg(), &wl).run();
-    t.push_row(vec![
-        "end-of-run".into(),
-        f1(lazy.io_time.as_secs_f64()),
-        lazy.hdc.flushed.to_string(),
-        f3(0.0),
-    ]);
-    for secs in [120u64, 30, 10] {
-        let r = System::new(
-            cfg().with_hdc_flush_period(forhdc_sim::SimDuration::from_secs(secs)),
-            &wl,
-        )
-        .run();
-        let cost = (r.io_time.as_nanos() as f64 / lazy.io_time.as_nanos() as f64 - 1.0) * 100.0;
-        t.push_row(vec![
-            secs.to_string(),
-            f1(r.io_time.as_secs_f64()),
-            r.hdc.flushed.to_string(),
-            f3(cost),
-        ]);
-    }
-    t.note("paper: 30-second periods cost < 1%");
-    t
-}
-
-/// The §5 deployment story: HDC planned per period from the previous
-/// period's history, against the §6.1 perfect-knowledge plan.
-pub fn periodic_planner(opts: RunOptions) -> Table {
-    let wl = ServerWorkloadSpec::web().scale(opts.scale).generate().workload;
-    let cfg = SystemConfig::segm().with_hdc(2 * 1024 * 1024).with_striping_unit(64 * 1024);
-    let striping = StripingMap::new(cfg.array.disks, cfg.array.striping_unit_blocks());
-    let capacity = cfg.hdc_blocks();
-    let mut t = Table::new(
-        "ablation-periodic",
-        "HDC planning: perfect knowledge vs history-based periods (web clone)",
-        &["plan", "io_time_s", "hdc_hit_%"],
-    );
-    let base = System::new(SystemConfig::segm().with_striping_unit(64 * 1024), &wl).run();
-    t.push_row(vec!["no-hdc".into(), f1(base.io_time.as_secs_f64()), f1(0.0)]);
-    let perfect = System::new(cfg.clone(), &wl).run();
-    t.push_row(vec![
-        "perfect".into(),
-        f1(perfect.io_time.as_secs_f64()),
-        f1(100.0 * perfect.hdc_hit_rate()),
-    ]);
-    for periods in [2usize, 4, 8] {
-        // Approximate the periodic deployment: plan from the first
-        // (periods − 1)/periods of the trace's history, replay whole.
-        let plans = plan_periodic(&wl.trace, &striping, capacity, periods);
-        let last = plans.last().expect("at least one period").clone();
-        let r = System::with_plan(cfg.clone(), &wl, last).run();
-        t.push_row(vec![
-            format!("history/{periods}"),
-            f1(r.io_time.as_secs_f64()),
-            f1(100.0 * r.hdc_hit_rate()),
-        ]);
-    }
-    let _ = plan_top_misses(&wl.trace, &striping, capacity); // exercised by System::new above
-    t.note("history-based plans approach the perfect-knowledge plan as history accumulates (stable popularity)");
-    t
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn quick() -> RunOptions {
-        RunOptions { scale: 0.015, synthetic_requests: 500 }
+        RunOptions {
+            scale: 0.015,
+            synthetic_requests: 500,
+        }
     }
 
     #[test]
     fn look_beats_fcfs() {
         let t = scheduler(quick());
         let io = |name: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[1].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[1]
+                .parse()
+                .unwrap()
         };
-        assert!(io("LOOK") <= io("FCFS"), "LOOK {} vs FCFS {}", io("LOOK"), io("FCFS"));
+        assert!(
+            io("LOOK") <= io("FCFS"),
+            "LOOK {} vs FCFS {}",
+            io("LOOK"),
+            io("FCFS")
+        );
     }
 
     #[test]
@@ -505,7 +775,10 @@ mod tests {
     fn bigger_segments_read_ahead_more() {
         let t = segment_size(quick());
         let ra: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
-        assert!(ra[2] > ra[0], "512-KB segments should read ahead more: {ra:?}");
+        assert!(
+            ra[2] > ra[0],
+            "512-KB segments should read ahead more: {ra:?}"
+        );
     }
 
     #[test]
@@ -514,7 +787,10 @@ mod tests {
         let last = t.rows.last().unwrap();
         let no_ra: f64 = last[2].parse().unwrap();
         let for_: f64 = last[3].parse().unwrap();
-        assert!(for_ <= no_ra * 1.05, "FOR {for_} vs No-RA {no_ra} at 100% coalescing");
+        assert!(
+            for_ <= no_ra * 1.05,
+            "FOR {for_} vs No-RA {no_ra} at 100% coalescing"
+        );
     }
 
     #[test]
@@ -522,7 +798,9 @@ mod tests {
         let t = periodic_planner(quick());
         assert!(t.rows.len() >= 4);
         let hit = |name: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[2].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         assert!(hit("perfect") >= hit("history/2") - 0.5);
     }

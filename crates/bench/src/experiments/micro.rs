@@ -10,25 +10,41 @@ use crate::table::{f1, f3, Table};
 /// Table 1: the simulation parameters and their defaults.
 pub fn table1() -> Table {
     let a = ArrayConfig::default();
-    let mut t = Table::new("table1", "Main parameters and their default values", &[
-        "parameter",
-        "default",
-    ]);
+    let mut t = Table::new(
+        "table1",
+        "Main parameters and their default values",
+        &["parameter", "default"],
+    );
     let mut row = |k: &str, v: String| t.push_row(vec![k.to_string(), v]);
     row("number of disks", a.disks.to_string());
-    row("disk size", format!("{:.1} GB", a.disk.geometry.capacity_bytes() as f64 / 1e9));
+    row(
+        "disk size",
+        format!("{:.1} GB", a.disk.geometry.capacity_bytes() as f64 / 1e9),
+    );
     row(
         "average disk seek time",
-        format!("{:.2} ms", a.disk.seek.average_seek_ms(a.disk.geometry.cylinders())),
+        format!(
+            "{:.2} ms",
+            a.disk.seek.average_seek_ms(a.disk.geometry.cylinders())
+        ),
     );
     row("average rotational latency", "2.0 ms (15000 rpm)".into());
-    row("raw disk transfer rate", format!("{} MB/s", a.disk.media_rate / 1_000_000));
+    row(
+        "raw disk transfer rate",
+        format!("{} MB/s", a.disk.media_rate / 1_000_000),
+    );
     row(
         "disk controller interface",
         format!("Ultra160 ({} MB/s shared)", a.bus_rate / 1_000_000),
     );
-    row("disk controller cache size", format!("{} MB", a.disk.cache_bytes / (1 << 20)));
-    row("disk block size", format!("{} KB", a.disk.block_bytes() / 1024));
+    row(
+        "disk controller cache size",
+        format!("{} MB", a.disk.cache_bytes / (1 << 20)),
+    );
+    row(
+        "disk block size",
+        format!("{} KB", a.disk.block_bytes() / 1024),
+    );
     row(
         "segment size / count",
         format!("{} KB x {}", a.disk.segment_bytes / 1024, a.disk.segments),
@@ -37,7 +53,10 @@ pub fn table1() -> Table {
         "disk-resident bitmap",
         format!("{} KB", a.disk.bitmap_bytes() / 1024),
     );
-    row("striping unit (synthetic default)", format!("{} KB", a.striping_unit_bytes / 1024));
+    row(
+        "striping unit (synthetic default)",
+        format!("{} KB", a.striping_unit_bytes / 1024),
+    );
     t.note("paper Table 1: 8 disks, 18 GB, 3.4 ms, 2.0 ms, 54 MB/s, Ultra160, 4 MB, 4 KB, 128/256/512 KB x 27/13/6, 546 KB bitmap");
     t
 }

@@ -5,47 +5,90 @@ pub mod micro;
 pub mod servers;
 pub mod synthetic;
 
-use crate::Table;
+use forhdc_workload::ServerKind;
+
+use crate::plan::PlannedExperiment;
 use crate::RunOptions;
+use crate::Table;
 
 /// Every experiment the harness knows, in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "table2", "ablation-sched", "ablation-segrepl",
-    "ablation-blkrepl", "ablation-segsize", "ablation-coalesce", "ablation-periodic", "ablation-flush", "ablation-victim", "ablation-mirror", "ablation-zones", "ablation-coop", "model-check",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table2",
+    "ablation-sched",
+    "ablation-segrepl",
+    "ablation-blkrepl",
+    "ablation-segsize",
+    "ablation-coalesce",
+    "ablation-periodic",
+    "ablation-flush",
+    "ablation-victim",
+    "ablation-mirror",
+    "ablation-zones",
+    "ablation-coop",
+    "model-check",
 ];
 
-/// Runs one experiment by id.
+/// The job-graph decomposition of `id`, when it has one.
+///
+/// Sweep-shaped experiments decompose into independent jobs the runner
+/// can execute in parallel and cache; the rest (`None`) run only on the
+/// legacy serial path — single simulations, bespoke trace builders, and
+/// analytic tables with nothing to parallelize.
+pub fn plan(id: &str, opts: RunOptions) -> Option<PlannedExperiment> {
+    Some(match id {
+        "fig3" => synthetic::plan_fig3(opts),
+        "fig4" => synthetic::plan_fig4(opts),
+        "fig5" => synthetic::plan_fig5(opts),
+        "fig6" => synthetic::plan_fig6(opts),
+        "fig7" => servers::plan_striping_sweep(ServerKind::Web, "fig7", opts),
+        "fig9" => servers::plan_striping_sweep(ServerKind::Proxy, "fig9", opts),
+        "fig11" => servers::plan_striping_sweep(ServerKind::File, "fig11", opts),
+        "fig8" => servers::plan_hdc_sweep(ServerKind::Web, "fig8", opts),
+        "fig10" => servers::plan_hdc_sweep(ServerKind::Proxy, "fig10", opts),
+        "fig12" => servers::plan_hdc_sweep(ServerKind::File, "fig12", opts),
+        "table2" => servers::plan_table2(opts),
+        "ablation-sched" => ablations::plan_scheduler(opts),
+        "ablation-segrepl" => ablations::plan_segment_replacement(opts),
+        "ablation-blkrepl" => ablations::plan_block_replacement(opts),
+        "ablation-segsize" => ablations::plan_segment_size(opts),
+        "ablation-coalesce" => ablations::plan_coalescing(opts),
+        "ablation-periodic" => ablations::plan_periodic_planner(opts),
+        "ablation-flush" => ablations::plan_flush_period(opts),
+        "ablation-mirror" => ablations::plan_mirroring(opts),
+        "ablation-zones" => ablations::plan_zoned(opts),
+        _ => return None,
+    })
+}
+
+/// Runs one experiment by id on the serial path. Planned experiments
+/// execute the same jobs (in point order) and assembly as a parallel
+/// run, so the output is identical either way.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id (the CLI validates first).
 pub fn run(id: &str, opts: RunOptions) -> Table {
+    if let Some(p) = plan(id, opts) {
+        return p.run_serial();
+    }
     match id {
         "table1" => micro::table1(),
         "fig1" => micro::fig1(),
         "fig2" => servers::fig2(opts),
-        "fig3" => synthetic::fig3(opts),
-        "fig4" => synthetic::fig4(opts),
-        "fig5" => synthetic::fig5(opts),
-        "fig6" => synthetic::fig6(opts),
-        "fig7" => servers::striping_sweep(forhdc_workload::ServerKind::Web, "fig7", opts),
-        "fig9" => servers::striping_sweep(forhdc_workload::ServerKind::Proxy, "fig9", opts),
-        "fig11" => servers::striping_sweep(forhdc_workload::ServerKind::File, "fig11", opts),
-        "fig8" => servers::hdc_sweep(forhdc_workload::ServerKind::Web, "fig8", opts),
-        "fig10" => servers::hdc_sweep(forhdc_workload::ServerKind::Proxy, "fig10", opts),
-        "fig12" => servers::hdc_sweep(forhdc_workload::ServerKind::File, "fig12", opts),
-        "table2" => servers::table2(opts),
-        "ablation-sched" => ablations::scheduler(opts),
-        "ablation-segrepl" => ablations::segment_replacement(opts),
-        "ablation-blkrepl" => ablations::block_replacement(opts),
-        "ablation-segsize" => ablations::segment_size(opts),
-        "ablation-coalesce" => ablations::coalescing(opts),
-        "ablation-periodic" => ablations::periodic_planner(opts),
-        "ablation-flush" => ablations::flush_period(opts),
         "ablation-victim" => ablations::victim(opts),
-        "ablation-mirror" => ablations::mirroring(opts),
-        "ablation-zones" => ablations::zoned(opts),
         "ablation-coop" => ablations::cooperative(opts),
         "model-check" => micro::model_check(opts),
         other => panic!("unknown experiment: {other}"),

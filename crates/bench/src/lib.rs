@@ -23,8 +23,10 @@
 //! | [`experiments::ablations`] | ten design-choice ablations (DESIGN.md §8) |
 
 pub mod experiments;
+pub mod plan;
 pub mod table;
 
+pub use plan::PlannedExperiment;
 pub use table::Table;
 
 /// Global run options shared by the experiments.
@@ -39,6 +41,9 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { scale: 1.0, synthetic_requests: 10_000 }
+        RunOptions {
+            scale: 1.0,
+            synthetic_requests: 10_000,
+        }
     }
 }

@@ -21,11 +21,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -41,7 +37,12 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(row);
     }
 

@@ -1,0 +1,147 @@
+//! Cross-crate integration: forhdc-bench experiment plans executed by
+//! the forhdc-runner pool must reproduce the serial output byte for
+//! byte, and the result cache must make re-runs free without changing
+//! a byte either.
+
+use std::path::PathBuf;
+
+use forhdc_bench::{experiments, RunOptions};
+use forhdc_runner::Runner;
+
+fn quick() -> RunOptions {
+    RunOptions {
+        scale: 0.02,
+        synthetic_requests: 300,
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("forhdc_bench_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// One synthetic sweep (fig4) and one server sweep (fig8): a parallel
+/// run with 4 workers must produce byte-identical CSV to the serial
+/// path.
+#[test]
+fn parallel_tables_are_byte_identical_to_serial() {
+    for id in ["fig4", "fig8"] {
+        let serial = experiments::plan(id, quick())
+            .expect("sweep has a plan")
+            .run_serial();
+        let runner = Runner::new(4).quiet(true);
+        let (parallel, stats) = experiments::plan(id, quick())
+            .expect("plan")
+            .run_with(&runner);
+        assert!(stats.jobs > 1, "{id} must decompose into multiple jobs");
+        assert_eq!(
+            serial.to_csv(),
+            parallel.to_csv(),
+            "{id}: --jobs 4 output must be byte-identical to serial"
+        );
+    }
+}
+
+/// A second run over a warm cache must execute zero jobs and still
+/// produce byte-identical output.
+#[test]
+fn cached_rerun_is_free_and_identical() {
+    let dir = tmpdir("cache");
+    let id = "fig4";
+
+    let cold = Runner::new(4).quiet(true).cache_dir(&dir);
+    let (first, first_stats) = experiments::plan(id, quick())
+        .expect("plan")
+        .run_with(&cold);
+    assert_eq!(first_stats.cache_hits, 0, "cold cache must miss everywhere");
+
+    let warm = Runner::new(4).quiet(true).cache_dir(&dir);
+    let (second, second_stats) = experiments::plan(id, quick())
+        .expect("plan")
+        .run_with(&warm);
+    assert_eq!(
+        second_stats.cache_hits, second_stats.jobs,
+        "warm cache must hit on every job"
+    );
+    assert_eq!(
+        first.to_csv(),
+        second.to_csv(),
+        "cached output must be byte-identical"
+    );
+
+    // Different options must not hit the same entries.
+    let other_opts = RunOptions {
+        scale: 0.02,
+        synthetic_requests: 301,
+    };
+    let third = Runner::new(1).quiet(true).cache_dir(&dir);
+    let (_, third_stats) = experiments::plan(id, other_opts)
+        .expect("plan")
+        .run_with(&third);
+    assert_eq!(
+        third_stats.cache_hits, 0,
+        "changed options must miss the cache"
+    );
+}
+
+/// `experiments::run` (the serial entry point used by tests and the
+/// legacy path) agrees with a planned parallel run for a planned id.
+#[test]
+fn run_and_plan_agree() {
+    let id = "ablation-zones";
+    let via_run = experiments::run(id, quick());
+    let runner = Runner::new(3).quiet(true);
+    let (via_plan, _) = experiments::plan(id, quick())
+        .expect("plan")
+        .run_with(&runner);
+    assert_eq!(via_run.to_csv(), via_plan.to_csv());
+}
+
+mod cli {
+    use std::process::Command;
+
+    fn repro() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_repro"))
+    }
+
+    /// `--list` prints exactly the known experiment ids, one per line,
+    /// on stdout.
+    #[test]
+    fn list_prints_ids_to_stdout() {
+        let out = repro().arg("--list").output().expect("spawn repro");
+        assert!(out.status.success());
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let ids: Vec<&str> = stdout.lines().collect();
+        assert_eq!(ids, forhdc_bench::experiments::ALL);
+    }
+
+    /// `-h`/`--help` succeed and print usage on stdout, not stderr.
+    #[test]
+    fn help_goes_to_stdout_and_succeeds() {
+        for flag in ["-h", "--help"] {
+            let out = repro().arg(flag).output().expect("spawn repro");
+            assert!(out.status.success(), "{flag} must exit 0");
+            let stdout = String::from_utf8(out.stdout).unwrap();
+            assert!(stdout.contains("usage: repro"), "{flag}: usage on stdout");
+            assert!(out.stderr.is_empty(), "{flag}: nothing on stderr");
+        }
+    }
+
+    /// Unknown experiments and bad flags exit non-zero with the error
+    /// on stderr.
+    #[test]
+    fn bad_input_fails_with_stderr_diagnostics() {
+        let out = repro().arg("fig99").output().expect("spawn repro");
+        assert_eq!(out.status.code(), Some(2));
+        assert!(String::from_utf8(out.stderr)
+            .unwrap()
+            .contains("unknown experiment"));
+
+        let out = repro()
+            .args(["fig4", "--jobs", "zero"])
+            .output()
+            .expect("spawn repro");
+        assert_eq!(out.status.code(), Some(2));
+    }
+}

@@ -126,7 +126,10 @@ impl BlockCache {
                 .copied(),
             BlockReplacement::Lru => {
                 // Globally least recent across both sets.
-                match (self.used_order.iter().next(), self.unused_order.iter().next()) {
+                match (
+                    self.used_order.iter().next(),
+                    self.unused_order.iter().next(),
+                ) {
                     (Some(&a), Some(&b)) => Some(if a.0 < b.0 { a } else { b }),
                     (a, b) => a.or(b).copied(),
                 }
@@ -161,7 +164,14 @@ impl BlockCache {
         if self.map.len() as u32 >= self.capacity {
             self.evict_victim();
         }
-        self.map.insert(block, BlockMeta { stamp, read_ahead, used: false });
+        self.map.insert(
+            block,
+            BlockMeta {
+                stamp,
+                read_ahead,
+                used: false,
+            },
+        );
         self.unused_order.insert((stamp, block));
         self.stats.insertions += 1;
         if read_ahead {
@@ -303,8 +313,8 @@ mod tests {
         c.insert_run(b(0), 2, 2);
         c.touch(b(0));
         c.insert_run(b(0), 1, 1); // fresh media read of block 0
-        // Block 1 untouched (unconsumed), block 0 unconsumed again: with
-        // no consumed blocks the oldest unconsumed (block 1) goes.
+                                  // Block 1 untouched (unconsumed), block 0 unconsumed again: with
+                                  // no consumed blocks the oldest unconsumed (block 1) goes.
         c.insert_run(b(5), 1, 1);
         assert!(c.contains(b(0)));
         assert!(!c.contains(b(1)));
@@ -316,7 +326,11 @@ mod tests {
         c.insert_run(b(0), 2, 0); // both RA
         c.insert_run(b(0), 1, 1); // block 0 now demanded
         c.touch(b(0));
-        assert_eq!(c.stats().ra_used, 0, "demanded reinsert should clear RA flag");
+        assert_eq!(
+            c.stats().ra_used,
+            0,
+            "demanded reinsert should clear RA flag"
+        );
         c.touch(b(1));
         assert_eq!(c.stats().ra_used, 1);
     }

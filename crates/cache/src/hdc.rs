@@ -117,7 +117,11 @@ impl HdcRegion {
     /// Creates an empty region able to pin `capacity` blocks.
     /// A zero capacity creates a permanently empty region (HDC off).
     pub fn new(capacity: u32) -> Self {
-        HdcRegion { pinned: HashMap::with_capacity(capacity as usize), capacity, stats: HdcStats::default() }
+        HdcRegion {
+            pinned: HashMap::with_capacity(capacity as usize),
+            capacity,
+            stats: HdcStats::default(),
+        }
     }
 
     /// Pins `block` into the region (the `pin_blk()` command). Pinning
@@ -134,7 +138,9 @@ impl HdcRegion {
             return Ok(());
         }
         if self.pinned.len() as u32 >= self.capacity {
-            return Err(PinError { capacity: self.capacity });
+            return Err(PinError {
+                capacity: self.capacity,
+            });
         }
         self.pinned.insert(block, false);
         self.stats.pins += 1;
@@ -313,8 +319,15 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = HdcStats { read_hits: 1, ..HdcStats::default() };
-        let b = HdcStats { read_hits: 2, write_misses: 3, ..HdcStats::default() };
+        let mut a = HdcStats {
+            read_hits: 1,
+            ..HdcStats::default()
+        };
+        let b = HdcStats {
+            read_hits: 2,
+            write_misses: 3,
+            ..HdcStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.read_hits, 3);
         assert_eq!(a.write_misses, 3);

@@ -92,7 +92,10 @@ impl SegmentCache {
     /// (the per-segment bookkeeping uses 128-bit masks).
     pub fn new(segments: u32, seg_blocks: u32, policy: SegmentReplacement) -> Self {
         assert!(segments > 0, "need at least one segment");
-        assert!((1..=128).contains(&seg_blocks), "segment blocks must be 1..=128");
+        assert!(
+            (1..=128).contains(&seg_blocks),
+            "segment blocks must be 1..=128"
+        );
         SegmentCache {
             segments: vec![None; segments as usize],
             seg_blocks,
@@ -178,7 +181,10 @@ impl SegmentCache {
 
 impl ControllerCache for SegmentCache {
     fn contains(&self, block: PhysBlock) -> bool {
-        self.segments.iter().flatten().any(|s| s.covers(block).is_some())
+        self.segments
+            .iter()
+            .flatten()
+            .any(|s| s.covers(block).is_some())
     }
 
     fn touch(&mut self, block: PhysBlock) -> bool {
@@ -205,7 +211,11 @@ impl ControllerCache for SegmentCache {
         // data, matching a circular segment buffer).
         let (start, nblocks, requested) = if nblocks > self.seg_blocks {
             let drop = (nblocks - self.seg_blocks) as u64;
-            (start.offset(drop), self.seg_blocks, requested.saturating_sub(drop as u32))
+            (
+                start.offset(drop),
+                self.seg_blocks,
+                requested.saturating_sub(drop as u32),
+            )
         } else {
             (start, nblocks, requested)
         };
@@ -328,7 +338,9 @@ mod tests {
             for i in 0..20u64 {
                 c.insert_run(b(i * 50), 4, 4);
             }
-            (0..20u64).map(|i| c.contains(b(i * 50))).collect::<Vec<_>>()
+            (0..20u64)
+                .map(|i| c.contains(b(i * 50)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

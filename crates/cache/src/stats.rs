@@ -120,8 +120,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = CacheStats { block_lookups: 1, block_hits: 1, ..CacheStats::new() };
-        let b = CacheStats { block_lookups: 2, evictions: 3, ..CacheStats::new() };
+        let mut a = CacheStats {
+            block_lookups: 1,
+            block_hits: 1,
+            ..CacheStats::new()
+        };
+        let b = CacheStats {
+            block_lookups: 2,
+            evictions: 3,
+            ..CacheStats::new()
+        };
         a.merge(&b);
         assert_eq!(a.block_lookups, 3);
         assert_eq!(a.block_hits, 1);

@@ -22,7 +22,11 @@ enum Op {
 fn op_strategy(space: u64) -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..space, 1u32..40).prop_map(|(start, n)| {
-            Op::Insert { start, n, requested: n / 2 }
+            Op::Insert {
+                start,
+                n,
+                requested: n / 2,
+            }
         }),
         (0..space).prop_map(Op::Touch),
         (0..space, 1u32..8).prop_map(|(start, n)| Op::Lookup { start, n }),
@@ -32,9 +36,11 @@ fn op_strategy(space: u64) -> impl Strategy<Value = Op> {
 fn workout(cache: &mut dyn ControllerCache, ops: &[Op]) {
     for op in ops {
         match *op {
-            Op::Insert { start, n, requested } => {
-                cache.insert_run(PhysBlock::new(start), n, requested)
-            }
+            Op::Insert {
+                start,
+                n,
+                requested,
+            } => cache.insert_run(PhysBlock::new(start), n, requested),
             Op::Touch(b) => {
                 cache.touch(PhysBlock::new(b));
             }

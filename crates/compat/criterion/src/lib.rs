@@ -1,0 +1,160 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — as a simple wall-clock timer: each benchmark
+//! is warmed up briefly, then timed for a fixed budget, and the mean
+//! time per iteration is printed as `<id> ... <time>/iter`. No
+//! statistics, baselines, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration (set by [`Bencher::iter`]).
+    mean_ns: f64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly within the budget and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few untimed runs.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < self.budget || iters == 0 {
+            black_box(f());
+            iters += 1;
+        }
+        self.mean_ns = started.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0, budget: self.budget };
+        f(&mut b);
+        println!("{id:<50} {:>12}/iter", human(b.mean_ns));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks (`<group>/<id>` naming).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's fixed time budget
+    /// ignores the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; see [`BenchmarkGroup::sample_size`].
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: a function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_chains() {
+        let mut c = Criterion { budget: Duration::from_millis(1) };
+        let mut ran = 0u32;
+        c.bench_function("stub/one", |b| b.iter(|| ran += 1))
+            .bench_function("stub/two", |b| b.iter(|| black_box(1 + 1)));
+        assert!(ran > 0, "the benchmarked closure must actually run");
+    }
+
+    #[test]
+    fn groups_prefix_names_and_accept_tuning() {
+        let mut c = Criterion { budget: Duration::from_millis(1) };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).measurement_time(Duration::from_millis(1));
+        g.bench_function("x", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(500.0).ends_with("ns"));
+        assert!(human(5_000.0).ends_with("µs"));
+        assert!(human(5_000_000.0).ends_with("ms"));
+        assert!(human(5e9).ends_with(" s"));
+    }
+}

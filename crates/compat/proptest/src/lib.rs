@@ -1,0 +1,459 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x surface this workspace's
+//! property tests use: the [`proptest!`] macro, `prop_assert*!`,
+//! [`prop_oneof!`], [`any`], range / tuple / vec strategies,
+//! [`Strategy::prop_map`] / [`Strategy::prop_flat_map`], and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Semantics: each test runs `cases` independently sampled inputs,
+//! deterministically derived from the test's name, so failures are
+//! reproducible run-to-run. There is **no shrinking** — a failing case
+//! reports its case index and seed rather than a minimized input.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod test_runner {
+    //! Deterministic per-test random source.
+
+    use super::*;
+
+    /// FNV-1a 64-bit, used to derive stable seeds from test names.
+    pub fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// The random source handed to strategies.
+    #[derive(Debug)]
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Seed derived from a test name and case index: stable across
+        /// runs, distinct across tests and cases.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            let seed = fnv1a(test_name.as_bytes()) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+
+        pub(crate) fn rng(&mut self) -> &mut StdRng {
+            &mut self.0
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the heavier simulator
+        // properties fast while still exploring the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Types with a canonical "anything" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// The strategy type `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`, e.g. `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy generating an [`Arbitrary`] type from a closure.
+pub struct ArbStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T> Strategy for ArbStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = ArbStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        ArbStrategy(|rng| rng.rng().gen())
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`collection`, `sample`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{Strategy, TestRng};
+        use rand::Rng as _;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s of `element` with length drawn from
+        /// `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = if self.len.start + 1 >= self.len.end {
+                    self.len.start
+                } else {
+                    rng.rng().gen_range(self.len.clone())
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling helper types.
+
+        use super::super::{ArbStrategy, Arbitrary};
+        use rand::Rng as _;
+
+        /// An opaque index into a collection whose size is only known
+        /// at use time.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Projects onto `0..len`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len` is zero.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on an empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            type Strategy = ArbStrategy<Index>;
+            fn arbitrary() -> Self::Strategy {
+                ArbStrategy(|rng| Index(rng.rng().gen()))
+            }
+        }
+    }
+}
+
+/// A uniform choice between boxed alternative strategies (the
+/// [`prop_oneof!`] backend).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng().gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Stub `prop_assert!`: plain `assert!` (panics instead of returning a
+/// `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Stub `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Stub `prop_assert_ne!`: plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The `proptest!` block: zero or more `#[test]` functions whose
+/// arguments are drawn from strategies, each run
+/// [`ProptestConfig::cases`] times with deterministic seeds.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    $body
+                }));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest stub: {} failed at case {case}/{} \
+                         (deterministic; re-run reproduces it; no shrinking)",
+                        stringify!($name),
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*`.
+
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let strat = (0u32..10, 0.0f64..1.0).prop_map(|(a, b)| (a, b));
+        let mut rng = TestRng::for_case("compose", 0);
+        for _ in 0..100 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!(a < 10);
+            assert!((0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let strat = prop::collection::vec(0u8..5, 2..7);
+        let mut rng = TestRng::for_case("vec_len", 0);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()), "{}", v.len());
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![
+            (0u32..1).prop_map(|_| 'a'),
+            (0u32..1).prop_map(|_| 'b'),
+            (0u32..1).prop_map(|_| 'c'),
+        ];
+        let mut rng = TestRng::for_case("oneof", 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_case() {
+        let strat = prop::collection::vec(0u64..1_000, 1..50);
+        let a = strat.generate(&mut TestRng::for_case("det", 3));
+        let b = strat.generate(&mut TestRng::for_case("det", 3));
+        let c = strat.generate(&mut TestRng::for_case("det", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn index_projects_in_bounds() {
+        let strat = any::<prop::sample::Index>();
+        let mut rng = TestRng::for_case("index", 0);
+        for len in [1usize, 2, 17, 1000] {
+            let i = strat.generate(&mut rng);
+            assert!(i.index(len) < len);
+        }
+    }
+
+    // The macro itself, end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_draws_arguments(x in 0u32..50, v in prop::collection::vec(0u8..3, 0..10)) {
+            prop_assert!(x < 50);
+            prop_assert!(v.len() < 10);
+            prop_assert_eq!(v.iter().filter(|&&b| b > 2).count(), 0);
+        }
+    }
+}

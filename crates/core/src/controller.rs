@@ -133,7 +133,11 @@ impl DiskController {
             // memory: fewer whole segments.
             let seg_blocks = cfg.segment_blocks();
             let segments = (ra_blocks / seg_blocks).clamp(1, cfg.segments);
-            CacheOrg::Segment(SegmentCache::new(segments, seg_blocks, SegmentReplacement::Lru))
+            CacheOrg::Segment(SegmentCache::new(
+                segments,
+                seg_blocks,
+                SegmentReplacement::Lru,
+            ))
         };
         DiskController {
             cache,
@@ -207,7 +211,11 @@ impl DiskController {
                     return ControllerDecision::CacheHit;
                 }
                 let read_ahead = self.read_ahead_for(start, nblocks);
-                ControllerDecision::Media { start, nblocks: nblocks + read_ahead, read_ahead }
+                ControllerDecision::Media {
+                    start,
+                    nblocks: nblocks + read_ahead,
+                    read_ahead,
+                }
             }
             ReadWrite::Write => {
                 // A write absorbed by HDC requires every block pinned.
@@ -225,7 +233,11 @@ impl DiskController {
                     self.hdc.write(b);
                     self.cache.as_cache().touch(b);
                 }
-                ControllerDecision::Media { start, nblocks, read_ahead: 0 }
+                ControllerDecision::Media {
+                    start,
+                    nblocks,
+                    read_ahead: 0,
+                }
             }
         }
     }
@@ -251,8 +263,7 @@ impl DiskController {
                 // Read to the end of the current track, capped by the
                 // segment-sized read-ahead limit.
                 let end = start.index() + nblocks as u64;
-                let track_left =
-                    self.blocks_per_track as u64 - end % self.blocks_per_track as u64;
+                let track_left = self.blocks_per_track as u64 - end % self.blocks_per_track as u64;
                 let track_left = if track_left == self.blocks_per_track as u64 {
                     0
                 } else {
@@ -353,7 +364,11 @@ mod tests {
     fn blind_segment_reads_whole_segment() {
         let mut c = DiskController::new(&cfg(), ReadAheadKind::BlindSegment, 0, None);
         match c.on_request(ReadWrite::Read, PhysBlock::new(100), 4) {
-            ControllerDecision::Media { start, nblocks, read_ahead } => {
+            ControllerDecision::Media {
+                start,
+                nblocks,
+                read_ahead,
+            } => {
                 assert_eq!(start, PhysBlock::new(100));
                 assert_eq!(nblocks, 32);
                 assert_eq!(read_ahead, 28);
@@ -366,7 +381,11 @@ mod tests {
     fn no_ra_reads_exactly_the_request() {
         let mut c = DiskController::new(&cfg(), ReadAheadKind::None, 0, None);
         match c.on_request(ReadWrite::Read, PhysBlock::new(100), 4) {
-            ControllerDecision::Media { nblocks, read_ahead, .. } => {
+            ControllerDecision::Media {
+                nblocks,
+                read_ahead,
+                ..
+            } => {
                 assert_eq!(nblocks, 4);
                 assert_eq!(read_ahead, 0);
             }
@@ -383,7 +402,11 @@ mod tests {
         }
         let mut c = DiskController::new(&cfg(), ReadAheadKind::For, 0, Some(bm));
         match c.on_request(ReadWrite::Read, PhysBlock::new(100), 1) {
-            ControllerDecision::Media { nblocks, read_ahead, .. } => {
+            ControllerDecision::Media {
+                nblocks,
+                read_ahead,
+                ..
+            } => {
                 assert_eq!(nblocks, 4); // 1 demanded + 3 continuations
                 assert_eq!(read_ahead, 3);
             }
@@ -406,10 +429,14 @@ mod tests {
     fn partial_track_stops_at_track_end() {
         let mut c = DiskController::new(&cfg(), ReadAheadKind::PartialTrack, 0, None);
         let bpt = cfg().geometry.blocks_per_track(); // 55 on the default drive
-        // A miss 3 blocks before the track end reads exactly to it.
+                                                     // A miss 3 blocks before the track end reads exactly to it.
         let start = PhysBlock::new(bpt as u64 - 4);
         match c.on_request(ReadWrite::Read, start, 1) {
-            ControllerDecision::Media { nblocks, read_ahead, .. } => {
+            ControllerDecision::Media {
+                nblocks,
+                read_ahead,
+                ..
+            } => {
                 assert_eq!(read_ahead, 3);
                 assert_eq!(nblocks, 4);
             }
@@ -426,7 +453,12 @@ mod tests {
     fn read_hit_after_install() {
         let mut c = DiskController::new(&cfg(), ReadAheadKind::BlindBlock, 0, None);
         let d = c.on_request(ReadWrite::Read, PhysBlock::new(50), 4);
-        let ControllerDecision::Media { start, nblocks, read_ahead } = d else {
+        let ControllerDecision::Media {
+            start,
+            nblocks,
+            read_ahead,
+        } = d
+        else {
             panic!("{d:?}")
         };
         c.on_media_complete(ReadWrite::Read, start, nblocks, nblocks - read_ahead);
@@ -446,7 +478,11 @@ mod tests {
         let mut c = DiskController::new(&cfg(), ReadAheadKind::BlindSegment, 0, None);
         let cap = cfg().geometry.capacity_blocks();
         match c.on_request(ReadWrite::Read, PhysBlock::new(cap - 2), 2) {
-            ControllerDecision::Media { nblocks, read_ahead, .. } => {
+            ControllerDecision::Media {
+                nblocks,
+                read_ahead,
+                ..
+            } => {
                 assert_eq!(nblocks, 2);
                 assert_eq!(read_ahead, 0);
             }
@@ -473,7 +509,8 @@ mod tests {
 
     #[test]
     fn hdc_serves_pinned_reads() {
-        let mut c = DiskController::new(&cfg(), ReadAheadKind::For, 512, Some(ForBitmap::new(1000)));
+        let mut c =
+            DiskController::new(&cfg(), ReadAheadKind::For, 512, Some(ForBitmap::new(1000)));
         c.pin(PhysBlock::new(7));
         assert_eq!(
             c.on_request(ReadWrite::Read, PhysBlock::new(7), 1),
@@ -493,9 +530,12 @@ mod tests {
 
     #[test]
     fn for_pays_bitmap_memory() {
-        let c = DiskController::new(&cfg(), ReadAheadKind::For, 0, Some(ForBitmap::new(
-            cfg().geometry.capacity_blocks(),
-        )));
+        let c = DiskController::new(
+            &cfg(),
+            ReadAheadKind::For,
+            0,
+            Some(ForBitmap::new(cfg().geometry.capacity_blocks())),
+        );
         // ~549 KB of bitmap = 135 blocks carved out of 1024.
         assert!(c.ra_capacity_blocks() < 1024);
         assert!(c.ra_capacity_blocks() > 850);

@@ -26,7 +26,12 @@ const BASE_NS: u64 = 1_000; // 1 µs floor
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { buckets: Vec::new(), count: 0, sum_ns: 0, max_ns: 0 }
+        LatencyHistogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
     }
 
     fn index(ns: u64) -> usize {

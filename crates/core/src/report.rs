@@ -76,7 +76,10 @@ impl Report {
     ///
     /// Panics if `base` took zero time.
     pub fn normalized_io_time(&self, base: &Report) -> f64 {
-        assert!(base.io_time > SimDuration::ZERO, "cannot normalize to a zero-time run");
+        assert!(
+            base.io_time > SimDuration::ZERO,
+            "cannot normalize to a zero-time run"
+        );
         self.io_time.as_nanos() as f64 / base.io_time.as_nanos() as f64
     }
 
@@ -104,7 +107,12 @@ impl Report {
         if self.per_disk_busy.is_empty() {
             return 1.0;
         }
-        let max = self.per_disk_busy.iter().map(|b| b.as_nanos()).max().unwrap_or(0) as f64;
+        let max = self
+            .per_disk_busy
+            .iter()
+            .map(|b| b.as_nanos())
+            .max()
+            .unwrap_or(0) as f64;
         let mean = self.per_disk_busy.iter().map(|b| b.as_nanos()).sum::<u64>() as f64
             / self.per_disk_busy.len() as f64;
         if mean == 0.0 {
@@ -131,7 +139,13 @@ impl Report {
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "[{}] {} requests on {}", self.label(), self.requests, self.workload)?;
+        writeln!(
+            f,
+            "[{}] {} requests on {}",
+            self.label(),
+            self.requests,
+            self.workload
+        )?;
         writeln!(
             f,
             "  io_time {}  throughput {:.2} MB/s  {:.0} req/s",

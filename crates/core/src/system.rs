@@ -16,16 +16,16 @@ use forhdc_host::StreamDriver;
 use forhdc_layout::build_disk_bitmaps;
 use forhdc_sim::sched::{make_scheduler, DiskScheduler, QueuedOp};
 use forhdc_sim::{
-    ArrayConfig, BusModel, DiskId, DiskMechanics, DiskStats, EventQueue, ReadWrite,
-    SchedulerKind, SimDuration, SimTime, StreamId, StripingMap,
+    ArrayConfig, BusModel, DiskId, DiskMechanics, DiskStats, EventQueue, ReadWrite, SchedulerKind,
+    SimDuration, SimTime, StreamId, StripingMap,
 };
 use forhdc_workload::{TraceRequest, Workload};
 
 use crate::controller::{ControllerDecision, DiskController};
 use crate::planner::{plan_cooperative, plan_top_misses, CoopPlan, HdcPlan};
-use crate::victim::HdcCommand;
 use crate::policy::ReadAheadKind;
 use crate::report::Report;
+use crate::victim::HdcCommand;
 
 /// Configuration of one experimental system (one curve point).
 #[derive(Debug, Clone)]
@@ -317,7 +317,11 @@ impl System {
     pub fn with_plan(cfg: SystemConfig, workload: &Workload, plan: HdcPlan) -> Self {
         let virtual_disks = cfg.array.virtual_disks();
         let striping = StripingMap::new(virtual_disks, cfg.array.striping_unit_blocks());
-        assert_eq!(plan.disks(), virtual_disks as usize, "plan/array disk mismatch");
+        assert_eq!(
+            plan.disks(),
+            virtual_disks as usize,
+            "plan/array disk mismatch"
+        );
         let disk_capacity = cfg.array.disk.geometry.capacity_blocks();
         assert!(
             workload.layout.total_blocks() <= disk_capacity * virtual_disks as u64,
@@ -326,15 +330,14 @@ impl System {
         // Bitmaps and HDC plans address virtual disks; under mirroring
         // both members of a pair hold identical data and get identical
         // copies.
-        let bitmaps: Vec<Option<forhdc_layout::ForBitmap>> =
-            if cfg.read_ahead.needs_bitmap() {
-                build_disk_bitmaps(&workload.layout, &striping, disk_capacity)
-                    .into_iter()
-                    .map(Some)
-                    .collect()
-            } else {
-                (0..virtual_disks).map(|_| None).collect()
-            };
+        let bitmaps: Vec<Option<forhdc_layout::ForBitmap>> = if cfg.read_ahead.needs_bitmap() {
+            build_disk_bitmaps(&workload.layout, &striping, disk_capacity)
+                .into_iter()
+                .map(Some)
+                .collect()
+        } else {
+            (0..virtual_disks).map(|_| None).collect()
+        };
         let disks: Vec<DiskState> = (0..cfg.array.disks as usize)
             .map(|pd| {
                 let vd = if cfg.array.mirrored { pd / 2 } else { pd };
@@ -363,8 +366,7 @@ impl System {
                 }
             })
             .collect();
-        let payload_bytes =
-            workload.trace.total_blocks() * cfg.array.disk.block_bytes() as u64;
+        let payload_bytes = workload.trace.total_blocks() * cfg.array.disk.block_bytes() as u64;
         let bus = BusModel::new(cfg.array.bus_rate, cfg.array.bus_overhead);
         let driver = StreamDriver::new(&workload.trace, workload.streams);
         System {
@@ -421,7 +423,10 @@ impl System {
         // request; trailing internal work (a final scheduled flush) is
         // not the workload's I/O time.
         let io_time = self.last_completion.since(SimTime::ZERO);
-        debug_assert!(self.driver.is_done(), "trace not drained: simulator stalled");
+        debug_assert!(
+            self.driver.is_done(),
+            "trace not drained: simulator stalled"
+        );
         self.build_report(io_time)
     }
 
@@ -439,7 +444,14 @@ impl System {
         let extents = self.striping.split(req.start, req.nblocks);
         // Under mirroring a write produces one completion per member;
         // count the sub-completions as they are created.
-        self.pending.insert(id, PendingReq { stream, remaining: 0, issued_at: now });
+        self.pending.insert(
+            id,
+            PendingReq {
+                stream,
+                remaining: 0,
+                issued_at: now,
+            },
+        );
         let mut remaining = 0u32;
         for extent in extents {
             remaining += self.arrive(id, extent, req.kind, now);
@@ -507,7 +519,14 @@ impl System {
         now: SimTime,
     ) -> u32 {
         if !self.cfg.array.mirrored {
-            self.dispatch(id, extent.disk.as_usize(), extent.start, extent.nblocks, kind, now);
+            self.dispatch(
+                id,
+                extent.disk.as_usize(),
+                extent.start,
+                extent.nblocks,
+                kind,
+                now,
+            );
             return 1;
         }
         let vd = extent.disk.as_usize();
@@ -566,10 +585,20 @@ impl System {
                 let slot = self.bus.reserve(now, nblocks as u64 * block_bytes);
                 self.queue.schedule(slot.end, Event::SubDone { req: id });
             }
-            ControllerDecision::Media { start, nblocks: total, read_ahead: _ } => {
+            ControllerDecision::Media {
+                start,
+                nblocks: total,
+                read_ahead: _,
+            } => {
                 let cylinder = d.mech.geometry().cylinder_of(start);
                 d.op_meta.insert(id, nblocks);
-                d.sched.push(QueuedOp { token: id, start, nblocks: total, kind, cylinder });
+                d.sched.push(QueuedOp {
+                    token: id,
+                    start,
+                    nblocks: total,
+                    kind,
+                    cylinder,
+                });
                 d.stats.note_queue_depth(d.sched.len());
                 if !d.busy {
                     self.start_next(DiskId::new(disk_idx as u16), now);
@@ -603,7 +632,8 @@ impl System {
             requested,
             timing,
         });
-        self.queue.schedule(now + timing.total() + extra, Event::MediaDone { disk });
+        self.queue
+            .schedule(now + timing.total() + extra, Event::MediaDone { disk });
     }
 
     fn media_done(&mut self, disk: DiskId, now: SimTime) {
@@ -613,18 +643,18 @@ impl System {
         d.busy = false;
         let ra = op.total - op.requested;
         match op.kind {
-            ReadWrite::Read => {
-                d.stats.record_op(&op.timing, op.total as u64, 0, ra as u64)
-            }
+            ReadWrite::Read => d.stats.record_op(&op.timing, op.total as u64, 0, ra as u64),
             ReadWrite::Write => d.stats.record_op(&op.timing, 0, op.total as u64, 0),
         }
-        d.ctl.on_media_complete(op.kind, op.start, op.total, op.requested);
+        d.ctl
+            .on_media_complete(op.kind, op.start, op.total, op.requested);
         if op.token < FLUSH_TOKEN_BASE {
             // Only the demanded payload crosses the bus; read-ahead
             // stays in the controller cache. Flush write-backs move
             // cache -> media only, so they skip both bus and completion.
             let slot = self.bus.reserve(now, op.requested as u64 * block_bytes);
-            self.queue.schedule(slot.end, Event::SubDone { req: op.token });
+            self.queue
+                .schedule(slot.end, Event::SubDone { req: op.token });
         }
         self.start_next(disk, now);
     }
@@ -672,7 +702,10 @@ impl System {
     }
 
     fn sub_done(&mut self, id: u64, now: SimTime) {
-        let p = self.pending.get_mut(&id).expect("completion for unknown request");
+        let p = self
+            .pending
+            .get_mut(&id)
+            .expect("completion for unknown request");
         p.remaining -= 1;
         if p.remaining > 0 {
             return;
@@ -946,10 +979,10 @@ mod tests {
         let layout = forhdc_layout::LayoutBuilder::new().build(&vec![4u32; 20_000]);
         let mut reqs = Vec::new();
         // Hot: blocks inside disk-0 units (unit u maps to disk u % 8).
-        for round in 0..6u64 {
+        for _round in 0..6u64 {
             for i in 0..600u64 {
                 let unit = (i / 32) * 8; // disk 0
-                let l = unit * 32 + i % 32 + round % 1; // stable hot set
+                let l = unit * 32 + i % 32; // same hot set every round
                 reqs.push(TraceRequest {
                     start: forhdc_sim::LogicalBlock::new(l),
                     nblocks: 1,
@@ -965,7 +998,12 @@ mod tests {
                 kind: ReadWrite::Read,
             });
         }
-        let wl = Workload { name: "hot-disk".into(), layout, trace: Trace::new(reqs), streams: 64 };
+        let wl = Workload {
+            name: "hot-disk".into(),
+            layout,
+            trace: Trace::new(reqs),
+            streams: 64,
+        };
         const HDC: u64 = 1 << 20; // 256 blocks per disk
         let per_disk = System::new(SystemConfig::segm().with_hdc(HDC), &wl).run();
         let coop = System::new(

@@ -82,7 +82,11 @@ struct TrackingLru {
 }
 
 impl TrackingLru {
-    fn touch_or_insert(&mut self, block: LogicalBlock, dirty: bool) -> (bool, Option<(LogicalBlock, bool)>) {
+    fn touch_or_insert(
+        &mut self,
+        block: LogicalBlock,
+        dirty: bool,
+    ) -> (bool, Option<(LogicalBlock, bool)>) {
         self.clock += 1;
         let stamp = self.clock;
         if let Some((old, d)) = self.map.get_mut(&block) {
@@ -148,32 +152,38 @@ pub fn build_victim_workload(
         // (eviction pins); `pending_after` applies after it (promotion
         // unpins — the promoted block must still be pinned when its
         // read arrives).
-        let flush_run =
-            |run: &mut Option<(LogicalBlock, u32)>, requests: &mut Vec<TraceRequest>,
-             job_requests: &mut u32,
-             commands: &mut HashMap<u64, Vec<HdcCommand>>,
-             pending_before: &mut Vec<HdcCommand>,
-             pending_after: &mut Vec<HdcCommand>,
-             kind: ReadWrite| {
-                if let Some((start, n)) = run.take() {
-                    if !pending_before.is_empty() {
-                        commands
-                            .entry(requests.len() as u64)
-                            .or_default()
-                            .append(pending_before);
-                    }
-                    requests.push(TraceRequest { start, nblocks: n, kind });
-                    if !pending_after.is_empty() {
-                        commands
-                            .entry(requests.len() as u64)
-                            .or_default()
-                            .append(pending_after);
-                    }
-                    *job_requests += 1;
+        let flush_run = |run: &mut Option<(LogicalBlock, u32)>,
+                         requests: &mut Vec<TraceRequest>,
+                         job_requests: &mut u32,
+                         commands: &mut HashMap<u64, Vec<HdcCommand>>,
+                         pending_before: &mut Vec<HdcCommand>,
+                         pending_after: &mut Vec<HdcCommand>,
+                         kind: ReadWrite| {
+            if let Some((start, n)) = run.take() {
+                if !pending_before.is_empty() {
+                    commands
+                        .entry(requests.len() as u64)
+                        .or_default()
+                        .append(pending_before);
                 }
-            };
+                requests.push(TraceRequest {
+                    start,
+                    nblocks: n,
+                    kind,
+                });
+                if !pending_after.is_empty() {
+                    commands
+                        .entry(requests.len() as u64)
+                        .or_default()
+                        .append(pending_after);
+                }
+                *job_requests += 1;
+            }
+        };
         for i in 0..acc.nblocks as u64 {
-            let Some(block) = layout.block_at(acc.file, acc.offset + i) else { continue };
+            let Some(block) = layout.block_at(acc.file, acc.offset + i) else {
+                continue;
+            };
             demand += 1;
             let dirty = acc.kind.is_write();
             let (hit, _) = cache.touch_or_insert(block, dirty);
@@ -218,7 +228,9 @@ pub fn build_victim_workload(
             }
             // Capacity eviction from the host cache.
             while cache.len() > cfg.buffer_blocks {
-                let Some((victim, victim_dirty)) = cache.evict_lru() else { break };
+                let Some((victim, victim_dirty)) = cache.evict_lru() else {
+                    break;
+                };
                 stats.evictions += 1;
                 if victim_dirty {
                     // Dirty data must reach the media: a write-back
@@ -268,7 +280,11 @@ pub fn build_victim_workload(
             job_lens.push(job_requests);
         }
     }
-    stats.buffer_hit_rate = if demand == 0 { 0.0 } else { hits as f64 / demand as f64 };
+    stats.buffer_hit_rate = if demand == 0 {
+        0.0
+    } else {
+        hits as f64 / demand as f64
+    };
     VictimWorkload {
         workload: Workload {
             name: "victim-cache".into(),
@@ -298,7 +314,10 @@ mod tests {
     }
 
     fn write(seq: u64, file: u32, offset: u64, n: u32) -> FileAccess {
-        FileAccess { kind: ReadWrite::Write, ..read(seq, file, offset, n) }
+        FileAccess {
+            kind: ReadWrite::Write,
+            ..read(seq, file, offset, n)
+        }
     }
 
     fn cfg(buffer: u64, hdc: u32) -> VictimConfig {
@@ -344,8 +363,12 @@ mod tests {
         let layout = LayoutBuilder::new().build(&[4; 10]);
         // Read file 0, evict it (files 1,2), read file 0 again: its
         // blocks were pinned, the re-read promotes and unpins them.
-        let accesses =
-            vec![read(0, 0, 0, 4), read(1, 1, 0, 4), read(2, 2, 0, 4), read(3, 0, 0, 4)];
+        let accesses = vec![
+            read(0, 0, 0, 4),
+            read(1, 1, 0, 4),
+            read(2, 2, 0, 4),
+            read(3, 0, 0, 4),
+        ];
         let out = build_victim_workload(&accesses, &layout, cfg(4, 64));
         assert!(out.stats.unpins >= 4, "{:?}", out.stats);
     }
@@ -353,8 +376,7 @@ mod tests {
     #[test]
     fn pin_budget_respected_per_disk() {
         let layout = LayoutBuilder::new().build(&[1; 400]);
-        let accesses: Vec<FileAccess> =
-            (0..400).map(|i| read(i, i as u32, 0, 1)).collect();
+        let accesses: Vec<FileAccess> = (0..400).map(|i| read(i, i as u32, 0, 1)).collect();
         let out = build_victim_workload(&accesses, &layout, cfg(8, 4));
         // Net pinned per disk never exceeds 4: pins - unpins <= 4 disks * 4.
         assert!(out.stats.pins - out.stats.unpins <= 16, "{:?}", out.stats);

@@ -59,7 +59,11 @@ pub fn coalesce_window(log: &[TimedAccess], window: forhdc_sim::SimDuration) -> 
             out.push(*req);
         }
         pending = Some((
-            TraceRequest { start: acc.block, nblocks: 1, kind: acc.kind },
+            TraceRequest {
+                start: acc.block,
+                nblocks: 1,
+                kind: acc.kind,
+            },
             acc.at,
         ));
     }
@@ -137,8 +141,7 @@ mod tests {
 
     #[test]
     fn probability_statistic() {
-        let log: Vec<TimedAccess> =
-            (0..100).map(|i| acc(i * 100, i, ReadWrite::Read)).collect();
+        let log: Vec<TimedAccess> = (0..100).map(|i| acc(i * 100, i, ReadWrite::Read)).collect();
         let t = coalesce_window(&log, SimDuration::from_millis(2));
         assert_eq!(t.len(), 1);
         assert!((coalescing_probability(100, &t) - 1.0).abs() < 1e-12);

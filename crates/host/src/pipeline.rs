@@ -134,7 +134,9 @@ pub fn derive_disk_trace(
             let window = prefetcher.on_access(acc.file, acc.offset + acc.nblocks as u64 - 1);
             for i in 0..window as u64 {
                 let off = acc.offset + acc.nblocks as u64 + i;
-                let Some(block) = layout.block_at(acc.file, off) else { break };
+                let Some(block) = layout.block_at(acc.file, off) else {
+                    break;
+                };
                 if !cache.contains(block) {
                     emit(acc.at, block, ReadWrite::Read, &mut tick);
                     cache.install(block);
@@ -195,8 +197,7 @@ mod tests {
         let layout = LayoutBuilder::new().build(&[32; 2]);
         // Sequential 1-block reads: prefetch should fetch ahead so later
         // demand blocks hit the buffer cache.
-        let accesses: Vec<FileAccess> =
-            (0..32).map(|i| read(i * 1_000, 0, i, 1)).collect();
+        let accesses: Vec<FileAccess> = (0..32).map(|i| read(i * 1_000, 0, i, 1)).collect();
         let out = derive_disk_trace(&accesses, &layout, PipelineConfig::default());
         assert!(
             out.buffer_hit_rate > 0.5,
@@ -210,13 +211,20 @@ mod tests {
     #[test]
     fn tiny_buffer_cache_thrashes() {
         let layout = LayoutBuilder::new().build(&[4; 100]);
-        let cfg = PipelineConfig { buffer_blocks: 4, ..PipelineConfig::default() };
+        let cfg = PipelineConfig {
+            buffer_blocks: 4,
+            ..PipelineConfig::default()
+        };
         // Cycle over 50 files twice: nothing survives a 4-block cache.
         let accesses: Vec<FileAccess> = (0..100u64)
             .map(|i| read(i * 1_000, (i % 50) as u32, 0, 4))
             .collect();
         let out = derive_disk_trace(&accesses, &layout, cfg);
-        assert!(out.buffer_hit_rate < 0.05, "hit rate {}", out.buffer_hit_rate);
+        assert!(
+            out.buffer_hit_rate < 0.05,
+            "hit rate {}",
+            out.buffer_hit_rate
+        );
         assert!(out.trace.total_blocks() >= 390);
     }
 

@@ -45,7 +45,10 @@ impl SequentialPrefetcher {
     /// Panics if `max_window` is zero.
     pub fn new(max_window: u32) -> Self {
         assert!(max_window > 0, "max window must be positive");
-        SequentialPrefetcher { max_window, state: HashMap::new() }
+        SequentialPrefetcher {
+            max_window,
+            state: HashMap::new(),
+        }
     }
 
     /// The maximum window in blocks.
@@ -59,7 +62,10 @@ impl SequentialPrefetcher {
     /// Sequential continuation doubles the window (1, 2, 4, … up to the
     /// maximum); anything else resets the file's window.
     pub fn on_access(&mut self, file: FileId, offset: u64) -> u32 {
-        let entry = self.state.entry(file).or_insert(FileState { next_offset: u64::MAX, window: 0 });
+        let entry = self.state.entry(file).or_insert(FileState {
+            next_offset: u64::MAX,
+            window: 0,
+        });
         if entry.next_offset == offset {
             entry.window = (entry.window.max(1) * 2).min(self.max_window);
         } else if entry.next_offset == u64::MAX {

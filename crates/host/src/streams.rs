@@ -66,7 +66,9 @@ impl StreamDriver {
     pub fn start(&mut self) -> Vec<(StreamId, TraceRequest)> {
         let mut out = Vec::new();
         for s in 0..self.streams {
-            let Some(job) = self.jobs.pop_front() else { break };
+            let Some(job) = self.jobs.pop_front() else {
+                break;
+            };
             self.current[s as usize] = job;
             if let Some(req) = self.current[s as usize].pop_front() {
                 self.in_flight += 1;
@@ -108,9 +110,7 @@ impl StreamDriver {
 
     /// Whether every request has been issued and completed.
     pub fn is_done(&self) -> bool {
-        self.jobs.is_empty()
-            && self.in_flight == 0
-            && self.current.iter().all(VecDeque::is_empty)
+        self.jobs.is_empty() && self.in_flight == 0 && self.current.iter().all(VecDeque::is_empty)
     }
 
     /// Total requests issued so far.

@@ -42,7 +42,12 @@ impl LayoutBuilder {
     /// Creates a builder with no fragmentation, no alignment, no
     /// spacing, seed 0.
     pub fn new() -> Self {
-        LayoutBuilder { fragmentation: 0.0, seed: 0, align_blocks: 1, spacing_blocks: 0 }
+        LayoutBuilder {
+            fragmentation: 0.0,
+            seed: 0,
+            align_blocks: 1,
+            spacing_blocks: 0,
+        }
     }
 
     /// Sets the per-boundary break probability `q ∈ [0, 1]`.
@@ -51,7 +56,10 @@ impl LayoutBuilder {
     ///
     /// Panics if `q` is outside `[0, 1]` or not finite.
     pub fn fragmentation(mut self, q: f64) -> Self {
-        assert!(q.is_finite() && (0.0..=1.0).contains(&q), "fragmentation must be in [0,1]");
+        assert!(
+            q.is_finite() && (0.0..=1.0).contains(&q),
+            "fragmentation must be in [0,1]"
+        );
         self.fragmentation = q;
         self
     }
@@ -170,7 +178,10 @@ mod tests {
 
     #[test]
     fn full_fragmentation_breaks_every_boundary() {
-        let map = LayoutBuilder::new().fragmentation(1.0).seed(3).build(&[8; 50]);
+        let map = LayoutBuilder::new()
+            .fragmentation(1.0)
+            .seed(3)
+            .build(&[8; 50]);
         for f in 0..50 {
             assert_eq!(map.extents(FileId::new(f)).len(), 8);
         }
@@ -191,19 +202,32 @@ mod tests {
             let map = LayoutBuilder::new().fragmentation(q).seed(11).build(&sizes);
             assert_eq!(map.total_blocks(), total);
             for (i, &s) in sizes.iter().enumerate() {
-                assert_eq!(map.file_blocks(FileId::new(i as u32)), s as u64, "q={q} file {i}");
+                assert_eq!(
+                    map.file_blocks(FileId::new(i as u32)),
+                    s as u64,
+                    "q={q} file {i}"
+                );
             }
         }
     }
 
     #[test]
     fn deterministic_for_same_seed() {
-        let a = LayoutBuilder::new().fragmentation(0.2).seed(9).build(&[16; 100]);
-        let b = LayoutBuilder::new().fragmentation(0.2).seed(9).build(&[16; 100]);
+        let a = LayoutBuilder::new()
+            .fragmentation(0.2)
+            .seed(9)
+            .build(&[16; 100]);
+        let b = LayoutBuilder::new()
+            .fragmentation(0.2)
+            .seed(9)
+            .build(&[16; 100]);
         for f in 0..100 {
             assert_eq!(a.extents(FileId::new(f)), b.extents(FileId::new(f)));
         }
-        let c = LayoutBuilder::new().fragmentation(0.2).seed(10).build(&[16; 100]);
+        let c = LayoutBuilder::new()
+            .fragmentation(0.2)
+            .seed(10)
+            .build(&[16; 100]);
         let differs = (0..100).any(|f| a.extents(FileId::new(f)) != c.extents(FileId::new(f)));
         assert!(differs, "different seeds should differ");
     }

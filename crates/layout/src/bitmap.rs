@@ -45,7 +45,10 @@ pub struct ForBitmap {
 impl ForBitmap {
     /// Creates an all-zero bitmap covering `nblocks` physical blocks.
     pub fn new(nblocks: u64) -> Self {
-        ForBitmap { words: vec![0; nblocks.div_ceil(64) as usize], nblocks }
+        ForBitmap {
+            words: vec![0; nblocks.div_ceil(64) as usize],
+            nblocks,
+        }
     }
 
     /// Number of blocks covered.
@@ -71,7 +74,11 @@ impl ForBitmap {
     /// Panics if `block` is out of range.
     pub fn set(&mut self, block: PhysBlock, continued: bool) {
         let i = block.index();
-        assert!(i < self.nblocks, "block {block} beyond bitmap ({})", self.nblocks);
+        assert!(
+            i < self.nblocks,
+            "block {block} beyond bitmap ({})",
+            self.nblocks
+        );
         let word = &mut self.words[(i / 64) as usize];
         let bit = 1u64 << (i % 64);
         if continued {
@@ -207,7 +214,10 @@ mod tests {
 
     #[test]
     fn single_disk_bitmap_matches_filemap_continuations() {
-        let map = LayoutBuilder::new().fragmentation(0.15).seed(5).build(&[16; 200]);
+        let map = LayoutBuilder::new()
+            .fragmentation(0.15)
+            .seed(5)
+            .build(&[16; 200]);
         let striping = StripingMap::new(1, 32);
         let bm = &build_disk_bitmaps(&map, &striping, map.total_blocks())[0];
         for l in 1..map.total_blocks() {

@@ -103,16 +103,25 @@ impl FileMap {
             let mut sorted = file.clone();
             sorted.sort_by_key(|e| e.file_offset);
             for e in &sorted {
-                assert!(e.len > 0, "zero-length extent in {}", FileId::new(fi as u32));
+                assert!(
+                    e.len > 0,
+                    "zero-length extent in {}",
+                    FileId::new(fi as u32)
+                );
                 assert_eq!(
-                    e.file_offset, covered,
+                    e.file_offset,
+                    covered,
                     "extent gap in {}: expected offset {covered}",
                     FileId::new(fi as u32)
                 );
                 covered += e.len as u64;
                 for i in 0..e.len as u64 {
                     let slot = &mut owner[(e.start.index() + i) as usize];
-                    assert!(slot.is_none(), "overlapping extents at {}", e.start.offset(i));
+                    assert!(
+                        slot.is_none(),
+                        "overlapping extents at {}",
+                        e.start.offset(i)
+                    );
                     *slot = Some(BlockOwner {
                         file: FileId::new(fi as u32),
                         offset: e.file_offset + i,
@@ -120,7 +129,11 @@ impl FileMap {
                 }
             }
         }
-        FileMap { extents, owner, total_blocks }
+        FileMap {
+            extents,
+            owner,
+            total_blocks,
+        }
     }
 
     /// Number of files.
@@ -134,7 +147,10 @@ impl FileMap {
     ///
     /// Panics if `file` is out of range.
     pub fn file_blocks(&self, file: FileId) -> u64 {
-        self.extents[file.as_usize()].iter().map(|e| e.len as u64).sum()
+        self.extents[file.as_usize()]
+            .iter()
+            .map(|e| e.len as u64)
+            .sum()
     }
 
     /// The file's extents in file-offset order.
@@ -174,9 +190,10 @@ impl FileMap {
         if block.index() == 0 {
             return false;
         }
-        let (Some(cur), Some(prev)) =
-            (self.owner(block), self.owner(LogicalBlock::new(block.index() - 1)))
-        else {
+        let (Some(cur), Some(prev)) = (
+            self.owner(block),
+            self.owner(LogicalBlock::new(block.index() - 1)),
+        ) else {
             return false;
         };
         cur.file == prev.file && cur.offset > prev.offset
@@ -188,7 +205,11 @@ mod tests {
     use super::*;
 
     fn ext(start: u64, len: u32, file_offset: u64) -> Extent {
-        Extent { start: LogicalBlock::new(start), len, file_offset }
+        Extent {
+            start: LogicalBlock::new(start),
+            len,
+            file_offset,
+        }
     }
 
     #[test]
@@ -199,11 +220,17 @@ mod tests {
         assert_eq!(map.total_blocks(), 6);
         assert_eq!(
             map.owner(LogicalBlock::new(3)),
-            Some(BlockOwner { file: FileId::new(0), offset: 3 })
+            Some(BlockOwner {
+                file: FileId::new(0),
+                offset: 3
+            })
         );
         assert_eq!(
             map.owner(LogicalBlock::new(4)),
-            Some(BlockOwner { file: FileId::new(1), offset: 0 })
+            Some(BlockOwner {
+                file: FileId::new(1),
+                offset: 0
+            })
         );
         assert_eq!(map.owner(LogicalBlock::new(6)), None);
     }
@@ -211,10 +238,7 @@ mod tests {
     #[test]
     fn fragmented_file_continuation_bits() {
         // File 0: blocks 0..2 then 6..8; file 1: blocks 2..6.
-        let map = FileMap::from_extents(vec![
-            vec![ext(0, 2, 0), ext(6, 2, 2)],
-            vec![ext(2, 4, 0)],
-        ]);
+        let map = FileMap::from_extents(vec![vec![ext(0, 2, 0), ext(6, 2, 2)], vec![ext(2, 4, 0)]]);
         assert!(!map.is_continuation(LogicalBlock::new(0)));
         assert!(map.is_continuation(LogicalBlock::new(1)));
         assert!(!map.is_continuation(LogicalBlock::new(2))); // file boundary

@@ -42,8 +42,16 @@ pub fn measure_runs(map: &FileMap) -> RunStats {
         total_blocks += map.file_blocks(file);
         total_runs += count_runs(map, file);
     }
-    let mean = if total_runs == 0 { 0.0 } else { total_blocks as f64 / total_runs as f64 };
-    RunStats { total_blocks, total_runs, mean_run_blocks: mean }
+    let mean = if total_runs == 0 {
+        0.0
+    } else {
+        total_blocks as f64 / total_runs as f64
+    };
+    RunStats {
+        total_blocks,
+        total_runs,
+        mean_run_blocks: mean,
+    }
 }
 
 /// Number of physically contiguous runs a whole-file sequential read of
@@ -81,11 +89,17 @@ mod tests {
     fn five_percent_fragmentation_matches_paper_figure1() {
         // Paper: 5% fragmentation cuts 32-block files from 32 to ~12.5
         // sequential blocks and 8-block files from 8 to ~5.9.
-        let map32 = LayoutBuilder::new().fragmentation(0.05).seed(1).build(&[32; 4000]);
+        let map32 = LayoutBuilder::new()
+            .fragmentation(0.05)
+            .seed(1)
+            .build(&[32; 4000]);
         let m32 = measure_runs(&map32).mean_run_blocks;
         assert!((m32 - 12.5).abs() < 1.0, "32-block mean run {m32}");
 
-        let map8 = LayoutBuilder::new().fragmentation(0.05).seed(2).build(&[8; 4000]);
+        let map8 = LayoutBuilder::new()
+            .fragmentation(0.05)
+            .seed(2)
+            .build(&[8; 4000]);
         let m8 = measure_runs(&map8).mean_run_blocks;
         assert!((m8 - 5.9).abs() < 0.5, "8-block mean run {m8}");
     }
@@ -102,7 +116,10 @@ mod tests {
                 let measured = measure_runs(&map).mean_run_blocks;
                 let expect = f as f64 / (1.0 + (f as f64 - 1.0) * q);
                 let rel = (measured - expect).abs() / expect;
-                assert!(rel < 0.08, "f={f} q={q}: measured {measured}, expected {expect}");
+                assert!(
+                    rel < 0.08,
+                    "f={f} q={q}: measured {measured}, expected {expect}"
+                );
             }
         }
     }
@@ -117,7 +134,10 @@ mod tests {
 
     #[test]
     fn single_block_files_are_single_runs() {
-        let map = LayoutBuilder::new().fragmentation(0.5).seed(3).build(&[1; 100]);
+        let map = LayoutBuilder::new()
+            .fragmentation(0.5)
+            .seed(3)
+            .build(&[1; 100]);
         let s = measure_runs(&map);
         assert_eq!(s.total_runs, 100);
         assert_eq!(s.mean_run_blocks, 1.0);

@@ -1,0 +1,172 @@
+//! The content-hash result cache.
+//!
+//! One file per job under the cache directory (default
+//! `results/.cache/`), named by the spec fingerprint:
+//! `<experiment>-<fingerprint-hex>.job`. Entries echo the full
+//! canonical spec and store each metric as IEEE-754 bit patterns, so a
+//! cache hit reproduces the original output **bit-exactly** and a
+//! fingerprint collision is detected (spec echo mismatch → miss)
+//! rather than silently served.
+//!
+//! Interrupted runs resume for free: every completed job left a file,
+//! so the next run re-executes only the remainder.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::job::{JobOutput, JobSpec};
+
+const HEADER: &str = "forhdc-runner-cache v1";
+
+/// A directory of cached job outputs.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (without creating) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, spec: &JobSpec) -> PathBuf {
+        // The experiment id prefix keeps the directory greppable; the
+        // fingerprint is the actual key.
+        let safe: String = spec
+            .experiment
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir
+            .join(format!("{safe}-{:016x}.job", spec.fingerprint()))
+    }
+
+    /// Loads the cached output for `spec`, if present and valid.
+    ///
+    /// Corrupt, truncated, or colliding entries are treated as misses.
+    pub fn load(&self, spec: &JobSpec) -> Option<JobOutput> {
+        let text = fs::read_to_string(self.entry_path(spec)).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != HEADER {
+            return None;
+        }
+        // Verify the spec echo byte-for-byte (collision / stale guard).
+        let mut echoed = String::new();
+        let mut out = JobOutput::new();
+        for line in lines {
+            if let Some(spec_line) = line.strip_prefix("spec ") {
+                echoed.push_str(spec_line);
+                echoed.push('\n');
+            } else if let Some(metric) = line.strip_prefix("metric ") {
+                let (name, rest) = metric.rsplit_once(" = ")?;
+                let bits = u64::from_str_radix(rest.split_whitespace().next()?, 16).ok()?;
+                out.push(name, f64::from_bits(bits));
+            } else if !line.is_empty() {
+                return None;
+            }
+        }
+        (echoed == spec.canonical()).then_some(out)
+    }
+
+    /// Stores `output` for `spec`, creating the directory as needed.
+    ///
+    /// The entry is written to a temporary file and renamed into
+    /// place, so a crash mid-write never leaves a half-entry behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the entry.
+    pub fn store(&self, spec: &JobSpec, output: &JobOutput) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.entry_path(spec);
+        let tmp = path.with_extension("job.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            writeln!(f, "{HEADER}")?;
+            for line in spec.canonical().lines() {
+                writeln!(f, "spec {line}")?;
+            }
+            for (name, value) in output.iter() {
+                // Bit pattern first (authoritative), decimal for humans.
+                writeln!(f, "metric {name} = {:016x} ({value})", value.to_bits())?;
+            }
+        }
+        fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("forhdc_runner_cache_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec::new("fig7", 2, "unit=32 segm")
+            .param("unit_kb", 32)
+            .param("config", "segm")
+    }
+
+    #[test]
+    fn store_load_round_trips_bit_exactly() {
+        let cache = ResultCache::new(tmpdir("roundtrip"));
+        let out = JobOutput::new()
+            .metric("io_ns", 1.234_567_890_123e12)
+            .metric("hit_rate", 0.1 + 0.2) // a classically non-representable sum
+            .metric("neg", -0.0);
+        cache.store(&spec(), &out).unwrap();
+        let back = cache.load(&spec()).expect("hit");
+        assert_eq!(back, out);
+        assert_eq!(back.get("hit_rate").to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(back.get("neg").to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn different_spec_misses() {
+        let cache = ResultCache::new(tmpdir("miss"));
+        cache
+            .store(&spec(), &JobOutput::new().metric("x", 1.0))
+            .unwrap();
+        let other = spec().param("extra", 1);
+        assert!(cache.load(&other).is_none());
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let cache = ResultCache::new(tmpdir("corrupt"));
+        cache
+            .store(&spec(), &JobOutput::new().metric("x", 1.0))
+            .unwrap();
+        // Truncate the entry behind the cache's back.
+        let path = cache.entry_path(&spec());
+        fs::write(&path, "forhdc-runner-cache v1\nspec experiment fig7\n").unwrap();
+        assert!(cache.load(&spec()).is_none());
+        // And a wrong header.
+        fs::write(&path, "something else\n").unwrap();
+        assert!(cache.load(&spec()).is_none());
+    }
+
+    #[test]
+    fn missing_dir_is_a_miss_not_an_error() {
+        let cache = ResultCache::new(tmpdir("absent"));
+        assert!(cache.load(&spec()).is_none());
+    }
+}

@@ -1,0 +1,75 @@
+//! Stable content hashing (FNV-1a 64), shared by the cache key and the
+//! per-point seed derivation. Deliberately **not** `DefaultHasher`:
+//! cache keys and seeds must be stable across Rust versions and runs.
+
+/// FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts a fresh hash.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Feeds bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feeds a length-prefixed byte string (prevents concatenation
+    /// ambiguity between adjacent fields).
+    pub fn write_field(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes)
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_vectors() {
+        // Well-known FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_framing_disambiguates() {
+        let mut a = Fnv1a::new();
+        a.write_field(b"ab").write_field(b"c");
+        let mut b = Fnv1a::new();
+        b.write_field(b"a").write_field(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

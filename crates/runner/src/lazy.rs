@@ -1,0 +1,79 @@
+//! Lazily built, thread-shared values.
+//!
+//! Experiment job lists share expensive inputs — typically a generated
+//! [`Workload`](../../workload) — between the jobs of one row or one
+//! experiment. Wrapping the builder in a [`Lazy`] keeps planning cheap:
+//! when every job of an experiment hits the result cache, the workload
+//! is never generated at all.
+
+use std::sync::{Mutex, OnceLock};
+
+/// A value built on first access by a one-shot closure, shareable
+/// across threads (usually behind an `Arc`).
+pub struct Lazy<T> {
+    cell: OnceLock<T>,
+    init: Mutex<Option<Box<dyn FnOnce() -> T + Send>>>,
+}
+
+impl<T> Lazy<T> {
+    /// Wraps `init`, deferring it until [`Lazy::get`].
+    pub fn new(init: impl FnOnce() -> T + Send + 'static) -> Self {
+        Lazy {
+            cell: OnceLock::new(),
+            init: Mutex::new(Some(Box::new(init))),
+        }
+    }
+
+    /// The value, building it on the first call. Concurrent callers
+    /// block until the single builder run finishes.
+    pub fn get(&self) -> &T {
+        self.cell.get_or_init(|| {
+            let f = self
+                .init
+                .lock()
+                .expect("Lazy init lock poisoned")
+                .take()
+                .expect("Lazy initializer already consumed");
+            f()
+        })
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Lazy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.cell.get() {
+            Some(v) => f.debug_tuple("Lazy").field(v).finish(),
+            None => f.write_str("Lazy(<pending>)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn builds_exactly_once_across_threads() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        let lazy = Arc::new(Lazy::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            42u32
+        }));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let l = lazy.clone();
+                s.spawn(move || assert_eq!(*l.get(), 42));
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn never_built_when_never_read() {
+        let lazy: Lazy<u32> = Lazy::new(|| panic!("must not run"));
+        assert!(format!("{lazy:?}").contains("pending"));
+    }
+}

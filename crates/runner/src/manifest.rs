@@ -1,0 +1,176 @@
+//! Machine-readable run manifest (`results/manifest.json`).
+//!
+//! Records what a `repro` invocation did: worker count, cache
+//! location, and per-experiment wall-clock / job-count / cache-hit
+//! statistics. Hand-rolled JSON writer — the workspace builds fully
+//! offline, so no serde.
+
+use std::io;
+use std::path::Path;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::pool::ExperimentStats;
+
+/// One experiment's row in the manifest.
+#[derive(Debug, Clone)]
+pub struct ManifestEntry {
+    /// Experiment id.
+    pub id: String,
+    /// Total jobs (0 for experiments run on the legacy serial path).
+    pub jobs: usize,
+    /// Jobs served from the result cache.
+    pub cache_hits: usize,
+    /// Wall-clock time for the experiment.
+    pub wall: Duration,
+}
+
+/// Accumulates per-experiment stats and renders them as JSON.
+#[derive(Debug)]
+pub struct RunManifest {
+    jobs: usize,
+    cache_dir: Option<String>,
+    started_unix: u64,
+    started: Instant,
+    entries: Vec<ManifestEntry>,
+}
+
+impl RunManifest {
+    /// Starts a manifest for a run with `jobs` workers and the given
+    /// cache directory (`None` when caching is disabled).
+    pub fn new(jobs: usize, cache_dir: Option<&Path>) -> Self {
+        RunManifest {
+            jobs,
+            cache_dir: cache_dir.map(|p| p.display().to_string()),
+            started_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            started: Instant::now(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends one experiment's statistics.
+    pub fn record(&mut self, stats: &ExperimentStats) {
+        self.entries.push(ManifestEntry {
+            id: stats.id.clone(),
+            jobs: stats.jobs,
+            cache_hits: stats.cache_hits,
+            wall: stats.wall,
+        });
+    }
+
+    /// The recorded entries, in run order.
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Renders the manifest as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"version\": 1,\n");
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        match &self.cache_dir {
+            Some(dir) => s.push_str(&format!("  \"cache\": \"{}\",\n", escape(dir))),
+            None => s.push_str("  \"cache\": null,\n"),
+        }
+        s.push_str(&format!("  \"started_unix\": {},\n", self.started_unix));
+        s.push_str(&format!(
+            "  \"wall_secs\": {:.3},\n",
+            self.started.elapsed().as_secs_f64()
+        ));
+        s.push_str("  \"experiments\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"id\": \"{}\", \"jobs\": {}, \"cache_hits\": {}, \"wall_secs\": {:.3}}}",
+                escape(&e.id),
+                e.jobs,
+                e.cache_hits,
+                e.wall.as_secs_f64()
+            ));
+        }
+        if !self.entries.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Writes the manifest to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(id: &str, jobs: usize, hits: usize) -> ExperimentStats {
+        ExperimentStats {
+            id: id.to_string(),
+            jobs,
+            cache_hits: hits,
+            wall: Duration::from_millis(1500),
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut m = RunManifest::new(4, Some(Path::new("results/.cache")));
+        m.record(&stats("fig3", 32, 0));
+        m.record(&stats("fig7", 40, 40));
+        let json = m.to_json();
+        assert!(json.contains("\"version\": 1"), "{json}");
+        assert!(json.contains("\"jobs\": 4"), "{json}");
+        assert!(json.contains("\"cache\": \"results/.cache\""), "{json}");
+        assert!(
+            json.contains(
+                "{\"id\": \"fig3\", \"jobs\": 32, \"cache_hits\": 0, \"wall_secs\": 1.500}"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"id\": \"fig7\""), "{json}");
+        assert_eq!(m.entries().len(), 2);
+    }
+
+    #[test]
+    fn empty_manifest_and_no_cache() {
+        let m = RunManifest::new(1, None);
+        let json = m.to_json();
+        assert!(json.contains("\"cache\": null"), "{json}");
+        assert!(json.contains("\"experiments\": []"), "{json}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

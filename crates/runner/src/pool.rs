@@ -1,0 +1,266 @@
+//! Job execution: worker pool, deterministic reassembly, progress.
+//!
+//! Workers pull job indices from a shared atomic cursor and write
+//! outputs into per-index slots, so completion order never influences
+//! the assembled result — outputs always come back in point order.
+//! Each job runs single-threaded inside, preserving the simulator's
+//! determinism contract; parallelism exists only **between** jobs.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use crate::cache::ResultCache;
+use crate::job::{JobOutput, SimJob};
+
+/// Per-experiment execution statistics (also the manifest's rows).
+#[derive(Debug, Clone)]
+pub struct ExperimentStats {
+    /// Experiment id.
+    pub id: String,
+    /// Total jobs in the experiment.
+    pub jobs: usize,
+    /// Jobs served from the result cache.
+    pub cache_hits: usize,
+    /// Wall-clock time for the whole experiment.
+    pub wall: Duration,
+}
+
+/// The outputs (in point order) and stats of one executed experiment.
+#[derive(Debug)]
+pub struct ExperimentRun {
+    /// One output per job, in the order the jobs were given.
+    pub outputs: Vec<JobOutput>,
+    /// Execution statistics.
+    pub stats: ExperimentStats,
+}
+
+/// The orchestrator: a worker-count knob, an optional result cache,
+/// and progress reporting.
+#[derive(Debug)]
+pub struct Runner {
+    workers: usize,
+    cache: Option<ResultCache>,
+    quiet: bool,
+}
+
+impl Runner {
+    /// A runner with `workers` parallel workers (clamped to ≥ 1), no
+    /// cache, and progress lines on.
+    pub fn new(workers: usize) -> Self {
+        Runner {
+            workers: workers.max(1),
+            cache: None,
+            quiet: false,
+        }
+    }
+
+    /// Enables the result cache under `dir`.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache = Some(ResultCache::new(dir));
+        self
+    }
+
+    /// Suppresses per-job progress lines (stats are still returned).
+    #[must_use]
+    pub fn quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job of `id`, returning outputs in point order.
+    ///
+    /// Jobs already in the cache are served from it; the rest execute
+    /// on the pool and are stored back afterwards. Output is
+    /// **independent of the worker count**: identical specs yield
+    /// identical outputs in identical order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job closure (after the remaining
+    /// workers drain).
+    pub fn execute(&self, id: &str, jobs: &[SimJob]) -> ExperimentRun {
+        let started = Instant::now();
+        let total = jobs.len();
+        let slots: Vec<OnceLock<JobOutput>> = (0..total).map(|_| OnceLock::new()).collect();
+
+        // Phase 1: serve cache hits, collect the remainder.
+        let mut pending: Vec<usize> = Vec::new();
+        let mut cache_hits = 0usize;
+        for (i, job) in jobs.iter().enumerate() {
+            match self.cache.as_ref().and_then(|c| c.load(&job.spec)) {
+                Some(out) => {
+                    slots[i].set(out).expect("slot set twice");
+                    cache_hits += 1;
+                    self.progress(id, cache_hits, total, &job.spec.label, None);
+                }
+                None => pending.push(i),
+            }
+        }
+
+        // Phase 2: execute the misses.
+        let done = AtomicUsize::new(cache_hits);
+        let run_one = |i: usize| {
+            let job = &jobs[i];
+            let t0 = Instant::now();
+            let out = (job.run)();
+            slots[i].set(out).expect("job slot filled twice");
+            let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
+            self.progress(id, finished, total, &job.spec.label, Some(t0.elapsed()));
+        };
+        let workers = self.workers.min(pending.len());
+        if workers <= 1 {
+            for &i in &pending {
+                run_one(i);
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let k = cursor.fetch_add(1, Ordering::SeqCst);
+                        match pending.get(k) {
+                            Some(&i) => run_one(i),
+                            None => break,
+                        }
+                    });
+                }
+            });
+        }
+
+        // Phase 3: persist the fresh results (main thread, after the
+        // pool drains, so cache writes never race).
+        if let Some(cache) = &self.cache {
+            for &i in &pending {
+                let out = slots[i].get().expect("job finished");
+                if let Err(e) = cache.store(&jobs[i].spec, out) {
+                    eprintln!(
+                        "warning: could not cache {} job {i}: {e}",
+                        jobs[i].spec.experiment
+                    );
+                }
+            }
+        }
+
+        let outputs: Vec<JobOutput> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every job produced an output"))
+            .collect();
+        ExperimentRun {
+            outputs,
+            stats: ExperimentStats {
+                id: id.to_string(),
+                jobs: total,
+                cache_hits,
+                wall: started.elapsed(),
+            },
+        }
+    }
+
+    fn progress(&self, id: &str, done: usize, total: usize, label: &str, took: Option<Duration>) {
+        if self.quiet {
+            return;
+        }
+        match took {
+            Some(d) => eprintln!("  [{id} {done}/{total}] {label}  {:.2}s", d.as_secs_f64()),
+            None => eprintln!("  [{id} {done}/{total}] {label}  (cached)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use std::sync::atomic::AtomicU32;
+
+    fn square_jobs(n: usize, runs: &'static AtomicU32) -> Vec<SimJob> {
+        (0..n)
+            .map(|i| {
+                let spec = JobSpec::new("squares", i, format!("p{i}")).param("i", i);
+                SimJob::new(spec, move || {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    JobOutput::new().metric("sq", (i * i) as f64)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outputs_come_back_in_point_order_regardless_of_workers() {
+        static RUNS: AtomicU32 = AtomicU32::new(0);
+        let jobs = square_jobs(17, &RUNS);
+        let serial = Runner::new(1).quiet(true).execute("squares", &jobs);
+        let parallel = Runner::new(8).quiet(true).execute("squares", &jobs);
+        assert_eq!(serial.outputs, parallel.outputs);
+        for (i, out) in parallel.outputs.iter().enumerate() {
+            assert_eq!(out.get("sq"), (i * i) as f64);
+        }
+        assert_eq!(parallel.stats.jobs, 17);
+        assert_eq!(parallel.stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn cache_second_run_executes_nothing() {
+        static RUNS: AtomicU32 = AtomicU32::new(0);
+        let dir =
+            std::env::temp_dir().join(format!("forhdc_runner_pool_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = square_jobs(6, &RUNS);
+        let first = Runner::new(4)
+            .quiet(true)
+            .cache_dir(&dir)
+            .execute("squares", &jobs);
+        let ran_after_first = RUNS.load(Ordering::SeqCst);
+        assert_eq!(first.stats.cache_hits, 0);
+        let second = Runner::new(4)
+            .quiet(true)
+            .cache_dir(&dir)
+            .execute("squares", &jobs);
+        assert_eq!(second.stats.cache_hits, 6);
+        assert_eq!(
+            RUNS.load(Ordering::SeqCst),
+            ran_after_first,
+            "no job may re-run"
+        );
+        assert_eq!(first.outputs, second.outputs);
+    }
+
+    #[test]
+    fn partial_cache_resumes_only_the_remainder() {
+        static RUNS: AtomicU32 = AtomicU32::new(0);
+        let dir =
+            std::env::temp_dir().join(format!("forhdc_runner_pool_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = square_jobs(8, &RUNS);
+        // Simulate an interrupted run: only half the jobs completed.
+        let cache = ResultCache::new(&dir);
+        for job in jobs.iter().take(4) {
+            cache.store(&job.spec, &(job.run)()).unwrap();
+        }
+        RUNS.store(0, Ordering::SeqCst);
+        let resumed = Runner::new(4)
+            .quiet(true)
+            .cache_dir(&dir)
+            .execute("squares", &jobs);
+        assert_eq!(resumed.stats.cache_hits, 4);
+        assert_eq!(RUNS.load(Ordering::SeqCst), 4, "only the missing half runs");
+        for (i, out) in resumed.outputs.iter().enumerate() {
+            assert_eq!(out.get("sq"), (i * i) as f64);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let run = Runner::new(4).quiet(true).execute("empty", &[]);
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.stats.jobs, 0);
+    }
+}

@@ -55,7 +55,10 @@ impl StripingMap {
         let within = block.index() % self.unit_blocks as u64;
         let disk = (unit % self.disks as u64) as u16;
         let disk_unit = unit / self.disks as u64;
-        (DiskId::new(disk), PhysBlock::new(disk_unit * self.unit_blocks as u64 + within))
+        (
+            DiskId::new(disk),
+            PhysBlock::new(disk_unit * self.unit_blocks as u64 + within),
+        )
     }
 
     /// Inverse of [`StripingMap::locate`].
@@ -88,13 +91,14 @@ impl StripingMap {
             let chunk = (self.unit_blocks as u64 - within).min(remaining) as u32;
             // Merge with an earlier extent on the same disk if physically
             // adjacent (happens when the request wraps the whole stripe).
-            if let Some(prev) = out
-                .iter_mut()
-                .find(|e| e.disk == disk && e.end() == phys)
-            {
+            if let Some(prev) = out.iter_mut().find(|e| e.disk == disk && e.end() == phys) {
                 prev.nblocks += chunk;
             } else {
-                out.push(DiskExtent { disk, start: phys, nblocks: chunk });
+                out.push(DiskExtent {
+                    disk,
+                    start: phys,
+                    nblocks: chunk,
+                });
             }
             cursor = cursor.offset(chunk as u64);
             remaining -= chunk as u64;
@@ -119,11 +123,26 @@ mod tests {
     fn locate_round_robin() {
         let m = StripingMap::new(3, 4);
         // Units: [0..4) -> d0, [4..8) -> d1, [8..12) -> d2, [12..16) -> d0 ...
-        assert_eq!(m.locate(LogicalBlock::new(0)), (DiskId::new(0), PhysBlock::new(0)));
-        assert_eq!(m.locate(LogicalBlock::new(4)), (DiskId::new(1), PhysBlock::new(0)));
-        assert_eq!(m.locate(LogicalBlock::new(8)), (DiskId::new(2), PhysBlock::new(0)));
-        assert_eq!(m.locate(LogicalBlock::new(12)), (DiskId::new(0), PhysBlock::new(4)));
-        assert_eq!(m.locate(LogicalBlock::new(14)), (DiskId::new(0), PhysBlock::new(6)));
+        assert_eq!(
+            m.locate(LogicalBlock::new(0)),
+            (DiskId::new(0), PhysBlock::new(0))
+        );
+        assert_eq!(
+            m.locate(LogicalBlock::new(4)),
+            (DiskId::new(1), PhysBlock::new(0))
+        );
+        assert_eq!(
+            m.locate(LogicalBlock::new(8)),
+            (DiskId::new(2), PhysBlock::new(0))
+        );
+        assert_eq!(
+            m.locate(LogicalBlock::new(12)),
+            (DiskId::new(0), PhysBlock::new(4))
+        );
+        assert_eq!(
+            m.locate(LogicalBlock::new(14)),
+            (DiskId::new(0), PhysBlock::new(6))
+        );
     }
 
     #[test]
@@ -140,11 +159,14 @@ mod tests {
     fn split_within_one_unit() {
         let m = StripingMap::new(4, 8);
         let parts = m.split(LogicalBlock::new(2), 4);
-        assert_eq!(parts, vec![DiskExtent {
-            disk: DiskId::new(0),
-            start: PhysBlock::new(2),
-            nblocks: 4,
-        }]);
+        assert_eq!(
+            parts,
+            vec![DiskExtent {
+                disk: DiskId::new(0),
+                start: PhysBlock::new(2),
+                nblocks: 4,
+            }]
+        );
     }
 
     #[test]

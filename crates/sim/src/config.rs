@@ -115,8 +115,9 @@ impl DiskConfig {
 
     /// Enables the Ultrastar-like 9-zone recording profile.
     pub fn with_zoned_recording(mut self) -> Self {
-        self.zone_profile =
-            Some(crate::zones::ZoneProfile::ultrastar_like(self.geometry.cylinders()));
+        self.zone_profile = Some(crate::zones::ZoneProfile::ultrastar_like(
+            self.geometry.cylinders(),
+        ));
         self
     }
 
@@ -201,7 +202,10 @@ impl ArrayConfig {
     /// Panics if mirroring is enabled with an odd disk count.
     pub fn virtual_disks(&self) -> u16 {
         if self.mirrored {
-            assert!(self.disks.is_multiple_of(2) && self.disks >= 2, "mirroring needs disk pairs");
+            assert!(
+                self.disks.is_multiple_of(2) && self.disks >= 2,
+                "mirroring needs disk pairs"
+            );
             self.disks / 2
         } else {
             self.disks
@@ -288,7 +292,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "disk pairs")]
     fn odd_mirroring_panics() {
-        let a = ArrayConfig { disks: 7, mirrored: true, ..ArrayConfig::default() };
+        let a = ArrayConfig {
+            disks: 7,
+            mirrored: true,
+            ..ArrayConfig::default()
+        };
         let _ = a.virtual_disks();
     }
 

@@ -69,7 +69,11 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Schedules `event` to fire at `time`.
@@ -79,7 +83,11 @@ impl<E> EventQueue<E> {
     /// Panics if `time` is earlier than the current clock ([`Self::now`]) —
     /// scheduling into the past indicates a simulator bug.
     pub fn schedule(&mut self, time: SimTime, event: E) {
-        assert!(time >= self.now, "scheduled event in the past: {time} < now {}", self.now);
+        assert!(
+            time >= self.now,
+            "scheduled event in the past: {time} < now {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { time, seq, event }));
@@ -90,7 +98,10 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<Fired<E>> {
         let Reverse(entry) = self.heap.pop()?;
         self.now = entry.time;
-        Some(Fired { time: entry.time, event: entry.event })
+        Some(Fired {
+            time: entry.time,
+            event: entry.event,
+        })
     }
 
     /// The firing time of the earliest pending event, if any.

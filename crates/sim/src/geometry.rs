@@ -61,13 +61,21 @@ impl DiskGeometry {
     /// multiple of `sectors_per_block`.
     pub fn new(sectors_per_track: u32, surfaces: u32, cylinders: u32, block_bytes: u32) -> Self {
         assert!(sectors_per_track > 0 && surfaces > 0 && cylinders > 0 && block_bytes > 0);
-        assert!(block_bytes.is_multiple_of(SECTOR_BYTES), "block size must be a multiple of 512");
+        assert!(
+            block_bytes.is_multiple_of(SECTOR_BYTES),
+            "block size must be a multiple of 512"
+        );
         let sectors_per_block = block_bytes / SECTOR_BYTES;
         assert!(
             sectors_per_track.is_multiple_of(sectors_per_block),
             "sectors per track ({sectors_per_track}) must be a multiple of sectors per block ({sectors_per_block})"
         );
-        DiskGeometry { sectors_per_track, surfaces, cylinders, sectors_per_block }
+        DiskGeometry {
+            sectors_per_track,
+            surfaces,
+            cylinders,
+            sectors_per_block,
+        }
     }
 
     /// Creates a geometry with (at least) `capacity_bytes` of space by
@@ -154,7 +162,11 @@ impl DiskGeometry {
         let within = block.index() % bpc;
         let surface = (within / bpt) as u32;
         let block_in_track = (within % bpt) as u32;
-        BlockAddress { cylinder, surface, sector: block_in_track * self.sectors_per_block }
+        BlockAddress {
+            cylinder,
+            surface,
+            sector: block_in_track * self.sectors_per_block,
+        }
     }
 
     /// The cylinder holding `block` (convenience for schedulers).
@@ -189,7 +201,11 @@ mod tests {
         let g = DiskGeometry::ultrastar_36z15();
         assert!(g.capacity_bytes() >= 18_000_000_000);
         // Cylinder count near 10k keeps average seek near the nominal 3.4 ms.
-        assert!((9_000..11_000).contains(&g.cylinders()), "cylinders = {}", g.cylinders());
+        assert!(
+            (9_000..11_000).contains(&g.cylinders()),
+            "cylinders = {}",
+            g.cylinders()
+        );
         assert_eq!(g.blocks_per_track(), 55);
     }
 
@@ -200,9 +216,23 @@ mod tests {
         assert_eq!(g.blocks_per_cylinder(), 10);
         assert_eq!(g.capacity_blocks(), 100);
         // Block 0: first block of cylinder 0, surface 0.
-        assert_eq!(g.address(PhysBlock::new(0)), BlockAddress { cylinder: 0, surface: 0, sector: 0 });
+        assert_eq!(
+            g.address(PhysBlock::new(0)),
+            BlockAddress {
+                cylinder: 0,
+                surface: 0,
+                sector: 0
+            }
+        );
         // Block 5: first block of surface 1, same cylinder.
-        assert_eq!(g.address(PhysBlock::new(5)), BlockAddress { cylinder: 0, surface: 1, sector: 0 });
+        assert_eq!(
+            g.address(PhysBlock::new(5)),
+            BlockAddress {
+                cylinder: 0,
+                surface: 1,
+                sector: 0
+            }
+        );
         // Block 10: next cylinder.
         assert_eq!(g.address(PhysBlock::new(10)).cylinder, 1);
         // Sequential blocks advance sectors by the block size.

@@ -123,33 +123,38 @@ impl DiskMechanics {
         let target = self.geometry.address(start);
         let distance = self.head_cylinder.abs_diff(target.cylinder);
         let seek = self.seek.seek_time(distance);
-        let rotation = self.rotation.latency_to(self.geometry.angle_of(start), now + seek);
+        let rotation = self
+            .rotation
+            .latency_to(self.geometry.angle_of(start), now + seek);
         // Zoned recording: outer cylinders transfer faster.
         let rate = match &self.zone_profile {
             Some(z) => (self.media_rate as f64 * z.scale_at(target.cylinder)) as u64,
             None => self.media_rate,
         };
-        let transfer = SimDuration::for_transfer(
-            nblocks as u64 * self.geometry.block_bytes() as u64,
-            rate,
-        );
+        let transfer =
+            SimDuration::for_transfer(nblocks as u64 * self.geometry.block_bytes() as u64, rate);
         self.head_cylinder = self.geometry.cylinder_of(last);
-        ServiceTiming { seek, rotation, transfer, overhead: self.overhead }
+        ServiceTiming {
+            seek,
+            rotation,
+            transfer,
+            overhead: self.overhead,
+        }
     }
 
     /// Seek distance (cylinders) from the current head position to
     /// `block`, without moving the head.
     pub fn seek_distance_to(&self, block: PhysBlock) -> u32 {
-        self.head_cylinder.abs_diff(self.geometry.cylinder_of(block))
+        self.head_cylinder
+            .abs_diff(self.geometry.cylinder_of(block))
     }
 
     /// The closed-form expected service time of a random `nblocks`
     /// operation: average seek + half a revolution + transfer. This is
     /// the `T(r)` the paper uses in its utilization arguments.
     pub fn expected_random_service(&self, nblocks: u32) -> SimDuration {
-        let avg_seek = SimDuration::from_millis_f64(
-            self.seek.average_seek_ms(self.geometry.cylinders()),
-        );
+        let avg_seek =
+            SimDuration::from_millis_f64(self.seek.average_seek_ms(self.geometry.cylinders()));
         let avg_rot = self.rotation.average_latency();
         let transfer = SimDuration::for_transfer(
             nblocks as u64 * self.geometry.block_bytes() as u64,
@@ -183,7 +188,12 @@ mod tests {
         assert_eq!(m.head_cylinder(), 10);
         // A long read crossing into cylinder 11 leaves the head there.
         let n = m.geometry().blocks_per_cylinder();
-        m.service(ReadWrite::Read, PhysBlock::new(bpc * 10), n + 1, SimTime::ZERO);
+        m.service(
+            ReadWrite::Read,
+            PhysBlock::new(bpc * 10),
+            n + 1,
+            SimTime::ZERO,
+        );
         assert_eq!(m.head_cylinder(), 11);
     }
 
@@ -218,7 +228,10 @@ mod tests {
         let t4 = m.expected_random_service(4).as_millis_f64();
         assert!((t4 - 5.73).abs() < 0.5, "T(4) = {t4} ms");
         let reduction = 1.0 - t4 / t;
-        assert!((reduction - 0.29).abs() < 0.06, "FOR utilization reduction {reduction}");
+        assert!(
+            (reduction - 0.29).abs() < 0.06,
+            "FOR utilization reduction {reduction}"
+        );
     }
 
     #[test]
@@ -229,8 +242,12 @@ mod tests {
         let bpc = m.geometry().blocks_per_cylinder() as u64;
         let cyls = m.geometry().cylinders() as u64;
         let outer = m.service(ReadWrite::Read, PhysBlock::new(0), 32, SimTime::ZERO);
-        let inner =
-            m.service(ReadWrite::Read, PhysBlock::new((cyls - 1) * bpc), 32, SimTime::ZERO);
+        let inner = m.service(
+            ReadWrite::Read,
+            PhysBlock::new((cyls - 1) * bpc),
+            32,
+            SimTime::ZERO,
+        );
         assert!(
             outer.transfer < inner.transfer,
             "outer {} should beat inner {}",

@@ -200,15 +200,22 @@ mod tests {
 
     #[test]
     fn extent_end_and_blocks() {
-        let e = DiskExtent { disk: DiskId::new(3), start: PhysBlock::new(10), nblocks: 4 };
+        let e = DiskExtent {
+            disk: DiskId::new(3),
+            start: PhysBlock::new(10),
+            nblocks: 4,
+        };
         assert_eq!(e.end(), PhysBlock::new(14));
         let blocks: Vec<_> = e.blocks().collect();
-        assert_eq!(blocks, vec![
-            PhysBlock::new(10),
-            PhysBlock::new(11),
-            PhysBlock::new(12),
-            PhysBlock::new(13),
-        ]);
+        assert_eq!(
+            blocks,
+            vec![
+                PhysBlock::new(10),
+                PhysBlock::new(11),
+                PhysBlock::new(12),
+                PhysBlock::new(13),
+            ]
+        );
     }
 
     #[test]

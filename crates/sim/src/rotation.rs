@@ -65,7 +65,10 @@ impl RotationModel {
     ///
     /// Panics in debug builds if `target` is outside `[0, 1)`.
     pub fn latency_to(&self, target: f64, t: SimTime) -> SimDuration {
-        debug_assert!((0.0..1.0).contains(&target), "target angle {target} out of range");
+        debug_assert!(
+            (0.0..1.0).contains(&target),
+            "target angle {target} out of range"
+        );
         let target_ns = (target * self.period_ns as f64).round() as u64 % self.period_ns;
         let now_ns = t.as_nanos() % self.period_ns;
         let wait = if target_ns >= now_ns {
@@ -106,7 +109,7 @@ mod tests {
     fn latency_to_ahead_and_behind() {
         let r = RotationModel::new(15_000);
         let t = SimTime::from_nanos(1_000_000); // angle 0.25
-        // Target just ahead: quarter revolution away.
+                                                // Target just ahead: quarter revolution away.
         assert_eq!(r.latency_to(0.5, t), SimDuration::from_millis(1));
         // Target just behind: three quarters away.
         assert_eq!(r.latency_to(0.0, t), SimDuration::from_millis(3));

@@ -84,7 +84,11 @@ pub struct LookScheduler {
 impl LookScheduler {
     /// Creates an empty LOOK queue sweeping upward.
     pub fn new() -> Self {
-        LookScheduler { queue: BTreeMap::new(), seq: 0, sweeping_up: true }
+        LookScheduler {
+            queue: BTreeMap::new(),
+            seq: 0,
+            sweeping_up: true,
+        }
     }
 }
 
@@ -133,7 +137,9 @@ pub struct FcfsScheduler {
 impl FcfsScheduler {
     /// Creates an empty FCFS queue.
     pub fn new() -> Self {
-        FcfsScheduler { queue: VecDeque::new() }
+        FcfsScheduler {
+            queue: VecDeque::new(),
+        }
     }
 }
 
@@ -207,7 +213,10 @@ pub struct ClookScheduler {
 impl ClookScheduler {
     /// Creates an empty C-LOOK queue.
     pub fn new() -> Self {
-        ClookScheduler { queue: BTreeMap::new(), seq: 0 }
+        ClookScheduler {
+            queue: BTreeMap::new(),
+            seq: 0,
+        }
     }
 }
 

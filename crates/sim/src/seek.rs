@@ -46,7 +46,13 @@ impl SeekModel {
     pub fn new(alpha_ms: f64, beta_ms: f64, gamma_ms: f64, delta_ms: f64, theta: u32) -> Self {
         assert!(alpha_ms >= 0.0 && beta_ms >= 0.0 && gamma_ms >= 0.0 && delta_ms >= 0.0);
         assert!(theta > 0, "theta must be positive");
-        SeekModel { alpha_ms, beta_ms, gamma_ms, delta_ms, theta }
+        SeekModel {
+            alpha_ms,
+            beta_ms,
+            gamma_ms,
+            delta_ms,
+            theta,
+        }
     }
 
     /// The constants the paper fits to the IBM Ultrastar 36Z15.
@@ -136,7 +142,13 @@ impl SeekModel {
             .collect();
         let (alpha, beta) = linear_fit(&short).unwrap_or((0.0, 0.0));
         let (gamma, delta) = linear_fit(&long).unwrap_or((0.0, 0.0));
-        SeekModel::new(alpha.max(0.0), beta.max(0.0), gamma.max(0.0), delta.max(0.0), theta)
+        SeekModel::new(
+            alpha.max(0.0),
+            beta.max(0.0),
+            gamma.max(0.0),
+            delta.max(0.0),
+            theta,
+        )
     }
 
     /// Fits model constants to samples, searching candidate crossover
@@ -146,7 +158,10 @@ impl SeekModel {
     ///
     /// Panics if `samples` has fewer than four points.
     pub fn fit(samples: &[(u32, f64)]) -> Self {
-        assert!(samples.len() >= 4, "need at least 4 samples to fit a crossover");
+        assert!(
+            samples.len() >= 4,
+            "need at least 4 samples to fit a crossover"
+        );
         let max_n = samples.iter().map(|&(n, _)| n).max().unwrap();
         let mut best: Option<(f64, SeekModel)> = None;
         // Candidate thetas: each observed distance (other than the max).
@@ -210,7 +225,10 @@ mod tests {
         let m = SeekModel::ultrastar_36z15();
         let at = m.seek_ms(m.theta());
         let after = m.seek_ms(m.theta() + 1);
-        assert!((after - at).abs() < 0.05, "discontinuity at theta: {at} vs {after}");
+        assert!(
+            (after - at).abs() < 0.05,
+            "discontinuity at theta: {at} vs {after}"
+        );
     }
 
     #[test]
@@ -229,7 +247,10 @@ mod tests {
         // Table 1: average seek 3.4 ms on the ~10k-cylinder geometry.
         let m = SeekModel::ultrastar_36z15();
         let avg = m.average_seek_ms(9_988);
-        assert!((avg - 3.4).abs() < 0.35, "average seek {avg} far from nominal 3.4 ms");
+        assert!(
+            (avg - 3.4).abs() < 0.35,
+            "average seek {avg} far from nominal 3.4 ms"
+        );
     }
 
     #[test]

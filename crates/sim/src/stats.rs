@@ -96,7 +96,10 @@ impl fmt::Display for DiskStats {
         write!(
             f,
             "{} ops, {} read ({} RA), {} written, busy {}",
-            self.media_ops, self.blocks_read, self.read_ahead_blocks, self.blocks_written,
+            self.media_ops,
+            self.blocks_read,
+            self.read_ahead_blocks,
+            self.blocks_written,
             self.busy_time
         )
     }

@@ -251,8 +251,14 @@ mod tests {
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_millis(2), SimDuration::from_micros(2_000));
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
-        assert_eq!(SimDuration::from_millis_f64(1.5), SimDuration::from_micros(1_500));
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_millis_f64(1.5),
+            SimDuration::from_micros(1_500)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl ZoneProfile {
         let mut prev = 0u32;
         for &(end, scale) in &boundaries {
             assert!(end > prev, "zone boundaries must be strictly ascending");
-            assert!(scale.is_finite() && scale > 0.0, "zone scale must be positive");
+            assert!(
+                scale.is_finite() && scale > 0.0,
+                "zone scale must be positive"
+            );
             prev = end;
         }
         ZoneProfile { boundaries }
@@ -56,7 +59,11 @@ impl ZoneProfile {
             .iter()
             .enumerate()
             .map(|(i, &s)| {
-                let end = if i == 8 { cylinders } else { (i as u32 + 1) * per };
+                let end = if i == 8 {
+                    cylinders
+                } else {
+                    (i as u32 + 1) * per
+                };
                 (end, s)
             })
             .collect();
@@ -99,7 +106,11 @@ mod tests {
     fn ultrastar_profile_is_calibrated() {
         let z = ZoneProfile::ultrastar_like(9_988);
         assert_eq!(z.zone_count(), 9);
-        assert!((z.mean_scale() - 1.0).abs() < 0.01, "mean {}", z.mean_scale());
+        assert!(
+            (z.mean_scale() - 1.0).abs() < 0.01,
+            "mean {}",
+            z.mean_scale()
+        );
         // Monotone outer -> inner.
         let mut prev = f64::INFINITY;
         for c in (0..9_988).step_by(1_110) {

@@ -123,7 +123,10 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: String| ParseError { line: idx + 1, message };
+        let err = |message: String| ParseError {
+            line: idx + 1,
+            message,
+        };
         let mut parts = line.split_whitespace();
         let mut next = |what: &str| {
             parts
@@ -150,13 +153,16 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadError> {
         match last_job {
             Some(j) if j == job => *job_lens.last_mut().expect("job in progress") += 1,
             Some(j) if job < j => {
-                return Err(err(format!("job ids must be non-decreasing ({job} after {j})"))
-                    .into())
+                return Err(err(format!("job ids must be non-decreasing ({job} after {j})")).into())
             }
             _ => job_lens.push(1),
         }
         last_job = Some(job);
-        requests.push(TraceRequest { start: LogicalBlock::new(start), nblocks, kind });
+        requests.push(TraceRequest {
+            start: LogicalBlock::new(start),
+            nblocks,
+            kind,
+        });
     }
     Ok(Trace::with_jobs(requests, job_lens))
 }
@@ -194,22 +200,34 @@ pub fn read_layout<R: BufRead>(r: R) -> Result<FileMap, ReadError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: String| ParseError { line: idx + 1, message };
+        let err = |message: String| ParseError {
+            line: idx + 1,
+            message,
+        };
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 4 {
             return Err(err(format!("expected 4 fields, got {}", fields.len())).into());
         }
-        let file: usize =
-            fields[0].parse().map_err(|e| err(format!("bad file id: {e}")))?;
-        let start: u64 =
-            fields[1].parse().map_err(|e| err(format!("bad start: {e}")))?;
-        let len: u32 = fields[2].parse().map_err(|e| err(format!("bad len: {e}")))?;
-        let file_offset: u64 =
-            fields[3].parse().map_err(|e| err(format!("bad offset: {e}")))?;
+        let file: usize = fields[0]
+            .parse()
+            .map_err(|e| err(format!("bad file id: {e}")))?;
+        let start: u64 = fields[1]
+            .parse()
+            .map_err(|e| err(format!("bad start: {e}")))?;
+        let len: u32 = fields[2]
+            .parse()
+            .map_err(|e| err(format!("bad len: {e}")))?;
+        let file_offset: u64 = fields[3]
+            .parse()
+            .map_err(|e| err(format!("bad offset: {e}")))?;
         if extents.len() <= file {
             extents.resize_with(file + 1, Vec::new);
         }
-        extents[file].push(Extent { start: LogicalBlock::new(start), len, file_offset });
+        extents[file].push(Extent {
+            start: LogicalBlock::new(start),
+            len,
+            file_offset,
+        });
     }
     Ok(FileMap::from_extents(extents))
 }
@@ -219,7 +237,11 @@ mod tests {
     use super::*;
 
     fn req(start: u64, n: u32, kind: ReadWrite) -> TraceRequest {
-        TraceRequest { start: LogicalBlock::new(start), nblocks: n, kind }
+        TraceRequest {
+            start: LogicalBlock::new(start),
+            nblocks: n,
+            kind,
+        }
     }
 
     #[test]

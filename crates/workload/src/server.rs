@@ -255,7 +255,12 @@ impl ServerWorkloadSpec {
         // File sizes: log-normal around the calibrated mean.
         let sizes: Vec<u32> = (0..self.files)
             .map(|_| {
-                sample_file_blocks(&mut rng, self.mean_file_blocks, self.sigma, self.max_file_blocks)
+                sample_file_blocks(
+                    &mut rng,
+                    self.mean_file_blocks,
+                    self.sigma,
+                    self.max_file_blocks,
+                )
             })
             .collect();
         let base_layout = LayoutBuilder::new()
@@ -325,8 +330,7 @@ impl ServerWorkloadSpec {
         let w = self.locality_window.max(1);
         // (base position in spatial order, remaining offsets to visit
         // in shuffled order — distinct files, non-sequential arrival)
-        let mut sessions: Vec<Option<(u32, Vec<u32>)>> =
-            vec![None; self.streams.max(1) as usize];
+        let mut sessions: Vec<Option<(u32, Vec<u32>)>> = vec![None; self.streams.max(1) as usize];
         // Epoch hot set: spatial positions of the currently hot files.
         let epoch = self.epoch_requests.max(1) as usize;
         let hot_clusters = (self.hot_set_files.max(1)).div_ceil(w) as usize;
@@ -339,24 +343,35 @@ impl ServerWorkloadSpec {
                     // Uniform bases: hot sets churn, so the full-trace
                     // histogram stays as flat as Figure 2's.
                     let base = rng.gen_range(0..spatial.len() as u32);
-                    for k in 0..self.hot_set_files.min(w.max(1) * hot_clusters as u32) / hot_clusters as u32 {
+                    for k in 0..self.hot_set_files.min(w.max(1) * hot_clusters as u32)
+                        / hot_clusters as u32
+                    {
                         hot_positions.push((base + k) % spatial.len() as u32);
                     }
                 }
             }
             // Frontier writes allocate the next future object; recent
             // reads target the most recently written ones.
-            if self.frontier_writes && rng.gen_bool(self.write_fraction.min(1.0))
-                && (self.files + frontier_next) < layout.file_count() as usize {
-                    let f = FileId::new((self.files + frontier_next) as u32);
-                    frontier_next += 1;
-                    let before = requests.len();
-                    emit_file_access(&layout, f, ReadWrite::Write, self.coalesce_prob, &mut rng, &mut requests);
-                    if requests.len() > before {
-                        job_lens.push((requests.len() - before) as u32);
-                    }
-                    continue;
+            if self.frontier_writes
+                && rng.gen_bool(self.write_fraction.min(1.0))
+                && (self.files + frontier_next) < layout.file_count() as usize
+            {
+                let f = FileId::new((self.files + frontier_next) as u32);
+                frontier_next += 1;
+                let before = requests.len();
+                emit_file_access(
+                    &layout,
+                    f,
+                    ReadWrite::Write,
+                    self.coalesce_prob,
+                    &mut rng,
+                    &mut requests,
+                );
+                if requests.len() > before {
+                    job_lens.push((requests.len() - before) as u32);
                 }
+                continue;
+            }
             if self.frontier_writes
                 && frontier_next > 0
                 && self.recent_read_fraction > 0.0
@@ -366,7 +381,14 @@ impl ServerWorkloadSpec {
                 let pick = frontier_next - 1 - rng.gen_range(0..window);
                 let f = FileId::new((self.files + pick) as u32);
                 let before = requests.len();
-                emit_file_access(&layout, f, ReadWrite::Read, self.coalesce_prob, &mut rng, &mut requests);
+                emit_file_access(
+                    &layout,
+                    f,
+                    ReadWrite::Read,
+                    self.coalesce_prob,
+                    &mut rng,
+                    &mut requests,
+                );
                 if requests.len() > before {
                     job_lens.push((requests.len() - before) as u32);
                 }
@@ -414,7 +436,14 @@ impl ServerWorkloadSpec {
             };
             let before = requests.len();
             if self.whole_file {
-                emit_file_access(&layout, file, kind, self.coalesce_prob, &mut rng, &mut requests);
+                emit_file_access(
+                    &layout,
+                    file,
+                    kind,
+                    self.coalesce_prob,
+                    &mut rng,
+                    &mut requests,
+                );
             } else {
                 self.emit_partial_access(&layout, file, kind, &mut rng, &mut requests);
             }
@@ -457,7 +486,9 @@ impl ServerWorkloadSpec {
         // boundaries, in which case it splits (no logical contiguity).
         let mut emitted = 0u64;
         while emitted < len {
-            let Some(start_block) = layout.block_at(file, offset + emitted) else { break };
+            let Some(start_block) = layout.block_at(file, offset + emitted) else {
+                break;
+            };
             // Extend while logically contiguous.
             let mut run = 1u64;
             while emitted + run < len {
@@ -466,7 +497,11 @@ impl ServerWorkloadSpec {
                     _ => break,
                 }
             }
-            out.push(TraceRequest { start: start_block, nblocks: run as u32, kind });
+            out.push(TraceRequest {
+                start: start_block,
+                nblocks: run as u32,
+                kind,
+            });
             emitted += run;
         }
     }
@@ -547,7 +582,11 @@ mod tests {
     fn partial_access_never_exceeds_file() {
         let s = quick(ServerKind::File);
         for r in s.workload.trace.requests() {
-            let owner = s.workload.layout.owner(r.start).expect("request into a file");
+            let owner = s
+                .workload
+                .layout
+                .owner(r.start)
+                .expect("request into a file");
             let fsize = s.workload.layout.file_blocks(owner.file);
             assert!(owner.offset + (r.nblocks as u64) <= fsize + r.nblocks as u64);
         }

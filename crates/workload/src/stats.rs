@@ -74,8 +74,16 @@ mod tests {
     #[test]
     fn summary_of_small_trace() {
         let t = Trace::new(vec![
-            TraceRequest { start: LogicalBlock::new(0), nblocks: 2, kind: ReadWrite::Read },
-            TraceRequest { start: LogicalBlock::new(1), nblocks: 2, kind: ReadWrite::Write },
+            TraceRequest {
+                start: LogicalBlock::new(0),
+                nblocks: 2,
+                kind: ReadWrite::Read,
+            },
+            TraceRequest {
+                start: LogicalBlock::new(1),
+                nblocks: 2,
+                kind: ReadWrite::Write,
+            },
         ]);
         let s = summarize(&t, 4096);
         assert_eq!(s.requests, 2);

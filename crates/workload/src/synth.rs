@@ -245,12 +245,20 @@ pub(crate) fn emit_file_access<R: Rng + ?Sized>(
             if coalesce_prob >= 1.0 || rng.gen_bool(coalesce_prob) {
                 run_len += 1;
             } else {
-                out.push(TraceRequest { start: run_start, nblocks: run_len, kind });
+                out.push(TraceRequest {
+                    start: run_start,
+                    nblocks: run_len,
+                    kind,
+                });
                 run_start = extent.start.offset(i as u64);
                 run_len = 1;
             }
         }
-        out.push(TraceRequest { start: run_start, nblocks: run_len, kind });
+        out.push(TraceRequest {
+            start: run_start,
+            nblocks: run_len,
+            kind,
+        });
     }
 }
 
@@ -341,7 +349,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let build = |seed| {
-            SyntheticWorkload::builder().requests(200).files(500).seed(seed).build()
+            SyntheticWorkload::builder()
+                .requests(200)
+                .files(500)
+                .seed(seed)
+                .build()
         };
         assert_eq!(build(9).trace.requests(), build(9).trace.requests());
         assert_ne!(build(9).trace.requests(), build(10).trace.requests());

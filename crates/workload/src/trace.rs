@@ -37,7 +37,10 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace where every request is an independent job.
     pub fn new(requests: Vec<TraceRequest>) -> Self {
-        Trace { requests, job_lens: Vec::new() }
+        Trace {
+            requests,
+            job_lens: Vec::new(),
+        }
     }
 
     /// Creates a trace with explicit job grouping.
@@ -48,7 +51,11 @@ impl Trace {
     /// job is empty.
     pub fn with_jobs(requests: Vec<TraceRequest>, job_lens: Vec<u32>) -> Self {
         let total: u64 = job_lens.iter().map(|&l| l as u64).sum();
-        assert_eq!(total, requests.len() as u64, "job lengths must cover the requests");
+        assert_eq!(
+            total,
+            requests.len() as u64,
+            "job lengths must cover the requests"
+        );
         assert!(job_lens.iter().all(|&l| l > 0), "jobs must be non-empty");
         Trace { requests, job_lens }
     }
@@ -64,7 +71,11 @@ impl Trace {
 
     /// Iterates over the jobs as request slices.
     pub fn jobs(&self) -> impl Iterator<Item = &[TraceRequest]> + '_ {
-        JobIter { trace: self, req_idx: 0, job_idx: 0 }
+        JobIter {
+            trace: self,
+            req_idx: 0,
+            job_idx: 0,
+        }
     }
 
     /// The logged requests, in arrival order.
@@ -174,7 +185,8 @@ impl Extend<TraceRequest> for Trace {
         self.requests.extend(iter);
         if !self.job_lens.is_empty() {
             // Appended requests become singleton jobs.
-            self.job_lens.extend(std::iter::repeat_n(1, self.requests.len() - before));
+            self.job_lens
+                .extend(std::iter::repeat_n(1, self.requests.len() - before));
         }
     }
 }
@@ -199,7 +211,11 @@ mod tests {
     use super::*;
 
     fn req(start: u64, n: u32, kind: ReadWrite) -> TraceRequest {
-        TraceRequest { start: LogicalBlock::new(start), nblocks: n, kind }
+        TraceRequest {
+            start: LogicalBlock::new(start),
+            nblocks: n,
+            kind,
+        }
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl ZipfSampler {
     /// Panics if `n` is zero or `alpha` is negative or non-finite.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "need at least one rank");
-        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for i in 1..=n {

@@ -33,7 +33,10 @@ fn main() {
 
     // 2. Through the host hierarchy: prefetch + buffer cache + 2-ms
     //    coalescing. What survives is the disk-level log.
-    let cfg = PipelineConfig { buffer_blocks: 8_192, ..PipelineConfig::default() };
+    let cfg = PipelineConfig {
+        buffer_blocks: 8_192,
+        ..PipelineConfig::default()
+    };
     let derived = derive_disk_trace(&accesses, &layout, cfg);
     println!(
         "host pipeline: buffer-cache hit rate {:.1}%, {} disk requests (coalescing {:.0}%)",

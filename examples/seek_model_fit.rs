@@ -26,13 +26,32 @@ fn main() {
 
     let fitted = SeekModel::fit(&samples);
     println!("fitted constants (truth in parentheses):");
-    println!("  alpha = {:.4} ms   ({:.4})", fitted.alpha_ms(), truth.alpha_ms());
-    println!("  beta  = {:.4} ms   ({:.4})", fitted.beta_ms(), truth.beta_ms());
-    println!("  gamma = {:.4} ms   ({:.4})", fitted.gamma_ms(), truth.gamma_ms());
-    println!("  delta = {:.5} ms   ({:.5})", fitted.delta_ms(), truth.delta_ms());
+    println!(
+        "  alpha = {:.4} ms   ({:.4})",
+        fitted.alpha_ms(),
+        truth.alpha_ms()
+    );
+    println!(
+        "  beta  = {:.4} ms   ({:.4})",
+        fitted.beta_ms(),
+        truth.beta_ms()
+    );
+    println!(
+        "  gamma = {:.4} ms   ({:.4})",
+        fitted.gamma_ms(),
+        truth.gamma_ms()
+    );
+    println!(
+        "  delta = {:.5} ms   ({:.5})",
+        fitted.delta_ms(),
+        truth.delta_ms()
+    );
     println!("  theta = {} cyl  ({})", fitted.theta(), truth.theta());
 
-    println!("\n{:>10} {:>12} {:>12} {:>8}", "distance", "true (ms)", "fitted (ms)", "err");
+    println!(
+        "\n{:>10} {:>12} {:>12} {:>8}",
+        "distance", "true (ms)", "fitted (ms)", "err"
+    );
     let mut worst: f64 = 0.0;
     for n in [1u32, 50, 200, 800, 1150, 2000, 5000, 9000] {
         let t = truth.seek_ms(n);
@@ -41,7 +60,10 @@ fn main() {
         worst = worst.max(err);
         println!("{n:>10} {t:>12.3} {f:>12.3} {:>7.2}%", err * 100.0);
     }
-    println!("\nworst relative error: {:.2}% — good enough to reproduce Table 1's 3.4 ms average seek", worst * 100.0);
+    println!(
+        "\nworst relative error: {:.2}% — good enough to reproduce Table 1's 3.4 ms average seek",
+        worst * 100.0
+    );
     println!(
         "average seek over 10k cylinders: fitted {:.2} ms, true {:.2} ms",
         fitted.average_seek_ms(10_000),

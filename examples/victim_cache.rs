@@ -52,7 +52,11 @@ fn main() {
     );
 
     let none = System::new(SystemConfig::segm(), &vw.workload).run();
-    println!("no HDC            : {}   ({:.2} MB/s)", none.io_time, none.throughput_mbps());
+    println!(
+        "no HDC            : {}   ({:.2} MB/s)",
+        none.io_time,
+        none.throughput_mbps()
+    );
 
     let top = System::new(SystemConfig::segm().with_hdc(HDC), &vw.workload).run();
     println!(

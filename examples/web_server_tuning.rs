@@ -26,10 +26,8 @@ fn main() {
     println!("striping-unit sweep (Segm vs FOR, seconds of I/O time):");
     let mut best: Option<(u32, Report)> = None;
     for unit_kb in [4u32, 16, 32, 64, 128, 256] {
-        let segm =
-            System::new(SystemConfig::segm().with_striping_unit(unit_kb * 1024), wl).run();
-        let for_ =
-            System::new(SystemConfig::for_().with_striping_unit(unit_kb * 1024), wl).run();
+        let segm = System::new(SystemConfig::segm().with_striping_unit(unit_kb * 1024), wl).run();
+        let for_ = System::new(SystemConfig::for_().with_striping_unit(unit_kb * 1024), wl).run();
         println!(
             "  {unit_kb:3} KB: Segm {:7.2}s   FOR {:7.2}s   (FOR −{:.1}%)",
             segm.io_time.as_secs_f64(),

@@ -113,7 +113,12 @@ fn generate(args: &Args) -> Result<(), String> {
     let workload: Workload = match kind.as_str() {
         "web" => ServerWorkloadSpec::web().scale(scale).generate().workload,
         "proxy" => ServerWorkloadSpec::proxy().scale(scale).generate().workload,
-        "file" => ServerWorkloadSpec::file_server().scale(scale).generate().workload,
+        "file" => {
+            ServerWorkloadSpec::file_server()
+                .scale(scale)
+                .generate()
+                .workload
+        }
         "synthetic" => {
             let requests: usize = args.flag("requests", 10_000)?;
             SyntheticWorkload::builder().requests(requests).build()
@@ -134,7 +139,11 @@ fn generate(args: &Args) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     println!("{}", summarize(&workload.trace, 4096));
-    println!("wrote {} and {}", trace_path.display(), layout_path.display());
+    println!(
+        "wrote {} and {}",
+        trace_path.display(),
+        layout_path.display()
+    );
     println!("suggested streams: {}", workload.streams);
     Ok(())
 }
@@ -171,7 +180,12 @@ fn simulate(args: &Args) -> Result<(), String> {
         let secs: u64 = secs.parse().map_err(|e| format!("--flush-secs: {e}"))?;
         cfg = cfg.with_hdc_flush_period(SimDuration::from_secs(secs));
     }
-    let workload = Workload { name: "imported".into(), layout, trace, streams };
+    let workload = Workload {
+        name: "imported".into(),
+        layout,
+        trace,
+        streams,
+    };
     let report = System::new(cfg, &workload).run();
     println!("{report}");
     Ok(())

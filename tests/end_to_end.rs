@@ -92,7 +92,9 @@ fn schedulers_and_replacements_compose() {
             (BlockReplacement::Lru, SegmentReplacement::RoundRobin),
         ] {
             let r = System::new(
-                SystemConfig::segm().with_scheduler(sched).with_replacement(blk, seg),
+                SystemConfig::segm()
+                    .with_scheduler(sched)
+                    .with_replacement(blk, seg),
                 &wl,
             )
             .run();
@@ -106,7 +108,11 @@ fn striping_units_preserve_work() {
     let wl = small_synthetic(5);
     let payload = wl.trace.total_blocks();
     for unit_kb in [4u32, 16, 64, 128, 256, 1024] {
-        let r = System::new(SystemConfig::no_ra().with_striping_unit(unit_kb * 1024), &wl).run();
+        let r = System::new(
+            SystemConfig::no_ra().with_striping_unit(unit_kb * 1024),
+            &wl,
+        )
+        .run();
         // Without read-ahead and without HDC, the media moves exactly
         // the missed payload; with a cold cache and little reuse it is
         // within the payload bound.

@@ -3,9 +3,7 @@
 //! partial-track baseline, zoned recording, and trace serialization —
 //! all through the public facade.
 
-use forhdc::core::{
-    build_victim_workload, HdcPlan, System, SystemConfig, VictimConfig,
-};
+use forhdc::core::{build_victim_workload, HdcPlan, System, SystemConfig, VictimConfig};
 use forhdc::host::pipeline::FileAccess;
 use forhdc::layout::{FileId, LayoutBuilder};
 use forhdc::sim::{ReadWrite, SimDuration, SimTime, StripingMap};
@@ -54,7 +52,11 @@ fn victim_cache_beats_no_hdc_on_overflowing_working_sets() {
     .with_hdc_commands(vw.commands)
     .run();
     assert_eq!(vic.requests, vw.workload.trace.len() as u64);
-    assert!(vic.hdc_hit_rate() > 0.02, "victim hit rate {}", vic.hdc_hit_rate());
+    assert!(
+        vic.hdc_hit_rate() > 0.02,
+        "victim hit rate {}",
+        vic.hdc_hit_rate()
+    );
     assert!(
         vic.io_time.as_nanos() as f64 <= none.io_time.as_nanos() as f64 * 1.02,
         "victim {} should not lose to no-HDC {}",
@@ -180,6 +182,9 @@ fn serialized_traces_replay_identically() {
     };
     let a = System::new(SystemConfig::for_(), &wl).run();
     let b = System::new(SystemConfig::for_(), &wl2).run();
-    assert_eq!(a.io_time, b.io_time, "round-tripped trace must replay identically");
+    assert_eq!(
+        a.io_time, b.io_time,
+        "round-tripped trace must replay identically"
+    );
     assert_eq!(a.disk.media_ops, b.disk.media_ops);
 }

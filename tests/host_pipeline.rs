@@ -31,13 +31,21 @@ fn derived_traces_replay_cleanly() {
     let derived = derive_disk_trace(
         &accesses,
         &layout,
-        PipelineConfig { buffer_blocks: 2_048, ..PipelineConfig::default() },
+        PipelineConfig {
+            buffer_blocks: 2_048,
+            ..PipelineConfig::default()
+        },
     );
     // A skewed stream against a small buffer cache: some locality is
     // absorbed, the rest reaches the disk.
     assert!(derived.buffer_hit_rate > 0.05 && derived.buffer_hit_rate < 0.95);
     assert!(!derived.trace.is_empty());
-    let wl = Workload { name: "derived".into(), layout, trace: derived.trace, streams: 32 };
+    let wl = Workload {
+        name: "derived".into(),
+        layout,
+        trace: derived.trace,
+        streams: 32,
+    };
     let r = System::new(SystemConfig::for_(), &wl).run();
     assert_eq!(r.requests, wl.trace.len() as u64);
 }
@@ -49,12 +57,18 @@ fn bigger_buffer_cache_means_less_disk_traffic() {
     let small = derive_disk_trace(
         &accesses,
         &layout,
-        PipelineConfig { buffer_blocks: 512, ..PipelineConfig::default() },
+        PipelineConfig {
+            buffer_blocks: 512,
+            ..PipelineConfig::default()
+        },
     );
     let large = derive_disk_trace(
         &accesses,
         &layout,
-        PipelineConfig { buffer_blocks: 8_192, ..PipelineConfig::default() },
+        PipelineConfig {
+            buffer_blocks: 8_192,
+            ..PipelineConfig::default()
+        },
     );
     assert!(large.trace.total_blocks() < small.trace.total_blocks());
     assert!(large.buffer_hit_rate > small.buffer_hit_rate);
@@ -71,11 +85,19 @@ fn disk_level_trace_has_little_temporal_locality() {
     let derived = derive_disk_trace(
         &accesses,
         &layout,
-        PipelineConfig { buffer_blocks: 4_096, ..PipelineConfig::default() },
+        PipelineConfig {
+            buffer_blocks: 4_096,
+            ..PipelineConfig::default()
+        },
     );
     // Application-level: the hottest file is accessed thousands of
     // times. Disk-level: its blocks only on buffer-cache misses.
-    let disk_hottest = *derived.trace.block_access_counts().iter().max().unwrap_or(&0);
+    let disk_hottest = *derived
+        .trace
+        .block_access_counts()
+        .iter()
+        .max()
+        .unwrap_or(&0);
     let app_hottest = {
         let mut counts = vec![0u32; 2_000];
         for a in &accesses {

@@ -28,8 +28,7 @@ fn combined_never_loses_to_conventional() {
     for file_blocks in [1u32, 4, 16, 32] {
         let wl = synth(file_blocks, 128, 0.4, 0.0, 11);
         let segm = System::new(SystemConfig::segm(), &wl).run();
-        let combined =
-            System::new(SystemConfig::for_().with_hdc(2 * 1024 * 1024), &wl).run();
+        let combined = System::new(SystemConfig::for_().with_hdc(2 * 1024 * 1024), &wl).run();
         assert!(
             combined.io_time.as_nanos() as f64 <= segm.io_time.as_nanos() as f64 * 1.03,
             "{file_blocks}-block files: FOR+HDC {} vs Segm {}",
@@ -67,7 +66,10 @@ fn no_ra_crossover_and_for_dominance() {
     }
     let segm = System::new(SystemConfig::segm(), &small).run();
     let no_ra_small = System::new(SystemConfig::no_ra(), &small).run();
-    assert!(no_ra_small.io_time < segm.io_time, "No-RA should win on 8-KB files");
+    assert!(
+        no_ra_small.io_time < segm.io_time,
+        "No-RA should win on 8-KB files"
+    );
     let segm_l = System::new(SystemConfig::segm(), &large).run();
     let no_ra_large = System::new(SystemConfig::no_ra(), &large).run();
     assert!(
@@ -105,8 +107,14 @@ fn for_gain_decays_with_writes_but_remains() {
     };
     let dry = reduction(0.0);
     let wet = reduction(0.6);
-    assert!(wet < dry, "gain should shrink with writes: {dry:.3} -> {wet:.3}");
-    assert!(wet > 0.05, "significant improvements should remain: {wet:.3}");
+    assert!(
+        wet < dry,
+        "gain should shrink with writes: {dry:.3} -> {wet:.3}"
+    );
+    assert!(
+        wet > 0.05,
+        "significant improvements should remain: {wet:.3}"
+    );
 }
 
 /// §4's hit-rate formulas against the simulator: with more streams than
@@ -159,6 +167,10 @@ fn hdc_respects_its_memory_budget() {
     let cfg = SystemConfig::segm().with_hdc(1024 * 1024); // 256 blocks/disk
     assert_eq!(cfg.hdc_blocks(), 256);
     let r = System::new(cfg, &wl).run();
-    assert!(r.hdc.pins <= 8 * 256, "pinned {} blocks over budget", r.hdc.pins);
+    assert!(
+        r.hdc.pins <= 8 * 256,
+        "pinned {} blocks over budget",
+        r.hdc.pins
+    );
     assert!(r.hdc_hit_rate() > 0.0);
 }

@@ -39,7 +39,12 @@ fn micro_benchmark(kind: ReadWrite, nblocks: u32, requests: usize) -> Workload {
             }
         })
         .collect();
-    Workload { name: format!("micro-{kind:?}"), layout, trace: Trace::new(reqs), streams: 1 }
+    Workload {
+        name: format!("micro-{kind:?}"),
+        layout,
+        trace: Trace::new(reqs),
+        streams: 1,
+    }
 }
 
 /// The closed-form per-request time for this geometry: average random
@@ -117,8 +122,8 @@ fn utilization_reduction_matches_paper_29_percent() {
     let for_ = System::new(SystemConfig::for_(), &wl).run();
     // Single-block files: FOR's bitmap stops read-ahead at the file
     // boundary immediately.
-    let reduction = 1.0
-        - for_.disk.busy_time.as_nanos() as f64 / blind.disk.busy_time.as_nanos() as f64;
+    let reduction =
+        1.0 - for_.disk.busy_time.as_nanos() as f64 / blind.disk.busy_time.as_nanos() as f64;
     assert!(
         (reduction - 0.29).abs() < 0.05,
         "utilization reduction {reduction:.3}, paper says 0.29"
