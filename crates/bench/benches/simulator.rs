@@ -52,6 +52,7 @@ fn bench_scheduler(c: &mut Criterion) {
                         token: i,
                         start: PhysBlock::new(i * 997 % 100_000),
                         nblocks: 4,
+                        requested: 4,
                         kind: ReadWrite::Read,
                         cylinder: (i * 997 % 10_000) as u32,
                     });

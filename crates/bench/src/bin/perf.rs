@@ -1,0 +1,367 @@
+//! The perf harness: a fixed set of hot-path microbenches plus one
+//! end-to-end `fig3`-point simulation, timed with plain wall clocks and
+//! emitted as machine-readable JSON (`BENCH_*.json`).
+//!
+//! ```text
+//! perf [--fast] [--json PATH] [--baseline PATH]
+//!
+//!   --fast           CI smoke mode: one repetition, small batches
+//!   --json PATH      write the results as JSON to PATH
+//!   --baseline PATH  read a previous --json output and report speedups
+//! ```
+//!
+//! Unlike the Criterion benches (which use the offline criterion stub's
+//! fixed time budget), this harness runs a *fixed work quantum* per
+//! bench and reports the best-of-R nanoseconds per operation, so two
+//! runs on the same machine are directly comparable. The committed
+//! `BENCH_PR2.json` at the repo root records the PR-over-PR trajectory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use forhdc_bench::RunOptions;
+use forhdc_cache::{
+    BlockCache, BlockReplacement, ControllerCache, HdcRegion, SegmentCache, SegmentReplacement,
+};
+use forhdc_core::{System, SystemConfig};
+use forhdc_host::BufferCache;
+use forhdc_runner::point_seed;
+use forhdc_sim::{LogicalBlock, PhysBlock, ReadWrite};
+use forhdc_workload::SyntheticWorkload;
+
+/// One bench result: best-of-R mean nanoseconds per operation.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: &'static str,
+    ns_per_op: f64,
+    ops: u64,
+}
+
+struct Harness {
+    fast: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Times `ops(n)` (which must perform `n` operations) over `reps`
+    /// repetitions and records the best mean ns/op.
+    fn bench<F: FnMut(u64) -> u64>(&mut self, name: &'static str, batch: u64, mut ops: F) {
+        let (reps, batch) = if self.fast {
+            (2, batch / 8 + 1)
+        } else {
+            (5, batch)
+        };
+        // Warm-up pass (untimed): page in code and data.
+        std::hint::black_box(ops(batch.min(1_000)));
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            std::hint::black_box(ops(batch));
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+        }
+        println!("{name:<40} {best:>12.1} ns/op  ({batch} ops)");
+        self.results.push(BenchResult {
+            name,
+            ns_per_op: best,
+            ops: batch,
+        });
+    }
+}
+
+fn bench_block_cache(h: &mut Harness, policy: BlockReplacement, name: &'static str) {
+    h.bench(name, 200_000, |n| {
+        let mut cache = BlockCache::new(1024, policy);
+        for i in 0..n {
+            cache.insert_run(PhysBlock::new(i * 8 % 16_384), 8, 4);
+            cache.touch(PhysBlock::new(i * 8 % 16_384));
+        }
+        cache.resident_blocks() as u64
+    });
+}
+
+fn bench_block_cache_touch_hot(h: &mut Harness) {
+    // Pure touch over a resident working set: the per-I/O hit path.
+    h.bench("block_cache/touch_hot", 2_000_000, |n| {
+        let mut cache = BlockCache::new(1024, BlockReplacement::Mru);
+        for i in 0..1024u64 {
+            cache.insert_run(PhysBlock::new(i), 1, 1);
+        }
+        let mut hits = 0u64;
+        for i in 0..n {
+            hits += cache.touch(PhysBlock::new(i * 31 % 1_024)) as u64;
+        }
+        hits
+    });
+}
+
+fn bench_buffer_cache(h: &mut Harness) {
+    // Mixed hit/miss stream over a 16 K-block cache with a 24 K-block
+    // footprint (two-thirds hit rate, like a warm host cache).
+    h.bench("buffer_cache/access", 1_000_000, |n| {
+        let mut bc = BufferCache::new(16_384);
+        let mut hits = 0u64;
+        for i in 0..n {
+            let block = LogicalBlock::new(i * 7 % 24_576);
+            hits += bc.access(block, ReadWrite::Read).is_hit() as u64;
+        }
+        hits
+    });
+}
+
+fn bench_segment_cache(h: &mut Harness) {
+    h.bench("segment_cache/insert_touch", 200_000, |n| {
+        let mut cache = SegmentCache::new(27, 32, SegmentReplacement::Lru);
+        for i in 0..n {
+            cache.insert_run(PhysBlock::new(i * 32 % 65_536), 32, 4);
+            cache.touch(PhysBlock::new(i * 32 % 65_536));
+        }
+        cache.resident_blocks() as u64
+    });
+    h.bench("segment_cache/touch_hot", 2_000_000, |n| {
+        let mut cache = SegmentCache::new(27, 32, SegmentReplacement::Lru);
+        for i in 0..27u64 {
+            cache.insert_run(PhysBlock::new(i * 32), 32, 32);
+        }
+        let mut hits = 0u64;
+        for i in 0..n {
+            hits += cache.touch(PhysBlock::new(i * 13 % 864)) as u64;
+        }
+        hits
+    });
+}
+
+fn bench_hdc(h: &mut Harness) {
+    h.bench("hdc/write_flush_cycle", 20_000, |n| {
+        let mut hdc = HdcRegion::new(512);
+        for i in 0..512u64 {
+            hdc.pin(PhysBlock::new(i)).unwrap();
+        }
+        let mut flushed = 0u64;
+        for i in 0..n {
+            // Dirty a small rotating subset, then flush: the periodic
+            // sync pattern (most pinned blocks are clean each period).
+            for j in 0..8u64 {
+                hdc.write(PhysBlock::new((i * 8 + j) % 512));
+            }
+            flushed += hdc.flush().len() as u64;
+        }
+        flushed
+    });
+}
+
+fn bench_e2e(h: &mut Harness) {
+    // One fig3 point (16-KByte files, 128 streams, FOR policy), exactly
+    // as plan_fig3 builds it, at a reduced request count so the full
+    // harness stays under a minute.
+    let opts = RunOptions::default();
+    let requests = if h.fast {
+        500
+    } else {
+        opts.synthetic_requests / 2
+    };
+    let seed = point_seed("fig3", 5); // row 5 = 16-KByte files
+    let wl = SyntheticWorkload::builder()
+        .requests(requests)
+        .files(20_000)
+        .file_blocks(4)
+        .streams(128)
+        .seed(seed)
+        .build();
+    let reps = if h.fast { 1 } else { 3 };
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = System::new(SystemConfig::for_(), &wl).run();
+        std::hint::black_box(r.io_time);
+        best = best.min(t.elapsed().as_nanos() as f64 / requests as f64);
+    }
+    println!(
+        "{:<40} {best:>12.1} ns/req  ({requests} reqs)",
+        "e2e/fig3_point_for"
+    );
+    h.results.push(BenchResult {
+        name: "e2e/fig3_point_for",
+        ns_per_op: best,
+        ops: requests as u64,
+    });
+}
+
+fn to_json(results: &[BenchResult], fast: bool, baseline: Option<&Vec<(String, f64)>>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"version\": 1,\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if fast { "fast" } else { "full" }
+    ));
+    s.push_str("  \"benches\": {");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    \"{}\": {{\"ns_per_op\": {:.1}, \"ops\": {}}}",
+            r.name, r.ns_per_op, r.ops
+        ));
+    }
+    s.push_str("\n  }");
+    if let Some(base) = baseline {
+        s.push_str(",\n  \"baseline_ns_per_op\": {");
+        for (i, (name, ns)) in base.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{name}\": {ns:.1}"));
+        }
+        s.push_str("\n  },\n  \"speedup\": {");
+        let mut first = true;
+        for r in results {
+            if let Some((_, base_ns)) = base.iter().find(|(n, _)| n == r.name) {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!(
+                    "\n    \"{}\": {:.2}",
+                    r.name,
+                    base_ns / r.ns_per_op
+                ));
+            }
+        }
+        s.push_str("\n  }");
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// Minimal extraction of `"name": {"ns_per_op": X, ...}` pairs from a
+/// previous run's `benches` section (hand-rolled like the writer; no
+/// serde — relies on the one-entry-per-line shape [`to_json`] emits).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut in_benches = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("\"benches\"") {
+            in_benches = true;
+            continue;
+        }
+        if !in_benches {
+            continue;
+        }
+        if t.starts_with('}') {
+            break;
+        }
+        let Some(rest) = t.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(idx) = rest.find("\"ns_per_op\": ") else {
+            continue;
+        };
+        let num: String = rest[idx + "\"ns_per_op\": ".len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => fast = true,
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json_path = Some(PathBuf::from(p)),
+                    None => return usage_err("--json needs a path"),
+                }
+            }
+            "--baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => baseline_path = Some(PathBuf::from(p)),
+                    None => return usage_err("--baseline needs a path"),
+                }
+            }
+            "-h" | "--help" => {
+                println!("usage: perf [--fast] [--json PATH] [--baseline PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_err(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    let baseline = match &baseline_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => {
+                let parsed = parse_baseline(&text);
+                if parsed.is_empty() {
+                    eprintln!("error: no benches found in baseline {}", p.display());
+                    return ExitCode::FAILURE;
+                }
+                Some(parsed)
+            }
+            Err(e) => {
+                eprintln!("error: could not read baseline {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let mut h = Harness {
+        fast,
+        results: Vec::new(),
+    };
+    bench_block_cache(
+        &mut h,
+        BlockReplacement::Mru,
+        "block_cache/mru_insert_touch",
+    );
+    bench_block_cache(
+        &mut h,
+        BlockReplacement::Lru,
+        "block_cache/lru_insert_touch",
+    );
+    bench_block_cache_touch_hot(&mut h);
+    bench_buffer_cache(&mut h);
+    bench_segment_cache(&mut h);
+    bench_hdc(&mut h);
+    bench_e2e(&mut h);
+
+    if let Some(base) = &baseline {
+        println!("\nspeedup vs baseline:");
+        for r in &h.results {
+            if let Some((_, base_ns)) = base.iter().find(|(n, _)| n == r.name) {
+                println!("{:<40} {:>11.2}x", r.name, base_ns / r.ns_per_op);
+            }
+        }
+    }
+    if let Some(path) = json_path {
+        let json = to_json(&h.results, fast, baseline.as_ref());
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_err(err: &str) -> ExitCode {
+    eprintln!("error: {err}\n\nusage: perf [--fast] [--json PATH] [--baseline PATH]");
+    ExitCode::from(2)
+}

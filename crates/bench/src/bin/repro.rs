@@ -2,7 +2,7 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR]
+//! repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--timings]
 //! repro --list
 //!
 //!   experiment   one of: table1 fig1 fig2 ... fig12 table2
@@ -13,6 +13,7 @@
 //!   --scale X    server-clone request scale (default 1.0)
 //!   --requests N synthetic request count (default 10000)
 //!   --out DIR    CSV output directory (default results/)
+//!   --timings    print a per-experiment timing table after the run
 //!   --list       print the experiment ids, one per line
 //! ```
 //!
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut jobs = 1usize;
     let mut use_cache = true;
+    let mut timings = false;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -60,6 +62,7 @@ fn main() -> ExitCode {
                 };
             }
             "--no-cache" => use_cache = false,
+            "--timings" => timings = true,
             "--out" => {
                 i += 1;
                 out_dir = match args.get(i) {
@@ -141,6 +144,9 @@ fn main() -> ExitCode {
             io_failed = true;
         }
     }
+    if timings {
+        println!("{}", manifest.timings_table());
+    }
     let manifest_path = out_dir.join("manifest.json");
     if let Err(e) = manifest.write(&manifest_path) {
         eprintln!("error: could not write {}: {e}", manifest_path.display());
@@ -155,7 +161,7 @@ fn main() -> ExitCode {
 
 fn usage_text() -> String {
     format!(
-        "usage: repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR]\n       repro --list\n\nexperiments: {}",
+        "usage: repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--timings]\n       repro --list\n\nexperiments: {}",
         experiments::ALL.join(" ")
     )
 }

@@ -11,11 +11,19 @@
 //! consumed blocks (most recently consumed first) and falls back to the
 //! stalest unconsumed prefetch only when every resident block is still
 //! awaiting its first use.
-
-use std::collections::{BTreeSet, HashMap};
+//!
+//! Every operation is O(1): recency lives in two slab-backed intrusive
+//! lists ([`crate::list`]) — one for consumed ("used") blocks, one for
+//! never-consumed prefetches — replacing the original
+//! `BTreeSet<(stamp, block)>` sets whose O(log n) churn dominated the
+//! per-I/O hot path. Eviction order is observably identical: list order
+//! equals stamp order because both are maintained by the same monotonic
+//! clock (DESIGN.md §6.2).
 
 use forhdc_sim::PhysBlock;
 
+use crate::fx::{fx_map_with_capacity, FxHashMap};
+use crate::list::{List, Slab};
 use crate::stats::CacheStats;
 use crate::ControllerCache;
 
@@ -32,6 +40,9 @@ pub enum BlockReplacement {
 
 #[derive(Debug, Clone, Copy)]
 struct BlockMeta {
+    block: PhysBlock,
+    /// Monotonic recency stamp; only *compared* (never ordered over a
+    /// set) — the LRU ablation picks the staler of the two list tails.
     stamp: u64,
     read_ahead: bool,
     used: bool,
@@ -55,11 +66,14 @@ struct BlockMeta {
 /// ```
 #[derive(Debug)]
 pub struct BlockCache {
-    map: HashMap<PhysBlock, BlockMeta>,
-    /// Blocks the host has demanded at least once, by touch stamp.
-    used_order: BTreeSet<(u64, PhysBlock)>,
-    /// Blocks never demanded since insertion, by insert stamp.
-    unused_order: BTreeSet<(u64, PhysBlock)>,
+    map: FxHashMap<PhysBlock, u32>,
+    nodes: Slab<BlockMeta>,
+    /// Blocks the host has demanded at least once; head = most
+    /// recently consumed.
+    used: List,
+    /// Blocks never demanded since insertion; head = most recently
+    /// inserted, tail = stalest prefetch.
+    unused: List,
     capacity: u32,
     policy: BlockReplacement,
     clock: u64,
@@ -75,9 +89,10 @@ impl BlockCache {
     pub fn new(capacity: u32, policy: BlockReplacement) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         BlockCache {
-            map: HashMap::with_capacity(capacity as usize),
-            used_order: BTreeSet::new(),
-            unused_order: BTreeSet::new(),
+            map: fx_map_with_capacity(capacity as usize),
+            nodes: Slab::with_capacity(capacity as usize),
+            used: List::new(),
+            unused: List::new(),
             capacity,
             policy,
             clock: 0,
@@ -94,8 +109,8 @@ impl BlockCache {
     /// never double-counted in two regions). Returns whether it was
     /// resident.
     pub fn evict(&mut self, block: PhysBlock) -> bool {
-        if let Some(meta) = self.map.remove(&block) {
-            self.order_of(meta.used).remove(&(meta.stamp, block));
+        if let Some(idx) = self.map.remove(&block) {
+            self.unlink_and_free(idx);
             self.stats.evictions += 1;
             true
         } else {
@@ -103,12 +118,16 @@ impl BlockCache {
         }
     }
 
-    fn order_of(&mut self, used: bool) -> &mut BTreeSet<(u64, PhysBlock)> {
+    /// Unlinks `idx` from whichever recency list holds it and returns
+    /// the node to the slab.
+    fn unlink_and_free(&mut self, idx: u32) {
+        let used = self.nodes.get(idx).used;
         if used {
-            &mut self.used_order
+            self.nodes.remove(&mut self.used, idx);
         } else {
-            &mut self.unused_order
+            self.nodes.remove(&mut self.unused, idx);
         }
+        self.nodes.release(idx);
     }
 
     fn next_stamp(&mut self) -> u64 {
@@ -118,61 +137,68 @@ impl BlockCache {
 
     fn evict_victim(&mut self) {
         let victim = match self.policy {
+            // Most recently consumed block, else the stalest prefetch.
             BlockReplacement::Mru => self
-                .used_order
-                .iter()
-                .next_back()
-                .or_else(|| self.unused_order.iter().next())
-                .copied(),
+                .nodes
+                .head(&self.used)
+                .or_else(|| self.nodes.tail(&self.unused)),
+            // Globally least recent across both lists: both tails are
+            // their list's oldest, so compare their stamps.
             BlockReplacement::Lru => {
-                // Globally least recent across both sets.
-                match (
-                    self.used_order.iter().next(),
-                    self.unused_order.iter().next(),
-                ) {
-                    (Some(&a), Some(&b)) => Some(if a.0 < b.0 { a } else { b }),
-                    (a, b) => a.or(b).copied(),
+                match (self.nodes.tail(&self.used), self.nodes.tail(&self.unused)) {
+                    (Some(a), Some(b)) => {
+                        Some(if self.nodes.get(a).stamp < self.nodes.get(b).stamp {
+                            a
+                        } else {
+                            b
+                        })
+                    }
+                    (a, b) => a.or(b),
                 }
             }
         };
-        if let Some((stamp, block)) = victim {
-            let used = self.map.remove(&block).map(|m| m.used).unwrap_or(false);
-            self.order_of(used).remove(&(stamp, block));
+        if let Some(idx) = victim {
+            let block = self.nodes.get(idx).block;
+            self.map.remove(&block);
+            self.unlink_and_free(idx);
             self.stats.evictions += 1;
         }
     }
 
     fn insert_one(&mut self, block: PhysBlock, read_ahead: bool) {
         let stamp = self.next_stamp();
-        if let Some(meta) = self.map.get_mut(&block) {
+        if let Some(&idx) = self.map.get(&block) {
             // Re-read of a resident block: refresh it. A fresh media
             // read means a new stream wants it, so it re-enters the
             // unconsumed state.
-            let (old_stamp, old_used) = (meta.stamp, meta.used);
-            meta.stamp = stamp;
-            meta.used = false;
-            meta.read_ahead = read_ahead;
             if read_ahead {
                 // The speculative fetch is re-counted so that a later
                 // demand keeps `ra_used <= ra_inserted`.
                 self.stats.ra_inserted += 1;
             }
-            self.order_of(old_used).remove(&(old_stamp, block));
-            self.unused_order.insert((stamp, block));
+            if self.nodes.get(idx).used {
+                self.nodes.remove(&mut self.used, idx);
+            } else {
+                self.nodes.remove(&mut self.unused, idx);
+            }
+            let meta = self.nodes.get_mut(idx);
+            meta.stamp = stamp;
+            meta.used = false;
+            meta.read_ahead = read_ahead;
+            self.nodes.push_front(&mut self.unused, idx);
             return;
         }
         if self.map.len() as u32 >= self.capacity {
             self.evict_victim();
         }
-        self.map.insert(
+        let idx = self.nodes.alloc(BlockMeta {
             block,
-            BlockMeta {
-                stamp,
-                read_ahead,
-                used: false,
-            },
-        );
-        self.unused_order.insert((stamp, block));
+            stamp,
+            read_ahead,
+            used: false,
+        });
+        self.nodes.push_front(&mut self.unused, idx);
+        self.map.insert(block, idx);
         self.stats.insertions += 1;
         if read_ahead {
             self.stats.ra_inserted += 1;
@@ -188,18 +214,23 @@ impl ControllerCache for BlockCache {
     fn touch(&mut self, block: PhysBlock) -> bool {
         self.stats.block_lookups += 1;
         let stamp = self.next_stamp();
-        let Some(meta) = self.map.get_mut(&block) else {
+        let Some(&idx) = self.map.get(&block) else {
             return false;
         };
         self.stats.block_hits += 1;
+        let meta = self.nodes.get(idx);
         if meta.read_ahead && !meta.used {
             self.stats.ra_used += 1;
         }
-        let (old_stamp, old_used) = (meta.stamp, meta.used);
+        if meta.used {
+            self.nodes.remove(&mut self.used, idx);
+        } else {
+            self.nodes.remove(&mut self.unused, idx);
+        }
+        let meta = self.nodes.get_mut(idx);
         meta.used = true;
         meta.stamp = stamp;
-        self.order_of(old_used).remove(&(old_stamp, block));
-        self.used_order.insert((stamp, block));
+        self.nodes.push_front(&mut self.used, idx);
         true
     }
 
@@ -363,10 +394,14 @@ mod tests {
             c.insert_run(b(i % 12), 1, if i % 3 == 0 { 0 } else { 1 });
             c.touch(b((i * 7) % 12));
         }
-        assert_eq!(
-            c.resident_blocks() as usize,
-            c.used_order.len() + c.unused_order.len()
-        );
+        let used_len = c.nodes.iter(&c.used).count();
+        let unused_len = c.nodes.iter(&c.unused).count();
+        assert_eq!(c.resident_blocks() as usize, used_len + unused_len);
+        // Each list is stamp-ordered, most recent first.
+        for list in [&c.used, &c.unused] {
+            let stamps: Vec<u64> = c.nodes.iter(list).map(|i| c.nodes.get(i).stamp).collect();
+            assert!(stamps.windows(2).all(|w| w[0] > w[1]), "{stamps:?}");
+        }
     }
 
     #[test]

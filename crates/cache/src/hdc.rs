@@ -8,10 +8,11 @@
 //! 30-second policy, whose throughput effect the paper measured at
 //! under 1 %).
 
-use std::collections::HashMap;
 use std::fmt;
 
 use forhdc_sim::PhysBlock;
+
+use crate::fx::{fx_map_with_capacity, FxHashMap};
 
 /// Counters for the HDC region.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -108,7 +109,15 @@ impl std::error::Error for PinError {}
 /// ```
 #[derive(Debug)]
 pub struct HdcRegion {
-    pinned: HashMap<PhysBlock, bool>, // value = dirty
+    pinned: FxHashMap<PhysBlock, bool>, // value = dirty
+    /// Blocks appended as their dirty bit turns on, so a flush visits
+    /// only dirty candidates instead of sweeping every pinned block.
+    /// May hold stale entries (a block unpinned, or unpinned and
+    /// re-dirtied, since the append); the flush filters against the
+    /// live dirty bits.
+    dirty_list: Vec<PhysBlock>,
+    /// Live dirty-block count (kept exact; `dirty_list` may over-count).
+    dirty: u32,
     capacity: u32,
     stats: HdcStats,
 }
@@ -118,7 +127,9 @@ impl HdcRegion {
     /// A zero capacity creates a permanently empty region (HDC off).
     pub fn new(capacity: u32) -> Self {
         HdcRegion {
-            pinned: HashMap::with_capacity(capacity as usize),
+            pinned: fx_map_with_capacity(capacity as usize),
+            dirty_list: Vec::new(),
+            dirty: 0,
             capacity,
             stats: HdcStats::default(),
         }
@@ -155,6 +166,11 @@ impl HdcRegion {
         if dirty.is_some() {
             self.stats.unpins += 1;
         }
+        if dirty == Some(true) {
+            // The block's `dirty_list` entry goes stale; the flush
+            // filter discards it.
+            self.dirty -= 1;
+        }
         dirty
     }
 
@@ -179,7 +195,11 @@ impl HdcRegion {
     /// [`HdcRegion::flush`].
     pub fn write(&mut self, block: PhysBlock) -> bool {
         if let Some(dirty) = self.pinned.get_mut(&block) {
-            *dirty = true;
+            if !*dirty {
+                *dirty = true;
+                self.dirty += 1;
+                self.dirty_list.push(block);
+            }
             self.stats.write_hits += 1;
             true
         } else {
@@ -192,17 +212,29 @@ impl HdcRegion {
     /// blocks that must be written to the media, in ascending order
     /// (deterministic).
     pub fn flush(&mut self) -> Vec<PhysBlock> {
-        let mut dirty: Vec<PhysBlock> = self
-            .pinned
-            .iter()
-            .filter_map(|(&b, &d)| d.then_some(b))
-            .collect();
-        dirty.sort();
-        for b in &dirty {
-            self.pinned.insert(*b, false);
+        let mut out = Vec::new();
+        self.flush_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`HdcRegion::flush`]: clears `out` and fills it
+    /// with the dirty blocks, ascending. Cost is proportional to the
+    /// dirty set, not the pinned set.
+    pub fn flush_into(&mut self, out: &mut Vec<PhysBlock>) {
+        out.clear();
+        for b in self.dirty_list.drain(..) {
+            if let Some(d) = self.pinned.get_mut(&b) {
+                // Clearing the bit as we go also drops duplicate list
+                // entries from unpin/re-pin/re-dirty cycles.
+                if *d {
+                    *d = false;
+                    out.push(b);
+                }
+            }
         }
-        self.stats.flushed += dirty.len() as u64;
-        dirty
+        out.sort_unstable();
+        self.dirty = 0;
+        self.stats.flushed += out.len() as u64;
     }
 
     /// Number of blocks currently pinned.
@@ -215,9 +247,9 @@ impl HdcRegion {
         self.pinned.is_empty()
     }
 
-    /// Number of currently dirty blocks.
+    /// Number of currently dirty blocks (O(1)).
     pub fn dirty_count(&self) -> u32 {
-        self.pinned.values().filter(|&&d| d).count() as u32
+        self.dirty
     }
 
     /// Configured capacity in blocks.
@@ -315,6 +347,38 @@ mod tests {
         }
         assert_eq!(h.flush(), vec![b(1), b(3), b(5), b(7)]);
         assert!(h.flush().is_empty());
+    }
+
+    #[test]
+    fn unpin_repin_redirty_flushes_once() {
+        // The dirty list may carry duplicates through an
+        // unpin/re-pin/re-dirty cycle; the flush must not.
+        let mut h = HdcRegion::new(4);
+        h.pin(b(1)).unwrap();
+        h.write(b(1));
+        h.unpin(b(1));
+        assert_eq!(h.dirty_count(), 0);
+        h.pin(b(1)).unwrap();
+        h.write(b(1));
+        h.pin(b(2)).unwrap();
+        h.write(b(2));
+        h.unpin(b(2)); // dirty entry goes stale
+        assert_eq!(h.dirty_count(), 1);
+        assert_eq!(h.flush(), vec![b(1)]);
+        assert_eq!(h.stats().flushed, 1);
+        assert_eq!(h.dirty_count(), 0);
+    }
+
+    #[test]
+    fn flush_into_reuses_buffer() {
+        let mut h = HdcRegion::new(4);
+        h.pin(b(3)).unwrap();
+        h.write(b(3));
+        let mut buf = vec![b(99)]; // stale content must be cleared
+        h.flush_into(&mut buf);
+        assert_eq!(buf, vec![b(3)]);
+        h.flush_into(&mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! trait so the system simulation can swap organizations freely.
 
 pub mod block;
+pub mod fx;
 pub mod hdc;
+pub mod list;
 pub mod segment;
 pub mod stats;
 

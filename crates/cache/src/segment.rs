@@ -6,9 +6,21 @@
 //! positional: a run that continues or overlaps an existing segment's
 //! range belongs to that segment's stream and recycles it; anything
 //! else allocates a free segment or evicts a victim whole.
+//!
+//! Lookups no longer scan every slot: a sorted extent index (one
+//! `(start, slot)` entry per occupied segment) is binary-searched, and
+//! because segment length is bounded by `seg_blocks`, only the entries
+//! whose start falls inside one segment-length window of the probe can
+//! cover it — O(log n + k) where k is the (normally 0 or 1) segments
+//! in that window. The LRU/FIFO victim comes from an intrusive recency
+//! list over the slots rather than a full `min_by_key` sweep. Where
+//! overlapping segments both cover a block, the minimum covering slot
+//! wins, which is exactly the first-matching-slot semantics of the
+//! original linear scan (DESIGN.md §6.2).
 
 use forhdc_sim::PhysBlock;
 
+use crate::list::{List, Slab};
 use crate::stats::CacheStats;
 use crate::ControllerCache;
 
@@ -34,7 +46,6 @@ pub enum SegmentReplacement {
 struct Segment {
     start: PhysBlock,
     len: u32,
-    created: u64,
     last_used: u64,
     /// Bit i set ⇒ block `start + i` was inserted by read-ahead.
     ra_mask: u128,
@@ -51,10 +62,6 @@ impl Segment {
         } else {
             None
         }
-    }
-
-    fn end(&self) -> PhysBlock {
-        self.start.offset(self.len as u64)
     }
 }
 
@@ -74,6 +81,22 @@ impl Segment {
 #[derive(Debug)]
 pub struct SegmentCache {
     segments: Vec<Option<Segment>>,
+    /// One `(start block, slot)` entry per occupied slot, sorted. A
+    /// probe binary-searches to the window of starts that could cover
+    /// it (segment length never exceeds `seg_blocks`) and checks the
+    /// handful of entries there. A sorted `Vec` beats a tree here: the
+    /// whole index for a Table-1 cache is a couple of cache lines, and
+    /// the O(n) insert memmove is dwarfed by the per-block mask work an
+    /// insertion already does.
+    extents: Vec<(u64, u32)>,
+    /// Recency chain over occupied slots (node index == slot). Head =
+    /// most recent; the LRU/FIFO victim is the tail. LRU promotes on
+    /// touch and insert, FIFO on insert only.
+    order: List,
+    order_nodes: Slab<u32>,
+    /// Slots fill in index order and never vacate, so the first free
+    /// slot is simply the fill count.
+    filled: usize,
     seg_blocks: u32,
     policy: SegmentReplacement,
     clock: u64,
@@ -96,8 +119,19 @@ impl SegmentCache {
             (1..=128).contains(&seg_blocks),
             "segment blocks must be 1..=128"
         );
+        let mut order_nodes = Slab::with_capacity(segments as usize);
+        for slot in 0..segments {
+            // Allocated in slot order with no frees, so node index ==
+            // slot; nodes join the chain when their slot first fills.
+            let idx = order_nodes.alloc(slot);
+            debug_assert_eq!(idx, slot);
+        }
         SegmentCache {
             segments: vec![None; segments as usize],
+            extents: Vec::with_capacity(segments as usize),
+            order: List::new(),
+            order_nodes,
+            filled: 0,
             seg_blocks,
             policy,
             clock: 0,
@@ -136,39 +170,90 @@ impl SegmentCache {
         x
     }
 
+    /// Adds slot's `(start, slot)` entry to the sorted extent index.
+    fn index_insert(&mut self, slot: u32) {
+        let seg = self.segments[slot as usize].expect("indexing an empty slot");
+        let key = (seg.start.index(), slot);
+        match self.extents.binary_search(&key) {
+            Ok(_) => debug_assert!(false, "slot {slot} indexed twice"),
+            Err(pos) => self.extents.insert(pos, key),
+        }
+    }
+
+    /// Removes slot's entry from the extent index.
+    fn index_remove(&mut self, slot: u32) {
+        let seg = self.segments[slot as usize].expect("unindexing an empty slot");
+        let key = (seg.start.index(), slot);
+        match self.extents.binary_search(&key) {
+            Ok(pos) => {
+                self.extents.remove(pos);
+            }
+            Err(_) => debug_assert!(false, "slot {slot} missing from index"),
+        }
+    }
+
+    /// The entries whose start lies in `[lo, hi]` — the only ones whose
+    /// segment can satisfy a probe derived from that window. One binary
+    /// search finds the window's left edge; the right edge is reached
+    /// by scanning, since a window spans at most a few entries.
+    fn extents_in(&self, lo: u64, hi: u64) -> impl Iterator<Item = (u64, u32)> + '_ {
+        let from = self.extents.partition_point(|&(s, _)| s < lo);
+        self.extents[from..]
+            .iter()
+            .copied()
+            .take_while(move |&(s, _)| s <= hi)
+    }
+
+    /// The lowest slot covering `block` — what the original
+    /// first-match scan over the slot vector returned.
+    fn slot_covering(&self, block: PhysBlock) -> Option<u32> {
+        let b = block.index();
+        // A covering segment starts in (b - len, b], and len is at most
+        // seg_blocks.
+        let lo = b.saturating_sub(self.seg_blocks as u64 - 1);
+        let mut found: Option<u32> = None;
+        for (_, slot) in self.extents_in(lo, b) {
+            let seg = self.segments[slot as usize].expect("indexed slot is occupied");
+            if seg.covers(block).is_some() && found.is_none_or(|f| slot < f) {
+                found = Some(slot);
+            }
+        }
+        found
+    }
+
     /// Picks the slot to (re)fill for a run starting at `start`:
     /// continuation/overlap of an existing stream first, then a free
     /// slot, then the policy victim.
     fn slot_for(&mut self, start: PhysBlock, nblocks: u32) -> usize {
         let run_end = start.index() + nblocks as u64;
-        // Same stream: run overlaps or directly continues the segment.
-        if let Some(i) = self.segments.iter().position(|s| {
-            s.is_some_and(|seg| {
-                let s0 = seg.start.index();
-                let s1 = seg.end().index();
-                start.index() <= s1 && run_end >= s0
-            })
-        }) {
-            return i;
+        // Same stream: run overlaps or directly continues (is adjacent
+        // to, on either side) a segment: start <= seg_end && run_end >=
+        // seg_start. Such a segment starts no lower than start -
+        // seg_blocks and no higher than run_end; ties go to the lowest
+        // slot, matching the original first-match scan.
+        let lo = start.index().saturating_sub(self.seg_blocks as u64);
+        let mut same_stream: Option<u32> = None;
+        for (s0, slot) in self.extents_in(lo, run_end) {
+            let seg = self.segments[slot as usize].expect("indexed slot is occupied");
+            if start.index() <= s0 + seg.len as u64 && same_stream.is_none_or(|s| slot < s) {
+                same_stream = Some(slot);
+            }
         }
-        if let Some(i) = self.segments.iter().position(Option::is_none) {
-            return i;
+        if let Some(slot) = same_stream {
+            return slot as usize;
+        }
+        if self.filled < self.segments.len() {
+            return self.filled;
         }
         match self.policy {
-            SegmentReplacement::Lru => self
-                .segments
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.map(|seg| seg.last_used).unwrap_or(0))
-                .map(|(i, _)| i)
-                .expect("non-empty segment vector"),
-            SegmentReplacement::Fifo => self
-                .segments
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.map(|seg| seg.created).unwrap_or(0))
-                .map(|(i, _)| i)
-                .expect("non-empty segment vector"),
+            // Both list tails are the stamp-minimal slot: LRU promotes
+            // on every touch/insert, FIFO only on insert, matching the
+            // original min-by last_used / created sweeps.
+            SegmentReplacement::Lru | SegmentReplacement::Fifo => {
+                self.order_nodes
+                    .tail(&self.order)
+                    .expect("all slots filled, none on the recency chain") as usize
+            }
             SegmentReplacement::Random => (self.xorshift() % self.segments.len() as u64) as usize,
             SegmentReplacement::RoundRobin => {
                 let i = self.rr_cursor;
@@ -181,28 +266,31 @@ impl SegmentCache {
 
 impl ControllerCache for SegmentCache {
     fn contains(&self, block: PhysBlock) -> bool {
-        self.segments
-            .iter()
-            .flatten()
-            .any(|s| s.covers(block).is_some())
+        self.slot_covering(block).is_some()
     }
 
     fn touch(&mut self, block: PhysBlock) -> bool {
         self.stats.block_lookups += 1;
         let stamp = self.tick();
-        for seg in self.segments.iter_mut().flatten() {
-            if let Some(i) = seg.covers(block) {
-                self.stats.block_hits += 1;
-                seg.last_used = stamp;
-                let bit = 1u128 << i;
-                if seg.ra_mask & bit != 0 && seg.used_mask & bit == 0 {
-                    self.stats.ra_used += 1;
-                }
-                seg.used_mask |= bit;
-                return true;
-            }
+        let Some(slot) = self.slot_covering(block) else {
+            return false;
+        };
+        let seg = self.segments[slot as usize]
+            .as_mut()
+            .expect("indexed slot is occupied");
+        let i = seg.covers(block).expect("indexed slot covers the block");
+        self.stats.block_hits += 1;
+        seg.last_used = stamp;
+        let bit = 1u128 << i;
+        if seg.ra_mask & bit != 0 && seg.used_mask & bit == 0 {
+            self.stats.ra_used += 1;
         }
-        false
+        seg.used_mask |= bit;
+        if self.policy == SegmentReplacement::Lru {
+            self.order_nodes.remove(&mut self.order, slot);
+            self.order_nodes.push_front(&mut self.order, slot);
+        }
+        true
     }
 
     fn insert_run(&mut self, start: PhysBlock, nblocks: u32, requested: u32) {
@@ -223,21 +311,32 @@ impl ControllerCache for SegmentCache {
         let stamp = self.tick();
         if let Some(old) = self.segments[slot] {
             self.stats.evictions += old.len as u64;
+            self.index_remove(slot as u32);
+            self.order_nodes.remove(&mut self.order, slot as u32);
+        } else {
+            self.filled += 1;
         }
-        let mut ra_mask = 0u128;
-        for i in requested..nblocks {
-            ra_mask |= 1u128 << i;
-        }
+        // Bits [requested, nblocks) in one shot (nblocks <= 128, so the
+        // full-width case needs the shift-overflow guard).
+        let bits_below = |n: u32| -> u128 {
+            if n >= 128 {
+                !0
+            } else {
+                (1u128 << n) - 1
+            }
+        };
+        let ra_mask = bits_below(nblocks) & !bits_below(requested);
         self.stats.insertions += nblocks as u64;
         self.stats.ra_inserted += (nblocks - requested) as u64;
         self.segments[slot] = Some(Segment {
             start,
             len: nblocks,
-            created: stamp,
             last_used: stamp,
             ra_mask,
             used_mask: 0,
         });
+        self.index_insert(slot as u32);
+        self.order_nodes.push_front(&mut self.order, slot as u32);
     }
 
     fn capacity_blocks(&self) -> u32 {
@@ -364,6 +463,29 @@ mod tests {
         c.touch(b(2));
         c.touch(b(0)); // demanded block, not RA
         assert_eq!(c.stats().ra_used, 1);
+    }
+
+    #[test]
+    fn overlapping_segments_keep_first_match_semantics() {
+        // Slot 0 = [0,8), slot 1 = [20,28); a run [6,14) overlaps slot
+        // 0 and replaces it, leaving slots [6,14) and [20,28). A run
+        // [12,20) then overlaps slot 0 again (block 12..14) — and after
+        // the replace, [12,20) grazes slot 1's start (block 20 is
+        // adjacent), exercising index updates under overlap.
+        let mut c = SegmentCache::new(2, 8, SegmentReplacement::Lru);
+        c.insert_run(b(0), 8, 8);
+        c.insert_run(b(20), 8, 8);
+        c.insert_run(b(6), 8, 8); // replaces slot 0
+        assert!(!c.contains(b(0)));
+        assert!(c.contains(b(6)));
+        assert!(c.contains(b(13)));
+        assert!(c.contains(b(20)));
+        c.insert_run(b(12), 8, 8); // continues slot 0's stream
+        assert!(c.contains(b(12)));
+        assert!(c.contains(b(19)));
+        assert!(!c.contains(b(6)));
+        assert!(c.contains(b(27)));
+        assert_eq!(c.resident_blocks(), 16);
     }
 
     #[test]

@@ -1,15 +1,325 @@
 //! Property-based invariants of the cache organizations: arbitrary
 //! operation sequences never violate capacity, residency, or stats
-//! consistency; the HDC region tracks a reference model exactly.
+//! consistency; the HDC region tracks a reference model exactly; and
+//! the list/index-based [`BlockCache`] and [`SegmentCache`] are
+//! differentially checked, op by op, against executable specifications
+//! that keep the original `BTreeSet`-stamp and linear-scan bookkeeping.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use proptest::prelude::*;
 
 use forhdc_cache::{
-    BlockCache, BlockReplacement, ControllerCache, HdcRegion, SegmentCache, SegmentReplacement,
+    BlockCache, BlockReplacement, CacheStats, ControllerCache, HdcRegion, SegmentCache,
+    SegmentReplacement,
 };
 use forhdc_sim::PhysBlock;
+
+/// The pre-optimization [`BlockCache`] bookkeeping, kept verbatim as an
+/// executable specification: recency in `BTreeSet<(stamp, block)>`
+/// sets, eviction by set extrema. The production cache must be
+/// observably indistinguishable from this.
+#[derive(Debug)]
+struct RefBlockCache {
+    map: HashMap<u64, RefBlockMeta>,
+    /// Consumed blocks, ordered by stamp.
+    used: BTreeSet<(u64, u64)>,
+    /// Never-consumed blocks, ordered by stamp.
+    unused: BTreeSet<(u64, u64)>,
+    capacity: u32,
+    mru: bool,
+    clock: u64,
+    stats: CacheStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RefBlockMeta {
+    stamp: u64,
+    read_ahead: bool,
+    used: bool,
+}
+
+impl RefBlockCache {
+    fn new(capacity: u32, mru: bool) -> Self {
+        RefBlockCache {
+            map: HashMap::new(),
+            used: BTreeSet::new(),
+            unused: BTreeSet::new(),
+            capacity,
+            mru,
+            clock: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn evict_victim(&mut self) {
+        let victim = if self.mru {
+            // Most recently consumed, else the stalest prefetch.
+            self.used
+                .iter()
+                .next_back()
+                .or_else(|| self.unused.iter().next())
+                .copied()
+        } else {
+            // Globally least recent across both sets.
+            match (self.used.first(), self.unused.first()) {
+                (Some(&a), Some(&b)) => Some(if a.0 < b.0 { a } else { b }),
+                (a, b) => a.or(b).copied(),
+            }
+        };
+        if let Some((stamp, block)) = victim {
+            self.used.remove(&(stamp, block));
+            self.unused.remove(&(stamp, block));
+            self.map.remove(&block);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn insert_one(&mut self, block: u64, read_ahead: bool) {
+        let stamp = self.tick();
+        if let Some(meta) = self.map.get_mut(&block) {
+            if read_ahead {
+                self.stats.ra_inserted += 1;
+            }
+            if meta.used {
+                self.used.remove(&(meta.stamp, block));
+            } else {
+                self.unused.remove(&(meta.stamp, block));
+            }
+            meta.stamp = stamp;
+            meta.used = false;
+            meta.read_ahead = read_ahead;
+            self.unused.insert((stamp, block));
+            return;
+        }
+        if self.map.len() as u32 >= self.capacity {
+            self.evict_victim();
+        }
+        self.map.insert(
+            block,
+            RefBlockMeta {
+                stamp,
+                read_ahead,
+                used: false,
+            },
+        );
+        self.unused.insert((stamp, block));
+        self.stats.insertions += 1;
+        if read_ahead {
+            self.stats.ra_inserted += 1;
+        }
+    }
+}
+
+impl ControllerCache for RefBlockCache {
+    fn contains(&self, block: PhysBlock) -> bool {
+        self.map.contains_key(&block.index())
+    }
+
+    fn touch(&mut self, block: PhysBlock) -> bool {
+        self.stats.block_lookups += 1;
+        let stamp = self.tick();
+        let b = block.index();
+        let Some(meta) = self.map.get_mut(&b) else {
+            return false;
+        };
+        self.stats.block_hits += 1;
+        if meta.read_ahead && !meta.used {
+            self.stats.ra_used += 1;
+        }
+        if meta.used {
+            self.used.remove(&(meta.stamp, b));
+        } else {
+            self.unused.remove(&(meta.stamp, b));
+        }
+        meta.used = true;
+        meta.stamp = stamp;
+        self.used.insert((stamp, b));
+        true
+    }
+
+    fn insert_run(&mut self, start: PhysBlock, nblocks: u32, requested: u32) {
+        for i in 0..nblocks as u64 {
+            self.insert_one(start.index() + i, i >= requested as u64);
+        }
+    }
+
+    fn capacity_blocks(&self) -> u32 {
+        self.capacity
+    }
+
+    fn resident_blocks(&self) -> u32 {
+        self.map.len() as u32
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn record_extent(&mut self, hit: bool) {
+        self.stats.extent_lookups += 1;
+        if hit {
+            self.stats.extent_hits += 1;
+        }
+    }
+}
+
+/// The pre-optimization [`SegmentCache`]: linear first-match scans over
+/// the slot vector and `min_by_key` victim sweeps.
+#[derive(Debug)]
+struct RefSegmentCache {
+    segments: Vec<Option<RefSeg>>,
+    seg_blocks: u32,
+    lru: bool,
+    clock: u64,
+    stats: CacheStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RefSeg {
+    start: u64,
+    len: u32,
+    created: u64,
+    last_used: u64,
+    ra_mask: u128,
+    used_mask: u128,
+}
+
+impl RefSeg {
+    fn covers(&self, block: u64) -> Option<u32> {
+        if block >= self.start && block < self.start + self.len as u64 {
+            Some((block - self.start) as u32)
+        } else {
+            None
+        }
+    }
+}
+
+impl RefSegmentCache {
+    fn new(segments: u32, seg_blocks: u32, lru: bool) -> Self {
+        RefSegmentCache {
+            segments: vec![None; segments as usize],
+            seg_blocks,
+            lru,
+            clock: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn slot_for(&self, start: u64, nblocks: u32) -> usize {
+        let run_end = start + nblocks as u64;
+        if let Some(slot) = self.segments.iter().position(|s| {
+            s.is_some_and(|seg| start <= seg.start + seg.len as u64 && run_end >= seg.start)
+        }) {
+            return slot;
+        }
+        if let Some(free) = self.segments.iter().position(Option::is_none) {
+            return free;
+        }
+        self.segments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.map(|seg| (if self.lru { seg.last_used } else { seg.created }, i))
+            })
+            .min()
+            .expect("no free slot means all occupied")
+            .1
+    }
+}
+
+impl ControllerCache for RefSegmentCache {
+    fn contains(&self, block: PhysBlock) -> bool {
+        self.segments
+            .iter()
+            .flatten()
+            .any(|s| s.covers(block.index()).is_some())
+    }
+
+    fn touch(&mut self, block: PhysBlock) -> bool {
+        self.stats.block_lookups += 1;
+        let stamp = self.tick();
+        let b = block.index();
+        let Some(seg) = self
+            .segments
+            .iter_mut()
+            .flatten()
+            .find(|s| s.covers(b).is_some())
+        else {
+            return false;
+        };
+        let i = seg.covers(b).expect("just matched");
+        self.stats.block_hits += 1;
+        seg.last_used = stamp;
+        let bit = 1u128 << i;
+        if seg.ra_mask & bit != 0 && seg.used_mask & bit == 0 {
+            self.stats.ra_used += 1;
+        }
+        seg.used_mask |= bit;
+        true
+    }
+
+    fn insert_run(&mut self, start: PhysBlock, nblocks: u32, requested: u32) {
+        let (start, nblocks, requested) = if nblocks > self.seg_blocks {
+            let drop = (nblocks - self.seg_blocks) as u64;
+            (
+                start.index() + drop,
+                self.seg_blocks,
+                requested.saturating_sub(drop as u32),
+            )
+        } else {
+            (start.index(), nblocks, requested)
+        };
+        let slot = self.slot_for(start, nblocks);
+        let stamp = self.tick();
+        if let Some(old) = self.segments[slot] {
+            self.stats.evictions += old.len as u64;
+        }
+        let mut ra_mask = 0u128;
+        for i in requested..nblocks {
+            ra_mask |= 1u128 << i;
+        }
+        self.stats.insertions += nblocks as u64;
+        self.stats.ra_inserted += (nblocks - requested) as u64;
+        self.segments[slot] = Some(RefSeg {
+            start,
+            len: nblocks,
+            created: stamp,
+            last_used: stamp,
+            ra_mask,
+            used_mask: 0,
+        });
+    }
+
+    fn capacity_blocks(&self) -> u32 {
+        self.segments.len() as u32 * self.seg_blocks
+    }
+
+    fn resident_blocks(&self) -> u32 {
+        self.segments.iter().flatten().map(|s| s.len).sum()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn record_extent(&mut self, hit: bool) {
+        self.stats.extent_lookups += 1;
+        if hit {
+            self.stats.extent_hits += 1;
+        }
+    }
+}
 
 /// One step of an arbitrary cache workout.
 #[derive(Debug, Clone)]
@@ -51,6 +361,57 @@ fn workout(cache: &mut dyn ControllerCache, ops: &[Op]) {
     }
 }
 
+/// Drives the production cache and its reference specification through
+/// the same op sequence, comparing every observable along the way:
+/// per-op results, residency, final stats, and the exact resident set.
+fn drive_and_compare(
+    real: &mut dyn ControllerCache,
+    spec: &mut dyn ControllerCache,
+    ops: &[Op],
+    space: u64,
+) {
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert {
+                start,
+                n,
+                requested,
+            } => {
+                real.insert_run(PhysBlock::new(start), n, requested);
+                spec.insert_run(PhysBlock::new(start), n, requested);
+            }
+            Op::Touch(b) => {
+                assert_eq!(
+                    real.touch(PhysBlock::new(b)),
+                    spec.touch(PhysBlock::new(b)),
+                    "touch({b}) diverged at step {step}"
+                );
+            }
+            Op::Lookup { start, n } => {
+                assert_eq!(
+                    real.lookup_extent(PhysBlock::new(start), n),
+                    spec.lookup_extent(PhysBlock::new(start), n),
+                    "lookup_extent({start}, {n}) diverged at step {step}"
+                );
+            }
+        }
+        assert_eq!(
+            real.resident_blocks(),
+            spec.resident_blocks(),
+            "residency diverged at step {step}"
+        );
+    }
+    assert_eq!(real.stats(), spec.stats(), "stats diverged");
+    // Insert starts go up to `space` and runs extend by at most 40.
+    for b in 0..space + 64 {
+        assert_eq!(
+            real.contains(PhysBlock::new(b)),
+            spec.contains(PhysBlock::new(b)),
+            "resident set diverged at block {b}"
+        );
+    }
+}
+
 fn check_invariants(cache: &dyn ControllerCache) {
     assert!(cache.resident_blocks() <= cache.capacity_blocks());
     let s = cache.stats();
@@ -88,6 +449,37 @@ proptest! {
         let mut cache = SegmentCache::new(segments, seg_blocks, SegmentReplacement::Lru);
         workout(&mut cache, &ops);
         check_invariants(&cache);
+    }
+
+    /// The list-based block cache is observably identical to the
+    /// original `BTreeSet<(stamp, block)>` bookkeeping, under both
+    /// replacement policies.
+    #[test]
+    fn block_cache_matches_btreeset_reference(
+        ops in prop::collection::vec(op_strategy(300), 1..400),
+        capacity in 1u32..96,
+        mru in any::<bool>(),
+    ) {
+        let policy = if mru { BlockReplacement::Mru } else { BlockReplacement::Lru };
+        let mut real = BlockCache::new(capacity, policy);
+        let mut spec = RefBlockCache::new(capacity, mru);
+        drive_and_compare(&mut real, &mut spec, &ops, 300);
+    }
+
+    /// The extent-indexed, list-ordered segment cache is observably
+    /// identical to the original linear-scan implementation, including
+    /// first-match semantics under overlapping segments.
+    #[test]
+    fn segment_cache_matches_linear_scan_reference(
+        ops in prop::collection::vec(op_strategy(300), 1..400),
+        segments in 1u32..24,
+        seg_blocks in 1u32..64,
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { SegmentReplacement::Lru } else { SegmentReplacement::Fifo };
+        let mut real = SegmentCache::new(segments, seg_blocks, policy);
+        let mut spec = RefSegmentCache::new(segments, seg_blocks, lru);
+        drive_and_compare(&mut real, &mut spec, &ops, 300);
     }
 
     /// Hit after insert: any block of a freshly inserted run is

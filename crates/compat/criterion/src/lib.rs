@@ -59,14 +59,19 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { budget: Duration::from_millis(200) }
+        Criterion {
+            budget: Duration::from_millis(200),
+        }
     }
 }
 
 impl Criterion {
     /// Runs one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { mean_ns: 0.0, budget: self.budget };
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            budget: self.budget,
+        };
         f(&mut b);
         println!("{id:<50} {:>12}/iter", human(b.mean_ns));
         self
@@ -74,7 +79,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.to_string() }
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -134,7 +142,9 @@ mod tests {
 
     #[test]
     fn bench_function_times_and_chains() {
-        let mut c = Criterion { budget: Duration::from_millis(1) };
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
         let mut ran = 0u32;
         c.bench_function("stub/one", |b| b.iter(|| ran += 1))
             .bench_function("stub/two", |b| b.iter(|| black_box(1 + 1)));
@@ -143,7 +153,9 @@ mod tests {
 
     #[test]
     fn groups_prefix_names_and_accept_tuning() {
-        let mut c = Criterion { budget: Duration::from_millis(1) };
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
         let mut g = c.benchmark_group("grp");
         g.sample_size(10).measurement_time(Duration::from_millis(1));
         g.bench_function("x", |b| b.iter(|| black_box(2 * 2)));

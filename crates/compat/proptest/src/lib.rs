@@ -39,7 +39,8 @@ pub mod test_runner {
         /// Seed derived from a test name and case index: stable across
         /// runs, distinct across tests and cases.
         pub fn for_case(test_name: &str, case: u32) -> TestRng {
-            let seed = fnv1a(test_name.as_bytes()) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let seed =
+                fnv1a(test_name.as_bytes()) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             TestRng(StdRng::seed_from_u64(seed))
         }
 

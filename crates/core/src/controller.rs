@@ -315,6 +315,12 @@ impl DiskController {
         self.hdc.flush()
     }
 
+    /// [`DiskController::flush_hdc`] into a caller-owned buffer, so the
+    /// periodic flush path allocates nothing per cycle.
+    pub fn flush_hdc_into(&mut self, out: &mut Vec<PhysBlock>) {
+        self.hdc.flush_into(out);
+    }
+
     /// Read-ahead cache statistics.
     pub fn cache_stats(&self) -> &CacheStats {
         self.cache.as_cache_ref().stats()

@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use forhdc_cache::fx::{fx_map_with_capacity, FxHashMap};
 use forhdc_cache::{BlockReplacement, SegmentReplacement};
 use forhdc_host::StreamDriver;
 use forhdc_layout::build_disk_bitmaps;
@@ -204,9 +205,6 @@ struct DiskState {
     stats: DiskStats,
     busy: bool,
     current: Option<CurrentOp>,
-    /// Extra metadata for queued ops (requested prefix of the extended
-    /// extent), keyed by (token) — one extent per disk per request.
-    op_meta: HashMap<u64, u32>,
 }
 
 impl std::fmt::Debug for DiskState {
@@ -245,7 +243,7 @@ pub struct System {
     bus: BusModel,
     queue: EventQueue<Event>,
     driver: StreamDriver,
-    pending: HashMap<u64, PendingReq>,
+    pending: FxHashMap<u64, PendingReq>,
     next_req: u64,
     workload_name: String,
     payload_bytes: u64,
@@ -261,8 +259,11 @@ pub struct System {
     /// Overflow pins of the cooperative plan: (home virtual disk, phys
     /// block) → holder. Reads covered by home HDC ∪ this map are bus
     /// hits.
-    coop_overflow: HashMap<(u16, u64), u16>,
+    coop_overflow: FxHashMap<(u16, u64), u16>,
     coop_hits: u64,
+    /// Reusable buffer for periodic HDC flushes (no per-cycle
+    /// allocation).
+    flush_buf: Vec<forhdc_sim::PhysBlock>,
 }
 
 impl System {
@@ -301,6 +302,7 @@ impl System {
         );
         let plan = HdcPlan::from_per_disk(coop.home.clone());
         let mut sys = System::with_plan(cfg, workload, plan);
+        sys.coop_overflow.reserve(coop.overflow.len());
         for ((home_disk, block), holder) in coop.overflow {
             sys.coop_overflow.insert((home_disk, block.index()), holder);
         }
@@ -362,7 +364,6 @@ impl System {
                     stats: DiskStats::new(),
                     busy: false,
                     current: None,
-                    op_meta: HashMap::new(),
                 }
             })
             .collect();
@@ -376,7 +377,9 @@ impl System {
             bus,
             queue: EventQueue::new(),
             driver,
-            pending: HashMap::new(),
+            // Closed-loop replay: at most one outstanding request per
+            // stream, so the steady state never rehashes.
+            pending: fx_map_with_capacity(workload.streams as usize),
             next_req: 0,
             workload_name: workload.name.clone(),
             payload_bytes,
@@ -387,8 +390,9 @@ impl System {
             hdc_commands: HashMap::new(),
             issued_count: 0,
             latency: crate::latency::LatencyHistogram::new(),
-            coop_overflow: HashMap::new(),
+            coop_overflow: FxHashMap::default(),
             coop_hits: 0,
+            flush_buf: Vec::new(),
         }
     }
 
@@ -459,12 +463,13 @@ impl System {
         self.pending.get_mut(&id).expect("just inserted").remaining = remaining;
     }
 
-    /// The physical members backing a virtual disk.
-    fn members(&self, vd: usize) -> Vec<usize> {
+    /// The physical members backing a virtual disk. They are adjacent,
+    /// so a plain range covers both cases without allocating.
+    fn members(&self, vd: usize) -> std::ops::Range<usize> {
         if self.cfg.array.mirrored {
-            vec![2 * vd, 2 * vd + 1]
+            2 * vd..2 * vd + 2
         } else {
-            vec![vd]
+            vd..vd + 1
         }
     }
 
@@ -591,11 +596,11 @@ impl System {
                 read_ahead: _,
             } => {
                 let cylinder = d.mech.geometry().cylinder_of(start);
-                d.op_meta.insert(id, nblocks);
                 d.sched.push(QueuedOp {
                     token: id,
                     start,
                     nblocks: total,
+                    requested: nblocks,
                     kind,
                     cylinder,
                 });
@@ -615,7 +620,6 @@ impl System {
         let Some(op) = d.sched.pop_next(d.mech.head_cylinder()) else {
             return;
         };
-        let requested = d.op_meta.remove(&op.token).expect("queued op has metadata");
         let timing = d.mech.service(op.kind, op.start, op.nblocks, now);
         // Charge the FOR bitmap scan: one bit per block examined.
         let extra = if is_for && op.kind.is_read() {
@@ -629,7 +633,7 @@ impl System {
             kind: op.kind,
             start: op.start,
             total: op.nblocks,
-            requested,
+            requested: op.requested,
             timing,
         });
         self.queue
@@ -662,9 +666,10 @@ impl System {
     /// Periodic `flush_hdc()`: write every dirty pinned block back to
     /// the media, as coalesced runs, charged like any other write.
     fn hdc_flush(&mut self, now: SimTime) {
+        let mut dirty = std::mem::take(&mut self.flush_buf);
         for di in 0..self.disks.len() {
             let d = &mut self.disks[di];
-            let dirty = d.ctl.flush_hdc();
+            d.ctl.flush_hdc_into(&mut dirty);
             let mut i = 0;
             while i < dirty.len() {
                 // Coalesce physically contiguous dirty blocks.
@@ -679,11 +684,11 @@ impl System {
                 let token = FLUSH_TOKEN_BASE + self.next_req;
                 self.next_req += 1;
                 let cylinder = d.mech.geometry().cylinder_of(start);
-                d.op_meta.insert(token, n);
                 d.sched.push(QueuedOp {
                     token,
                     start,
                     nblocks: n,
+                    requested: n,
                     kind: ReadWrite::Write,
                     cylinder,
                 });
@@ -693,6 +698,7 @@ impl System {
                 self.start_next(DiskId::new(di as u16), now);
             }
         }
+        self.flush_buf = dirty;
         // Keep flushing while host work remains.
         if let Some(period) = self.cfg.hdc_flush_period {
             if !(self.pending.is_empty() && self.driver.is_done()) {

@@ -5,9 +5,14 @@
 //! that reach the disk have almost none (§2.1). HDC inverts this:
 //! the host *knows* which blocks keep missing in this cache, and pins
 //! exactly those in the controller memories (§5).
+//!
+//! Recency is one slab-backed intrusive LRU list
+//! ([`forhdc_cache::list`]): every access, install, and eviction is
+//! O(1), replacing the original `BTreeSet<(stamp, block)>` ordering
+//! whose O(log n) churn sat on the per-I/O hot path (DESIGN.md §6.2).
 
-use std::collections::HashMap;
-
+use forhdc_cache::fx::{fx_map_with_capacity, FxHashMap};
+use forhdc_cache::list::{List, Slab};
 use forhdc_sim::{LogicalBlock, ReadWrite};
 
 /// Outcome of one buffer-cache access.
@@ -27,6 +32,10 @@ impl BufferAccess {
     }
 }
 
+/// Pre-sizing is capped so a pathological capacity (the field is a
+/// `u64`) cannot make construction allocate gigabytes up front.
+const PRESIZE_CAP: u64 = 1 << 20;
+
 /// A fixed-capacity LRU buffer cache over logical blocks.
 ///
 /// # Example
@@ -41,32 +50,59 @@ impl BufferAccess {
 /// ```
 #[derive(Debug)]
 pub struct BufferCache {
-    map: HashMap<LogicalBlock, u64>,
-    order: std::collections::BTreeSet<(u64, LogicalBlock)>,
+    map: FxHashMap<LogicalBlock, u32>,
+    nodes: Slab<LogicalBlock>,
+    /// Head = most recently used; tail = eviction victim.
+    lru: List,
     capacity: u64,
-    clock: u64,
-    miss_counts: HashMap<LogicalBlock, u32>,
+    miss_counts: FxHashMap<LogicalBlock, u32>,
     hits: u64,
     misses: u64,
 }
 
 impl BufferCache {
-    /// Creates an empty cache of `capacity` blocks.
+    /// Creates an empty cache of `capacity` blocks, pre-sized so the
+    /// steady state never rehashes.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: u64) -> Self {
         assert!(capacity > 0, "buffer cache capacity must be positive");
+        let presize = capacity.min(PRESIZE_CAP) as usize;
         BufferCache {
-            map: HashMap::new(),
-            order: std::collections::BTreeSet::new(),
+            map: fx_map_with_capacity(presize),
+            nodes: Slab::with_capacity(presize),
+            lru: List::new(),
             capacity,
-            clock: 0,
-            miss_counts: HashMap::new(),
+            // The miss map grows with the workload footprint, not the
+            // cache; a floor avoids the early doubling churn.
+            miss_counts: fx_map_with_capacity(presize.max(1024)),
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Moves a resident node to the MRU position.
+    fn promote(&mut self, idx: u32) {
+        self.nodes.remove(&mut self.lru, idx);
+        self.nodes.push_front(&mut self.lru, idx);
+    }
+
+    /// Evicts the LRU block when the cache is full, then links `block`
+    /// at the MRU position.
+    fn insert_new(&mut self, block: LogicalBlock) {
+        if self.map.len() as u64 >= self.capacity {
+            if let Some(victim_idx) = self.nodes.tail(&self.lru) {
+                let victim = *self.nodes.get(victim_idx);
+                self.nodes.remove(&mut self.lru, victim_idx);
+                self.nodes.release(victim_idx);
+                self.map.remove(&victim);
+            }
+        }
+        let idx = self.nodes.alloc(block);
+        self.nodes.push_front(&mut self.lru, idx);
+        self.map.insert(block, idx);
     }
 
     /// Accesses one block; on a miss the block is brought in (evicting
@@ -75,25 +111,14 @@ impl BufferCache {
     /// allocates), which matches the paper's logs containing both.
     pub fn access(&mut self, block: LogicalBlock, kind: ReadWrite) -> BufferAccess {
         let _ = kind;
-        self.clock += 1;
-        let stamp = self.clock;
-        if let Some(old) = self.map.get_mut(&block) {
-            self.order.remove(&(*old, block));
-            *old = stamp;
-            self.order.insert((stamp, block));
+        if let Some(&idx) = self.map.get(&block) {
+            self.promote(idx);
             self.hits += 1;
             return BufferAccess::Hit;
         }
         self.misses += 1;
         *self.miss_counts.entry(block).or_insert(0) += 1;
-        if self.map.len() as u64 >= self.capacity {
-            if let Some(&(s, victim)) = self.order.iter().next() {
-                self.order.remove(&(s, victim));
-                self.map.remove(&victim);
-            }
-        }
-        self.map.insert(block, stamp);
-        self.order.insert((stamp, block));
+        self.insert_new(block);
         BufferAccess::Miss
     }
 
@@ -101,22 +126,11 @@ impl BufferCache {
     /// blocks: the disk access is charged to the prefetch, not to the
     /// later demand access).
     pub fn install(&mut self, block: LogicalBlock) {
-        self.clock += 1;
-        let stamp = self.clock;
-        if let Some(old) = self.map.get_mut(&block) {
-            self.order.remove(&(*old, block));
-            *old = stamp;
-            self.order.insert((stamp, block));
+        if let Some(&idx) = self.map.get(&block) {
+            self.promote(idx);
             return;
         }
-        if self.map.len() as u64 >= self.capacity {
-            if let Some(&(s, victim)) = self.order.iter().next() {
-                self.order.remove(&(s, victim));
-                self.map.remove(&victim);
-            }
-        }
-        self.map.insert(block, stamp);
-        self.order.insert((stamp, block));
+        self.insert_new(block);
     }
 
     /// Whether `block` is resident.
@@ -211,6 +225,17 @@ mod tests {
         assert_eq!(c.misses(), 0);
         assert!(c.access(b(5), ReadWrite::Read).is_hit());
         assert_eq!(c.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn install_refreshes_recency() {
+        let mut c = BufferCache::new(2);
+        c.access(b(1), ReadWrite::Read);
+        c.access(b(2), ReadWrite::Read);
+        c.install(b(1)); // 1 becomes MRU without a miss
+        c.access(b(3), ReadWrite::Read); // evicts 2
+        assert!(c.contains(b(1)));
+        assert!(!c.contains(b(2)));
     }
 
     #[test]

@@ -1,4 +1,8 @@
-//! Property-based invariants of the host models.
+//! Property-based invariants of the host models, including a
+//! differential check of the list-based [`BufferCache`] against the
+//! original `BTreeSet<(stamp, block)>` LRU bookkeeping.
+
+use std::collections::{BTreeSet, HashMap};
 
 use proptest::prelude::*;
 
@@ -7,6 +11,69 @@ use forhdc_host::{BufferCache, SequentialPrefetcher, StreamDriver};
 use forhdc_layout::FileId;
 use forhdc_sim::{LogicalBlock, ReadWrite, SimDuration, SimTime};
 use forhdc_workload::{Trace, TraceRequest};
+
+/// The pre-optimization [`BufferCache`] recency bookkeeping, kept as an
+/// executable specification: a monotonic stamp per resident block and a
+/// `BTreeSet<(stamp, block)>` whose minimum is the LRU victim.
+#[derive(Debug, Default)]
+struct RefBufferCache {
+    map: HashMap<u64, u64>, // block -> stamp
+    order: BTreeSet<(u64, u64)>,
+    capacity: u64,
+    clock: u64,
+    miss_counts: HashMap<u64, u32>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RefBufferCache {
+    fn new(capacity: u64) -> Self {
+        RefBufferCache {
+            capacity,
+            ..RefBufferCache::default()
+        }
+    }
+
+    fn promote(&mut self, block: u64) {
+        let stamp = self.map[&block];
+        self.order.remove(&(stamp, block));
+        self.clock += 1;
+        self.order.insert((self.clock, block));
+        self.map.insert(block, self.clock);
+    }
+
+    fn insert_new(&mut self, block: u64) {
+        if self.map.len() as u64 >= self.capacity {
+            let &(stamp, victim) = self.order.first().expect("full cache has a victim");
+            self.order.remove(&(stamp, victim));
+            self.map.remove(&victim);
+        }
+        self.clock += 1;
+        self.order.insert((self.clock, block));
+        self.map.insert(block, self.clock);
+    }
+
+    /// Returns `true` on a hit (mirrors `BufferAccess::is_hit`).
+    fn access(&mut self, block: u64) -> bool {
+        if self.map.contains_key(&block) {
+            self.promote(block);
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        *self.miss_counts.entry(block).or_insert(0) += 1;
+        self.insert_new(block);
+        false
+    }
+
+    fn install(&mut self, block: u64) {
+        if self.map.contains_key(&block) {
+            self.promote(block);
+        } else {
+            self.insert_new(block);
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -80,6 +147,53 @@ proptest! {
             }
             prev = Some((o, w));
         }
+    }
+
+    /// The list-based buffer cache is observably identical to the
+    /// original stamp-set LRU: same hit/miss per access, same resident
+    /// set, same miss accounting.
+    #[test]
+    fn buffer_cache_matches_btreeset_reference(
+        capacity in 1u64..48,
+        ops in prop::collection::vec((0u64..160, any::<bool>()), 1..400),
+    ) {
+        let mut real = BufferCache::new(capacity);
+        let mut spec = RefBufferCache::new(capacity);
+        for (step, &(block, install)) in ops.iter().enumerate() {
+            let b = LogicalBlock::new(block);
+            if install {
+                real.install(b);
+                spec.install(block);
+            } else {
+                let hit = real.access(b, ReadWrite::Read).is_hit();
+                prop_assert_eq!(
+                    hit,
+                    spec.access(block),
+                    "access({}) diverged at step {}", block, step
+                );
+            }
+            prop_assert_eq!(real.len(), spec.map.len() as u64);
+        }
+        prop_assert_eq!(real.hits(), spec.hits);
+        prop_assert_eq!(real.misses(), spec.misses);
+        for block in 0u64..160 {
+            prop_assert_eq!(
+                real.contains(LogicalBlock::new(block)),
+                spec.map.contains_key(&block),
+                "resident set diverged at block {}", block
+            );
+        }
+        // Identical per-block miss attribution (sorted the same way
+        // the planner consumes it).
+        let mut expect: Vec<(u64, u32)> =
+            spec.miss_counts.iter().map(|(&b, &c)| (b, c)).collect();
+        expect.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let got: Vec<(u64, u32)> = real
+            .top_missing_blocks(usize::MAX)
+            .into_iter()
+            .map(|(b, c)| (b.index(), c))
+            .collect();
+        prop_assert_eq!(got, expect);
     }
 
     /// The stream driver issues every request exactly once, regardless

@@ -100,6 +100,41 @@ impl RunManifest {
         s
     }
 
+    /// Renders a fixed-width per-experiment timing summary (the
+    /// `repro --timings` table): jobs, cache hits, and wall time per
+    /// experiment with a closing total.
+    pub fn timings_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<24} {:>7} {:>9} {:>9}\n",
+            "experiment", "jobs", "cached", "wall"
+        ));
+        let mut total = Duration::ZERO;
+        for e in &self.entries {
+            total += e.wall;
+            let (jobs, cached) = if e.jobs == 0 {
+                ("serial".to_string(), "-".to_string())
+            } else {
+                (e.jobs.to_string(), format!("{}/{}", e.cache_hits, e.jobs))
+            };
+            s.push_str(&format!(
+                "{:<24} {:>7} {:>9} {:>8.1}s\n",
+                e.id,
+                jobs,
+                cached,
+                e.wall.as_secs_f64()
+            ));
+        }
+        s.push_str(&format!(
+            "{:<24} {:>7} {:>9} {:>8.1}s\n",
+            "total",
+            "",
+            "",
+            total.as_secs_f64()
+        ));
+        s
+    }
+
     /// Writes the manifest to `path`, creating parent directories.
     ///
     /// # Errors
@@ -159,6 +194,26 @@ mod tests {
         );
         assert!(json.contains("\"id\": \"fig7\""), "{json}");
         assert_eq!(m.entries().len(), 2);
+    }
+
+    #[test]
+    fn timings_table_shape() {
+        let mut m = RunManifest::new(4, None);
+        m.record(&stats("fig3", 32, 8));
+        m.record(&stats("table1", 0, 0)); // legacy serial path
+        let t = m.timings_table();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4, "{t}");
+        assert!(lines[0].starts_with("experiment"), "{t}");
+        assert!(
+            lines[1].contains("fig3") && lines[1].contains("8/32"),
+            "{t}"
+        );
+        assert!(lines[2].contains("serial") && lines[2].contains('-'), "{t}");
+        assert!(
+            lines[3].contains("total") && lines[3].contains("3.0s"),
+            "{t}"
+        );
     }
 
     #[test]

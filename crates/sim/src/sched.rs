@@ -19,8 +19,12 @@ pub struct QueuedOp {
     pub token: u64,
     /// First physical block requested (before read-ahead extension).
     pub start: PhysBlock,
-    /// Number of blocks requested.
+    /// Number of blocks to service (read-ahead extension included).
     pub nblocks: u32,
+    /// The demanded prefix of `nblocks` — what the host asked for
+    /// before any read-ahead extension. Carried in the op itself so the
+    /// issuer needs no side table keyed by token.
+    pub requested: u32,
     /// Read or write.
     pub kind: ReadWrite,
     /// Target cylinder (precomputed by the caller from the geometry).
@@ -256,6 +260,7 @@ mod tests {
             token,
             start: PhysBlock::new(cylinder as u64 * 440),
             nblocks: 1,
+            requested: 1,
             kind: ReadWrite::Read,
             cylinder,
         }

@@ -101,6 +101,7 @@ proptest! {
                 token: i as u64,
                 start: PhysBlock::new(c as u64 * 440),
                 nblocks: 1,
+                requested: 1,
                 kind: ReadWrite::Read,
                 cylinder: c,
             });
