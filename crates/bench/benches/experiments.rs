@@ -9,6 +9,7 @@ fn tiny() -> RunOptions {
     RunOptions {
         scale: 0.01,
         synthetic_requests: 300,
+        ..RunOptions::default()
     }
 }
 

@@ -55,6 +55,7 @@ fn bench_scheduler(c: &mut Criterion) {
                         requested: 4,
                         kind: ReadWrite::Read,
                         cylinder: (i * 997 % 10_000) as u32,
+                        queued_at: SimTime::ZERO,
                     });
                 }
                 let mut head = 5_000;

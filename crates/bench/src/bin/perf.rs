@@ -3,11 +3,13 @@
 //! emitted as machine-readable JSON (`BENCH_*.json`).
 //!
 //! ```text
-//! perf [--fast] [--json PATH] [--baseline PATH]
+//! perf [--fast] [--json PATH] [--baseline PATH] [--fail-below RATIO]
 //!
-//!   --fast           CI smoke mode: one repetition, small batches
-//!   --json PATH      write the results as JSON to PATH
-//!   --baseline PATH  read a previous --json output and report speedups
+//!   --fast             CI smoke mode: one repetition, small batches
+//!   --json PATH        write the results as JSON to PATH
+//!   --baseline PATH    read a previous --json output and report speedups
+//!   --fail-below R     exit non-zero if any bench's speedup vs the
+//!                      baseline falls below R (gross-regression gate)
 //! ```
 //!
 //! Unlike the Criterion benches (which use the offline criterion stub's
@@ -155,12 +157,11 @@ fn bench_e2e(h: &mut Harness) {
     // One fig3 point (16-KByte files, 128 streams, FOR policy), exactly
     // as plan_fig3 builds it, at a reduced request count so the full
     // harness stays under a minute.
+    // Same request count in both modes: per-request cost has a fixed
+    // setup component, so shrinking the run would make fast-mode
+    // numbers incomparable to a full-mode baseline.
     let opts = RunOptions::default();
-    let requests = if h.fast {
-        500
-    } else {
-        opts.synthetic_requests / 2
-    };
+    let requests = opts.synthetic_requests / 2;
     let seed = point_seed("fig3", 5); // row 5 = 16-KByte files
     let wl = SyntheticWorkload::builder()
         .requests(requests)
@@ -279,6 +280,7 @@ fn main() -> ExitCode {
     let mut fast = false;
     let mut json_path: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
+    let mut fail_below: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -297,13 +299,23 @@ fn main() -> ExitCode {
                     None => return usage_err("--baseline needs a path"),
                 }
             }
+            "--fail-below" => {
+                i += 1;
+                fail_below = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v > 0.0 => Some(v),
+                    _ => return usage_err("--fail-below needs a positive ratio"),
+                };
+            }
             "-h" | "--help" => {
-                println!("usage: perf [--fast] [--json PATH] [--baseline PATH]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage_err(&format!("unknown argument '{other}'")),
         }
         i += 1;
+    }
+    if fail_below.is_some() && baseline_path.is_none() {
+        return usage_err("--fail-below needs --baseline");
     }
     let baseline = match &baseline_path {
         Some(p) => match std::fs::read_to_string(p) {
@@ -343,11 +355,16 @@ fn main() -> ExitCode {
     bench_hdc(&mut h);
     bench_e2e(&mut h);
 
+    let mut regressed = Vec::new();
     if let Some(base) = &baseline {
         println!("\nspeedup vs baseline:");
         for r in &h.results {
             if let Some((_, base_ns)) = base.iter().find(|(n, _)| n == r.name) {
-                println!("{:<40} {:>11.2}x", r.name, base_ns / r.ns_per_op);
+                let speedup = base_ns / r.ns_per_op;
+                println!("{:<40} {speedup:>11.2}x", r.name);
+                if fail_below.is_some_and(|min| speedup < min) {
+                    regressed.push((r.name, speedup));
+                }
             }
         }
     }
@@ -358,10 +375,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if !regressed.is_empty() {
+        let min = fail_below.expect("regressions imply --fail-below");
+        eprintln!("error: speedup below the {min:.2}x floor:");
+        for (name, speedup) in &regressed {
+            eprintln!("  {name:<40} {speedup:>11.2}x");
+        }
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
+const USAGE: &str = "usage: perf [--fast] [--json PATH] [--baseline PATH] [--fail-below RATIO]";
+
 fn usage_err(err: &str) -> ExitCode {
-    eprintln!("error: {err}\n\nusage: perf [--fast] [--json PATH] [--baseline PATH]");
+    eprintln!("error: {err}\n\n{USAGE}");
     ExitCode::from(2)
 }

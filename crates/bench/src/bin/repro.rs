@@ -2,7 +2,7 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--timings]
+//! repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--timings]
 //! repro --list
 //!
 //!   experiment   one of: table1 fig1 fig2 ... fig12 table2
@@ -13,6 +13,8 @@
 //!   --scale X    server-clone request scale (default 1.0)
 //!   --requests N synthetic request count (default 10000)
 //!   --out DIR    CSV output directory (default results/)
+//!   --trace DIR  write request-lifecycle traces to DIR/<id>/p<point>.jsonl
+//!                (implies --no-cache; deterministic for every --jobs N)
 //!   --timings    print a per-experiment timing table after the run
 //!   --list       print the experiment ids, one per line
 //! ```
@@ -62,6 +64,14 @@ fn main() -> ExitCode {
                 };
             }
             "--no-cache" => use_cache = false,
+            "--trace" => {
+                i += 1;
+                opts.trace_dir = match args.get(i) {
+                    // Leaked once per process so RunOptions stays Copy.
+                    Some(d) => Some(Box::leak(d.clone().into_boxed_str())),
+                    None => return usage_err("--trace needs a directory"),
+                };
+            }
             "--timings" => timings = true,
             "--out" => {
                 i += 1;
@@ -101,6 +111,12 @@ fn main() -> ExitCode {
         ids
     };
 
+    if opts.trace_dir.is_some() && use_cache {
+        // A cache hit skips the job closure entirely, so its trace file
+        // would never be written; tracing therefore runs every job.
+        println!("note: --trace disables the result cache for this run");
+        use_cache = false;
+    }
     let cache_dir = use_cache.then(|| out_dir.join(".cache"));
     let mut runner = Runner::new(jobs);
     if let Some(dir) = &cache_dir {
@@ -135,6 +151,20 @@ fn main() -> ExitCode {
             id,
             started.elapsed().as_secs_f64()
         );
+        if let Some(root) = opts.trace_dir {
+            let dir = std::path::Path::new(root).join(id);
+            if dir.is_dir() {
+                match forhdc_bench::tracefs::summarize_dir(&dir) {
+                    Ok(summary) => {
+                        manifest.attach_trace(id, summary);
+                    }
+                    Err(e) => {
+                        eprintln!("error: summarizing trace {}: {e}", dir.display());
+                        io_failed = true;
+                    }
+                }
+            }
+        }
         if let Err(e) = table.write_csv(&out_dir) {
             eprintln!(
                 "error: could not write {}/{}.csv: {e}",
@@ -161,7 +191,7 @@ fn main() -> ExitCode {
 
 fn usage_text() -> String {
     format!(
-        "usage: repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--timings]\n       repro --list\n\nexperiments: {}",
+        "usage: repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--timings]\n       repro --list\n\nexperiments: {}",
         experiments::ALL.join(" ")
     )
 }

@@ -56,7 +56,7 @@ pub fn plan_scheduler(opts: RunOptions) -> PlannedExperiment {
             .param("scale", opts.scale)
             .param("scheduler", name)
             .param("unit_kb", 64);
-        jobs.push(sim_job(spec, &wl, move || {
+        jobs.push(sim_job(spec, &wl, opts.trace(), move || {
             SystemConfig::segm()
                 .with_scheduler(kind)
                 .with_striping_unit(64 * 1024)
@@ -103,7 +103,7 @@ pub fn plan_segment_replacement(opts: RunOptions) -> PlannedExperiment {
             .param("requests", opts.synthetic_requests)
             .param("seed", seed)
             .param("policy", name);
-        jobs.push(sim_job(spec, &wl, move || {
+        jobs.push(sim_job(spec, &wl, opts.trace(), move || {
             SystemConfig::segm().with_replacement(BlockReplacement::Mru, pol)
         }));
     }
@@ -148,7 +148,7 @@ pub fn plan_block_replacement(opts: RunOptions) -> PlannedExperiment {
             .param("file_blocks", file_blocks)
             .param("seed", seed)
             .param("policy", name);
-            jobs.push(sim_job(spec, &wl, move || {
+            jobs.push(sim_job(spec, &wl, opts.trace(), move || {
                 SystemConfig::for_().with_replacement(blk, SegmentReplacement::Lru)
             }));
         }
@@ -190,7 +190,7 @@ pub fn plan_segment_size(opts: RunOptions) -> PlannedExperiment {
             .param("requests", opts.synthetic_requests)
             .param("seed", seed)
             .param("segment_kb", seg_kb);
-        jobs.push(sim_job(spec, &wl, move || {
+        jobs.push(sim_job(spec, &wl, opts.trace(), move || {
             SystemConfig::segm().with_segment_bytes(seg_kb * 1024)
         }));
     }
@@ -260,7 +260,7 @@ pub fn plan_coalescing(opts: RunOptions) -> PlannedExperiment {
             .param("coalesce_pct", pct)
             .param("seed", seed)
             .param("config", name);
-            jobs.push(sim_job(spec, &wl, cfg));
+            jobs.push(sim_job(spec, &wl, opts.trace(), cfg));
         }
     }
     PlannedExperiment {
@@ -307,7 +307,7 @@ pub fn plan_zoned(opts: RunOptions) -> PlannedExperiment {
                 .param("seed", seed)
                 .param("recording", mode)
                 .param("config", name);
-            jobs.push(sim_job(spec, &wl, move || {
+            jobs.push(sim_job(spec, &wl, opts.trace(), move || {
                 let c = base();
                 if zoned {
                     c.with_zoned_recording()
@@ -370,7 +370,7 @@ pub fn plan_mirroring(opts: RunOptions) -> PlannedExperiment {
             .param("write_pct", pct)
             .param("seed", seed)
             .param("config", name);
-            jobs.push(sim_job(spec, &wl, move || {
+            jobs.push(sim_job(spec, &wl, opts.trace(), move || {
                 if mirrored {
                     SystemConfig::segm().with_mirroring()
                 } else {
@@ -419,12 +419,12 @@ pub fn plan_flush_period(opts: RunOptions) -> PlannedExperiment {
     let spec = JobSpec::new("ablation-flush", 0, "end-of-run")
         .param("scale", opts.scale)
         .param("flush_period_s", "none");
-    jobs.push(sim_job(spec, &wl, cfg));
+    jobs.push(sim_job(spec, &wl, opts.trace(), cfg));
     for secs in PERIODS_S {
         let spec = JobSpec::new("ablation-flush", jobs.len(), format!("period={secs}s"))
             .param("scale", opts.scale)
             .param("flush_period_s", secs);
-        jobs.push(sim_job(spec, &wl, move || {
+        jobs.push(sim_job(spec, &wl, opts.trace(), move || {
             cfg().with_hdc_flush_period(forhdc_sim::SimDuration::from_secs(secs))
         }));
     }
@@ -472,13 +472,13 @@ pub fn plan_periodic_planner(opts: RunOptions) -> PlannedExperiment {
     let spec = JobSpec::new("ablation-periodic", 0, "no-hdc")
         .param("scale", opts.scale)
         .param("plan", "no-hdc");
-    jobs.push(sim_job(spec, &wl, || {
+    jobs.push(sim_job(spec, &wl, opts.trace(), || {
         SystemConfig::segm().with_striping_unit(64 * 1024)
     }));
     let spec = JobSpec::new("ablation-periodic", 1, "perfect")
         .param("scale", opts.scale)
         .param("plan", "perfect");
-    jobs.push(sim_job(spec, &wl, cfg));
+    jobs.push(sim_job(spec, &wl, opts.trace(), cfg));
     for periods in PERIODS {
         let spec = JobSpec::new(
             "ablation-periodic",
@@ -735,6 +735,7 @@ mod tests {
         RunOptions {
             scale: 0.015,
             synthetic_requests: 500,
+            ..RunOptions::default()
         }
     }
 

@@ -137,7 +137,7 @@ pub fn plan_striping_sweep(
             )
             .param("unit_kb", unit_kb)
             .param("config", name);
-            jobs.push(sim_job(job_spec, &wl, cfg));
+            jobs.push(sim_job(job_spec, &wl, opts.trace(), cfg));
         }
     }
     PlannedExperiment {
@@ -198,7 +198,7 @@ pub fn plan_hdc_sweep(kind: ServerKind, id: &'static str, opts: RunOptions) -> P
                     .param("unit_kb", paper_unit_kb(kind))
                     .param("hdc_kb", hdc_kb)
                     .param("config", name);
-            jobs.push(sim_job(job_spec, &wl, cfg));
+            jobs.push(sim_job(job_spec, &wl, opts.trace(), cfg));
         }
     }
     PlannedExperiment {
@@ -323,6 +323,7 @@ mod tests {
         RunOptions {
             scale: 0.02,
             synthetic_requests: 500,
+            ..RunOptions::default()
         }
     }
 

@@ -26,8 +26,20 @@ pub mod experiments;
 pub mod plan;
 pub mod table;
 
+pub mod tracefs;
+
 pub use plan::PlannedExperiment;
 pub use table::Table;
+
+/// Where and how a traced run writes its request-lifecycle events.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSpec {
+    /// Root output directory; each job writes
+    /// `<dir>/<experiment>/p<point:04>.jsonl`.
+    pub dir: &'static str,
+    /// Sampler cadence in simulated time.
+    pub sample: forhdc_sim::SimDuration,
+}
 
 /// Global run options shared by the experiments.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +49,22 @@ pub struct RunOptions {
     pub scale: f64,
     /// Request count for the synthetic workloads (paper: 10 000).
     pub synthetic_requests: usize,
+    /// Trace output root (`repro --trace DIR`). `'static` so
+    /// [`RunOptions`] stays `Copy`; the binary leaks its one CLI
+    /// argument.
+    pub trace_dir: Option<&'static str>,
+    /// Sampler cadence in simulated milliseconds (default 100).
+    pub trace_sample_ms: u64,
+}
+
+impl RunOptions {
+    /// The trace destination and cadence, when tracing is on.
+    pub fn trace(&self) -> Option<TraceSpec> {
+        self.trace_dir.map(|dir| TraceSpec {
+            dir,
+            sample: forhdc_sim::SimDuration::from_millis(self.trace_sample_ms),
+        })
+    }
 }
 
 impl Default for RunOptions {
@@ -44,6 +72,8 @@ impl Default for RunOptions {
         RunOptions {
             scale: 1.0,
             synthetic_requests: 10_000,
+            trace_dir: None,
+            trace_sample_ms: 100,
         }
     }
 }

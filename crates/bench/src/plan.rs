@@ -89,13 +89,33 @@ pub fn report_metrics(r: &Report) -> JobOutput {
 /// A job that runs one `System` over a shared workload and extracts
 /// the standard metrics. Covers nearly every sweep point; experiments
 /// with bespoke outputs build their own [`SimJob`] directly.
+///
+/// With `trace` set, the run carries a [`forhdc_trace::MemTracer`] and
+/// writes its events to `<dir>/<experiment>/p<point:04>.jsonl` before
+/// returning the same metrics. Each point owns its own file, so
+/// parallel traced runs are byte-identical to serial ones by
+/// construction.
 pub fn sim_job(
     spec: JobSpec,
     wl: &SharedWorkload,
+    trace: Option<crate::TraceSpec>,
     cfg: impl Fn() -> SystemConfig + Send + Sync + 'static,
 ) -> SimJob {
     let wl = wl.clone();
-    SimJob::new(spec, move || {
-        report_metrics(&System::new(cfg(), wl.get()).run())
-    })
+    match trace {
+        None => SimJob::new(spec, move || {
+            report_metrics(&System::new(cfg(), wl.get()).run())
+        }),
+        Some(t) => {
+            let path = crate::tracefs::point_path(t.dir, &spec.experiment, spec.point);
+            SimJob::new(spec, move || {
+                let sys_cfg = cfg().with_trace_sampling(t.sample);
+                let (report, tracer) =
+                    System::new_traced(sys_cfg, wl.get(), forhdc_trace::MemTracer::new())
+                        .run_traced();
+                crate::tracefs::write_point(&path, &tracer.to_jsonl());
+                report_metrics(&report)
+            })
+        }
+    }
 }

@@ -1,0 +1,91 @@
+//! Trace files on disk: layout, writing, and summarization.
+//!
+//! A traced run (`repro --trace DIR`) writes one JSONL file per curve
+//! point, `DIR/<experiment>/p<point:04>.jsonl`. Per-point files make
+//! parallel traced runs byte-identical to serial ones by construction
+//! — no interleaving is possible — and keep each file independently
+//! parseable.
+
+use std::path::{Path, PathBuf};
+
+use forhdc_runner::{TracePhase, TraceSummary as ManifestTrace};
+use forhdc_trace::{parse_jsonl, TraceSummary};
+
+/// The trace file for one experiment point.
+pub fn point_path(dir: &str, experiment: &str, point: usize) -> PathBuf {
+    Path::new(dir)
+        .join(experiment)
+        .join(format!("p{point:04}.jsonl"))
+}
+
+/// Writes one point's JSONL document, creating parent directories.
+///
+/// # Panics
+///
+/// Panics on I/O failure: a traced run that silently drops its trace
+/// would defeat the point of tracing.
+pub fn write_point(path: &Path, jsonl: &str) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .unwrap_or_else(|e| panic!("creating trace dir {}: {e}", parent.display()));
+    }
+    std::fs::write(path, jsonl)
+        .unwrap_or_else(|e| panic!("writing trace file {}: {e}", path.display()));
+}
+
+/// The `.jsonl` files directly inside `dir`, sorted by name (point
+/// order, since the names are zero-padded).
+///
+/// # Errors
+///
+/// Returns a description of any directory-reading failure.
+pub fn point_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("reading trace dir {}: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Parses and merges every point file of one experiment directory into
+/// a single summary (exercising histogram mergeability), returning the
+/// manifest-ready digest.
+///
+/// # Errors
+///
+/// Returns the offending file and cause on any read or parse failure.
+pub fn summarize_dir(dir: &Path) -> Result<ManifestTrace, String> {
+    let files = point_files(dir)?;
+    let mut merged = TraceSummary::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let events = parse_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        merged.merge(&TraceSummary::from_events(&events));
+    }
+    Ok(to_manifest(files.len(), &merged))
+}
+
+/// Converts a trace-crate summary into the runner's manifest digest.
+pub fn to_manifest(files: usize, summary: &TraceSummary) -> ManifestTrace {
+    ManifestTrace {
+        files,
+        events: summary.events,
+        requests: summary.requests,
+        phases: summary
+            .phase_percentiles()
+            .into_iter()
+            .map(|p| TracePhase {
+                name: p.phase.to_string(),
+                count: p.count,
+                p50_ns: p.p50_ns,
+                p95_ns: p.p95_ns,
+                p99_ns: p.p99_ns,
+                max_ns: p.max_ns,
+            })
+            .collect(),
+    }
+}

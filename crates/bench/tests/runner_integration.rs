@@ -12,6 +12,7 @@ fn quick() -> RunOptions {
     RunOptions {
         scale: 0.02,
         synthetic_requests: 300,
+        ..RunOptions::default()
     }
 }
 
@@ -74,6 +75,7 @@ fn cached_rerun_is_free_and_identical() {
     let other_opts = RunOptions {
         scale: 0.02,
         synthetic_requests: 301,
+        ..RunOptions::default()
     };
     let third = Runner::new(1).quiet(true).cache_dir(&dir);
     let (_, third_stats) = experiments::plan(id, other_opts)

@@ -203,6 +203,7 @@ impl BlockCache {
         if read_ahead {
             self.stats.ra_inserted += 1;
         }
+        self.stats.note_occupancy(self.map.len() as u64);
     }
 }
 

@@ -337,6 +337,11 @@ impl ControllerCache for SegmentCache {
         });
         self.index_insert(slot as u32);
         self.order_nodes.push_front(&mut self.order, slot as u32);
+        // Every insertion/eviction above keeps these counters exact, so
+        // their difference is the resident-block count without an O(slots)
+        // rescan.
+        self.stats
+            .note_occupancy(self.stats.insertions - self.stats.evictions);
     }
 
     fn capacity_blocks(&self) -> u32 {

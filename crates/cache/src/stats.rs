@@ -25,6 +25,9 @@ pub struct CacheStats {
     pub ra_inserted: u64,
     /// Read-ahead blocks that were later actually demanded (first hit).
     pub ra_used: u64,
+    /// Occupancy high-water mark: the most blocks ever resident at
+    /// once (updated on insertion).
+    pub occupancy_hwm: u64,
 }
 
 impl CacheStats {
@@ -61,6 +64,12 @@ impl CacheStats {
         }
     }
 
+    /// Notes the current resident-block count, updating the occupancy
+    /// high-water mark.
+    pub fn note_occupancy(&mut self, resident: u64) {
+        self.occupancy_hwm = self.occupancy_hwm.max(resident);
+    }
+
     /// Merges counters from another cache (array-wide aggregation).
     pub fn merge(&mut self, other: &CacheStats) {
         self.block_lookups += other.block_lookups;
@@ -71,6 +80,9 @@ impl CacheStats {
         self.evictions += other.evictions;
         self.ra_inserted += other.ra_inserted;
         self.ra_used += other.ra_used;
+        // Caches are independent; the merged mark is the largest any
+        // one of them reached, not a sum of unsynchronized peaks.
+        self.occupancy_hwm = self.occupancy_hwm.max(other.occupancy_hwm);
     }
 }
 
@@ -123,17 +135,29 @@ mod tests {
         let mut a = CacheStats {
             block_lookups: 1,
             block_hits: 1,
+            occupancy_hwm: 7,
             ..CacheStats::new()
         };
         let b = CacheStats {
             block_lookups: 2,
             evictions: 3,
+            occupancy_hwm: 5,
             ..CacheStats::new()
         };
         a.merge(&b);
         assert_eq!(a.block_lookups, 3);
         assert_eq!(a.block_hits, 1);
         assert_eq!(a.evictions, 3);
+        assert_eq!(a.occupancy_hwm, 7);
+    }
+
+    #[test]
+    fn occupancy_hwm_tracks_peak() {
+        let mut s = CacheStats::new();
+        s.note_occupancy(4);
+        s.note_occupancy(9);
+        s.note_occupancy(2);
+        assert_eq!(s.occupancy_hwm, 9);
     }
 
     #[test]

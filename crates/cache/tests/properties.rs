@@ -113,6 +113,7 @@ impl RefBlockCache {
         if read_ahead {
             self.stats.ra_inserted += 1;
         }
+        self.stats.note_occupancy(self.map.len() as u64);
     }
 }
 
@@ -299,6 +300,8 @@ impl ControllerCache for RefSegmentCache {
             ra_mask,
             used_mask: 0,
         });
+        let resident: u64 = self.segments.iter().flatten().map(|s| s.len as u64).sum();
+        self.stats.note_occupancy(resident);
     }
 
     fn capacity_blocks(&self) -> u32 {

@@ -347,6 +347,12 @@ impl DiskController {
     pub fn ra_capacity_blocks(&self) -> u32 {
         self.cache.as_cache_ref().capacity_blocks()
     }
+
+    /// Blocks currently resident in the read-ahead cache (occupancy
+    /// sampling).
+    pub fn ra_resident_blocks(&self) -> u32 {
+        self.cache.as_cache_ref().resident_blocks()
+    }
 }
 
 #[cfg(test)]

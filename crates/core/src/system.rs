@@ -20,6 +20,7 @@ use forhdc_sim::{
     ArrayConfig, BusModel, DiskId, DiskMechanics, DiskStats, EventQueue, ReadWrite, SchedulerKind,
     SimDuration, SimTime, StreamId, StripingMap,
 };
+use forhdc_trace::{NullTracer, ProbeResult, TraceEvent, Tracer};
 use forhdc_workload::{TraceRequest, Workload};
 
 use crate::controller::{ControllerDecision, DiskController};
@@ -54,6 +55,11 @@ pub struct SystemConfig {
     /// the paper measured at under 1 %. Flush write-backs are charged
     /// as real media operations.
     pub hdc_flush_period: Option<SimDuration>,
+    /// Fixed simulated-time cadence for the tracing sampler (queue
+    /// depth, utilization, cache occupancy, RA accuracy per disk).
+    /// Only consulted when the attached tracer is enabled; sampling
+    /// never perturbs the simulation itself.
+    pub trace_sample_period: Option<SimDuration>,
 }
 
 impl SystemConfig {
@@ -66,6 +72,7 @@ impl SystemConfig {
             segment_replacement: SegmentReplacement::Lru,
             cooperative_hdc: false,
             hdc_flush_period: None,
+            trace_sample_period: None,
         }
     }
 
@@ -165,6 +172,13 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the tracing sampler cadence (simulated time between
+    /// per-disk [`forhdc_trace::TraceEvent::Sample`] observations).
+    pub fn with_trace_sampling(mut self, period: SimDuration) -> Self {
+        self.trace_sample_period = Some(period);
+        self
+    }
+
     /// HDC capacity per disk in blocks.
     pub fn hdc_blocks(&self) -> u32 {
         (self.hdc_bytes_per_disk / self.array.disk.block_bytes() as u64) as u32
@@ -179,9 +193,17 @@ impl Default for SystemConfig {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    MediaDone { disk: DiskId },
-    SubDone { req: u64 },
+    MediaDone {
+        disk: DiskId,
+    },
+    SubDone {
+        req: u64,
+    },
     HdcFlush,
+    /// Tracing sampler tick. Reads state and emits [`TraceEvent`]s
+    /// only; it never mutates the simulation, so traced and untraced
+    /// runs produce identical reports.
+    Sample,
 }
 
 /// Tokens at or above this mark internal flush write-backs: they carry
@@ -205,6 +227,16 @@ struct DiskState {
     stats: DiskStats,
     busy: bool,
     current: Option<CurrentOp>,
+    /// Busy time accumulated over completed operations. Unlike
+    /// `stats.busy_time` (credited in one lump at completion) this is
+    /// interval-exact, so a sampler window's busy delta never exceeds
+    /// the window.
+    busy_accum: SimDuration,
+    /// When the in-flight operation started service (valid while
+    /// `busy`).
+    busy_since: SimTime,
+    /// Busy total as of the last sampler observation.
+    busy_sampled: SimDuration,
 }
 
 impl std::fmt::Debug for DiskState {
@@ -225,6 +257,12 @@ struct PendingReq {
 
 /// A fully assembled system ready to replay one workload.
 ///
+/// The tracer type parameter defaults to [`NullTracer`], whose
+/// constant-false `enabled()` lets every emission site compile to
+/// nothing — untraced runs pay zero overhead. Attach a real tracer
+/// with [`System::new_traced`] and recover it (full of events) from
+/// [`System::run_traced`].
+///
 /// # Example
 ///
 /// ```
@@ -236,7 +274,8 @@ struct PendingReq {
 /// assert_eq!(report.requests, wl.trace.len() as u64);
 /// ```
 #[derive(Debug)]
-pub struct System {
+pub struct System<T: Tracer = NullTracer> {
+    tracer: T,
     cfg: SystemConfig,
     striping: StripingMap,
     disks: Vec<DiskState>,
@@ -274,18 +313,51 @@ impl System {
     ///
     /// Panics if the workload footprint exceeds the array capacity.
     pub fn new(cfg: SystemConfig, workload: &Workload) -> Self {
+        System::new_traced(cfg, workload, NullTracer)
+    }
+
+    /// Assembles a system around a cooperative plan (see
+    /// [`System::with_coop_plan_traced`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`System::with_plan`].
+    pub fn with_coop_plan(cfg: SystemConfig, workload: &Workload, coop: CoopPlan) -> Self {
+        System::with_coop_plan_traced(cfg, workload, coop, NullTracer)
+    }
+
+    /// Assembles a system with an explicit HDC plan (see
+    /// [`System::with_plan_traced`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload footprint exceeds the array capacity or
+    /// the plan covers a different disk count.
+    pub fn with_plan(cfg: SystemConfig, workload: &Workload, plan: HdcPlan) -> Self {
+        System::with_plan_traced(cfg, workload, plan, NullTracer)
+    }
+}
+
+impl<T: Tracer> System<T> {
+    /// Assembles a system with an attached tracer; otherwise identical
+    /// to [`System::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload footprint exceeds the array capacity.
+    pub fn new_traced(cfg: SystemConfig, workload: &Workload, tracer: T) -> Self {
         let striping =
             StripingMap::new(cfg.array.virtual_disks(), cfg.array.striping_unit_blocks());
         if cfg.cooperative_hdc && cfg.hdc_blocks() > 0 {
             let coop = plan_cooperative(&workload.trace, &striping, cfg.hdc_blocks());
-            return System::with_coop_plan(cfg, workload, coop);
+            return System::with_coop_plan_traced(cfg, workload, coop, tracer);
         }
         let plan = if cfg.hdc_blocks() > 0 {
             plan_top_misses(&workload.trace, &striping, cfg.hdc_blocks())
         } else {
             HdcPlan::empty(cfg.array.virtual_disks())
         };
-        System::with_plan(cfg, workload, plan)
+        System::with_plan_traced(cfg, workload, plan, tracer)
     }
 
     /// Assembles a system around a cooperative plan: home pins go into
@@ -295,13 +367,18 @@ impl System {
     /// # Panics
     ///
     /// Panics under the same conditions as [`System::with_plan`].
-    pub fn with_coop_plan(cfg: SystemConfig, workload: &Workload, coop: CoopPlan) -> Self {
+    pub fn with_coop_plan_traced(
+        cfg: SystemConfig,
+        workload: &Workload,
+        coop: CoopPlan,
+        tracer: T,
+    ) -> Self {
         assert!(
             !cfg.array.mirrored,
             "cooperative HDC over mirrored pairs is not supported (pins address virtual disks)"
         );
         let plan = HdcPlan::from_per_disk(coop.home.clone());
-        let mut sys = System::with_plan(cfg, workload, plan);
+        let mut sys = System::with_plan_traced(cfg, workload, plan, tracer);
         sys.coop_overflow.reserve(coop.overflow.len());
         for ((home_disk, block), holder) in coop.overflow {
             sys.coop_overflow.insert((home_disk, block.index()), holder);
@@ -316,7 +393,12 @@ impl System {
     ///
     /// Panics if the workload footprint exceeds the array capacity or
     /// the plan covers a different disk count.
-    pub fn with_plan(cfg: SystemConfig, workload: &Workload, plan: HdcPlan) -> Self {
+    pub fn with_plan_traced(
+        cfg: SystemConfig,
+        workload: &Workload,
+        plan: HdcPlan,
+        tracer: T,
+    ) -> Self {
         let virtual_disks = cfg.array.virtual_disks();
         let striping = StripingMap::new(virtual_disks, cfg.array.striping_unit_blocks());
         assert_eq!(
@@ -364,6 +446,9 @@ impl System {
                     stats: DiskStats::new(),
                     busy: false,
                     current: None,
+                    busy_accum: SimDuration::ZERO,
+                    busy_since: SimTime::ZERO,
+                    busy_sampled: SimDuration::ZERO,
                 }
             })
             .collect();
@@ -371,6 +456,7 @@ impl System {
         let bus = BusModel::new(cfg.array.bus_rate, cfg.array.bus_overhead);
         let driver = StreamDriver::new(&workload.trace, workload.streams);
         System {
+            tracer,
             cfg,
             striping,
             disks,
@@ -406,7 +492,13 @@ impl System {
     }
 
     /// Runs the replay to completion and returns the report.
-    pub fn run(mut self) -> Report {
+    pub fn run(self) -> Report {
+        self.run_traced().0
+    }
+
+    /// Runs the replay to completion and returns the report together
+    /// with the tracer (holding every event it collected).
+    pub fn run_traced(mut self) -> (Report, T) {
         let initial = self.driver.start();
         for (stream, req) in initial {
             self.issue(stream, req, SimTime::ZERO);
@@ -416,11 +508,17 @@ impl System {
                 self.queue.schedule(SimTime::ZERO + period, Event::HdcFlush);
             }
         }
+        if self.tracer.enabled() && !self.queue.is_empty() {
+            if let Some(period) = self.cfg.trace_sample_period {
+                self.queue.schedule(SimTime::ZERO + period, Event::Sample);
+            }
+        }
         while let Some(fired) = self.queue.pop() {
             match fired.event {
                 Event::MediaDone { disk } => self.media_done(disk, fired.time),
                 Event::SubDone { req } => self.sub_done(req, fired.time),
                 Event::HdcFlush => self.hdc_flush(fired.time),
+                Event::Sample => self.sample(fired.time),
             }
         }
         // The figure of merit is the completion of the last host
@@ -445,6 +543,16 @@ impl System {
         self.issued_count += 1;
         let id = self.next_req;
         self.next_req += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Issue {
+                t: now.as_nanos(),
+                req: id,
+                stream: stream.index(),
+                start: req.start.index(),
+                nblocks: req.nblocks,
+                write: req.kind.is_write(),
+            });
+        }
         let extents = self.striping.split(req.start, req.nblocks);
         // Under mirroring a write produces one completion per member;
         // count the sub-completions as they are created.
@@ -580,14 +688,51 @@ impl System {
             // controllers, all over the same shared bus.
             self.coop_hits += 1;
             let slot = self.bus.reserve(now, nblocks as u64 * block_bytes);
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::Probe {
+                    t: now.as_nanos(),
+                    req: id,
+                    disk: disk_idx as u16,
+                    nblocks,
+                    result: ProbeResult::CoopHit,
+                });
+                self.tracer.emit(TraceEvent::Bus {
+                    t: now.as_nanos(),
+                    req: id,
+                    wait: slot.start.since(now).as_nanos(),
+                    busy: slot.end.since(slot.start).as_nanos(),
+                    bytes: nblocks as u64 * block_bytes,
+                });
+            }
             self.queue.schedule(slot.end, Event::SubDone { req: id });
             return;
         }
         let d = &mut self.disks[disk_idx];
         match d.ctl.on_request(kind, start, nblocks) {
-            ControllerDecision::CacheHit | ControllerDecision::HdcWriteAbsorbed => {
+            decision @ (ControllerDecision::CacheHit | ControllerDecision::HdcWriteAbsorbed) => {
                 // Controller memory ↔ host transfer over the shared bus.
                 let slot = self.bus.reserve(now, nblocks as u64 * block_bytes);
+                if self.tracer.enabled() {
+                    let result = if decision == ControllerDecision::CacheHit {
+                        ProbeResult::Hit
+                    } else {
+                        ProbeResult::HdcAbsorbed
+                    };
+                    self.tracer.emit(TraceEvent::Probe {
+                        t: now.as_nanos(),
+                        req: id,
+                        disk: disk_idx as u16,
+                        nblocks,
+                        result,
+                    });
+                    self.tracer.emit(TraceEvent::Bus {
+                        t: now.as_nanos(),
+                        req: id,
+                        wait: slot.start.since(now).as_nanos(),
+                        busy: slot.end.since(slot.start).as_nanos(),
+                        bytes: nblocks as u64 * block_bytes,
+                    });
+                }
                 self.queue.schedule(slot.end, Event::SubDone { req: id });
             }
             ControllerDecision::Media {
@@ -603,8 +748,24 @@ impl System {
                     requested: nblocks,
                     kind,
                     cylinder,
+                    queued_at: now,
                 });
-                d.stats.note_queue_depth(d.sched.len());
+                d.stats.note_queue_depth(d.sched.len(), now);
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::Probe {
+                        t: now.as_nanos(),
+                        req: id,
+                        disk: disk_idx as u16,
+                        nblocks,
+                        result: ProbeResult::Miss,
+                    });
+                    self.tracer.emit(TraceEvent::Queue {
+                        t: now.as_nanos(),
+                        req: id,
+                        disk: disk_idx as u16,
+                        depth: d.sched.len() as u32,
+                    });
+                }
                 if !d.busy {
                     self.start_next(DiskId::new(disk_idx as u16), now);
                 }
@@ -620,6 +781,7 @@ impl System {
         let Some(op) = d.sched.pop_next(d.mech.head_cylinder()) else {
             return;
         };
+        d.stats.note_queue_depth(d.sched.len(), now);
         let timing = d.mech.service(op.kind, op.start, op.nblocks, now);
         // Charge the FOR bitmap scan: one bit per block examined.
         let extra = if is_for && op.kind.is_read() {
@@ -627,7 +789,25 @@ impl System {
         } else {
             SimDuration::ZERO
         };
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Media {
+                t: now.as_nanos(),
+                req: op.token,
+                disk: disk.index(),
+                wait: now.since(op.queued_at).as_nanos(),
+                seek: timing.seek.as_nanos(),
+                rotation: timing.rotation.as_nanos(),
+                transfer: timing.transfer.as_nanos(),
+                // Bitmap-scan cost rides in the overhead slot: it is
+                // controller work charged before the media moves.
+                overhead: (timing.overhead + extra).as_nanos(),
+                nblocks: op.nblocks,
+                read_ahead: op.nblocks - op.requested,
+                write: op.kind.is_write(),
+            });
+        }
         d.busy = true;
+        d.busy_since = now;
         d.current = Some(CurrentOp {
             token: op.token,
             kind: op.kind,
@@ -645,6 +825,7 @@ impl System {
         let d = &mut self.disks[disk.as_usize()];
         let op = d.current.take().expect("media completion without an op");
         d.busy = false;
+        d.busy_accum += now.since(d.busy_since);
         let ra = op.total - op.requested;
         match op.kind {
             ReadWrite::Read => d.stats.record_op(&op.timing, op.total as u64, 0, ra as u64),
@@ -657,6 +838,15 @@ impl System {
             // stays in the controller cache. Flush write-backs move
             // cache -> media only, so they skip both bus and completion.
             let slot = self.bus.reserve(now, op.requested as u64 * block_bytes);
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::Bus {
+                    t: now.as_nanos(),
+                    req: op.token,
+                    wait: slot.start.since(now).as_nanos(),
+                    busy: slot.end.since(slot.start).as_nanos(),
+                    bytes: op.requested as u64 * block_bytes,
+                });
+            }
             self.queue
                 .schedule(slot.end, Event::SubDone { req: op.token });
         }
@@ -691,8 +881,17 @@ impl System {
                     requested: n,
                     kind: ReadWrite::Write,
                     cylinder,
+                    queued_at: now,
                 });
-                d.stats.note_queue_depth(d.sched.len());
+                d.stats.note_queue_depth(d.sched.len(), now);
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::Queue {
+                        t: now.as_nanos(),
+                        req: token,
+                        disk: di as u16,
+                        depth: d.sched.len() as u32,
+                    });
+                }
             }
             if !self.disks[di].busy {
                 self.start_next(DiskId::new(di as u16), now);
@@ -718,6 +917,13 @@ impl System {
         }
         let p = self.pending.remove(&id).expect("just seen");
         let response = now.since(p.issued_at);
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Complete {
+                t: now.as_nanos(),
+                req: id,
+                response: response.as_nanos(),
+            });
+        }
         self.response_sum += response;
         self.response_max = self.response_max.max(response);
         self.latency.record(response);
@@ -728,7 +934,45 @@ impl System {
         }
     }
 
-    fn build_report(mut self, io_time: SimDuration) -> Report {
+    /// One sampler tick: emits a [`TraceEvent::Sample`] per disk.
+    /// Reads simulation state and updates only the tracing-side
+    /// `busy_sampled` bookkeeping, so the simulated outcome is
+    /// identical with or without sampling.
+    fn sample(&mut self, now: SimTime) {
+        let period = self
+            .cfg
+            .trace_sample_period
+            .expect("sample event without a configured period");
+        for (i, d) in self.disks.iter_mut().enumerate() {
+            // Interval-exact busy time: completed ops plus the live
+            // prefix of the in-flight one, so the per-window delta can
+            // never exceed the window.
+            let busy_now = if d.busy {
+                d.busy_accum + now.since(d.busy_since)
+            } else {
+                d.busy_accum
+            };
+            let delta = busy_now.saturating_sub(d.busy_sampled);
+            d.busy_sampled = busy_now;
+            let util_pm = (delta.as_nanos() * 1000 / period.as_nanos()).min(1000) as u32;
+            let ra_pm = (d.ctl.cache_stats().ra_accuracy() * 1000.0).round() as u32;
+            self.tracer.emit(TraceEvent::Sample {
+                t: now.as_nanos(),
+                disk: i as u16,
+                depth: d.sched.len() as u32,
+                util_pm,
+                cache_blocks: d.ctl.ra_resident_blocks(),
+                hdc_blocks: d.ctl.hdc_resident(),
+                ra_pm,
+            });
+        }
+        // Keep sampling while host work remains.
+        if !(self.pending.is_empty() && self.driver.is_done()) {
+            self.queue.schedule(now + period, Event::Sample);
+        }
+    }
+
+    fn build_report(mut self, io_time: SimDuration) -> (Report, T) {
         let mut cache = forhdc_cache::CacheStats::default();
         let mut hdc = forhdc_cache::HdcStats::default();
         let mut disk = DiskStats::default();
@@ -750,7 +994,7 @@ impl System {
         } else {
             self.response_sum / self.completed
         };
-        Report {
+        let report = Report {
             workload: self.workload_name,
             policy: self.cfg.read_ahead,
             hdc_bytes_per_disk: self.cfg.hdc_bytes_per_disk,
@@ -768,7 +1012,8 @@ impl System {
             latency: self.latency,
             coop_hits: self.coop_hits,
             bitmap_scans,
-        }
+        };
+        (report, self.tracer)
     }
 }
 
@@ -1026,6 +1271,55 @@ mod tests {
             coop.io_time,
             per_disk.io_time
         );
+    }
+
+    #[test]
+    fn tracing_never_perturbs_the_run_and_events_round_trip() {
+        use forhdc_trace::MemTracer;
+        let wl = small_wl(14);
+        let plain = System::new(SystemConfig::for_(), &wl).run();
+        let cfg = SystemConfig::for_().with_trace_sampling(SimDuration::from_millis(50));
+        let (traced, tracer) = System::new_traced(cfg.clone(), &wl, MemTracer::new()).run_traced();
+        // Identical outcome with the tracer attached and sampling on.
+        assert_eq!(plain.io_time, traced.io_time);
+        assert_eq!(plain.disk.media_ops, traced.disk.media_ops);
+        assert_eq!(plain.cache.block_hits, traced.cache.block_hits);
+        assert_eq!(plain.mean_response, traced.mean_response);
+        let count =
+            |f: fn(&TraceEvent) -> bool| tracer.events.iter().filter(|e| f(e)).count() as u64;
+        assert_eq!(
+            count(|e| matches!(e, TraceEvent::Issue { .. })),
+            traced.requests
+        );
+        assert_eq!(
+            count(|e| matches!(e, TraceEvent::Complete { .. })),
+            traced.requests
+        );
+        assert!(count(|e| matches!(e, TraceEvent::Media { .. })) > 0);
+        assert!(count(|e| matches!(e, TraceEvent::Sample { .. })) > 0);
+        // Deterministic: a second traced run emits the same bytes.
+        let (_, again) = System::new_traced(cfg, &wl, MemTracer::new()).run_traced();
+        assert_eq!(again.to_jsonl(), tracer.to_jsonl());
+        // And the JSONL encoding round-trips losslessly.
+        let parsed = forhdc_trace::parse_jsonl(&tracer.to_jsonl()).unwrap();
+        assert_eq!(parsed, tracer.events);
+    }
+
+    #[test]
+    fn sampler_utilization_stays_in_bounds() {
+        use forhdc_trace::MemTracer;
+        let wl = small_wl(15);
+        let cfg = SystemConfig::segm().with_trace_sampling(SimDuration::from_millis(20));
+        let (_, tracer) = System::new_traced(cfg, &wl, MemTracer::new()).run_traced();
+        let mut samples = 0;
+        for ev in &tracer.events {
+            if let TraceEvent::Sample { util_pm, ra_pm, .. } = ev {
+                samples += 1;
+                assert!(*util_pm <= 1000, "util {util_pm} out of per-mille range");
+                assert!(*ra_pm <= 1000, "ra {ra_pm} out of per-mille range");
+            }
+        }
+        assert!(samples > 0);
     }
 
     #[test]

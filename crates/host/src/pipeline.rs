@@ -11,6 +11,7 @@
 
 use forhdc_layout::{FileId, FileMap};
 use forhdc_sim::{ReadWrite, SimDuration, SimTime};
+use forhdc_trace::{NullTracer, TraceEvent, Tracer};
 use forhdc_workload::Trace;
 
 use crate::buffer_cache::BufferCache;
@@ -100,6 +101,18 @@ pub fn derive_disk_trace(
     layout: &FileMap,
     cfg: PipelineConfig,
 ) -> DerivedTrace {
+    derive_disk_trace_traced(accesses, layout, cfg, &mut NullTracer)
+}
+
+/// [`derive_disk_trace`] with a tracer attached: every buffer-cache
+/// demand lookup emits a [`TraceEvent::BufferLookup`], stamped with the
+/// access's simulated time.
+pub fn derive_disk_trace_traced<T: Tracer>(
+    accesses: &[FileAccess],
+    layout: &FileMap,
+    cfg: PipelineConfig,
+    tracer: &mut T,
+) -> DerivedTrace {
     let mut cache = BufferCache::new(cfg.buffer_blocks);
     let mut prefetcher = SequentialPrefetcher::new(cfg.max_prefetch_blocks);
     let mut disk: Vec<TimedAccess> = Vec::new();
@@ -123,7 +136,16 @@ pub fn derive_disk_trace(
                 continue; // access past EOF: ignored, like a short read
             };
             demand_total += 1;
-            if cache.access(block, acc.kind).is_hit() {
+            let hit = cache.access(block, acc.kind).is_hit();
+            if tracer.enabled() {
+                tracer.emit(TraceEvent::BufferLookup {
+                    t: acc.at.as_nanos(),
+                    block: block.index(),
+                    write: acc.kind.is_write(),
+                    hit,
+                });
+            }
+            if hit {
                 demand_hits += 1;
             } else {
                 emit(acc.at, block, acc.kind, &mut tick);
@@ -240,6 +262,31 @@ mod tests {
         };
         let out = derive_disk_trace(&[acc], &layout, PipelineConfig::default());
         assert_eq!(out.trace.total_blocks(), 2); // no read-ahead traffic
+    }
+
+    #[test]
+    fn traced_derivation_logs_every_demand_lookup() {
+        use forhdc_trace::MemTracer;
+        let layout = LayoutBuilder::new().build(&[8; 4]);
+        let accesses = vec![read(0, 1, 0, 8), read(10_000, 1, 0, 8)];
+        let plain = derive_disk_trace(&accesses, &layout, PipelineConfig::default());
+        let mut tracer = MemTracer::new();
+        let traced =
+            derive_disk_trace_traced(&accesses, &layout, PipelineConfig::default(), &mut tracer);
+        // The tracer observes without perturbing the derivation.
+        assert_eq!(traced.trace.requests(), plain.trace.requests());
+        assert_eq!(traced.buffer_hit_rate, plain.buffer_hit_rate);
+        let lookups: Vec<bool> = tracer
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BufferLookup { hit, .. } => Some(*hit),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lookups.len(), 16); // one per demand block
+        assert!(lookups[..8].iter().all(|&h| !h), "cold pass must miss");
+        assert!(lookups[8..].iter().all(|&h| h), "warm pass must hit");
     }
 
     #[test]

@@ -11,6 +11,37 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use crate::pool::ExperimentStats;
 
+/// Percentile summary of one traced latency phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracePhase {
+    /// Phase name (e.g. `seek`, `response`).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Maximum, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Per-experiment trace digest folded into the manifest when the run
+/// was traced (`repro --trace`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Trace files (one per curve point) summarized.
+    pub files: usize,
+    /// Total events across the files.
+    pub events: u64,
+    /// Completed host requests observed.
+    pub requests: u64,
+    /// Non-empty phase histograms.
+    pub phases: Vec<TracePhase>,
+}
+
 /// One experiment's row in the manifest.
 #[derive(Debug, Clone)]
 pub struct ManifestEntry {
@@ -22,6 +53,8 @@ pub struct ManifestEntry {
     pub cache_hits: usize,
     /// Wall-clock time for the experiment.
     pub wall: Duration,
+    /// Trace digest, present only for traced runs.
+    pub trace: Option<TraceSummary>,
 }
 
 /// Accumulates per-experiment stats and renders them as JSON.
@@ -57,7 +90,20 @@ impl RunManifest {
             jobs: stats.jobs,
             cache_hits: stats.cache_hits,
             wall: stats.wall,
+            trace: None,
         });
+    }
+
+    /// Attaches a trace digest to the recorded experiment `id`.
+    /// Returns whether the entry existed.
+    pub fn attach_trace(&mut self, id: &str, summary: TraceSummary) -> bool {
+        match self.entries.iter_mut().find(|e| e.id == id) {
+            Some(e) => {
+                e.trace = Some(summary);
+                true
+            }
+            None => false,
+        }
     }
 
     /// The recorded entries, in run order.
@@ -69,7 +115,7 @@ impl RunManifest {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"version\": 1,\n");
+        s.push_str("  \"version\": 2,\n");
         s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         match &self.cache_dir {
             Some(dir) => s.push_str(&format!("  \"cache\": \"{}\",\n", escape(dir))),
@@ -86,12 +132,34 @@ impl RunManifest {
                 s.push(',');
             }
             s.push_str(&format!(
-                "\n    {{\"id\": \"{}\", \"jobs\": {}, \"cache_hits\": {}, \"wall_secs\": {:.3}}}",
+                "\n    {{\"id\": \"{}\", \"jobs\": {}, \"cache_hits\": {}, \"wall_secs\": {:.3}",
                 escape(&e.id),
                 e.jobs,
                 e.cache_hits,
                 e.wall.as_secs_f64()
             ));
+            if let Some(trace) = &e.trace {
+                s.push_str(&format!(
+                    ", \"trace\": {{\"files\": {}, \"events\": {}, \"requests\": {}, \"phases\": [",
+                    trace.files, trace.events, trace.requests
+                ));
+                for (j, p) in trace.phases.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&format!(
+                        "{{\"phase\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                        escape(&p.name),
+                        p.count,
+                        p.p50_ns,
+                        p.p95_ns,
+                        p.p99_ns,
+                        p.max_ns
+                    ));
+                }
+                s.push_str("]}");
+            }
+            s.push('}');
         }
         if !self.entries.is_empty() {
             s.push_str("\n  ");
@@ -183,7 +251,7 @@ mod tests {
         m.record(&stats("fig3", 32, 0));
         m.record(&stats("fig7", 40, 40));
         let json = m.to_json();
-        assert!(json.contains("\"version\": 1"), "{json}");
+        assert!(json.contains("\"version\": 2"), "{json}");
         assert!(json.contains("\"jobs\": 4"), "{json}");
         assert!(json.contains("\"cache\": \"results/.cache\""), "{json}");
         assert!(
@@ -213,6 +281,37 @@ mod tests {
         assert!(
             lines[3].contains("total") && lines[3].contains("3.0s"),
             "{t}"
+        );
+    }
+
+    #[test]
+    fn attach_trace_folds_digest_into_entry_json() {
+        let mut m = RunManifest::new(2, None);
+        m.record(&stats("fig3", 8, 0));
+        assert!(!m.attach_trace("nope", TraceSummary::default()));
+        let summary = TraceSummary {
+            files: 8,
+            events: 1234,
+            requests: 400,
+            phases: vec![TracePhase {
+                name: "seek".to_string(),
+                count: 300,
+                p50_ns: 4_000_000,
+                p95_ns: 9_000_000,
+                p99_ns: 12_000_000,
+                max_ns: 15_000_000,
+            }],
+        };
+        assert!(m.attach_trace("fig3", summary.clone()));
+        assert_eq!(m.entries()[0].trace.as_ref(), Some(&summary));
+        let json = m.to_json();
+        assert!(
+            json.contains(
+                "\"trace\": {\"files\": 8, \"events\": 1234, \"requests\": 400, \"phases\": \
+                 [{\"phase\": \"seek\", \"count\": 300, \"p50_ns\": 4000000, \"p95_ns\": 9000000, \
+                 \"p99_ns\": 12000000, \"max_ns\": 15000000}]}"
+            ),
+            "{json}"
         );
     }
 

@@ -8,6 +8,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use crate::config::SchedulerKind;
 use crate::request::{PhysBlock, ReadWrite};
+use crate::time::SimTime;
 
 /// A media operation waiting in a disk queue.
 ///
@@ -29,6 +30,8 @@ pub struct QueuedOp {
     pub kind: ReadWrite,
     /// Target cylinder (precomputed by the caller from the geometry).
     pub cylinder: u32,
+    /// When the op entered the queue (queue-wait measurement).
+    pub queued_at: SimTime,
 }
 
 /// A disk-queue scheduling discipline.
@@ -263,6 +266,7 @@ mod tests {
             requested: 1,
             kind: ReadWrite::Read,
             cylinder,
+            queued_at: SimTime::ZERO,
         }
     }
 

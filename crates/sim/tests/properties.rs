@@ -104,6 +104,7 @@ proptest! {
                 requested: 1,
                 kind: ReadWrite::Read,
                 cylinder: c,
+                queued_at: SimTime::ZERO,
             });
         }
         let mut seen: Vec<u64> = Vec::new();

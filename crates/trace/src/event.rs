@@ -1,0 +1,527 @@
+//! The trace event model and its JSONL encoding.
+//!
+//! One event per line, fixed key order, integers only (plus a small
+//! closed set of string tags), so equal event streams produce equal
+//! bytes. Hand-rolled writer and parser — the workspace builds fully
+//! offline, so no serde.
+//!
+//! Times (`t`) and durations are simulated nanoseconds. Ratios are
+//! fixed-point per-mille (`_pm` suffix) to keep the encoding
+//! float-free and byte-stable.
+
+/// Outcome of a controller cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// All blocks resident (HDC region or read-ahead cache).
+    Hit,
+    /// Write fully absorbed by pinned HDC blocks.
+    HdcAbsorbed,
+    /// Needs the media.
+    Miss,
+    /// Read served by the cooperative pin set (sibling controllers).
+    CoopHit,
+}
+
+impl ProbeResult {
+    /// The stable wire tag (also the display label).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ProbeResult::Hit => "hit",
+            ProbeResult::HdcAbsorbed => "hdc",
+            ProbeResult::Miss => "miss",
+            ProbeResult::CoopHit => "coop",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "hit" => ProbeResult::Hit,
+            "hdc" => ProbeResult::HdcAbsorbed,
+            "miss" => ProbeResult::Miss,
+            "coop" => ProbeResult::CoopHit,
+            _ => return None,
+        })
+    }
+}
+
+/// One lifecycle or sampler event. All stamps are deterministic
+/// simulated time; flush write-backs carry tokens `>= 1 << 63` and
+/// have no `Issue`/`Complete` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A host request leaves its stream's queue and enters the array.
+    Issue {
+        /// Issue time (ns).
+        t: u64,
+        /// Request trace id (unique within one simulation).
+        req: u64,
+        /// Issuing stream.
+        stream: u32,
+        /// First logical block.
+        start: u64,
+        /// Blocks requested.
+        nblocks: u32,
+        /// Write (`true`) or read (`false`).
+        write: bool,
+    },
+    /// One host buffer-cache demand lookup (trace-derivation pipeline).
+    BufferLookup {
+        /// Access time (ns).
+        t: u64,
+        /// Logical block looked up.
+        block: u64,
+        /// Write access.
+        write: bool,
+        /// Whether the block was resident.
+        hit: bool,
+    },
+    /// Controller cache probe for one extent of a request.
+    Probe {
+        /// Probe time (ns).
+        t: u64,
+        /// Owning request.
+        req: u64,
+        /// Physical disk probed.
+        disk: u16,
+        /// Extent length in blocks.
+        nblocks: u32,
+        /// Outcome.
+        result: ProbeResult,
+    },
+    /// An extent entered a disk's scheduler queue.
+    Queue {
+        /// Enqueue time (ns).
+        t: u64,
+        /// Owning request (or flush token).
+        req: u64,
+        /// Target disk.
+        disk: u16,
+        /// Queue depth after the push.
+        depth: u32,
+    },
+    /// A media operation started service (breakdown known up-front:
+    /// the mechanical model is deterministic).
+    Media {
+        /// Service start time (ns).
+        t: u64,
+        /// Owning request (or flush token).
+        req: u64,
+        /// Servicing disk.
+        disk: u16,
+        /// Time spent waiting in the scheduler queue (ns).
+        wait: u64,
+        /// Seek time (ns).
+        seek: u64,
+        /// Rotational latency (ns).
+        rotation: u64,
+        /// Media transfer time (ns).
+        transfer: u64,
+        /// Controller overhead incl. any FOR bitmap scan (ns).
+        overhead: u64,
+        /// Blocks moved (read-ahead included).
+        nblocks: u32,
+        /// Of `nblocks`, speculative read-ahead.
+        read_ahead: u32,
+        /// Write operation.
+        write: bool,
+    },
+    /// A bus transfer for one extent (cache hit payload or media
+    /// payload).
+    Bus {
+        /// Reservation time (ns).
+        t: u64,
+        /// Owning request.
+        req: u64,
+        /// Time queued behind earlier transfers (ns).
+        wait: u64,
+        /// Transfer busy time (ns).
+        busy: u64,
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// A host request fully completed.
+    Complete {
+        /// Completion time (ns).
+        t: u64,
+        /// Request id.
+        req: u64,
+        /// Response time since issue (ns).
+        response: u64,
+    },
+    /// One fixed-cadence sampler observation for one disk.
+    Sample {
+        /// Sample time (ns).
+        t: u64,
+        /// Observed disk.
+        disk: u16,
+        /// Scheduler queue depth (waiting ops, in-service excluded).
+        depth: u32,
+        /// Disk utilization over the elapsed window, per-mille.
+        util_pm: u32,
+        /// Read-ahead cache occupancy in blocks.
+        cache_blocks: u32,
+        /// HDC-pinned blocks.
+        hdc_blocks: u32,
+        /// Running read-ahead accuracy, per-mille.
+        ra_pm: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event's simulated timestamp in nanoseconds.
+    pub fn time_ns(&self) -> u64 {
+        match *self {
+            TraceEvent::Issue { t, .. }
+            | TraceEvent::BufferLookup { t, .. }
+            | TraceEvent::Probe { t, .. }
+            | TraceEvent::Queue { t, .. }
+            | TraceEvent::Media { t, .. }
+            | TraceEvent::Bus { t, .. }
+            | TraceEvent::Complete { t, .. }
+            | TraceEvent::Sample { t, .. } => t,
+        }
+    }
+
+    /// The owning request id, when the event belongs to one.
+    pub fn req(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::Issue { req, .. }
+            | TraceEvent::Probe { req, .. }
+            | TraceEvent::Queue { req, .. }
+            | TraceEvent::Media { req, .. }
+            | TraceEvent::Bus { req, .. }
+            | TraceEvent::Complete { req, .. } => Some(req),
+            TraceEvent::BufferLookup { .. } | TraceEvent::Sample { .. } => None,
+        }
+    }
+
+    /// Appends the event's JSON line (with trailing newline) to `out`.
+    pub fn write_json_line(&self, out: &mut String) {
+        use std::fmt::Write;
+        match *self {
+            TraceEvent::Issue {
+                t,
+                req,
+                stream,
+                start,
+                nblocks,
+                write,
+            } => writeln!(
+                out,
+                "{{\"t\":{t},\"e\":\"issue\",\"req\":{req},\"stream\":{stream},\"lb\":{start},\"n\":{nblocks},\"w\":{}}}",
+                write as u8
+            ),
+            TraceEvent::BufferLookup { t, block, write, hit } => writeln!(
+                out,
+                "{{\"t\":{t},\"e\":\"buffer\",\"blk\":{block},\"w\":{},\"hit\":{}}}",
+                write as u8, hit as u8
+            ),
+            TraceEvent::Probe {
+                t,
+                req,
+                disk,
+                nblocks,
+                result,
+            } => writeln!(
+                out,
+                "{{\"t\":{t},\"e\":\"probe\",\"req\":{req},\"disk\":{disk},\"n\":{nblocks},\"res\":\"{}\"}}",
+                result.tag()
+            ),
+            TraceEvent::Queue { t, req, disk, depth } => writeln!(
+                out,
+                "{{\"t\":{t},\"e\":\"queue\",\"req\":{req},\"disk\":{disk},\"depth\":{depth}}}"
+            ),
+            TraceEvent::Media {
+                t,
+                req,
+                disk,
+                wait,
+                seek,
+                rotation,
+                transfer,
+                overhead,
+                nblocks,
+                read_ahead,
+                write,
+            } => writeln!(
+                out,
+                "{{\"t\":{t},\"e\":\"media\",\"req\":{req},\"disk\":{disk},\"wait\":{wait},\"seek\":{seek},\"rot\":{rotation},\"xfer\":{transfer},\"ovh\":{overhead},\"n\":{nblocks},\"ra\":{read_ahead},\"w\":{}}}",
+                write as u8
+            ),
+            TraceEvent::Bus {
+                t,
+                req,
+                wait,
+                busy,
+                bytes,
+            } => writeln!(
+                out,
+                "{{\"t\":{t},\"e\":\"bus\",\"req\":{req},\"wait\":{wait},\"busy\":{busy},\"bytes\":{bytes}}}"
+            ),
+            TraceEvent::Complete { t, req, response } => writeln!(
+                out,
+                "{{\"t\":{t},\"e\":\"done\",\"req\":{req},\"resp\":{response}}}"
+            ),
+            TraceEvent::Sample {
+                t,
+                disk,
+                depth,
+                util_pm,
+                cache_blocks,
+                hdc_blocks,
+                ra_pm,
+            } => writeln!(
+                out,
+                "{{\"t\":{t},\"e\":\"sample\",\"disk\":{disk},\"depth\":{depth},\"util_pm\":{util_pm},\"cache\":{cache_blocks},\"hdc\":{hdc_blocks},\"ra_pm\":{ra_pm}}}"
+            ),
+        }
+        .expect("String write is infallible");
+    }
+
+    /// Parses one JSON line written by [`TraceEvent::write_json_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+        let fields = split_fields(line)?;
+        let num = |key: &str| -> Result<u64, String> {
+            lookup(&fields, key)?
+                .parse::<u64>()
+                .map_err(|_| format!("field '{key}' is not an integer in {line:?}"))
+        };
+        let flag = |key: &str| -> Result<bool, String> { Ok(num(key)? != 0) };
+        let kind = lookup(&fields, "e")?;
+        match kind {
+            "issue" => Ok(TraceEvent::Issue {
+                t: num("t")?,
+                req: num("req")?,
+                stream: num("stream")? as u32,
+                start: num("lb")?,
+                nblocks: num("n")? as u32,
+                write: flag("w")?,
+            }),
+            "buffer" => Ok(TraceEvent::BufferLookup {
+                t: num("t")?,
+                block: num("blk")?,
+                write: flag("w")?,
+                hit: flag("hit")?,
+            }),
+            "probe" => Ok(TraceEvent::Probe {
+                t: num("t")?,
+                req: num("req")?,
+                disk: num("disk")? as u16,
+                nblocks: num("n")? as u32,
+                result: ProbeResult::from_tag(lookup(&fields, "res")?)
+                    .ok_or_else(|| format!("unknown probe result in {line:?}"))?,
+            }),
+            "queue" => Ok(TraceEvent::Queue {
+                t: num("t")?,
+                req: num("req")?,
+                disk: num("disk")? as u16,
+                depth: num("depth")? as u32,
+            }),
+            "media" => Ok(TraceEvent::Media {
+                t: num("t")?,
+                req: num("req")?,
+                disk: num("disk")? as u16,
+                wait: num("wait")?,
+                seek: num("seek")?,
+                rotation: num("rot")?,
+                transfer: num("xfer")?,
+                overhead: num("ovh")?,
+                nblocks: num("n")? as u32,
+                read_ahead: num("ra")? as u32,
+                write: flag("w")?,
+            }),
+            "bus" => Ok(TraceEvent::Bus {
+                t: num("t")?,
+                req: num("req")?,
+                wait: num("wait")?,
+                busy: num("busy")?,
+                bytes: num("bytes")?,
+            }),
+            "done" => Ok(TraceEvent::Complete {
+                t: num("t")?,
+                req: num("req")?,
+                response: num("resp")?,
+            }),
+            "sample" => Ok(TraceEvent::Sample {
+                t: num("t")?,
+                disk: num("disk")? as u16,
+                depth: num("depth")? as u32,
+                util_pm: num("util_pm")? as u32,
+                cache_blocks: num("cache")? as u32,
+                hdc_blocks: num("hdc")? as u32,
+                ra_pm: num("ra_pm")? as u32,
+            }),
+            other => Err(format!("unknown event kind {other:?}")),
+        }
+    }
+}
+
+/// Splits one flat JSON object line into `(key, raw value)` pairs.
+/// Values never contain commas or nested objects (by construction of
+/// the writer), so a comma split is exact.
+fn split_fields(line: &str) -> Result<Vec<(&str, &str)>, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {line:?}"))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let (key, value) = part
+            .split_once(':')
+            .ok_or_else(|| format!("malformed field {part:?} in {line:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key {key:?} in {line:?}"))?;
+        let value = value.trim().trim_matches('"');
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+fn lookup<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, String> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|&(_, v)| v)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+/// Renders events as a JSONL document (one event per line).
+pub fn write_jsonl(events: &[TraceEvent]) -> String {
+    // ~90 bytes per line on average; presize to skip regrowth.
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        ev.write_json_line(&mut out);
+    }
+    out
+}
+
+/// Parses a JSONL document produced by [`write_jsonl`].
+///
+/// # Errors
+///
+/// Returns the 1-based line number and cause of the first bad line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(TraceEvent::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Issue {
+                t: 0,
+                req: 1,
+                stream: 2,
+                start: 4096,
+                nblocks: 8,
+                write: false,
+            },
+            TraceEvent::BufferLookup {
+                t: 5,
+                block: 77,
+                write: true,
+                hit: false,
+            },
+            TraceEvent::Probe {
+                t: 10,
+                req: 1,
+                disk: 3,
+                nblocks: 8,
+                result: ProbeResult::Miss,
+            },
+            TraceEvent::Queue {
+                t: 10,
+                req: 1,
+                disk: 3,
+                depth: 2,
+            },
+            TraceEvent::Media {
+                t: 20,
+                req: 1,
+                disk: 3,
+                wait: 10,
+                seek: 4_000_000,
+                rotation: 2_000_000,
+                transfer: 500_000,
+                overhead: 100_000,
+                nblocks: 32,
+                read_ahead: 24,
+                write: false,
+            },
+            TraceEvent::Bus {
+                t: 6_700_000,
+                req: 1,
+                wait: 0,
+                busy: 40_000,
+                bytes: 16_384,
+            },
+            TraceEvent::Complete {
+                t: 6_740_000,
+                req: 1,
+                response: 6_740_000,
+            },
+            TraceEvent::Sample {
+                t: 100_000_000,
+                disk: 3,
+                depth: 1,
+                util_pm: 875,
+                cache_blocks: 512,
+                hdc_blocks: 256,
+                ra_pm: 420,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        let evs = samples();
+        let text = write_jsonl(&evs);
+        assert_eq!(text.lines().count(), evs.len());
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, evs);
+        // Byte-stability: re-encoding the parse is identical.
+        assert_eq!(write_jsonl(&parsed), text);
+    }
+
+    #[test]
+    fn accessors() {
+        let evs = samples();
+        assert_eq!(evs[0].time_ns(), 0);
+        assert_eq!(evs[0].req(), Some(1));
+        assert_eq!(evs[1].req(), None);
+        assert_eq!(evs[7].req(), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TraceEvent::parse_line("not json").is_err());
+        assert!(TraceEvent::parse_line("{\"t\":1,\"e\":\"nope\"}").is_err());
+        assert!(TraceEvent::parse_line("{\"t\":1,\"e\":\"done\",\"req\":2}").is_err());
+        assert!(parse_jsonl("{\"t\":x,\"e\":\"done\",\"req\":1,\"resp\":1}")
+            .unwrap_err()
+            .starts_with("line 1"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let evs = parse_jsonl("\n{\"t\":1,\"e\":\"done\",\"req\":2,\"resp\":3}\n\n").unwrap();
+        assert_eq!(evs.len(), 1);
+    }
+}

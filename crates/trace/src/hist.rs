@@ -1,0 +1,198 @@
+//! Mergeable power-of-two latency histograms.
+//!
+//! One bucket per binary octave: bucket `b` covers `[2^b, 2^(b+1))`
+//! nanoseconds (bucket 0 also holds zero). Coarser than the
+//! simulator's reporting histogram (`forhdc-core` uses 16 sub-buckets
+//! per octave) but fully mergeable with a fixed 64-slot footprint,
+//! which is what per-phase × per-disk × per-point aggregation needs.
+
+/// A latency histogram with one bucket per power of two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerHistogram {
+    counts: [u64; 64],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for PowerHistogram {
+    fn default() -> Self {
+        PowerHistogram::new()
+    }
+}
+
+impl PowerHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        PowerHistogram {
+            counts: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        // floor(log2(max(value, 1))): 0 and 1 land in bucket 0.
+        63 - (value | 1).leading_zeros() as usize
+    }
+
+    /// Records one value (nanoseconds).
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile `q` in `[0, 1]`, resolved to its bucket's lower
+    /// bound (a deterministic ≤-estimate one octave wide at worst).
+    /// `q = 1.0` returns the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if b == 0 { 0 } else { 1u64 << b };
+            }
+        }
+        self.max
+    }
+
+    /// Median shorthand: [`PowerHistogram::quantile`] at 0.50.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile shorthand.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram's buckets into this one.
+    pub fn merge(&mut self, other: &PowerHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Occupied buckets as `(bucket lower bound, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (if b == 0 { 0 } else { 1u64 << b }, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_octaves() {
+        assert_eq!(PowerHistogram::bucket_of(0), 0);
+        assert_eq!(PowerHistogram::bucket_of(1), 0);
+        assert_eq!(PowerHistogram::bucket_of(2), 1);
+        assert_eq!(PowerHistogram::bucket_of(3), 1);
+        assert_eq!(PowerHistogram::bucket_of(4), 2);
+        assert_eq!(PowerHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = PowerHistogram::new();
+        for v in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile(0.0), 0); // rank 1 → bucket of value 1
+        assert_eq!(h.p50(), 16);
+        assert_eq!(h.quantile(0.9), 256);
+        assert_eq!(h.quantile(1.0), 1024);
+        assert_eq!(h.max(), 1024);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99() && h.p99() <= h.max());
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let h = PowerHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = PowerHistogram::new();
+        let mut b = PowerHistogram::new();
+        let mut whole = PowerHistogram::new();
+        for v in 0..1000u64 {
+            whole.record(v * 17);
+            if v % 2 == 0 {
+                a.record(v * 17);
+            } else {
+                b.record(v * 17);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.sum(), whole.sum());
+    }
+
+    #[test]
+    fn buckets_iterator_reports_occupied() {
+        let mut h = PowerHistogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        let b: Vec<_> = h.buckets().collect();
+        assert_eq!(b, vec![(2, 2), (64, 1)]);
+    }
+}

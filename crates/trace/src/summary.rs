@@ -1,0 +1,378 @@
+//! Trace analysis: per-phase/per-disk histograms, slowest-request
+//! extraction, and sampler-series downsampling.
+
+use crate::event::TraceEvent;
+use crate::hist::PowerHistogram;
+
+/// The fixed per-phase histogram order of a [`TraceSummary`]. Keeping
+/// the order static makes summaries mergeable by position and the
+/// rendered tables stable.
+pub const PHASES: [&str; 8] = [
+    "ctrl_queue",
+    "seek",
+    "rotation",
+    "transfer",
+    "overhead",
+    "bus_wait",
+    "bus_xfer",
+    "response",
+];
+
+/// Per-phase and per-disk latency histograms distilled from one or
+/// more traces. Mergeable: point jobs summarize independently and the
+/// harness folds them together.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Events consumed.
+    pub events: u64,
+    /// Completed host requests observed.
+    pub requests: u64,
+    /// Sampler observations observed.
+    pub samples: u64,
+    /// One histogram per [`PHASES`] entry, in that order (ns values).
+    pub phases: Vec<(&'static str, PowerHistogram)>,
+    /// Media service time (seek+rotation+transfer+overhead) per disk,
+    /// indexed by physical disk id.
+    pub per_disk_service: Vec<PowerHistogram>,
+}
+
+impl TraceSummary {
+    /// An empty summary with every phase histogram present.
+    pub fn new() -> Self {
+        TraceSummary {
+            events: 0,
+            requests: 0,
+            samples: 0,
+            phases: PHASES.iter().map(|&p| (p, PowerHistogram::new())).collect(),
+            per_disk_service: Vec::new(),
+        }
+    }
+
+    /// Distills one trace's events.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut s = TraceSummary::new();
+        s.add_events(events);
+        s
+    }
+
+    /// Folds more events into the summary.
+    pub fn add_events(&mut self, events: &[TraceEvent]) {
+        for ev in events {
+            self.events += 1;
+            match *ev {
+                TraceEvent::Media {
+                    disk,
+                    wait,
+                    seek,
+                    rotation,
+                    transfer,
+                    overhead,
+                    ..
+                } => {
+                    self.phase_mut("ctrl_queue").record(wait);
+                    self.phase_mut("seek").record(seek);
+                    self.phase_mut("rotation").record(rotation);
+                    self.phase_mut("transfer").record(transfer);
+                    self.phase_mut("overhead").record(overhead);
+                    let d = disk as usize;
+                    if self.per_disk_service.len() <= d {
+                        self.per_disk_service
+                            .resize_with(d + 1, PowerHistogram::new);
+                    }
+                    self.per_disk_service[d].record(seek + rotation + transfer + overhead);
+                }
+                TraceEvent::Bus { wait, busy, .. } => {
+                    self.phase_mut("bus_wait").record(wait);
+                    self.phase_mut("bus_xfer").record(busy);
+                }
+                TraceEvent::Complete { response, .. } => {
+                    self.requests += 1;
+                    self.phase_mut("response").record(response);
+                }
+                TraceEvent::Sample { .. } => self.samples += 1,
+                TraceEvent::Issue { .. }
+                | TraceEvent::BufferLookup { .. }
+                | TraceEvent::Probe { .. }
+                | TraceEvent::Queue { .. } => {}
+            }
+        }
+    }
+
+    fn phase_mut(&mut self, name: &str) -> &mut PowerHistogram {
+        &mut self
+            .phases
+            .iter_mut()
+            .find(|(p, _)| *p == name)
+            .expect("phase list is fixed")
+            .1
+    }
+
+    /// The histogram for `name`, if any values were recorded under it.
+    pub fn phase(&self, name: &str) -> Option<&PowerHistogram> {
+        self.phases
+            .iter()
+            .find(|(p, _)| *p == name)
+            .map(|(_, h)| h)
+            .filter(|h| !h.is_empty())
+    }
+
+    /// Merges another summary (same fixed phase order) into this one.
+    pub fn merge(&mut self, other: &TraceSummary) {
+        self.events += other.events;
+        self.requests += other.requests;
+        self.samples += other.samples;
+        for ((pa, a), (pb, b)) in self.phases.iter_mut().zip(other.phases.iter()) {
+            debug_assert_eq!(pa, pb, "phase order is fixed");
+            a.merge(b);
+        }
+        if self.per_disk_service.len() < other.per_disk_service.len() {
+            self.per_disk_service
+                .resize_with(other.per_disk_service.len(), PowerHistogram::new);
+        }
+        for (a, b) in self
+            .per_disk_service
+            .iter_mut()
+            .zip(other.per_disk_service.iter())
+        {
+            a.merge(b);
+        }
+    }
+
+    /// Percentile rows for every non-empty phase, in fixed order.
+    pub fn phase_percentiles(&self) -> Vec<PhasePercentiles> {
+        self.phases
+            .iter()
+            .filter(|(_, h)| !h.is_empty())
+            .map(|&(phase, ref h)| PhasePercentiles {
+                phase,
+                count: h.count(),
+                p50_ns: h.p50(),
+                p95_ns: h.p95(),
+                p99_ns: h.p99(),
+                max_ns: h.max(),
+            })
+            .collect()
+    }
+}
+
+/// One row of a per-phase percentile table (all values ns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhasePercentiles {
+    /// Phase name (one of [`PHASES`]).
+    pub phase: &'static str,
+    /// Values recorded.
+    pub count: u64,
+    /// Median (bucket lower bound).
+    pub p50_ns: u64,
+    /// 95th percentile (bucket lower bound).
+    pub p95_ns: u64,
+    /// 99th percentile (bucket lower bound).
+    pub p99_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+}
+
+/// One request's full span breakdown, reassembled from its events.
+#[derive(Debug, Clone)]
+pub struct RequestSpan {
+    /// Request id within its trace.
+    pub req: u64,
+    /// Issue time (ns); 0 if the issue event was not captured.
+    pub issued_ns: u64,
+    /// Response time (ns).
+    pub response_ns: u64,
+    /// Every event carrying this request id, in trace order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// The `n` slowest completed requests, slowest first (ties broken by
+/// ascending request id, so the ranking is deterministic). Flush
+/// write-backs never complete, so they are excluded by construction.
+pub fn slowest_requests(events: &[TraceEvent], n: usize) -> Vec<RequestSpan> {
+    let mut done: Vec<(u64, u64)> = events
+        .iter()
+        .filter_map(|ev| match *ev {
+            TraceEvent::Complete { req, response, .. } => Some((response, req)),
+            _ => None,
+        })
+        .collect();
+    done.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    done.truncate(n);
+    done.iter()
+        .map(|&(response, req)| {
+            let evs: Vec<TraceEvent> = events
+                .iter()
+                .filter(|ev| ev.req() == Some(req))
+                .copied()
+                .collect();
+            let issued_ns = evs
+                .iter()
+                .find_map(|ev| match *ev {
+                    TraceEvent::Issue { t, .. } => Some(t),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            RequestSpan {
+                req,
+                issued_ns,
+                response_ns: response,
+                events: evs,
+            }
+        })
+        .collect()
+}
+
+/// Downsamples one trace's sampler series into per-disk utilization
+/// timelines of at most `cols` columns (mean per-mille per column).
+/// Returns `(disk, timeline)` pairs sorted by disk id.
+pub fn utilization_timeline(events: &[TraceEvent], cols: usize) -> Vec<(u16, Vec<u32>)> {
+    let mut per_disk: Vec<(u16, Vec<u32>)> = Vec::new();
+    for ev in events {
+        if let TraceEvent::Sample { disk, util_pm, .. } = *ev {
+            match per_disk.binary_search_by_key(&disk, |&(d, _)| d) {
+                Ok(i) => per_disk[i].1.push(util_pm),
+                Err(i) => per_disk.insert(i, (disk, vec![util_pm])),
+            }
+        }
+    }
+    for (_, series) in &mut per_disk {
+        if cols > 0 && series.len() > cols {
+            let len = series.len();
+            let mut out = Vec::with_capacity(cols);
+            for c in 0..cols {
+                let lo = c * len / cols;
+                let hi = ((c + 1) * len / cols).max(lo + 1);
+                let sum: u64 = series[lo..hi].iter().map(|&v| v as u64).sum();
+                out.push((sum / (hi - lo) as u64) as u32);
+            }
+            *series = out;
+        }
+    }
+    per_disk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn media(req: u64, disk: u16, wait: u64, service: u64) -> TraceEvent {
+        TraceEvent::Media {
+            t: 0,
+            req,
+            disk,
+            wait,
+            seek: service / 2,
+            rotation: service / 4,
+            transfer: service / 4,
+            overhead: 0,
+            nblocks: 8,
+            read_ahead: 0,
+            write: false,
+        }
+    }
+
+    fn done(req: u64, response: u64) -> TraceEvent {
+        TraceEvent::Complete {
+            t: response,
+            req,
+            response,
+        }
+    }
+
+    #[test]
+    fn summary_distills_phases_and_disks() {
+        let evs = vec![
+            media(1, 0, 100, 4000),
+            media(2, 3, 200, 8000),
+            done(1, 5000),
+            done(2, 9000),
+            TraceEvent::Sample {
+                t: 1,
+                disk: 0,
+                depth: 0,
+                util_pm: 500,
+                cache_blocks: 0,
+                hdc_blocks: 0,
+                ra_pm: 0,
+            },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.events, 5);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.phase("ctrl_queue").unwrap().count(), 2);
+        assert_eq!(s.phase("response").unwrap().max(), 9000);
+        assert!(s.phase("bus_wait").is_none());
+        assert_eq!(s.per_disk_service.len(), 4);
+        assert_eq!(s.per_disk_service[0].count(), 1);
+        assert!(s.per_disk_service[1].is_empty());
+        let rows = s.phase_percentiles();
+        assert!(rows.iter().any(|r| r.phase == "response" && r.count == 2));
+        assert!(rows.iter().all(|r| r.p50_ns <= r.max_ns));
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let a = vec![media(1, 0, 10, 1000), done(1, 2000)];
+        let b = vec![media(2, 1, 20, 3000), done(2, 4000)];
+        let mut merged = TraceSummary::from_events(&a);
+        merged.merge(&TraceSummary::from_events(&b));
+        let mut both = a.clone();
+        both.extend(b);
+        let whole = TraceSummary::from_events(&both);
+        assert_eq!(merged.events, whole.events);
+        assert_eq!(merged.requests, whole.requests);
+        assert_eq!(merged.phases, whole.phases);
+        assert_eq!(merged.per_disk_service, whole.per_disk_service);
+    }
+
+    #[test]
+    fn slowest_ranks_and_reassembles() {
+        let evs = vec![
+            TraceEvent::Issue {
+                t: 0,
+                req: 7,
+                stream: 1,
+                start: 0,
+                nblocks: 1,
+                write: false,
+            },
+            media(7, 0, 5, 100),
+            done(7, 9000),
+            done(3, 9000), // tie: lower id ranks later? no — ties by asc id, 3 first
+            done(5, 100),
+        ];
+        let top = slowest_requests(&evs, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].req, 3);
+        assert_eq!(top[1].req, 7);
+        assert_eq!(top[1].events.len(), 3);
+        assert_eq!(top[1].issued_ns, 0);
+        let all = slowest_requests(&evs, 10);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].req, 5);
+    }
+
+    #[test]
+    fn timeline_downsamples_means() {
+        let mut evs = Vec::new();
+        for i in 0..10u64 {
+            evs.push(TraceEvent::Sample {
+                t: i,
+                disk: 1,
+                depth: 0,
+                util_pm: (i * 100) as u32,
+                cache_blocks: 0,
+                hdc_blocks: 0,
+                ra_pm: 0,
+            });
+        }
+        let tl = utilization_timeline(&evs, 5);
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl[0].0, 1);
+        assert_eq!(tl[0].1, vec![50, 250, 450, 650, 850]);
+        // Fewer samples than columns: untouched.
+        let tl = utilization_timeline(&evs, 100);
+        assert_eq!(tl[0].1.len(), 10);
+    }
+}
