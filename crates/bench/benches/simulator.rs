@@ -56,6 +56,7 @@ fn bench_scheduler(c: &mut Criterion) {
                         kind: ReadWrite::Read,
                         cylinder: (i * 997 % 10_000) as u32,
                         queued_at: SimTime::ZERO,
+                        attempt: 0,
                     });
                 }
                 let mut head = 5_000;

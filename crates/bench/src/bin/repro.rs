@@ -2,10 +2,10 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--timings]
+//! repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--max-retries N] [--timings]
 //! repro --list
 //!
-//!   experiment   one of: table1 fig1 fig2 ... fig12 table2
+//!   experiment   one of: table1 fig1 fig2 ... fig12 table2 fig-faults
 //!                ablation-{sched,segrepl,blkrepl,segsize,coalesce,periodic,...}
 //!   --jobs N     worker threads for sweep experiments (default 1);
 //!                output is byte-identical for every N
@@ -15,6 +15,7 @@
 //!   --out DIR    CSV output directory (default results/)
 //!   --trace DIR  write request-lifecycle traces to DIR/<id>/p<point>.jsonl
 //!                (implies --no-cache; deterministic for every --jobs N)
+//!   --max-retries N  re-run a crashed job up to N extra times (default 0)
 //!   --timings    print a per-experiment timing table after the run
 //!   --list       print the experiment ids, one per line
 //! ```
@@ -24,6 +25,11 @@
 //! same bytes as a serial run. Completed jobs persist in the result
 //! cache, making an interrupted `repro all` resumable. Each run writes
 //! `<out>/manifest.json` with per-experiment timings and job counts.
+//!
+//! A job that panics does not bring the run down: the failure is
+//! recorded in the manifest (and retried up to `--max-retries` times
+//! first), sibling jobs complete, no table or CSV is emitted for the
+//! broken experiment, and the process exits non-zero.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,6 +42,7 @@ fn main() -> ExitCode {
     let mut opts = RunOptions::default();
     let mut out_dir = PathBuf::from("results");
     let mut jobs = 1usize;
+    let mut max_retries = 0usize;
     let mut use_cache = true;
     let mut timings = false;
     let mut targets: Vec<String> = Vec::new();
@@ -61,6 +68,13 @@ fn main() -> ExitCode {
                 jobs = match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(v) if v > 0 => v,
                     _ => return usage_err("--jobs needs a positive integer"),
+                };
+            }
+            "--max-retries" => {
+                i += 1;
+                max_retries = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage_err("--max-retries needs a non-negative integer"),
                 };
             }
             "--no-cache" => use_cache = false,
@@ -102,7 +116,7 @@ fn main() -> ExitCode {
     } else {
         let mut ids = Vec::new();
         for t in &targets {
-            if experiments::ALL.contains(&t.as_str()) {
+            if experiments::ALL.contains(&t.as_str()) || experiments::HIDDEN.contains(&t.as_str()) {
                 ids.push(t.as_str());
             } else {
                 return usage_err(&format!("unknown experiment '{t}'"));
@@ -111,6 +125,19 @@ fn main() -> ExitCode {
         ids
     };
 
+    // Fail fast on an unwritable destination: one clean diagnostic
+    // beats a full run that cannot land its outputs.
+    if let Err(e) = forhdc_bench::tracefs::ensure_writable_dir(&out_dir) {
+        eprintln!("error: output directory: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(root) = opts.trace_dir {
+        if let Err(e) = forhdc_bench::tracefs::ensure_writable_dir(std::path::Path::new(root)) {
+            eprintln!("error: trace directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if opts.trace_dir.is_some() && use_cache {
         // A cache hit skips the job closure entirely, so its trace file
         // would never be written; tracing therefore runs every job.
@@ -118,7 +145,7 @@ fn main() -> ExitCode {
         use_cache = false;
     }
     let cache_dir = use_cache.then(|| out_dir.join(".cache"));
-    let mut runner = Runner::new(jobs);
+    let mut runner = Runner::new(jobs).max_retries(max_retries);
     if let Some(dir) = &cache_dir {
         runner = runner.cache_dir(dir);
     }
@@ -129,6 +156,14 @@ fn main() -> ExitCode {
         let table = match experiments::plan(id, opts) {
             Some(p) => {
                 let (table, stats) = p.run_with(&runner);
+                if !stats.failures.is_empty() {
+                    eprintln!(
+                        "error: {id}: {} job(s) failed; no table written (details in {})",
+                        stats.failures.len(),
+                        out_dir.join("manifest.json").display()
+                    );
+                    io_failed = true;
+                }
                 manifest.record(&stats);
                 table
             }
@@ -141,11 +176,14 @@ fn main() -> ExitCode {
                     jobs: 0,
                     cache_hits: 0,
                     wall: started.elapsed(),
+                    failures: Vec::new(),
                 });
-                table
+                Some(table)
             }
         };
-        println!("{table}");
+        if let Some(table) = &table {
+            println!("{table}");
+        }
         println!(
             "({} finished in {:.1}s)\n",
             id,
@@ -165,13 +203,15 @@ fn main() -> ExitCode {
                 }
             }
         }
-        if let Err(e) = table.write_csv(&out_dir) {
-            eprintln!(
-                "error: could not write {}/{}.csv: {e}",
-                out_dir.display(),
-                id
-            );
-            io_failed = true;
+        if let Some(table) = &table {
+            if let Err(e) = table.write_csv(&out_dir) {
+                eprintln!(
+                    "error: could not write {}/{}.csv: {e}",
+                    out_dir.display(),
+                    id
+                );
+                io_failed = true;
+            }
         }
     }
     if timings {
@@ -191,7 +231,7 @@ fn main() -> ExitCode {
 
 fn usage_text() -> String {
     format!(
-        "usage: repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--timings]\n       repro --list\n\nexperiments: {}",
+        "usage: repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--max-retries N] [--timings]\n       repro --list\n\nexperiments: {}",
         experiments::ALL.join(" ")
     )
 }

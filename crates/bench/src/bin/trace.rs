@@ -117,12 +117,26 @@ fn report(dir: &Path, top: usize) -> Result<(), String> {
     if timeline.is_empty() {
         println!("\nno sampler events (trace written without sampling?)");
     } else {
+        // Per-disk injected-fault tallies (power losses are array-wide,
+        // not chargeable to one disk, so they are excluded here).
+        let mut disk_faults: std::collections::HashMap<u16, u64> = std::collections::HashMap::new();
+        for ev in &best.1 {
+            if let TraceEvent::Fault { disk, kind, .. } = ev {
+                if *kind != forhdc_trace::FaultKind::PowerLoss {
+                    *disk_faults.entry(*disk).or_insert(0) += 1;
+                }
+            }
+        }
         println!("\ndisk utilization timeline ({}, 0–100%)", best.0);
         for (disk, series) in timeline {
             let bars: String = series.iter().map(|&pm| bar(pm)).collect();
             let mean: u64 =
                 series.iter().map(|&v| v as u64).sum::<u64>() / series.len().max(1) as u64;
-            println!("  disk {disk:>2} |{bars}| mean {:>3}%", mean / 10);
+            let faults = disk_faults.get(&disk).copied().unwrap_or(0);
+            println!(
+                "  disk {disk:>2} |{bars}| mean {:>3}%  faults {faults:>4}",
+                mean / 10
+            );
         }
     }
 
@@ -224,6 +238,17 @@ fn describe(ev: &TraceEvent) -> String {
             rw(write),
             if hit { "hit" } else { "miss" }
         ),
+        TraceEvent::Fault { t, disk, kind, .. } => {
+            format!("{} fault   disk {disk} {}", ms(t), kind.tag())
+        }
+        TraceEvent::Retry { t, disk, attempt, delay, .. } => {
+            format!(
+                "{} retry   disk {disk} attempt {attempt} after {}",
+                ms(t),
+                ms(delay)
+            )
+        }
+        TraceEvent::Timeout { t, .. } => format!("{} timeout request abandoned", ms(t)),
         TraceEvent::Sample { .. } => "sample".to_string(),
     }
 }

@@ -1,6 +1,7 @@
 //! One module per group of paper artifacts.
 
 pub mod ablations;
+pub mod faults;
 pub mod micro;
 pub mod servers;
 pub mod synthetic;
@@ -39,7 +40,14 @@ pub const ALL: &[&str] = &[
     "ablation-zones",
     "ablation-coop",
     "model-check",
+    "fig-faults",
 ];
+
+/// Diagnostics runnable by explicit id but never part of `all`: they
+/// exist to exercise the harness's failure path end to end (a
+/// `selftest-panic` run must leave a manifest failure record and exit
+/// non-zero while sibling jobs complete).
+pub const HIDDEN: &[&str] = &["selftest-panic"];
 
 /// The job-graph decomposition of `id`, when it has one.
 ///
@@ -69,6 +77,8 @@ pub fn plan(id: &str, opts: RunOptions) -> Option<PlannedExperiment> {
         "ablation-flush" => ablations::plan_flush_period(opts),
         "ablation-mirror" => ablations::plan_mirroring(opts),
         "ablation-zones" => ablations::plan_zoned(opts),
+        "fig-faults" => faults::plan_faults(opts),
+        "selftest-panic" => faults::plan_selftest_panic(),
         _ => return None,
     })
 }

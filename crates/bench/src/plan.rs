@@ -56,9 +56,19 @@ impl PlannedExperiment {
 
     /// Executes the jobs on `runner` (parallel and/or cached) and
     /// assembles. The table is identical to [`Self::run_serial`]'s.
-    pub fn run_with(&self, runner: &Runner) -> (Table, ExperimentStats) {
+    ///
+    /// When any job failed (panicked past its retry budget), there is
+    /// nothing sound to assemble — a partial table would be silently
+    /// wrong — so the table is `None` and the failure records are in
+    /// the stats.
+    pub fn run_with(&self, runner: &Runner) -> (Option<Table>, ExperimentStats) {
         let run = runner.execute(self.id, &self.jobs);
-        ((self.assemble)(&run.outputs), run.stats)
+        let table = run
+            .stats
+            .failures
+            .is_empty()
+            .then(|| (self.assemble)(&run.outputs));
+        (table, run.stats)
     }
 }
 
@@ -113,7 +123,11 @@ pub fn sim_job(
                 let (report, tracer) =
                     System::new_traced(sys_cfg, wl.get(), forhdc_trace::MemTracer::new())
                         .run_traced();
-                crate::tracefs::write_point(&path, &tracer.to_jsonl());
+                // A panic here is caught by the runner and recorded as
+                // a job failure; the process and its siblings carry on.
+                if let Err(e) = crate::tracefs::write_point(&path, &tracer.to_jsonl()) {
+                    panic!("{e}");
+                }
                 report_metrics(&report)
             })
         }

@@ -20,17 +20,33 @@ pub fn point_path(dir: &str, experiment: &str, point: usize) -> PathBuf {
 
 /// Writes one point's JSONL document, creating parent directories.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on I/O failure: a traced run that silently drops its trace
-/// would defeat the point of tracing.
-pub fn write_point(path: &Path, jsonl: &str) {
+/// Returns a description of the failed operation. A traced run that
+/// silently dropped its trace would defeat the point of tracing, so
+/// callers must surface the error — the job layer turns it into a
+/// recorded job failure rather than an aborted process.
+pub fn write_point(path: &Path, jsonl: &str) -> Result<(), String> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)
-            .unwrap_or_else(|e| panic!("creating trace dir {}: {e}", parent.display()));
+            .map_err(|e| format!("creating trace dir {}: {e}", parent.display()))?;
     }
-    std::fs::write(path, jsonl)
-        .unwrap_or_else(|e| panic!("writing trace file {}: {e}", path.display()));
+    std::fs::write(path, jsonl).map_err(|e| format!("writing trace file {}: {e}", path.display()))
+}
+
+/// Verifies that `dir` exists (creating it as needed) and is
+/// writable, by round-tripping a probe file. Lets the CLI fail fast
+/// with one clean diagnostic instead of one failed job per point.
+///
+/// # Errors
+///
+/// Returns a description of the failed operation.
+pub fn ensure_writable_dir(dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let probe = dir.join(".forhdc-write-probe");
+    std::fs::write(&probe, b"probe")
+        .map_err(|e| format!("{} is not writable: {e}", dir.display()))?;
+    std::fs::remove_file(&probe).map_err(|e| format!("removing {}: {e}", probe.display()))
 }
 
 /// The `.jsonl` files directly inside `dir`, sorted by name (point

@@ -9,10 +9,11 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use forhdc_runner::{ExperimentStats, RunManifest, TracePhase, TraceSummary};
+use forhdc_runner::{ExperimentStats, JobFailure, RunManifest, TracePhase, TraceSummary};
 
 /// A manifest with every entry shape: a traced sweep, an untraced
-/// sweep with cache hits, and a legacy serial experiment.
+/// sweep with cache hits, a legacy serial experiment, and a sweep
+/// with a recorded job failure.
 fn build_manifest() -> RunManifest {
     let mut m = RunManifest::new(3, Some(Path::new("results/.cache")));
     m.record(&ExperimentStats {
@@ -20,18 +21,32 @@ fn build_manifest() -> RunManifest {
         jobs: 44,
         cache_hits: 0,
         wall: Duration::from_millis(2_500),
+        failures: Vec::new(),
     });
     m.record(&ExperimentStats {
         id: "fig7".to_string(),
         jobs: 32,
         cache_hits: 32,
         wall: Duration::from_millis(40),
+        failures: Vec::new(),
     });
     m.record(&ExperimentStats {
         id: "table1".to_string(),
         jobs: 0,
         cache_hits: 0,
         wall: Duration::from_millis(100),
+        failures: Vec::new(),
+    });
+    m.record(&ExperimentStats {
+        id: "selftest-panic".to_string(),
+        jobs: 3,
+        cache_hits: 0,
+        wall: Duration::from_millis(5),
+        failures: vec![JobFailure {
+            point: 1,
+            label: "p1".to_string(),
+            error: "selftest: job 1 panics by design".to_string(),
+        }],
     });
     m.attach_trace(
         "fig3",

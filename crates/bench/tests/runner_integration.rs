@@ -38,7 +38,7 @@ fn parallel_tables_are_byte_identical_to_serial() {
         assert!(stats.jobs > 1, "{id} must decompose into multiple jobs");
         assert_eq!(
             serial.to_csv(),
-            parallel.to_csv(),
+            parallel.expect("no failures").to_csv(),
             "{id}: --jobs 4 output must be byte-identical to serial"
         );
     }
@@ -55,12 +55,14 @@ fn cached_rerun_is_free_and_identical() {
     let (first, first_stats) = experiments::plan(id, quick())
         .expect("plan")
         .run_with(&cold);
+    let first = first.expect("no failures");
     assert_eq!(first_stats.cache_hits, 0, "cold cache must miss everywhere");
 
     let warm = Runner::new(4).quiet(true).cache_dir(&dir);
     let (second, second_stats) = experiments::plan(id, quick())
         .expect("plan")
         .run_with(&warm);
+    let second = second.expect("no failures");
     assert_eq!(
         second_stats.cache_hits, second_stats.jobs,
         "warm cache must hit on every job"
@@ -97,7 +99,7 @@ fn run_and_plan_agree() {
     let (via_plan, _) = experiments::plan(id, quick())
         .expect("plan")
         .run_with(&runner);
-    assert_eq!(via_run.to_csv(), via_plan.to_csv());
+    assert_eq!(via_run.to_csv(), via_plan.expect("no failures").to_csv());
 }
 
 mod cli {
@@ -128,6 +130,59 @@ mod cli {
             assert!(stdout.contains("usage: repro"), "{flag}: usage on stdout");
             assert!(out.stderr.is_empty(), "{flag}: nothing on stderr");
         }
+    }
+
+    /// `--trace` pointing somewhere that cannot be created fails fast
+    /// with one clean diagnostic and a non-zero exit, before any job
+    /// runs (a traced run that cannot land its traces is useless).
+    #[test]
+    fn unwritable_trace_dir_fails_cleanly() {
+        let file = std::env::temp_dir().join(format!("forhdc_cli_probe_{}", std::process::id()));
+        std::fs::write(&file, b"a file, not a directory").unwrap();
+        let out_dir = super::tmpdir("cli_trace_out");
+        let out = repro()
+            .args(["fig4", "--requests", "50"])
+            .arg("--out")
+            .arg(&out_dir)
+            .arg("--trace")
+            .arg(file.join("traces")) // parent is a file: uncreatable
+            .output()
+            .expect("spawn repro");
+        assert!(!out.status.success(), "must exit non-zero");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("error: trace directory"),
+            "stderr: {stderr}"
+        );
+        let _ = std::fs::remove_file(&file);
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    /// The hidden crash-safety selftest end to end: the planted panic
+    /// becomes a manifest failure record, sibling jobs complete, no
+    /// CSV is written for the broken experiment, and the process
+    /// exits non-zero.
+    #[test]
+    fn selftest_panic_records_failure_and_exits_nonzero() {
+        let out_dir = super::tmpdir("cli_selftest");
+        let out = repro()
+            .args(["selftest-panic", "--jobs", "2", "--no-cache"])
+            .arg("--out")
+            .arg(&out_dir)
+            .output()
+            .expect("spawn repro");
+        assert!(!out.status.success(), "must exit non-zero");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("1 job(s) failed"), "stderr: {stderr}");
+        let manifest =
+            std::fs::read_to_string(out_dir.join("manifest.json")).expect("manifest written");
+        assert!(manifest.contains("\"failures\""), "{manifest}");
+        assert!(manifest.contains("panics by design"), "{manifest}");
+        assert!(
+            !out_dir.join("selftest-panic.csv").exists(),
+            "a failed experiment must not write a CSV"
+        );
+        let _ = std::fs::remove_dir_all(&out_dir);
     }
 
     /// Unknown experiments and bad flags exit non-zero with the error

@@ -46,6 +46,7 @@ fn traced_runs_match_untraced_and_are_deterministic_across_jobs() {
     let (parallel, stats) = experiments::plan(id, quick(Some(leak(&d2))))
         .expect("plan")
         .run_with(&runner);
+    let parallel = parallel.expect("no failures");
     assert!(stats.jobs > 1, "{id} must decompose into multiple jobs");
 
     // Tracing must never perturb the simulation.

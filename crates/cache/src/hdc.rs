@@ -120,6 +120,13 @@ pub struct HdcRegion {
     dirty: u32,
     capacity: u32,
     stats: HdcStats,
+    /// Clean→dirty transitions over the region's lifetime. Every such
+    /// transition must end as a flushed write-back, a dirty unpin
+    /// (caller-owned write-back), or a lost write under fault
+    /// injection — the conservation invariant the property tests hold.
+    dirtied: u64,
+    /// Dirty blocks handed back to the caller by [`HdcRegion::unpin`].
+    dirty_unpins: u64,
 }
 
 impl HdcRegion {
@@ -132,6 +139,8 @@ impl HdcRegion {
             dirty: 0,
             capacity,
             stats: HdcStats::default(),
+            dirtied: 0,
+            dirty_unpins: 0,
         }
     }
 
@@ -170,6 +179,7 @@ impl HdcRegion {
             // The block's `dirty_list` entry goes stale; the flush
             // filter discards it.
             self.dirty -= 1;
+            self.dirty_unpins += 1;
         }
         dirty
     }
@@ -198,6 +208,7 @@ impl HdcRegion {
             if !*dirty {
                 *dirty = true;
                 self.dirty += 1;
+                self.dirtied += 1;
                 self.dirty_list.push(block);
             }
             self.stats.write_hits += 1;
@@ -235,6 +246,65 @@ impl HdcRegion {
         out.sort_unstable();
         self.dirty = 0;
         self.stats.flushed += out.len() as u64;
+    }
+
+    /// Undoes a failed flush write-back: the media never received
+    /// `blocks`, so their "flushed" accounting is reverted and each
+    /// block still pinned is re-marked dirty for a later flush. Blocks
+    /// unpinned since the flush drained them have nowhere to live —
+    /// their count is returned as *lost writes*.
+    pub fn unflush(&mut self, blocks: &[PhysBlock]) -> u64 {
+        self.stats.flushed = self.stats.flushed.saturating_sub(blocks.len() as u64);
+        let mut lost = 0;
+        for &b in blocks {
+            match self.pinned.get_mut(&b) {
+                Some(dirty) => {
+                    if !*dirty {
+                        *dirty = true;
+                        self.dirty += 1;
+                        // Not a new clean→dirty transition: `dirtied`
+                        // already counted this write when it happened.
+                        self.dirty_list.push(b);
+                    } else {
+                        // The host re-dirtied the block while its flush
+                        // was in flight: the flush's (older) version is
+                        // superseded in memory and never reached media,
+                        // so that data version is a lost write.
+                        lost += 1;
+                    }
+                }
+                None => lost += 1,
+            }
+        }
+        lost
+    }
+
+    /// Controller power loss: volatile contents vanish, so every dirty
+    /// pinned block's unsynced data is gone. Clears all dirty bits
+    /// (the pins themselves survive — the host re-loads them) and
+    /// returns the number of lost dirty blocks.
+    pub fn discard_dirty(&mut self) -> u64 {
+        let mut lost = 0;
+        for b in self.dirty_list.drain(..) {
+            if let Some(d) = self.pinned.get_mut(&b) {
+                if *d {
+                    *d = false;
+                    lost += 1;
+                }
+            }
+        }
+        self.dirty = 0;
+        lost
+    }
+
+    /// Clean→dirty transitions over the region's lifetime.
+    pub fn dirtied(&self) -> u64 {
+        self.dirtied
+    }
+
+    /// Dirty blocks returned to the caller by unpins.
+    pub fn dirty_unpins(&self) -> u64 {
+        self.dirty_unpins
     }
 
     /// Number of blocks currently pinned.
@@ -379,6 +449,57 @@ mod tests {
         assert_eq!(buf, vec![b(3)]);
         h.flush_into(&mut buf);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn unflush_re_dirties_and_reverts_accounting() {
+        let mut h = HdcRegion::new(4);
+        h.pin(b(1)).unwrap();
+        h.pin(b(2)).unwrap();
+        h.write(b(1));
+        h.write(b(2));
+        assert_eq!(h.dirtied(), 2);
+        let flushed = h.flush();
+        assert_eq!(h.stats().flushed, 2);
+        // The write-back failed: both blocks still pinned, so nothing
+        // is lost and both are dirty again for the next flush.
+        assert_eq!(h.unflush(&flushed), 0);
+        assert_eq!(h.stats().flushed, 0);
+        assert_eq!(h.dirty_count(), 2);
+        assert_eq!(h.dirtied(), 2); // not re-counted
+        assert_eq!(h.flush(), vec![b(1), b(2)]);
+        assert_eq!(h.stats().flushed, 2);
+        // Conservation: dirtied == flushed + lost + dirty unpins.
+        assert_eq!(h.dirtied(), h.stats().flushed + h.dirty_unpins());
+    }
+
+    #[test]
+    fn unflush_counts_unpinned_blocks_as_lost() {
+        let mut h = HdcRegion::new(4);
+        h.pin(b(1)).unwrap();
+        h.pin(b(2)).unwrap();
+        h.write(b(1));
+        h.write(b(2));
+        let flushed = h.flush();
+        h.unpin(b(2)); // clean at unpin time: not a dirty unpin
+        assert_eq!(h.unflush(&flushed), 1);
+        assert_eq!(h.dirty_count(), 1);
+        assert_eq!(h.dirtied(), h.stats().flushed + h.dirty_count() as u64 + 1);
+    }
+
+    #[test]
+    fn discard_dirty_loses_unsynced_writes_but_keeps_pins() {
+        let mut h = HdcRegion::new(4);
+        h.pin(b(1)).unwrap();
+        h.pin(b(2)).unwrap();
+        h.write(b(1));
+        assert_eq!(h.discard_dirty(), 1);
+        assert_eq!(h.dirty_count(), 0);
+        assert_eq!(h.len(), 2); // pins survive the power cycle
+        assert!(h.flush().is_empty());
+        // Re-dirtying after the loss is a fresh transition.
+        h.write(b(1));
+        assert_eq!(h.dirtied(), 2);
     }
 
     #[test]

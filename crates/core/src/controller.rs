@@ -321,6 +321,34 @@ impl DiskController {
         self.hdc.flush_into(out);
     }
 
+    /// Undoes a failed flush write-back: re-marks `blocks` dirty where
+    /// still pinned, reverts their flushed accounting, and returns how
+    /// many were lost (unpinned in the meantime). See
+    /// [`HdcRegion::unflush`].
+    pub fn unflush_hdc(&mut self, blocks: &[PhysBlock]) -> u64 {
+        self.hdc.unflush(blocks)
+    }
+
+    /// Controller power loss: volatile cache contents vanish. The
+    /// read-ahead cache only ever holds clean copies, so its loss is
+    /// invisible to correctness; the HDC region's dirty blocks are
+    /// *lost writes*, returned as a count. Pins survive (the host
+    /// re-loads them).
+    pub fn discard_dirty_hdc(&mut self) -> u64 {
+        self.hdc.discard_dirty()
+    }
+
+    /// Clean→dirty HDC transitions over the controller's lifetime
+    /// (conservation accounting).
+    pub fn hdc_dirtied(&self) -> u64 {
+        self.hdc.dirtied()
+    }
+
+    /// Dirty HDC blocks handed back by unpins.
+    pub fn hdc_dirty_unpins(&self) -> u64 {
+        self.hdc.dirty_unpins()
+    }
+
     /// Read-ahead cache statistics.
     pub fn cache_stats(&self) -> &CacheStats {
         self.cache.as_cache_ref().stats()

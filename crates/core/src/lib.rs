@@ -41,9 +41,12 @@ pub mod system;
 pub mod victim;
 
 pub use controller::DiskController;
+pub use forhdc_fault::{
+    FaultConfig, FaultModel, FaultStats, NoFaults, OfflineWindow, SeededFaults,
+};
 pub use latency::LatencyHistogram;
 pub use planner::{plan_cooperative, plan_periodic, plan_top_misses, CoopPlan, HdcPlan};
 pub use policy::ReadAheadKind;
 pub use report::Report;
-pub use system::{System, SystemConfig};
+pub use system::{RecoveryPolicy, System, SystemConfig};
 pub use victim::{build_victim_workload, HdcCommand, VictimConfig, VictimWorkload};

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use forhdc_cache::{CacheStats, HdcStats};
+use forhdc_fault::FaultStats;
 use forhdc_sim::{DiskStats, SimDuration};
 
 use crate::latency::LatencyHistogram;
@@ -47,6 +48,14 @@ pub struct Report {
     pub coop_hits: u64,
     /// Total FOR bitmap bits scanned (0 for non-FOR runs).
     pub bitmap_scans: u64,
+    /// Degraded-mode tallies (all zero for a fault-free run).
+    pub faults: FaultStats,
+    /// Clean→dirty HDC transitions over the run (conservation
+    /// accounting: `hdc_dirtied == hdc.flushed +
+    /// faults.lost_dirty_blocks + hdc_dirty_unpins`).
+    pub hdc_dirtied: u64,
+    /// Dirty HDC blocks handed back to the host by unpins.
+    pub hdc_dirty_unpins: u64,
 }
 
 impl Report {
@@ -164,6 +173,9 @@ impl fmt::Display for Report {
             writeln!(f, "  {}", self.hdc)?;
         }
         writeln!(f, "  latency: {}", self.latency)?;
+        if !self.faults.is_trivial() {
+            writeln!(f, "  degraded: {}", self.faults)?;
+        }
         write!(
             f,
             "  media: {} ops, {} blocks read ({} RA), {} written",
@@ -198,6 +210,9 @@ mod tests {
             latency: LatencyHistogram::new(),
             coop_hits: 0,
             bitmap_scans: 0,
+            faults: FaultStats::default(),
+            hdc_dirtied: 0,
+            hdc_dirty_unpins: 0,
         }
     }
 
@@ -243,5 +258,16 @@ mod tests {
     #[test]
     fn display_contains_label() {
         assert!(report(5).to_string().contains("[FOR]"));
+    }
+
+    #[test]
+    fn degraded_section_only_under_faults() {
+        let mut r = report(5);
+        assert!(!r.to_string().contains("degraded:"));
+        r.faults.media_read_errors = 2;
+        r.faults.retries = 6;
+        let s = r.to_string();
+        assert!(s.contains("degraded:"));
+        assert!(s.contains("media errors 2r/0w"));
     }
 }

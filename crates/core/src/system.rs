@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 use forhdc_cache::fx::{fx_map_with_capacity, FxHashMap};
 use forhdc_cache::{BlockReplacement, SegmentReplacement};
+use forhdc_fault::{FaultModel, FaultStats, NoFaults};
 use forhdc_host::StreamDriver;
 use forhdc_layout::build_disk_bitmaps;
 use forhdc_sim::sched::{make_scheduler, DiskScheduler, QueuedOp};
@@ -20,7 +21,7 @@ use forhdc_sim::{
     ArrayConfig, BusModel, DiskId, DiskMechanics, DiskStats, EventQueue, ReadWrite, SchedulerKind,
     SimDuration, SimTime, StreamId, StripingMap,
 };
-use forhdc_trace::{NullTracer, ProbeResult, TraceEvent, Tracer};
+use forhdc_trace::{FaultKind, NullTracer, ProbeResult, TraceEvent, Tracer};
 use forhdc_workload::{TraceRequest, Workload};
 
 use crate::controller::{ControllerDecision, DiskController};
@@ -28,6 +29,40 @@ use crate::planner::{plan_cooperative, plan_top_misses, CoopPlan, HdcPlan};
 use crate::policy::ReadAheadKind;
 use crate::report::Report;
 use crate::victim::HdcCommand;
+
+/// How the array reacts to injected faults: bounded retries with
+/// exponential backoff in simulated time, plus an optional per-request
+/// timeout. Only consulted when the attached [`FaultModel`] is
+/// enabled, so the fault-free path never reads it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retries allowed per operation before it completes with an
+    /// error (media) or the transfer is abandoned (bus).
+    pub max_retries: u32,
+    /// First-retry backoff; attempt `n` waits `base << n`.
+    pub backoff_base: SimDuration,
+    /// Host requests still pending after this long complete with an
+    /// error (`None` = never time out).
+    pub request_timeout: Option<SimDuration>,
+}
+
+impl RecoveryPolicy {
+    /// Backoff before retrying after `attempt` failed tries
+    /// (exponential, clamped so the shift cannot overflow).
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        self.backoff_base * (1u64 << attempt.min(20))
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_base: SimDuration::from_millis(1),
+            request_timeout: None,
+        }
+    }
+}
 
 /// Configuration of one experimental system (one curve point).
 #[derive(Debug, Clone)]
@@ -60,6 +95,9 @@ pub struct SystemConfig {
     /// Only consulted when the attached tracer is enabled; sampling
     /// never perturbs the simulation itself.
     pub trace_sample_period: Option<SimDuration>,
+    /// Fault recovery policy (retries, backoff, timeout). Inert unless
+    /// a fault model is attached.
+    pub recovery: RecoveryPolicy,
 }
 
 impl SystemConfig {
@@ -73,6 +111,7 @@ impl SystemConfig {
             cooperative_hdc: false,
             hdc_flush_period: None,
             trace_sample_period: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -179,6 +218,12 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the fault recovery policy (retries/backoff/timeout).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// HDC capacity per disk in blocks.
     pub fn hdc_blocks(&self) -> u32 {
         (self.hdc_bytes_per_disk / self.array.disk.block_bytes() as u64) as u32
@@ -204,6 +249,31 @@ enum Event {
     /// only; it never mutates the simulation, so traced and untraced
     /// runs produce identical reports.
     Sample,
+    /// Requeue a media op after its backoff expires (fault path only).
+    RetryMedia {
+        disk: DiskId,
+        op: QueuedOp,
+    },
+    /// Re-attempt a bus transfer after its backoff expires (fault path
+    /// only).
+    RetryBus {
+        req: u64,
+        disk: u16,
+        bytes: u64,
+        attempt: u32,
+    },
+    /// An offline window covering this disk has ended; resume service
+    /// (fault path only).
+    DiskOnline {
+        disk: DiskId,
+    },
+    /// Controller power loss: volatile dirty HDC contents are discarded
+    /// array-wide (fault path only).
+    PowerLoss,
+    /// Per-request deadline expired (fault path only).
+    Timeout {
+        req: u64,
+    },
 }
 
 /// Tokens at or above this mark internal flush write-backs: they carry
@@ -218,6 +288,9 @@ struct CurrentOp {
     total: u32,
     requested: u32,
     timing: forhdc_sim::ServiceTiming,
+    /// Which service attempt this is (0 = first try); carried so a
+    /// media error can decide between retry and giving up.
+    attempt: u32,
 }
 
 struct DiskState {
@@ -237,6 +310,9 @@ struct DiskState {
     busy_since: SimTime,
     /// Busy total as of the last sampler observation.
     busy_sampled: SimDuration,
+    /// Whether a [`Event::DiskOnline`] wake-up is already queued for an
+    /// offline window covering this disk (prevents duplicate wakes).
+    wake_scheduled: bool,
 }
 
 impl std::fmt::Debug for DiskState {
@@ -253,6 +329,9 @@ struct PendingReq {
     stream: StreamId,
     remaining: u32,
     issued_at: SimTime,
+    /// Set when any sub-operation exhausted its retries (or the request
+    /// timed out): the request still completes, as an error.
+    failed: bool,
 }
 
 /// A fully assembled system ready to replay one workload.
@@ -262,6 +341,14 @@ struct PendingReq {
 /// nothing — untraced runs pay zero overhead. Attach a real tracer
 /// with [`System::new_traced`] and recover it (full of events) from
 /// [`System::run_traced`].
+///
+/// The fault-model parameter works the same way: it defaults to
+/// [`NoFaults`], whose constant-false `enabled()` compiles every fault
+/// site out of the hot path, so the default build is byte-identical to
+/// the pre-fault simulator. Attach a real model (e.g.
+/// `forhdc_fault::SeededFaults`) with [`System::new_faulted`] or
+/// [`System::new_traced_faulted`] to inject deterministic media, bus,
+/// offline-window, and power-loss faults.
 ///
 /// # Example
 ///
@@ -274,8 +361,10 @@ struct PendingReq {
 /// assert_eq!(report.requests, wl.trace.len() as u64);
 /// ```
 #[derive(Debug)]
-pub struct System<T: Tracer = NullTracer> {
+pub struct System<T: Tracer = NullTracer, F: FaultModel = NoFaults> {
     tracer: T,
+    faults: F,
+    fstats: FaultStats,
     cfg: SystemConfig,
     striping: StripingMap,
     disks: Vec<DiskState>,
@@ -346,18 +435,7 @@ impl<T: Tracer> System<T> {
     ///
     /// Panics if the workload footprint exceeds the array capacity.
     pub fn new_traced(cfg: SystemConfig, workload: &Workload, tracer: T) -> Self {
-        let striping =
-            StripingMap::new(cfg.array.virtual_disks(), cfg.array.striping_unit_blocks());
-        if cfg.cooperative_hdc && cfg.hdc_blocks() > 0 {
-            let coop = plan_cooperative(&workload.trace, &striping, cfg.hdc_blocks());
-            return System::with_coop_plan_traced(cfg, workload, coop, tracer);
-        }
-        let plan = if cfg.hdc_blocks() > 0 {
-            plan_top_misses(&workload.trace, &striping, cfg.hdc_blocks())
-        } else {
-            HdcPlan::empty(cfg.array.virtual_disks())
-        };
-        System::with_plan_traced(cfg, workload, plan, tracer)
+        System::new_traced_faulted(cfg, workload, tracer, NoFaults)
     }
 
     /// Assembles a system around a cooperative plan: home pins go into
@@ -373,17 +451,7 @@ impl<T: Tracer> System<T> {
         coop: CoopPlan,
         tracer: T,
     ) -> Self {
-        assert!(
-            !cfg.array.mirrored,
-            "cooperative HDC over mirrored pairs is not supported (pins address virtual disks)"
-        );
-        let plan = HdcPlan::from_per_disk(coop.home.clone());
-        let mut sys = System::with_plan_traced(cfg, workload, plan, tracer);
-        sys.coop_overflow.reserve(coop.overflow.len());
-        for ((home_disk, block), holder) in coop.overflow {
-            sys.coop_overflow.insert((home_disk, block.index()), holder);
-        }
-        sys
+        System::with_coop_plan_traced_faulted(cfg, workload, coop, tracer, NoFaults)
     }
 
     /// Assembles a system with an explicit HDC plan (for the periodic
@@ -398,6 +466,90 @@ impl<T: Tracer> System<T> {
         workload: &Workload,
         plan: HdcPlan,
         tracer: T,
+    ) -> Self {
+        System::with_plan_traced_faulted(cfg, workload, plan, tracer, NoFaults)
+    }
+}
+
+impl<F: FaultModel> System<NullTracer, F> {
+    /// Assembles an untraced system with an attached fault model;
+    /// otherwise identical to [`System::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload footprint exceeds the array capacity.
+    pub fn new_faulted(cfg: SystemConfig, workload: &Workload, faults: F) -> Self {
+        System::new_traced_faulted(cfg, workload, NullTracer, faults)
+    }
+}
+
+impl<T: Tracer, F: FaultModel> System<T, F> {
+    /// Assembles a system with both a tracer and a fault model attached
+    /// (the fully general constructor; every other constructor funnels
+    /// here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload footprint exceeds the array capacity.
+    pub fn new_traced_faulted(
+        cfg: SystemConfig,
+        workload: &Workload,
+        tracer: T,
+        faults: F,
+    ) -> Self {
+        let striping =
+            StripingMap::new(cfg.array.virtual_disks(), cfg.array.striping_unit_blocks());
+        if cfg.cooperative_hdc && cfg.hdc_blocks() > 0 {
+            let coop = plan_cooperative(&workload.trace, &striping, cfg.hdc_blocks());
+            return System::with_coop_plan_traced_faulted(cfg, workload, coop, tracer, faults);
+        }
+        let plan = if cfg.hdc_blocks() > 0 {
+            plan_top_misses(&workload.trace, &striping, cfg.hdc_blocks())
+        } else {
+            HdcPlan::empty(cfg.array.virtual_disks())
+        };
+        System::with_plan_traced_faulted(cfg, workload, plan, tracer, faults)
+    }
+
+    /// Cooperative-plan constructor with an attached fault model; see
+    /// [`System::with_coop_plan_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`System::with_plan`].
+    pub fn with_coop_plan_traced_faulted(
+        cfg: SystemConfig,
+        workload: &Workload,
+        coop: CoopPlan,
+        tracer: T,
+        faults: F,
+    ) -> Self {
+        assert!(
+            !cfg.array.mirrored,
+            "cooperative HDC over mirrored pairs is not supported (pins address virtual disks)"
+        );
+        let plan = HdcPlan::from_per_disk(coop.home.clone());
+        let mut sys = System::with_plan_traced_faulted(cfg, workload, plan, tracer, faults);
+        sys.coop_overflow.reserve(coop.overflow.len());
+        for ((home_disk, block), holder) in coop.overflow {
+            sys.coop_overflow.insert((home_disk, block.index()), holder);
+        }
+        sys
+    }
+
+    /// Explicit-plan constructor with an attached fault model; see
+    /// [`System::with_plan_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload footprint exceeds the array capacity or
+    /// the plan covers a different disk count.
+    pub fn with_plan_traced_faulted(
+        cfg: SystemConfig,
+        workload: &Workload,
+        plan: HdcPlan,
+        tracer: T,
+        faults: F,
     ) -> Self {
         let virtual_disks = cfg.array.virtual_disks();
         let striping = StripingMap::new(virtual_disks, cfg.array.striping_unit_blocks());
@@ -449,6 +601,7 @@ impl<T: Tracer> System<T> {
                     busy_accum: SimDuration::ZERO,
                     busy_since: SimTime::ZERO,
                     busy_sampled: SimDuration::ZERO,
+                    wake_scheduled: false,
                 }
             })
             .collect();
@@ -457,6 +610,8 @@ impl<T: Tracer> System<T> {
         let driver = StreamDriver::new(&workload.trace, workload.streams);
         System {
             tracer,
+            faults,
+            fstats: FaultStats::default(),
             cfg,
             striping,
             disks,
@@ -513,12 +668,30 @@ impl<T: Tracer> System<T> {
                 self.queue.schedule(SimTime::ZERO + period, Event::Sample);
             }
         }
+        if self.faults.enabled() && !self.queue.is_empty() {
+            if let Some(period) = self.faults.power_loss_period_ns() {
+                self.queue.schedule(
+                    SimTime::ZERO + SimDuration::from_nanos(period),
+                    Event::PowerLoss,
+                );
+            }
+        }
         while let Some(fired) = self.queue.pop() {
             match fired.event {
                 Event::MediaDone { disk } => self.media_done(disk, fired.time),
                 Event::SubDone { req } => self.sub_done(req, fired.time),
                 Event::HdcFlush => self.hdc_flush(fired.time),
                 Event::Sample => self.sample(fired.time),
+                Event::RetryMedia { disk, op } => self.retry_media(disk, op, fired.time),
+                Event::RetryBus {
+                    req,
+                    disk,
+                    bytes,
+                    attempt,
+                } => self.reserve_bus_for(req, disk, bytes, fired.time, attempt),
+                Event::DiskOnline { disk } => self.disk_online(disk, fired.time),
+                Event::PowerLoss => self.power_loss(fired.time),
+                Event::Timeout { req } => self.timeout(req, fired.time),
             }
         }
         // The figure of merit is the completion of the last host
@@ -562,8 +735,15 @@ impl<T: Tracer> System<T> {
                 stream,
                 remaining: 0,
                 issued_at: now,
+                failed: false,
             },
         );
+        if self.faults.enabled() {
+            if let Some(timeout) = self.cfg.recovery.request_timeout {
+                self.queue
+                    .schedule(now + timeout, Event::Timeout { req: id });
+            }
+        }
         let mut remaining = 0u32;
         for extent in extents {
             remaining += self.arrive(id, extent, req.kind, now);
@@ -687,7 +867,6 @@ impl<T: Tracer> System<T> {
             // Cooperative hit: some blocks come from sibling
             // controllers, all over the same shared bus.
             self.coop_hits += 1;
-            let slot = self.bus.reserve(now, nblocks as u64 * block_bytes);
             if self.tracer.enabled() {
                 self.tracer.emit(TraceEvent::Probe {
                     t: now.as_nanos(),
@@ -696,22 +875,14 @@ impl<T: Tracer> System<T> {
                     nblocks,
                     result: ProbeResult::CoopHit,
                 });
-                self.tracer.emit(TraceEvent::Bus {
-                    t: now.as_nanos(),
-                    req: id,
-                    wait: slot.start.since(now).as_nanos(),
-                    busy: slot.end.since(slot.start).as_nanos(),
-                    bytes: nblocks as u64 * block_bytes,
-                });
             }
-            self.queue.schedule(slot.end, Event::SubDone { req: id });
+            self.reserve_bus_for(id, disk_idx as u16, nblocks as u64 * block_bytes, now, 0);
             return;
         }
         let d = &mut self.disks[disk_idx];
         match d.ctl.on_request(kind, start, nblocks) {
             decision @ (ControllerDecision::CacheHit | ControllerDecision::HdcWriteAbsorbed) => {
                 // Controller memory ↔ host transfer over the shared bus.
-                let slot = self.bus.reserve(now, nblocks as u64 * block_bytes);
                 if self.tracer.enabled() {
                     let result = if decision == ControllerDecision::CacheHit {
                         ProbeResult::Hit
@@ -725,15 +896,8 @@ impl<T: Tracer> System<T> {
                         nblocks,
                         result,
                     });
-                    self.tracer.emit(TraceEvent::Bus {
-                        t: now.as_nanos(),
-                        req: id,
-                        wait: slot.start.since(now).as_nanos(),
-                        busy: slot.end.since(slot.start).as_nanos(),
-                        bytes: nblocks as u64 * block_bytes,
-                    });
                 }
-                self.queue.schedule(slot.end, Event::SubDone { req: id });
+                self.reserve_bus_for(id, disk_idx as u16, nblocks as u64 * block_bytes, now, 0);
             }
             ControllerDecision::Media {
                 start,
@@ -749,6 +913,7 @@ impl<T: Tracer> System<T> {
                     kind,
                     cylinder,
                     queued_at: now,
+                    attempt: 0,
                 });
                 d.stats.note_queue_depth(d.sched.len(), now);
                 if self.tracer.enabled() {
@@ -774,6 +939,35 @@ impl<T: Tracer> System<T> {
     }
 
     fn start_next(&mut self, disk: DiskId, now: SimTime) {
+        if self.faults.enabled() {
+            if let Some(until) = self.faults.offline_until(disk.index(), now.as_nanos()) {
+                // Offline window: in-flight service finishes, but no new
+                // op starts until the window ends. One wake-up event per
+                // stall; overlapping windows re-gate on wake.
+                let d = &mut self.disks[disk.as_usize()];
+                if !d.sched.is_empty() && !d.wake_scheduled {
+                    d.wake_scheduled = true;
+                    self.fstats.offline_stalls += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::Fault {
+                            t: now.as_nanos(),
+                            req: u64::MAX,
+                            disk: disk.index(),
+                            kind: FaultKind::Offline,
+                        });
+                    }
+                    // `u64::MAX` marks a permanently failed disk: no
+                    // wake is scheduled and its queued ops never run
+                    // (requests against it can still finish via the
+                    // per-request timeout).
+                    if until < u64::MAX {
+                        self.queue
+                            .schedule(SimTime::from_nanos(until), Event::DiskOnline { disk });
+                    }
+                }
+                return;
+            }
+        }
         let scan_cost = self.cfg.array.disk.bitmap_scan_per_block;
         let is_for = self.cfg.read_ahead.needs_bitmap();
         let d = &mut self.disks[disk.as_usize()];
@@ -815,6 +1009,7 @@ impl<T: Tracer> System<T> {
             total: op.nblocks,
             requested: op.requested,
             timing,
+            attempt: op.attempt,
         });
         self.queue
             .schedule(now + timing.total() + extra, Event::MediaDone { disk });
@@ -826,6 +1021,11 @@ impl<T: Tracer> System<T> {
         let op = d.current.take().expect("media completion without an op");
         d.busy = false;
         d.busy_accum += now.since(d.busy_since);
+        if self.faults.enabled() && self.media_done_faulted(disk, &op, now) {
+            self.start_next(disk, now);
+            return;
+        }
+        let d = &mut self.disks[disk.as_usize()];
         let ra = op.total - op.requested;
         match op.kind {
             ReadWrite::Read => d.stats.record_op(&op.timing, op.total as u64, 0, ra as u64),
@@ -837,20 +1037,265 @@ impl<T: Tracer> System<T> {
             // Only the demanded payload crosses the bus; read-ahead
             // stays in the controller cache. Flush write-backs move
             // cache -> media only, so they skip both bus and completion.
-            let slot = self.bus.reserve(now, op.requested as u64 * block_bytes);
-            if self.tracer.enabled() {
-                self.tracer.emit(TraceEvent::Bus {
-                    t: now.as_nanos(),
-                    req: op.token,
-                    wait: slot.start.since(now).as_nanos(),
-                    busy: slot.end.since(slot.start).as_nanos(),
-                    bytes: op.requested as u64 * block_bytes,
-                });
-            }
-            self.queue
-                .schedule(slot.end, Event::SubDone { req: op.token });
+            self.reserve_bus_for(
+                op.token,
+                disk.index(),
+                op.requested as u64 * block_bytes,
+                now,
+                0,
+            );
         }
         self.start_next(disk, now);
+    }
+
+    /// Handles a media completion under an active fault model: probes
+    /// every block of the op against the model and, when one is bad,
+    /// performs the degraded-mode bookkeeping (read-ahead abort, retry
+    /// with backoff, or failed completion). Returns `true` when a fault
+    /// was injected — the caller must then skip the healthy completion
+    /// path. The healthy case returns `false` without touching state.
+    fn media_done_faulted(&mut self, disk: DiskId, op: &CurrentOp, now: SimTime) -> bool {
+        let first_bad = (0..op.total).find(|&i| {
+            self.faults.media_error(
+                disk.index(),
+                op.start.offset(i as u64).index(),
+                op.kind.is_write(),
+            )
+        });
+        let Some(bad) = first_bad else {
+            return false;
+        };
+        let block_bytes = self.cfg.array.disk.block_bytes() as u64;
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Fault {
+                t: now.as_nanos(),
+                req: op.token,
+                disk: disk.index(),
+                kind: if op.kind.is_write() {
+                    FaultKind::MediaWrite
+                } else {
+                    FaultKind::MediaRead
+                },
+            });
+        }
+        if op.kind.is_read() && bad >= op.requested {
+            // Read-ahead abort: the demanded prefix is intact. Install
+            // it, move the payload, and degrade to demand-only service —
+            // the error cost only the speculative blocks (FOR degrades
+            // to demand reads instead of wedging).
+            self.fstats.media_read_errors += 1;
+            self.fstats.ra_aborts += 1;
+            let d = &mut self.disks[disk.as_usize()];
+            d.stats
+                .record_op(&op.timing, bad as u64, 0, (bad - op.requested) as u64);
+            d.ctl
+                .on_media_complete(op.kind, op.start, bad, op.requested);
+            self.reserve_bus_for(
+                op.token,
+                disk.index(),
+                op.requested as u64 * block_bytes,
+                now,
+                0,
+            );
+            return true;
+        }
+        // A demanded block (or a write target) is bad: the op did its
+        // mechanical work but transferred nothing.
+        if op.kind.is_write() {
+            self.fstats.media_write_errors += 1;
+        } else {
+            self.fstats.media_read_errors += 1;
+        }
+        self.disks[disk.as_usize()]
+            .stats
+            .record_op(&op.timing, 0, 0, 0);
+        let policy = self.cfg.recovery;
+        if op.attempt < policy.max_retries {
+            self.fstats.retries += 1;
+            let delay = policy.backoff(op.attempt);
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::Retry {
+                    t: now.as_nanos(),
+                    req: op.token,
+                    disk: disk.index(),
+                    attempt: op.attempt + 1,
+                    delay: delay.as_nanos(),
+                });
+            }
+            // Reads retry demand-only: re-speculating into a bad region
+            // would fail forever, so the retry drops the read-ahead.
+            let nblocks = if op.kind.is_read() {
+                op.requested
+            } else {
+                op.total
+            };
+            let cylinder = self.disks[disk.as_usize()]
+                .mech
+                .geometry()
+                .cylinder_of(op.start);
+            let retry = QueuedOp {
+                token: op.token,
+                start: op.start,
+                nblocks,
+                requested: op.requested,
+                kind: op.kind,
+                cylinder,
+                queued_at: now,
+                attempt: op.attempt + 1,
+            };
+            self.queue
+                .schedule(now + delay, Event::RetryMedia { disk, op: retry });
+            return true;
+        }
+        // Retries exhausted.
+        if op.token >= FLUSH_TOKEN_BASE {
+            // A failed flush: the volatile copy is all we have. Re-pin
+            // the blocks dirty so a later flush can try again; blocks
+            // unpinned in the meantime are lost writes.
+            self.fstats.flush_failures += 1;
+            let blocks: Vec<forhdc_sim::PhysBlock> =
+                (0..op.total as u64).map(|i| op.start.offset(i)).collect();
+            self.fstats.lost_dirty_blocks += self.disks[disk.as_usize()].ctl.unflush_hdc(&blocks);
+        } else if let Some(p) = self.pending.get_mut(&op.token) {
+            // Host request: complete it as an error so the stream keeps
+            // flowing in degraded mode.
+            p.failed = true;
+            self.queue.schedule(now, Event::SubDone { req: op.token });
+        }
+        true
+    }
+
+    /// Re-queues a media op after its retry backoff expired.
+    fn retry_media(&mut self, disk: DiskId, mut op: QueuedOp, now: SimTime) {
+        op.queued_at = now;
+        let token = op.token;
+        let d = &mut self.disks[disk.as_usize()];
+        d.sched.push(op);
+        d.stats.note_queue_depth(d.sched.len(), now);
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Queue {
+                t: now.as_nanos(),
+                req: token,
+                disk: disk.index(),
+                depth: d.sched.len() as u32,
+            });
+        }
+        if !self.disks[disk.as_usize()].busy {
+            self.start_next(disk, now);
+        }
+    }
+
+    /// The offline window that stalled this disk has ended; resume. A
+    /// still-open overlapping window simply re-gates in `start_next`.
+    fn disk_online(&mut self, disk: DiskId, now: SimTime) {
+        let d = &mut self.disks[disk.as_usize()];
+        d.wake_scheduled = false;
+        if !d.busy {
+            self.start_next(disk, now);
+        }
+    }
+
+    /// Controller power loss: every disk's volatile dirty HDC contents
+    /// are discarded (the pins survive; the unwritten data does not).
+    fn power_loss(&mut self, now: SimTime) {
+        self.fstats.power_losses += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Fault {
+                t: now.as_nanos(),
+                req: u64::MAX,
+                disk: 0,
+                kind: FaultKind::PowerLoss,
+            });
+        }
+        let mut lost = 0;
+        for d in &mut self.disks {
+            lost += d.ctl.discard_dirty_hdc();
+        }
+        self.fstats.lost_dirty_blocks += lost;
+        // Keep the outage schedule while host work remains.
+        if let Some(period) = self.faults.power_loss_period_ns() {
+            if !(self.pending.is_empty() && self.driver.is_done()) {
+                self.queue
+                    .schedule(now + SimDuration::from_nanos(period), Event::PowerLoss);
+            }
+        }
+    }
+
+    /// Per-request deadline expired. If the request is still pending it
+    /// completes now, as an error; its in-flight sub-operations finish
+    /// on their own and their completions are dropped by `sub_done`.
+    fn timeout(&mut self, id: u64, now: SimTime) {
+        let Some(mut p) = self.pending.remove(&id) else {
+            return;
+        };
+        self.fstats.timeouts += 1;
+        p.failed = true;
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Timeout {
+                t: now.as_nanos(),
+                req: id,
+            });
+        }
+        self.complete_request(id, p, now);
+    }
+
+    /// Reserves the shared bus for `bytes` of payload for request `id`
+    /// and schedules its sub-completion, rolling the transient bus
+    /// fault when a model is attached. Callers emit their own `Probe`
+    /// events first, so the trace event order is unchanged from the
+    /// fault-free build.
+    fn reserve_bus_for(&mut self, id: u64, disk: u16, bytes: u64, now: SimTime, attempt: u32) {
+        let slot = self.bus.reserve(now, bytes);
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Bus {
+                t: now.as_nanos(),
+                req: id,
+                wait: slot.start.since(now).as_nanos(),
+                busy: slot.end.since(slot.start).as_nanos(),
+                bytes,
+            });
+        }
+        if self.faults.enabled() && self.faults.bus_error() {
+            self.fstats.bus_errors += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::Fault {
+                    t: now.as_nanos(),
+                    req: id,
+                    disk,
+                    kind: FaultKind::Bus,
+                });
+            }
+            let policy = self.cfg.recovery;
+            if attempt < policy.max_retries {
+                self.fstats.retries += 1;
+                let delay = policy.backoff(attempt);
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::Retry {
+                        t: now.as_nanos(),
+                        req: id,
+                        disk,
+                        attempt: attempt + 1,
+                        delay: delay.as_nanos(),
+                    });
+                }
+                self.queue.schedule(
+                    slot.end + delay,
+                    Event::RetryBus {
+                        req: id,
+                        disk,
+                        bytes,
+                        attempt: attempt + 1,
+                    },
+                );
+            } else {
+                if let Some(p) = self.pending.get_mut(&id) {
+                    p.failed = true;
+                }
+                self.queue.schedule(slot.end, Event::SubDone { req: id });
+            }
+            return;
+        }
+        self.queue.schedule(slot.end, Event::SubDone { req: id });
     }
 
     /// Periodic `flush_hdc()`: write every dirty pinned block back to
@@ -882,6 +1327,7 @@ impl<T: Tracer> System<T> {
                     kind: ReadWrite::Write,
                     cylinder,
                     queued_at: now,
+                    attempt: 0,
                 });
                 d.stats.note_queue_depth(d.sched.len(), now);
                 if self.tracer.enabled() {
@@ -907,15 +1353,24 @@ impl<T: Tracer> System<T> {
     }
 
     fn sub_done(&mut self, id: u64, now: SimTime) {
-        let p = self
-            .pending
-            .get_mut(&id)
-            .expect("completion for unknown request");
+        let Some(p) = self.pending.get_mut(&id) else {
+            // Only a fault path can orphan a completion: a request that
+            // timed out already completed (as an error) while its
+            // sub-operations were still in flight.
+            debug_assert!(self.faults.enabled(), "completion for unknown request");
+            return;
+        };
         p.remaining -= 1;
         if p.remaining > 0 {
             return;
         }
         let p = self.pending.remove(&id).expect("just seen");
+        self.complete_request(id, p, now);
+    }
+
+    /// Final accounting for one host request (normal or degraded
+    /// completion).
+    fn complete_request(&mut self, id: u64, p: PendingReq, now: SimTime) {
         let response = now.since(p.issued_at);
         if self.tracer.enabled() {
             self.tracer.emit(TraceEvent::Complete {
@@ -923,6 +1378,9 @@ impl<T: Tracer> System<T> {
                 req: id,
                 response: response.as_nanos(),
             });
+        }
+        if p.failed {
+            self.fstats.failed_requests += 1;
         }
         self.response_sum += response;
         self.response_max = self.response_max.max(response);
@@ -978,6 +1436,8 @@ impl<T: Tracer> System<T> {
         let mut disk = DiskStats::default();
         let mut per_disk_busy = Vec::with_capacity(self.disks.len());
         let mut bitmap_scans = 0;
+        let mut hdc_dirtied = 0;
+        let mut hdc_dirty_unpins = 0;
         for d in &mut self.disks {
             // End-of-run flush (§6.1: dirty HDC blocks are updated at the
             // end of the execution; the paper measured the periodic-sync
@@ -988,6 +1448,8 @@ impl<T: Tracer> System<T> {
             disk.merge(&d.stats);
             per_disk_busy.push(d.stats.busy_time);
             bitmap_scans += d.ctl.bitmap_scans();
+            hdc_dirtied += d.ctl.hdc_dirtied();
+            hdc_dirty_unpins += d.ctl.hdc_dirty_unpins();
         }
         let mean_response = if self.completed == 0 {
             SimDuration::ZERO
@@ -1012,6 +1474,9 @@ impl<T: Tracer> System<T> {
             latency: self.latency,
             coop_hits: self.coop_hits,
             bitmap_scans,
+            faults: self.fstats,
+            hdc_dirtied,
+            hdc_dirty_unpins,
         };
         (report, self.tracer)
     }
@@ -1020,6 +1485,7 @@ impl<T: Tracer> System<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use forhdc_fault::{FaultConfig, OfflineWindow, SeededFaults};
     use forhdc_workload::SyntheticWorkload;
 
     fn small_wl(seed: u64) -> Workload {
@@ -1329,5 +1795,204 @@ mod tests {
         let for_ = System::new(SystemConfig::for_(), &wl).run();
         assert_eq!(segm.bitmap_scans, 0);
         assert!(for_.bitmap_scans > 0);
+    }
+
+    /// Two reports must agree on everything a CSV or a figure could
+    /// read off them.
+    fn assert_reports_identical(a: &Report, b: &Report) {
+        assert_eq!(a.io_time, b.io_time);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.disk.media_ops, b.disk.media_ops);
+        assert_eq!(a.disk.blocks_read, b.disk.blocks_read);
+        assert_eq!(a.disk.blocks_written, b.disk.blocks_written);
+        assert_eq!(a.disk.read_ahead_blocks, b.disk.read_ahead_blocks);
+        assert_eq!(a.cache.block_hits, b.cache.block_hits);
+        assert_eq!(a.hdc, b.hdc);
+        assert_eq!(a.mean_response, b.mean_response);
+        assert_eq!(a.max_response, b.max_response);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    fn faulted_cfg() -> SystemConfig {
+        SystemConfig::for_()
+            .with_hdc(2 * 1024 * 1024)
+            .with_hdc_flush_period(SimDuration::from_millis(50))
+    }
+
+    #[test]
+    fn zero_rate_fault_model_is_byte_identical_to_no_faults() {
+        // A SeededFaults engine with every rate at zero must not perturb
+        // the run at all: same oracle as traced == untraced.
+        let wl = small_wl(9);
+        for cfg in [
+            SystemConfig::segm(),
+            SystemConfig::for_().with_hdc(2 * 1024 * 1024),
+            faulted_cfg(),
+        ] {
+            let base = System::new(cfg.clone(), &wl).run();
+            let zero =
+                System::new_faulted(cfg, &wl, SeededFaults::new(FaultConfig::new(1234))).run();
+            assert_reports_identical(&base, &zero);
+        }
+    }
+
+    #[test]
+    fn media_errors_degrade_but_never_wedge() {
+        let wl = small_wl(10);
+        let cfg = FaultConfig::new(7).with_media_rates(5e-3, 5e-3);
+        let r = System::new_faulted(SystemConfig::for_(), &wl, SeededFaults::new(cfg)).run();
+        // Every request still completes (possibly as an error) …
+        assert_eq!(r.requests, wl.trace.len() as u64);
+        // … and faults were actually exercised.
+        assert!(r.faults.media_read_errors + r.faults.media_write_errors > 0);
+        assert!(r.faults.retries > 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let wl = small_wl(11);
+        let cfg = FaultConfig::new(42)
+            .with_media_rates(1e-3, 1e-3)
+            .with_bus_rate(1e-3)
+            .with_power_loss_period_ns(40_000_000);
+        let a = System::new_faulted(faulted_cfg(), &wl, SeededFaults::new(cfg.clone())).run();
+        let b = System::new_faulted(faulted_cfg(), &wl, SeededFaults::new(cfg)).run();
+        assert_reports_identical(&a, &b);
+    }
+
+    #[test]
+    fn offline_window_stalls_then_resumes() {
+        let wl = small_wl(12);
+        let window = OfflineWindow {
+            disk: 0,
+            start_ns: 0,
+            end_ns: 30_000_000,
+        };
+        let healthy = System::new(SystemConfig::segm(), &wl).run();
+        let cfg = FaultConfig::new(1).with_offline(window);
+        let r = System::new_faulted(SystemConfig::segm(), &wl, SeededFaults::new(cfg)).run();
+        assert_eq!(r.requests, wl.trace.len() as u64);
+        assert!(r.faults.offline_stalls > 0);
+        // The stall costs time but nothing else degrades.
+        assert!(r.io_time >= healthy.io_time);
+        assert_eq!(r.faults.failed_requests, 0);
+    }
+
+    #[test]
+    fn power_loss_loses_dirty_hdc_blocks_and_accounting_conserves() {
+        let wl = SyntheticWorkload::builder()
+            .requests(2_000)
+            .files(2_000)
+            .file_blocks(4)
+            .zipf_alpha(1.1)
+            .write_fraction(0.5)
+            .streams(32)
+            .seed(13)
+            .build();
+        let cfg = FaultConfig::new(3).with_power_loss_period_ns(20_000_000);
+        let r = System::new_faulted(
+            SystemConfig::segm().with_hdc(2 * 1024 * 1024),
+            &wl,
+            SeededFaults::new(cfg),
+        )
+        .run();
+        assert!(r.faults.power_losses > 0);
+        assert!(r.faults.lost_dirty_blocks > 0);
+        // Every clean→dirty transition is accounted for exactly once.
+        assert_eq!(
+            r.hdc_dirtied,
+            r.hdc.flushed + r.faults.lost_dirty_blocks + r.hdc_dirty_unpins,
+            "dirty-block conservation violated: {r:?}"
+        );
+    }
+
+    #[test]
+    fn dirty_conservation_holds_under_combined_faults() {
+        let wl = SyntheticWorkload::builder()
+            .requests(2_000)
+            .files(2_000)
+            .file_blocks(4)
+            .zipf_alpha(1.1)
+            .write_fraction(0.5)
+            .streams(32)
+            .seed(14)
+            .build();
+        let cfg = FaultConfig::new(9)
+            .with_media_rates(1e-3, 1e-2)
+            .with_bus_rate(1e-3)
+            .with_power_loss_period_ns(30_000_000);
+        let r = System::new_faulted(
+            faulted_cfg().with_recovery(RecoveryPolicy {
+                max_retries: 1,
+                ..RecoveryPolicy::default()
+            }),
+            &wl,
+            SeededFaults::new(cfg),
+        )
+        .run();
+        assert_eq!(r.requests, wl.trace.len() as u64);
+        assert_eq!(
+            r.hdc_dirtied,
+            r.hdc.flushed + r.faults.lost_dirty_blocks + r.hdc_dirty_unpins,
+            "dirty-block conservation violated: {r:?}"
+        );
+    }
+
+    #[test]
+    fn request_timeout_completes_requests_as_errors() {
+        let wl = small_wl(15);
+        // An all-day offline window plus a short timeout: requests to
+        // that disk can only finish via the timeout path.
+        let window = OfflineWindow {
+            disk: 0,
+            start_ns: 0,
+            end_ns: u64::MAX,
+        };
+        let cfg = FaultConfig::new(2).with_offline(window);
+        let r = System::new_faulted(
+            SystemConfig::segm().with_recovery(RecoveryPolicy {
+                request_timeout: Some(SimDuration::from_millis(200)),
+                ..RecoveryPolicy::default()
+            }),
+            &wl,
+            SeededFaults::new(cfg),
+        )
+        .run();
+        assert_eq!(r.requests, wl.trace.len() as u64);
+        assert!(r.faults.timeouts > 0);
+        assert_eq!(r.faults.failed_requests, r.faults.timeouts);
+    }
+
+    #[test]
+    fn fault_trace_events_round_trip() {
+        let wl = small_wl(16);
+        let cfg = FaultConfig::new(5)
+            .with_media_rates(2e-3, 2e-3)
+            .with_bus_rate(1e-3);
+        let (r, tracer) = System::new_traced_faulted(
+            SystemConfig::for_(),
+            &wl,
+            forhdc_trace::MemTracer::new(),
+            SeededFaults::new(cfg),
+        )
+        .run_traced();
+        assert!(r.faults.media_read_errors + r.faults.media_write_errors > 0);
+        let faults = tracer
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Fault { .. }))
+            .count() as u64;
+        let retries = tracer
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Retry { .. }))
+            .count() as u64;
+        assert!(faults > 0);
+        assert_eq!(retries, r.faults.retries);
+        // The JSONL round trip must preserve every fault event.
+        let text = forhdc_trace::write_jsonl(&tracer.events);
+        let parsed = forhdc_trace::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, tracer.events);
     }
 }

@@ -1,0 +1,442 @@
+//! # forhdc-fault
+//!
+//! Deterministic, seeded fault schedules for the simulated disk array.
+//!
+//! The simulator is generic over a [`FaultModel`], mirroring the
+//! tracer facade: the default [`NoFaults`] answers `enabled() ==
+//! false` as a compile-time constant, so every fault probe in the hot
+//! path monomorphizes away and an unfaulted run is byte-identical to
+//! one built before this crate existed (test-enforced, like
+//! traced==untraced).
+//!
+//! [`SeededFaults`] implements four fault kinds:
+//!
+//! - **Media errors** — persistent per-block bad sectors. Whether a
+//!   block is bad is a pure function of `(seed, disk, block, r/w)`
+//!   via a splitmix64-style finalizer, so the answer does not depend
+//!   on visit order: the same schedule yields the same fault sequence
+//!   no matter how the runner parallelizes points.
+//! - **Bus errors** — transient per-transfer faults drawn from a
+//!   seeded RNG stream; a retry of the same transfer rolls again.
+//! - **Offline windows** — per-disk intervals of simulated time in
+//!   which the disk accepts no media operations; queued work resumes
+//!   when the window closes.
+//! - **Power loss** — periodic controller power-loss events that
+//!   discard volatile cache contents; dirty HDC blocks that were not
+//!   yet flushed become *lost writes*.
+//!
+//! The engine only *decides* faults; the recovery policy (retries,
+//! backoff, timeouts, degraded read-ahead) lives in `forhdc-core`,
+//! which also tallies the outcome into a [`FaultStats`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A closed-open interval of simulated time during which one disk is
+/// offline (accepts no new media operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OfflineWindow {
+    /// Physical disk id.
+    pub disk: u16,
+    /// Window start, in simulated nanoseconds (inclusive).
+    pub start_ns: u64,
+    /// Window end, in simulated nanoseconds (exclusive).
+    pub end_ns: u64,
+}
+
+/// The full description of a seeded fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Root seed; every derived stream is a pure function of it.
+    pub seed: u64,
+    /// Probability that any given block is a persistent read-bad
+    /// sector.
+    pub read_error_rate: f64,
+    /// Probability that any given block is a persistent write-bad
+    /// sector.
+    pub write_error_rate: f64,
+    /// Probability that one bus transfer fails transiently.
+    pub bus_error_rate: f64,
+    /// Scheduled whole-disk offline windows.
+    pub offline: Vec<OfflineWindow>,
+    /// Controller power-loss period in simulated nanoseconds; `None`
+    /// disables power-loss events.
+    pub power_loss_period_ns: Option<u64>,
+}
+
+impl FaultConfig {
+    /// A schedule with every fault disabled, rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            read_error_rate: 0.0,
+            write_error_rate: 0.0,
+            bus_error_rate: 0.0,
+            offline: Vec::new(),
+            power_loss_period_ns: None,
+        }
+    }
+
+    /// Sets the persistent media bad-sector probabilities.
+    pub fn with_media_rates(mut self, read: f64, write: f64) -> Self {
+        self.read_error_rate = read;
+        self.write_error_rate = write;
+        self
+    }
+
+    /// Sets the transient bus-error probability.
+    pub fn with_bus_rate(mut self, rate: f64) -> Self {
+        self.bus_error_rate = rate;
+        self
+    }
+
+    /// Adds a whole-disk offline window.
+    pub fn with_offline(mut self, window: OfflineWindow) -> Self {
+        self.offline.push(window);
+        self
+    }
+
+    /// Enables periodic controller power loss every `period_ns`.
+    pub fn with_power_loss_period_ns(mut self, period_ns: u64) -> Self {
+        self.power_loss_period_ns = Some(period_ns);
+        self
+    }
+}
+
+/// The fault-decision interface the simulator is generic over.
+///
+/// Every method has a "nothing happens" default so [`NoFaults`] is an
+/// empty impl; `enabled()` gates every call site, letting the default
+/// monomorphize to straight-line fault-free code.
+pub trait FaultModel {
+    /// Whether this model can ever inject a fault. Call sites guard on
+    /// this so the `NoFaults` instantiation compiles the fault paths
+    /// out entirely.
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Whether `block` on `disk` is a persistent bad sector for the
+    /// given direction. Must be a pure function of its arguments (and
+    /// the seed) — order-independence is what keeps parallel runs
+    /// deterministic.
+    #[inline(always)]
+    fn media_error(&self, _disk: u16, _block: u64, _write: bool) -> bool {
+        false
+    }
+
+    /// Rolls one transient bus-transfer fault. Stateful: consecutive
+    /// calls advance a seeded stream, so a retry rolls fresh.
+    #[inline(always)]
+    fn bus_error(&mut self) -> bool {
+        false
+    }
+
+    /// If `disk` is offline at `now_ns`, the simulated time at which
+    /// it comes back online.
+    #[inline(always)]
+    fn offline_until(&self, _disk: u16, _now_ns: u64) -> Option<u64> {
+        None
+    }
+
+    /// Controller power-loss period, if the schedule has one.
+    #[inline(always)]
+    fn power_loss_period_ns(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// The zero-overhead default: no faults, ever.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultModel for NoFaults {}
+
+/// A deterministic fault engine driven by a [`FaultConfig`].
+#[derive(Debug, Clone)]
+pub struct SeededFaults {
+    cfg: FaultConfig,
+    bus: StdRng,
+}
+
+impl SeededFaults {
+    /// Builds the engine; the bus stream is derived from the config
+    /// seed.
+    pub fn new(cfg: FaultConfig) -> Self {
+        let bus = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xB5);
+        SeededFaults { cfg, bus }
+    }
+
+    /// The schedule this engine runs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+}
+
+/// Splitmix64-style finalizer: maps `(seed, disk, block, salt)` to a
+/// uniform f64 in `[0, 1)` using the same 53-bit mantissa mapping as
+/// the workspace RNG. Stateless, so bad sectors are a property of the
+/// schedule, not of the visit order.
+fn hash_u01(seed: u64, disk: u16, block: u64, salt: u64) -> f64 {
+    let mut x = seed
+        ^ (disk as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ block.wrapping_mul(0xD1B54A32D192ED03)
+        ^ salt;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+const READ_SALT: u64 = 0x52;
+const WRITE_SALT: u64 = 0x57;
+
+impl FaultModel for SeededFaults {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn media_error(&self, disk: u16, block: u64, write: bool) -> bool {
+        let (rate, salt) = if write {
+            (self.cfg.write_error_rate, WRITE_SALT)
+        } else {
+            (self.cfg.read_error_rate, READ_SALT)
+        };
+        // `x < 0.0` is false for every x in [0, 1), so a zero rate
+        // never faults without a special case.
+        hash_u01(self.cfg.seed, disk, block, salt) < rate
+    }
+
+    fn bus_error(&mut self) -> bool {
+        // Skip the draw entirely at rate zero so a zero-rate schedule
+        // is behaviorally indistinguishable from `NoFaults`.
+        self.cfg.bus_error_rate > 0.0 && self.bus.gen_bool(self.cfg.bus_error_rate)
+    }
+
+    fn offline_until(&self, disk: u16, now_ns: u64) -> Option<u64> {
+        self.cfg
+            .offline
+            .iter()
+            .filter(|w| w.disk == disk && w.start_ns <= now_ns && now_ns < w.end_ns)
+            .map(|w| w.end_ns)
+            .max()
+    }
+
+    fn power_loss_period_ns(&self) -> Option<u64> {
+        self.cfg.power_loss_period_ns
+    }
+}
+
+/// Degraded-mode tallies: what the recovery policy observed and did.
+/// Merged across disks/points like the cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Media read operations that hit a bad sector.
+    pub media_read_errors: u64,
+    /// Media write operations that hit a bad sector.
+    pub media_write_errors: u64,
+    /// Transient bus-transfer faults observed.
+    pub bus_errors: u64,
+    /// Retries issued (media + bus).
+    pub retries: u64,
+    /// Read-ahead extensions aborted because the speculative suffix
+    /// crossed a bad sector (the demand prefix still completed).
+    pub ra_aborts: u64,
+    /// Host requests completed with an error after retry exhaustion
+    /// or timeout.
+    pub failed_requests: u64,
+    /// Requests that exceeded the configured per-request timeout.
+    pub timeouts: u64,
+    /// Controller power-loss events delivered.
+    pub power_losses: u64,
+    /// Dirty HDC blocks lost to power loss or failed flushes — writes
+    /// the host believed durable-in-controller that never reached the
+    /// media.
+    pub lost_dirty_blocks: u64,
+    /// HDC flush write-backs that failed on the media (blocks were
+    /// re-marked dirty for a later flush where possible).
+    pub flush_failures: u64,
+    /// Media operations delayed because the target disk was offline.
+    pub offline_stalls: u64,
+}
+
+impl FaultStats {
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.media_read_errors += other.media_read_errors;
+        self.media_write_errors += other.media_write_errors;
+        self.bus_errors += other.bus_errors;
+        self.retries += other.retries;
+        self.ra_aborts += other.ra_aborts;
+        self.failed_requests += other.failed_requests;
+        self.timeouts += other.timeouts;
+        self.power_losses += other.power_losses;
+        self.lost_dirty_blocks += other.lost_dirty_blocks;
+        self.flush_failures += other.flush_failures;
+        self.offline_stalls += other.offline_stalls;
+    }
+
+    /// Whether every counter is zero (the report omits the degraded
+    /// section for a clean run).
+    pub fn is_trivial(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
+impl std::fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "media errors {}r/{}w, bus errors {}, retries {}, ra aborts {}, \
+             failed requests {}, timeouts {}, power losses {}, lost dirty {}, \
+             flush failures {}, offline stalls {}",
+            self.media_read_errors,
+            self.media_write_errors,
+            self.bus_errors,
+            self.retries,
+            self.ra_aborts,
+            self.failed_requests,
+            self.timeouts,
+            self.power_losses,
+            self.lost_dirty_blocks,
+            self.flush_failures,
+            self.offline_stalls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_inert() {
+        let mut f = NoFaults;
+        assert!(!f.enabled());
+        assert!(!f.media_error(0, 0, false));
+        assert!(!f.bus_error());
+        assert_eq!(f.offline_until(0, 0), None);
+        assert_eq!(f.power_loss_period_ns(), None);
+    }
+
+    #[test]
+    fn media_errors_are_pure_and_order_independent() {
+        let f = SeededFaults::new(FaultConfig::new(42).with_media_rates(0.01, 0.01));
+        let forward: Vec<bool> = (0..10_000).map(|b| f.media_error(3, b, false)).collect();
+        let backward: Vec<bool> = (0..10_000)
+            .rev()
+            .map(|b| f.media_error(3, b, false))
+            .collect();
+        let backward: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+        // Another engine with the same seed agrees block for block.
+        let g = SeededFaults::new(FaultConfig::new(42).with_media_rates(0.01, 0.01));
+        assert!((0..10_000).all(|b| f.media_error(3, b, false) == g.media_error(3, b, false)));
+    }
+
+    #[test]
+    fn media_rate_extremes() {
+        let zero = SeededFaults::new(FaultConfig::new(7));
+        assert!((0..5_000).all(|b| !zero.media_error(0, b, false)));
+        assert!((0..5_000).all(|b| !zero.media_error(0, b, true)));
+        let one = SeededFaults::new(FaultConfig::new(7).with_media_rates(1.0, 1.0));
+        assert!((0..5_000).all(|b| one.media_error(0, b, false)));
+    }
+
+    #[test]
+    fn media_rate_hits_roughly_the_target() {
+        let f = SeededFaults::new(FaultConfig::new(9).with_media_rates(0.01, 0.0));
+        let hits = (0..100_000).filter(|&b| f.media_error(0, b, false)).count();
+        assert!((500..2_000).contains(&hits), "hits = {hits}");
+        // Write direction uses an independent stream; rate 0 ⇒ none.
+        assert!((0..100_000).all(|b| !f.media_error(0, b, true)));
+    }
+
+    #[test]
+    fn read_and_write_bad_sectors_are_independent() {
+        let f = SeededFaults::new(FaultConfig::new(11).with_media_rates(0.05, 0.05));
+        let both = (0..50_000)
+            .filter(|&b| f.media_error(0, b, false) && f.media_error(0, b, true))
+            .count();
+        let reads = (0..50_000).filter(|&b| f.media_error(0, b, false)).count();
+        // If the streams were identical, both == reads.
+        assert!(both < reads / 2, "both = {both}, reads = {reads}");
+    }
+
+    #[test]
+    fn bus_stream_is_seed_deterministic() {
+        let cfg = FaultConfig::new(5).with_bus_rate(0.3);
+        let mut a = SeededFaults::new(cfg.clone());
+        let mut b = SeededFaults::new(cfg);
+        let sa: Vec<bool> = (0..1000).map(|_| a.bus_error()).collect();
+        let sb: Vec<bool> = (0..1000).map(|_| b.bus_error()).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|&x| x));
+        assert!(sa.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn zero_bus_rate_never_draws() {
+        let mut f = SeededFaults::new(FaultConfig::new(5));
+        assert!((0..100).all(|_| !f.bus_error()));
+    }
+
+    #[test]
+    fn offline_windows_gate_by_disk_and_time() {
+        let f = SeededFaults::new(FaultConfig::new(1).with_offline(OfflineWindow {
+            disk: 2,
+            start_ns: 100,
+            end_ns: 200,
+        }));
+        assert_eq!(f.offline_until(2, 99), None);
+        assert_eq!(f.offline_until(2, 100), Some(200));
+        assert_eq!(f.offline_until(2, 199), Some(200));
+        assert_eq!(f.offline_until(2, 200), None);
+        assert_eq!(f.offline_until(1, 150), None);
+    }
+
+    #[test]
+    fn overlapping_windows_report_the_latest_end() {
+        let f = SeededFaults::new(
+            FaultConfig::new(1)
+                .with_offline(OfflineWindow {
+                    disk: 0,
+                    start_ns: 0,
+                    end_ns: 50,
+                })
+                .with_offline(OfflineWindow {
+                    disk: 0,
+                    start_ns: 10,
+                    end_ns: 90,
+                }),
+        );
+        assert_eq!(f.offline_until(0, 20), Some(90));
+    }
+
+    #[test]
+    fn stats_merge_and_render() {
+        let mut a = FaultStats {
+            media_read_errors: 1,
+            retries: 2,
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            media_read_errors: 3,
+            lost_dirty_blocks: 5,
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.media_read_errors, 4);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.lost_dirty_blocks, 5);
+        assert!(!a.is_trivial());
+        assert!(FaultStats::default().is_trivial());
+        let s = a.to_string();
+        assert!(s.contains("media errors 4r/0w"));
+        assert!(s.contains("lost dirty 5"));
+    }
+}

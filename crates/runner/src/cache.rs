@@ -56,9 +56,25 @@ impl ResultCache {
 
     /// Loads the cached output for `spec`, if present and valid.
     ///
-    /// Corrupt, truncated, or colliding entries are treated as misses.
+    /// Corrupt, truncated, or colliding entries are treated as misses
+    /// **and quarantined**: the bad file is renamed to `*.corrupt` so
+    /// the slot recomputes cleanly while the evidence survives for
+    /// inspection. A missing file is an ordinary miss.
     pub fn load(&self, spec: &JobSpec) -> Option<JobOutput> {
-        let text = fs::read_to_string(self.entry_path(spec)).ok()?;
+        let path = self.entry_path(spec);
+        let text = fs::read_to_string(&path).ok()?;
+        match Self::parse(&text, spec) {
+            Some(out) => Some(out),
+            None => {
+                let _ = fs::rename(&path, path.with_extension("job.corrupt"));
+                None
+            }
+        }
+    }
+
+    /// Parses one cache entry, returning `None` on any header, format,
+    /// or spec-echo mismatch.
+    fn parse(text: &str, spec: &JobSpec) -> Option<JobOutput> {
         let mut lines = text.lines();
         if lines.next()? != HEADER {
             return None;
@@ -162,6 +178,22 @@ mod tests {
         // And a wrong header.
         fs::write(&path, "something else\n").unwrap();
         assert!(cache.load(&spec()).is_none());
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_then_recomputable() {
+        let cache = ResultCache::new(tmpdir("quarantine"));
+        let out = JobOutput::new().metric("x", 1.0);
+        cache.store(&spec(), &out).unwrap();
+        let path = cache.entry_path(&spec());
+        fs::write(&path, "forhdc-runner-cache v1\ngarbage\n").unwrap();
+        // The bad entry is moved aside, not left to fail forever.
+        assert!(cache.load(&spec()).is_none());
+        assert!(!path.exists(), "corrupt entry must be moved aside");
+        assert!(path.with_extension("job.corrupt").exists());
+        // A fresh store over the quarantined slot works normally.
+        cache.store(&spec(), &out).unwrap();
+        assert_eq!(cache.load(&spec()), Some(out));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::hash::Fnv1a;
 
 /// Cache-format / job-model version: bump when the spec encoding or
 /// metric extraction changes meaning, so stale cache entries miss.
-pub const JOB_MODEL_VERSION: u32 = 2;
+pub const JOB_MODEL_VERSION: u32 = 3;
 
 /// Canonical description of one simulation point.
 ///

@@ -47,5 +47,5 @@ pub use cache::ResultCache;
 pub use job::{JobOutput, JobSpec, SimJob};
 pub use lazy::Lazy;
 pub use manifest::{ManifestEntry, RunManifest, TracePhase, TraceSummary};
-pub use pool::{ExperimentRun, ExperimentStats, Runner};
+pub use pool::{ExperimentRun, ExperimentStats, JobFailure, Runner};
 pub use seed::point_seed;

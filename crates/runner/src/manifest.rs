@@ -9,7 +9,7 @@ use std::io;
 use std::path::Path;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use crate::pool::ExperimentStats;
+use crate::pool::{ExperimentStats, JobFailure};
 
 /// Percentile summary of one traced latency phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +55,8 @@ pub struct ManifestEntry {
     pub wall: Duration,
     /// Trace digest, present only for traced runs.
     pub trace: Option<TraceSummary>,
+    /// Jobs that panicked (empty for a clean run).
+    pub failures: Vec<JobFailure>,
 }
 
 /// Accumulates per-experiment stats and renders them as JSON.
@@ -91,7 +93,13 @@ impl RunManifest {
             cache_hits: stats.cache_hits,
             wall: stats.wall,
             trace: None,
+            failures: stats.failures.clone(),
         });
+    }
+
+    /// Whether any recorded experiment had a failed job.
+    pub fn has_failures(&self) -> bool {
+        self.entries.iter().any(|e| !e.failures.is_empty())
     }
 
     /// Attaches a trace digest to the recorded experiment `id`.
@@ -115,7 +123,7 @@ impl RunManifest {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"version\": 2,\n");
+        s.push_str("  \"version\": 3,\n");
         s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         match &self.cache_dir {
             Some(dir) => s.push_str(&format!("  \"cache\": \"{}\",\n", escape(dir))),
@@ -138,6 +146,21 @@ impl RunManifest {
                 e.cache_hits,
                 e.wall.as_secs_f64()
             ));
+            if !e.failures.is_empty() {
+                s.push_str(", \"failures\": [");
+                for (j, f) in e.failures.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&format!(
+                        "{{\"point\": {}, \"label\": \"{}\", \"error\": \"{}\"}}",
+                        f.point,
+                        escape(&f.label),
+                        escape(&f.error)
+                    ));
+                }
+                s.push(']');
+            }
             if let Some(trace) = &e.trace {
                 s.push_str(&format!(
                     ", \"trace\": {{\"files\": {}, \"events\": {}, \"requests\": {}, \"phases\": [",
@@ -242,6 +265,7 @@ mod tests {
             jobs,
             cache_hits: hits,
             wall: Duration::from_millis(1500),
+            failures: Vec::new(),
         }
     }
 
@@ -251,7 +275,7 @@ mod tests {
         m.record(&stats("fig3", 32, 0));
         m.record(&stats("fig7", 40, 40));
         let json = m.to_json();
-        assert!(json.contains("\"version\": 2"), "{json}");
+        assert!(json.contains("\"version\": 3"), "{json}");
         assert!(json.contains("\"jobs\": 4"), "{json}");
         assert!(json.contains("\"cache\": \"results/.cache\""), "{json}");
         assert!(
@@ -313,6 +337,28 @@ mod tests {
             ),
             "{json}"
         );
+    }
+
+    #[test]
+    fn failures_are_rendered_and_detected() {
+        let mut m = RunManifest::new(2, None);
+        let mut s = stats("fig-faults", 5, 0);
+        s.failures.push(JobFailure {
+            point: 2,
+            label: "rate=1e-3 for".to_string(),
+            error: "boom \"quoted\"".to_string(),
+        });
+        m.record(&s);
+        assert!(m.has_failures());
+        let json = m.to_json();
+        assert!(
+            json.contains(
+                "\"failures\": [{\"point\": 2, \"label\": \"rate=1e-3 for\", \"error\": \"boom \\\"quoted\\\"\"}]"
+            ),
+            "{json}"
+        );
+        let clean = RunManifest::new(2, None);
+        assert!(!clean.has_failures());
     }
 
     #[test]

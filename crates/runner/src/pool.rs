@@ -6,13 +6,25 @@
 //! Each job runs single-threaded inside, preserving the simulator's
 //! determinism contract; parallelism exists only **between** jobs.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::cache::ResultCache;
 use crate::job::{JobOutput, SimJob};
+
+/// One job that panicked (after exhausting any configured retries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Point index of the job within its experiment.
+    pub point: usize,
+    /// The job's label.
+    pub label: String,
+    /// The panic message.
+    pub error: String,
+}
 
 /// Per-experiment execution statistics (also the manifest's rows).
 #[derive(Debug, Clone)]
@@ -25,6 +37,9 @@ pub struct ExperimentStats {
     pub cache_hits: usize,
     /// Wall-clock time for the whole experiment.
     pub wall: Duration,
+    /// Jobs that panicked, in point order. Their output slots hold
+    /// empty [`JobOutput`]s so sibling points stay aligned.
+    pub failures: Vec<JobFailure>,
 }
 
 /// The outputs (in point order) and stats of one executed experiment.
@@ -43,16 +58,18 @@ pub struct Runner {
     workers: usize,
     cache: Option<ResultCache>,
     quiet: bool,
+    max_retries: usize,
 }
 
 impl Runner {
     /// A runner with `workers` parallel workers (clamped to ≥ 1), no
-    /// cache, and progress lines on.
+    /// cache, no retries, and progress lines on.
     pub fn new(workers: usize) -> Self {
         Runner {
             workers: workers.max(1),
             cache: None,
             quiet: false,
+            max_retries: 0,
         }
     }
 
@@ -70,6 +87,15 @@ impl Runner {
         self
     }
 
+    /// Re-runs a panicking job up to `n` extra times before recording
+    /// it failed (for transiently flaky jobs; deterministic panics
+    /// still fail, just `n` times slower).
+    #[must_use]
+    pub fn max_retries(mut self, n: usize) -> Self {
+        self.max_retries = n;
+        self
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -82,14 +108,16 @@ impl Runner {
     /// **independent of the worker count**: identical specs yield
     /// identical outputs in identical order.
     ///
-    /// # Panics
-    ///
-    /// Propagates a panic from any job closure (after the remaining
-    /// workers drain).
+    /// A panicking job closure does **not** bring the run down: the
+    /// panic is caught, the job is retried up to the configured
+    /// [`Runner::max_retries`] budget, and a job that never succeeds is
+    /// recorded in [`ExperimentStats::failures`] with an empty output in
+    /// its slot while every sibling job completes normally.
     pub fn execute(&self, id: &str, jobs: &[SimJob]) -> ExperimentRun {
         let started = Instant::now();
         let total = jobs.len();
         let slots: Vec<OnceLock<JobOutput>> = (0..total).map(|_| OnceLock::new()).collect();
+        let failures: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
 
         // Phase 1: serve cache hits, collect the remainder.
         let mut pending: Vec<usize> = Vec::new();
@@ -110,7 +138,36 @@ impl Runner {
         let run_one = |i: usize| {
             let job = &jobs[i];
             let t0 = Instant::now();
-            let out = (job.run)();
+            let mut result = None;
+            let mut error = String::new();
+            for _ in 0..=self.max_retries {
+                match catch_unwind(AssertUnwindSafe(|| (job.run)())) {
+                    Ok(out) => {
+                        result = Some(out);
+                        break;
+                    }
+                    Err(payload) => error = panic_message(payload),
+                }
+            }
+            let out = match result {
+                Some(out) => out,
+                None => {
+                    // Keep the slot aligned; the failure record is the
+                    // source of truth.
+                    failures
+                        .lock()
+                        .expect("failure list poisoned")
+                        .push(JobFailure {
+                            point: i,
+                            label: job.spec.label.clone(),
+                            error: error.clone(),
+                        });
+                    if !self.quiet {
+                        eprintln!("  [{id}] FAILED {}: {error}", job.spec.label);
+                    }
+                    JobOutput::new()
+                }
+            };
             slots[i].set(out).expect("job slot filled twice");
             let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
             self.progress(id, finished, total, &job.spec.label, Some(t0.elapsed()));
@@ -135,10 +192,17 @@ impl Runner {
             });
         }
 
+        let mut failures = failures.into_inner().expect("failure list poisoned");
+        failures.sort_by_key(|f| f.point);
+
         // Phase 3: persist the fresh results (main thread, after the
-        // pool drains, so cache writes never race).
+        // pool drains, so cache writes never race). Failed jobs left
+        // empty placeholder outputs — never cache those.
         if let Some(cache) = &self.cache {
             for &i in &pending {
+                if failures.iter().any(|f| f.point == i) {
+                    continue;
+                }
                 let out = slots[i].get().expect("job finished");
                 if let Err(e) = cache.store(&jobs[i].spec, out) {
                     eprintln!(
@@ -160,6 +224,7 @@ impl Runner {
                 jobs: total,
                 cache_hits,
                 wall: started.elapsed(),
+                failures,
             },
         }
     }
@@ -172,6 +237,18 @@ impl Runner {
             Some(d) => eprintln!("  [{id} {done}/{total}] {label}  {:.2}s", d.as_secs_f64()),
             None => eprintln!("  [{id} {done}/{total}] {label}  (cached)"),
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// string literal or a formatted message covers essentially all cases).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -262,5 +339,83 @@ mod tests {
         let run = Runner::new(4).quiet(true).execute("empty", &[]);
         assert!(run.outputs.is_empty());
         assert_eq!(run.stats.jobs, 0);
+    }
+
+    /// n jobs where the middle one always panics.
+    fn jobs_with_panicker(n: usize, bad: usize) -> Vec<SimJob> {
+        (0..n)
+            .map(|i| {
+                let spec = JobSpec::new("panicky", i, format!("p{i}")).param("i", i);
+                SimJob::new(spec, move || {
+                    assert!(i != bad, "job {i} exploded deliberately");
+                    JobOutput::new().metric("v", i as f64)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn panicking_job_is_recorded_while_siblings_complete() {
+        let jobs = jobs_with_panicker(5, 2);
+        for workers in [1, 4] {
+            let run = Runner::new(workers).quiet(true).execute("panicky", &jobs);
+            assert_eq!(run.outputs.len(), 5);
+            assert_eq!(run.stats.failures.len(), 1);
+            let f = &run.stats.failures[0];
+            assert_eq!(f.point, 2);
+            assert_eq!(f.label, "p2");
+            assert!(
+                f.error.contains("exploded deliberately"),
+                "got: {}",
+                f.error
+            );
+            // Siblings carry real outputs; the failed slot is empty.
+            for (i, out) in run.outputs.iter().enumerate() {
+                if i == 2 {
+                    assert!(out.iter().next().is_none());
+                } else {
+                    assert_eq!(out.get("v"), i as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failed_jobs_are_never_cached() {
+        let dir =
+            std::env::temp_dir().join(format!("forhdc_runner_pool_fail_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = jobs_with_panicker(3, 1);
+        let first = Runner::new(2)
+            .quiet(true)
+            .cache_dir(&dir)
+            .execute("panicky", &jobs);
+        assert_eq!(first.stats.failures.len(), 1);
+        // On rerun, good jobs hit the cache and the bad one re-runs
+        // (and fails again) instead of being served a bogus entry.
+        let second = Runner::new(2)
+            .quiet(true)
+            .cache_dir(&dir)
+            .execute("panicky", &jobs);
+        assert_eq!(second.stats.cache_hits, 2);
+        assert_eq!(second.stats.failures.len(), 1);
+    }
+
+    #[test]
+    fn transient_panic_succeeds_within_retry_budget() {
+        static ATTEMPTS: AtomicU32 = AtomicU32::new(0);
+        let spec = JobSpec::new("flaky", 0, "p0").param("i", 0u64);
+        let jobs = vec![SimJob::new(spec, || {
+            // Fails twice, then succeeds.
+            assert!(ATTEMPTS.fetch_add(1, Ordering::SeqCst) >= 2, "flaky");
+            JobOutput::new().metric("ok", 1.0)
+        })];
+        let run = Runner::new(1)
+            .quiet(true)
+            .max_retries(2)
+            .execute("flaky", &jobs);
+        assert!(run.stats.failures.is_empty());
+        assert_eq!(run.outputs[0].get("ok"), 1.0);
+        assert_eq!(ATTEMPTS.load(Ordering::SeqCst), 3);
     }
 }

@@ -32,6 +32,9 @@ pub struct QueuedOp {
     pub cylinder: u32,
     /// When the op entered the queue (queue-wait measurement).
     pub queued_at: SimTime,
+    /// Service attempt, 0 for the first try. Fault-recovery requeues
+    /// bump it; the fault-free path never reads it.
+    pub attempt: u32,
 }
 
 /// A disk-queue scheduling discipline.
@@ -267,6 +270,7 @@ mod tests {
             kind: ReadWrite::Read,
             cylinder,
             queued_at: SimTime::ZERO,
+            attempt: 0,
         }
     }
 

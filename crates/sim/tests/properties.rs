@@ -105,6 +105,7 @@ proptest! {
                 kind: ReadWrite::Read,
                 cylinder: c,
                 queued_at: SimTime::ZERO,
+                attempt: 0,
             });
         }
         let mut seen: Vec<u64> = Vec::new();

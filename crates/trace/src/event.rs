@@ -44,6 +44,45 @@ impl ProbeResult {
     }
 }
 
+/// The kind of injected fault a [`TraceEvent::Fault`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Persistent bad sector hit by a media read.
+    MediaRead,
+    /// Persistent bad sector hit by a media write.
+    MediaWrite,
+    /// Transient bus-transfer fault.
+    Bus,
+    /// Target disk was inside an offline window; the op stalled.
+    Offline,
+    /// Controller power loss (volatile cache contents discarded).
+    PowerLoss,
+}
+
+impl FaultKind {
+    /// The stable wire tag (also the display label).
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultKind::MediaRead => "media_read",
+            FaultKind::MediaWrite => "media_write",
+            FaultKind::Bus => "bus",
+            FaultKind::Offline => "offline",
+            FaultKind::PowerLoss => "power",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "media_read" => FaultKind::MediaRead,
+            "media_write" => FaultKind::MediaWrite,
+            "bus" => FaultKind::Bus,
+            "offline" => FaultKind::Offline,
+            "power" => FaultKind::PowerLoss,
+            _ => return None,
+        })
+    }
+}
+
 /// One lifecycle or sampler event. All stamps are deterministic
 /// simulated time; flush write-backs carry tokens `>= 1 << 63` and
 /// have no `Issue`/`Complete` pair.
@@ -148,6 +187,39 @@ pub enum TraceEvent {
         /// Response time since issue (ns).
         response: u64,
     },
+    /// An injected fault was observed by the recovery path.
+    Fault {
+        /// Observation time (ns).
+        t: u64,
+        /// Owning request (or flush/sentinel token for ownerless
+        /// faults such as power loss).
+        req: u64,
+        /// Disk involved (0 for array-wide power loss).
+        disk: u16,
+        /// What faulted.
+        kind: FaultKind,
+    },
+    /// The recovery policy scheduled a retry of a faulted operation.
+    Retry {
+        /// Scheduling time (ns).
+        t: u64,
+        /// Owning request (or flush token).
+        req: u64,
+        /// Disk the retry targets.
+        disk: u16,
+        /// Attempt number being scheduled (1 = first retry).
+        attempt: u32,
+        /// Backoff delay before the retry starts (ns).
+        delay: u64,
+    },
+    /// A request exceeded its configured timeout and completed with an
+    /// error.
+    Timeout {
+        /// Expiry time (ns).
+        t: u64,
+        /// Request id.
+        req: u64,
+    },
     /// One fixed-cadence sampler observation for one disk.
     Sample {
         /// Sample time (ns).
@@ -178,6 +250,9 @@ impl TraceEvent {
             | TraceEvent::Media { t, .. }
             | TraceEvent::Bus { t, .. }
             | TraceEvent::Complete { t, .. }
+            | TraceEvent::Fault { t, .. }
+            | TraceEvent::Retry { t, .. }
+            | TraceEvent::Timeout { t, .. }
             | TraceEvent::Sample { t, .. } => t,
         }
     }
@@ -190,7 +265,10 @@ impl TraceEvent {
             | TraceEvent::Queue { req, .. }
             | TraceEvent::Media { req, .. }
             | TraceEvent::Bus { req, .. }
-            | TraceEvent::Complete { req, .. } => Some(req),
+            | TraceEvent::Complete { req, .. }
+            | TraceEvent::Fault { req, .. }
+            | TraceEvent::Retry { req, .. }
+            | TraceEvent::Timeout { req, .. } => Some(req),
             TraceEvent::BufferLookup { .. } | TraceEvent::Sample { .. } => None,
         }
     }
@@ -261,6 +339,25 @@ impl TraceEvent {
             TraceEvent::Complete { t, req, response } => writeln!(
                 out,
                 "{{\"t\":{t},\"e\":\"done\",\"req\":{req},\"resp\":{response}}}"
+            ),
+            TraceEvent::Fault { t, req, disk, kind } => writeln!(
+                out,
+                "{{\"t\":{t},\"e\":\"fault\",\"req\":{req},\"disk\":{disk},\"kind\":\"{}\"}}",
+                kind.tag()
+            ),
+            TraceEvent::Retry {
+                t,
+                req,
+                disk,
+                attempt,
+                delay,
+            } => writeln!(
+                out,
+                "{{\"t\":{t},\"e\":\"retry\",\"req\":{req},\"disk\":{disk},\"attempt\":{attempt},\"delay\":{delay}}}"
+            ),
+            TraceEvent::Timeout { t, req } => writeln!(
+                out,
+                "{{\"t\":{t},\"e\":\"timeout\",\"req\":{req}}}"
             ),
             TraceEvent::Sample {
                 t,
@@ -345,6 +442,24 @@ impl TraceEvent {
                 t: num("t")?,
                 req: num("req")?,
                 response: num("resp")?,
+            }),
+            "fault" => Ok(TraceEvent::Fault {
+                t: num("t")?,
+                req: num("req")?,
+                disk: num("disk")? as u16,
+                kind: FaultKind::from_tag(lookup(&fields, "kind")?)
+                    .ok_or_else(|| format!("unknown fault kind in {line:?}"))?,
+            }),
+            "retry" => Ok(TraceEvent::Retry {
+                t: num("t")?,
+                req: num("req")?,
+                disk: num("disk")? as u16,
+                attempt: num("attempt")? as u32,
+                delay: num("delay")?,
+            }),
+            "timeout" => Ok(TraceEvent::Timeout {
+                t: num("t")?,
+                req: num("req")?,
             }),
             "sample" => Ok(TraceEvent::Sample {
                 t: num("t")?,
@@ -477,6 +592,23 @@ mod tests {
                 req: 1,
                 response: 6_740_000,
             },
+            TraceEvent::Fault {
+                t: 7_000_000,
+                req: 1,
+                disk: 3,
+                kind: FaultKind::MediaRead,
+            },
+            TraceEvent::Retry {
+                t: 7_000_000,
+                req: 1,
+                disk: 3,
+                attempt: 1,
+                delay: 1_000_000,
+            },
+            TraceEvent::Timeout {
+                t: 90_000_000,
+                req: 1,
+            },
             TraceEvent::Sample {
                 t: 100_000_000,
                 disk: 3,
@@ -506,7 +638,23 @@ mod tests {
         assert_eq!(evs[0].time_ns(), 0);
         assert_eq!(evs[0].req(), Some(1));
         assert_eq!(evs[1].req(), None);
-        assert_eq!(evs[7].req(), None);
+        assert_eq!(evs[7].req(), Some(1)); // fault
+        assert_eq!(evs[9].req(), Some(1)); // timeout
+        assert_eq!(evs[10].req(), None); // sample
+    }
+
+    #[test]
+    fn fault_tags_round_trip() {
+        for k in [
+            FaultKind::MediaRead,
+            FaultKind::MediaWrite,
+            FaultKind::Bus,
+            FaultKind::Offline,
+            FaultKind::PowerLoss,
+        ] {
+            assert_eq!(FaultKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(FaultKind::from_tag("nope"), None);
     }
 
     #[test]

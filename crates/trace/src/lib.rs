@@ -41,7 +41,7 @@ pub mod event;
 pub mod hist;
 pub mod summary;
 
-pub use event::{parse_jsonl, write_jsonl, ProbeResult, TraceEvent};
+pub use event::{parse_jsonl, write_jsonl, FaultKind, ProbeResult, TraceEvent};
 pub use hist::PowerHistogram;
 pub use summary::{
     slowest_requests, utilization_timeline, PhasePercentiles, RequestSpan, TraceSummary,

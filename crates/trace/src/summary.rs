@@ -34,6 +34,15 @@ pub struct TraceSummary {
     /// Media service time (seek+rotation+transfer+overhead) per disk,
     /// indexed by physical disk id.
     pub per_disk_service: Vec<PowerHistogram>,
+    /// Injected faults observed, total (power loss included).
+    pub faults: u64,
+    /// Retries the recovery policy scheduled.
+    pub retries: u64,
+    /// Requests that timed out.
+    pub timeouts: u64,
+    /// Faults per disk, indexed by physical disk id. Array-wide power
+    /// losses are excluded (they belong to no single disk).
+    pub per_disk_faults: Vec<u64>,
 }
 
 impl TraceSummary {
@@ -45,6 +54,10 @@ impl TraceSummary {
             samples: 0,
             phases: PHASES.iter().map(|&p| (p, PowerHistogram::new())).collect(),
             per_disk_service: Vec::new(),
+            faults: 0,
+            retries: 0,
+            timeouts: 0,
+            per_disk_faults: Vec::new(),
         }
     }
 
@@ -90,6 +103,18 @@ impl TraceSummary {
                     self.phase_mut("response").record(response);
                 }
                 TraceEvent::Sample { .. } => self.samples += 1,
+                TraceEvent::Fault { disk, kind, .. } => {
+                    self.faults += 1;
+                    if kind != crate::event::FaultKind::PowerLoss {
+                        let d = disk as usize;
+                        if self.per_disk_faults.len() <= d {
+                            self.per_disk_faults.resize(d + 1, 0);
+                        }
+                        self.per_disk_faults[d] += 1;
+                    }
+                }
+                TraceEvent::Retry { .. } => self.retries += 1,
+                TraceEvent::Timeout { .. } => self.timeouts += 1,
                 TraceEvent::Issue { .. }
                 | TraceEvent::BufferLookup { .. }
                 | TraceEvent::Probe { .. }
@@ -135,6 +160,19 @@ impl TraceSummary {
             .zip(other.per_disk_service.iter())
         {
             a.merge(b);
+        }
+        self.faults += other.faults;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        if self.per_disk_faults.len() < other.per_disk_faults.len() {
+            self.per_disk_faults.resize(other.per_disk_faults.len(), 0);
+        }
+        for (a, b) in self
+            .per_disk_faults
+            .iter_mut()
+            .zip(other.per_disk_faults.iter())
+        {
+            *a += b;
         }
     }
 
@@ -351,6 +389,49 @@ mod tests {
         let all = slowest_requests(&evs, 10);
         assert_eq!(all.len(), 3);
         assert_eq!(all[2].req, 5);
+    }
+
+    #[test]
+    fn fault_events_tally_per_disk() {
+        use crate::event::FaultKind;
+        let evs = vec![
+            TraceEvent::Fault {
+                t: 1,
+                req: 1,
+                disk: 2,
+                kind: FaultKind::MediaRead,
+            },
+            TraceEvent::Fault {
+                t: 2,
+                req: 1,
+                disk: 2,
+                kind: FaultKind::Bus,
+            },
+            TraceEvent::Fault {
+                t: 3,
+                req: 1 << 63,
+                disk: 0,
+                kind: FaultKind::PowerLoss,
+            },
+            TraceEvent::Retry {
+                t: 4,
+                req: 1,
+                disk: 2,
+                attempt: 1,
+                delay: 100,
+            },
+            TraceEvent::Timeout { t: 5, req: 9 },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.faults, 3);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.timeouts, 1);
+        // Power loss belongs to no disk; disk 2 saw two faults.
+        assert_eq!(s.per_disk_faults, vec![0, 0, 2]);
+        let mut m = TraceSummary::from_events(&evs[..2]);
+        m.merge(&TraceSummary::from_events(&evs[2..]));
+        assert_eq!(m.faults, 3);
+        assert_eq!(m.per_disk_faults, vec![0, 0, 2]);
     }
 
     #[test]
