@@ -2,7 +2,9 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--max-retries N] [--timings]
+//! repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--check] [--max-retries N] [--timings]
+//! repro fuzz [--iters N] [--seed S] [--out DIR]
+//! repro replay FILE
 //! repro --list
 //!
 //!   experiment   one of: table1 fig1 fig2 ... fig12 table2 fig-faults
@@ -15,9 +17,17 @@
 //!   --out DIR    CSV output directory (default results/)
 //!   --trace DIR  write request-lifecycle traces to DIR/<id>/p<point>.jsonl
 //!                (implies --no-cache; deterministic for every --jobs N)
+//!   --check      run every point under the invariant auditor
+//!                (implies --no-cache; reports stay byte-identical)
 //!   --max-retries N  re-run a crashed job up to N extra times (default 0)
 //!   --timings    print a per-experiment timing table after the run
 //!   --list       print the experiment ids, one per line
+//!
+//!   fuzz         randomized invariant fuzzing: each iteration draws a
+//!                config + workload, cross-checks checked/traced/faulted
+//!                runs, shrinks the first failure, and writes a
+//!                reproducer JSON under <out>/repros/
+//!   replay FILE  re-run a reproducer; exits 0 iff it still fails
 //! ```
 //!
 //! Sweep experiments run as independent jobs on a worker pool and
@@ -39,6 +49,11 @@ use forhdc_runner::{ExperimentStats, RunManifest, Runner};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fuzz") => return fuzz_main(&args[1..]),
+        Some("replay") => return replay_main(&args[1..]),
+        _ => {}
+    }
     let mut opts = RunOptions::default();
     let mut out_dir = PathBuf::from("results");
     let mut jobs = 1usize;
@@ -78,6 +93,7 @@ fn main() -> ExitCode {
                 };
             }
             "--no-cache" => use_cache = false,
+            "--check" => opts.check = true,
             "--trace" => {
                 i += 1;
                 opts.trace_dir = match args.get(i) {
@@ -142,6 +158,12 @@ fn main() -> ExitCode {
         // A cache hit skips the job closure entirely, so its trace file
         // would never be written; tracing therefore runs every job.
         println!("note: --trace disables the result cache for this run");
+        use_cache = false;
+    }
+    if opts.check && use_cache {
+        // Same reasoning: a cache hit would skip the audited run, so
+        // checked mode re-executes every job.
+        println!("note: --check disables the result cache for this run");
         use_cache = false;
     }
     let cache_dir = use_cache.then(|| out_dir.join(".cache"));
@@ -229,9 +251,97 @@ fn main() -> ExitCode {
     }
 }
 
+/// `repro fuzz [--iters N] [--seed S] [--out DIR]`: randomized
+/// invariant fuzzing; exits non-zero iff a failure was found (after
+/// shrinking it and writing a reproducer under `<out>/repros/`).
+fn fuzz_main(args: &[String]) -> ExitCode {
+    let mut iters = 200u64;
+    let mut seed = 1u64;
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                i += 1;
+                iters = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v > 0 => v,
+                    _ => return usage_err("--iters needs a positive integer"),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage_err("--seed needs an unsigned integer"),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_dir = match args.get(i) {
+                    Some(d) => PathBuf::from(d),
+                    None => return usage_err("--out needs a directory"),
+                };
+            }
+            "-h" | "--help" => {
+                println!("{}", usage_text());
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_err(&format!("unknown fuzz argument '{other}'")),
+        }
+        i += 1;
+    }
+    let repro_dir = out_dir.join("repros");
+    match forhdc_bench::fuzz::fuzz(iters, seed, &repro_dir) {
+        Ok(outcome) => match outcome.failure {
+            None => {
+                println!("fuzz: {iters} iteration(s) clean (seed {seed})");
+                ExitCode::SUCCESS
+            }
+            Some((_, err, path)) => {
+                eprintln!(
+                    "fuzz: failure at iteration {} (seed {seed}):\n{err}\n\n\
+                     shrunk reproducer written to {}\nre-run it with: repro replay {}",
+                    outcome.clean,
+                    path.display(),
+                    path.display()
+                );
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro replay FILE`: re-runs a reproducer. Exit 0 = the case still
+/// fails (it reproduced); 1 = it now passes; 2 = unreadable file.
+fn replay_main(args: &[String]) -> ExitCode {
+    match args {
+        [file] if file != "-h" && file != "--help" => {
+            match forhdc_bench::fuzz::replay(std::path::Path::new(file)) {
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+                Ok(Err(err)) => {
+                    println!("reproduced:\n{err}");
+                    ExitCode::SUCCESS
+                }
+                Ok(Ok(())) => {
+                    eprintln!("did not reproduce: the case now passes");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage_err("replay needs exactly one reproducer file"),
+    }
+}
+
 fn usage_text() -> String {
     format!(
-        "usage: repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--max-retries N] [--timings]\n       repro --list\n\nexperiments: {}",
+        "usage: repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--check] [--max-retries N] [--timings]\n       repro fuzz [--iters N] [--seed S] [--out DIR]\n       repro replay FILE\n       repro --list\n\nexperiments: {}",
         experiments::ALL.join(" ")
     )
 }

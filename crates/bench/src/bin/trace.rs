@@ -105,14 +105,13 @@ fn report(dir: &Path, top: usize) -> Result<(), String> {
 
     // The point with the most sampler events carries the richest
     // timeline; short points may have none at all.
-    let best = points
-        .iter()
-        .max_by_key(|(_, evs)| {
-            evs.iter()
-                .filter(|e| matches!(e, TraceEvent::Sample { .. }))
-                .count()
-        })
-        .expect("points is non-empty");
+    let Some(best) = points.iter().max_by_key(|(_, evs)| {
+        evs.iter()
+            .filter(|e| matches!(e, TraceEvent::Sample { .. }))
+            .count()
+    }) else {
+        return Err(format!("no trace points in {}", dir.display()));
+    };
     let timeline = utilization_timeline(&best.1, TIMELINE_COLS);
     if timeline.is_empty() {
         println!("\nno sampler events (trace written without sampling?)");

@@ -1,13 +1,13 @@
 //! Design-choice ablations beyond the paper's figures (DESIGN.md §8).
 //!
-//! The grid-shaped ablations are [`PlannedExperiment`]s (one job per
-//! grid point × configuration); `cooperative` and `victim` keep the
-//! legacy serial shape — their bespoke trace/plan construction is not a
-//! sweep and would gain nothing from decomposition.
+//! Every ablation is a [`PlannedExperiment`]: the grid-shaped ones
+//! decompose into one job per grid point × configuration; the bespoke
+//! `cooperative` and `victim` studies decompose into one job per row,
+//! sharing their derived workloads through [`forhdc_runner::Lazy`].
 
 use forhdc_cache::{BlockReplacement, SegmentReplacement};
 use forhdc_core::{plan_periodic, System, SystemConfig};
-use forhdc_runner::{point_seed, JobSpec, SimJob};
+use forhdc_runner::{point_seed, JobOutput, JobSpec, SimJob};
 use forhdc_sim::{SchedulerKind, StripingMap};
 use forhdc_workload::{ServerWorkloadSpec, SyntheticWorkload};
 
@@ -56,7 +56,7 @@ pub fn plan_scheduler(opts: RunOptions) -> PlannedExperiment {
             .param("scale", opts.scale)
             .param("scheduler", name)
             .param("unit_kb", 64);
-        jobs.push(sim_job(spec, &wl, opts.trace(), move || {
+        jobs.push(sim_job(spec, &wl, opts.mode(), move || {
             SystemConfig::segm()
                 .with_scheduler(kind)
                 .with_striping_unit(64 * 1024)
@@ -103,7 +103,7 @@ pub fn plan_segment_replacement(opts: RunOptions) -> PlannedExperiment {
             .param("requests", opts.synthetic_requests)
             .param("seed", seed)
             .param("policy", name);
-        jobs.push(sim_job(spec, &wl, opts.trace(), move || {
+        jobs.push(sim_job(spec, &wl, opts.mode(), move || {
             SystemConfig::segm().with_replacement(BlockReplacement::Mru, pol)
         }));
     }
@@ -148,7 +148,7 @@ pub fn plan_block_replacement(opts: RunOptions) -> PlannedExperiment {
             .param("file_blocks", file_blocks)
             .param("seed", seed)
             .param("policy", name);
-            jobs.push(sim_job(spec, &wl, opts.trace(), move || {
+            jobs.push(sim_job(spec, &wl, opts.mode(), move || {
                 SystemConfig::for_().with_replacement(blk, SegmentReplacement::Lru)
             }));
         }
@@ -190,7 +190,7 @@ pub fn plan_segment_size(opts: RunOptions) -> PlannedExperiment {
             .param("requests", opts.synthetic_requests)
             .param("seed", seed)
             .param("segment_kb", seg_kb);
-        jobs.push(sim_job(spec, &wl, opts.trace(), move || {
+        jobs.push(sim_job(spec, &wl, opts.mode(), move || {
             SystemConfig::segm().with_segment_bytes(seg_kb * 1024)
         }));
     }
@@ -260,7 +260,7 @@ pub fn plan_coalescing(opts: RunOptions) -> PlannedExperiment {
             .param("coalesce_pct", pct)
             .param("seed", seed)
             .param("config", name);
-            jobs.push(sim_job(spec, &wl, opts.trace(), cfg));
+            jobs.push(sim_job(spec, &wl, opts.mode(), cfg));
         }
     }
     PlannedExperiment {
@@ -307,7 +307,7 @@ pub fn plan_zoned(opts: RunOptions) -> PlannedExperiment {
                 .param("seed", seed)
                 .param("recording", mode)
                 .param("config", name);
-            jobs.push(sim_job(spec, &wl, opts.trace(), move || {
+            jobs.push(sim_job(spec, &wl, opts.mode(), move || {
                 let c = base();
                 if zoned {
                     c.with_zoned_recording()
@@ -370,7 +370,7 @@ pub fn plan_mirroring(opts: RunOptions) -> PlannedExperiment {
             .param("write_pct", pct)
             .param("seed", seed)
             .param("config", name);
-            jobs.push(sim_job(spec, &wl, opts.trace(), move || {
+            jobs.push(sim_job(spec, &wl, opts.mode(), move || {
                 if mirrored {
                     SystemConfig::segm().with_mirroring()
                 } else {
@@ -419,12 +419,12 @@ pub fn plan_flush_period(opts: RunOptions) -> PlannedExperiment {
     let spec = JobSpec::new("ablation-flush", 0, "end-of-run")
         .param("scale", opts.scale)
         .param("flush_period_s", "none");
-    jobs.push(sim_job(spec, &wl, opts.trace(), cfg));
+    jobs.push(sim_job(spec, &wl, opts.mode(), cfg));
     for secs in PERIODS_S {
         let spec = JobSpec::new("ablation-flush", jobs.len(), format!("period={secs}s"))
             .param("scale", opts.scale)
             .param("flush_period_s", secs);
-        jobs.push(sim_job(spec, &wl, opts.trace(), move || {
+        jobs.push(sim_job(spec, &wl, opts.mode(), move || {
             cfg().with_hdc_flush_period(forhdc_sim::SimDuration::from_secs(secs))
         }));
     }
@@ -472,13 +472,13 @@ pub fn plan_periodic_planner(opts: RunOptions) -> PlannedExperiment {
     let spec = JobSpec::new("ablation-periodic", 0, "no-hdc")
         .param("scale", opts.scale)
         .param("plan", "no-hdc");
-    jobs.push(sim_job(spec, &wl, opts.trace(), || {
+    jobs.push(sim_job(spec, &wl, opts.mode(), || {
         SystemConfig::segm().with_striping_unit(64 * 1024)
     }));
     let spec = JobSpec::new("ablation-periodic", 1, "perfect")
         .param("scale", opts.scale)
         .param("plan", "perfect");
-    jobs.push(sim_job(spec, &wl, opts.trace(), cfg));
+    jobs.push(sim_job(spec, &wl, opts.mode(), cfg));
     for periods in PERIODS {
         let spec = JobSpec::new(
             "ablation-periodic",
@@ -576,82 +576,122 @@ pub fn periodic_planner(opts: RunOptions) -> Table {
     plan_periodic_planner(opts).run_serial()
 }
 
-/// §5's cooperative-caching remark: per-disk top-K pinning vs a
-/// global plan whose overflow lands in sibling controllers, under (a)
-/// spatially balanced heat (the common case — cooperation is ~free) and
-/// (b) heat concentrated on one disk (cooperation pins what the home
-/// controller cannot hold).
-pub fn cooperative(opts: RunOptions) -> Table {
+/// Builds the "one-disk heat" workload of the cooperative ablation:
+/// hot blocks confined to disk 0's striping units.
+fn coop_hot_disk_workload() -> forhdc_workload::Workload {
     use forhdc_sim::LogicalBlock;
     use forhdc_workload::{Trace, TraceRequest, Workload};
 
-    let mut t = Table::new(
-        "ablation-coop",
-        "Per-disk vs cooperative HDC planning (Segm, 1 MB HDC/disk)",
-        &["heat", "per_disk_io_s", "coop_io_s", "coop_sibling_hits"],
-    );
-    const HDC: u64 = 1 << 20;
-    // (a) balanced: the calibrated synthetic.
-    let balanced = SyntheticWorkload::builder()
-        .requests(opts.synthetic_requests)
-        .files(20_000)
-        .file_blocks(4)
-        .zipf_alpha(0.8)
-        .streams(128)
-        .seed(point_seed("ablation-coop", 0))
-        .build();
-    // (b) one-disk heat: hot blocks confined to disk 0's units.
-    let hot_disk = {
-        let layout = forhdc_layout::LayoutBuilder::new().build(&vec![4u32; 30_000]);
-        let mut reqs = Vec::new();
-        for _ in 0..8u64 {
-            for i in 0..1_200u64 {
-                let unit = (i / 32) * 8;
-                reqs.push(TraceRequest {
-                    start: LogicalBlock::new(unit * 32 + i % 32),
-                    nblocks: 1,
-                    kind: forhdc_sim::ReadWrite::Read,
-                });
-            }
-        }
-        for i in 0..3_000u64 {
+    let layout = forhdc_layout::LayoutBuilder::new().build(&vec![4u32; 30_000]);
+    let mut reqs = Vec::new();
+    for _ in 0..8u64 {
+        for i in 0..1_200u64 {
+            let unit = (i / 32) * 8;
             reqs.push(TraceRequest {
-                start: LogicalBlock::new(40_000 + i * 29 % 70_000),
+                start: LogicalBlock::new(unit * 32 + i % 32),
                 nblocks: 1,
                 kind: forhdc_sim::ReadWrite::Read,
             });
         }
-        Workload {
-            name: "hot-disk".into(),
-            layout,
-            trace: Trace::new(reqs),
-            streams: 64,
-        }
-    };
-    for (name, wl) in [("balanced", &balanced), ("one-disk", &hot_disk)] {
-        let per_disk = System::new(SystemConfig::segm().with_hdc(HDC), wl).run();
-        let coop = System::new(
-            SystemConfig::segm().with_hdc(HDC).with_cooperative_hdc(),
-            wl,
-        )
-        .run();
-        t.push_row(vec![
-            name.to_string(),
-            f1(per_disk.io_time.as_secs_f64()),
-            f1(coop.io_time.as_secs_f64()),
-            coop.coop_hits.to_string(),
-        ]);
     }
-    t.note("the paper kept per-disk pinning for simplicity; cooperation only pays when the hot set is spatially concentrated beyond one controller's memory");
-    t
+    for i in 0..3_000u64 {
+        reqs.push(TraceRequest {
+            start: LogicalBlock::new(40_000 + i * 29 % 70_000),
+            nblocks: 1,
+            kind: forhdc_sim::ReadWrite::Read,
+        });
+    }
+    Workload {
+        name: "hot-disk".into(),
+        layout,
+        trace: Trace::new(reqs),
+        streams: 64,
+    }
 }
 
-/// §5's two example uses of HDC head to head on the same derived
-/// workload: the paper's top-miss pinning (static, perfect knowledge)
-/// against the array-wide victim cache (dynamic pin/unpin), plus the
-/// no-HDC baseline.
-pub fn victim(opts: RunOptions) -> Table {
-    use forhdc_core::{build_victim_workload, HdcPlan, VictimConfig};
+/// §5's cooperative-caching remark: per-disk top-K pinning vs a
+/// global plan whose overflow lands in sibling controllers, under (a)
+/// spatially balanced heat (the common case — cooperation is ~free) and
+/// (b) heat concentrated on one disk (cooperation pins what the home
+/// controller cannot hold). One job per (heat, planner) pair.
+pub fn plan_cooperative(opts: RunOptions) -> PlannedExperiment {
+    const HDC: u64 = 1 << 20;
+    const HEATS: [&str; 2] = ["balanced", "one-disk"];
+    // (a) balanced: the calibrated synthetic.
+    let balanced = shared(move || {
+        SyntheticWorkload::builder()
+            .requests(opts.synthetic_requests)
+            .files(20_000)
+            .file_blocks(4)
+            .zipf_alpha(0.8)
+            .streams(128)
+            .seed(point_seed("ablation-coop", 0))
+            .build()
+    });
+    // (b) one-disk heat: hot blocks confined to disk 0's units.
+    let hot_disk = shared(coop_hot_disk_workload);
+    let mut jobs = Vec::new();
+    for (heat, wl) in [("balanced", &balanced), ("one-disk", &hot_disk)] {
+        for coop in [false, true] {
+            let spec = JobSpec::new(
+                "ablation-coop",
+                jobs.len(),
+                format!("{heat} {}", if coop { "coop" } else { "per-disk" }),
+            )
+            .param("requests", opts.synthetic_requests)
+            .param("heat", heat)
+            .param("coop", coop);
+            let wl = wl.clone();
+            jobs.push(SimJob::new(spec, move || {
+                let cfg = if coop {
+                    SystemConfig::segm().with_hdc(HDC).with_cooperative_hdc()
+                } else {
+                    SystemConfig::segm().with_hdc(HDC)
+                };
+                let r = System::new(cfg, wl.get()).run();
+                JobOutput::new()
+                    .metric("io_ns", r.io_time.as_nanos() as f64)
+                    .metric("coop_hits", r.coop_hits as f64)
+            }));
+        }
+    }
+    PlannedExperiment {
+        id: "ablation-coop",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "ablation-coop",
+                "Per-disk vs cooperative HDC planning (Segm, 1 MB HDC/disk)",
+                &["heat", "per_disk_io_s", "coop_io_s", "coop_sibling_hits"],
+            );
+            for (row, heat) in HEATS.iter().enumerate() {
+                let (per_disk, coop) = (&out[row * 2], &out[row * 2 + 1]);
+                t.push_row(vec![
+                    heat.to_string(),
+                    f1(per_disk.get("io_ns") / 1e9),
+                    f1(coop.get("io_ns") / 1e9),
+                    (coop.get("coop_hits") as u64).to_string(),
+                ]);
+            }
+            t.note("the paper kept per-disk pinning for simplicity; cooperation only pays when the hot set is spatially concentrated beyond one controller's memory");
+            t
+        }),
+    }
+}
+
+/// The cooperative ablation on the serial path.
+pub fn cooperative(opts: RunOptions) -> Table {
+    plan_cooperative(opts).run_serial()
+}
+
+/// HDC region size of the victim ablation (bytes per disk).
+const VICTIM_HDC: u64 = 2 * 1024 * 1024;
+
+/// Builds the derived victim-cache workload: an application stream
+/// whose working set overflows the host cache — the regime where a
+/// victim cache earns its keep.
+fn victim_workload(opts: RunOptions) -> forhdc_core::VictimWorkload {
+    use forhdc_core::{build_victim_workload, VictimConfig};
     use forhdc_host::pipeline::FileAccess;
     use forhdc_layout::{FileId, LayoutBuilder};
     use forhdc_sim::{ReadWrite, SimDuration, SimTime};
@@ -659,8 +699,6 @@ pub fn victim(opts: RunOptions) -> Table {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    // An application stream whose working set overflows the host cache:
-    // the regime where a victim cache earns its keep.
     let files = 30_000usize;
     let layout = LayoutBuilder::new().seed(21).build(&vec![4u32; files]);
     let zipf = ZipfSampler::new(files, 0.75);
@@ -675,56 +713,100 @@ pub fn victim(opts: RunOptions) -> Table {
             kind: ReadWrite::Read,
         })
         .collect();
-    const HDC: u64 = 2 * 1024 * 1024;
     let striping = forhdc_sim::StripingMap::new(8, 32);
-    let vw = build_victim_workload(
+    build_victim_workload(
         &accesses,
         &layout,
         VictimConfig {
             buffer_blocks: 8_192,
-            hdc_blocks_per_disk: (HDC / 4096) as u32,
+            hdc_blocks_per_disk: (VICTIM_HDC / 4096) as u32,
             striping,
             streams: 64,
         },
-    );
-    let mut t = Table::new(
-        "ablation-victim",
-        "HDC uses: none vs top-miss pinning vs victim cache (derived workload)",
-        &["mode", "io_time_s", "hdc_hit_%"],
-    );
-    let none = System::new(SystemConfig::segm(), &vw.workload).run();
-    t.push_row(vec![
-        "no-hdc".into(),
-        f1(none.io_time.as_secs_f64()),
-        f1(0.0),
-    ]);
-    let top = System::new(SystemConfig::segm().with_hdc(HDC), &vw.workload).run();
-    t.push_row(vec![
-        "top-miss".into(),
-        f1(top.io_time.as_secs_f64()),
-        f1(100.0 * top.hdc_hit_rate()),
-    ]);
-    let vic = System::with_plan(
-        SystemConfig::segm().with_hdc(HDC),
-        &vw.workload,
-        HdcPlan::empty(8),
     )
-    .with_hdc_commands(vw.commands)
-    .run();
-    t.push_row(vec![
-        "victim".into(),
-        f1(vic.io_time.as_secs_f64()),
-        f1(100.0 * vic.hdc_hit_rate()),
-    ]);
-    t.note(format!(
-        "derivation: buffer hit {:.0}%, {} pins, {} unpins, {} write-backs",
-        100.0 * vw.stats.buffer_hit_rate,
-        vw.stats.pins,
-        vw.stats.unpins,
-        vw.stats.writebacks
-    ));
-    t.note("the victim cache adapts to the live miss stream; top-miss pinning needs (perfect) profile knowledge");
-    t
+}
+
+/// §5's two example uses of HDC head to head on the same derived
+/// workload: the paper's top-miss pinning (static, perfect knowledge)
+/// against the array-wide victim cache (dynamic pin/unpin), plus the
+/// no-HDC baseline. One job per mode, sharing one lazily derived
+/// workload; job 0 also emits the derivation stats for the note.
+pub fn plan_victim(opts: RunOptions) -> PlannedExperiment {
+    use forhdc_core::HdcPlan;
+
+    let vw = std::sync::Arc::new(forhdc_runner::Lazy::new(move || victim_workload(opts)));
+    const MODES: [&str; 3] = ["no-hdc", "top-miss", "victim"];
+    let jobs = MODES
+        .iter()
+        .enumerate()
+        .map(|(point, &mode)| {
+            let spec = JobSpec::new("ablation-victim", point, mode.to_string())
+                .param("scale", opts.scale)
+                .param("mode", mode);
+            let vw = vw.clone();
+            SimJob::new(spec, move || {
+                let vw = vw.get();
+                let r = match mode {
+                    "no-hdc" => System::new(SystemConfig::segm(), &vw.workload).run(),
+                    "top-miss" => {
+                        System::new(SystemConfig::segm().with_hdc(VICTIM_HDC), &vw.workload).run()
+                    }
+                    _ => System::with_plan(
+                        SystemConfig::segm().with_hdc(VICTIM_HDC),
+                        &vw.workload,
+                        HdcPlan::empty(8),
+                    )
+                    .with_hdc_commands(vw.commands.clone())
+                    .run(),
+                };
+                let mut o = JobOutput::new()
+                    .metric("io_ns", r.io_time.as_nanos() as f64)
+                    .metric("hdc_hit_rate", r.hdc_hit_rate());
+                if mode == "no-hdc" {
+                    o = o
+                        .metric("buffer_hit_rate", vw.stats.buffer_hit_rate)
+                        .metric("pins", vw.stats.pins as f64)
+                        .metric("unpins", vw.stats.unpins as f64)
+                        .metric("writebacks", vw.stats.writebacks as f64);
+                }
+                o
+            })
+        })
+        .collect();
+    PlannedExperiment {
+        id: "ablation-victim",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "ablation-victim",
+                "HDC uses: none vs top-miss pinning vs victim cache (derived workload)",
+                &["mode", "io_time_s", "hdc_hit_%"],
+            );
+            for (row, &mode) in MODES.iter().enumerate() {
+                let o = &out[row];
+                let hit = if mode == "no-hdc" {
+                    0.0
+                } else {
+                    100.0 * o.get("hdc_hit_rate")
+                };
+                t.push_row(vec![mode.to_string(), f1(o.get("io_ns") / 1e9), f1(hit)]);
+            }
+            t.note(format!(
+                "derivation: buffer hit {:.0}%, {} pins, {} unpins, {} write-backs",
+                100.0 * out[0].get("buffer_hit_rate"),
+                out[0].get("pins") as u64,
+                out[0].get("unpins") as u64,
+                out[0].get("writebacks") as u64
+            ));
+            t.note("the victim cache adapts to the live miss stream; top-miss pinning needs (perfect) profile knowledge");
+            t
+        }),
+    }
+}
+
+/// The victim ablation on the serial path.
+pub fn victim(opts: RunOptions) -> Table {
+    plan_victim(opts).run_serial()
 }
 
 #[cfg(test)]
@@ -804,5 +886,21 @@ mod tests {
                 .unwrap()
         };
         assert!(hit("perfect") >= hit("history/2") - 0.5);
+    }
+
+    #[test]
+    fn ported_bespoke_plans_match_serial_byte_for_byte() {
+        let runner = forhdc_runner::Runner::new(4).quiet(true);
+        for plan in [plan_cooperative(quick()), plan_victim(quick())] {
+            let serial = plan.run_serial();
+            let (parallel, stats) = plan.run_with(&runner);
+            assert!(stats.failures.is_empty(), "{}", plan.id);
+            assert_eq!(
+                serial.to_csv(),
+                parallel.expect("table").to_csv(),
+                "{}",
+                plan.id
+            );
+        }
     }
 }

@@ -44,19 +44,24 @@ pub const ALL: &[&str] = &[
 ];
 
 /// Diagnostics runnable by explicit id but never part of `all`: they
-/// exist to exercise the harness's failure path end to end (a
-/// `selftest-panic` run must leave a manifest failure record and exit
-/// non-zero while sibling jobs complete).
-pub const HIDDEN: &[&str] = &["selftest-panic"];
+/// exist to exercise the harness's failure path end to end
+/// (`selftest-panic` proves a crashing job leaves a manifest failure
+/// record and a non-zero exit while sibling jobs complete;
+/// `selftest-violation` proves a planted invariant violation is
+/// detected, shrunk to a reproducer under `results/repros/`, and
+/// recorded the same way).
+pub const HIDDEN: &[&str] = &["selftest-panic", "selftest-violation"];
 
 /// The job-graph decomposition of `id`, when it has one.
 ///
-/// Sweep-shaped experiments decompose into independent jobs the runner
-/// can execute in parallel and cache; the rest (`None`) run only on the
-/// legacy serial path — single simulations, bespoke trace builders, and
-/// analytic tables with nothing to parallelize.
+/// Every experiment now decomposes into independent jobs the runner
+/// can execute in parallel and cache; `None` is kept for forward
+/// compatibility with ids that have nothing to decompose.
 pub fn plan(id: &str, opts: RunOptions) -> Option<PlannedExperiment> {
     Some(match id {
+        "table1" => micro::plan_table1(),
+        "fig1" => micro::plan_fig1(),
+        "fig2" => servers::plan_fig2(opts),
         "fig3" => synthetic::plan_fig3(opts),
         "fig4" => synthetic::plan_fig4(opts),
         "fig5" => synthetic::plan_fig5(opts),
@@ -77,8 +82,14 @@ pub fn plan(id: &str, opts: RunOptions) -> Option<PlannedExperiment> {
         "ablation-flush" => ablations::plan_flush_period(opts),
         "ablation-mirror" => ablations::plan_mirroring(opts),
         "ablation-zones" => ablations::plan_zoned(opts),
+        "ablation-coop" => ablations::plan_cooperative(opts),
+        "ablation-victim" => ablations::plan_victim(opts),
+        "model-check" => micro::plan_model_check(opts),
         "fig-faults" => faults::plan_faults(opts),
         "selftest-panic" => faults::plan_selftest_panic(),
+        "selftest-violation" => {
+            crate::fuzz::plan_selftest_violation(std::path::PathBuf::from("results/repros"))
+        }
         _ => return None,
     })
 }
@@ -91,16 +102,8 @@ pub fn plan(id: &str, opts: RunOptions) -> Option<PlannedExperiment> {
 ///
 /// Panics on an unknown id (the CLI validates first).
 pub fn run(id: &str, opts: RunOptions) -> Table {
-    if let Some(p) = plan(id, opts) {
-        return p.run_serial();
-    }
-    match id {
-        "table1" => micro::table1(),
-        "fig1" => micro::fig1(),
-        "fig2" => servers::fig2(opts),
-        "ablation-victim" => ablations::victim(opts),
-        "ablation-coop" => ablations::cooperative(opts),
-        "model-check" => micro::model_check(opts),
-        other => panic!("unknown experiment: {other}"),
+    match plan(id, opts) {
+        Some(p) => p.run_serial(),
+        None => panic!("unknown experiment: {id}"),
     }
 }

@@ -67,44 +67,71 @@ fn server_spec(
         .param("scale", opts.scale)
 }
 
+/// The log-spaced ranks Figure 2 samples.
+const FIG2_RANKS: [usize; 13] = [
+    1, 2, 5, 10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000,
+];
+
 /// Figure 2: access counts of the most-accessed disk blocks for the
 /// three workload clones, next to the Zipf(0.43) reference the paper
-/// plots. Sampled at log-spaced ranks.
-pub fn fig2(opts: RunOptions) -> Table {
-    let mut t = Table::new(
-        "fig2",
-        "Distribution of disk block accesses (top blocks, log-sampled ranks)",
-        &["rank", "web", "proxy", "file", "zipf_0.43_model"],
-    );
-    let curves: Vec<Vec<u32>> = [ServerKind::Web, ServerKind::Proxy, ServerKind::File]
+/// plots. Sampled at log-spaced ranks. One job per server clone; each
+/// emits its curve samples plus the curve total (the web total scales
+/// the Zipf reference in the assembly).
+pub fn plan_fig2(opts: RunOptions) -> PlannedExperiment {
+    let jobs = [ServerKind::Web, ServerKind::Proxy, ServerKind::File]
         .into_iter()
-        .map(|k| workload(k, opts).trace.popularity_curve(300_000))
+        .enumerate()
+        .map(|(point, kind)| {
+            let spec = server_spec("fig2", point, format!("{kind}"), kind, opts);
+            SimJob::new(spec, move || {
+                let curve = workload(kind, opts).trace.popularity_curve(300_000);
+                let mut o = JobOutput::new()
+                    .metric("total", curve.iter().map(|&c| c as u64).sum::<u64>() as f64);
+                for rank in FIG2_RANKS {
+                    o = o.metric(
+                        format!("r{rank}"),
+                        curve.get(rank - 1).copied().unwrap_or(0) as f64,
+                    );
+                }
+                o
+            })
+        })
         .collect();
-    // Zipf reference scaled to the web curve's total over 300 K blocks.
-    let web_total: u64 = curves[0].iter().map(|&c| c as u64).sum();
-    let n_ref = 300_000u64;
-    let ranks = [
-        1usize, 2, 5, 10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000,
-    ];
-    for rank in ranks {
-        let sample = |c: &Vec<u32>| {
-            c.get(rank - 1)
-                .map(|v| v.to_string())
-                .unwrap_or_else(|| "0".into())
-        };
-        let z = (zipf_cumulative(rank as u64, n_ref, 0.43)
-            - zipf_cumulative(rank as u64 - 1, n_ref, 0.43))
-            * web_total as f64;
-        t.push_row(vec![
-            rank.to_string(),
-            sample(&curves[0]),
-            sample(&curves[1]),
-            sample(&curves[2]),
-            f1(z),
-        ]);
+    PlannedExperiment {
+        id: "fig2",
+        jobs,
+        assemble: Box::new(|out| {
+            let mut t = Table::new(
+                "fig2",
+                "Distribution of disk block accesses (top blocks, log-sampled ranks)",
+                &["rank", "web", "proxy", "file", "zipf_0.43_model"],
+            );
+            // Zipf reference scaled to the web curve's total over
+            // 300 K blocks.
+            let web_total = out[0].get("total");
+            let n_ref = 300_000u64;
+            for rank in FIG2_RANKS {
+                let sample = |o: &JobOutput| (o.get(&format!("r{rank}")) as u64).to_string();
+                let z = (zipf_cumulative(rank as u64, n_ref, 0.43)
+                    - zipf_cumulative(rank as u64 - 1, n_ref, 0.43))
+                    * web_total;
+                t.push_row(vec![
+                    rank.to_string(),
+                    sample(&out[0]),
+                    sample(&out[1]),
+                    sample(&out[2]),
+                    f1(z),
+                ]);
+            }
+            t.note("paper: hottest blocks reach ~88/78/90 accesses (web/proxy/file); the curves track a Zipf with alpha ~0.43");
+            t
+        }),
     }
-    t.note("paper: hottest blocks reach ~88/78/90 accesses (web/proxy/file); the curves track a Zipf with alpha ~0.43");
-    t
+}
+
+/// Figure 2 on the serial path.
+pub fn fig2(opts: RunOptions) -> Table {
+    plan_fig2(opts).run_serial()
 }
 
 /// Figures 7 / 9 / 11: absolute I/O time versus the striping-unit
@@ -137,7 +164,7 @@ pub fn plan_striping_sweep(
             )
             .param("unit_kb", unit_kb)
             .param("config", name);
-            jobs.push(sim_job(job_spec, &wl, opts.trace(), cfg));
+            jobs.push(sim_job(job_spec, &wl, opts.mode(), cfg));
         }
     }
     PlannedExperiment {
@@ -198,7 +225,7 @@ pub fn plan_hdc_sweep(kind: ServerKind, id: &'static str, opts: RunOptions) -> P
                     .param("unit_kb", paper_unit_kb(kind))
                     .param("hdc_kb", hdc_kb)
                     .param("config", name);
-            jobs.push(sim_job(job_spec, &wl, opts.trace(), cfg));
+            jobs.push(sim_job(job_spec, &wl, opts.mode(), cfg));
         }
     }
     PlannedExperiment {
@@ -336,6 +363,15 @@ mod tests {
                 assert!(w[1] <= w[0], "popularity curve must be sorted: {vals:?}");
             }
         }
+    }
+
+    #[test]
+    fn fig2_parallel_matches_serial_byte_for_byte() {
+        let serial = plan_fig2(quick()).run_serial();
+        let runner = forhdc_runner::Runner::new(3).quiet(true);
+        let (parallel, stats) = plan_fig2(quick()).run_with(&runner);
+        assert!(stats.failures.is_empty());
+        assert_eq!(serial.to_csv(), parallel.expect("table").to_csv());
     }
 
     #[test]

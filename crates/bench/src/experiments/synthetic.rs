@@ -66,7 +66,7 @@ pub fn plan_fig3(opts: RunOptions) -> PlannedExperiment {
             )
             .param("file_blocks", file_blocks)
             .param("streams", 128);
-            jobs.push(sim_job(spec, &wl, opts.trace(), cfg));
+            jobs.push(sim_job(spec, &wl, opts.mode(), cfg));
         }
     }
     PlannedExperiment {
@@ -127,7 +127,7 @@ pub fn plan_fig4(opts: RunOptions) -> PlannedExperiment {
             )
             .param("file_blocks", 4)
             .param("streams", streams);
-            jobs.push(sim_job(spec, &wl, opts.trace(), cfg));
+            jobs.push(sim_job(spec, &wl, opts.mode(), cfg));
         }
     }
     PlannedExperiment {
@@ -192,7 +192,7 @@ pub fn plan_fig5(opts: RunOptions) -> PlannedExperiment {
             .param("file_blocks", 4)
             .param("streams", 128)
             .param("zipf_alpha", alpha);
-            jobs.push(sim_job(spec, &wl, opts.trace(), cfg));
+            jobs.push(sim_job(spec, &wl, opts.mode(), cfg));
         }
     }
     PlannedExperiment {
@@ -258,7 +258,7 @@ pub fn plan_fig6(opts: RunOptions) -> PlannedExperiment {
             .param("file_blocks", 4)
             .param("streams", 128)
             .param("write_pct", pct);
-            jobs.push(sim_job(spec, &wl, opts.trace(), cfg));
+            jobs.push(sim_job(spec, &wl, opts.mode(), cfg));
         }
     }
     PlannedExperiment {

@@ -23,6 +23,7 @@
 //! | [`experiments::ablations`] | ten design-choice ablations (DESIGN.md §8) |
 
 pub mod experiments;
+pub mod fuzz;
 pub mod plan;
 pub mod table;
 
@@ -41,6 +42,17 @@ pub struct TraceSpec {
     pub sample: forhdc_sim::SimDuration,
 }
 
+/// How a sweep job wraps its simulation: optional tracing, optional
+/// checked mode (`repro --check` runs every point under
+/// [`forhdc_core::FullAudit`]; reports stay byte-identical).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobMode {
+    /// Request-lifecycle tracing destination, when on.
+    pub trace: Option<TraceSpec>,
+    /// Run under the invariant auditor (panics on violation).
+    pub check: bool,
+}
+
 /// Global run options shared by the experiments.
 #[derive(Debug, Clone, Copy)]
 pub struct RunOptions {
@@ -55,6 +67,10 @@ pub struct RunOptions {
     pub trace_dir: Option<&'static str>,
     /// Sampler cadence in simulated milliseconds (default 100).
     pub trace_sample_ms: u64,
+    /// Run every simulation point under [`forhdc_core::FullAudit`]
+    /// (`repro --check`). Invariant violations panic the job; the
+    /// crash-safe runner records them in the manifest.
+    pub check: bool,
 }
 
 impl RunOptions {
@@ -65,6 +81,15 @@ impl RunOptions {
             sample: forhdc_sim::SimDuration::from_millis(self.trace_sample_ms),
         })
     }
+
+    /// The per-job simulation mode (tracing + checking) for
+    /// [`plan::sim_job`].
+    pub fn mode(&self) -> JobMode {
+        JobMode {
+            trace: self.trace(),
+            check: self.check,
+        }
+    }
 }
 
 impl Default for RunOptions {
@@ -74,6 +99,7 @@ impl Default for RunOptions {
             synthetic_requests: 10_000,
             trace_dir: None,
             trace_sample_ms: 100,
+            check: false,
         }
     }
 }

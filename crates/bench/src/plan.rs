@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use forhdc_core::{Report, System, SystemConfig};
+use forhdc_core::{FullAudit, NoFaults, Report, System, SystemConfig};
 use forhdc_runner::{ExperimentStats, JobOutput, JobSpec, Lazy, Runner, SimJob};
 use forhdc_workload::Workload;
 
@@ -100,29 +100,49 @@ pub fn report_metrics(r: &Report) -> JobOutput {
 /// the standard metrics. Covers nearly every sweep point; experiments
 /// with bespoke outputs build their own [`SimJob`] directly.
 ///
-/// With `trace` set, the run carries a [`forhdc_trace::MemTracer`] and
-/// writes its events to `<dir>/<experiment>/p<point:04>.jsonl` before
-/// returning the same metrics. Each point owns its own file, so
+/// With `mode.trace` set, the run carries a [`forhdc_trace::MemTracer`]
+/// and writes its events to `<dir>/<experiment>/p<point:04>.jsonl`
+/// before returning the same metrics. Each point owns its own file, so
 /// parallel traced runs are byte-identical to serial ones by
 /// construction.
+///
+/// With `mode.check` set, the run carries a [`FullAudit`] auditor that
+/// panics on any invariant violation; the report (and hence the
+/// metrics) is byte-identical to the unchecked run.
 pub fn sim_job(
     spec: JobSpec,
     wl: &SharedWorkload,
-    trace: Option<crate::TraceSpec>,
+    mode: crate::JobMode,
     cfg: impl Fn() -> SystemConfig + Send + Sync + 'static,
 ) -> SimJob {
     let wl = wl.clone();
-    match trace {
+    let check = mode.check;
+    match mode.trace {
         None => SimJob::new(spec, move || {
-            report_metrics(&System::new(cfg(), wl.get()).run())
+            let report = if check {
+                System::new_checked(cfg(), wl.get()).run()
+            } else {
+                System::new(cfg(), wl.get()).run()
+            };
+            report_metrics(&report)
         }),
         Some(t) => {
             let path = crate::tracefs::point_path(t.dir, &spec.experiment, spec.point);
             SimJob::new(spec, move || {
                 let sys_cfg = cfg().with_trace_sampling(t.sample);
-                let (report, tracer) =
+                let (report, tracer) = if check {
+                    System::new_traced_faulted_audited(
+                        sys_cfg,
+                        wl.get(),
+                        forhdc_trace::MemTracer::new(),
+                        NoFaults,
+                        FullAudit::new(),
+                    )
+                    .run_traced()
+                } else {
                     System::new_traced(sys_cfg, wl.get(), forhdc_trace::MemTracer::new())
-                        .run_traced();
+                        .run_traced()
+                };
                 // A panic here is caught by the runner and recorded as
                 // a job failure; the process and its siblings carry on.
                 if let Err(e) = crate::tracefs::write_point(&path, &tracer.to_jsonl()) {

@@ -93,3 +93,39 @@ fn traced_runs_match_untraced_and_are_deterministic_across_jobs() {
     let _ = std::fs::remove_dir_all(&d1);
     let _ = std::fs::remove_dir_all(&d2);
 }
+
+mod cli {
+    use std::process::Command;
+
+    fn trace() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_trace"))
+    }
+
+    /// Every bad input is a clean diagnostic, never a panic: a missing
+    /// directory operand and a malformed `--top` are usage errors
+    /// (exit 2), a directory with no trace files is a runtime error
+    /// (exit 1).
+    #[test]
+    fn bad_input_fails_cleanly() {
+        let out = trace().output().expect("spawn trace");
+        assert_eq!(out.status.code(), Some(2));
+        assert!(String::from_utf8(out.stderr)
+            .unwrap()
+            .contains("no trace directory given"));
+
+        let out = trace()
+            .args([".", "--top", "several"])
+            .output()
+            .expect("spawn trace");
+        assert_eq!(out.status.code(), Some(2));
+
+        let empty = super::tmpdir("cli_empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let out = trace().arg(&empty).output().expect("spawn trace");
+        assert_eq!(out.status.code(), Some(1));
+        assert!(String::from_utf8(out.stderr)
+            .unwrap()
+            .contains("no .jsonl trace files"));
+        let _ = std::fs::remove_dir_all(&empty);
+    }
+}

@@ -165,6 +165,58 @@ impl BlockCache {
         }
     }
 
+    /// Deep structural validation for checked mode (DESIGN.md §6.5):
+    /// recency lists ↔ map agreement (every listed node maps back to
+    /// its slab index, every resident block is on exactly one list),
+    /// `used` flags matching list membership, strictly decreasing
+    /// stamps front-to-back, and occupancy ≤ capacity. O(residents) —
+    /// called only from audit points behind `Auditor::enabled()`.
+    pub fn check_coherence(&self) -> Result<(), String> {
+        if self.map.len() as u32 > self.capacity {
+            return Err(format!(
+                "occupancy {} exceeds capacity {}",
+                self.map.len(),
+                self.capacity
+            ));
+        }
+        let mut listed = 0usize;
+        for (list, name, used_flag) in [(&self.used, "used", true), (&self.unused, "unused", false)]
+        {
+            let mut prev_stamp: Option<u64> = None;
+            for idx in self.nodes.iter(list) {
+                let meta = self.nodes.get(idx);
+                if meta.used != used_flag {
+                    return Err(format!(
+                        "block {} on the {name} list has used={}",
+                        meta.block, meta.used
+                    ));
+                }
+                if self.map.get(&meta.block) != Some(&idx) {
+                    return Err(format!(
+                        "block {} on the {name} list maps to {:?}, not node {idx}",
+                        meta.block,
+                        self.map.get(&meta.block)
+                    ));
+                }
+                if prev_stamp.is_some_and(|p| meta.stamp >= p) {
+                    return Err(format!(
+                        "{name} list not in recency order at block {} (stamp {})",
+                        meta.block, meta.stamp
+                    ));
+                }
+                prev_stamp = Some(meta.stamp);
+                listed += 1;
+            }
+        }
+        if listed != self.map.len() {
+            return Err(format!(
+                "{} resident blocks but {listed} list nodes",
+                self.map.len()
+            ));
+        }
+        Ok(())
+    }
+
     fn insert_one(&mut self, block: PhysBlock, read_ahead: bool) {
         let stamp = self.next_stamp();
         if let Some(&idx) = self.map.get(&block) {

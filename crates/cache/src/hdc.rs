@@ -297,6 +297,44 @@ impl HdcRegion {
         lost
     }
 
+    /// Deep structural validation for checked mode (DESIGN.md §6.5):
+    /// occupancy ≤ capacity, the O(1) dirty counter matching the live
+    /// dirty bits, every dirty pinned block reachable through
+    /// `dirty_list` (so a flush cannot strand one), and the local
+    /// conservation bound `dirtied ≥ flushed + dirty-unpins + dirty`
+    /// (the remainder is lost writes, tallied by the caller under
+    /// fault injection). O(pinned + dirty-list) — called only from
+    /// audit points behind `Auditor::enabled()`.
+    pub fn check_coherence(&self) -> Result<(), String> {
+        if self.pinned.len() as u32 > self.capacity {
+            return Err(format!(
+                "{} pinned blocks exceed capacity {}",
+                self.pinned.len(),
+                self.capacity
+            ));
+        }
+        let live_dirty = self.pinned.values().filter(|&&d| d).count() as u32;
+        if live_dirty != self.dirty {
+            return Err(format!(
+                "dirty counter {} but {live_dirty} dirty bits set",
+                self.dirty
+            ));
+        }
+        for (&block, &dirty) in &self.pinned {
+            if dirty && !self.dirty_list.contains(&block) {
+                return Err(format!("dirty block {block} missing from the flush list"));
+            }
+        }
+        let accounted = self.stats.flushed + self.dirty_unpins + self.dirty as u64;
+        if self.dirtied < accounted {
+            return Err(format!(
+                "dirtied {} < flushed {} + dirty-unpins {} + still-dirty {}",
+                self.dirtied, self.stats.flushed, self.dirty_unpins, self.dirty
+            ));
+        }
+        Ok(())
+    }
+
     /// Clean→dirty transitions over the region's lifetime.
     pub fn dirtied(&self) -> u64 {
         self.dirtied

@@ -221,6 +221,86 @@ impl SegmentCache {
         found
     }
 
+    /// Deep structural validation for checked mode (DESIGN.md §6.5):
+    /// slots fill in index order with `filled` exact, the sorted
+    /// extent index carries exactly one matching entry per occupied
+    /// slot, segment lengths stay within `seg_blocks` with their masks
+    /// confined to the occupied bits, and the recency chain holds each
+    /// occupied slot exactly once. O(slots) — called only from audit
+    /// points behind `Auditor::enabled()`.
+    pub fn check_coherence(&self) -> Result<(), String> {
+        let occupied = self.segments.iter().filter(|s| s.is_some()).count();
+        if occupied != self.filled {
+            return Err(format!(
+                "filled = {} but {occupied} occupied slots",
+                self.filled
+            ));
+        }
+        if self.segments[..self.filled].iter().any(|s| s.is_none()) {
+            return Err(format!("hole below the fill mark ({})", self.filled));
+        }
+        if !self.extents.windows(2).all(|w| w[0] < w[1]) {
+            return Err(format!("extent index out of order: {:?}", self.extents));
+        }
+        if self.extents.len() != self.filled {
+            return Err(format!(
+                "{} extent entries for {} occupied slots",
+                self.extents.len(),
+                self.filled
+            ));
+        }
+        for &(start, slot) in &self.extents {
+            let Some(Some(seg)) = self.segments.get(slot as usize) else {
+                return Err(format!(
+                    "extent entry ({start}, {slot}) points at an empty slot"
+                ));
+            };
+            if seg.start.index() != start {
+                return Err(format!(
+                    "extent entry ({start}, {slot}) disagrees with segment start {}",
+                    seg.start
+                ));
+            }
+        }
+        let mut chained = vec![false; self.segments.len()];
+        for slot in self.order_nodes.iter(&self.order) {
+            if self.segments[slot as usize].is_none() {
+                return Err(format!("empty slot {slot} on the recency chain"));
+            }
+            if std::mem::replace(&mut chained[slot as usize], true) {
+                return Err(format!("slot {slot} chained twice"));
+            }
+        }
+        if chained.iter().filter(|&&c| c).count() != self.filled {
+            return Err(format!(
+                "{} chained slots for {} occupied",
+                chained.iter().filter(|&&c| c).count(),
+                self.filled
+            ));
+        }
+        for (slot, seg) in self.segments.iter().enumerate() {
+            let Some(seg) = seg else { continue };
+            if seg.len == 0 || seg.len > self.seg_blocks {
+                return Err(format!(
+                    "slot {slot} holds {} blocks (max {})",
+                    seg.len, self.seg_blocks
+                ));
+            }
+            let valid = if seg.len >= 128 {
+                !0
+            } else {
+                (1u128 << seg.len) - 1
+            };
+            if seg.ra_mask & !valid != 0 || seg.used_mask & !valid != 0 {
+                return Err(format!(
+                    "slot {slot} has mask bits beyond its {} blocks",
+                    seg.len
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Picks the slot to (re)fill for a run starting at `start`:
     /// continuation/overlap of an existing stream first, then a free
     /// slot, then the policy victim.

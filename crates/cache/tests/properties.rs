@@ -500,6 +500,92 @@ proptest! {
         }
     }
 
+    /// Structural coherence under checked mode: the deep validators
+    /// the auditor runs (DESIGN.md §6.5) hold after every single
+    /// operation of an arbitrary workout, for both cache organizations
+    /// and both replacement policies each.
+    #[test]
+    fn caches_stay_coherent_under_arbitrary_ops(
+        ops in prop::collection::vec(op_strategy(400), 1..300),
+        capacity in 1u32..96,
+        segments in 1u32..24,
+        seg_blocks in 1u32..64,
+        mru in any::<bool>(),
+    ) {
+        let bpolicy = if mru { BlockReplacement::Mru } else { BlockReplacement::Lru };
+        let spolicy = if mru { SegmentReplacement::Lru } else { SegmentReplacement::Fifo };
+        let mut block = BlockCache::new(capacity, bpolicy);
+        let mut seg = SegmentCache::new(segments, seg_blocks, spolicy);
+        for (step, op) in ops.iter().enumerate() {
+            for cache in [&mut block as &mut dyn ControllerCache, &mut seg] {
+                match *op {
+                    Op::Insert { start, n, requested } => {
+                        cache.insert_run(PhysBlock::new(start), n, requested)
+                    }
+                    Op::Touch(b) => {
+                        cache.touch(PhysBlock::new(b));
+                    }
+                    Op::Lookup { start, n } => {
+                        cache.lookup_extent(PhysBlock::new(start), n);
+                    }
+                }
+            }
+            if let Err(e) = block.check_coherence() {
+                prop_assert!(false, "block cache, step {}: {}", step, e);
+            }
+            if let Err(e) = seg.check_coherence() {
+                prop_assert!(false, "segment cache, step {}: {}", step, e);
+            }
+        }
+    }
+
+    /// The HDC region's structural validator holds after every
+    /// operation, including the flush/unflush recovery round-trip and
+    /// the degraded-mode dirty discard.
+    #[test]
+    fn hdc_stays_coherent_under_arbitrary_ops(
+        ops in prop::collection::vec((0u8..7, 0u64..64), 1..250),
+        capacity in 1u32..32,
+    ) {
+        let mut hdc = HdcRegion::new(capacity);
+        for (step, &(kind, block)) in ops.iter().enumerate() {
+            let b = PhysBlock::new(block);
+            match kind {
+                0 => {
+                    let _ = hdc.pin(b);
+                }
+                1 => {
+                    hdc.unpin(b);
+                }
+                2 => {
+                    hdc.read(b);
+                }
+                3 => {
+                    hdc.write(b);
+                }
+                4 => {
+                    hdc.flush();
+                }
+                5 => {
+                    // A failed flush is rolled back immediately: every
+                    // drained block is still pinned and clean, so the
+                    // rollback re-dirties all of them and loses none.
+                    let drained = hdc.flush();
+                    let lost = hdc.unflush(&drained);
+                    prop_assert_eq!(lost, 0);
+                }
+                _ => {
+                    hdc.discard_dirty();
+                }
+            }
+            if let Err(e) = hdc.check_coherence() {
+                prop_assert!(false, "hdc, step {}: {}", step, e);
+            }
+            prop_assert!(hdc.dirty_count() <= hdc.len());
+            prop_assert!(hdc.len() <= hdc.capacity());
+        }
+    }
+
     /// The HDC region behaves exactly like a bounded map with dirty
     /// bits.
     #[test]

@@ -1,0 +1,408 @@
+//! # forhdc-check
+//!
+//! The invariant-auditing facade of checked mode (DESIGN.md §6.5).
+//!
+//! [`Auditor`] follows the workspace's zero-cost facade pattern
+//! (`forhdc_trace::Tracer`, `forhdc_fault::FaultModel`): the system is
+//! generic over `A: Auditor = NoChecks`, every audit site is guarded by
+//! `if self.auditor.enabled()`, and [`NoChecks`]'s `enabled()` is a
+//! constant `false` — so the default build compiles every audit away
+//! and unchecked reports stay byte-identical (test-enforced in
+//! forhdc-core, like tracing and fault injection).
+//!
+//! [`FullAudit`] is the checking implementation. It holds **no
+//! references into the simulator**: the owning crates expose deep
+//! structural validators (`check_coherence()` on the caches,
+//! `DiskController::audit()`), and the system routes their results —
+//! plus primitive event/issue/complete observations — through the
+//! auditor. On the first violated invariant the auditor panics with a
+//! structured report (invariant name, sim time, state digest) that the
+//! crash-safe runner records verbatim in `manifest.json`.
+//!
+//! Invariants covered end to end:
+//! * event-queue time monotonicity (dispatch times never go backwards);
+//! * cache coherence per subsystem (recency list ↔ map agreement,
+//!   occupancy ≤ capacity, extent index ↔ slot contents, exact dirty
+//!   counts — see the `check_coherence` impls);
+//! * continuation-bitmap ↔ filemap consistency at audited construction;
+//! * conservation laws at end of run: `issued = completed + in-flight`
+//!   (failed requests complete as errors, so `failed ≤ completed`) and
+//!   `dirtied = flushed + lost + dirty-unpins + still-dirty`.
+//!
+//! # Example
+//!
+//! ```
+//! use forhdc_check::{Auditor, FullAudit, NoChecks};
+//!
+//! assert!(!NoChecks.enabled());
+//! let mut audit = FullAudit::new();
+//! assert!(audit.enabled());
+//! audit.observe_event(10);
+//! audit.observe_event(10); // equal times are fine (FIFO ties)
+//! ```
+
+/// End-of-run counters the system hands to [`Auditor::observe_final`]
+/// for the conservation checks. All values are exact counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FinalDigest {
+    /// Host requests issued over the run.
+    pub issued: u64,
+    /// Host requests completed (including those completed as errors).
+    pub completed: u64,
+    /// Requests completed as errors (timeouts, retry exhaustion).
+    pub failed: u64,
+    /// Requests still pending when the event queue drained.
+    pub in_flight: u64,
+    /// Clean→dirty HDC transitions over the run (all disks).
+    pub hdc_dirtied: u64,
+    /// Dirty HDC blocks written back by flushes.
+    pub hdc_flushed: u64,
+    /// Dirty HDC blocks lost to power loss / failed flushes.
+    pub lost_dirty: u64,
+    /// Dirty HDC blocks handed back to the host by unpins.
+    pub dirty_unpins: u64,
+    /// Dirty HDC blocks still resident at end of run.
+    pub still_dirty: u64,
+}
+
+/// The auditing facade. Every method has an inert default, so an
+/// implementation overrides only what it checks; `enabled()` gates all
+/// call sites (the system never calls `observe_*` when it is `false`).
+pub trait Auditor {
+    /// Whether audit sites should observe at all. [`NoChecks`] returns
+    /// a constant `false`, letting the optimizer erase the sites.
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// An event popped from the event queue at `t_ns`. Dispatch times
+    /// must be non-decreasing.
+    fn observe_event(&mut self, _t_ns: u64) {}
+
+    /// A host request issued at `t_ns`.
+    fn observe_issue(&mut self, _t_ns: u64) {}
+
+    /// A host request completed at `t_ns` (`failed` when it completed
+    /// as an error).
+    fn observe_complete(&mut self, _t_ns: u64, _failed: bool) {}
+
+    /// The outcome of a deep structural validation of `subsystem`
+    /// (a `check_coherence()` / `audit()` result from the owning
+    /// crate). `Err` carries the violated invariant's description.
+    fn observe_structure(
+        &mut self,
+        _t_ns: u64,
+        _subsystem: &'static str,
+        _result: Result<(), String>,
+    ) {
+    }
+
+    /// End-of-run conservation checks over the report counters.
+    fn observe_final(&mut self, _digest: &FinalDigest) {}
+}
+
+/// The default auditor: checks nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoChecks;
+
+impl Auditor for NoChecks {}
+
+/// The checking auditor: panics on the first violated invariant with a
+/// structured report the crash-safe runner records in `manifest.json`.
+#[derive(Debug, Clone, Default)]
+pub struct FullAudit {
+    /// Dispatch time of the last observed event.
+    last_event_ns: Option<u64>,
+    /// Requests observed issued / completed / failed so far.
+    issued: u64,
+    completed: u64,
+    failed: u64,
+    /// Total observations (all hooks), for planted violations.
+    observations: u64,
+    /// When set, observation number `k` (1-based) reports a deliberate
+    /// violation — the `selftest-violation` / fuzz-replay path.
+    planted: Option<u64>,
+}
+
+/// The stable prefix of every audit panic, greppable in manifests.
+pub const VIOLATION_PREFIX: &str = "invariant violation";
+
+impl FullAudit {
+    /// A fresh auditor with no planted violations.
+    pub fn new() -> Self {
+        FullAudit::default()
+    }
+
+    /// An auditor that deliberately reports a violation on its `k`-th
+    /// observation (1-based; `k = 0` never fires). Exists so the
+    /// panic → manifest-failure → non-zero-exit path and the fuzz
+    /// reproducer replay can be proven end to end.
+    pub fn with_planted_violation(k: u64) -> Self {
+        FullAudit {
+            planted: (k > 0).then_some(k),
+            ..FullAudit::default()
+        }
+    }
+
+    /// Observations made so far (all hooks).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// One observation: bump the counter and fire any planted
+    /// violation that just came due.
+    fn tick(&mut self, t_ns: u64) {
+        self.observations += 1;
+        if self.planted == Some(self.observations) {
+            self.violation(
+                "selftest: planted violation",
+                t_ns,
+                &format!(
+                    "deliberately triggered on observation {}",
+                    self.observations
+                ),
+            );
+        }
+    }
+
+    /// Panics with the structured violation report.
+    fn violation(&self, invariant: &str, t_ns: u64, digest: &str) -> ! {
+        panic!(
+            "{VIOLATION_PREFIX}: {invariant}\n  sim time: {t_ns} ns\n  state: {digest}\n  \
+             observed: issued={} completed={} failed={} events_seen={}",
+            self.issued, self.completed, self.failed, self.observations
+        );
+    }
+}
+
+impl Auditor for FullAudit {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn observe_event(&mut self, t_ns: u64) {
+        self.tick(t_ns);
+        if let Some(last) = self.last_event_ns {
+            if t_ns < last {
+                self.violation(
+                    "event-queue time monotonicity",
+                    t_ns,
+                    &format!("event at {t_ns} ns dispatched after one at {last} ns"),
+                );
+            }
+        }
+        self.last_event_ns = Some(t_ns);
+    }
+
+    fn observe_issue(&mut self, t_ns: u64) {
+        self.tick(t_ns);
+        self.issued += 1;
+    }
+
+    fn observe_complete(&mut self, t_ns: u64, failed: bool) {
+        self.tick(t_ns);
+        self.completed += 1;
+        if failed {
+            self.failed += 1;
+        }
+        if self.completed > self.issued {
+            self.violation(
+                "conservation: completed <= issued",
+                t_ns,
+                &format!(
+                    "completed {} requests, issued {}",
+                    self.completed, self.issued
+                ),
+            );
+        }
+    }
+
+    fn observe_structure(
+        &mut self,
+        t_ns: u64,
+        subsystem: &'static str,
+        result: Result<(), String>,
+    ) {
+        self.tick(t_ns);
+        if let Err(detail) = result {
+            self.violation(subsystem, t_ns, &detail);
+        }
+    }
+
+    fn observe_final(&mut self, d: &FinalDigest) {
+        self.tick(u64::MAX);
+        let fail = |invariant: &str, detail: String| self.violation(invariant, u64::MAX, &detail);
+        if d.issued != d.completed + d.in_flight {
+            fail(
+                "conservation: issued = completed + in-flight",
+                format!(
+                    "issued {} != completed {} + in-flight {}",
+                    d.issued, d.completed, d.in_flight
+                ),
+            );
+        }
+        if d.failed > d.completed {
+            fail(
+                "conservation: failed <= completed",
+                format!("failed {} > completed {}", d.failed, d.completed),
+            );
+        }
+        if d.issued != self.issued || d.completed != self.completed || d.failed != self.failed {
+            fail(
+                "conservation: report counters match observed lifecycle",
+                format!(
+                    "report issued/completed/failed {}/{}/{} vs observed {}/{}/{}",
+                    d.issued, d.completed, d.failed, self.issued, self.completed, self.failed
+                ),
+            );
+        }
+        if d.hdc_dirtied != d.hdc_flushed + d.lost_dirty + d.dirty_unpins + d.still_dirty {
+            fail(
+                "conservation: dirtied = flushed + lost + dirty-unpins + still-dirty",
+                format!(
+                    "dirtied {} != flushed {} + lost {} + dirty-unpins {} + still-dirty {}",
+                    d.hdc_dirtied, d.hdc_flushed, d.lost_dirty, d.dirty_unpins, d.still_dirty
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_checks_is_disabled_and_inert() {
+        let mut a = NoChecks;
+        assert!(!a.enabled());
+        // The inert defaults must swallow anything, including an Err.
+        a.observe_event(5);
+        a.observe_event(1); // would violate monotonicity if checked
+        a.observe_structure(0, "cache", Err("bogus".into()));
+        a.observe_final(&FinalDigest {
+            issued: 1,
+            ..FinalDigest::default()
+        });
+    }
+
+    #[test]
+    fn monotone_events_pass() {
+        let mut a = FullAudit::new();
+        for t in [0, 5, 5, 9, 100] {
+            a.observe_event(t);
+        }
+        assert_eq!(a.observations(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "event-queue time monotonicity")]
+    fn backwards_event_panics() {
+        let mut a = FullAudit::new();
+        a.observe_event(10);
+        a.observe_event(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed <= issued")]
+    fn completion_without_issue_panics() {
+        let mut a = FullAudit::new();
+        a.observe_complete(1, false);
+    }
+
+    #[test]
+    fn structure_ok_passes_err_panics() {
+        let mut a = FullAudit::new();
+        a.observe_structure(1, "block-cache coherence", Ok(()));
+        let r = std::panic::catch_unwind(move || {
+            a.observe_structure(2, "block-cache coherence", Err("list/map mismatch".into()));
+        });
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            msg.contains("invariant violation: block-cache coherence"),
+            "{msg}"
+        );
+        assert!(msg.contains("list/map mismatch"), "{msg}");
+        assert!(msg.contains("sim time: 2 ns"), "{msg}");
+    }
+
+    #[test]
+    fn clean_lifecycle_and_final_digest_pass() {
+        let mut a = FullAudit::new();
+        for t in 0..4 {
+            a.observe_issue(t);
+        }
+        for t in 4..7 {
+            a.observe_complete(t, t == 6);
+        }
+        a.observe_final(&FinalDigest {
+            issued: 4,
+            completed: 3,
+            failed: 1,
+            in_flight: 1,
+            hdc_dirtied: 10,
+            hdc_flushed: 6,
+            lost_dirty: 2,
+            dirty_unpins: 1,
+            still_dirty: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "issued = completed + in-flight")]
+    fn unbalanced_request_conservation_panics() {
+        let mut a = FullAudit::new();
+        a.observe_issue(0);
+        a.observe_final(&FinalDigest {
+            issued: 1,
+            completed: 0,
+            in_flight: 0,
+            ..FinalDigest::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dirtied = flushed + lost + dirty-unpins + still-dirty")]
+    fn unbalanced_dirty_conservation_panics() {
+        let mut a = FullAudit::new();
+        a.observe_final(&FinalDigest {
+            hdc_dirtied: 5,
+            hdc_flushed: 4,
+            ..FinalDigest::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "report counters match observed lifecycle")]
+    fn report_mismatching_observations_panics() {
+        let mut a = FullAudit::new();
+        a.observe_issue(0);
+        a.observe_issue(1);
+        a.observe_complete(2, false);
+        // Report claims 1 issued; the auditor saw 2.
+        a.observe_final(&FinalDigest {
+            issued: 1,
+            completed: 1,
+            in_flight: 0,
+            ..FinalDigest::default()
+        });
+    }
+
+    #[test]
+    fn planted_violation_fires_on_exactly_its_observation() {
+        let mut a = FullAudit::with_planted_violation(3);
+        a.observe_event(1);
+        a.observe_event(2);
+        let r = std::panic::catch_unwind(move || a.observe_event(3));
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("planted violation"), "{msg}");
+        assert!(msg.contains("observation 3"), "{msg}");
+        // k = 0 never fires.
+        let mut b = FullAudit::with_planted_violation(0);
+        for t in 0..100 {
+            b.observe_event(t);
+        }
+    }
+}

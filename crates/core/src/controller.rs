@@ -364,6 +364,11 @@ impl DiskController {
         self.hdc.len()
     }
 
+    /// Pinned blocks currently dirty (conservation accounting).
+    pub fn hdc_dirty_count(&self) -> u32 {
+        self.hdc.dirty_count()
+    }
+
     /// Total FOR bitmap bits examined (the "new functionality" cost the
     /// simulation charges).
     pub fn bitmap_scans(&self) -> u64 {
@@ -380,6 +385,35 @@ impl DiskController {
     /// sampling).
     pub fn ra_resident_blocks(&self) -> u32 {
         self.cache.as_cache_ref().resident_blocks()
+    }
+
+    /// Checked-mode structural validation of this controller
+    /// (DESIGN.md §6.5): the read-ahead cache's and HDC region's own
+    /// `check_coherence()` plus the cross-region occupancy bound —
+    /// resident read-ahead blocks never exceed the capacity left after
+    /// the HDC hand-off. O(cache + pinned); called only from audit
+    /// points behind `Auditor::enabled()`.
+    pub fn audit(&self) -> Result<(), String> {
+        match &self.cache {
+            CacheOrg::Segment(c) => c
+                .check_coherence()
+                .map_err(|e| format!("segment cache: {e}"))?,
+            CacheOrg::Block(c) => c
+                .check_coherence()
+                .map_err(|e| format!("block cache: {e}"))?,
+        }
+        self.hdc
+            .check_coherence()
+            .map_err(|e| format!("HDC region: {e}"))?;
+        let ra = self.cache.as_cache_ref();
+        if ra.resident_blocks() > ra.capacity_blocks() {
+            return Err(format!(
+                "read-ahead cache holds {} blocks over its {}-block share",
+                ra.resident_blocks(),
+                ra.capacity_blocks()
+            ));
+        }
+        Ok(())
     }
 }
 

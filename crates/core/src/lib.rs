@@ -41,6 +41,7 @@ pub mod system;
 pub mod victim;
 
 pub use controller::DiskController;
+pub use forhdc_check::{Auditor, FinalDigest, FullAudit, NoChecks, VIOLATION_PREFIX};
 pub use forhdc_fault::{
     FaultConfig, FaultModel, FaultStats, NoFaults, OfflineWindow, SeededFaults,
 };

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 use forhdc_cache::fx::{fx_map_with_capacity, FxHashMap};
 use forhdc_cache::{BlockReplacement, SegmentReplacement};
+use forhdc_check::{Auditor, FinalDigest, FullAudit, NoChecks};
 use forhdc_fault::{FaultModel, FaultStats, NoFaults};
 use forhdc_host::StreamDriver;
 use forhdc_layout::build_disk_bitmaps;
@@ -350,6 +351,14 @@ struct PendingReq {
 /// [`System::new_traced_faulted`] to inject deterministic media, bus,
 /// offline-window, and power-loss faults.
 ///
+/// The auditor parameter is the third instance of the pattern: it
+/// defaults to [`NoChecks`] (audit sites compile away; unchecked
+/// reports stay byte-identical). Attach [`FullAudit`] with
+/// [`System::new_checked`] (or the fully general
+/// [`System::new_traced_faulted_audited`]) to validate invariants at
+/// every audit point and panic on the first violation (checked mode,
+/// DESIGN.md §6.5).
+///
 /// # Example
 ///
 /// ```
@@ -361,9 +370,10 @@ struct PendingReq {
 /// assert_eq!(report.requests, wl.trace.len() as u64);
 /// ```
 #[derive(Debug)]
-pub struct System<T: Tracer = NullTracer, F: FaultModel = NoFaults> {
+pub struct System<T: Tracer = NullTracer, F: FaultModel = NoFaults, A: Auditor = NoChecks> {
     tracer: T,
     faults: F,
+    auditor: A,
     fstats: FaultStats,
     cfg: SystemConfig,
     striping: StripingMap,
@@ -425,6 +435,22 @@ impl System {
     pub fn with_plan(cfg: SystemConfig, workload: &Workload, plan: HdcPlan) -> Self {
         System::with_plan_traced(cfg, workload, plan, NullTracer)
     }
+
+    /// Assembles a checked-mode system: identical to [`System::new`]
+    /// but with a [`FullAudit`] auditor attached, so every audit point
+    /// validates its invariants and the run panics on the first
+    /// violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload footprint exceeds the array capacity, or
+    /// (during the run) on any violated invariant.
+    pub fn new_checked(
+        cfg: SystemConfig,
+        workload: &Workload,
+    ) -> System<NullTracer, NoFaults, FullAudit> {
+        System::new_traced_faulted_audited(cfg, workload, NullTracer, NoFaults, FullAudit::new())
+    }
 }
 
 impl<T: Tracer> System<T> {
@@ -485,8 +511,7 @@ impl<F: FaultModel> System<NullTracer, F> {
 
 impl<T: Tracer, F: FaultModel> System<T, F> {
     /// Assembles a system with both a tracer and a fault model attached
-    /// (the fully general constructor; every other constructor funnels
-    /// here).
+    /// but no auditor; see [`System::new_traced_faulted_audited`].
     ///
     /// # Panics
     ///
@@ -497,18 +522,7 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
         tracer: T,
         faults: F,
     ) -> Self {
-        let striping =
-            StripingMap::new(cfg.array.virtual_disks(), cfg.array.striping_unit_blocks());
-        if cfg.cooperative_hdc && cfg.hdc_blocks() > 0 {
-            let coop = plan_cooperative(&workload.trace, &striping, cfg.hdc_blocks());
-            return System::with_coop_plan_traced_faulted(cfg, workload, coop, tracer, faults);
-        }
-        let plan = if cfg.hdc_blocks() > 0 {
-            plan_top_misses(&workload.trace, &striping, cfg.hdc_blocks())
-        } else {
-            HdcPlan::empty(cfg.array.virtual_disks())
-        };
-        System::with_plan_traced_faulted(cfg, workload, plan, tracer, faults)
+        System::new_traced_faulted_audited(cfg, workload, tracer, faults, NoChecks)
     }
 
     /// Cooperative-plan constructor with an attached fault model; see
@@ -524,17 +538,7 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
         tracer: T,
         faults: F,
     ) -> Self {
-        assert!(
-            !cfg.array.mirrored,
-            "cooperative HDC over mirrored pairs is not supported (pins address virtual disks)"
-        );
-        let plan = HdcPlan::from_per_disk(coop.home.clone());
-        let mut sys = System::with_plan_traced_faulted(cfg, workload, plan, tracer, faults);
-        sys.coop_overflow.reserve(coop.overflow.len());
-        for ((home_disk, block), holder) in coop.overflow {
-            sys.coop_overflow.insert((home_disk, block.index()), holder);
-        }
-        sys
+        System::with_coop_plan_traced_faulted_audited(cfg, workload, coop, tracer, faults, NoChecks)
     }
 
     /// Explicit-plan constructor with an attached fault model; see
@@ -550,6 +554,88 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
         plan: HdcPlan,
         tracer: T,
         faults: F,
+    ) -> Self {
+        System::with_plan_traced_faulted_audited(cfg, workload, plan, tracer, faults, NoChecks)
+    }
+}
+
+impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
+    /// Assembles a system with a tracer, a fault model, and an auditor
+    /// attached (the fully general constructor; every other constructor
+    /// funnels here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload footprint exceeds the array capacity, or
+    /// — with an enabled auditor — on a violated construction-time
+    /// invariant.
+    pub fn new_traced_faulted_audited(
+        cfg: SystemConfig,
+        workload: &Workload,
+        tracer: T,
+        faults: F,
+        auditor: A,
+    ) -> Self {
+        let striping =
+            StripingMap::new(cfg.array.virtual_disks(), cfg.array.striping_unit_blocks());
+        if cfg.cooperative_hdc && cfg.hdc_blocks() > 0 {
+            let coop = plan_cooperative(&workload.trace, &striping, cfg.hdc_blocks());
+            return System::with_coop_plan_traced_faulted_audited(
+                cfg, workload, coop, tracer, faults, auditor,
+            );
+        }
+        let plan = if cfg.hdc_blocks() > 0 {
+            plan_top_misses(&workload.trace, &striping, cfg.hdc_blocks())
+        } else {
+            HdcPlan::empty(cfg.array.virtual_disks())
+        };
+        System::with_plan_traced_faulted_audited(cfg, workload, plan, tracer, faults, auditor)
+    }
+
+    /// Cooperative-plan constructor, fully general; see
+    /// [`System::with_coop_plan_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`System::with_plan`].
+    pub fn with_coop_plan_traced_faulted_audited(
+        cfg: SystemConfig,
+        workload: &Workload,
+        coop: CoopPlan,
+        tracer: T,
+        faults: F,
+        auditor: A,
+    ) -> Self {
+        assert!(
+            !cfg.array.mirrored,
+            "cooperative HDC over mirrored pairs is not supported (pins address virtual disks)"
+        );
+        let plan = HdcPlan::from_per_disk(coop.home.clone());
+        let mut sys =
+            System::with_plan_traced_faulted_audited(cfg, workload, plan, tracer, faults, auditor);
+        sys.coop_overflow.reserve(coop.overflow.len());
+        for ((home_disk, block), holder) in coop.overflow {
+            sys.coop_overflow.insert((home_disk, block.index()), holder);
+        }
+        sys
+    }
+
+    /// Explicit-plan constructor, fully general; see
+    /// [`System::with_plan_traced`]. With an enabled auditor this also
+    /// validates the FOR continuation bitmaps against the workload's
+    /// filemap before the replay starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload footprint exceeds the array capacity or
+    /// the plan covers a different disk count.
+    pub fn with_plan_traced_faulted_audited(
+        cfg: SystemConfig,
+        workload: &Workload,
+        plan: HdcPlan,
+        tracer: T,
+        faults: F,
+        mut auditor: A,
     ) -> Self {
         let virtual_disks = cfg.array.virtual_disks();
         let striping = StripingMap::new(virtual_disks, cfg.array.striping_unit_blocks());
@@ -567,10 +653,18 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
         // both members of a pair hold identical data and get identical
         // copies.
         let bitmaps: Vec<Option<forhdc_layout::ForBitmap>> = if cfg.read_ahead.needs_bitmap() {
-            build_disk_bitmaps(&workload.layout, &striping, disk_capacity)
-                .into_iter()
-                .map(Some)
-                .collect()
+            let built = build_disk_bitmaps(&workload.layout, &striping, disk_capacity);
+            if auditor.enabled() {
+                // Checked mode: the continuation bitmaps the controllers
+                // will consult must agree with the layout's filemap
+                // before any read-ahead decision is taken from them.
+                auditor.observe_structure(
+                    0,
+                    "FOR bitmap / filemap consistency",
+                    forhdc_layout::check_bitmap_consistency(&workload.layout, &striping, &built),
+                );
+            }
+            built.into_iter().map(Some).collect()
         } else {
             (0..virtual_disks).map(|_| None).collect()
         };
@@ -611,6 +705,7 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
         System {
             tracer,
             faults,
+            auditor,
             fstats: FaultStats::default(),
             cfg,
             striping,
@@ -648,12 +743,26 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
 
     /// Runs the replay to completion and returns the report.
     pub fn run(self) -> Report {
-        self.run_traced().0
+        self.run_all().0
     }
 
     /// Runs the replay to completion and returns the report together
     /// with the tracer (holding every event it collected).
-    pub fn run_traced(mut self) -> (Report, T) {
+    pub fn run_traced(self) -> (Report, T) {
+        let (report, tracer, _auditor) = self.run_all();
+        (report, tracer)
+    }
+
+    /// Runs the replay to completion and returns the report together
+    /// with the auditor (checked mode; panics on the first violated
+    /// invariant, so a return means the run was clean).
+    pub fn run_audited(self) -> (Report, A) {
+        let (report, _tracer, auditor) = self.run_all();
+        (report, auditor)
+    }
+
+    /// The event loop shared by every `run_*` entry point.
+    fn run_all(mut self) -> (Report, T, A) {
         let initial = self.driver.start();
         for (stream, req) in initial {
             self.issue(stream, req, SimTime::ZERO);
@@ -677,6 +786,9 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
             }
         }
         while let Some(fired) = self.queue.pop() {
+            if self.auditor.enabled() {
+                self.auditor.observe_event(fired.time.as_nanos());
+            }
             match fired.event {
                 Event::MediaDone { disk } => self.media_done(disk, fired.time),
                 Event::SubDone { req } => self.sub_done(req, fired.time),
@@ -716,6 +828,9 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
         self.issued_count += 1;
         let id = self.next_req;
         self.next_req += 1;
+        if self.auditor.enabled() {
+            self.auditor.observe_issue(now.as_nanos());
+        }
         if self.tracer.enabled() {
             self.tracer.emit(TraceEvent::Issue {
                 t: now.as_nanos(),
@@ -783,7 +898,7 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
     /// Applies one host HDC command: a pin moves one block of data
     /// host→controller over the shared bus; an unpin is command-only.
     fn apply_hdc_command(&mut self, cmd: HdcCommand, now: SimTime) {
-        match cmd {
+        let disk = match cmd {
             HdcCommand::Pin(logical) => {
                 let (disk, phys) = self.striping.locate(logical);
                 let block_bytes = self.cfg.array.disk.block_bytes() as u64;
@@ -791,12 +906,20 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
                 for m in self.members(disk.as_usize()) {
                     let _ = self.disks[m].ctl.pin(phys);
                 }
+                disk
             }
             HdcCommand::Unpin(logical) => {
                 let (disk, phys) = self.striping.locate(logical);
                 for m in self.members(disk.as_usize()) {
                     self.disks[m].ctl.unpin(phys);
                 }
+                disk
+            }
+        };
+        if self.auditor.enabled() {
+            // The HDC pin/unpin audit point.
+            for m in self.members(disk.as_usize()) {
+                self.audit_disk(m, now);
             }
         }
     }
@@ -1022,6 +1145,11 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
         d.busy = false;
         d.busy_accum += now.since(d.busy_since);
         if self.faults.enabled() && self.media_done_faulted(disk, &op, now) {
+            if self.auditor.enabled() {
+                // Degraded completions mutate the caches too (read-ahead
+                // aborts install partial runs; failed flushes re-dirty).
+                self.audit_disk(disk.as_usize(), now);
+            }
             self.start_next(disk, now);
             return;
         }
@@ -1033,6 +1161,11 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
         }
         d.ctl
             .on_media_complete(op.kind, op.start, op.total, op.requested);
+        if self.auditor.enabled() {
+            // The cache insert/evict audit point: `on_media_complete`
+            // just installed the transferred run.
+            self.audit_disk(disk.as_usize(), now);
+        }
         if op.token < FLUSH_TOKEN_BASE {
             // Only the demanded payload crosses the bus; read-ahead
             // stays in the controller cache. Flush write-backs move
@@ -1212,6 +1345,11 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
             lost += d.ctl.discard_dirty_hdc();
         }
         self.fstats.lost_dirty_blocks += lost;
+        if self.auditor.enabled() {
+            for di in 0..self.disks.len() {
+                self.audit_disk(di, now);
+            }
+        }
         // Keep the outage schedule while host work remains.
         if let Some(period) = self.faults.power_loss_period_ns() {
             if !(self.pending.is_empty() && self.driver.is_done()) {
@@ -1342,6 +1480,10 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
             if !self.disks[di].busy {
                 self.start_next(DiskId::new(di as u16), now);
             }
+            if self.auditor.enabled() {
+                // The HDC flush audit point: dirty bits just cleared.
+                self.audit_disk(di, now);
+            }
         }
         self.flush_buf = dirty;
         // Keep flushing while host work remains.
@@ -1372,6 +1514,9 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
     /// completion).
     fn complete_request(&mut self, id: u64, p: PendingReq, now: SimTime) {
         let response = now.since(p.issued_at);
+        if self.auditor.enabled() {
+            self.auditor.observe_complete(now.as_nanos(), p.failed);
+        }
         if self.tracer.enabled() {
             self.tracer.emit(TraceEvent::Complete {
                 t: now.as_nanos(),
@@ -1430,7 +1575,17 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
         }
     }
 
-    fn build_report(mut self, io_time: SimDuration) -> (Report, T) {
+    /// Checked mode: runs the deep structural validators of one disk's
+    /// controller (cache coherence, HDC coherence, occupancy bounds)
+    /// and routes the verdict through the auditor, which panics on the
+    /// first `Err`. Only called behind `auditor.enabled()`.
+    fn audit_disk(&mut self, disk_idx: usize, now: SimTime) {
+        let result = self.disks[disk_idx].ctl.audit();
+        self.auditor
+            .observe_structure(now.as_nanos(), "controller structures", result);
+    }
+
+    fn build_report(mut self, io_time: SimDuration) -> (Report, T, A) {
         let mut cache = forhdc_cache::CacheStats::default();
         let mut hdc = forhdc_cache::HdcStats::default();
         let mut disk = DiskStats::default();
@@ -1438,6 +1593,7 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
         let mut bitmap_scans = 0;
         let mut hdc_dirtied = 0;
         let mut hdc_dirty_unpins = 0;
+        let mut still_dirty = 0;
         for d in &mut self.disks {
             // End-of-run flush (§6.1: dirty HDC blocks are updated at the
             // end of the execution; the paper measured the periodic-sync
@@ -1450,6 +1606,7 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
             bitmap_scans += d.ctl.bitmap_scans();
             hdc_dirtied += d.ctl.hdc_dirtied();
             hdc_dirty_unpins += d.ctl.hdc_dirty_unpins();
+            still_dirty += d.ctl.hdc_dirty_count() as u64;
         }
         let mean_response = if self.completed == 0 {
             SimDuration::ZERO
@@ -1478,7 +1635,22 @@ impl<T: Tracer, F: FaultModel> System<T, F> {
             hdc_dirtied,
             hdc_dirty_unpins,
         };
-        (report, self.tracer)
+        if self.auditor.enabled() {
+            // The end-of-run conservation audit point, over the same
+            // counters the report (and every CSV) is built from.
+            self.auditor.observe_final(&FinalDigest {
+                issued: self.issued_count,
+                completed: report.requests,
+                failed: report.faults.failed_requests,
+                in_flight: self.pending.len() as u64,
+                hdc_dirtied: report.hdc_dirtied,
+                hdc_flushed: report.hdc.flushed,
+                lost_dirty: report.faults.lost_dirty_blocks,
+                dirty_unpins: report.hdc_dirty_unpins,
+                still_dirty,
+            });
+        }
+        (report, self.tracer, self.auditor)
     }
 }
 
@@ -1835,6 +2007,79 @@ mod tests {
                 System::new_faulted(cfg, &wl, SeededFaults::new(FaultConfig::new(1234))).run();
             assert_reports_identical(&base, &zero);
         }
+    }
+
+    #[test]
+    fn full_audit_is_byte_identical_to_unchecked_and_observes() {
+        // Checked mode reads state and panics or does nothing: the same
+        // oracle as traced == untraced and zero-rate faults == none.
+        let wl = small_wl(9);
+        for cfg in [
+            SystemConfig::segm(),
+            SystemConfig::for_().with_hdc(2 * 1024 * 1024),
+            SystemConfig::segm()
+                .with_hdc(1 << 20)
+                .with_cooperative_hdc(),
+            faulted_cfg(),
+        ] {
+            let base = System::new(cfg.clone(), &wl).run();
+            let (checked, audit) = System::new_checked(cfg, &wl).run_audited();
+            assert_reports_identical(&base, &checked);
+            assert!(audit.observations() > 0, "auditor never observed");
+        }
+    }
+
+    #[test]
+    fn invariants_hold_under_combined_faults_in_checked_mode() {
+        // The same write-heavy workload and fault mix as
+        // `dirty_conservation_holds_under_combined_faults`, now with
+        // every audit point live: retries, degraded completions, power
+        // losses, and failed flushes must all keep the structures
+        // coherent and the conservation laws exact.
+        let wl = SyntheticWorkload::builder()
+            .requests(2_000)
+            .files(2_000)
+            .file_blocks(4)
+            .zipf_alpha(1.1)
+            .write_fraction(0.5)
+            .streams(32)
+            .seed(14)
+            .build();
+        let cfg = FaultConfig::new(9)
+            .with_media_rates(1e-3, 1e-2)
+            .with_bus_rate(1e-3)
+            .with_power_loss_period_ns(30_000_000);
+        let (r, audit) = System::new_traced_faulted_audited(
+            faulted_cfg().with_recovery(RecoveryPolicy {
+                max_retries: 1,
+                ..RecoveryPolicy::default()
+            }),
+            &wl,
+            NullTracer,
+            SeededFaults::new(cfg),
+            FullAudit::new(),
+        )
+        .run_audited();
+        assert_eq!(r.requests, wl.trace.len() as u64);
+        assert!(r.faults.media_read_errors + r.faults.media_write_errors > 0);
+        assert!(audit.observations() > 0);
+    }
+
+    #[test]
+    fn planted_violation_panics_with_the_structured_report() {
+        let wl = small_wl(12);
+        let sys = System::new_traced_faulted_audited(
+            SystemConfig::segm(),
+            &wl,
+            NullTracer,
+            NoFaults,
+            FullAudit::with_planted_violation(5),
+        );
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || sys.run())).unwrap_err();
+        let msg = *err.downcast::<String>().unwrap();
+        assert!(msg.contains(forhdc_check::VIOLATION_PREFIX), "{msg}");
+        assert!(msg.contains("planted violation"), "{msg}");
     }
 
     #[test]

@@ -133,6 +133,39 @@ impl BufferCache {
         self.insert_new(block);
     }
 
+    /// Deep structural validation for checked mode (DESIGN.md §6.5):
+    /// LRU list ↔ map agreement (every listed node maps back to its
+    /// slab index, every resident block is listed exactly once) and
+    /// occupancy ≤ capacity. O(residents) — called only from audit
+    /// points behind `Auditor::enabled()`.
+    pub fn check_coherence(&self) -> Result<(), String> {
+        if self.map.len() as u64 > self.capacity {
+            return Err(format!(
+                "occupancy {} exceeds capacity {}",
+                self.map.len(),
+                self.capacity
+            ));
+        }
+        let mut listed = 0usize;
+        for idx in self.nodes.iter(&self.lru) {
+            let block = *self.nodes.get(idx);
+            if self.map.get(&block) != Some(&idx) {
+                return Err(format!(
+                    "block {block} on the LRU list maps to {:?}, not node {idx}",
+                    self.map.get(&block)
+                ));
+            }
+            listed += 1;
+        }
+        if listed != self.map.len() {
+            return Err(format!(
+                "{} resident blocks but {listed} LRU nodes",
+                self.map.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// Whether `block` is resident.
     pub fn contains(&self, block: LogicalBlock) -> bool {
         self.map.contains_key(&block)

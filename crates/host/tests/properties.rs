@@ -196,6 +196,28 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// Structural coherence under checked mode: the deep validator the
+    /// auditor runs (DESIGN.md §6.5) holds after every access/install
+    /// of an arbitrary workout.
+    #[test]
+    fn buffer_cache_stays_coherent_under_arbitrary_ops(
+        capacity in 1u64..48,
+        ops in prop::collection::vec((0u64..160, any::<bool>()), 1..400),
+    ) {
+        let mut c = BufferCache::new(capacity);
+        for (step, &(block, install)) in ops.iter().enumerate() {
+            let b = LogicalBlock::new(block);
+            if install {
+                c.install(b);
+            } else {
+                c.access(b, ReadWrite::Read);
+            }
+            if let Err(e) = c.check_coherence() {
+                prop_assert!(false, "buffer cache, step {}: {}", step, e);
+            }
+        }
+    }
+
     /// The stream driver issues every request exactly once, regardless
     /// of completion order.
     #[test]

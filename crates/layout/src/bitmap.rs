@@ -164,6 +164,49 @@ pub fn build_disk_bitmaps(
     bitmaps
 }
 
+/// Checked-mode validation (DESIGN.md §6.5): recomputes the expected
+/// continuation bit of every allocated logical block from the filemap
+/// and compares it against the bits actually held in `bitmaps`. Bits
+/// covering unallocated physical space are expected clear. Returns the
+/// first mismatch as an `Err` naming the disk and physical block.
+pub fn check_bitmap_consistency(
+    map: &FileMap,
+    striping: &StripingMap,
+    bitmaps: &[ForBitmap],
+) -> Result<(), String> {
+    if bitmaps.len() != striping.disks() as usize {
+        return Err(format!(
+            "{} bitmaps cover a {}-disk striping map",
+            bitmaps.len(),
+            striping.disks()
+        ));
+    }
+    for l in 0..map.total_blocks() {
+        let logical = forhdc_sim::LogicalBlock::new(l);
+        let (disk, phys) = striping.locate(logical);
+        let bm = &bitmaps[disk.as_usize()];
+        if phys.index() >= bm.len() {
+            continue;
+        }
+        let expected = phys.index() > 0 && {
+            let prev_logical = striping.logical_of(disk, PhysBlock::new(phys.index() - 1));
+            match (map.owner(logical), map.owner(prev_logical)) {
+                (Some(cur), Some(prev)) => cur.file == prev.file && cur.offset > prev.offset,
+                _ => false,
+            }
+        };
+        if bm.get(phys) != expected {
+            return Err(format!(
+                "disk {} phys block {phys}: bitmap says {}, filemap says {expected} \
+                 (logical block {logical})",
+                disk.as_usize(),
+                bm.get(phys),
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +313,24 @@ mod tests {
     #[should_panic(expected = "beyond bitmap")]
     fn set_out_of_range_panics() {
         ForBitmap::new(4).set(PhysBlock::new(4), true);
+    }
+
+    #[test]
+    fn consistency_check_accepts_builder_output_and_catches_a_flip() {
+        let map = LayoutBuilder::new()
+            .fragmentation(0.1)
+            .seed(7)
+            .build(&[12; 120]);
+        let striping = StripingMap::new(4, 8);
+        let mut bms = build_disk_bitmaps(&map, &striping, 1 << 12);
+        check_bitmap_consistency(&map, &striping, &bms).unwrap();
+        // One flipped bit anywhere in the allocated space is caught.
+        let (disk, phys) = striping.locate(LogicalBlock::new(9));
+        let cur = bms[disk.as_usize()].get(phys);
+        bms[disk.as_usize()].set(phys, !cur);
+        let err = check_bitmap_consistency(&map, &striping, &bms).unwrap_err();
+        assert!(err.contains("bitmap says"), "{err}");
+        // A disk-count mismatch is caught before any bit is compared.
+        assert!(check_bitmap_consistency(&map, &striping, &bms[..2]).is_err());
     }
 }

@@ -25,5 +25,5 @@ pub mod filemap;
 pub mod frag;
 
 pub use alloc::LayoutBuilder;
-pub use bitmap::{build_disk_bitmaps, ForBitmap};
+pub use bitmap::{build_disk_bitmaps, check_bitmap_consistency, ForBitmap};
 pub use filemap::{Extent, FileId, FileMap};
