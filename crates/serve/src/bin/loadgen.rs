@@ -1,0 +1,369 @@
+//! `loadgen` — closed-loop load generator for `serve`.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--levels 1,2,4,8] [--requests N] [--seed S]
+//!         [--alpha A] [--verify] [--shutdown] [--json FILE]
+//! ```
+//!
+//! Fetches the array metadata over the wire (`META`), then sweeps the
+//! given concurrency levels: at each level the request budget is split
+//! across that many connections, and every connection runs a closed
+//! loop — draw a file from the Zipf popularity distribution, read it
+//! whole, wait for the bytes, repeat. The per-connection schedule is a
+//! pure function of `(--seed, level, connection)`, so a fixed seed
+//! reproduces the identical request sequence; the printed schedule
+//! digest (an order-independent XOR of per-connection FNV hashes)
+//! makes that checkable from the outside. One table row per level:
+//! throughput plus p50/p95/p99/p99.9 latency from the shared
+//! power-of-two histogram.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use forhdc_serve::image::{block_payload, rank_to_file, DiskMeta};
+use forhdc_serve::protocol::{read_response, write_request, Request, MAX_READ_BLOCKS, ST_OK};
+use forhdc_trace::{PowerHistogram, Quantiles};
+use forhdc_workload::ZipfSampler;
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if matches!(name, "verify" | "shutdown") {
+                    flags.insert(name.to_string(), String::from("1"));
+                } else {
+                    let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                    flags.insert(name.to_string(), value);
+                }
+            } else {
+                return Err(format!("unexpected argument '{a}'"));
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    fn set(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+const USAGE: &str = "\
+loadgen — closed-loop load generator for serve
+
+  loadgen --addr HOST:PORT [--levels 1,2,4,8] [--requests N] [--seed S]
+          [--alpha A] [--verify] [--shutdown] [--json FILE]
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("usage:\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// One level's measured outcome.
+struct LevelResult {
+    conc: u32,
+    requests: u64,
+    secs: f64,
+    latency: Quantiles,
+    digest: u64,
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    let addr = args
+        .flags
+        .get("addr")
+        .cloned()
+        .ok_or("--addr is required")?;
+    let levels = parse_levels(&args.flag("levels", String::from("1,2,4,8"))?)?;
+    let requests: u64 = args.flag("requests", 2000u64)?;
+    let seed: u64 = args.flag("seed", 42u64)?;
+    let alpha: f64 = args.flag("alpha", 0.4f64)?;
+    let verify = args.set("verify");
+
+    let meta = fetch_meta(&addr)?;
+    if meta.file_blocks > MAX_READ_BLOCKS {
+        return Err(format!(
+            "files of {} blocks exceed the {MAX_READ_BLOCKS}-block read limit",
+            meta.file_blocks
+        ));
+    }
+    let perm = Arc::new(rank_to_file(meta.files, meta.seed));
+    let zipf = Arc::new(ZipfSampler::new(meta.files as usize, alpha));
+
+    println!(
+        "loadgen: {} files x {} blocks, alpha={alpha}, seed={seed}, {} requests/level",
+        meta.files, meta.file_blocks, requests
+    );
+    println!(
+        "{:>5} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "conc", "requests", "secs", "rps", "p50ms", "p95ms", "p99ms", "p99.9ms", "maxms", "meanms"
+    );
+    let mut results = Vec::new();
+    let mut digest_all = 0u64;
+    for &conc in &levels {
+        let r = run_level(&addr, &meta, &perm, &zipf, conc, requests, seed, verify)?;
+        digest_all ^= r.digest;
+        println!(
+            "{:>5} {:>9} {:>8.2} {:>9.0} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            r.conc,
+            r.requests,
+            r.secs,
+            r.requests as f64 / r.secs,
+            ms(r.latency.p50_ns),
+            ms(r.latency.p95_ns),
+            ms(r.latency.p99_ns),
+            ms(r.latency.p999_ns),
+            ms(r.latency.max_ns),
+            ms(r.latency.mean_ns),
+        );
+        results.push(r);
+    }
+    println!("schedule digest: 0x{digest_all:016x}");
+
+    if let Some(path) = args.flags.get("json") {
+        let json = results_json(&results, digest_all);
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if args.set("shutdown") {
+        let mut c = connect(&addr)?;
+        write_request(&mut c, &Request::Shutdown).map_err(|e| e.to_string())?;
+        c.flush().map_err(|e| e.to_string())?;
+        let (st, msg) = read_response(&mut c).map_err(|e| e.to_string())?;
+        if st != ST_OK {
+            return Err(format!(
+                "shutdown refused (status {st}): {}",
+                String::from_utf8_lossy(&msg)
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn parse_levels(spec: &str) -> Result<Vec<u32>, String> {
+    let mut levels = Vec::new();
+    for part in spec.split(',') {
+        let n: u32 = part
+            .trim()
+            .parse()
+            .map_err(|e| format!("--levels '{part}': {e}"))?;
+        if n == 0 {
+            return Err("--levels entries must be >= 1".into());
+        }
+        levels.push(n);
+    }
+    if levels.is_empty() {
+        return Err("--levels must name at least one concurrency level".into());
+    }
+    Ok(levels)
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    Ok(stream)
+}
+
+fn fetch_meta(addr: &str) -> Result<DiskMeta, String> {
+    let stream = connect(addr)?;
+    let mut r = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut w = BufWriter::new(stream);
+    write_request(&mut w, &Request::Meta).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())?;
+    let (st, body) = read_response(&mut r).map_err(|e| format!("meta: {e}"))?;
+    if st != ST_OK {
+        return Err(format!(
+            "meta refused (status {st}): {}",
+            String::from_utf8_lossy(&body)
+        ));
+    }
+    let text = std::str::from_utf8(&body).map_err(|_| "meta payload is not UTF-8")?;
+    DiskMeta::from_text(text)
+}
+
+/// A deterministic per-connection seed: splitmix64 over the user seed
+/// and the (level, connection) coordinates.
+fn conn_seed(seed: u64, level: u32, conn: u32) -> u64 {
+    let mut z = seed
+        .wrapping_add((level as u64) << 32 | conn as u64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_level(
+    addr: &str,
+    meta: &DiskMeta,
+    perm: &Arc<Vec<u32>>,
+    zipf: &Arc<ZipfSampler>,
+    conc: u32,
+    requests: u64,
+    seed: u64,
+    verify: bool,
+) -> Result<LevelResult, String> {
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for conn in 0..conc {
+        let n = requests / conc as u64 + u64::from((conn as u64) < requests % conc as u64);
+        if n == 0 {
+            continue;
+        }
+        let addr = addr.to_string();
+        let meta = meta.clone();
+        let perm = Arc::clone(perm);
+        let zipf = Arc::clone(zipf);
+        workers.push(thread::spawn(move || {
+            conn_loop(
+                &addr,
+                &meta,
+                &perm,
+                &zipf,
+                conn_seed(seed, conc, conn),
+                n,
+                verify,
+            )
+        }));
+    }
+    let mut hist = PowerHistogram::new();
+    let mut digest = 0u64;
+    let mut total = 0u64;
+    for w in workers {
+        let (h, d, n) = w
+            .join()
+            .map_err(|_| "connection thread panicked".to_string())??;
+        hist.merge(&h);
+        digest ^= d;
+        total += n;
+    }
+    Ok(LevelResult {
+        conc,
+        requests: total,
+        secs: started.elapsed().as_secs_f64(),
+        latency: hist.quantiles(),
+        digest,
+    })
+}
+
+/// One closed-loop connection: `n` whole-file reads drawn from the
+/// Zipf popularity distribution. Returns the latency histogram, the
+/// FNV digest of the request sequence, and the request count.
+fn conn_loop(
+    addr: &str,
+    meta: &DiskMeta,
+    perm: &[u32],
+    zipf: &ZipfSampler,
+    rng_seed: u64,
+    n: u64,
+    verify: bool,
+) -> Result<(PowerHistogram, u64, u64), String> {
+    let stream = connect(addr)?;
+    let mut r = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut w = BufWriter::new(stream);
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut hist = PowerHistogram::new();
+    let mut digest = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+    let block_bytes = meta.block_bytes as usize;
+    for _ in 0..n {
+        let file = perm[zipf.sample(&mut rng)];
+        let offset = 0u64;
+        let nblocks = meta.file_blocks;
+        for b in file
+            .to_le_bytes()
+            .iter()
+            .chain(offset.to_le_bytes().iter())
+            .chain(nblocks.to_le_bytes().iter())
+        {
+            digest = (digest ^ *b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        let t0 = Instant::now();
+        write_request(
+            &mut w,
+            &Request::Read {
+                file,
+                offset,
+                nblocks,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+        let (st, body) = read_response(&mut r).map_err(|e| format!("read: {e}"))?;
+        hist.record(t0.elapsed().as_nanos() as u64);
+        if st != ST_OK {
+            return Err(format!(
+                "READ file {file} refused (status {st}): {}",
+                String::from_utf8_lossy(&body)
+            ));
+        }
+        if body.len() != nblocks as usize * block_bytes {
+            return Err(format!(
+                "READ file {file}: got {} bytes, want {}",
+                body.len(),
+                nblocks as usize * block_bytes
+            ));
+        }
+        if verify {
+            for (i, page) in body.chunks_exact(block_bytes).enumerate() {
+                let want = block_payload(file, offset + i as u64, meta.block_bytes);
+                if page != &want[..] {
+                    return Err(format!("READ file {file} block {i}: payload mismatch"));
+                }
+            }
+        }
+    }
+    Ok((hist, digest, n))
+}
+
+fn results_json(results: &[LevelResult], digest: u64) -> String {
+    let mut s = String::from("{\n  \"levels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"conc\": {}, \"requests\": {}, \"secs\": {:.3}, \"rps\": {:.1}, \
+             \"latency\": {}}}{}\n",
+            r.conc,
+            r.requests,
+            r.secs,
+            r.requests as f64 / r.secs,
+            r.latency.to_json(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    s.push_str(&format!("  ],\n  \"digest\": \"0x{digest:016x}\"\n}}\n"));
+    s
+}

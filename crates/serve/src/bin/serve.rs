@@ -1,0 +1,173 @@
+//! `serve` — the live TCP serving front-end.
+//!
+//! ```text
+//! serve mkdisk --dir DIR [--disks N] [--files N] [--file-blocks N]
+//!              [--unit BLOCKS] [--seed S] [--frag Q]
+//!     Create a deterministic disk-image directory (one image per
+//!     array disk plus a meta.txt manifest).
+//!
+//! serve run --dir DIR [--port P] [--threads N] [--policy P] [--hdc KB]
+//!           [--stats-secs S] [--port-file F] [--report F] [--max-conns N]
+//!     Serve file reads from the images through the FOR/HDC stack.
+//!       --port 0 picks an ephemeral port; --port-file writes the
+//!       bound port for scripts. The server runs until a client sends
+//!       SHUTDOWN, then drains and prints a JSON report.
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use forhdc_core::ReadAheadKind;
+use forhdc_serve::image::{create_images, open_dir, DiskMeta};
+use forhdc_serve::server::{run as run_server, ServerOpts};
+use forhdc_serve::Engine;
+
+struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+}
+
+const USAGE: &str = "\
+serve — live TCP front-end for the FOR/HDC disk-array stack
+
+  serve mkdisk --dir DIR [--disks N] [--files N] [--file-blocks N]
+               [--unit BLOCKS] [--seed S] [--frag Q]
+  serve run    --dir DIR [--port P] [--threads N]
+               [--policy segm|block|no-ra|for|track] [--hdc KB]
+               [--stats-secs S] [--port-file F] [--report F] [--max-conns N]
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("usage:\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    match args.positional.first().map(String::as_str) {
+        Some("mkdisk") => mkdisk(&args),
+        Some("run") => serve(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn mkdisk(args: &Args) -> Result<(), String> {
+    let dir = PathBuf::from(args.required("dir")?);
+    let meta = DiskMeta {
+        block_bytes: 4096,
+        disks: args.flag("disks", 4u16)?,
+        unit_blocks: args.flag("unit", 32u32)?,
+        files: args.flag("files", 512u32)?,
+        file_blocks: args.flag("file-blocks", 8u32)?,
+        seed: args.flag("seed", 42u64)?,
+        fragmentation: args.flag("frag", 0.0f64)?,
+        disk_blocks: 0,
+    };
+    let meta = create_images(&dir, &meta)?;
+    println!(
+        "wrote {} images of {} blocks ({} files x {} blocks) under {}",
+        meta.disks,
+        meta.disk_blocks,
+        meta.files,
+        meta.file_blocks,
+        dir.display()
+    );
+    Ok(())
+}
+
+fn parse_policy(name: &str) -> Result<ReadAheadKind, String> {
+    match name {
+        "segm" => Ok(ReadAheadKind::BlindSegment),
+        "block" => Ok(ReadAheadKind::BlindBlock),
+        "no-ra" => Ok(ReadAheadKind::None),
+        "for" => Ok(ReadAheadKind::For),
+        "track" => Ok(ReadAheadKind::PartialTrack),
+        other => Err(format!(
+            "unknown policy '{other}' (want segm|block|no-ra|for|track)"
+        )),
+    }
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let dir = PathBuf::from(args.required("dir")?);
+    let meta = open_dir(&dir)?;
+    let policy = parse_policy(&args.flag("policy", String::from("for"))?)?;
+    let hdc_kb: u64 = args.flag("hdc", 0u64)?;
+    let hdc_blocks = (hdc_kb * 1024 / meta.block_bytes as u64) as u32;
+    let port: u16 = args.flag("port", 0u16)?;
+    let opts = ServerOpts {
+        accept_threads: args.flag("threads", 2usize)?.max(1),
+        max_conns: args.flag("max-conns", 256usize)?.max(1),
+        stats_secs: args.flag("stats-secs", 0u64)?,
+    };
+    let engine = Engine::open(&dir, meta, policy, hdc_blocks)?;
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    if let Some(path) = args.flags.get("port-file") {
+        let mut f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        writeln!(f, "{}", bound.port()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    eprintln!(
+        "serve: listening on {bound} policy={} hdc={}KB images={}",
+        engine.policy().label(),
+        hdc_kb,
+        dir.display()
+    );
+    let report = run_server(engine, listener, &opts)?;
+    if let Some(path) = args.flags.get("report") {
+        std::fs::write(path, &report).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    print!("{report}");
+    Ok(())
+}

@@ -1,0 +1,592 @@
+//! The serving engine: per-disk FOR/HDC controllers in front of real
+//! image files.
+//!
+//! Each physical disk pairs the simulator's [`DiskController`] (the
+//! read-ahead cache, the HDC region, and the FOR bitmap decision —
+//! unchanged from the reproduction) with an open image file and a
+//! *page store* holding the bytes of every resident block. The
+//! controller decides — cache hit, or a media run extended by
+//! read-ahead — and the engine acts: hits copy out of the page store,
+//! media runs are real file reads timed into a per-disk service
+//! histogram. Every disk sits behind its own mutex (one head per
+//! disk), so requests to different disks proceed in parallel while the
+//! single-threaded cache structures stay sound.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use forhdc_cache::fx::FxHashMap;
+use forhdc_core::controller::ControllerDecision;
+use forhdc_core::{DiskController, ReadAheadKind};
+use forhdc_layout::{build_disk_bitmaps, FileId, FileMap};
+use forhdc_sim::{DiskConfig, DiskId, PhysBlock, ReadWrite, StripingMap};
+use forhdc_trace::{PowerHistogram, Quantiles};
+
+use crate::image::{rank_to_file, DiskMeta};
+use crate::protocol::MAX_READ_BLOCKS;
+
+/// Slack on top of the controller-resident block count before the
+/// page store is pruned back to the resident set.
+const STORE_PRUNE_SLACK: usize = 512;
+
+/// Why a read request was refused.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The request names a file or block range the array does not hold.
+    Range(String),
+    /// The backing image failed underneath the engine.
+    Internal(String),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Range(m) | ReadError::Internal(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct DiskCounters {
+    media_ops: u64,
+    media_blocks: u64,
+    read_ahead_blocks: u64,
+    store_fallbacks: u64,
+    pinned: u32,
+}
+
+#[derive(Debug)]
+struct DiskState {
+    ctl: DiskController,
+    file: File,
+    store: FxHashMap<u64, Box<[u8]>>,
+    counters: DiskCounters,
+    service: PowerHistogram,
+}
+
+impl DiskState {
+    /// Reads `nblocks` blocks at `start` straight from the image.
+    fn pread(
+        &mut self,
+        start: PhysBlock,
+        nblocks: u32,
+        block_bytes: u32,
+    ) -> std::io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; nblocks as usize * block_bytes as usize];
+        self.file
+            .seek(SeekFrom::Start(start.index() * block_bytes as u64))?;
+        self.file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Drops store pages the controller no longer holds, once the
+    /// store outgrows the resident set by more than the slack.
+    fn prune_store(&mut self) {
+        let resident = self.ctl.ra_capacity_blocks() as usize + self.ctl.hdc_resident() as usize;
+        if self.store.len() > resident + STORE_PRUNE_SLACK {
+            let ctl = &self.ctl;
+            self.store.retain(|&k, _| ctl.covers(PhysBlock::new(k), 1));
+        }
+    }
+}
+
+/// A point-in-time view of one disk's serving state.
+#[derive(Debug, Clone)]
+pub struct DiskSnapshot {
+    /// Disk index.
+    pub disk: u16,
+    /// Extent-level cache lookups.
+    pub extent_lookups: u64,
+    /// Extent-level cache hits (every block resident).
+    pub extent_hits: u64,
+    /// Reads served by pinned HDC blocks.
+    pub hdc_read_hits: u64,
+    /// Blocks currently pinned in the HDC region.
+    pub pinned: u32,
+    /// Media operations issued to the image file.
+    pub media_ops: u64,
+    /// Blocks moved by media operations (demanded + read-ahead).
+    pub media_blocks: u64,
+    /// Of those, speculative read-ahead blocks.
+    pub read_ahead_blocks: u64,
+    /// Blocks the page store currently holds.
+    pub store_resident: usize,
+    /// Cache hits whose bytes had to fall back to the image (store
+    /// pruned between decision and copy; should stay 0).
+    pub store_fallbacks: u64,
+    /// Media service-time quantiles (wall-clock nanoseconds).
+    pub service: Quantiles,
+}
+
+/// A point-in-time view of the whole engine.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// Per-disk rows, in disk order.
+    pub disks: Vec<DiskSnapshot>,
+    /// All disks' service histograms merged.
+    pub service_all: Quantiles,
+}
+
+impl EngineSnapshot {
+    /// Total extent lookups across disks.
+    pub fn extent_lookups(&self) -> u64 {
+        self.disks.iter().map(|d| d.extent_lookups).sum()
+    }
+
+    /// Total extent hits across disks.
+    pub fn extent_hits(&self) -> u64 {
+        self.disks.iter().map(|d| d.extent_hits).sum()
+    }
+
+    /// Total media operations across disks.
+    pub fn media_ops(&self) -> u64 {
+        self.disks.iter().map(|d| d.media_ops).sum()
+    }
+
+    /// Total HDC read hits across disks.
+    pub fn hdc_read_hits(&self) -> u64 {
+        self.disks.iter().map(|d| d.hdc_read_hits).sum()
+    }
+
+    /// Extent hit rate in `[0, 1]` (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.extent_lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.extent_hits() as f64 / lookups as f64
+        }
+    }
+}
+
+/// The shared serving engine (see the module docs).
+#[derive(Debug)]
+pub struct Engine {
+    meta: DiskMeta,
+    map: FileMap,
+    striping: StripingMap,
+    policy: ReadAheadKind,
+    hdc_blocks: u32,
+    disks: Vec<Mutex<DiskState>>,
+}
+
+impl Engine {
+    /// Opens a validated disk directory and builds one controller per
+    /// disk: the policy's read-ahead cache, `hdc_blocks` of HDC region
+    /// (filled with the hottest files' blocks, in popularity order),
+    /// and — for FOR — the continuation bitmaps of the layout.
+    pub fn open(
+        dir: &Path,
+        meta: DiskMeta,
+        policy: ReadAheadKind,
+        hdc_blocks: u32,
+    ) -> Result<Engine, String> {
+        let map = meta.layout();
+        let striping = meta.striping();
+        let cfg = DiskConfig::default();
+        if meta.block_bytes != cfg.block_bytes() {
+            return Err(format!(
+                "manifest block size {} differs from the controller's {}",
+                meta.block_bytes,
+                cfg.block_bytes()
+            ));
+        }
+        let bitmaps = if policy.needs_bitmap() {
+            Some(build_disk_bitmaps(&map, &striping, meta.disk_blocks))
+        } else {
+            None
+        };
+        // Pre-validate the controller-memory split so an oversized
+        // --hdc is a clean CLI error, not a panic.
+        let bitmap_blocks = match &bitmaps {
+            Some(bms) => (bms[0].size_bytes().div_ceil(cfg.block_bytes() as u64)) as u32,
+            None => 0,
+        };
+        if hdc_blocks + bitmap_blocks >= cfg.cache_blocks() {
+            return Err(format!(
+                "HDC region of {hdc_blocks} blocks plus a {bitmap_blocks}-block bitmap \
+                 leaves no read-ahead cache of the {}-block controller memory",
+                cfg.cache_blocks()
+            ));
+        }
+        let mut disks = Vec::with_capacity(meta.disks as usize);
+        for d in 0..meta.disks {
+            let bitmap = bitmaps.as_ref().map(|bms| bms[d as usize].clone());
+            let path = DiskMeta::image_path(dir, d);
+            let file = File::open(&path).map_err(|e| format!("open {}: {e}", path.display()))?;
+            disks.push(Mutex::new(DiskState {
+                ctl: DiskController::new(&cfg, policy, hdc_blocks, bitmap),
+                file,
+                store: FxHashMap::default(),
+                counters: DiskCounters::default(),
+                service: PowerHistogram::new(),
+            }));
+        }
+        let engine = Engine {
+            meta,
+            map,
+            striping,
+            policy,
+            hdc_blocks,
+            disks,
+        };
+        if hdc_blocks > 0 {
+            engine.pin_hottest()?;
+        }
+        Ok(engine)
+    }
+
+    /// The array manifest.
+    pub fn meta(&self) -> &DiskMeta {
+        &self.meta
+    }
+
+    /// The active read-ahead discipline.
+    pub fn policy(&self) -> ReadAheadKind {
+        self.policy
+    }
+
+    /// The per-disk HDC region size in blocks.
+    pub fn hdc_blocks(&self) -> u32 {
+        self.hdc_blocks
+    }
+
+    /// Fills every disk's HDC region with the hottest files' blocks,
+    /// walking the popularity permutation (a pure function of the
+    /// image seed — the live analogue of the paper's host-side
+    /// profile) and loading the pinned bytes from the images.
+    fn pin_hottest(&self) -> Result<(), String> {
+        let perm = rank_to_file(self.meta.files, self.meta.seed);
+        let mut full = vec![false; self.disks.len()];
+        let mut full_count = 0usize;
+        'files: for &file in &perm {
+            for off in 0..self.meta.file_blocks as u64 {
+                let Some(logical) = self.map.block_at(FileId::new(file), off) else {
+                    continue;
+                };
+                let (disk, phys) = self.striping.locate(logical);
+                let di = disk.as_usize();
+                if full[di] {
+                    continue;
+                }
+                let mut d = self.disks[di].lock().expect("disk lock poisoned");
+                if d.ctl.pin(phys) {
+                    d.counters.pinned += 1;
+                    let bytes = d
+                        .pread(phys, 1, self.meta.block_bytes)
+                        .map_err(|e| format!("disk {di}: loading pinned block: {e}"))?;
+                    d.store.insert(phys.index(), bytes.into_boxed_slice());
+                } else {
+                    full[di] = true;
+                    full_count += 1;
+                    if full_count == self.disks.len() {
+                        break 'files;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves one file read: validates the range, walks the file's
+    /// extents, splits at striping-unit boundaries, and routes each
+    /// piece through its disk's controller. Appends exactly
+    /// `nblocks × block_bytes` bytes to `out` on success.
+    pub fn read(
+        &self,
+        file: u32,
+        offset: u64,
+        nblocks: u32,
+        out: &mut Vec<u8>,
+    ) -> Result<(), ReadError> {
+        if file >= self.meta.files {
+            return Err(ReadError::Range(format!(
+                "file {file} out of range (array holds {})",
+                self.meta.files
+            )));
+        }
+        if nblocks == 0 || nblocks > MAX_READ_BLOCKS {
+            return Err(ReadError::Range(format!(
+                "nblocks {nblocks} outside 1..={MAX_READ_BLOCKS}"
+            )));
+        }
+        let end = offset
+            .checked_add(nblocks as u64)
+            .filter(|&e| e <= self.meta.file_blocks as u64)
+            .ok_or_else(|| {
+                ReadError::Range(format!(
+                    "blocks [{offset}, {offset}+{nblocks}) past the {}-block file",
+                    self.meta.file_blocks
+                ))
+            })?;
+        out.reserve(nblocks as usize * self.meta.block_bytes as usize);
+        let unit = self.striping.unit_blocks() as u64;
+        for e in self.map.extents(FileId::new(file)) {
+            let lo = e.file_offset.max(offset);
+            let hi = (e.file_offset + e.len as u64).min(end);
+            if lo >= hi {
+                continue;
+            }
+            let mut cursor = e.start.offset(lo - e.file_offset);
+            let mut left = hi - lo;
+            while left > 0 {
+                let within = cursor.index() % unit;
+                let chunk = (unit - within).min(left) as u32;
+                let (disk, phys) = self.striping.locate(cursor);
+                self.read_extent(disk, phys, chunk, out)?;
+                cursor = cursor.offset(chunk as u64);
+                left -= chunk as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// One physically contiguous piece on one disk: the controller
+    /// classifies it, and the engine copies resident bytes or performs
+    /// (and times) the media run the controller asked for.
+    fn read_extent(
+        &self,
+        disk: DiskId,
+        start: PhysBlock,
+        nblocks: u32,
+        out: &mut Vec<u8>,
+    ) -> Result<(), ReadError> {
+        let bs = self.meta.block_bytes;
+        let mut d = self.disks[disk.as_usize()]
+            .lock()
+            .expect("disk lock poisoned");
+        match d.ctl.on_request(ReadWrite::Read, start, nblocks) {
+            ControllerDecision::CacheHit => {
+                for i in 0..nblocks as u64 {
+                    let key = start.index() + i;
+                    if let Some(page) = d.store.get(&key) {
+                        out.extend_from_slice(page);
+                    } else {
+                        // The presence structures say resident but the
+                        // bytes were pruned: repair from the image.
+                        d.counters.store_fallbacks += 1;
+                        let bytes = d
+                            .pread(PhysBlock::new(key), 1, bs)
+                            .map_err(|e| internal(disk, e))?;
+                        out.extend_from_slice(&bytes);
+                        d.store.insert(key, bytes.into_boxed_slice());
+                    }
+                }
+            }
+            ControllerDecision::Media {
+                start: media_start,
+                nblocks: media_blocks,
+                read_ahead,
+            } => {
+                // Clip the run to the image (read-ahead may overshoot
+                // the padded tail on non-FOR policies).
+                let avail = self.meta.disk_blocks.saturating_sub(media_start.index());
+                let clipped = media_blocks.min(avail as u32).max(nblocks);
+                let t0 = Instant::now();
+                let buf = d
+                    .pread(media_start, clipped, bs)
+                    .map_err(|e| internal(disk, e))?;
+                d.service.record(t0.elapsed().as_nanos() as u64);
+                d.counters.media_ops += 1;
+                d.counters.media_blocks += clipped as u64;
+                d.counters.read_ahead_blocks += clipped.saturating_sub(nblocks) as u64;
+                let _ = read_ahead;
+                d.ctl
+                    .on_media_complete(ReadWrite::Read, media_start, clipped, nblocks);
+                out.extend_from_slice(&buf[..nblocks as usize * bs as usize]);
+                for (i, page) in buf.chunks_exact(bs as usize).enumerate() {
+                    d.store.insert(media_start.index() + i as u64, page.into());
+                }
+                d.prune_store();
+            }
+            ControllerDecision::HdcWriteAbsorbed => {
+                unreachable!("the serving protocol only issues reads")
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshots every disk's counters and histograms (briefly locking
+    /// each disk in turn).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut disks = Vec::with_capacity(self.disks.len());
+        let mut merged = PowerHistogram::new();
+        for (i, m) in self.disks.iter().enumerate() {
+            let d = m.lock().expect("disk lock poisoned");
+            let cache = d.ctl.cache_stats();
+            merged.merge(&d.service);
+            disks.push(DiskSnapshot {
+                disk: i as u16,
+                extent_lookups: cache.extent_lookups,
+                extent_hits: cache.extent_hits,
+                hdc_read_hits: d.ctl.hdc_stats().read_hits,
+                pinned: d.ctl.hdc_resident(),
+                media_ops: d.counters.media_ops,
+                media_blocks: d.counters.media_blocks,
+                read_ahead_blocks: d.counters.read_ahead_blocks,
+                store_resident: d.store.len(),
+                store_fallbacks: d.counters.store_fallbacks,
+                service: d.service.quantiles(),
+            });
+        }
+        EngineSnapshot {
+            disks,
+            service_all: merged.quantiles(),
+        }
+    }
+}
+
+fn internal(disk: DiskId, e: std::io::Error) -> ReadError {
+    ReadError::Internal(format!("disk {}: image read failed: {e}", disk.index()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{block_payload, create_images};
+    use std::path::PathBuf;
+
+    fn build(tag: &str, policy: ReadAheadKind, hdc: u32) -> (PathBuf, Engine) {
+        let dir = std::env::temp_dir().join(format!("forhdc_engine_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = crate::image::DiskMeta {
+            block_bytes: 4096,
+            disks: 2,
+            unit_blocks: 4,
+            files: 64,
+            file_blocks: 4,
+            seed: 11,
+            fragmentation: 0.0,
+            disk_blocks: 0,
+        };
+        let meta = create_images(&dir, &meta).unwrap();
+        let engine = Engine::open(&dir, meta, policy, hdc).unwrap();
+        (dir, engine)
+    }
+
+    #[test]
+    fn whole_file_read_returns_verified_bytes() {
+        let (dir, engine) = build("verify", ReadAheadKind::For, 0);
+        for file in [0u32, 5, 63] {
+            let mut out = Vec::new();
+            engine.read(file, 0, 4, &mut out).unwrap();
+            assert_eq!(out.len(), 4 * 4096);
+            for off in 0..4u64 {
+                assert_eq!(
+                    &out[off as usize * 4096..(off as usize + 1) * 4096],
+                    &block_payload(file, off, 4096)[..],
+                    "file {file} block {off}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeat_reads_hit_the_cache() {
+        let (dir, engine) = build("hits", ReadAheadKind::For, 0);
+        let mut out = Vec::new();
+        engine.read(3, 0, 4, &mut out).unwrap();
+        let cold = engine.snapshot();
+        out.clear();
+        engine.read(3, 0, 4, &mut out).unwrap();
+        let warm = engine.snapshot();
+        assert_eq!(
+            warm.media_ops(),
+            cold.media_ops(),
+            "re-read must not touch media"
+        );
+        assert!(warm.extent_hits() > cold.extent_hits());
+        assert_eq!(out.len(), 4 * 4096);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hdc_pins_hot_files_and_serves_them() {
+        let (dir, engine) = build("hdc", ReadAheadKind::For, 64);
+        let snap = engine.snapshot();
+        let pinned: u32 = snap.disks.iter().map(|d| d.pinned).sum();
+        assert!(pinned > 0, "bootstrap must pin blocks");
+        // The hottest file is rank 0 of the shared permutation; its
+        // read must be an HDC hit with no media op.
+        let hot = rank_to_file(64, 11)[0];
+        let mut out = Vec::new();
+        engine.read(hot, 0, 4, &mut out).unwrap();
+        let after = engine.snapshot();
+        assert_eq!(after.media_ops(), snap.media_ops());
+        assert!(after.hdc_read_hits() > snap.hdc_read_hits());
+        assert_eq!(out.len(), 4 * 4096);
+        for off in 0..4u64 {
+            assert_eq!(
+                &out[off as usize * 4096..(off as usize + 1) * 4096],
+                &block_payload(hot, off, 4096)[..]
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn range_errors_are_clean() {
+        let (dir, engine) = build("range", ReadAheadKind::BlindSegment, 0);
+        let mut out = Vec::new();
+        assert!(matches!(
+            engine.read(64, 0, 1, &mut out),
+            Err(ReadError::Range(_))
+        ));
+        assert!(matches!(
+            engine.read(0, 4, 1, &mut out),
+            Err(ReadError::Range(_))
+        ));
+        assert!(matches!(
+            engine.read(0, 0, 0, &mut out),
+            Err(ReadError::Range(_))
+        ));
+        assert!(matches!(
+            engine.read(0, u64::MAX, 2, &mut out),
+            Err(ReadError::Range(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_hdc_is_a_clean_error() {
+        let dir = std::env::temp_dir().join(format!("forhdc_engine_badhdc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = crate::image::DiskMeta {
+            block_bytes: 4096,
+            disks: 1,
+            unit_blocks: 4,
+            files: 8,
+            file_blocks: 4,
+            seed: 1,
+            fragmentation: 0.0,
+            disk_blocks: 0,
+        };
+        let meta = create_images(&dir, &meta).unwrap();
+        let err = Engine::open(&dir, meta, ReadAheadKind::BlindBlock, 1024).unwrap_err();
+        assert!(err.contains("read-ahead cache"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_policy_serves_correct_bytes() {
+        for (tag, policy) in [
+            ("p_segm", ReadAheadKind::BlindSegment),
+            ("p_block", ReadAheadKind::BlindBlock),
+            ("p_none", ReadAheadKind::None),
+            ("p_track", ReadAheadKind::PartialTrack),
+            ("p_for", ReadAheadKind::For),
+        ] {
+            let (dir, engine) = build(tag, policy, 0);
+            let mut out = Vec::new();
+            engine.read(7, 1, 2, &mut out).unwrap();
+            assert_eq!(out.len(), 2 * 4096);
+            assert_eq!(&out[..4096], &block_payload(7, 1, 4096)[..]);
+            assert_eq!(&out[4096..], &block_payload(7, 2, 4096)[..]);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

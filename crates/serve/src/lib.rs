@@ -1,0 +1,37 @@
+//! forhdc-serve — a live TCP serving front-end for the FOR/HDC stack.
+//!
+//! The simulator (crates/sim, crates/core) evaluates File-Oriented
+//! Read-ahead and Host-guided Device Caching against modeled disks.
+//! This crate puts the *same controller stack* in front of real
+//! file-backed disk images and serves file reads over TCP, so the
+//! policies can be exercised by live concurrent clients:
+//!
+//! - [`image`] — deterministic disk-image directories (`serve mkdisk`):
+//!   one image file per array disk, laid out by the reproduction's own
+//!   [`forhdc_layout::LayoutBuilder`], every block's payload a pure
+//!   function of `(file, offset)` so any client can verify any byte.
+//! - [`protocol`] — the tiny length-prefixed request/response framing.
+//! - [`engine`] — per-disk [`forhdc_core::DiskController`]s plus a
+//!   page store of resident bytes; cache hits copy from memory, misses
+//!   become real (timed) image reads extended by the policy's
+//!   read-ahead.
+//! - [`server`] — thread-per-connection TCP runtime with a small
+//!   accept pool, periodic stats, and drain-clean shutdown.
+//! - [`report`] — hand-rolled JSON reporting shared by the final
+//!   report, `OP_STATS`, and the periodic stderr lines.
+//!
+//! The `loadgen` binary is the closed-loop client: a deterministic,
+//! seeded Zipf request schedule swept across concurrency levels,
+//! reporting RPS and latency percentiles per level.
+
+pub mod engine;
+pub mod image;
+pub mod protocol;
+pub mod report;
+pub mod server;
+
+pub use engine::{DiskSnapshot, Engine, EngineSnapshot, ReadError};
+pub use image::{block_payload, create_images, open_dir, rank_to_file, DiskMeta};
+pub use protocol::{Request, MAX_READ_BLOCKS};
+pub use report::{server_report, stats_line, ServeTotals};
+pub use server::{run, ServerOpts};

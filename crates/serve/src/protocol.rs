@@ -1,0 +1,275 @@
+//! The wire protocol between `loadgen` (or any client) and `serve`.
+//!
+//! Frames are length-prefixed: a little-endian `u32` byte count
+//! followed by that many bytes, the first of which is the opcode
+//! (requests) or status (responses). All multi-byte integers are
+//! little-endian. The protocol is deliberately tiny — five opcodes,
+//! fixed-size request bodies — so a client fits in a few dozen lines
+//! and a malformed frame is cheap to reject.
+//!
+//! ```text
+//! request  := len:u32  op:u8  body
+//!   PING                                   (body empty)
+//!   READ     file:u32  offset:u64  nblocks:u32
+//!   META                                   (body empty)
+//!   STATS                                  (body empty)
+//!   SHUTDOWN                               (body empty)
+//! response := len:u32  status:u8  payload
+//!   READ  OK → payload = nblocks × block_bytes of file data
+//!   META  OK → payload = the disk directory's meta.txt (UTF-8)
+//!   STATS OK → payload = a JSON stats snapshot (UTF-8)
+//!   errors   → payload = a one-line diagnostic (UTF-8)
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Liveness probe; empty OK response.
+pub const OP_PING: u8 = 1;
+/// Read `nblocks` blocks of `file` starting at block `offset`.
+pub const OP_READ: u8 = 2;
+/// Fetch the serialized disk-array metadata.
+pub const OP_META: u8 = 3;
+/// Fetch a JSON stats snapshot.
+pub const OP_STATS: u8 = 4;
+/// Ask the server to drain and exit.
+pub const OP_SHUTDOWN: u8 = 5;
+
+/// Request served successfully.
+pub const ST_OK: u8 = 0;
+/// The frame did not parse (unknown op, bad length).
+pub const ST_BAD_REQUEST: u8 = 1;
+/// A READ named a file or range the array does not hold.
+pub const ST_RANGE: u8 = 2;
+/// The server is draining; no further requests will be served.
+pub const ST_SHUTTING_DOWN: u8 = 3;
+/// The server failed internally (e.g. an image read error).
+pub const ST_INTERNAL: u8 = 4;
+/// The connection limit was reached; retry later.
+pub const ST_BUSY: u8 = 5;
+
+/// Upper bound on a request frame (op + largest fixed body).
+pub const MAX_REQUEST_FRAME: u32 = 64;
+/// Upper bound a client accepts for a response frame (16 MiB covers
+/// the largest permitted READ plus any stats payload).
+pub const MAX_RESPONSE_FRAME: u32 = 16 * 1024 * 1024;
+/// Largest single READ in blocks (4 MiB of 4-KByte blocks).
+pub const MAX_READ_BLOCKS: u32 = 1024;
+
+/// A parsed client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Read a block range of one file.
+    Read {
+        /// File index in the layout.
+        file: u32,
+        /// First block, as an offset within the file.
+        offset: u64,
+        /// Blocks to read (1..=[`MAX_READ_BLOCKS`]).
+        nblocks: u32,
+    },
+    /// Fetch the array metadata.
+    Meta,
+    /// Fetch a stats snapshot.
+    Stats,
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Why an incoming request frame could not be parsed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (includes clean EOF mid-frame).
+    Io(io::Error),
+    /// The bytes arrived but are not a valid request.
+    Malformed(String),
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "{e}"),
+            FrameError::Malformed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Serializes one request onto `w` (unbuffered callers should wrap `w`
+/// in a `BufWriter` and flush).
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
+    let mut body = Vec::with_capacity(17);
+    match req {
+        Request::Ping => body.push(OP_PING),
+        Request::Read {
+            file,
+            offset,
+            nblocks,
+        } => {
+            body.push(OP_READ);
+            body.extend_from_slice(&file.to_le_bytes());
+            body.extend_from_slice(&offset.to_le_bytes());
+            body.extend_from_slice(&nblocks.to_le_bytes());
+        }
+        Request::Meta => body.push(OP_META),
+        Request::Stats => body.push(OP_STATS),
+        Request::Shutdown => body.push(OP_SHUTDOWN),
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)
+}
+
+/// Reads one request frame. `Ok(None)` is a clean end of stream (the
+/// peer closed between frames); a close mid-frame or a malformed body
+/// is an error.
+pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, FrameError> {
+    let mut len4 = [0u8; 4];
+    match r.read_exact(&mut len4) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len4);
+    if len == 0 || len > MAX_REQUEST_FRAME {
+        return Err(FrameError::Malformed(format!(
+            "request frame of {len} bytes (limit {MAX_REQUEST_FRAME})"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let op = body[0];
+    let args = &body[1..];
+    let req = match (op, args.len()) {
+        (OP_PING, 0) => Request::Ping,
+        (OP_META, 0) => Request::Meta,
+        (OP_STATS, 0) => Request::Stats,
+        (OP_SHUTDOWN, 0) => Request::Shutdown,
+        (OP_READ, 16) => Request::Read {
+            file: u32::from_le_bytes(args[0..4].try_into().expect("4-byte slice")),
+            offset: u64::from_le_bytes(args[4..12].try_into().expect("8-byte slice")),
+            nblocks: u32::from_le_bytes(args[12..16].try_into().expect("4-byte slice")),
+        },
+        (OP_READ, n) => {
+            return Err(FrameError::Malformed(format!(
+                "READ body of {n} bytes (want 16)"
+            )))
+        }
+        (op, _) => return Err(FrameError::Malformed(format!("unknown opcode {op}"))),
+    };
+    Ok(Some(req))
+}
+
+/// Serializes one response (status byte + payload) onto `w`.
+pub fn write_response<W: Write>(w: &mut W, status: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(1 + payload.len() as u32).to_le_bytes())?;
+    w.write_all(&[status])?;
+    w.write_all(payload)
+}
+
+/// Reads one response frame as `(status, payload)`.
+pub fn read_response<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), FrameError> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_le_bytes(len4);
+    if len == 0 || len > MAX_RESPONSE_FRAME {
+        return Err(FrameError::Malformed(format!(
+            "response frame of {len} bytes (limit {MAX_RESPONSE_FRAME})"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let status = body[0];
+    body.remove(0);
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Ping,
+            Request::Meta,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Read {
+                file: 7,
+                offset: 123_456_789_012,
+                nblocks: 32,
+            },
+        ];
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_request(&mut buf, r).unwrap();
+        }
+        let mut c = Cursor::new(buf);
+        for r in &reqs {
+            assert_eq!(read_request(&mut c).unwrap(), Some(*r));
+        }
+        assert_eq!(read_request(&mut c).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, ST_OK, b"hello").unwrap();
+        write_response(&mut buf, ST_RANGE, b"").unwrap();
+        let mut c = Cursor::new(buf);
+        assert_eq!(read_response(&mut c).unwrap(), (ST_OK, b"hello".to_vec()));
+        assert_eq!(read_response(&mut c).unwrap(), (ST_RANGE, Vec::new()));
+    }
+
+    #[test]
+    fn oversized_request_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_REQUEST_FRAME + 1).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 80]);
+        match read_request(&mut Cursor::new(buf)) {
+            Err(FrameError::Malformed(m)) => assert!(m.contains("frame"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(99);
+        match read_request(&mut Cursor::new(buf)) {
+            Err(FrameError::Malformed(m)) => assert!(m.contains("opcode"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_read_body_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&5u32.to_le_bytes());
+        buf.push(OP_READ);
+        buf.extend_from_slice(&[0u8; 4]);
+        match read_request(&mut Cursor::new(buf)) {
+            Err(FrameError::Malformed(m)) => assert!(m.contains("READ body"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&17u32.to_le_bytes());
+        buf.push(OP_READ); // body cut short
+        match read_request(&mut Cursor::new(buf)) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("{other:?}"),
+        }
+    }
+}

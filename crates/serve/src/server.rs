@@ -1,0 +1,371 @@
+//! The TCP server runtime: accept threads, per-connection handlers,
+//! drain-clean shutdown.
+//!
+//! The listener runs non-blocking and is shared by a small pool of
+//! accept threads; each accepted connection gets its own blocking
+//! handler thread (the thread-per-connection model of the classic
+//! servers the paper studies). A `SHUTDOWN` request flips a process-
+//! wide flag: accept threads stop taking connections, in-flight
+//! requests finish, new READs on surviving connections get
+//! `ST_SHUTTING_DOWN`, and the main thread waits for the active count
+//! to reach zero before printing the final report.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use forhdc_trace::PowerHistogram;
+
+use crate::engine::{Engine, ReadError};
+use crate::protocol::{
+    read_request, write_response, FrameError, Request, ST_BAD_REQUEST, ST_BUSY, ST_INTERNAL, ST_OK,
+    ST_RANGE, ST_SHUTTING_DOWN,
+};
+use crate::report::{server_report, stats_line, ServeTotals};
+
+/// How often accept threads poll the non-blocking listener while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// How often the main thread checks for drain completion.
+const DRAIN_POLL: Duration = Duration::from_millis(50);
+
+/// Tunables for [`run`].
+#[derive(Debug, Clone)]
+pub struct ServerOpts {
+    /// Accept threads sharing the listener.
+    pub accept_threads: usize,
+    /// Connections beyond this are answered `ST_BUSY` and closed.
+    pub max_conns: usize,
+    /// Seconds between stderr stats lines (0 disables them).
+    pub stats_secs: u64,
+}
+
+impl Default for ServerOpts {
+    fn default() -> Self {
+        ServerOpts {
+            accept_threads: 2,
+            max_conns: 256,
+            stats_secs: 0,
+        }
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    e2e: Mutex<PowerHistogram>,
+    started: Instant,
+}
+
+impl Shared {
+    fn totals(&self) -> ServeTotals {
+        ServeTotals {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    fn report(&self) -> String {
+        let snap = self.engine.snapshot();
+        let e2e = self.e2e.lock().expect("e2e lock poisoned").quantiles();
+        server_report(
+            &self.engine,
+            &snap,
+            &self.totals(),
+            &e2e,
+            self.started.elapsed().as_secs_f64(),
+        )
+    }
+}
+
+/// Drops back the active-connection count even on handler panic.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs the server on an already-bound listener until a client asks it
+/// to shut down, then drains and returns the final JSON report.
+pub fn run(engine: Engine, listener: TcpListener, opts: &ServerOpts) -> Result<String, String> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("listener: {e}"))?;
+    let shared = Arc::new(Shared {
+        engine,
+        shutdown: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        connections: AtomicU64::new(0),
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        e2e: Mutex::new(PowerHistogram::new()),
+        started: Instant::now(),
+    });
+    let mut acceptors = Vec::new();
+    for _ in 0..opts.accept_threads.max(1) {
+        let listener = listener
+            .try_clone()
+            .map_err(|e| format!("listener clone: {e}"))?;
+        let shared = Arc::clone(&shared);
+        let max_conns = opts.max_conns;
+        acceptors.push(thread::spawn(move || {
+            accept_loop(listener, shared, max_conns)
+        }));
+    }
+    // Supervise: periodic stats, then drain once shutdown is flagged.
+    let mut last_stats = Instant::now();
+    loop {
+        thread::sleep(DRAIN_POLL);
+        if opts.stats_secs > 0 && last_stats.elapsed().as_secs() >= opts.stats_secs {
+            last_stats = Instant::now();
+            let snap = shared.engine.snapshot();
+            let e2e = shared.e2e.lock().expect("e2e lock poisoned").quantiles();
+            eprintln!(
+                "{}",
+                stats_line(
+                    &snap,
+                    &shared.totals(),
+                    &e2e,
+                    shared.started.elapsed().as_secs_f64()
+                )
+            );
+        }
+        if shared.shutdown.load(Ordering::SeqCst) && shared.active.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+    }
+    for a in acceptors {
+        a.join().map_err(|_| "accept thread panicked".to_string())?;
+    }
+    Ok(shared.report())
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, max_conns: usize) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Reserve an active slot before the handler thread
+                // exists so drain can never miss a connection.
+                let was = shared.active.fetch_add(1, Ordering::SeqCst);
+                if was >= max_conns {
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    let mut w = BufWriter::new(stream);
+                    let _ = write_response(&mut w, ST_BUSY, b"connection limit reached");
+                    let _ = w.flush();
+                    continue;
+                }
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    let _guard = ActiveGuard(&shared.active);
+                    handle_conn(&shared, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut r = BufReader::new(read_half);
+    let mut w = BufWriter::new(stream);
+    loop {
+        let req = match read_request(&mut r) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean EOF between frames
+            Err(FrameError::Malformed(m)) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&mut w, ST_BAD_REQUEST, m.as_bytes());
+                let _ = w.flush();
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let t0 = Instant::now();
+        let keep_going = match req {
+            Request::Ping => respond(shared, &mut w, ST_OK, b""),
+            Request::Meta => {
+                let text = shared.engine.meta().to_text();
+                respond(shared, &mut w, ST_OK, text.as_bytes())
+            }
+            Request::Stats => {
+                let json = shared.report();
+                respond(shared, &mut w, ST_OK, json.as_bytes())
+            }
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = respond(shared, &mut w, ST_OK, b"draining");
+                return;
+            }
+            Request::Read {
+                file,
+                offset,
+                nblocks,
+            } => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    respond(shared, &mut w, ST_SHUTTING_DOWN, b"server is draining")
+                } else {
+                    let mut buf = Vec::new();
+                    match shared.engine.read(file, offset, nblocks, &mut buf) {
+                        Ok(()) => {
+                            let ok = respond(shared, &mut w, ST_OK, &buf);
+                            if ok {
+                                shared
+                                    .e2e
+                                    .lock()
+                                    .expect("e2e lock poisoned")
+                                    .record(t0.elapsed().as_nanos() as u64);
+                            }
+                            ok
+                        }
+                        Err(ReadError::Range(m)) => respond(shared, &mut w, ST_RANGE, m.as_bytes()),
+                        Err(ReadError::Internal(m)) => {
+                            respond(shared, &mut w, ST_INTERNAL, m.as_bytes())
+                        }
+                    }
+                }
+            }
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Writes and flushes one response; returns `false` when the peer is
+/// gone. Counts OK responses as requests and the rest as errors.
+fn respond<W: Write>(shared: &Shared, w: &mut W, status: u8, payload: &[u8]) -> bool {
+    if status == ST_OK {
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    write_response(w, status, payload)
+        .and_then(|()| w.flush())
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{block_payload, create_images, DiskMeta};
+    use crate::protocol::{read_response, write_request};
+    use forhdc_core::ReadAheadKind;
+
+    fn spawn_server(
+        tag: &str,
+    ) -> (
+        std::path::PathBuf,
+        std::net::SocketAddr,
+        thread::JoinHandle<Result<String, String>>,
+    ) {
+        let dir = std::env::temp_dir().join(format!("forhdc_server_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = DiskMeta {
+            block_bytes: 4096,
+            disks: 2,
+            unit_blocks: 4,
+            files: 16,
+            file_blocks: 2,
+            seed: 9,
+            fragmentation: 0.0,
+            disk_blocks: 0,
+        };
+        let meta = create_images(&dir, &meta).unwrap();
+        let engine = Engine::open(&dir, meta, ReadAheadKind::For, 0).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let opts = ServerOpts::default();
+        let handle = thread::spawn(move || run(engine, listener, &opts));
+        (dir, addr, handle)
+    }
+
+    fn request(stream: &mut TcpStream, req: &Request) -> (u8, Vec<u8>) {
+        write_request(stream, req).unwrap();
+        stream.flush().unwrap();
+        read_response(stream).unwrap()
+    }
+
+    #[test]
+    fn serves_reads_and_drains_on_shutdown() {
+        let (dir, addr, handle) = spawn_server("basic");
+        let mut c = TcpStream::connect(addr).unwrap();
+        assert_eq!(request(&mut c, &Request::Ping), (ST_OK, Vec::new()));
+        let (st, data) = request(
+            &mut c,
+            &Request::Read {
+                file: 3,
+                offset: 0,
+                nblocks: 2,
+            },
+        );
+        assert_eq!(st, ST_OK);
+        assert_eq!(&data[..4096], &block_payload(3, 0, 4096)[..]);
+        assert_eq!(&data[4096..], &block_payload(3, 1, 4096)[..]);
+        let (st, meta_text) = request(&mut c, &Request::Meta);
+        assert_eq!(st, ST_OK);
+        DiskMeta::from_text(std::str::from_utf8(&meta_text).unwrap()).unwrap();
+        let (st, stats) = request(&mut c, &Request::Stats);
+        assert_eq!(st, ST_OK);
+        assert!(std::str::from_utf8(&stats)
+            .unwrap()
+            .contains("\"per_disk\""));
+        let (st, range) = request(
+            &mut c,
+            &Request::Read {
+                file: 999,
+                offset: 0,
+                nblocks: 1,
+            },
+        );
+        assert_eq!(st, ST_RANGE);
+        assert!(!range.is_empty());
+        let (st, _) = request(&mut c, &Request::Shutdown);
+        assert_eq!(st, ST_OK);
+        drop(c);
+        let report = handle.join().unwrap().unwrap();
+        assert!(report.contains("\"e2e_latency\""), "{report}");
+        // Five OK responses: ping, read, meta, stats, shutdown ack.
+        assert!(report.contains("\"requests\": 5"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_frame_gets_bad_request() {
+        let (dir, addr, handle) = spawn_server("malformed");
+        let mut c = TcpStream::connect(addr).unwrap();
+        // 1-byte frame with an unknown opcode.
+        c.write_all(&1u32.to_le_bytes()).unwrap();
+        c.write_all(&[200u8]).unwrap();
+        c.flush().unwrap();
+        let (st, msg) = read_response(&mut c).unwrap();
+        assert_eq!(st, ST_BAD_REQUEST);
+        assert!(std::str::from_utf8(&msg).unwrap().contains("opcode"));
+        drop(c);
+        let mut c2 = TcpStream::connect(addr).unwrap();
+        let _ = request(&mut c2, &Request::Shutdown);
+        drop(c2);
+        handle.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end: a real `serve` process on an ephemeral loopback port,
+//! driven by real `loadgen` runs. Covers the CI smoke contract: the
+//! sweep table carries every percentile column, a fixed seed yields an
+//! identical schedule digest, and the server drains to a clean exit
+//! with a complete JSON report after `--shutdown`.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn serve_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_serve"))
+}
+
+fn loadgen_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_loadgen"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("forhdc_serve_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Starts a server on port 0 and waits for the port file.
+fn start_server(dir: &PathBuf, extra: &[&str]) -> (Child, String) {
+    let port_file = dir.join("port");
+    let report = dir.join("report.json");
+    let child = serve_bin()
+        .args(["run", "--port", "0"])
+        .args(["--port-file"])
+        .arg(&port_file)
+        .args(["--report"])
+        .arg(&report)
+        .args(extra)
+        .args(["--dir"])
+        .arg(dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let port = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            let s = s.trim().to_string();
+            if !s.is_empty() {
+                break s;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never wrote its port file"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, format!("127.0.0.1:{port}"))
+}
+
+fn digest_of(stdout: &str) -> &str {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("schedule digest: "))
+        .unwrap_or_else(|| panic!("no digest line in: {stdout}"))
+}
+
+#[test]
+fn smoke_sweep_verify_and_drain() {
+    let dir = tmpdir("smoke");
+    let out = serve_bin()
+        .args([
+            "mkdisk",
+            "--disks",
+            "2",
+            "--files",
+            "64",
+            "--file-blocks",
+            "4",
+            "--seed",
+            "5",
+            "--dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn mkdisk");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let (mut server, addr) = start_server(&dir, &["--policy", "for", "--hdc", "256"]);
+
+    // Two identical runs: same seed, same digest; payloads verified.
+    let run = |seed: &str, shutdown: bool| {
+        let mut c = loadgen_bin();
+        c.args([
+            "--addr",
+            &addr,
+            "--levels",
+            "1,2,4,8",
+            "--requests",
+            "160",
+            "--seed",
+            seed,
+            "--verify",
+        ]);
+        if shutdown {
+            c.arg("--shutdown");
+        }
+        let out = c.output().expect("spawn loadgen");
+        assert!(
+            out.status.success(),
+            "loadgen failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let first = run("11", false);
+    let second = run("11", false);
+    let third = run("7", true);
+
+    // The sweep table carries every percentile column and four rows.
+    for col in ["rps", "p50ms", "p95ms", "p99ms", "p99.9ms"] {
+        assert!(first.contains(col), "missing column {col} in: {first}");
+    }
+    let rows = first
+        .lines()
+        .filter(|l| l.trim_start().starts_with(['1', '2', '4', '8']))
+        .count();
+    assert!(rows >= 4, "want 4 sweep rows in: {first}");
+
+    // Fixed seed => identical schedule; different seed => different.
+    assert_eq!(digest_of(&first), digest_of(&second));
+    assert_ne!(digest_of(&first), digest_of(&third));
+
+    // --shutdown drained the server to a clean exit...
+    let status = server.wait().expect("wait serve");
+    assert!(status.success(), "server exited {status}");
+
+    // ...and the final report is complete.
+    let report = std::fs::read_to_string(dir.join("report.json")).expect("report written");
+    for key in [
+        "\"serve\"",
+        "\"policy\": \"FOR\"",
+        "\"totals\"",
+        "\"e2e_latency\"",
+        "\"p50_ns\"",
+        "\"p95_ns\"",
+        "\"p99_ns\"",
+        "\"p999_ns\"",
+        "\"media\"",
+        "\"per_disk\"",
+    ] {
+        assert!(report.contains(key), "missing {key} in report: {report}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_over_the_wire_match_report_shape() {
+    let dir = tmpdir("stats");
+    let out = serve_bin()
+        .args([
+            "mkdisk",
+            "--disks",
+            "2",
+            "--files",
+            "16",
+            "--file-blocks",
+            "2",
+            "--dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn mkdisk");
+    assert!(out.status.success());
+    let (mut server, addr) = start_server(&dir, &["--policy", "segm"]);
+
+    // A short burst, then shut down.
+    let out = loadgen_bin()
+        .args([
+            "--addr",
+            &addr,
+            "--levels",
+            "2",
+            "--requests",
+            "40",
+            "--verify",
+            "--shutdown",
+        ])
+        .output()
+        .expect("spawn loadgen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("schedule digest: 0x"), "{stdout}");
+
+    let status = server.wait().expect("wait serve");
+    assert!(status.success(), "server exited {status}");
+    let report = std::fs::read_to_string(dir.join("report.json")).expect("report written");
+    assert!(report.contains("\"policy\": \"Segm\""), "{report}");
+    assert!(report.contains("\"requests\": "), "{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -110,6 +110,32 @@ impl PowerHistogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile shorthand.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Resolves each requested quantile in order (see
+    /// [`PowerHistogram::quantile`] for the bucket semantics).
+    pub fn quantile_set(&self, qs: &[f64]) -> Vec<u64> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
+    /// Exports the standard reporting quantiles in one shot — the
+    /// p50/p95/p99/p99.9 row every latency table in the workspace
+    /// prints (trace summaries, `loadgen`, the serve report).
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles {
+            count: self.count,
+            mean_ns: self.mean() as u64,
+            p50_ns: self.p50(),
+            p95_ns: self.p95(),
+            p99_ns: self.p99(),
+            p999_ns: self.p999(),
+            max_ns: self.max,
+        }
+    }
+
     /// Merges another histogram's buckets into this one.
     pub fn merge(&mut self, other: &PowerHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -127,6 +153,40 @@ impl PowerHistogram {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(b, &c)| (if b == 0 { 0 } else { 1u64 << b }, c))
+    }
+}
+
+/// The standard exported quantile row of a [`PowerHistogram`]:
+/// count, mean, p50/p95/p99/p99.9, and the exact maximum, all in
+/// nanoseconds. Plain data, so consumers (the `trace` binary, the
+/// serving front-end, `loadgen`) can render or serialize it without
+/// holding the histogram itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Quantiles {
+    /// Recorded values.
+    pub count: u64,
+    /// Mean, truncated to whole nanoseconds.
+    pub mean_ns: u64,
+    /// Median (bucket lower bound).
+    pub p50_ns: u64,
+    /// 95th percentile (bucket lower bound).
+    pub p95_ns: u64,
+    /// 99th percentile (bucket lower bound).
+    pub p99_ns: u64,
+    /// 99.9th percentile (bucket lower bound).
+    pub p999_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+}
+
+impl Quantiles {
+    /// Renders the row as a JSON object (hand-rolled, like the rest of
+    /// the workspace's report output).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+            self.count, self.mean_ns, self.p50_ns, self.p95_ns, self.p99_ns, self.p999_ns, self.max_ns
+        )
     }
 }
 
@@ -184,6 +244,37 @@ mod tests {
         a.merge(&b);
         assert_eq!(a, whole);
         assert_eq!(a.sum(), whole.sum());
+    }
+
+    #[test]
+    fn quantile_export_is_ordered_and_consistent() {
+        let mut h = PowerHistogram::new();
+        for v in 0..10_000u64 {
+            h.record(v * 13 + 1);
+        }
+        let q = h.quantiles();
+        assert_eq!(q.count, h.count());
+        assert_eq!(q.max_ns, h.max());
+        assert_eq!(q.p999_ns, h.p999());
+        assert!(q.p50_ns <= q.p95_ns);
+        assert!(q.p95_ns <= q.p99_ns);
+        assert!(q.p99_ns <= q.p999_ns);
+        assert!(q.p999_ns <= q.max_ns);
+        assert_eq!(
+            h.quantile_set(&[0.5, 0.95, 0.99, 0.999]),
+            vec![q.p50_ns, q.p95_ns, q.p99_ns, q.p999_ns]
+        );
+        let json = q.to_json();
+        for key in [
+            "count", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "p999_ns", "max_ns",
+        ] {
+            assert!(json.contains(key), "{json}");
+        }
+    }
+
+    #[test]
+    fn empty_quantile_export_is_zero() {
+        assert_eq!(PowerHistogram::new().quantiles(), Quantiles::default());
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod hist;
 pub mod summary;
 
 pub use event::{parse_jsonl, write_jsonl, FaultKind, ProbeResult, TraceEvent};
-pub use hist::PowerHistogram;
+pub use hist::{PowerHistogram, Quantiles};
 pub use summary::{
     slowest_requests, utilization_timeline, PhasePercentiles, RequestSpan, TraceSummary,
 };

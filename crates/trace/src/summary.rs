@@ -181,13 +181,16 @@ impl TraceSummary {
         self.phases
             .iter()
             .filter(|(_, h)| !h.is_empty())
-            .map(|&(phase, ref h)| PhasePercentiles {
-                phase,
-                count: h.count(),
-                p50_ns: h.p50(),
-                p95_ns: h.p95(),
-                p99_ns: h.p99(),
-                max_ns: h.max(),
+            .map(|&(phase, ref h)| {
+                let q = h.quantiles();
+                PhasePercentiles {
+                    phase,
+                    count: q.count,
+                    p50_ns: q.p50_ns,
+                    p95_ns: q.p95_ns,
+                    p99_ns: q.p99_ns,
+                    max_ns: q.max_ns,
+                }
             })
             .collect()
     }

@@ -69,7 +69,10 @@ fn main() {
     let capacity = SystemConfig::segm().with_hdc(2 * 1024 * 1024).hdc_blocks();
     for periods in [2usize, 4, 8] {
         let plans = plan_periodic(&workload.trace, &striping, capacity, periods);
-        let plan = plans.last().expect("at least one period").clone();
+        let Some(plan) = plans.last().cloned() else {
+            eprintln!("error: periodic planning produced no periods");
+            std::process::exit(1);
+        };
         let r = System::with_plan(
             SystemConfig::segm().with_hdc(2 * 1024 * 1024),
             &workload,

@@ -38,7 +38,10 @@ fn main() {
             best = Some((unit_kb, for_));
         }
     }
-    let (unit_kb, best_for) = best.expect("non-empty sweep");
+    let Some((unit_kb, best_for)) = best else {
+        eprintln!("error: the striping-unit sweep produced no results");
+        std::process::exit(1);
+    };
     println!("\nbest unit for FOR: {unit_kb} KB\n");
 
     println!("HDC sweep at the best unit (FOR+HDC):");
@@ -60,7 +63,10 @@ fn main() {
             best_hdc = Some((hdc_kb, r));
         }
     }
-    let (hdc_kb, tuned) = best_hdc.expect("non-empty sweep");
+    let Some((hdc_kb, tuned)) = best_hdc else {
+        eprintln!("error: the HDC sweep produced no results");
+        std::process::exit(1);
+    };
     println!(
         "\nrecommended configuration: FOR, {unit_kb}-KB striping unit, {hdc_kb} KB HDC per disk"
     );
