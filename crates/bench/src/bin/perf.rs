@@ -3,13 +3,22 @@
 //! emitted as machine-readable JSON (`BENCH_*.json`).
 //!
 //! ```text
-//! perf [--fast] [--json PATH] [--baseline PATH] [--fail-below RATIO]
+//! perf [--fast] [--shards N] [--json PATH] [--baseline PATH] [--fail-below RATIO]
+//! perf cmp OLD.json NEW.json [--fail-below RATIO]
 //!
 //!   --fast             CI smoke mode: one repetition, small batches
+//!   --shards N         engine shards for the sharded e2e bench
+//!                      (default 4; reported in the shards column)
 //!   --json PATH        write the results as JSON to PATH
 //!   --baseline PATH    read a previous --json output and report speedups
 //!   --fail-below R     exit non-zero if any bench's speedup vs the
 //!                      baseline falls below R (gross-regression gate)
+//!
+//!   cmp OLD NEW        machine-readable comparison of two BENCH files:
+//!                      one `name<TAB>old_ns<TAB>new_ns<TAB>speedup` row
+//!                      per bench present in both, no timing reruns.
+//!                      With --fail-below R, exits non-zero if any
+//!                      common bench's speedup falls below R.
 //! ```
 //!
 //! Unlike the Criterion benches (which use the offline criterion stub's
@@ -38,6 +47,9 @@ struct BenchResult {
     name: &'static str,
     ns_per_op: f64,
     ops: u64,
+    /// Engine shards the bench ran with (1 = serial; only the e2e
+    /// simulations can shard).
+    shards: usize,
 }
 
 struct Harness {
@@ -63,11 +75,12 @@ impl Harness {
             let ns = t.elapsed().as_nanos() as f64 / batch as f64;
             best = best.min(ns);
         }
-        println!("{name:<40} {best:>12.1} ns/op  ({batch} ops)");
+        println!("{name:<40} {best:>12.1} ns/op  ({batch} ops, shards 1)");
         self.results.push(BenchResult {
             name,
             ns_per_op: best,
             ops: batch,
+            shards: 1,
         });
     }
 }
@@ -153,6 +166,33 @@ fn bench_hdc(h: &mut Harness) {
     });
 }
 
+/// Times `reps` full runs of `cfg` over `wl` and records the best
+/// per-request wall time under `name`.
+fn bench_system(
+    h: &mut Harness,
+    name: &'static str,
+    wl: &forhdc_workload::Workload,
+    cfg: impl Fn() -> SystemConfig,
+    shards: usize,
+) {
+    let requests = wl.trace.len();
+    let reps = if h.fast { 1 } else { 3 };
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = System::new(cfg(), wl).with_shards(shards).run();
+        std::hint::black_box(r.io_time);
+        best = best.min(t.elapsed().as_nanos() as f64 / requests as f64);
+    }
+    println!("{name:<40} {best:>12.1} ns/req  ({requests} reqs, shards {shards})");
+    h.results.push(BenchResult {
+        name,
+        ns_per_op: best,
+        ops: requests as u64,
+        shards,
+    });
+}
+
 fn bench_e2e(h: &mut Harness) {
     // One fig3 point (16-KByte files, 128 streams, FOR policy), exactly
     // as plan_fig3 builds it, at a reduced request count so the full
@@ -170,23 +210,28 @@ fn bench_e2e(h: &mut Harness) {
         .streams(128)
         .seed(seed)
         .build();
-    let reps = if h.fast { 1 } else { 3 };
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        let r = System::new(SystemConfig::for_(), &wl).run();
-        std::hint::black_box(r.io_time);
-        best = best.min(t.elapsed().as_nanos() as f64 / requests as f64);
-    }
-    println!(
-        "{:<40} {best:>12.1} ns/req  ({requests} reqs)",
-        "e2e/fig3_point_for"
-    );
-    h.results.push(BenchResult {
-        name: "e2e/fig3_point_for",
-        ns_per_op: best,
-        ops: requests as u64,
-    });
+    bench_system(h, "e2e/fig3_point_for", &wl, SystemConfig::for_, 1);
+}
+
+fn bench_e2e_fig5(h: &mut Harness, shards: usize) {
+    // One fig5 point (alpha 0.4, 8-disk array, FOR policy) at a reduced
+    // request count: the multi-disk workload whose media completions
+    // actually overlap, so the sharded engine forms real windows. Run
+    // serial and sharded back to back over the same workload; the
+    // reports are byte-identical, only the wall clock differs.
+    let opts = RunOptions::default();
+    let requests = opts.synthetic_requests / 2;
+    let seed = point_seed("fig5", 2); // row 2 = Zipf alpha 0.4
+    let wl = SyntheticWorkload::builder()
+        .requests(requests)
+        .files(20_000)
+        .file_blocks(4)
+        .streams(128)
+        .zipf_alpha(0.4)
+        .seed(seed)
+        .build();
+    bench_system(h, "e2e/fig5_point_for", &wl, SystemConfig::for_, 1);
+    bench_system(h, "e2e/fig5_point_sharded", &wl, SystemConfig::for_, shards);
 }
 
 fn to_json(results: &[BenchResult], fast: bool, baseline: Option<&Vec<(String, f64)>>) -> String {
@@ -203,8 +248,8 @@ fn to_json(results: &[BenchResult], fast: bool, baseline: Option<&Vec<(String, f
             s.push(',');
         }
         s.push_str(&format!(
-            "\n    \"{}\": {{\"ns_per_op\": {:.1}, \"ops\": {}}}",
-            r.name, r.ns_per_op, r.ops
+            "\n    \"{}\": {{\"ns_per_op\": {:.1}, \"ops\": {}, \"shards\": {}}}",
+            r.name, r.ns_per_op, r.ops, r.shards
         ));
     }
     s.push_str("\n  }");
@@ -277,7 +322,11 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("cmp") {
+        return cmp_main(&args[1..]);
+    }
     let mut fast = false;
+    let mut shards = 4usize;
     let mut json_path: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut fail_below: Option<f64> = None;
@@ -285,6 +334,13 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--fast" => fast = true,
+            "--shards" => {
+                i += 1;
+                shards = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v > 0 => v,
+                    _ => return usage_err("--shards needs a positive integer"),
+                };
+            }
             "--json" => {
                 i += 1;
                 match args.get(i) {
@@ -354,6 +410,7 @@ fn main() -> ExitCode {
     bench_segment_cache(&mut h);
     bench_hdc(&mut h);
     bench_e2e(&mut h);
+    bench_e2e_fig5(&mut h, shards);
 
     let mut regressed = Vec::new();
     if let Some(base) = &baseline {
@@ -387,7 +444,72 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-const USAGE: &str = "usage: perf [--fast] [--json PATH] [--baseline PATH] [--fail-below RATIO]";
+/// `perf cmp OLD NEW [--fail-below R]`: compares two BENCH files
+/// without rerunning anything. Prints one tab-separated row per bench
+/// present in both files — `name old_ns new_ns speedup` — so CI and
+/// scripts can gate on it without ad-hoc JSON surgery.
+fn cmp_main(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut fail_below: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fail-below" => {
+                i += 1;
+                fail_below = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v > 0.0 => Some(v),
+                    _ => return usage_err("--fail-below needs a positive ratio"),
+                };
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths[..] else {
+        return usage_err("cmp needs exactly two BENCH files");
+    };
+    let mut sides = Vec::new();
+    for p in [old_path, new_path] {
+        match std::fs::read_to_string(p) {
+            Ok(text) => {
+                let parsed = parse_baseline(&text);
+                if parsed.is_empty() {
+                    eprintln!("error: no benches found in {p}");
+                    return ExitCode::FAILURE;
+                }
+                sides.push(parsed);
+            }
+            Err(e) => {
+                eprintln!("error: could not read {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (old, new) = (&sides[0], &sides[1]);
+    let mut regressed = false;
+    for (name, old_ns) in old {
+        let Some((_, new_ns)) = new.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let speedup = old_ns / new_ns;
+        println!("{name}\t{old_ns:.1}\t{new_ns:.1}\t{speedup:.2}");
+        if fail_below.is_some_and(|min| speedup < min) {
+            regressed = true;
+            eprintln!("error: {name} speedup {speedup:.2}x below the floor");
+        }
+    }
+    if regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+const USAGE: &str = "usage: perf [--fast] [--shards N] [--json PATH] [--baseline PATH] [--fail-below RATIO]\n       perf cmp OLD.json NEW.json [--fail-below RATIO]";
 
 fn usage_err(err: &str) -> ExitCode {
     eprintln!("error: {err}\n\n{USAGE}");

@@ -2,7 +2,7 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--check] [--max-retries N] [--timings]
+//! repro <experiment|all> [--jobs N] [--shards N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--check] [--max-retries N] [--timings]
 //! repro fuzz [--iters N] [--seed S] [--out DIR]
 //! repro replay FILE
 //! repro --list
@@ -10,6 +10,8 @@
 //!   experiment   one of: table1 fig1 fig2 ... fig12 table2 fig-faults
 //!                ablation-{sched,segrepl,blkrepl,segsize,coalesce,periodic,...}
 //!   --jobs N     worker threads for sweep experiments (default 1);
+//!                output is byte-identical for every N
+//!   --shards N   event-engine shards per simulation (default 1);
 //!                output is byte-identical for every N
 //!   --no-cache   bypass the result cache (<out>/.cache/)
 //!   --scale X    server-clone request scale (default 1.0)
@@ -45,7 +47,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use forhdc_bench::{experiments, RunOptions};
-use forhdc_runner::{ExperimentStats, RunManifest, Runner};
+use forhdc_runner::{ExperimentStats, PhaseTimings, RunManifest, Runner};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,6 +85,13 @@ fn main() -> ExitCode {
                 jobs = match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(v) if v > 0 => v,
                     _ => return usage_err("--jobs needs a positive integer"),
+                };
+            }
+            "--shards" => {
+                i += 1;
+                opts.shards = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v > 0 => v,
+                    _ => return usage_err("--shards needs a positive integer"),
                 };
             }
             "--max-retries" => {
@@ -175,7 +184,10 @@ fn main() -> ExitCode {
     let mut io_failed = false;
     for id in ids {
         let started = std::time::Instant::now();
-        let table = match experiments::plan(id, opts) {
+        let plan = experiments::plan(id, opts);
+        let plan_wall = started.elapsed();
+        let sim_started = std::time::Instant::now();
+        let table = match plan {
             Some(p) => {
                 let (table, stats) = p.run_with(&runner);
                 if !stats.failures.is_empty() {
@@ -190,7 +202,9 @@ fn main() -> ExitCode {
                 table
             }
             // Legacy serial path: single simulations and bespoke
-            // builders with nothing to decompose (jobs = 0).
+            // builders with nothing to decompose (jobs = 0). Planning
+            // and simulation are fused here, so everything after the
+            // (empty) plan probe counts as sim.
             None => {
                 let table = experiments::run(id, opts);
                 manifest.record(&ExperimentStats {
@@ -203,6 +217,8 @@ fn main() -> ExitCode {
                 Some(table)
             }
         };
+        let sim_wall = sim_started.elapsed();
+        let emit_started = std::time::Instant::now();
         if let Some(table) = &table {
             println!("{table}");
         }
@@ -235,6 +251,14 @@ fn main() -> ExitCode {
                 io_failed = true;
             }
         }
+        manifest.attach_phases(
+            id,
+            PhaseTimings {
+                plan: plan_wall,
+                sim: sim_wall,
+                emit: emit_started.elapsed(),
+            },
+        );
     }
     if timings {
         println!("{}", manifest.timings_table());
@@ -341,7 +365,7 @@ fn replay_main(args: &[String]) -> ExitCode {
 
 fn usage_text() -> String {
     format!(
-        "usage: repro <experiment|all> [--jobs N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--check] [--max-retries N] [--timings]\n       repro fuzz [--iters N] [--seed S] [--out DIR]\n       repro replay FILE\n       repro --list\n\nexperiments: {}",
+        "usage: repro <experiment|all> [--jobs N] [--shards N] [--no-cache] [--scale X] [--requests N] [--out DIR] [--trace DIR] [--check] [--max-retries N] [--timings]\n       repro fuzz [--iters N] [--seed S] [--out DIR]\n       repro replay FILE\n       repro --list\n\nexperiments: {}",
         experiments::ALL.join(" ")
     )
 }

@@ -51,8 +51,8 @@ fn shared_workload(kind: ServerKind, opts: RunOptions) -> SharedWorkload {
     shared(move || workload(kind, opts))
 }
 
-fn run(cfg: SystemConfig, wl: &Workload) -> Report {
-    System::new(cfg, wl).run()
+fn run_sharded(cfg: SystemConfig, wl: &Workload, shards: usize) -> Report {
+    System::new(cfg, wl).with_shards(shards).run()
 }
 
 fn server_spec(
@@ -281,20 +281,27 @@ pub fn plan_table2(opts: RunOptions) -> PlannedExperiment {
                 .map(|&u| {
                     (
                         u,
-                        run(SystemConfig::segm().with_striping_unit(u * 1024), &wl),
+                        run_sharded(
+                            SystemConfig::segm().with_striping_unit(u * 1024),
+                            &wl,
+                            opts.shards.max(1),
+                        ),
                     )
                 })
                 .min_by_key(|(_, r)| r.io_time)
                 .expect("non-empty grid");
             let unit = best_unit_kb * 1024;
-            let for_ = run(SystemConfig::for_().with_striping_unit(unit), &wl);
-            let segm_hdc = run(
+            let shards = opts.shards.max(1);
+            let for_ = run_sharded(SystemConfig::for_().with_striping_unit(unit), &wl, shards);
+            let segm_hdc = run_sharded(
                 SystemConfig::segm().with_hdc(HDC).with_striping_unit(unit),
                 &wl,
+                shards,
             );
-            let for_hdc = run(
+            let for_hdc = run_sharded(
                 SystemConfig::for_().with_hdc(HDC).with_striping_unit(unit),
                 &wl,
+                shards,
             );
             JobOutput::new()
                 .metric("best_unit_kb", best_unit_kb as f64)

@@ -51,6 +51,9 @@ pub struct JobMode {
     pub trace: Option<TraceSpec>,
     /// Run under the invariant auditor (panics on violation).
     pub check: bool,
+    /// Engine shard count (`repro --shards N`); output is
+    /// byte-identical for every value.
+    pub shards: usize,
 }
 
 /// Global run options shared by the experiments.
@@ -71,6 +74,9 @@ pub struct RunOptions {
     /// (`repro --check`). Invariant violations panic the job; the
     /// crash-safe runner records them in the manifest.
     pub check: bool,
+    /// Engine shards per simulation (`repro --shards N`, default 1).
+    /// Deterministic: every shard count produces identical bytes.
+    pub shards: usize,
 }
 
 impl RunOptions {
@@ -88,6 +94,7 @@ impl RunOptions {
         JobMode {
             trace: self.trace(),
             check: self.check,
+            shards: self.shards,
         }
     }
 }
@@ -100,6 +107,7 @@ impl Default for RunOptions {
             trace_dir: None,
             trace_sample_ms: 100,
             check: false,
+            shards: 1,
         }
     }
 }

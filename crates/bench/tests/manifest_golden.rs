@@ -9,11 +9,13 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use forhdc_runner::{ExperimentStats, JobFailure, RunManifest, TracePhase, TraceSummary};
+use forhdc_runner::{
+    ExperimentStats, JobFailure, PhaseTimings, RunManifest, TracePhase, TraceSummary,
+};
 
-/// A manifest with every entry shape: a traced sweep, an untraced
-/// sweep with cache hits, a legacy serial experiment, and a sweep
-/// with a recorded job failure.
+/// A manifest with every entry shape: a traced sweep with a phase
+/// breakdown, an untraced sweep with cache hits, a legacy serial
+/// experiment, and a sweep with a recorded job failure.
 fn build_manifest() -> RunManifest {
     let mut m = RunManifest::new(3, Some(Path::new("results/.cache")));
     m.record(&ExperimentStats {
@@ -48,6 +50,14 @@ fn build_manifest() -> RunManifest {
             error: "selftest: job 1 panics by design".to_string(),
         }],
     });
+    m.attach_phases(
+        "fig3",
+        PhaseTimings {
+            plan: Duration::from_millis(200),
+            sim: Duration::from_millis(2_100),
+            emit: Duration::from_millis(200),
+        },
+    );
     m.attach_trace(
         "fig3",
         TraceSummary {

@@ -48,6 +48,12 @@ struct BlockMeta {
     used: bool,
 }
 
+/// Highest block index the residency filter covers. Real disks sit far
+/// below this (a few million blocks); the cap only bounds filter memory
+/// against pathological block numbers, which simply fall through to the
+/// hash map.
+const FILTER_LIMIT: u64 = 1 << 27;
+
 /// A pool of individually replaceable cache blocks.
 ///
 /// # Example
@@ -67,6 +73,12 @@ struct BlockMeta {
 #[derive(Debug)]
 pub struct BlockCache {
     map: FxHashMap<PhysBlock, u32>,
+    /// Residency bit filter: for blocks below [`FILTER_LIMIT`], bit `b`
+    /// is set iff `b` is a key of `map`. Controller caches are
+    /// miss-dominated (§2.1), and this turns every per-block miss —
+    /// `touch`, `contains` — into one word read instead of a hash
+    /// probe. Lazily grown to the highest block actually inserted.
+    present: Vec<u64>,
     nodes: Slab<BlockMeta>,
     /// Blocks the host has demanded at least once; head = most
     /// recently consumed.
@@ -89,8 +101,11 @@ impl BlockCache {
     pub fn new(capacity: u32, policy: BlockReplacement) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         BlockCache {
-            map: fx_map_with_capacity(capacity as usize),
-            nodes: Slab::with_capacity(capacity as usize),
+            // One above capacity: insertion transiently holds the new
+            // block alongside the victim it is about to displace.
+            map: fx_map_with_capacity(capacity as usize + 1),
+            present: Vec::new(),
+            nodes: Slab::with_capacity(capacity as usize + 1),
             used: List::new(),
             unused: List::new(),
             capacity,
@@ -105,11 +120,51 @@ impl BlockCache {
         self.policy
     }
 
+    /// Whether the filter *proves* `block` absent. `false` means
+    /// "possibly resident, ask the map" — either the bit is set or the
+    /// block lies outside the filter's range.
+    #[inline]
+    fn filter_absent(&self, block: PhysBlock) -> bool {
+        let i = block.index();
+        if i >= FILTER_LIMIT {
+            return false;
+        }
+        match self.present.get((i / 64) as usize) {
+            Some(w) => w & (1u64 << (i % 64)) == 0,
+            None => true,
+        }
+    }
+
+    #[inline]
+    fn filter_set(&mut self, block: PhysBlock) {
+        let i = block.index();
+        if i >= FILTER_LIMIT {
+            return;
+        }
+        let w = (i / 64) as usize;
+        if w >= self.present.len() {
+            self.present.resize(w + 1, 0);
+        }
+        self.present[w] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    fn filter_clear(&mut self, block: PhysBlock) {
+        let i = block.index();
+        if i >= FILTER_LIMIT {
+            return;
+        }
+        if let Some(w) = self.present.get_mut((i / 64) as usize) {
+            *w &= !(1u64 << (i % 64));
+        }
+    }
+
     /// Removes `block` if present (used by HDC hand-off so a block is
     /// never double-counted in two regions). Returns whether it was
     /// resident.
     pub fn evict(&mut self, block: PhysBlock) -> bool {
         if let Some(idx) = self.map.remove(&block) {
+            self.filter_clear(block);
             self.unlink_and_free(idx);
             self.stats.evictions += 1;
             true
@@ -160,6 +215,7 @@ impl BlockCache {
         if let Some(idx) = victim {
             let block = self.nodes.get(idx).block;
             self.map.remove(&block);
+            self.filter_clear(block);
             self.unlink_and_free(idx);
             self.stats.evictions += 1;
         }
@@ -214,59 +270,90 @@ impl BlockCache {
                 self.map.len()
             ));
         }
+        // Residency filter exactness: every covered resident block has
+        // its bit set, and no stale bits survive an eviction.
+        let covered = self.map.keys().filter(|b| b.index() < FILTER_LIMIT).count() as u64;
+        let set: u64 = self.present.iter().map(|w| w.count_ones() as u64).sum();
+        if covered != set {
+            return Err(format!(
+                "residency filter holds {set} bits for {covered} covered blocks"
+            ));
+        }
+        for block in self.map.keys() {
+            if self.filter_absent(*block) {
+                return Err(format!("resident block {block} missing from filter"));
+            }
+        }
         Ok(())
     }
 
     fn insert_one(&mut self, block: PhysBlock, read_ahead: bool) {
         let stamp = self.next_stamp();
-        if let Some(&idx) = self.map.get(&block) {
-            // Re-read of a resident block: refresh it. A fresh media
-            // read means a new stream wants it, so it re-enters the
-            // unconsumed state.
-            if read_ahead {
-                // The speculative fetch is re-counted so that a later
-                // demand keeps `ra_used <= ra_inserted`.
-                self.stats.ra_inserted += 1;
+        match self.map.entry(block) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                // Re-read of a resident block: refresh it. A fresh media
+                // read means a new stream wants it, so it re-enters the
+                // unconsumed state.
+                let idx = *e.get();
+                if read_ahead {
+                    // The speculative fetch is re-counted so that a later
+                    // demand keeps `ra_used <= ra_inserted`.
+                    self.stats.ra_inserted += 1;
+                }
+                if self.nodes.get(idx).used {
+                    self.nodes.remove(&mut self.used, idx);
+                } else {
+                    self.nodes.remove(&mut self.unused, idx);
+                }
+                let meta = self.nodes.get_mut(idx);
+                meta.stamp = stamp;
+                meta.used = false;
+                meta.read_ahead = read_ahead;
+                self.nodes.push_front(&mut self.unused, idx);
             }
-            if self.nodes.get(idx).used {
-                self.nodes.remove(&mut self.used, idx);
-            } else {
-                self.nodes.remove(&mut self.unused, idx);
+            std::collections::hash_map::Entry::Vacant(e) => {
+                // Insert first, evict after — one map probe instead of
+                // the get-then-insert pair. The victim is unchanged:
+                // the new block enters at the front of the unused list,
+                // and neither victim rule (head of used; tail of
+                // unused, which the new block only is when it is the
+                // sole resident — impossible while over capacity) can
+                // select it.
+                let idx = self.nodes.alloc(BlockMeta {
+                    block,
+                    stamp,
+                    read_ahead,
+                    used: false,
+                });
+                self.nodes.push_front(&mut self.unused, idx);
+                e.insert(idx);
+                self.filter_set(block);
+                self.stats.insertions += 1;
+                if read_ahead {
+                    self.stats.ra_inserted += 1;
+                }
+                if self.map.len() as u32 > self.capacity {
+                    self.evict_victim();
+                }
+                self.stats.note_occupancy(self.map.len() as u64);
             }
-            let meta = self.nodes.get_mut(idx);
-            meta.stamp = stamp;
-            meta.used = false;
-            meta.read_ahead = read_ahead;
-            self.nodes.push_front(&mut self.unused, idx);
-            return;
         }
-        if self.map.len() as u32 >= self.capacity {
-            self.evict_victim();
-        }
-        let idx = self.nodes.alloc(BlockMeta {
-            block,
-            stamp,
-            read_ahead,
-            used: false,
-        });
-        self.nodes.push_front(&mut self.unused, idx);
-        self.map.insert(block, idx);
-        self.stats.insertions += 1;
-        if read_ahead {
-            self.stats.ra_inserted += 1;
-        }
-        self.stats.note_occupancy(self.map.len() as u64);
     }
 }
 
 impl ControllerCache for BlockCache {
     fn contains(&self, block: PhysBlock) -> bool {
-        self.map.contains_key(&block)
+        !self.filter_absent(block) && self.map.contains_key(&block)
     }
 
     fn touch(&mut self, block: PhysBlock) -> bool {
         self.stats.block_lookups += 1;
+        // The clock advances on misses too (stamp parity with the
+        // pre-filter implementation).
         let stamp = self.next_stamp();
+        if self.filter_absent(block) {
+            return false;
+        }
         let Some(&idx) = self.map.get(&block) else {
             return false;
         };

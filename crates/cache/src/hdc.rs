@@ -200,6 +200,15 @@ impl HdcRegion {
         }
     }
 
+    /// Batched miss accounting: counts `reads` read lookups and
+    /// `writes` write lookups that all missed. The controller's
+    /// empty-region fast path uses this to keep [`HdcStats`] identical
+    /// to per-block lookups without paying a hash probe per block.
+    pub fn note_misses(&mut self, reads: u64, writes: u64) {
+        self.stats.read_misses += reads;
+        self.stats.write_misses += writes;
+    }
+
     /// Write lookup: when pinned, absorbs the write (marks the block
     /// dirty) and returns `true`; the media is not touched until
     /// [`HdcRegion::flush`].

@@ -44,17 +44,46 @@ enum CacheOrg {
 }
 
 impl CacheOrg {
-    fn as_cache(&mut self) -> &mut dyn ControllerCache {
+    fn as_cache_ref(&self) -> &dyn ControllerCache {
         match self {
             CacheOrg::Segment(c) => c,
             CacheOrg::Block(c) => c,
         }
     }
 
-    fn as_cache_ref(&self) -> &dyn ControllerCache {
+    // Statically dispatched per-block operations: these run once per
+    // block of every request, and through a `&mut dyn ControllerCache`
+    // each would be an indirect call the optimizer cannot inline.
+
+    #[inline]
+    fn touch(&mut self, block: PhysBlock) -> bool {
         match self {
-            CacheOrg::Segment(c) => c,
-            CacheOrg::Block(c) => c,
+            CacheOrg::Segment(c) => c.touch(block),
+            CacheOrg::Block(c) => c.touch(block),
+        }
+    }
+
+    #[inline]
+    fn contains(&self, block: PhysBlock) -> bool {
+        match self {
+            CacheOrg::Segment(c) => c.contains(block),
+            CacheOrg::Block(c) => c.contains(block),
+        }
+    }
+
+    #[inline]
+    fn insert_run(&mut self, start: PhysBlock, nblocks: u32, requested: u32) {
+        match self {
+            CacheOrg::Segment(c) => c.insert_run(start, nblocks, requested),
+            CacheOrg::Block(c) => c.insert_run(start, nblocks, requested),
+        }
+    }
+
+    #[inline]
+    fn record_extent(&mut self, hit: bool) {
+        match self {
+            CacheOrg::Segment(c) => c.record_extent(hit),
+            CacheOrg::Block(c) => c.record_extent(hit),
         }
     }
 }
@@ -180,7 +209,7 @@ impl DiskController {
     pub fn covers(&self, start: PhysBlock, nblocks: u32) -> bool {
         (0..nblocks as u64).all(|i| {
             let b = start.offset(i);
-            self.hdc.contains(b) || self.cache.as_cache_ref().contains(b)
+            self.hdc.contains(b) || self.cache.contains(b)
         })
     }
 
@@ -197,16 +226,28 @@ impl DiskController {
             ReadWrite::Read => {
                 // Account HDC and RA-cache lookups per block; a hit
                 // needs every block in the union of the two regions.
+                // With nothing pinned (the common non-HDC configs) the
+                // per-block HDC probes are all misses — count them in
+                // bulk and probe only the read-ahead cache.
                 let mut all = true;
-                for i in 0..nblocks as u64 {
-                    let b = start.offset(i);
-                    let in_hdc = self.hdc.read(b);
-                    let in_cache = self.cache.as_cache().touch(b);
-                    if !in_hdc && !in_cache {
-                        all = false;
+                if self.hdc.is_empty() {
+                    self.hdc.note_misses(nblocks as u64, 0);
+                    for i in 0..nblocks as u64 {
+                        if !self.cache.touch(start.offset(i)) {
+                            all = false;
+                        }
+                    }
+                } else {
+                    for i in 0..nblocks as u64 {
+                        let b = start.offset(i);
+                        let in_hdc = self.hdc.read(b);
+                        let in_cache = self.cache.touch(b);
+                        if !in_hdc && !in_cache {
+                            all = false;
+                        }
                     }
                 }
-                self.cache.as_cache().record_extent(all);
+                self.cache.record_extent(all);
                 if all {
                     return ControllerDecision::CacheHit;
                 }
@@ -228,10 +269,17 @@ impl DiskController {
                 }
                 // Media write; keep cached copies fresh (touch) but do
                 // not insert new blocks, and count the HDC misses.
-                for i in 0..nblocks as u64 {
-                    let b = start.offset(i);
-                    self.hdc.write(b);
-                    self.cache.as_cache().touch(b);
+                if self.hdc.is_empty() {
+                    self.hdc.note_misses(0, nblocks as u64);
+                    for i in 0..nblocks as u64 {
+                        self.cache.touch(start.offset(i));
+                    }
+                } else {
+                    for i in 0..nblocks as u64 {
+                        let b = start.offset(i);
+                        self.hdc.write(b);
+                        self.cache.touch(b);
+                    }
                 }
                 ControllerDecision::Media {
                     start,
@@ -292,7 +340,7 @@ impl DiskController {
         requested: u32,
     ) {
         if kind.is_read() {
-            self.cache.as_cache().insert_run(start, nblocks, requested);
+            self.cache.insert_run(start, nblocks, requested);
         }
     }
 

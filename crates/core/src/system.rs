@@ -17,10 +17,10 @@ use forhdc_check::{Auditor, FinalDigest, FullAudit, NoChecks};
 use forhdc_fault::{FaultModel, FaultStats, NoFaults};
 use forhdc_host::StreamDriver;
 use forhdc_layout::build_disk_bitmaps;
-use forhdc_sim::sched::{make_scheduler, DiskScheduler, QueuedOp};
+use forhdc_sim::sched::{QueuedOp, Scheduler};
 use forhdc_sim::{
-    ArrayConfig, BusModel, DiskId, DiskMechanics, DiskStats, EventQueue, ReadWrite, SchedulerKind,
-    SimDuration, SimTime, StreamId, StripingMap,
+    ArrayConfig, BusModel, DiskId, DiskMechanics, DiskStats, LaneCalendar, ReadWrite,
+    SchedulerKind, SimDuration, SimTime, StreamId, StripingMap,
 };
 use forhdc_trace::{FaultKind, NullTracer, ProbeResult, TraceEvent, Tracer};
 use forhdc_workload::{TraceRequest, Workload};
@@ -281,6 +281,20 @@ enum Event {
 /// no host request, so no bus transfer or completion is due.
 const FLUSH_TOKEN_BASE: u64 = 1 << 63;
 
+/// Host-stream lane offsets into the event calendar, past the
+/// per-disk media lanes (`0..disks`). Each names a stream whose
+/// firing times are naturally non-decreasing, so the calendar serves
+/// it from an O(1) FIFO; anything else (fault retries, recovery
+/// wake-ups) takes the calendar's fallback heap. The assignment is a
+/// pure fast path — pop order is `(time, seq)` regardless (see
+/// `forhdc_sim::calendar`).
+const LANE_SUB: usize = 0;
+const LANE_FLUSH: usize = 1;
+const LANE_SAMPLE: usize = 2;
+const LANE_POWER: usize = 3;
+const LANE_TIMEOUT: usize = 4;
+const HOST_LANES: usize = 5;
+
 #[derive(Debug)]
 struct CurrentOp {
     token: u64,
@@ -296,7 +310,7 @@ struct CurrentOp {
 
 struct DiskState {
     mech: DiskMechanics,
-    sched: Box<dyn DiskScheduler>,
+    sched: Scheduler,
     ctl: DiskController,
     stats: DiskStats,
     busy: bool,
@@ -323,6 +337,108 @@ impl std::fmt::Debug for DiskState {
             .field("queued", &self.sched.len())
             .finish()
     }
+}
+
+/// Disk-local outcome of starting the next queued op (the part of
+/// `start_next` that touches only [`DiskState`]).
+struct ServiceStart {
+    /// When the media operation completes.
+    done: SimTime,
+    /// Queueing delay of the op that just started (for the trace).
+    wait: SimDuration,
+    /// Bitmap-scan cost charged on top of the mechanical time (for the
+    /// trace's overhead slot).
+    extra: SimDuration,
+}
+
+/// What one media completion asks the host to do: the only effects of
+/// a fault-free [`advance_media`] that escape the disk. The host
+/// commits these in global event order, which is what makes the
+/// sharded engine's output byte-identical to the serial engine's.
+struct MediaStep {
+    /// `(token, payload bytes)` of a host request whose demanded blocks
+    /// must now cross the bus. `None` for flush write-backs.
+    bus: Option<(u64, u64)>,
+    /// Completion time of the next op the disk just started, if its
+    /// queue was non-empty.
+    next: Option<SimTime>,
+}
+
+/// Retires a completed media op on its disk: records the service in
+/// the disk stats and installs the transferred run in the controller
+/// cache. Shared verbatim by the serial and sharded completion paths.
+#[inline]
+fn retire_op(d: &mut DiskState, op: &CurrentOp) {
+    let ra = op.total - op.requested;
+    match op.kind {
+        ReadWrite::Read => d.stats.record_op(&op.timing, op.total as u64, 0, ra as u64),
+        ReadWrite::Write => d.stats.record_op(&op.timing, 0, op.total as u64, 0),
+    }
+    d.ctl
+        .on_media_complete(op.kind, op.start, op.total, op.requested);
+}
+
+/// Pops and services the next queued op on `d` — the disk-local half
+/// of `start_next`. Marks the disk busy, installs the new current op,
+/// and reports when its media phase completes; `None` when the queue
+/// is empty.
+#[inline]
+fn service_next(
+    d: &mut DiskState,
+    now: SimTime,
+    scan_cost: SimDuration,
+    is_for: bool,
+) -> Option<ServiceStart> {
+    debug_assert!(!d.busy);
+    let op = d.sched.pop_next(d.mech.head_cylinder())?;
+    d.stats.note_queue_depth(d.sched.len(), now);
+    let timing = d.mech.service(op.kind, op.start, op.nblocks, now);
+    // Charge the FOR bitmap scan: one bit per block examined.
+    let extra = if is_for && op.kind.is_read() {
+        scan_cost * (op.nblocks as u64 + 1)
+    } else {
+        SimDuration::ZERO
+    };
+    let wait = now.since(op.queued_at);
+    d.busy = true;
+    d.busy_since = now;
+    d.current = Some(CurrentOp {
+        token: op.token,
+        kind: op.kind,
+        start: op.start,
+        total: op.nblocks,
+        requested: op.requested,
+        timing,
+        attempt: op.attempt,
+    });
+    Some(ServiceStart {
+        done: now + timing.total() + extra,
+        wait,
+        extra,
+    })
+}
+
+/// One fault-free media completion, disk-local part only: retire the
+/// finished op and start the next one. Safe to run concurrently for
+/// distinct disks — it touches nothing but `d`. The returned
+/// [`MediaStep`] carries the host-side effects for ordered commit.
+fn advance_media(
+    d: &mut DiskState,
+    now: SimTime,
+    scan_cost: SimDuration,
+    is_for: bool,
+    block_bytes: u64,
+) -> MediaStep {
+    let op = d.current.take().expect("media completion without an op");
+    d.busy = false;
+    d.busy_accum += now.since(d.busy_since);
+    retire_op(d, &op);
+    // Only the demanded payload of a host request crosses the bus;
+    // read-ahead stays in the controller cache, and flush write-backs
+    // move cache -> media only.
+    let bus = (op.token < FLUSH_TOKEN_BASE).then(|| (op.token, op.requested as u64 * block_bytes));
+    let next = service_next(d, now, scan_cost, is_for).map(|s| s.done);
+    MediaStep { bus, next }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -379,7 +495,7 @@ pub struct System<T: Tracer = NullTracer, F: FaultModel = NoFaults, A: Auditor =
     striping: StripingMap,
     disks: Vec<DiskState>,
     bus: BusModel,
-    queue: EventQueue<Event>,
+    queue: LaneCalendar<Event>,
     driver: StreamDriver,
     pending: FxHashMap<u64, PendingReq>,
     next_req: u64,
@@ -402,6 +518,15 @@ pub struct System<T: Tracer = NullTracer, F: FaultModel = NoFaults, A: Auditor =
     /// Reusable buffer for periodic HDC flushes (no per-cycle
     /// allocation).
     flush_buf: Vec<forhdc_sim::PhysBlock>,
+    /// Reusable buffer for striping splits (no per-request
+    /// allocation on the issue path).
+    split_buf: Vec<forhdc_sim::request::DiskExtent>,
+    /// Number of engine shards (see [`System::with_shards`]). `1`
+    /// selects the plain serial event loop.
+    shards: usize,
+    /// Scratch buffer for the window gather, reused across windows so
+    /// the hot loop stays allocation-free.
+    win_buf: Vec<(DiskId, SimTime)>,
 }
 
 impl System {
@@ -652,7 +777,7 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         // Bitmaps and HDC plans address virtual disks; under mirroring
         // both members of a pair hold identical data and get identical
         // copies.
-        let bitmaps: Vec<Option<forhdc_layout::ForBitmap>> = if cfg.read_ahead.needs_bitmap() {
+        let mut bitmaps: Vec<Option<forhdc_layout::ForBitmap>> = if cfg.read_ahead.needs_bitmap() {
             let built = build_disk_bitmaps(&workload.layout, &striping, disk_capacity);
             if auditor.enabled() {
                 // Checked mode: the continuation bitmaps the controllers
@@ -671,13 +796,17 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         let disks: Vec<DiskState> = (0..cfg.array.disks as usize)
             .map(|pd| {
                 let vd = if cfg.array.mirrored { pd / 2 } else { pd };
-                let mut ctl = DiskController::new(
-                    &cfg.array.disk,
-                    cfg.read_ahead,
-                    cfg.hdc_blocks(),
-                    bitmaps[vd].clone(),
-                )
-                .with_replacement(cfg.block_replacement, cfg.segment_replacement);
+                // The second (or only) consumer of a virtual disk's
+                // bitmap takes ownership; only the first mirror member
+                // pays for a copy.
+                let bitmap = if cfg.array.mirrored && pd % 2 == 0 {
+                    bitmaps[vd].clone()
+                } else {
+                    bitmaps[vd].take()
+                };
+                let mut ctl =
+                    DiskController::new(&cfg.array.disk, cfg.read_ahead, cfg.hdc_blocks(), bitmap)
+                        .with_replacement(cfg.block_replacement, cfg.segment_replacement);
                 for &block in plan.blocks_for(vd) {
                     // The initial pin loads happen before the replay and
                     // are amortized over the period (§5), so they are
@@ -687,7 +816,7 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
                 }
                 DiskState {
                     mech: DiskMechanics::new(&cfg.array.disk),
-                    sched: make_scheduler(cfg.array.scheduler),
+                    sched: Scheduler::new(cfg.array.scheduler),
                     ctl,
                     stats: DiskStats::new(),
                     busy: false,
@@ -702,6 +831,7 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         let payload_bytes = workload.trace.total_blocks() * cfg.array.disk.block_bytes() as u64;
         let bus = BusModel::new(cfg.array.bus_rate, cfg.array.bus_overhead);
         let driver = StreamDriver::new(&workload.trace, workload.streams);
+        let lanes = disks.len() + HOST_LANES;
         System {
             tracer,
             faults,
@@ -711,7 +841,7 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
             striping,
             disks,
             bus,
-            queue: EventQueue::new(),
+            queue: LaneCalendar::with_lanes(lanes),
             driver,
             // Closed-loop replay: at most one outstanding request per
             // stream, so the steady state never rehashes.
@@ -729,7 +859,23 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
             coop_overflow: FxHashMap::default(),
             coop_hits: 0,
             flush_buf: Vec::new(),
+            split_buf: Vec::new(),
+            shards: 1,
+            win_buf: Vec::new(),
         }
+    }
+
+    /// Selects the sharded event engine: per-disk media advancement in
+    /// conservative lookahead windows, merged deterministically at
+    /// window boundaries. Every output — report, CSVs, trace, digest —
+    /// is byte-identical to the serial engine for any `n` (enforced by
+    /// the determinism test matrix); `n = 1` (the default) runs the
+    /// plain serial loop. Shards engage only on fault-free, untraced,
+    /// unaudited runs; otherwise every event is a potential cross-disk
+    /// interaction point and the engine serializes itself.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
     }
 
     /// Attaches a host HDC command stream (victim-cache mode, §5):
@@ -769,23 +915,41 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         }
         if let Some(period) = self.cfg.hdc_flush_period {
             if self.cfg.hdc_blocks() > 0 && !self.queue.is_empty() {
-                self.queue.schedule(SimTime::ZERO + period, Event::HdcFlush);
+                let lane = self.host_lane(LANE_FLUSH);
+                self.queue
+                    .schedule_lane(lane, SimTime::ZERO + period, Event::HdcFlush);
             }
         }
         if self.tracer.enabled() && !self.queue.is_empty() {
             if let Some(period) = self.cfg.trace_sample_period {
-                self.queue.schedule(SimTime::ZERO + period, Event::Sample);
+                let lane = self.host_lane(LANE_SAMPLE);
+                self.queue
+                    .schedule_lane(lane, SimTime::ZERO + period, Event::Sample);
             }
         }
         if self.faults.enabled() && !self.queue.is_empty() {
             if let Some(period) = self.faults.power_loss_period_ns() {
-                self.queue.schedule(
+                self.queue.schedule_lane(
+                    self.disks.len() + LANE_POWER,
                     SimTime::ZERO + SimDuration::from_nanos(period),
                     Event::PowerLoss,
                 );
             }
         }
-        while let Some(fired) = self.queue.pop() {
+        // The sharded engine only engages on fault-free, untraced,
+        // unaudited runs: tracing orders every emission globally, and
+        // faults/audits can couple disks at any event, so with any of
+        // them attached every event is an interaction point and the
+        // conservative window degenerates to the serial loop anyway.
+        let windowed = self.shards > 1
+            && !self.tracer.enabled()
+            && !self.faults.enabled()
+            && !self.auditor.enabled();
+        loop {
+            if windowed && self.run_window() {
+                continue;
+            }
+            let Some(fired) = self.queue.pop() else { break };
             if self.auditor.enabled() {
                 self.auditor.observe_event(fired.time.as_nanos());
             }
@@ -841,7 +1005,9 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
                 write: req.kind.is_write(),
             });
         }
-        let extents = self.striping.split(req.start, req.nblocks);
+        let mut extents = std::mem::take(&mut self.split_buf);
+        self.striping
+            .split_into(req.start, req.nblocks, &mut extents);
         // Under mirroring a write produces one completion per member;
         // count the sub-completions as they are created.
         self.pending.insert(
@@ -855,15 +1021,24 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         );
         if self.faults.enabled() {
             if let Some(timeout) = self.cfg.recovery.request_timeout {
+                let lane = self.host_lane(LANE_TIMEOUT);
                 self.queue
-                    .schedule(now + timeout, Event::Timeout { req: id });
+                    .schedule_lane(lane, now + timeout, Event::Timeout { req: id });
             }
         }
         let mut remaining = 0u32;
-        for extent in extents {
+        for &extent in &extents {
             remaining += self.arrive(id, extent, req.kind, now);
         }
+        self.split_buf = extents;
         self.pending.get_mut(&id).expect("just inserted").remaining = remaining;
+    }
+
+    /// Calendar lane of host stream `k` (a `LANE_*` offset): the
+    /// per-disk media lanes come first, host streams after.
+    #[inline]
+    fn host_lane(&self, k: usize) -> usize {
+        self.disks.len() + k
     }
 
     /// The physical members backing a virtual disk. They are adjacent,
@@ -1094,48 +1269,166 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         let scan_cost = self.cfg.array.disk.bitmap_scan_per_block;
         let is_for = self.cfg.read_ahead.needs_bitmap();
         let d = &mut self.disks[disk.as_usize()];
-        debug_assert!(!d.busy);
-        let Some(op) = d.sched.pop_next(d.mech.head_cylinder()) else {
+        let Some(started) = service_next(d, now, scan_cost, is_for) else {
             return;
         };
-        d.stats.note_queue_depth(d.sched.len(), now);
-        let timing = d.mech.service(op.kind, op.start, op.nblocks, now);
-        // Charge the FOR bitmap scan: one bit per block examined.
-        let extra = if is_for && op.kind.is_read() {
-            scan_cost * (op.nblocks as u64 + 1)
-        } else {
-            SimDuration::ZERO
-        };
         if self.tracer.enabled() {
+            let op = d.current.as_ref().expect("service_next set current");
             self.tracer.emit(TraceEvent::Media {
                 t: now.as_nanos(),
                 req: op.token,
                 disk: disk.index(),
-                wait: now.since(op.queued_at).as_nanos(),
-                seek: timing.seek.as_nanos(),
-                rotation: timing.rotation.as_nanos(),
-                transfer: timing.transfer.as_nanos(),
+                wait: started.wait.as_nanos(),
+                seek: op.timing.seek.as_nanos(),
+                rotation: op.timing.rotation.as_nanos(),
+                transfer: op.timing.transfer.as_nanos(),
                 // Bitmap-scan cost rides in the overhead slot: it is
                 // controller work charged before the media moves.
-                overhead: (timing.overhead + extra).as_nanos(),
-                nblocks: op.nblocks,
-                read_ahead: op.nblocks - op.requested,
+                overhead: (op.timing.overhead + started.extra).as_nanos(),
+                nblocks: op.total,
+                read_ahead: op.total - op.requested,
                 write: op.kind.is_write(),
             });
         }
-        d.busy = true;
-        d.busy_since = now;
-        d.current = Some(CurrentOp {
-            token: op.token,
-            kind: op.kind,
-            start: op.start,
-            total: op.nblocks,
-            requested: op.requested,
-            timing,
-            attempt: op.attempt,
-        });
         self.queue
-            .schedule(now + timing.total() + extra, Event::MediaDone { disk });
+            .schedule_lane(disk.as_usize(), started.done, Event::MediaDone { disk });
+    }
+
+    /// Attempts one conservative lookahead window: a maximal batch of
+    /// pending media completions that provably cannot interact — each
+    /// fires no later than any queued host event and no later than
+    /// anything the window itself will schedule (bus sub-completions
+    /// predicted on a cloned [`BusModel`], next media ops bounded below
+    /// by [`DiskMechanics::min_service`]). The batch advances disk
+    /// state per shard — safely in parallel, since each completion
+    /// touches only its own disk — and the host effects are then
+    /// committed in the window's pop order, which is exactly the order
+    /// the serial engine would have applied them. Ties at the guard are
+    /// safe: events the window schedules get fresh (larger) sequence
+    /// numbers, so an already-queued completion at the same instant
+    /// still fires first, as it would serially.
+    ///
+    /// Returns `false` when the next pending event is not a media
+    /// completion; the caller then pops it on the serial path.
+    fn run_window(&mut self) -> bool {
+        let ndisks = self.disks.len();
+        let block_bytes = self.cfg.array.disk.block_bytes() as u64;
+        let mut window = std::mem::take(&mut self.win_buf);
+        window.clear();
+        let mut bus_sim = self.bus.clone();
+        let mut guard: Option<SimTime> = None;
+        while let Some((t, Some(lane))) = self.queue.peek_source() {
+            if lane >= ndisks || guard.is_some_and(|g| t > g) {
+                break;
+            }
+            let fired = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(matches!(fired.event, Event::MediaDone { .. }));
+            let d = &self.disks[lane];
+            let op = d.current.as_ref().expect("media completion without an op");
+            if op.token < FLUSH_TOKEN_BASE {
+                // This completion will move its payload over the shared
+                // bus; its sub-completion lands at the predicted slot
+                // end and must stay outside the window.
+                let end = bus_sim.reserve(t, op.requested as u64 * block_bytes).end;
+                guard = Some(guard.map_or(end, |g| g.min(end)));
+            }
+            let floor = t + d.mech.min_service();
+            guard = Some(guard.map_or(floor, |g| g.min(floor)));
+            window.push((DiskId::new(lane as u16), t));
+        }
+        if window.is_empty() {
+            self.win_buf = window;
+            return false;
+        }
+        let shards = self.shards;
+        // Worth fanning out only when the window spans several shards
+        // AND the host has real parallelism to run them on. Otherwise
+        // replay the popped completions through the serial handler in
+        // pop order — by the window invariant that is exactly the
+        // serial execution, with zero partitioning overhead.
+        let mut occupied = 0u64;
+        for &(disk, _) in &window {
+            occupied |= 1 << (disk.as_usize() % shards.min(64));
+        }
+        // `available_parallelism` is a syscall — probe it once, not
+        // once per window.
+        static MULTI_CORE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let spawn = occupied.count_ones() > 1
+            && *MULTI_CORE
+                .get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() > 1));
+        if !spawn {
+            for &(disk, t) in &window {
+                self.media_done(disk, t);
+            }
+            self.win_buf = window;
+            return true;
+        }
+        let scan_cost = self.cfg.array.disk.bitmap_scan_per_block;
+        let is_for = self.cfg.read_ahead.needs_bitmap();
+        // Partition by shard (disk index mod shard count). A disk holds
+        // at most one outstanding media op, so it appears at most once
+        // per window and hands its mutable state to exactly one shard.
+        let mut work: Vec<Vec<(usize, SimTime, &mut DiskState)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        {
+            let mut refs: Vec<Option<&mut DiskState>> = self.disks.iter_mut().map(Some).collect();
+            for (widx, &(disk, t)) in window.iter().enumerate() {
+                let di = disk.as_usize();
+                let d = refs[di].take().expect("disk appears twice in one window");
+                work[di % shards].push((widx, t, d));
+            }
+        }
+        let mut steps: Vec<Option<MediaStep>> = Vec::new();
+        steps.resize_with(window.len(), || None);
+        let mut busy: Vec<_> = work.into_iter().filter(|w| !w.is_empty()).collect();
+        if busy.len() == 1 {
+            // The whole window landed on one shard after all: advance
+            // it inline.
+            for (widx, t, d) in busy.pop().expect("non-empty batch list") {
+                steps[widx] = Some(advance_media(d, t, scan_cost, is_for, block_bytes));
+            }
+        } else {
+            // Fan the shard batches out; the first runs on this thread.
+            let local = busy.remove(0);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = busy
+                    .into_iter()
+                    .map(|batch| {
+                        s.spawn(move || {
+                            batch
+                                .into_iter()
+                                .map(|(widx, t, d)| {
+                                    (widx, advance_media(d, t, scan_cost, is_for, block_bytes))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for (widx, t, d) in local {
+                    steps[widx] = Some(advance_media(d, t, scan_cost, is_for, block_bytes));
+                }
+                for h in handles {
+                    for (widx, step) in h.join().expect("shard worker panicked") {
+                        steps[widx] = Some(step);
+                    }
+                }
+            });
+        }
+        // Deterministic merge: commit host effects in the window's pop
+        // order, so bus slots and event sequence numbers come out
+        // exactly as the serial engine assigns them.
+        for (widx, &(disk, t)) in window.iter().enumerate() {
+            let step = steps[widx].take().expect("window step missing");
+            if let Some((token, bytes)) = step.bus {
+                self.reserve_bus_for(token, disk.index(), bytes, t, 0);
+            }
+            if let Some(done) = step.next {
+                self.queue
+                    .schedule_lane(disk.as_usize(), done, Event::MediaDone { disk });
+            }
+        }
+        self.win_buf = window;
+        true
     }
 
     fn media_done(&mut self, disk: DiskId, now: SimTime) {
@@ -1153,14 +1446,7 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
             self.start_next(disk, now);
             return;
         }
-        let d = &mut self.disks[disk.as_usize()];
-        let ra = op.total - op.requested;
-        match op.kind {
-            ReadWrite::Read => d.stats.record_op(&op.timing, op.total as u64, 0, ra as u64),
-            ReadWrite::Write => d.stats.record_op(&op.timing, 0, op.total as u64, 0),
-        }
-        d.ctl
-            .on_media_complete(op.kind, op.start, op.total, op.requested);
+        retire_op(&mut self.disks[disk.as_usize()], &op);
         if self.auditor.enabled() {
             // The cache insert/evict audit point: `on_media_complete`
             // just installed the transferred run.
@@ -1293,7 +1579,9 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
             // Host request: complete it as an error so the stream keeps
             // flowing in degraded mode.
             p.failed = true;
-            self.queue.schedule(now, Event::SubDone { req: op.token });
+            let lane = self.host_lane(LANE_SUB);
+            self.queue
+                .schedule_lane(lane, now, Event::SubDone { req: op.token });
         }
         true
     }
@@ -1353,8 +1641,11 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         // Keep the outage schedule while host work remains.
         if let Some(period) = self.faults.power_loss_period_ns() {
             if !(self.pending.is_empty() && self.driver.is_done()) {
-                self.queue
-                    .schedule(now + SimDuration::from_nanos(period), Event::PowerLoss);
+                self.queue.schedule_lane(
+                    self.disks.len() + LANE_POWER,
+                    now + SimDuration::from_nanos(period),
+                    Event::PowerLoss,
+                );
             }
         }
     }
@@ -1429,11 +1720,15 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
                 if let Some(p) = self.pending.get_mut(&id) {
                     p.failed = true;
                 }
-                self.queue.schedule(slot.end, Event::SubDone { req: id });
+                let lane = self.host_lane(LANE_SUB);
+                self.queue
+                    .schedule_lane(lane, slot.end, Event::SubDone { req: id });
             }
             return;
         }
-        self.queue.schedule(slot.end, Event::SubDone { req: id });
+        let lane = self.host_lane(LANE_SUB);
+        self.queue
+            .schedule_lane(lane, slot.end, Event::SubDone { req: id });
     }
 
     /// Periodic `flush_hdc()`: write every dirty pinned block back to
@@ -1489,7 +1784,9 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         // Keep flushing while host work remains.
         if let Some(period) = self.cfg.hdc_flush_period {
             if !(self.pending.is_empty() && self.driver.is_done()) {
-                self.queue.schedule(now + period, Event::HdcFlush);
+                let lane = self.host_lane(LANE_FLUSH);
+                self.queue
+                    .schedule_lane(lane, now + period, Event::HdcFlush);
             }
         }
     }
@@ -1571,7 +1868,8 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         }
         // Keep sampling while host work remains.
         if !(self.pending.is_empty() && self.driver.is_done()) {
-            self.queue.schedule(now + period, Event::Sample);
+            let lane = self.host_lane(LANE_SAMPLE);
+            self.queue.schedule_lane(lane, now + period, Event::Sample);
         }
     }
 
@@ -1687,6 +1985,70 @@ mod tests {
         assert_eq!(a.io_time, b.io_time);
         assert_eq!(a.disk.media_ops, b.disk.media_ops);
         assert_eq!(a.cache.block_hits, b.cache.block_hits);
+    }
+
+    /// The tentpole guarantee: every shard count produces the same
+    /// report as the serial engine, field for field. `Report`'s Debug
+    /// rendering covers every counter and every float (Rust's float
+    /// formatting round-trips, so equal strings mean equal bits).
+    #[test]
+    fn sharded_engine_matches_serial_exactly() {
+        for (policy, hdc) in [
+            (SystemConfig::for_(), 0u64),
+            (SystemConfig::segm(), 0),
+            (SystemConfig::for_(), 2 * 1024 * 1024),
+        ] {
+            let wl = small_wl(7);
+            let cfg = policy.with_hdc(hdc);
+            let base = format!("{:?}", System::new(cfg.clone(), &wl).run());
+            for shards in [2usize, 3, 4, 8] {
+                let got = format!(
+                    "{:?}",
+                    System::new(cfg.clone(), &wl).with_shards(shards).run()
+                );
+                assert_eq!(base, got, "shards={shards} diverged from serial");
+            }
+        }
+    }
+
+    /// Sharding must stay transparent in every observation mode:
+    /// traced runs compare full JSONL transcripts, checked runs audit
+    /// every invariant, faulted runs compare reports and fault
+    /// counters. (In all three the conservative window collapses to
+    /// the serial path — every event is a potential interaction point
+    /// — and this matrix pins that behavior down.)
+    #[test]
+    fn shard_determinism_matrix() {
+        use forhdc_trace::MemTracer;
+        let wl = small_wl(13);
+        for shards in [1usize, 2, 4] {
+            // Traced: byte-identical event stream.
+            let (r1, t1) =
+                System::new_traced(SystemConfig::for_(), &wl, MemTracer::new()).run_traced();
+            let (r2, t2) = System::new_traced(SystemConfig::for_(), &wl, MemTracer::new())
+                .with_shards(shards)
+                .run_traced();
+            assert_eq!(t1.to_jsonl(), t2.to_jsonl(), "trace diverged at {shards}");
+            assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+            // Checked: every audit invariant holds under sharding.
+            let rc = System::new_checked(SystemConfig::for_(), &wl)
+                .with_shards(shards)
+                .run();
+            assert_eq!(rc.requests, r1.requests);
+            // Faulted: deterministic fault bookkeeping.
+            let fcfg = FaultConfig::new(42).with_media_rates(1e-3, 1e-3);
+            let fa =
+                System::new_faulted(SystemConfig::for_(), &wl, SeededFaults::new(fcfg.clone()))
+                    .run();
+            let fb = System::new_faulted(SystemConfig::for_(), &wl, SeededFaults::new(fcfg))
+                .with_shards(shards)
+                .run();
+            assert_eq!(
+                format!("{fa:?}"),
+                format!("{fb:?}"),
+                "faulted diverged at {shards}"
+            );
+        }
     }
 
     #[test]

@@ -10,8 +10,6 @@
 //! next the moment the previous completes, while different jobs run
 //! concurrently across streams.
 
-use std::collections::VecDeque;
-
 use forhdc_sim::StreamId;
 use forhdc_workload::{Trace, TraceRequest};
 
@@ -34,8 +32,15 @@ use forhdc_workload::{Trace, TraceRequest};
 /// ```
 #[derive(Debug)]
 pub struct StreamDriver {
-    jobs: VecDeque<VecDeque<TraceRequest>>,
-    current: Vec<VecDeque<TraceRequest>>,
+    // Flat replay state: one copy of the trace's request array plus
+    // per-job lengths, with jobs handed out as index ranges. No
+    // per-job queue allocations, no request moves after construction.
+    requests: Vec<TraceRequest>,
+    job_lens: Vec<u32>, // empty = every request is its own job
+    job_count: usize,
+    next_job: usize,
+    next_req: usize,
+    cursor: Vec<(usize, usize)>, // per stream: next request, end of its job
     streams: u32,
     in_flight: u32,
     issued: u64,
@@ -52,8 +57,12 @@ impl StreamDriver {
     pub fn new(trace: &Trace, streams: u32) -> Self {
         assert!(streams > 0, "need at least one stream");
         StreamDriver {
-            jobs: trace.jobs().map(|j| j.iter().copied().collect()).collect(),
-            current: (0..streams).map(|_| VecDeque::new()).collect(),
+            requests: trace.requests().to_vec(),
+            job_lens: trace.job_lens().to_vec(),
+            job_count: trace.job_count(),
+            next_job: 0,
+            next_req: 0,
+            cursor: vec![(0, 0); streams as usize],
             streams,
             in_flight: 0,
             issued: 0,
@@ -61,20 +70,36 @@ impl StreamDriver {
         }
     }
 
+    /// Claims the next unstarted job for `stream`; false when the log
+    /// has no jobs left.
+    fn take_next_job(&mut self, stream: usize) -> bool {
+        if self.next_job >= self.job_count {
+            return false;
+        }
+        let len = match self.job_lens.get(self.next_job) {
+            Some(&l) => l as usize,
+            None => 1,
+        };
+        self.cursor[stream] = (self.next_req, self.next_req + len);
+        self.next_job += 1;
+        self.next_req += len;
+        true
+    }
+
     /// Issues the initial batch: up to `S` jobs' first requests.
     /// Call once at simulation start.
     pub fn start(&mut self) -> Vec<(StreamId, TraceRequest)> {
         let mut out = Vec::new();
         for s in 0..self.streams {
-            let Some(job) = self.jobs.pop_front() else {
+            if !self.take_next_job(s as usize) {
                 break;
-            };
-            self.current[s as usize] = job;
-            if let Some(req) = self.current[s as usize].pop_front() {
-                self.in_flight += 1;
-                self.issued += 1;
-                out.push((StreamId::new(s), req));
             }
+            let (cur, _) = &mut self.cursor[s as usize];
+            let req = self.requests[*cur];
+            *cur += 1;
+            self.in_flight += 1;
+            self.issued += 1;
+            out.push((StreamId::new(s), req));
         }
         out
     }
@@ -85,14 +110,13 @@ impl StreamDriver {
     pub fn complete(&mut self, stream: StreamId) -> Option<(StreamId, TraceRequest)> {
         self.completed += 1;
         self.in_flight -= 1;
-        let cur = &mut self.current[stream.as_usize()];
-        let req = match cur.pop_front() {
-            Some(req) => req,
-            None => {
-                *cur = self.jobs.pop_front()?;
-                cur.pop_front()?
-            }
-        };
+        let s = stream.as_usize();
+        if self.cursor[s].0 == self.cursor[s].1 && !self.take_next_job(s) {
+            return None;
+        }
+        let (cur, _) = &mut self.cursor[s];
+        let req = self.requests[*cur];
+        *cur += 1;
         self.in_flight += 1;
         self.issued += 1;
         Some((stream, req))
@@ -100,7 +124,7 @@ impl StreamDriver {
 
     /// Jobs not yet started.
     pub fn pending_jobs(&self) -> usize {
-        self.jobs.len()
+        self.job_count - self.next_job
     }
 
     /// Requests currently being serviced.
@@ -110,7 +134,9 @@ impl StreamDriver {
 
     /// Whether every request has been issued and completed.
     pub fn is_done(&self) -> bool {
-        self.jobs.is_empty() && self.in_flight == 0 && self.current.iter().all(VecDeque::is_empty)
+        self.next_job >= self.job_count
+            && self.in_flight == 0
+            && self.cursor.iter().all(|&(cur, end)| cur == end)
     }
 
     /// Total requests issued so far.

@@ -38,15 +38,20 @@ use crate::filemap::FileMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ForBitmap {
+    /// Grown on demand as bits are set; words past `words.len()` read
+    /// as zero. A server's workload footprint is typically a small
+    /// prefix of the disk, so materializing (and zeroing) the full
+    /// ~550 KB per-disk table up front would be almost entirely wasted.
     words: Vec<u64>,
     nblocks: u64,
 }
 
 impl ForBitmap {
     /// Creates an all-zero bitmap covering `nblocks` physical blocks.
+    /// No storage is allocated until a bit is set.
     pub fn new(nblocks: u64) -> Self {
         ForBitmap {
-            words: vec![0; nblocks.div_ceil(64) as usize],
+            words: Vec::new(),
             nblocks,
         }
     }
@@ -79,11 +84,14 @@ impl ForBitmap {
             "block {block} beyond bitmap ({})",
             self.nblocks
         );
-        let word = &mut self.words[(i / 64) as usize];
+        let widx = (i / 64) as usize;
         let bit = 1u64 << (i % 64);
         if continued {
-            *word |= bit;
-        } else {
+            if widx >= self.words.len() {
+                self.words.resize(widx + 1, 0);
+            }
+            self.words[widx] |= bit;
+        } else if let Some(word) = self.words.get_mut(widx) {
             *word &= !bit;
         }
     }
@@ -95,7 +103,10 @@ impl ForBitmap {
         if i >= self.nblocks {
             return false;
         }
-        self.words[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+        match self.words.get((i / 64) as usize) {
+            Some(w) => w & (1u64 << (i % 64)) != 0,
+            None => false,
+        }
     }
 
     /// Number of set bits (for stats and tests).
@@ -106,13 +117,42 @@ impl ForBitmap {
     /// FOR's read-ahead decision: how many blocks after `last` (the
     /// last block of the demanded run) continue the same file, capped
     /// at `max` blocks. Counts consecutive 1-bits starting at
-    /// `last + 1`.
+    /// `last + 1`, a word at a time.
     pub fn run_ahead(&self, last: PhysBlock, max: u32) -> u32 {
+        let mut i = last.index() + 1;
+        if i >= self.nblocks || max == 0 {
+            return 0;
+        }
+        // Bits past `nblocks` in the last word are never set, so capping
+        // at the bitmap end keeps the scan in bounds.
+        let limit = (self.nblocks - i).min(max as u64) as u32;
         let mut n = 0u32;
-        while n < max && self.get(last.offset(n as u64 + 1)) {
-            n += 1;
+        while n < limit {
+            let shift = (i % 64) as u32;
+            let avail = 64 - shift;
+            // Consecutive 1-bits from bit `i` to the end of its word.
+            let word = self.words.get((i / 64) as usize).copied().unwrap_or(0);
+            let run = (!(word >> shift)).trailing_zeros();
+            let take = run.min(limit - n);
+            n += take;
+            i += take as u64;
+            if run < avail {
+                break; // a 0-bit inside the word ends the run
+            }
         }
         n
+    }
+
+    /// Sets bit `i` without range checking (builder-internal; callers
+    /// guarantee `i < nblocks`).
+    #[inline]
+    fn set_bit(&mut self, i: u64) {
+        debug_assert!(i < self.nblocks);
+        let widx = (i / 64) as usize;
+        if widx >= self.words.len() {
+            self.words.resize(widx + 1, 0);
+        }
+        self.words[widx] |= 1u64 << (i % 64);
     }
 }
 
@@ -142,24 +182,44 @@ pub fn build_disk_bitmaps(
     let mut bitmaps: Vec<ForBitmap> = (0..striping.disks())
         .map(|_| ForBitmap::new(disk_blocks))
         .collect();
-    // Walk the allocated logical space once; for each logical block,
-    // find its physical location and compare with the physically
-    // preceding block of the same disk.
-    for l in 0..map.total_blocks() {
-        let (disk, phys) = striping.locate(forhdc_sim::LogicalBlock::new(l));
-        if phys.index() == 0 || phys.index() >= disk_blocks {
+    // Walk the allocated logical space one striping unit at a time.
+    // Within a unit, logically adjacent blocks are physically adjacent
+    // on one disk, so the physical predecessor of logical `l` is
+    // simply `l - 1`; only the unit's first block needs the striping
+    // inverse (the predecessor is the last block of the previous unit
+    // row on the same disk). This removes the per-block locate /
+    // logical_of division work of the naive walk.
+    let disks = striping.disks() as u64;
+    let unit = striping.unit_blocks() as u64;
+    let owners = map.owners();
+    let total = map.total_blocks();
+    let continues = |prev: u64, cur: u64| match (owners[prev as usize], owners[cur as usize]) {
+        (Some(p), Some(c)) => c.file == p.file && c.offset > p.offset,
+        _ => false,
+    };
+    let mut l = 0u64;
+    while l < total {
+        let unit_idx = l / unit;
+        let disk = (unit_idx % disks) as usize;
+        let row = unit_idx / disks;
+        let pbase = row * unit; // physical block of logical `l`
+        if pbase >= disk_blocks {
+            l += unit;
             continue;
         }
-        let prev_logical = striping.logical_of(disk, PhysBlock::new(phys.index() - 1));
-        let (Some(cur), Some(prev)) = (
-            map.owner(forhdc_sim::LogicalBlock::new(l)),
-            map.owner(prev_logical),
-        ) else {
-            continue;
-        };
-        if cur.file == prev.file && cur.offset > prev.offset {
-            bitmaps[disk.as_usize()].set(phys, true);
+        let bm = &mut bitmaps[disk];
+        // Unit-boundary bit: physical predecessor is the last block of
+        // the previous row, logically one full stripe minus a unit back.
+        if row > 0 && continues(l - (disks - 1) * unit - 1, l) {
+            bm.set_bit(pbase);
         }
+        let n = unit.min(total - l).min(disk_blocks - pbase);
+        for k in 1..n {
+            if continues(l + k - 1, l + k) {
+                bm.set_bit(pbase + k);
+            }
+        }
+        l += unit;
     }
     bitmaps
 }

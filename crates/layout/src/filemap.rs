@@ -177,6 +177,13 @@ impl FileMap {
         self.owner.get(block.index() as usize).copied().flatten()
     }
 
+    /// The whole ownership table, indexed by logical block, for bulk
+    /// scans (the FOR bitmap builder walks every allocated block and
+    /// must not pay a bounds-checked call per lookup).
+    pub fn owners(&self) -> &[Option<BlockOwner>] {
+        &self.owner
+    }
+
     /// One-past-the-last allocated logical block (the footprint).
     pub fn total_blocks(&self) -> u64 {
         self.total_blocks

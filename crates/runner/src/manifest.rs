@@ -42,6 +42,21 @@ pub struct TraceSummary {
     pub phases: Vec<TracePhase>,
 }
 
+/// Wall-clock breakdown of one experiment into its pipeline phases,
+/// so hot-loop wins (which land in `sim`) stay visible next to the
+/// fixed planning and emission costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Planning: decomposing the experiment into jobs (workload
+    /// builders are lazy, so this is normally milliseconds).
+    pub plan: Duration,
+    /// Simulation: running the jobs (the phase the event engine and
+    /// hot-loop work actually speed up).
+    pub sim: Duration,
+    /// Emission: assembling and printing the table and writing CSVs.
+    pub emit: Duration,
+}
+
 /// One experiment's row in the manifest.
 #[derive(Debug, Clone)]
 pub struct ManifestEntry {
@@ -53,6 +68,8 @@ pub struct ManifestEntry {
     pub cache_hits: usize,
     /// Wall-clock time for the experiment.
     pub wall: Duration,
+    /// Per-phase wall-clock breakdown, when the caller measured one.
+    pub phases: Option<PhaseTimings>,
     /// Trace digest, present only for traced runs.
     pub trace: Option<TraceSummary>,
     /// Jobs that panicked (empty for a clean run).
@@ -92,6 +109,7 @@ impl RunManifest {
             jobs: stats.jobs,
             cache_hits: stats.cache_hits,
             wall: stats.wall,
+            phases: None,
             trace: None,
             failures: stats.failures.clone(),
         });
@@ -100,6 +118,18 @@ impl RunManifest {
     /// Whether any recorded experiment had a failed job.
     pub fn has_failures(&self) -> bool {
         self.entries.iter().any(|e| !e.failures.is_empty())
+    }
+
+    /// Attaches a per-phase timing breakdown to the recorded
+    /// experiment `id`. Returns whether the entry existed.
+    pub fn attach_phases(&mut self, id: &str, phases: PhaseTimings) -> bool {
+        match self.entries.iter_mut().find(|e| e.id == id) {
+            Some(e) => {
+                e.phases = Some(phases);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Attaches a trace digest to the recorded experiment `id`.
@@ -161,6 +191,14 @@ impl RunManifest {
                 }
                 s.push(']');
             }
+            if let Some(ph) = &e.phases {
+                s.push_str(&format!(
+                    ", \"phases\": {{\"plan_secs\": {:.3}, \"sim_secs\": {:.3}, \"emit_secs\": {:.3}}}",
+                    ph.plan.as_secs_f64(),
+                    ph.sim.as_secs_f64(),
+                    ph.emit.as_secs_f64()
+                ));
+            }
             if let Some(trace) = &e.trace {
                 s.push_str(&format!(
                     ", \"trace\": {{\"files\": {}, \"events\": {}, \"requests\": {}, \"phases\": [",
@@ -192,13 +230,14 @@ impl RunManifest {
     }
 
     /// Renders a fixed-width per-experiment timing summary (the
-    /// `repro --timings` table): jobs, cache hits, and wall time per
+    /// `repro --timings` table): jobs, cache hits, wall time, and —
+    /// when measured — the plan/sim/emit phase breakdown, per
     /// experiment with a closing total.
     pub fn timings_table(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "{:<24} {:>7} {:>9} {:>9}\n",
-            "experiment", "jobs", "cached", "wall"
+            "{:<24} {:>7} {:>9} {:>9} {:>8} {:>8} {:>8}\n",
+            "experiment", "jobs", "cached", "wall", "plan", "sim", "emit"
         ));
         let mut total = Duration::ZERO;
         for e in &self.entries {
@@ -208,8 +247,17 @@ impl RunManifest {
             } else {
                 (e.jobs.to_string(), format!("{}/{}", e.cache_hits, e.jobs))
             };
+            let phases = match &e.phases {
+                Some(p) => format!(
+                    "{:>7.1}s {:>7.1}s {:>7.1}s",
+                    p.plan.as_secs_f64(),
+                    p.sim.as_secs_f64(),
+                    p.emit.as_secs_f64()
+                ),
+                None => format!("{:>8} {:>8} {:>8}", "-", "-", "-"),
+            };
             s.push_str(&format!(
-                "{:<24} {:>7} {:>9} {:>8.1}s\n",
+                "{:<24} {:>7} {:>9} {:>8.1}s {phases}\n",
                 e.id,
                 jobs,
                 cached,
@@ -305,6 +353,40 @@ mod tests {
         assert!(
             lines[3].contains("total") && lines[3].contains("3.0s"),
             "{t}"
+        );
+        // No phases attached: the breakdown columns show dashes.
+        assert!(
+            lines[0].contains("plan") && lines[0].contains("emit"),
+            "{t}"
+        );
+        assert!(lines[1].matches('-').count() >= 3, "{t}");
+    }
+
+    #[test]
+    fn attach_phases_fills_breakdown_columns() {
+        let mut m = RunManifest::new(4, None);
+        m.record(&stats("fig3", 32, 8));
+        assert!(!m.attach_phases("nope", PhaseTimings::default()));
+        assert!(m.attach_phases(
+            "fig3",
+            PhaseTimings {
+                plan: Duration::from_millis(200),
+                sim: Duration::from_millis(1200),
+                emit: Duration::from_millis(100),
+            }
+        ));
+        let t = m.timings_table();
+        let row = t.lines().nth(1).unwrap();
+        assert!(
+            row.contains("0.2s") && row.contains("1.2s") && row.contains("0.1s"),
+            "{t}"
+        );
+        let json = m.to_json();
+        assert!(
+            json.contains(
+                "\"phases\": {\"plan_secs\": 0.200, \"sim_secs\": 1.200, \"emit_secs\": 0.100}"
+            ),
+            "{json}"
         );
     }
 

@@ -25,6 +25,23 @@ use crate::request::{DiskExtent, DiskId, LogicalBlock, PhysBlock};
 pub struct StripingMap {
     disks: u16,
     unit_blocks: u32,
+    /// `log2(unit_blocks)` when the unit is a power of two (every
+    /// paper configuration is), else `u8::MAX`. The issue path calls
+    /// [`StripingMap::locate`] for every request; shifts replace four
+    /// hardware divisions.
+    unit_shift: u8,
+    /// `log2(disks)` when the disk count is a power of two, else
+    /// `u8::MAX`.
+    disk_shift: u8,
+}
+
+#[inline]
+fn shift_of(v: u64) -> u8 {
+    if v.is_power_of_two() {
+        v.trailing_zeros() as u8
+    } else {
+        u8::MAX
+    }
 }
 
 impl StripingMap {
@@ -36,7 +53,43 @@ impl StripingMap {
     pub fn new(disks: u16, unit_blocks: u32) -> Self {
         assert!(disks > 0, "need at least one disk");
         assert!(unit_blocks > 0, "striping unit must be positive");
-        StripingMap { disks, unit_blocks }
+        StripingMap {
+            disks,
+            unit_blocks,
+            unit_shift: shift_of(unit_blocks as u64),
+            disk_shift: shift_of(disks as u64),
+        }
+    }
+
+    /// `(index / unit_blocks, index % unit_blocks)` without divisions
+    /// for power-of-two units.
+    #[inline]
+    fn split_unit(&self, index: u64) -> (u64, u64) {
+        if self.unit_shift != u8::MAX {
+            (
+                index >> self.unit_shift,
+                index & (self.unit_blocks as u64 - 1),
+            )
+        } else {
+            (
+                index / self.unit_blocks as u64,
+                index % self.unit_blocks as u64,
+            )
+        }
+    }
+
+    /// `(unit % disks, unit / disks)` without divisions for
+    /// power-of-two disk counts.
+    #[inline]
+    fn split_disk(&self, unit: u64) -> (u16, u64) {
+        if self.disk_shift != u8::MAX {
+            (
+                (unit & (self.disks as u64 - 1)) as u16,
+                unit >> self.disk_shift,
+            )
+        } else {
+            ((unit % self.disks as u64) as u16, unit / self.disks as u64)
+        }
     }
 
     /// Number of disks in the array.
@@ -51,10 +104,8 @@ impl StripingMap {
 
     /// Maps a logical block to `(disk, physical block)`.
     pub fn locate(&self, block: LogicalBlock) -> (DiskId, PhysBlock) {
-        let unit = block.index() / self.unit_blocks as u64;
-        let within = block.index() % self.unit_blocks as u64;
-        let disk = (unit % self.disks as u64) as u16;
-        let disk_unit = unit / self.disks as u64;
+        let (unit, within) = self.split_unit(block.index());
+        let (disk, disk_unit) = self.split_disk(unit);
         (
             DiskId::new(disk),
             PhysBlock::new(disk_unit * self.unit_blocks as u64 + within),
@@ -63,8 +114,7 @@ impl StripingMap {
 
     /// Inverse of [`StripingMap::locate`].
     pub fn logical_of(&self, disk: DiskId, phys: PhysBlock) -> LogicalBlock {
-        let disk_unit = phys.index() / self.unit_blocks as u64;
-        let within = phys.index() % self.unit_blocks as u64;
+        let (disk_unit, within) = self.split_unit(phys.index());
         let unit = disk_unit * self.disks as u64 + disk.index() as u64;
         LogicalBlock::new(unit * self.unit_blocks as u64 + within)
     }
@@ -81,13 +131,26 @@ impl StripingMap {
     ///
     /// Panics if `nblocks` is zero.
     pub fn split(&self, start: LogicalBlock, nblocks: u32) -> Vec<DiskExtent> {
+        let mut out = Vec::new();
+        self.split_into(start, nblocks, &mut out);
+        out
+    }
+
+    /// [`StripingMap::split`] into a caller-owned buffer, clearing it
+    /// first — the issue path reuses one buffer per run instead of
+    /// allocating per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nblocks` is zero.
+    pub fn split_into(&self, start: LogicalBlock, nblocks: u32, out: &mut Vec<DiskExtent>) {
         assert!(nblocks > 0, "cannot split an empty extent");
-        let mut out: Vec<DiskExtent> = Vec::new();
+        out.clear();
         let mut remaining = nblocks as u64;
         let mut cursor = start;
         while remaining > 0 {
             let (disk, phys) = self.locate(cursor);
-            let within = cursor.index() % self.unit_blocks as u64;
+            let (_, within) = self.split_unit(cursor.index());
             let chunk = (self.unit_blocks as u64 - within).min(remaining) as u32;
             // Merge with an earlier extent on the same disk if physically
             // adjacent (happens when the request wraps the whole stripe).
@@ -103,7 +166,6 @@ impl StripingMap {
             cursor = cursor.offset(chunk as u64);
             remaining -= chunk as u64;
         }
-        out
     }
 
     /// Number of distinct disks a logical extent touches.

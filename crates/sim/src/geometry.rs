@@ -43,6 +43,14 @@ pub struct DiskGeometry {
     surfaces: u32,
     cylinders: u32,
     sectors_per_block: u32,
+    /// Cached `blocks_per_track` — [`DiskGeometry::address`] sits on
+    /// the per-media-op hot path, so the derived quantities are
+    /// computed once at construction instead of per call.
+    bpt: u32,
+    /// Cached `blocks_per_cylinder`.
+    bpc: u32,
+    /// Cached `capacity_blocks`.
+    capacity: u64,
 }
 
 /// Bytes in one 512-byte sector.
@@ -70,11 +78,16 @@ impl DiskGeometry {
             sectors_per_track.is_multiple_of(sectors_per_block),
             "sectors per track ({sectors_per_track}) must be a multiple of sectors per block ({sectors_per_block})"
         );
+        let bpt = sectors_per_track / sectors_per_block;
+        let bpc = bpt * surfaces;
         DiskGeometry {
             sectors_per_track,
             surfaces,
             cylinders,
             sectors_per_block,
+            bpt,
+            bpc,
+            capacity: bpc as u64 * cylinders as u64,
         }
     }
 
@@ -127,17 +140,17 @@ impl DiskGeometry {
 
     /// Blocks on one track.
     pub fn blocks_per_track(&self) -> u32 {
-        self.sectors_per_track / self.sectors_per_block
+        self.bpt
     }
 
     /// Blocks in one cylinder (all surfaces).
     pub fn blocks_per_cylinder(&self) -> u32 {
-        self.blocks_per_track() * self.surfaces
+        self.bpc
     }
 
     /// Total addressable blocks on the disk.
     pub fn capacity_blocks(&self) -> u64 {
-        self.blocks_per_cylinder() as u64 * self.cylinders as u64
+        self.capacity
     }
 
     /// Total capacity in bytes.
@@ -152,20 +165,29 @@ impl DiskGeometry {
     /// Panics if `block` is beyond the disk capacity.
     pub fn address(&self, block: PhysBlock) -> BlockAddress {
         assert!(
-            block.index() < self.capacity_blocks(),
+            block.index() < self.capacity,
             "block {block} beyond capacity {}",
-            self.capacity_blocks()
+            self.capacity
         );
-        let bpc = self.blocks_per_cylinder() as u64;
-        let bpt = self.blocks_per_track() as u64;
-        let cylinder = (block.index() / bpc) as u32;
-        let within = block.index() % bpc;
-        let surface = (within / bpt) as u32;
-        let block_in_track = (within % bpt) as u32;
-        BlockAddress {
-            cylinder,
-            surface,
-            sector: block_in_track * self.sectors_per_block,
+        // Any block index that fits in 32 bits (every realistic drive)
+        // takes 32-bit divisions — roughly half the latency of the
+        // 64-bit ones on current cores, and this runs per media op.
+        if let Ok(idx) = u32::try_from(block.index()) {
+            let cylinder = idx / self.bpc;
+            let within = idx % self.bpc;
+            BlockAddress {
+                cylinder,
+                surface: within / self.bpt,
+                sector: within % self.bpt * self.sectors_per_block,
+            }
+        } else {
+            let cylinder = (block.index() / self.bpc as u64) as u32;
+            let within = (block.index() % self.bpc as u64) as u32;
+            BlockAddress {
+                cylinder,
+                surface: within / self.bpt,
+                sector: within % self.bpt * self.sectors_per_block,
+            }
         }
     }
 

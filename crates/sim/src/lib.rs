@@ -12,6 +12,8 @@
 //!   [`SimDuration`]) with deterministic ordering.
 //! * [`engine`] — a calendar event queue with (time, sequence)
 //!   tie-breaking ([`EventQueue`]).
+//! * [`calendar`] — the sharded per-lane calendar with identical pop
+//!   order and O(lanes) operations ([`LaneCalendar`]).
 //! * [`geometry`] — physical-block → (cylinder, surface, sector) mapping
 //!   ([`DiskGeometry`]).
 //! * [`seek`] — the paper's piecewise seek-time model
@@ -46,6 +48,7 @@
 
 pub mod array;
 pub mod bus;
+pub mod calendar;
 pub mod config;
 pub mod engine;
 pub mod geometry;
@@ -60,6 +63,7 @@ pub mod zones;
 
 pub use array::StripingMap;
 pub use bus::BusModel;
+pub use calendar::LaneCalendar;
 pub use config::{ArrayConfig, DiskConfig, SchedulerKind};
 pub use engine::EventQueue;
 pub use geometry::{BlockAddress, DiskGeometry};

@@ -57,20 +57,31 @@ pub struct DiskMechanics {
     zone_profile: Option<crate::zones::ZoneProfile>,
     overhead: SimDuration,
     head_cylinder: u32,
+    /// `rotation.target_ns(angle_of(sector))` tabulated per sector, so
+    /// the per-op service computation does no floating-point math. The
+    /// table is built with the exact expression `latency_to` evaluates,
+    /// making the two paths bit-identical.
+    rot_target_ns: Vec<u64>,
 }
 
 impl DiskMechanics {
     /// Creates mechanics from a disk configuration, head parked at
     /// cylinder 0.
     pub fn new(cfg: &DiskConfig) -> Self {
+        let rotation = RotationModel::new(cfg.rpm);
+        let spt = cfg.geometry.sectors_per_track();
+        let rot_target_ns = (0..spt)
+            .map(|s| rotation.target_ns(s as f64 / spt as f64))
+            .collect();
         DiskMechanics {
             geometry: cfg.geometry,
             seek: cfg.seek,
-            rotation: RotationModel::new(cfg.rpm),
+            rotation,
             media_rate: cfg.media_rate,
             zone_profile: cfg.zone_profile.clone(),
             overhead: cfg.controller_overhead,
             head_cylinder: 0,
+            rot_target_ns,
         }
     }
 
@@ -125,7 +136,7 @@ impl DiskMechanics {
         let seek = self.seek.seek_time(distance);
         let rotation = self
             .rotation
-            .latency_to(self.geometry.angle_of(start), now + seek);
+            .latency_to_ns(self.rot_target_ns[target.sector as usize], now + seek);
         // Zoned recording: outer cylinders transfer faster.
         let rate = match &self.zone_profile {
             Some(z) => (self.media_rate as f64 * z.scale_at(target.cylinder)) as u64,
@@ -133,13 +144,33 @@ impl DiskMechanics {
         };
         let transfer =
             SimDuration::for_transfer(nblocks as u64 * self.geometry.block_bytes() as u64, rate);
-        self.head_cylinder = self.geometry.cylinder_of(last);
+        // The head ends on the extent's last cylinder — almost always
+        // the one it started on, so the second address computation is
+        // branched away rather than divided for.
+        let bpc = self.geometry.blocks_per_cylinder() as u64;
+        let past_start_cyl = last.index() - target.cylinder as u64 * bpc;
+        self.head_cylinder = if past_start_cyl < bpc {
+            target.cylinder
+        } else {
+            target.cylinder + (past_start_cyl / bpc) as u32
+        };
+        debug_assert_eq!(self.head_cylinder, self.geometry.cylinder_of(last));
         ServiceTiming {
             seek,
             rotation,
             transfer,
             overhead: self.overhead,
         }
+    }
+
+    /// A lower bound on the service time of *any* operation on this
+    /// mechanism: the fixed controller overhead. Seek, rotation, and
+    /// transfer only ever add to it. The sharded engine uses this as
+    /// its conservative lookahead: a media completion at time `t`
+    /// cannot schedule the disk's next completion before
+    /// `t + min_service()`.
+    pub fn min_service(&self) -> SimDuration {
+        self.overhead
     }
 
     /// Seek distance (cylinders) from the current head position to

@@ -69,7 +69,21 @@ impl RotationModel {
             (0.0..1.0).contains(&target),
             "target angle {target} out of range"
         );
-        let target_ns = (target * self.period_ns as f64).round() as u64 % self.period_ns;
+        self.latency_to_ns(self.target_ns(target), t)
+    }
+
+    /// The instant-within-revolution (nanoseconds past the index mark)
+    /// of angular position `target` — the precomputable half of
+    /// [`RotationModel::latency_to`]. [`crate::DiskMechanics`] tabulates
+    /// this per sector so the per-op path does no float math.
+    pub fn target_ns(&self, target: f64) -> u64 {
+        (target * self.period_ns as f64).round() as u64 % self.period_ns
+    }
+
+    /// Time from instant `t` until the platter reaches the position
+    /// `target_ns` nanoseconds past the index mark (see
+    /// [`RotationModel::target_ns`]).
+    pub fn latency_to_ns(&self, target_ns: u64, t: SimTime) -> SimDuration {
         let now_ns = t.as_nanos() % self.period_ns;
         let wait = if target_ns >= now_ns {
             target_ns - now_ns

@@ -4,7 +4,7 @@
 //! paper's controllers use the LOOK (elevator) algorithm; FCFS, SSTF and
 //! C-LOOK are provided for scheduling ablations.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::SchedulerKind;
 use crate::request::{PhysBlock, ReadWrite};
@@ -82,12 +82,103 @@ pub fn make_scheduler(kind: SchedulerKind) -> Box<dyn DiskScheduler> {
     }
 }
 
+/// Statically dispatched scheduler for the simulation hot path.
+///
+/// The event loop pushes and pops a queue entry for every media
+/// operation; behind a `Box<dyn DiskScheduler>` each of those is an
+/// indirect call the optimizer cannot see through. The enum's match
+/// compiles to a predictable branch on a discipline that never changes
+/// at runtime, and lets `push`/`pop_next` inline into the caller.
+#[derive(Debug)]
+pub enum Scheduler {
+    /// LOOK (elevator) — the paper's discipline.
+    Look(LookScheduler),
+    /// First-come first-served.
+    Fcfs(FcfsScheduler),
+    /// Shortest seek time first.
+    Sstf(SstfScheduler),
+    /// Circular LOOK.
+    Clook(ClookScheduler),
+}
+
+impl Scheduler {
+    /// Creates a scheduler of the requested kind.
+    pub fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Look => Scheduler::Look(LookScheduler::new()),
+            SchedulerKind::Fcfs => Scheduler::Fcfs(FcfsScheduler::new()),
+            SchedulerKind::Sstf => Scheduler::Sstf(SstfScheduler::new()),
+            SchedulerKind::Clook => Scheduler::Clook(ClookScheduler::new()),
+        }
+    }
+
+    /// Adds an operation to the queue.
+    #[inline]
+    pub fn push(&mut self, op: QueuedOp) {
+        match self {
+            Scheduler::Look(s) => s.push(op),
+            Scheduler::Fcfs(s) => s.push(op),
+            Scheduler::Sstf(s) => s.push(op),
+            Scheduler::Clook(s) => s.push(op),
+        }
+    }
+
+    /// Removes and returns the next operation to service.
+    #[inline]
+    pub fn pop_next(&mut self, head_cylinder: u32) -> Option<QueuedOp> {
+        match self {
+            Scheduler::Look(s) => s.pop_next(head_cylinder),
+            Scheduler::Fcfs(s) => s.pop_next(head_cylinder),
+            Scheduler::Sstf(s) => s.pop_next(head_cylinder),
+            Scheduler::Clook(s) => s.pop_next(head_cylinder),
+        }
+    }
+
+    /// Number of queued operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Scheduler::Look(s) => s.len(),
+            Scheduler::Fcfs(s) => s.len(),
+            Scheduler::Sstf(s) => s.len(),
+            Scheduler::Clook(s) => s.len(),
+        }
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The discipline's kind tag.
+    pub fn kind(&self) -> SchedulerKind {
+        match self {
+            Scheduler::Look(_) => SchedulerKind::Look,
+            Scheduler::Fcfs(_) => SchedulerKind::Fcfs,
+            Scheduler::Sstf(_) => SchedulerKind::Sstf,
+            Scheduler::Clook(_) => SchedulerKind::Clook,
+        }
+    }
+}
+
 /// LOOK (elevator) scheduling: sweep in the current direction serving
 /// every queued cylinder, reverse when nothing remains ahead.
+///
+/// The queue is a sorted `(cylinder, slot)` index over a free-listed
+/// slab of ops — equivalent to the former `BTreeMap` keyed by
+/// `(cylinder, seq)` but allocation-free at the depths disk queues
+/// actually reach. Only the 8-byte index entries shift on the sorted
+/// insert/remove; the 48-byte ops stay put in their slots, which at
+/// queue depths of a hundred-plus streams is most of the memory
+/// traffic this structure used to generate.
 #[derive(Debug, Default)]
 pub struct LookScheduler {
-    queue: BTreeMap<(u32, u64), QueuedOp>,
-    seq: u64,
+    /// `(cylinder, slot)` sorted by cylinder, same-cylinder ties in
+    /// arrival order.
+    index: Vec<(u32, u32)>,
+    slab: Vec<QueuedOp>,
+    free: Vec<u32>,
     sweeping_up: bool,
 }
 
@@ -95,42 +186,65 @@ impl LookScheduler {
     /// Creates an empty LOOK queue sweeping upward.
     pub fn new() -> Self {
         LookScheduler {
-            queue: BTreeMap::new(),
-            seq: 0,
+            index: Vec::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             sweeping_up: true,
         }
+    }
+
+    /// Removes index entry `i` and returns its op, recycling the slot.
+    fn take(&mut self, i: usize) -> QueuedOp {
+        let (_, slot) = self.index.remove(i);
+        self.free.push(slot);
+        self.slab[slot as usize]
     }
 }
 
 impl DiskScheduler for LookScheduler {
     fn push(&mut self, op: QueuedOp) {
-        let key = (op.cylinder, self.seq);
-        self.seq += 1;
-        self.queue.insert(key, op);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = op;
+                s
+            }
+            None => {
+                self.slab.push(op);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let i = self.index.partition_point(|&(c, _)| c <= op.cylinder);
+        self.index.insert(i, (op.cylinder, slot));
     }
 
     fn pop_next(&mut self, head_cylinder: u32) -> Option<QueuedOp> {
-        if self.queue.is_empty() {
+        if self.index.is_empty() {
             return None;
         }
         if self.sweeping_up {
-            if let Some((&key, _)) = self.queue.range((head_cylinder, 0)..).next() {
-                return self.queue.remove(&key);
+            let i = self.index.partition_point(|&(c, _)| c < head_cylinder);
+            if i < self.index.len() {
+                return Some(self.take(i));
             }
             self.sweeping_up = false;
         }
-        // Sweeping down: largest key at or below the head; if none,
-        // reverse again.
-        if let Some((&key, _)) = self.queue.range(..(head_cylinder + 1, 0)).next_back() {
-            return self.queue.remove(&key);
+        // Sweeping down: the highest queued cylinder at or below the
+        // head (most recent arrival on ties); if none, reverse again.
+        let i = self.index.partition_point(|&(c, _)| c <= head_cylinder);
+        if i > 0 {
+            return Some(self.take(i - 1));
         }
         self.sweeping_up = true;
-        let (&key, _) = self.queue.range((head_cylinder, 0)..).next()?;
-        self.queue.remove(&key)
+        let i = self.index.partition_point(|&(c, _)| c < head_cylinder);
+        if i < self.index.len() {
+            Some(self.take(i))
+        } else {
+            None
+        }
     }
 
     fn len(&self) -> usize {
-        self.queue.len()
+        self.index.len()
     }
 
     fn kind(&self) -> SchedulerKind {
@@ -216,36 +330,29 @@ impl DiskScheduler for SstfScheduler {
 /// back to the lowest queued cylinder.
 #[derive(Debug, Default)]
 pub struct ClookScheduler {
-    queue: BTreeMap<(u32, u64), QueuedOp>,
-    seq: u64,
+    queue: Vec<QueuedOp>, // sorted by cylinder, arrival order on ties
 }
 
 impl ClookScheduler {
     /// Creates an empty C-LOOK queue.
     pub fn new() -> Self {
-        ClookScheduler {
-            queue: BTreeMap::new(),
-            seq: 0,
-        }
+        ClookScheduler { queue: Vec::new() }
     }
 }
 
 impl DiskScheduler for ClookScheduler {
     fn push(&mut self, op: QueuedOp) {
-        let key = (op.cylinder, self.seq);
-        self.seq += 1;
-        self.queue.insert(key, op);
+        let i = self.queue.partition_point(|o| o.cylinder <= op.cylinder);
+        self.queue.insert(i, op);
     }
 
     fn pop_next(&mut self, head_cylinder: u32) -> Option<QueuedOp> {
         if self.queue.is_empty() {
             return None;
         }
-        let key = match self.queue.range((head_cylinder, 0)..).next() {
-            Some((&key, _)) => key,
-            None => *self.queue.keys().next().expect("non-empty queue"),
-        };
-        self.queue.remove(&key)
+        let i = self.queue.partition_point(|o| o.cylinder < head_cylinder);
+        let i = if i < self.queue.len() { i } else { 0 };
+        Some(self.queue.remove(i))
     }
 
     fn len(&self) -> usize {

@@ -144,9 +144,14 @@ impl SimDuration {
     /// Panics if `bytes_per_sec` is zero.
     pub fn for_transfer(bytes: u64, bytes_per_sec: u64) -> SimDuration {
         assert!(bytes_per_sec > 0, "transfer rate must be positive");
-        // ns = bytes * 1e9 / rate, rounded up; u128 to avoid overflow.
-        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
-        SimDuration(ns as u64)
+        // ns = bytes * 1e9 / rate, rounded up. Every realistic transfer
+        // fits the u64 intermediate; the u128 fallback covers the rest.
+        if bytes < u64::MAX / 1_000_000_000 {
+            SimDuration((bytes * 1_000_000_000).div_ceil(bytes_per_sec))
+        } else {
+            let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
+            SimDuration(ns as u64)
+        }
     }
 }
 

@@ -135,3 +135,51 @@ proptest! {
         prop_assert_eq!(mech.head_cylinder(), cfg.geometry.cylinder_of(last));
     }
 }
+
+proptest! {
+    /// The lane calendar pops in exactly the order of the heap-based
+    /// [`EventQueue`] for arbitrary interleavings of lane-affine and
+    /// lane-less schedules — including schedules that violate a lane's
+    /// monotonicity (forced onto the fallback heap) and schedules
+    /// performed mid-drain at the advanced clock.
+    #[test]
+    fn calendar_matches_event_queue(
+        ops in prop::collection::vec((0u64..1_000, 0usize..6), 1..300),
+        drain_every in 1usize..8,
+    ) {
+        use forhdc_sim::LaneCalendar;
+        let mut q = EventQueue::new();
+        let mut c = LaneCalendar::with_lanes(4);
+        let mut base_q = 0u64;
+        let mut base_c = 0u64;
+        let mut popped_q = Vec::new();
+        let mut popped_c = Vec::new();
+        for (i, &(dt, lane)) in ops.iter().enumerate() {
+            // Schedule relative to each queue's own clock so both see
+            // the same absolute times (the clocks advance in lockstep
+            // because the pop orders are asserted equal).
+            q.schedule(SimTime::from_nanos(base_q + dt), i);
+            if lane < 4 {
+                c.schedule_lane(lane, SimTime::from_nanos(base_c + dt), i);
+            } else {
+                c.schedule(SimTime::from_nanos(base_c + dt), i);
+            }
+            if i % drain_every == drain_every - 1 {
+                let a = q.pop().unwrap();
+                let b = c.pop().unwrap();
+                popped_q.push((a.time.as_nanos(), a.event));
+                popped_c.push((b.time.as_nanos(), b.event));
+                base_q = a.time.as_nanos();
+                base_c = b.time.as_nanos();
+                prop_assert_eq!(&popped_q, &popped_c);
+            }
+        }
+        while let Some(a) = q.pop() {
+            let b = c.pop().unwrap();
+            popped_q.push((a.time.as_nanos(), a.event));
+            popped_c.push((b.time.as_nanos(), b.event));
+        }
+        prop_assert!(c.pop().is_none());
+        prop_assert_eq!(popped_q, popped_c);
+    }
+}

@@ -83,6 +83,13 @@ impl Trace {
         &self.requests
     }
 
+    /// Per-job request counts; an empty slice means every request is
+    /// its own job. Lets replay drivers index jobs as ranges over
+    /// [`Trace::requests`] instead of materializing per-job queues.
+    pub fn job_lens(&self) -> &[u32] {
+        &self.job_lens
+    }
+
     /// Number of requests.
     pub fn len(&self) -> usize {
         self.requests.len()
