@@ -1,0 +1,209 @@
+//! The crash flight recorder: a bounded ring of recent
+//! request-lifecycle events.
+//!
+//! Post-mortems of a live server want the *last N* events — who was
+//! inflight, what the controllers decided, how long the media took —
+//! without paying for always-on tracing. The recorder keeps a fixed
+//! number of [`TraceEvent`]s per worker shard (old events fall off the
+//! front), reusing the simulator's trace schema so a dump is plain
+//! JSONL that `forhdc_trace::parse_jsonl` and the `trace` binary read
+//! unchanged. Timestamps are wall-clock nanoseconds since server
+//! start — the serving path has no simulated clock — and a global
+//! sequence number breaks ties so dumps interleave shards in true
+//! emission order.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use forhdc_trace::{write_jsonl, TraceEvent};
+
+static NEXT_FLIGHT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Round-robin shard assignment, one slot per recording thread.
+    static FLIGHT_SLOT: usize = NEXT_FLIGHT_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+struct Ring {
+    events: VecDeque<(u64, TraceEvent)>,
+}
+
+/// A fixed-capacity, sharded ring of recent trace events.
+pub struct FlightRecorder {
+    shards: Vec<Mutex<Ring>>,
+    capacity: usize,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .field("recorded", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder of `shards` rings holding `capacity` events each.
+    /// Memory is bounded at `shards * capacity` events forever.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        FlightRecorder {
+            shards: (0..shards.max(1))
+                .map(|_| {
+                    Mutex::new(Ring {
+                        events: VecDeque::with_capacity(capacity.min(4096)),
+                    })
+                })
+                .collect(),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one event into the calling worker's shard, evicting the
+    /// oldest event once the ring is full.
+    pub fn record(&self, ev: TraceEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let slot = FLIGHT_SLOT.with(|s| *s) % self.shards.len();
+        let mut ring = self.shards[slot].lock().expect("flight shard poisoned");
+        if ring.events.len() >= self.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back((seq, ev));
+    }
+
+    /// Events recorded over the recorder's lifetime (retained or not).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events currently retained across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("flight shard poisoned").events.len())
+            .sum()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshots every shard and returns the retained events in global
+    /// emission order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<(u64, TraceEvent)> = Vec::new();
+        for shard in &self.shards {
+            let ring = shard.lock().expect("flight shard poisoned");
+            all.extend(ring.events.iter().copied());
+        }
+        all.sort_by_key(|&(seq, _)| seq);
+        all.into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// Renders the retained events as a JSONL document parseable by
+    /// [`forhdc_trace::parse_jsonl`].
+    pub fn dump_jsonl(&self) -> String {
+        write_jsonl(&self.events())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forhdc_trace::parse_jsonl;
+
+    fn done(t: u64, req: u64) -> TraceEvent {
+        TraceEvent::Complete {
+            t,
+            req,
+            response: t,
+        }
+    }
+
+    #[test]
+    fn retains_last_n_in_order() {
+        let fr = FlightRecorder::new(1, 4);
+        for i in 0..10u64 {
+            fr.record(done(i, i));
+        }
+        assert_eq!(fr.recorded(), 10);
+        assert_eq!(fr.len(), 4);
+        let evs = fr.events();
+        let reqs: Vec<u64> = evs.iter().filter_map(|e| e.req()).collect();
+        assert_eq!(reqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn dump_round_trips_through_the_trace_parser() {
+        let fr = FlightRecorder::new(4, 16);
+        fr.record(TraceEvent::Issue {
+            t: 1,
+            req: 7,
+            stream: 3,
+            start: 24,
+            nblocks: 8,
+            write: false,
+        });
+        fr.record(TraceEvent::Probe {
+            t: 2,
+            req: 7,
+            disk: 1,
+            nblocks: 8,
+            result: forhdc_trace::ProbeResult::Miss,
+        });
+        fr.record(TraceEvent::Media {
+            t: 3,
+            req: 7,
+            disk: 1,
+            wait: 0,
+            seek: 0,
+            rotation: 0,
+            transfer: 1200,
+            overhead: 0,
+            nblocks: 16,
+            read_ahead: 8,
+            write: false,
+        });
+        fr.record(done(5, 7));
+        let dump = fr.dump_jsonl();
+        let parsed = parse_jsonl(&dump).expect("dump must parse");
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(parsed, fr.events());
+    }
+
+    #[test]
+    fn concurrent_recording_is_bounded_and_ordered() {
+        let fr = std::sync::Arc::new(FlightRecorder::new(4, 64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let fr = std::sync::Arc::clone(&fr);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    fr.record(done(i, t * 1000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fr.recorded(), 4000);
+        assert!(fr.len() <= 4 * 64);
+        // Dump is sorted by global sequence: strictly increasing seqs
+        // means parse order equals emission order.
+        let dump = fr.dump_jsonl();
+        assert_eq!(parse_jsonl(&dump).unwrap().len(), fr.len());
+    }
+
+    #[test]
+    fn empty_recorder_dumps_empty_document() {
+        let fr = FlightRecorder::new(2, 8);
+        assert!(fr.is_empty());
+        assert_eq!(fr.dump_jsonl(), "");
+        assert!(parse_jsonl(&fr.dump_jsonl()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Just enough HTTP/1.1 for a metrics endpoint.
+//!
+//! A Prometheus scrape is a `GET /metrics` and a text body back; the
+//! workspace builds fully offline, so rather than an HTTP dependency
+//! this module implements the four things a scrape needs: read a
+//! request head, extract the path, write a `200` (or `404`) with a
+//! `Content-Length`, and a tiny blocking client for tests and
+//! `loadgen`. Anything fancier (chunked bodies, keep-alive pipelines)
+//! is deliberately out of scope — `curl` and Prometheus both speak
+//! this subset happily.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// The Prometheus text exposition content type.
+pub const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Reads one request head off `r` and returns the request path
+/// (`GET /metrics HTTP/1.1` → `/metrics`). Returns `Ok(None)` on a
+/// clean immediate EOF (the peer connected and left).
+///
+/// # Errors
+///
+/// Returns a description of a malformed request line or transport
+/// failure.
+pub fn read_request_path<R: BufRead>(r: &mut R) -> Result<Option<String>, String> {
+    let mut line = String::new();
+    match r.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(format!("reading request line: {e}")),
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    if method.is_empty() || path.is_empty() {
+        return Err(format!("malformed request line {line:?}"));
+    }
+    // Drain headers until the blank line; the GETs we serve have no
+    // body.
+    loop {
+        let mut header = String::new();
+        match r.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+            Err(e) => return Err(format!("reading headers: {e}")),
+        }
+    }
+    Ok(Some(path.to_string()))
+}
+
+/// Writes one complete response with a `Content-Length` and closes the
+/// exchange (`Connection: close`).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Blocking GET of `path` from `addr`, returning the body of a `200`.
+///
+/// # Errors
+///
+/// Returns a description of connection failures, non-200 statuses, or
+/// short bodies.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let mut w = stream.try_clone().map_err(|e| e.to_string())?;
+    write!(
+        w,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send request: {e}"))?;
+    w.flush().map_err(|e| e.to_string())?;
+    let mut r = BufReader::new(stream);
+    let mut status_line = String::new();
+    r.read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        match r.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {
+                if let Some((k, v)) = header.split_once(':') {
+                    if k.eq_ignore_ascii_case("content-length") {
+                        content_length = v.trim().parse().ok();
+                    }
+                }
+            }
+            Err(e) => return Err(format!("read headers: {e}")),
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            r.read_exact(&mut buf)
+                .map_err(|e| format!("read body: {e}"))?;
+            String::from_utf8(buf).map_err(|_| "body is not UTF-8".to_string())?
+        }
+        None => {
+            let mut buf = String::new();
+            r.read_to_string(&mut buf)
+                .map_err(|e| format!("read body: {e}"))?;
+            buf
+        }
+    };
+    if status != 200 {
+        return Err(format!("HTTP {status}: {body}"));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_path_parses_and_drains_headers() {
+        let raw = "GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
+        let mut r = std::io::BufReader::new(Cursor::new(raw));
+        assert_eq!(
+            read_request_path(&mut r).unwrap(),
+            Some("/metrics".to_string())
+        );
+        // Immediate EOF is a clean None.
+        let mut empty = std::io::BufReader::new(Cursor::new(""));
+        assert_eq!(read_request_path(&mut empty).unwrap(), None);
+        // Garbage is an error.
+        let mut bad = std::io::BufReader::new(Cursor::new("\r\n"));
+        assert!(read_request_path(&mut bad).is_err());
+    }
+
+    #[test]
+    fn response_carries_length_and_body() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 200, "OK", CONTENT_TYPE_METRICS, "x_total 1\n").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 10\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nx_total 1\n"), "{text}");
+    }
+
+    #[test]
+    fn get_round_trips_against_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let path = read_request_path(&mut r).unwrap().unwrap();
+            let mut w = stream;
+            if path == "/metrics" {
+                write_response(&mut w, 200, "OK", CONTENT_TYPE_METRICS, "up 1\n").unwrap();
+            } else {
+                write_response(&mut w, 404, "Not Found", "text/plain", "no\n").unwrap();
+            }
+        });
+        let body = http_get(&addr, "/metrics", Duration::from_secs(5)).unwrap();
+        assert_eq!(body, "up 1\n");
+        server.join().unwrap();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let _ = read_request_path(&mut r).unwrap();
+            let mut w = stream;
+            write_response(&mut w, 404, "Not Found", "text/plain", "no\n").unwrap();
+        });
+        let err = http_get(&addr, "/nope", Duration::from_secs(5)).unwrap_err();
+        assert!(err.contains("404"), "{err}");
+        server.join().unwrap();
+    }
+}

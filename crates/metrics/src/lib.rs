@@ -1,0 +1,112 @@
+//! # forhdc-metrics
+//!
+//! Live telemetry for the serving front-end (DESIGN.md §6.8).
+//! Dependency-free beyond `forhdc-trace`, whose power-of-two
+//! [`PowerHistogram`](forhdc_trace::PowerHistogram) supplies the one
+//! bucket geometry every distribution in the workspace shares — so a
+//! histogram recorded here, snapshotted, scraped over HTTP, and
+//! re-parsed on the client merges losslessly with the client's own.
+//!
+//! Four pieces:
+//!
+//! - [`registry`] — sharded-atomic [`Counter`]/[`Gauge`]/
+//!   [`AtomicHistogram`] instruments, grouped into labeled families in
+//!   a [`Registry`] that renders Prometheus text exposition format.
+//! - [`flight`] — the [`FlightRecorder`]: a bounded ring of recent
+//!   request-lifecycle [`TraceEvent`](forhdc_trace::TraceEvent)s per
+//!   worker, dumped as JSONL the existing trace tooling parses.
+//! - [`scrape`] — the matching text parser: samples, counters, and
+//!   exact histogram reconstruction ([`Scrape`]), plus
+//!   [`histogram_delta`] for windowed (between-two-scrapes)
+//!   distributions.
+//! - [`http`] — a minimal HTTP request/response layer and blocking
+//!   GET client, enough for `curl`, Prometheus, and `loadgen`.
+//!
+//! The simulator never links this crate: metrics live on the
+//! wall-clock serving path only, and the zero-cost facade rules of the
+//! simulation (`NullTracer`/`NoFaults`/`NoChecks`) are untouched.
+
+pub mod flight;
+pub mod http;
+pub mod registry;
+pub mod scrape;
+
+pub use flight::FlightRecorder;
+pub use registry::{AtomicHistogram, Counter, Gauge, Registry};
+pub use scrape::{histogram_delta, Sample, Scrape};
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tracks counter readings between scrapes and turns them into
+/// windowed rates, so successive scrapes of monotone totals yield
+/// RPS/MBps-style deltas without the server keeping any per-window
+/// state of its own.
+///
+/// `observe` takes the current readings of a fixed set of counters (in
+/// a caller-chosen order) and returns the seconds since the previous
+/// observation plus each counter's per-second rate over that window —
+/// `None` on the first observation, when there is no window yet.
+#[derive(Debug, Default)]
+pub struct RateWindow {
+    last: Mutex<Option<(Instant, Vec<u64>)>>,
+}
+
+impl RateWindow {
+    /// A tracker with no prior observation.
+    pub fn new() -> Self {
+        RateWindow::default()
+    }
+
+    /// Records `values` now and returns `(window seconds, rates)`
+    /// against the previous observation, if any.
+    pub fn observe(&self, values: &[u64]) -> Option<(f64, Vec<f64>)> {
+        let now = Instant::now();
+        let mut last = self.last.lock().expect("rate window lock poisoned");
+        let prev = last.replace((now, values.to_vec()));
+        let (t0, prev_values) = prev?;
+        let secs = now.duration_since(t0).as_secs_f64();
+        if prev_values.len() != values.len() || secs <= 0.0 {
+            return None;
+        }
+        let rates = values
+            .iter()
+            .zip(&prev_values)
+            .map(|(&cur, &old)| cur.saturating_sub(old) as f64 / secs)
+            .collect();
+        Some((secs, rates))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_has_no_window() {
+        let rw = RateWindow::new();
+        assert!(rw.observe(&[10, 20]).is_none());
+        let (secs, rates) = rw.observe(&[110, 40]).expect("second observation");
+        assert!(secs > 0.0);
+        assert_eq!(rates.len(), 2);
+        // 100 and 20 increments over the (tiny) window: rates are
+        // positive and proportional.
+        assert!(rates[0] > rates[1]);
+    }
+
+    #[test]
+    fn counter_reset_clamps_to_zero_rate() {
+        let rw = RateWindow::new();
+        assert!(rw.observe(&[1000]).is_none());
+        let (_, rates) = rw.observe(&[1]).expect("window");
+        assert_eq!(rates[0], 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_none_but_resets_baseline() {
+        let rw = RateWindow::new();
+        assert!(rw.observe(&[1]).is_none());
+        assert!(rw.observe(&[1, 2]).is_none());
+        assert!(rw.observe(&[2, 4]).is_some());
+    }
+}

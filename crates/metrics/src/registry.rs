@@ -1,0 +1,647 @@
+//! The metric primitives and the registry that exposes them.
+//!
+//! Three instrument kinds, all lock-free on the hot path:
+//!
+//! - [`Counter`] — a monotonically increasing `u64`, sharded across
+//!   cache-line-padded atomics so concurrent connection workers never
+//!   bounce one line.
+//! - [`Gauge`] — a single signed atomic (inflight ops, queue depths,
+//!   resident blocks go up *and* down).
+//! - [`AtomicHistogram`] — the atomic twin of
+//!   [`forhdc_trace::PowerHistogram`]: one atomic bucket per binary
+//!   octave plus sum and max, sharing the exact bucket geometry via
+//!   [`PowerHistogram::bucket_index`], so a snapshot is an ordinary
+//!   `PowerHistogram` and merges with every other histogram in the
+//!   workspace (trace summaries, `loadgen`'s client-side latencies).
+//!
+//! A [`Registry`] holds named *families* of instruments — optionally
+//! labeled, e.g. one counter per `disk` — registered once at startup
+//! and rendered on demand as Prometheus text exposition format
+//! (`# HELP` / `# TYPE` headers, cumulative `_bucket{le=...}` lines,
+//! `_sum` / `_count`). Registration order is preserved, so two renders
+//! of the same state are byte-identical.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use forhdc_trace::PowerHistogram;
+
+/// Shards per counter: enough that a handful of connection workers
+/// rarely collide, small enough that summing on scrape is trivial.
+const COUNTER_SHARDS: usize = 16;
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread gets a stable round-robin shard slot on first use.
+    static THREAD_SLOT: usize =
+        NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+}
+
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| *s)
+}
+
+/// One cache line of counter state; the padding keeps neighbouring
+/// shards from sharing a line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// A monotonically increasing counter, sharded across padded atomics.
+///
+/// `add` touches only the calling thread's shard; `get` sums all of
+/// them (scrapes are rare, increments are not).
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[thread_slot()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Overwrites the total with a value collected elsewhere (shard 0
+    /// takes it all). For *collector-style* counters whose source of
+    /// truth lives behind another structure's lock (the controller's
+    /// own hit counters, say) and that are only ever `set_total`, never
+    /// `add` — mixing the two on one counter loses increments.
+    pub fn set_total(&self, total: u64) {
+        self.shards[0].0.store(total, Ordering::Relaxed);
+        for s in &self.shards[1..] {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A gauge: a signed value that moves both ways.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value outright.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds (possibly negative) `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The atomic twin of [`PowerHistogram`]: same 64 power-of-two
+/// buckets, recorded lock-free. `snapshot()` materializes an ordinary
+/// `PowerHistogram`, so anything that merges trace histograms merges
+/// these too.
+///
+/// A concurrent snapshot is not a single atomic cut — counts, sum, and
+/// max are read independently — but every individual bucket is exact
+/// and monotone, which is all scrape deltas and conservation checks
+/// need.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: [AtomicU64; 64],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (nanoseconds).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let b = PowerHistogram::bucket_index(value);
+        self.counts[b].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Materializes the current state as a mergeable
+    /// [`PowerHistogram`].
+    pub fn snapshot(&self) -> PowerHistogram {
+        let counts = std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed));
+        PowerHistogram::from_parts(
+            counts,
+            self.sum.load(Ordering::Relaxed) as u128,
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// What a family's instruments are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn type_tag(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One instrument slot inside a family.
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<AtomicHistogram>),
+}
+
+/// A named family: one unlabeled instrument, or one instrument per
+/// label value.
+#[derive(Debug)]
+struct Family {
+    name: &'static str,
+    help: &'static str,
+    kind: Kind,
+    /// The label name, when the family is labeled.
+    label: Option<&'static str>,
+    /// `(label value, slot)`; a single `("", slot)` when unlabeled.
+    slots: Vec<(String, Slot)>,
+}
+
+/// A registry of metric families, rendered as Prometheus text.
+///
+/// Families are registered once at startup (duplicate names panic —
+/// that is a wiring bug, not a runtime condition) and rendered any
+/// number of times; the render walks families in registration order.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(&self, family: Family) {
+        let mut fams = self.families.lock().expect("registry lock poisoned");
+        assert!(
+            fams.iter().all(|f| f.name != family.name),
+            "duplicate metric family {:?}",
+            family.name
+        );
+        fams.push(family);
+    }
+
+    /// Registers an unlabeled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.register(Family {
+            name,
+            help,
+            kind: Kind::Counter,
+            label: None,
+            slots: vec![(String::new(), Slot::Counter(Arc::clone(&c)))],
+        });
+        c
+    }
+
+    /// Registers a labeled counter family, one counter per value.
+    pub fn counter_vec(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+        values: &[String],
+    ) -> Vec<Arc<Counter>> {
+        let counters: Vec<Arc<Counter>> = values.iter().map(|_| Arc::new(Counter::new())).collect();
+        self.register(Family {
+            name,
+            help,
+            kind: Kind::Counter,
+            label: Some(label),
+            slots: values
+                .iter()
+                .zip(&counters)
+                .map(|(v, c)| (v.clone(), Slot::Counter(Arc::clone(c))))
+                .collect(),
+        });
+        counters
+    }
+
+    /// Registers an unlabeled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.register(Family {
+            name,
+            help,
+            kind: Kind::Gauge,
+            label: None,
+            slots: vec![(String::new(), Slot::Gauge(Arc::clone(&g)))],
+        });
+        g
+    }
+
+    /// Registers a labeled gauge family, one gauge per value.
+    pub fn gauge_vec(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+        values: &[String],
+    ) -> Vec<Arc<Gauge>> {
+        let gauges: Vec<Arc<Gauge>> = values.iter().map(|_| Arc::new(Gauge::new())).collect();
+        self.register(Family {
+            name,
+            help,
+            kind: Kind::Gauge,
+            label: Some(label),
+            slots: values
+                .iter()
+                .zip(&gauges)
+                .map(|(v, g)| (v.clone(), Slot::Gauge(Arc::clone(g))))
+                .collect(),
+        });
+        gauges
+    }
+
+    /// Registers an unlabeled histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<AtomicHistogram> {
+        let h = Arc::new(AtomicHistogram::new());
+        self.register(Family {
+            name,
+            help,
+            kind: Kind::Histogram,
+            label: None,
+            slots: vec![(String::new(), Slot::Histogram(Arc::clone(&h)))],
+        });
+        h
+    }
+
+    /// Registers a labeled histogram family, one histogram per value.
+    pub fn histogram_vec(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+        values: &[String],
+    ) -> Vec<Arc<AtomicHistogram>> {
+        let hists: Vec<Arc<AtomicHistogram>> = values
+            .iter()
+            .map(|_| Arc::new(AtomicHistogram::new()))
+            .collect();
+        self.register(Family {
+            name,
+            help,
+            kind: Kind::Histogram,
+            label: Some(label),
+            slots: values
+                .iter()
+                .zip(&hists)
+                .map(|(v, h)| (v.clone(), Slot::Histogram(Arc::clone(h))))
+                .collect(),
+        });
+        hists
+    }
+
+    /// Renders every family as Prometheus text exposition format.
+    ///
+    /// Histograms emit cumulative `_bucket` lines for occupied buckets
+    /// only (plus the mandatory `+Inf`), with `le` the *inclusive*
+    /// upper bound of the power-of-two bucket (`2^(b+1) - 1`), so a
+    /// scrape reconstructs the exact [`PowerHistogram`] bucket counts.
+    pub fn render(&self) -> String {
+        let fams = self.families.lock().expect("registry lock poisoned");
+        let mut out = String::with_capacity(4096);
+        for f in fams.iter() {
+            out.push_str("# HELP ");
+            out.push_str(f.name);
+            out.push(' ');
+            out.push_str(f.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(f.name);
+            out.push(' ');
+            out.push_str(f.kind.type_tag());
+            out.push('\n');
+            for (value, slot) in &f.slots {
+                let label = f.label.map(|l| (l, value.as_str()));
+                match slot {
+                    Slot::Counter(c) => {
+                        push_sample(&mut out, f.name, "", label, None, &c.get().to_string())
+                    }
+                    Slot::Gauge(g) => {
+                        push_sample(&mut out, f.name, "", label, None, &g.get().to_string())
+                    }
+                    Slot::Histogram(h) => render_histogram(&mut out, f.name, label, &h.snapshot()),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Appends one sample line: `name[suffix]{labels} value`.
+fn push_sample(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    label: Option<(&str, &str)>,
+    le: Option<&str>,
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    if label.is_some() || le.is_some() {
+        out.push('{');
+        let mut first = true;
+        if let Some((k, v)) = label {
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(v);
+            out.push('"');
+            first = false;
+        }
+        if let Some(le) = le {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(le);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    label: Option<(&str, &str)>,
+    snap: &PowerHistogram,
+) {
+    let mut cumulative = 0u64;
+    for (b, &c) in snap.bucket_counts().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        // Inclusive upper bound of bucket b: 2^(b+1) - 1 (bucket 63
+        // saturates at u64::MAX rather than wrapping to 0).
+        let le = if b >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (b + 1)) - 1
+        };
+        push_sample(
+            out,
+            name,
+            "_bucket",
+            label,
+            Some(&le.to_string()),
+            &cumulative.to_string(),
+        );
+    }
+    push_sample(
+        out,
+        name,
+        "_bucket",
+        label,
+        Some("+Inf"),
+        &cumulative.to_string(),
+    );
+    push_sample(out, name, "_sum", label, None, &snap.sum().to_string());
+    push_sample(out, name, "_count", label, None, &snap.count().to_string());
+}
+
+/// Turns `le` text from a rendered bucket line back into its bucket
+/// index: `le = 2^(b+1) - 1` (with `+Inf` and the saturated top bucket
+/// handled by the caller).
+pub(crate) fn bucket_of_le(le: u64) -> Option<usize> {
+    if le == u64::MAX {
+        return Some(63);
+    }
+    let up = le.checked_add(1)?;
+    if !up.is_power_of_two() || up < 2 {
+        return None;
+    }
+    Some(up.trailing_zeros() as usize - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+        c.add(5);
+        assert_eq!(c.get(), 80_005);
+    }
+
+    #[test]
+    fn collector_counter_set_total_overwrites() {
+        let c = Counter::new();
+        c.set_total(42);
+        assert_eq!(c.get(), 42);
+        c.set_total(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+        g.add(10);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_power_histogram() {
+        let ah = AtomicHistogram::new();
+        let mut ph = PowerHistogram::new();
+        for v in [0u64, 1, 2, 3, 1000, 65_535, 1 << 40] {
+            ah.record(v);
+            ph.record(v);
+        }
+        assert_eq!(ah.snapshot(), ph);
+        assert_eq!(ah.count(), ph.count());
+        // Snapshots merge like any other PowerHistogram.
+        let mut merged = ah.snapshot();
+        merged.merge(&ph);
+        assert_eq!(merged.count(), 14);
+    }
+
+    #[test]
+    fn concurrent_histogram_records_conserve_count() {
+        let ah = Arc::new(AtomicHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let ah = Arc::clone(&ah);
+            handles.push(thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    ah.record(t * 1_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ah.snapshot().count(), 20_000);
+    }
+
+    #[test]
+    fn render_covers_all_kinds_and_labels() {
+        let r = Registry::new();
+        let c = r.counter("t_reqs_total", "requests");
+        let disks = vec!["0".to_string(), "1".to_string()];
+        let cv = r.counter_vec("t_disk_ops_total", "ops per disk", "disk", &disks);
+        let g = r.gauge("t_inflight", "inflight ops");
+        let hv = r.histogram_vec("t_latency_ns", "latency", "disk", &disks);
+        c.add(3);
+        cv[1].add(9);
+        g.set(2);
+        hv[0].record(5);
+        hv[0].record(100);
+        let text = r.render();
+        for needle in [
+            "# HELP t_reqs_total requests",
+            "# TYPE t_reqs_total counter",
+            "t_reqs_total 3",
+            "t_disk_ops_total{disk=\"0\"} 0",
+            "t_disk_ops_total{disk=\"1\"} 9",
+            "# TYPE t_inflight gauge",
+            "t_inflight 2",
+            "# TYPE t_latency_ns histogram",
+            "t_latency_ns_bucket{disk=\"0\",le=\"7\"} 1",
+            "t_latency_ns_bucket{disk=\"0\",le=\"127\"} 2",
+            "t_latency_ns_bucket{disk=\"0\",le=\"+Inf\"} 2",
+            "t_latency_ns_sum{disk=\"0\"} 105",
+            "t_latency_ns_count{disk=\"0\"} 2",
+            "t_latency_ns_bucket{disk=\"1\",le=\"+Inf\"} 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let r = Registry::new();
+        let c = r.counter("t_a_total", "a");
+        let h = r.histogram("t_h_ns", "h");
+        c.add(1);
+        h.record(77);
+        assert_eq!(r.render(), r.render());
+    }
+
+    #[test]
+    fn duplicate_family_name_panics() {
+        let r = Registry::new();
+        let _c = r.counter("t_dup_total", "first");
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _d = r.counter("t_dup_total", "second");
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn le_round_trips_bucket_index() {
+        for b in 0..63usize {
+            let le = (1u64 << (b + 1)) - 1;
+            assert_eq!(bucket_of_le(le), Some(b));
+        }
+        assert_eq!(bucket_of_le(u64::MAX), Some(63));
+        assert_eq!(bucket_of_le(4), None);
+        assert_eq!(bucket_of_le(0), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! Parsing the Prometheus text this crate renders.
+//!
+//! `loadgen --scrape` (and the e2e tests) read the server's exposition
+//! back over the wire and fold the server-side distributions into the
+//! client-side report. The parser covers exactly the subset
+//! [`crate::Registry::render`] emits — flat sample lines, simple
+//! quoted label values, cumulative histogram buckets with
+//! power-of-two-aligned `le` bounds — which keeps it a few dozen lines
+//! and dependency-free rather than a general OpenMetrics parser.
+
+use forhdc_trace::PowerHistogram;
+
+use crate::registry::bucket_of_le;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name, including any `_bucket`/`_sum`/`_count` suffix.
+    pub name: String,
+    /// Label pairs in line order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (integers in our output, but Prometheus allows
+    /// floats).
+    pub value: f64,
+}
+
+impl Sample {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the sample carries every `(key, value)` pair in `want`
+    /// (extra labels such as `le` are allowed).
+    fn matches(&self, want: &[(&str, &str)]) -> bool {
+        want.iter().all(|&(k, v)| self.label(k) == Some(v))
+    }
+}
+
+/// A parsed scrape: every sample line of one exposition document.
+#[derive(Debug, Clone, Default)]
+pub struct Scrape {
+    /// Samples in document order.
+    pub samples: Vec<Sample>,
+}
+
+impl Scrape {
+    /// Parses one text exposition document.
+    ///
+    /// # Errors
+    ///
+    /// Returns the 1-based line number and cause of the first
+    /// malformed sample line (comment and blank lines are skipped).
+    pub fn parse(text: &str) -> Result<Scrape, String> {
+        let mut samples = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+        Ok(Scrape { samples })
+    }
+
+    /// The value of the first sample matching `name` and all of
+    /// `labels`.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.matches(labels))
+            .map(|s| s.value)
+    }
+
+    /// [`Scrape::value`] truncated to a `u64` counter reading.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.value(name, labels).map(|v| v as u64)
+    }
+
+    /// Reconstructs the [`PowerHistogram`] of the family `name` with
+    /// the given labels from its `_bucket`/`_sum` lines.
+    ///
+    /// The exposition format carries no exact maximum, so the rebuilt
+    /// histogram's `max()` is the highest occupied bucket's lower
+    /// bound — a conservative (never above the true max) stand-in
+    /// consistent with the bucket-floor quantile semantics.
+    ///
+    /// Returns `None` when the family (or its `+Inf` bucket) is
+    /// absent; a malformed `le` bound is an error.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Option<PowerHistogram>, String> {
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative: Vec<(usize, u64)> = Vec::new();
+        let mut saw_inf = false;
+        for s in self.samples.iter().filter(|s| s.name == bucket_name) {
+            if !s.matches(labels) {
+                continue;
+            }
+            let le = s
+                .label("le")
+                .ok_or_else(|| format!("{bucket_name}: bucket line without le"))?;
+            if le == "+Inf" {
+                saw_inf = true;
+                continue;
+            }
+            let le: u64 = le
+                .parse()
+                .map_err(|_| format!("{bucket_name}: non-integer le {le:?}"))?;
+            let b = bucket_of_le(le)
+                .ok_or_else(|| format!("{bucket_name}: le {le} is not a power-of-two bound"))?;
+            cumulative.push((b, s.value as u64));
+        }
+        if !saw_inf {
+            return Ok(None);
+        }
+        let mut counts = [0u64; 64];
+        let mut prev = 0u64;
+        for (b, cum) in cumulative {
+            counts[b] = cum.saturating_sub(prev);
+            prev = cum;
+        }
+        let sum = self
+            .value(&format!("{name}_sum"), labels)
+            .map(|v| v as u128)
+            .unwrap_or(0);
+        let max = counts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &c)| c > 0)
+            .map(|(b, _)| if b == 0 { 0 } else { 1u64 << b })
+            .unwrap_or(0);
+        Ok(Some(PowerHistogram::from_parts(counts, sum, max)))
+    }
+}
+
+/// Subtracts an earlier histogram snapshot from a later one of the
+/// same family, bucket by bucket — the per-window distribution between
+/// two scrapes of a monotonically growing histogram. The window's max
+/// is unknowable from buckets alone, so the delta's `max()` falls back
+/// to its own highest occupied bucket's lower bound.
+pub fn histogram_delta(later: &PowerHistogram, earlier: &PowerHistogram) -> PowerHistogram {
+    let mut counts = [0u64; 64];
+    let lc = later.bucket_counts();
+    let ec = earlier.bucket_counts();
+    for b in 0..64 {
+        counts[b] = lc[b].saturating_sub(ec[b]);
+    }
+    let sum = later.sum().saturating_sub(earlier.sum());
+    let max = counts
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, &c)| c > 0)
+        .map(|(b, _)| if b == 0 { 0 } else { 1u64 << b })
+        .unwrap_or(0);
+    PowerHistogram::from_parts(counts, sum, max)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    // name{k="v",...} value   |   name value
+    let (head, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("no value in {line:?}"))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("bad value {value:?} in {line:?}"))?;
+    let (name, labels) = match head.split_once('{') {
+        None => (head.trim().to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let inner = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated labels in {line:?}"))?;
+            let mut labels = Vec::new();
+            for pair in inner.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed label {pair:?} in {line:?}"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value {v:?} in {line:?}"))?;
+                labels.push((k.trim().to_string(), v.to_string()));
+            }
+            (name.trim().to_string(), labels)
+        }
+    };
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn parses_plain_and_labeled_samples() {
+        let text = "\
+# HELP x_total things
+# TYPE x_total counter
+x_total 41
+y_ops{disk=\"2\"} 7
+z_rate 1.5
+";
+        let s = Scrape::parse(text).unwrap();
+        assert_eq!(s.counter("x_total", &[]), Some(41));
+        assert_eq!(s.counter("y_ops", &[("disk", "2")]), Some(7));
+        assert_eq!(s.counter("y_ops", &[("disk", "0")]), None);
+        assert_eq!(s.value("z_rate", &[]), Some(1.5));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_with_line_numbers() {
+        assert!(Scrape::parse("novaluehere").unwrap_err().contains("line 1"));
+        assert!(Scrape::parse("x{k=\"v\" 3").unwrap_err().contains("line 1"));
+        assert!(Scrape::parse("ok 1\nx nan3")
+            .unwrap_err()
+            .contains("line 2"));
+    }
+
+    #[test]
+    fn histogram_round_trips_through_render_and_parse() {
+        let r = Registry::new();
+        let disks = vec!["0".to_string(), "1".to_string()];
+        let hv = r.histogram_vec("t_svc_ns", "service", "disk", &disks);
+        let mut want = PowerHistogram::new();
+        for v in [3u64, 3, 90, 4096, 4097, 1_000_000] {
+            hv[1].record(v);
+            want.record(v);
+        }
+        let scrape = Scrape::parse(&r.render()).unwrap();
+        let got = scrape
+            .histogram("t_svc_ns", &[("disk", "1")])
+            .unwrap()
+            .expect("family present");
+        assert_eq!(got.bucket_counts(), want.bucket_counts());
+        assert_eq!(got.count(), want.count());
+        assert_eq!(got.sum(), want.sum());
+        // The exact max is lost in transit; the stand-in is the top
+        // occupied bucket's lower bound, never above the true max.
+        assert!(got.max() <= want.max());
+        assert_eq!(got.p50(), want.p50());
+        assert_eq!(got.p99(), want.p99());
+        // The empty sibling parses as an empty histogram.
+        let empty = scrape
+            .histogram("t_svc_ns", &[("disk", "0")])
+            .unwrap()
+            .expect("family present");
+        assert!(empty.is_empty());
+        // A family that was never rendered is None.
+        assert!(scrape.histogram("t_nope_ns", &[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn histogram_delta_isolates_a_window() {
+        let mut early = PowerHistogram::new();
+        let mut late = PowerHistogram::new();
+        for v in [10u64, 20, 30] {
+            early.record(v);
+            late.record(v);
+        }
+        let mut window_only = PowerHistogram::new();
+        for v in [100u64, 5000, 70_000] {
+            late.record(v);
+            window_only.record(v);
+        }
+        let delta = histogram_delta(&late, &early);
+        assert_eq!(delta.bucket_counts(), window_only.bucket_counts());
+        assert_eq!(delta.count(), 3);
+        assert_eq!(delta.sum(), window_only.sum());
+        // Delta against itself is empty.
+        assert!(histogram_delta(&early, &early).is_empty());
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! loadgen --addr HOST:PORT [--levels 1,2,4,8] [--requests N] [--seed S]
-//!         [--alpha A] [--verify] [--shutdown] [--json FILE]
+//!         [--alpha A] [--verify] [--scrape] [--shutdown] [--json FILE]
+//!         [--dump-flight FILE]
 //! ```
 //!
 //! Fetches the array metadata over the wire (`META`), then sweeps the
@@ -16,6 +17,15 @@
 //! makes that checkable from the outside. One table row per level:
 //! throughput plus p50/p95/p99/p99.9 latency from the shared
 //! power-of-two histogram.
+//!
+//! `--scrape` additionally fetches the server's `METRICS` exposition
+//! before and after each level and takes the per-level delta of the
+//! server-side READ latency histogram — same power-of-two bucket
+//! geometry, so the distributions merge losslessly with the client's
+//! own — adding `srv_p50ms`/`srv_p99ms` columns and a merged
+//! server-side summary to the JSON report. `--dump-flight FILE` saves
+//! the server's flight-recorder JSONL (a `DUMP` frame) after the
+//! sweep.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
@@ -28,6 +38,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use forhdc_metrics::{histogram_delta, Scrape};
 use forhdc_serve::image::{block_payload, rank_to_file, DiskMeta};
 use forhdc_serve::protocol::{read_response, write_request, Request, MAX_READ_BLOCKS, ST_OK};
 use forhdc_trace::{PowerHistogram, Quantiles};
@@ -43,7 +54,7 @@ impl Args {
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if matches!(name, "verify" | "shutdown") {
+                if matches!(name, "verify" | "shutdown" | "scrape") {
                     flags.insert(name.to_string(), String::from("1"));
                 } else {
                     let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -75,7 +86,8 @@ const USAGE: &str = "\
 loadgen — closed-loop load generator for serve
 
   loadgen --addr HOST:PORT [--levels 1,2,4,8] [--requests N] [--seed S]
-          [--alpha A] [--verify] [--shutdown] [--json FILE]
+          [--alpha A] [--verify] [--scrape] [--shutdown] [--json FILE]
+          [--dump-flight FILE]
 ";
 
 fn main() -> ExitCode {
@@ -96,6 +108,9 @@ struct LevelResult {
     requests: u64,
     secs: f64,
     latency: Quantiles,
+    /// Server-side READ latency over this level (scrape delta), when
+    /// `--scrape` is on.
+    server: Option<Quantiles>,
     digest: u64,
 }
 
@@ -111,6 +126,7 @@ fn run() -> Result<(), String> {
     let seed: u64 = args.flag("seed", 42u64)?;
     let alpha: f64 = args.flag("alpha", 0.4f64)?;
     let verify = args.set("verify");
+    let scrape = args.set("scrape");
 
     let meta = fetch_meta(&addr)?;
     if meta.file_blocks > MAX_READ_BLOCKS {
@@ -126,16 +142,32 @@ fn run() -> Result<(), String> {
         "loadgen: {} files x {} blocks, alpha={alpha}, seed={seed}, {} requests/level",
         meta.files, meta.file_blocks, requests
     );
-    println!(
+    print!(
         "{:>5} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "conc", "requests", "secs", "rps", "p50ms", "p95ms", "p99ms", "p99.9ms", "maxms", "meanms"
     );
+    if scrape {
+        print!(" {:>9} {:>9}", "srv_p50ms", "srv_p99ms");
+    }
+    println!();
     let mut results = Vec::new();
     let mut digest_all = 0u64;
+    let mut server_merged = PowerHistogram::new();
     for &conc in &levels {
-        let r = run_level(&addr, &meta, &perm, &zipf, conc, requests, seed, verify)?;
+        let before = if scrape {
+            Some(scrape_server_read_hist(&addr)?)
+        } else {
+            None
+        };
+        let mut r = run_level(&addr, &meta, &perm, &zipf, conc, requests, seed, verify)?;
+        if let Some(before) = &before {
+            let after = scrape_server_read_hist(&addr)?;
+            let delta = histogram_delta(&after, before);
+            server_merged.merge(&delta);
+            r.server = Some(delta.quantiles());
+        }
         digest_all ^= r.digest;
-        println!(
+        print!(
             "{:>5} {:>9} {:>8.2} {:>9.0} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
             r.conc,
             r.requests,
@@ -148,13 +180,26 @@ fn run() -> Result<(), String> {
             ms(r.latency.max_ns),
             ms(r.latency.mean_ns),
         );
+        if let Some(srv) = &r.server {
+            print!(" {:>9.2} {:>9.2}", ms(srv.p50_ns), ms(srv.p99_ns));
+        }
+        println!();
         results.push(r);
     }
     println!("schedule digest: 0x{digest_all:016x}");
 
     if let Some(path) = args.flags.get("json") {
-        let json = results_json(&results, digest_all);
+        let server = scrape.then(|| server_merged.quantiles());
+        let json = results_json(&results, digest_all, server.as_ref());
         std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if let Some(path) = args.flags.get("dump-flight") {
+        let dump = fetch_frame(&addr, &Request::Dump, "dump")?;
+        std::fs::write(path, &dump).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "loadgen: wrote {} bytes of flight-recorder JSONL to {path}",
+            dump.len()
+        );
     }
     if args.set("shutdown") {
         let mut c = connect(&addr)?;
@@ -199,21 +244,39 @@ fn connect(addr: &str) -> Result<TcpStream, String> {
     Ok(stream)
 }
 
-fn fetch_meta(addr: &str) -> Result<DiskMeta, String> {
+/// One request/response exchange on a fresh connection, returning the
+/// OK payload.
+fn fetch_frame(addr: &str, req: &Request, what: &str) -> Result<Vec<u8>, String> {
     let stream = connect(addr)?;
     let mut r = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut w = BufWriter::new(stream);
-    write_request(&mut w, &Request::Meta).map_err(|e| e.to_string())?;
+    write_request(&mut w, req).map_err(|e| e.to_string())?;
     w.flush().map_err(|e| e.to_string())?;
-    let (st, body) = read_response(&mut r).map_err(|e| format!("meta: {e}"))?;
+    let (st, body) = read_response(&mut r).map_err(|e| format!("{what}: {e}"))?;
     if st != ST_OK {
         return Err(format!(
-            "meta refused (status {st}): {}",
+            "{what} refused (status {st}): {}",
             String::from_utf8_lossy(&body)
         ));
     }
+    Ok(body)
+}
+
+fn fetch_meta(addr: &str) -> Result<DiskMeta, String> {
+    let body = fetch_frame(addr, &Request::Meta, "meta")?;
     let text = std::str::from_utf8(&body).map_err(|_| "meta payload is not UTF-8")?;
     DiskMeta::from_text(text)
+}
+
+/// Scrapes the server's `METRICS` exposition and reconstructs the
+/// cumulative server-side READ latency histogram.
+fn scrape_server_read_hist(addr: &str) -> Result<PowerHistogram, String> {
+    let body = fetch_frame(addr, &Request::Metrics, "metrics")?;
+    let text = std::str::from_utf8(&body).map_err(|_| "metrics payload is not UTF-8")?;
+    let scrape = Scrape::parse(text)?;
+    scrape
+        .histogram("forhdc_op_latency_ns", &[("op", "read")])?
+        .ok_or_else(|| "server metrics lack forhdc_op_latency_ns{op=\"read\"}".to_string())
 }
 
 /// A deterministic per-connection seed: splitmix64 over the user seed
@@ -277,6 +340,7 @@ fn run_level(
         requests: total,
         secs: started.elapsed().as_secs_f64(),
         latency: hist.quantiles(),
+        server: None,
         digest,
     })
 }
@@ -350,20 +414,29 @@ fn conn_loop(
     Ok((hist, digest, n))
 }
 
-fn results_json(results: &[LevelResult], digest: u64) -> String {
+fn results_json(results: &[LevelResult], digest: u64, server: Option<&Quantiles>) -> String {
     let mut s = String::from("{\n  \"levels\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let server_part = match &r.server {
+            Some(q) => format!(", \"server_latency\": {}", q.to_json()),
+            None => String::new(),
+        };
         s.push_str(&format!(
             "    {{\"conc\": {}, \"requests\": {}, \"secs\": {:.3}, \"rps\": {:.1}, \
-             \"latency\": {}}}{}\n",
+             \"latency\": {}{}}}{}\n",
             r.conc,
             r.requests,
             r.secs,
             r.requests as f64 / r.secs,
             r.latency.to_json(),
+            server_part,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
-    s.push_str(&format!("  ],\n  \"digest\": \"0x{digest:016x}\"\n}}\n"));
+    s.push_str("  ],\n");
+    if let Some(q) = server {
+        s.push_str(&format!("  \"server\": {},\n", q.to_json()));
+    }
+    s.push_str(&format!("  \"digest\": \"0x{digest:016x}\"\n}}\n"));
     s
 }

@@ -8,10 +8,16 @@
 //!
 //! serve run --dir DIR [--port P] [--threads N] [--policy P] [--hdc KB]
 //!           [--stats-secs S] [--port-file F] [--report F] [--max-conns N]
+//!           [--metrics-addr HOST:PORT] [--metrics-port-file F]
 //!     Serve file reads from the images through the FOR/HDC stack.
 //!       --port 0 picks an ephemeral port; --port-file writes the
-//!       bound port for scripts. The server runs until a client sends
-//!       SHUTDOWN, then drains and prints a JSON report.
+//!       bound port for scripts. --metrics-addr binds a side HTTP
+//!       listener answering GET /metrics with Prometheus text
+//!       exposition (--metrics-port-file writes its bound port).
+//!       The server runs until a client sends SHUTDOWN, then drains
+//!       and prints a JSON report. A panic in any serving thread
+//!       prints a structured report plus a flight-recorder dump to
+//!       stderr before the thread dies.
 //! ```
 
 use std::collections::HashMap;
@@ -72,6 +78,7 @@ serve — live TCP front-end for the FOR/HDC disk-array stack
   serve run    --dir DIR [--port P] [--threads N]
                [--policy segm|block|no-ra|for|track] [--hdc KB]
                [--stats-secs S] [--port-file F] [--report F] [--max-conns N]
+               [--metrics-addr HOST:PORT] [--metrics-port-file F]
 ";
 
 fn main() -> ExitCode {
@@ -149,6 +156,7 @@ fn serve(args: &Args) -> Result<(), String> {
         stats_secs: args.flag("stats-secs", 0u64)?,
     };
     let engine = Engine::open(&dir, meta, policy, hdc_blocks)?;
+    install_panic_hook(&engine);
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
     let bound = listener
@@ -158,16 +166,64 @@ fn serve(args: &Args) -> Result<(), String> {
         let mut f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
         writeln!(f, "{}", bound.port()).map_err(|e| format!("write {path}: {e}"))?;
     }
+    let metrics_listener = match args.flags.get("metrics-addr") {
+        Some(addr) => {
+            let l = TcpListener::bind(addr.as_str()).map_err(|e| format!("bind {addr}: {e}"))?;
+            let maddr = l.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+            if let Some(path) = args.flags.get("metrics-port-file") {
+                let mut f =
+                    std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+                writeln!(f, "{}", maddr.port()).map_err(|e| format!("write {path}: {e}"))?;
+            }
+            eprintln!("serve: metrics on http://{maddr}/metrics");
+            Some(l)
+        }
+        None => None,
+    };
     eprintln!(
         "serve: listening on {bound} policy={} hdc={}KB images={}",
         engine.policy().label(),
         hdc_kb,
         dir.display()
     );
-    let report = run_server(engine, listener, &opts)?;
+    let report = run_server(engine, listener, metrics_listener, &opts)?;
     if let Some(path) = args.flags.get("report") {
         std::fs::write(path, &report).map_err(|e| format!("write {path}: {e}"))?;
     }
     print!("{report}");
     Ok(())
+}
+
+/// Installs a process-wide panic hook that writes a structured report
+/// and a flight-recorder dump to stderr before the default hook's
+/// backtrace. A panicking connection thread dies alone; a panic on the
+/// main thread still exits the process non-zero afterwards.
+fn install_panic_hook(engine: &Engine) {
+    let metrics = std::sync::Arc::clone(engine.metrics());
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let thread = std::thread::current();
+        let location = info
+            .location()
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "<unknown>".to_string());
+        let message = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        eprintln!(
+            "serve: PANIC in thread '{}' at {location}: {message}",
+            thread.name().unwrap_or("<unnamed>")
+        );
+        let dump = metrics.flight.dump_jsonl();
+        eprintln!(
+            "serve: flight recorder dump ({} events, reason: panic) begin",
+            dump.lines().count()
+        );
+        eprint!("{dump}");
+        eprintln!("serve: flight recorder dump end");
+        default_hook(info);
+    }));
 }

@@ -15,17 +15,19 @@
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use forhdc_cache::fx::FxHashMap;
 use forhdc_core::controller::ControllerDecision;
 use forhdc_core::{DiskController, ReadAheadKind};
 use forhdc_layout::{build_disk_bitmaps, FileId, FileMap};
+use forhdc_metrics::Gauge;
 use forhdc_sim::{DiskConfig, DiskId, PhysBlock, ReadWrite, StripingMap};
-use forhdc_trace::{PowerHistogram, Quantiles};
+use forhdc_trace::{FaultKind, PowerHistogram, ProbeResult, Quantiles, TraceEvent};
 
 use crate::image::{rank_to_file, DiskMeta};
+use crate::metrics::ServeMetrics;
 use crate::protocol::MAX_READ_BLOCKS;
 
 /// Slack on top of the controller-resident block count before the
@@ -49,13 +51,14 @@ impl std::fmt::Display for ReadError {
     }
 }
 
-#[derive(Debug, Default)]
-struct DiskCounters {
-    media_ops: u64,
-    media_blocks: u64,
-    read_ahead_blocks: u64,
-    store_fallbacks: u64,
-    pinned: u32,
+/// Decrements a queue-depth gauge when the request leaves the disk,
+/// on success and error paths alike.
+struct DepthGuard<'a>(&'a Gauge);
+
+impl Drop for DepthGuard<'_> {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
 }
 
 #[derive(Debug)]
@@ -63,8 +66,6 @@ struct DiskState {
     ctl: DiskController,
     file: File,
     store: FxHashMap<u64, Box<[u8]>>,
-    counters: DiskCounters,
-    service: PowerHistogram,
 }
 
 impl DiskState {
@@ -117,6 +118,10 @@ pub struct DiskSnapshot {
     /// Cache hits whose bytes had to fall back to the image (store
     /// pruned between decision and copy; should stay 0).
     pub store_fallbacks: u64,
+    /// Demanded blocks served from the page store.
+    pub store_hits: u64,
+    /// Demanded blocks that went to the media.
+    pub store_misses: u64,
     /// Media service-time quantiles (wall-clock nanoseconds).
     pub service: Quantiles,
 }
@@ -171,6 +176,7 @@ pub struct Engine {
     policy: ReadAheadKind,
     hdc_blocks: u32,
     disks: Vec<Mutex<DiskState>>,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl Engine {
@@ -221,10 +227,9 @@ impl Engine {
                 ctl: DiskController::new(&cfg, policy, hdc_blocks, bitmap),
                 file,
                 store: FxHashMap::default(),
-                counters: DiskCounters::default(),
-                service: PowerHistogram::new(),
             }));
         }
+        let metrics = Arc::new(ServeMetrics::new(meta.disks));
         let engine = Engine {
             meta,
             map,
@@ -232,6 +237,7 @@ impl Engine {
             policy,
             hdc_blocks,
             disks,
+            metrics,
         };
         if hdc_blocks > 0 {
             engine.pin_hottest()?;
@@ -254,6 +260,11 @@ impl Engine {
         self.hdc_blocks
     }
 
+    /// The engine's metric registry, flight recorder, and clocks.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
     /// Fills every disk's HDC region with the hottest files' blocks,
     /// walking the popularity permutation (a pure function of the
     /// image seed — the live analogue of the paper's host-side
@@ -274,7 +285,6 @@ impl Engine {
                 }
                 let mut d = self.disks[di].lock().expect("disk lock poisoned");
                 if d.ctl.pin(phys) {
-                    d.counters.pinned += 1;
                     let bytes = d
                         .pread(phys, 1, self.meta.block_bytes)
                         .map_err(|e| format!("disk {di}: loading pinned block: {e}"))?;
@@ -323,6 +333,17 @@ impl Engine {
                 ))
             })?;
         out.reserve(nblocks as usize * self.meta.block_bytes as usize);
+        let m = &self.metrics;
+        let req = m.next_req_id();
+        let t0 = m.now_ns();
+        m.flight.record(TraceEvent::Issue {
+            t: t0,
+            req,
+            stream: file,
+            start: file as u64 * self.meta.file_blocks as u64 + offset,
+            nblocks,
+            write: false,
+        });
         let unit = self.striping.unit_blocks() as u64;
         for e in self.map.extents(FileId::new(file)) {
             let lo = e.file_offset.max(offset);
@@ -336,11 +357,19 @@ impl Engine {
                 let within = cursor.index() % unit;
                 let chunk = (unit - within).min(left) as u32;
                 let (disk, phys) = self.striping.locate(cursor);
-                self.read_extent(disk, phys, chunk, out)?;
+                self.read_extent(disk, phys, chunk, req, out)?;
                 cursor = cursor.offset(chunk as u64);
                 left -= chunk as u64;
             }
         }
+        let t1 = m.now_ns();
+        m.flight.record(TraceEvent::Complete {
+            t: t1,
+            req,
+            response: t1.saturating_sub(t0),
+        });
+        m.bytes_served_total
+            .add(nblocks as u64 * self.meta.block_bytes as u64);
         Ok(())
     }
 
@@ -352,14 +381,25 @@ impl Engine {
         disk: DiskId,
         start: PhysBlock,
         nblocks: u32,
+        req: u64,
         out: &mut Vec<u8>,
     ) -> Result<(), ReadError> {
         let bs = self.meta.block_bytes;
-        let mut d = self.disks[disk.as_usize()]
-            .lock()
-            .expect("disk lock poisoned");
+        let di = disk.as_usize();
+        let m = &self.metrics;
+        m.disk_queue_depth[di].inc();
+        let _depth = DepthGuard(&m.disk_queue_depth[di]);
+        let mut d = self.disks[di].lock().expect("disk lock poisoned");
         match d.ctl.on_request(ReadWrite::Read, start, nblocks) {
             ControllerDecision::CacheHit => {
+                m.flight.record(TraceEvent::Probe {
+                    t: m.now_ns(),
+                    req,
+                    disk: disk.index(),
+                    nblocks,
+                    result: ProbeResult::Hit,
+                });
+                m.disk_store_hits_total[di].add(nblocks as u64);
                 for i in 0..nblocks as u64 {
                     let key = start.index() + i;
                     if let Some(page) = d.store.get(&key) {
@@ -367,10 +407,10 @@ impl Engine {
                     } else {
                         // The presence structures say resident but the
                         // bytes were pruned: repair from the image.
-                        d.counters.store_fallbacks += 1;
+                        m.disk_store_fallbacks_total[di].inc();
                         let bytes = d
                             .pread(PhysBlock::new(key), 1, bs)
-                            .map_err(|e| internal(disk, e))?;
+                            .map_err(|e| self.fault(disk, req, e))?;
                         out.extend_from_slice(&bytes);
                         d.store.insert(key, bytes.into_boxed_slice());
                     }
@@ -381,6 +421,14 @@ impl Engine {
                 nblocks: media_blocks,
                 read_ahead,
             } => {
+                m.flight.record(TraceEvent::Probe {
+                    t: m.now_ns(),
+                    req,
+                    disk: disk.index(),
+                    nblocks,
+                    result: ProbeResult::Miss,
+                });
+                m.disk_store_misses_total[di].add(nblocks as u64);
                 // Clip the run to the image (read-ahead may overshoot
                 // the padded tail on non-FOR policies).
                 let avail = self.meta.disk_blocks.saturating_sub(media_start.index());
@@ -388,11 +436,26 @@ impl Engine {
                 let t0 = Instant::now();
                 let buf = d
                     .pread(media_start, clipped, bs)
-                    .map_err(|e| internal(disk, e))?;
-                d.service.record(t0.elapsed().as_nanos() as u64);
-                d.counters.media_ops += 1;
-                d.counters.media_blocks += clipped as u64;
-                d.counters.read_ahead_blocks += clipped.saturating_sub(nblocks) as u64;
+                    .map_err(|e| self.fault(disk, req, e))?;
+                let service_ns = t0.elapsed().as_nanos() as u64;
+                m.disk_service_ns[di].record(service_ns);
+                m.disk_media_reads_total[di].inc();
+                m.disk_media_blocks_total[di].add(clipped as u64);
+                m.disk_media_bytes_total[di].add(clipped as u64 * bs as u64);
+                m.disk_read_ahead_blocks_total[di].add(clipped.saturating_sub(nblocks) as u64);
+                m.flight.record(TraceEvent::Media {
+                    t: m.now_ns(),
+                    req,
+                    disk: disk.index(),
+                    wait: 0,
+                    seek: 0,
+                    rotation: 0,
+                    transfer: service_ns,
+                    overhead: 0,
+                    nblocks: clipped,
+                    read_ahead: clipped.saturating_sub(nblocks),
+                    write: false,
+                });
                 let _ = read_ahead;
                 d.ctl
                     .on_media_complete(ReadWrite::Read, media_start, clipped, nblocks);
@@ -409,27 +472,55 @@ impl Engine {
         Ok(())
     }
 
+    /// Records a media-read fault into the flight recorder and wraps
+    /// the I/O error for the protocol layer.
+    fn fault(&self, disk: DiskId, req: u64, e: std::io::Error) -> ReadError {
+        self.metrics.flight.record(TraceEvent::Fault {
+            t: self.metrics.now_ns(),
+            req,
+            disk: disk.index(),
+            kind: FaultKind::MediaRead,
+        });
+        internal(disk, e)
+    }
+
     /// Snapshots every disk's counters and histograms (briefly locking
-    /// each disk in turn).
+    /// each disk in turn), and syncs the collector-style registry
+    /// families — controller-owned hit counters, pinned and resident
+    /// block gauges — so a metrics render after a snapshot is exact.
     pub fn snapshot(&self) -> EngineSnapshot {
+        let m = &self.metrics;
         let mut disks = Vec::with_capacity(self.disks.len());
         let mut merged = PowerHistogram::new();
-        for (i, m) in self.disks.iter().enumerate() {
-            let d = m.lock().expect("disk lock poisoned");
+        for (i, mx) in self.disks.iter().enumerate() {
+            let d = mx.lock().expect("disk lock poisoned");
             let cache = d.ctl.cache_stats();
-            merged.merge(&d.service);
+            let (extent_lookups, extent_hits) = (cache.extent_lookups, cache.extent_hits);
+            let hdc_read_hits = d.ctl.hdc_stats().read_hits;
+            let pinned = d.ctl.hdc_resident();
+            let store_resident = d.store.len();
+            drop(d);
+            m.disk_extent_lookups_total[i].set_total(extent_lookups);
+            m.disk_extent_hits_total[i].set_total(extent_hits);
+            m.disk_hdc_hits_total[i].set_total(hdc_read_hits);
+            m.disk_pinned_blocks[i].set(pinned as i64);
+            m.disk_store_resident_blocks[i].set(store_resident as i64);
+            let service = m.disk_service_ns[i].snapshot();
+            merged.merge(&service);
             disks.push(DiskSnapshot {
                 disk: i as u16,
-                extent_lookups: cache.extent_lookups,
-                extent_hits: cache.extent_hits,
-                hdc_read_hits: d.ctl.hdc_stats().read_hits,
-                pinned: d.ctl.hdc_resident(),
-                media_ops: d.counters.media_ops,
-                media_blocks: d.counters.media_blocks,
-                read_ahead_blocks: d.counters.read_ahead_blocks,
-                store_resident: d.store.len(),
-                store_fallbacks: d.counters.store_fallbacks,
-                service: d.service.quantiles(),
+                extent_lookups,
+                extent_hits,
+                hdc_read_hits,
+                pinned,
+                media_ops: m.disk_media_reads_total[i].get(),
+                media_blocks: m.disk_media_blocks_total[i].get(),
+                read_ahead_blocks: m.disk_read_ahead_blocks_total[i].get(),
+                store_resident,
+                store_fallbacks: m.disk_store_fallbacks_total[i].get(),
+                store_hits: m.disk_store_hits_total[i].get(),
+                store_misses: m.disk_store_misses_total[i].get(),
+                service: service.quantiles(),
             });
         }
         EngineSnapshot {

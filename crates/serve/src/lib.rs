@@ -15,8 +15,13 @@
 //!   page store of resident bytes; cache hits copy from memory, misses
 //!   become real (timed) image reads extended by the policy's
 //!   read-ahead.
+//! - [`metrics`] — the live telemetry surface: the Prometheus-style
+//!   family set every layer records into, the crash flight recorder,
+//!   and the wall-clock origin (see `forhdc-metrics` and DESIGN.md
+//!   §6.8).
 //! - [`server`] — thread-per-connection TCP runtime with a small
-//!   accept pool, periodic stats, and drain-clean shutdown.
+//!   accept pool, periodic stats, a side HTTP metrics listener, and
+//!   drain-clean shutdown.
 //! - [`report`] — hand-rolled JSON reporting shared by the final
 //!   report, `OP_STATS`, and the periodic stderr lines.
 //!
@@ -26,12 +31,14 @@
 
 pub mod engine;
 pub mod image;
+pub mod metrics;
 pub mod protocol;
 pub mod report;
 pub mod server;
 
 pub use engine::{DiskSnapshot, Engine, EngineSnapshot, ReadError};
 pub use image::{block_payload, create_images, open_dir, rank_to_file, DiskMeta};
+pub use metrics::{OpKind, ServeMetrics};
 pub use protocol::{Request, MAX_READ_BLOCKS};
 pub use report::{server_report, stats_line, ServeTotals};
 pub use server::{run, ServerOpts};

@@ -3,7 +3,7 @@
 //! Frames are length-prefixed: a little-endian `u32` byte count
 //! followed by that many bytes, the first of which is the opcode
 //! (requests) or status (responses). All multi-byte integers are
-//! little-endian. The protocol is deliberately tiny — five opcodes,
+//! little-endian. The protocol is deliberately tiny — seven opcodes,
 //! fixed-size request bodies — so a client fits in a few dozen lines
 //! and a malformed frame is cheap to reject.
 //!
@@ -14,11 +14,15 @@
 //!   META                                   (body empty)
 //!   STATS                                  (body empty)
 //!   SHUTDOWN                               (body empty)
+//!   METRICS                                (body empty)
+//!   DUMP                                   (body empty)
 //! response := len:u32  status:u8  payload
-//!   READ  OK → payload = nblocks × block_bytes of file data
-//!   META  OK → payload = the disk directory's meta.txt (UTF-8)
-//!   STATS OK → payload = a JSON stats snapshot (UTF-8)
-//!   errors   → payload = a one-line diagnostic (UTF-8)
+//!   READ    OK → payload = nblocks × block_bytes of file data
+//!   META    OK → payload = the disk directory's meta.txt (UTF-8)
+//!   STATS   OK → payload = a JSON stats snapshot (UTF-8)
+//!   METRICS OK → payload = Prometheus text exposition (UTF-8)
+//!   DUMP    OK → payload = the flight recorder as JSONL (UTF-8)
+//!   errors     → payload = a one-line diagnostic (UTF-8)
 //! ```
 
 use std::io::{self, Read, Write};
@@ -33,6 +37,10 @@ pub const OP_META: u8 = 3;
 pub const OP_STATS: u8 = 4;
 /// Ask the server to drain and exit.
 pub const OP_SHUTDOWN: u8 = 5;
+/// Fetch the live metric registry as Prometheus text exposition.
+pub const OP_METRICS: u8 = 6;
+/// Fetch the flight recorder's retained events as JSONL.
+pub const OP_DUMP: u8 = 7;
 
 /// Request served successfully.
 pub const ST_OK: u8 = 0;
@@ -75,6 +83,10 @@ pub enum Request {
     Stats,
     /// Drain and exit.
     Shutdown,
+    /// Fetch the Prometheus text exposition.
+    Metrics,
+    /// Fetch the flight recorder's retained events as JSONL.
+    Dump,
 }
 
 /// Why an incoming request frame could not be parsed.
@@ -120,6 +132,8 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
         Request::Meta => body.push(OP_META),
         Request::Stats => body.push(OP_STATS),
         Request::Shutdown => body.push(OP_SHUTDOWN),
+        Request::Metrics => body.push(OP_METRICS),
+        Request::Dump => body.push(OP_DUMP),
     }
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(&body)
@@ -150,6 +164,8 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, FrameError> {
         (OP_META, 0) => Request::Meta,
         (OP_STATS, 0) => Request::Stats,
         (OP_SHUTDOWN, 0) => Request::Shutdown,
+        (OP_METRICS, 0) => Request::Metrics,
+        (OP_DUMP, 0) => Request::Dump,
         (OP_READ, 16) => Request::Read {
             file: u32::from_le_bytes(args[0..4].try_into().expect("4-byte slice")),
             offset: u64::from_le_bytes(args[4..12].try_into().expect("8-byte slice")),
@@ -201,6 +217,8 @@ mod tests {
             Request::Meta,
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics,
+            Request::Dump,
             Request::Read {
                 file: 7,
                 offset: 123_456_789_012,

@@ -21,6 +21,8 @@ pub struct ServeTotals {
     pub errors: u64,
     /// Connections turned away at the connection limit.
     pub rejected: u64,
+    /// Operations being served at snapshot time.
+    pub inflight: u64,
 }
 
 /// Renders the full server report.
@@ -53,11 +55,13 @@ pub fn server_report(
     s.push_str("},\n  \"totals\": {");
     s.push_str(&format!(
         "\"connections\": {}, \"requests\": {}, \"errors\": {}, \"rejected\": {}, \
-         \"elapsed_secs\": {:.3}, \"rps\": {:.1}",
+         \"inflight\": {}, \"elapsed_secs\": {:.3}, \"uptime_secs\": {:.3}, \"rps\": {:.1}",
         totals.connections,
         totals.requests,
         totals.errors,
         totals.rejected,
+        totals.inflight,
+        elapsed_secs,
         elapsed_secs,
         if elapsed_secs > 0.0 {
             totals.requests as f64 / elapsed_secs
@@ -84,7 +88,8 @@ pub fn server_report(
             "    {{\"disk\": {}, \"extent_lookups\": {}, \"extent_hits\": {}, \
              \"hdc_read_hits\": {}, \"pinned\": {}, \"media_ops\": {}, \
              \"media_blocks\": {}, \"read_ahead_blocks\": {}, \
-             \"store_resident\": {}, \"store_fallbacks\": {}, \"service\": {}}}{}\n",
+             \"store_resident\": {}, \"store_fallbacks\": {}, \
+             \"store_hits\": {}, \"store_misses\": {}, \"service\": {}}}{}\n",
             d.disk,
             d.extent_lookups,
             d.extent_hits,
@@ -95,6 +100,8 @@ pub fn server_report(
             d.read_ahead_blocks,
             d.store_resident,
             d.store_fallbacks,
+            d.store_hits,
+            d.store_misses,
             d.service.to_json(),
             if i + 1 < snap.disks.len() { "," } else { "" },
         ));
@@ -103,20 +110,22 @@ pub fn server_report(
     s
 }
 
-/// One periodic stats line for stderr while the server runs.
+/// One periodic stats line for stderr while the server runs, ending
+/// with per-disk `store hits/misses` columns.
 pub fn stats_line(
     snap: &EngineSnapshot,
     totals: &ServeTotals,
     e2e: &Quantiles,
     elapsed_secs: f64,
 ) -> String {
-    format!(
-        "serve: {:>8.1}s  conns={} reqs={} errs={} rps={:.0}  hit={:.1}%  \
-         p50={:.2}ms p99={:.2}ms",
+    let mut line = format!(
+        "serve: {:>8.1}s  conns={} reqs={} errs={} inflight={} rps={:.0}  hit={:.1}%  \
+         p50={:.2}ms p99={:.2}ms  disks=[",
         elapsed_secs,
         totals.connections,
         totals.requests,
         totals.errors,
+        totals.inflight,
         if elapsed_secs > 0.0 {
             totals.requests as f64 / elapsed_secs
         } else {
@@ -125,7 +134,15 @@ pub fn stats_line(
         snap.hit_rate() * 100.0,
         e2e.p50_ns as f64 / 1e6,
         e2e.p99_ns as f64 / 1e6,
-    )
+    );
+    for (i, d) in snap.disks.iter().enumerate() {
+        if i > 0 {
+            line.push(' ');
+        }
+        line.push_str(&format!("{}:{}/{}", d.disk, d.store_hits, d.store_misses));
+    }
+    line.push(']');
+    line
 }
 
 #[cfg(test)]
@@ -158,6 +175,7 @@ mod tests {
             requests: 1,
             errors: 0,
             rejected: 0,
+            inflight: 2,
         };
         let e2e = Quantiles::default();
         let json = server_report(&engine, &snap, &totals, &e2e, 1.5);
@@ -171,11 +189,17 @@ mod tests {
             "\"p99_ns\"",
             "\"p999_ns\"",
             "\"rps\"",
+            "\"inflight\": 2",
+            "\"uptime_secs\": 1.500",
+            "\"store_hits\"",
+            "\"store_misses\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         let line = stats_line(&snap, &totals, &e2e, 1.5);
         assert!(line.contains("reqs=1"), "{line}");
+        assert!(line.contains("inflight=2"), "{line}");
+        assert!(line.contains("disks=[0:"), "{line}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,17 +9,27 @@
 //! requests finish, new READs on surviving connections get
 //! `ST_SHUTTING_DOWN`, and the main thread waits for the active count
 //! to reach zero before printing the final report.
+//!
+//! Every observable event feeds the engine's [`ServeMetrics`]: per-op
+//! request counters and latency histograms, connection and inflight
+//! gauges, and the flight recorder. The registry is exposed over the
+//! protocol (`METRICS`/`DUMP` frames) and — when a side listener is
+//! passed to [`run`] — over plain HTTP as Prometheus text exposition,
+//! with windowed RPS/MBps rates appended so successive scrapes read
+//! as deltas.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use forhdc_trace::PowerHistogram;
+use forhdc_metrics::http::{read_request_path, write_response as write_http, CONTENT_TYPE_METRICS};
+use forhdc_metrics::{Gauge, RateWindow};
 
 use crate::engine::{Engine, ReadError};
+use crate::metrics::{OpKind, ServeMetrics};
 use crate::protocol::{
     read_request, write_response, FrameError, Request, ST_BAD_REQUEST, ST_BUSY, ST_INTERNAL, ST_OK,
     ST_RANGE, ST_SHUTTING_DOWN,
@@ -54,76 +64,142 @@ impl Default for ServerOpts {
 
 struct Shared {
     engine: Engine,
+    metrics: Arc<ServeMetrics>,
     shutdown: AtomicBool,
     active: AtomicUsize,
-    connections: AtomicU64,
-    requests: AtomicU64,
-    errors: AtomicU64,
-    rejected: AtomicU64,
-    e2e: Mutex<PowerHistogram>,
-    started: Instant,
+    /// Serializes flight-recorder stderr dumps so two faulting workers
+    /// cannot interleave their JSONL.
+    dump_lock: Mutex<()>,
 }
 
 impl Shared {
     fn totals(&self) -> ServeTotals {
+        let m = &self.metrics;
         ServeTotals {
-            connections: self.connections.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            connections: m.connections_total.get(),
+            requests: m.requests_ok(),
+            errors: m.errors_total.get(),
+            rejected: m.connections_rejected_total.get(),
+            inflight: m.inflight_ops.get().max(0) as u64,
         }
+    }
+
+    fn e2e(&self) -> forhdc_trace::Quantiles {
+        self.metrics.op_latency_ns[OpKind::Read.index()]
+            .snapshot()
+            .quantiles()
     }
 
     fn report(&self) -> String {
         let snap = self.engine.snapshot();
-        let e2e = self.e2e.lock().expect("e2e lock poisoned").quantiles();
         server_report(
             &self.engine,
             &snap,
             &self.totals(),
-            &e2e,
-            self.started.elapsed().as_secs_f64(),
+            &self.e2e(),
+            self.metrics.uptime_secs(),
         )
+    }
+
+    /// Syncs collector families via a snapshot, then renders the
+    /// exposition text. Shared by the `METRICS` frame and the HTTP
+    /// endpoint.
+    fn metrics_text(&self) -> String {
+        let _ = self.engine.snapshot();
+        self.metrics.render()
+    }
+
+    /// Writes the flight recorder to stderr between parseable markers.
+    fn dump_flight_to_stderr(&self, why: &str) {
+        let _guard = self.dump_lock.lock();
+        let dump = self.metrics.flight.dump_jsonl();
+        eprintln!(
+            "serve: flight recorder dump ({} events, reason: {why}) begin",
+            dump.lines().count()
+        );
+        eprint!("{dump}");
+        eprintln!("serve: flight recorder dump end");
     }
 }
 
-/// Drops back the active-connection count even on handler panic.
-struct ActiveGuard<'a>(&'a AtomicUsize);
+/// Drops back the active-connection count (and gauge) even on handler
+/// panic.
+struct ActiveGuard<'a>(&'a Shared);
 
 impl Drop for ActiveGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+        self.0.metrics.connections_active.dec();
+    }
+}
+
+/// Holds the inflight-ops gauge up for the duration of one operation.
+struct InflightGuard<'a>(&'a Gauge);
+
+impl<'a> InflightGuard<'a> {
+    fn new(g: &'a Gauge) -> Self {
+        g.inc();
+        InflightGuard(g)
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.dec();
     }
 }
 
 /// Runs the server on an already-bound listener until a client asks it
 /// to shut down, then drains and returns the final JSON report.
-pub fn run(engine: Engine, listener: TcpListener, opts: &ServerOpts) -> Result<String, String> {
+///
+/// When `metrics_listener` is given, a side thread answers HTTP GETs
+/// on it (`/metrics` or `/`) with the Prometheus exposition until
+/// shutdown.
+pub fn run(
+    engine: Engine,
+    listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
+    opts: &ServerOpts,
+) -> Result<String, String> {
     listener
         .set_nonblocking(true)
         .map_err(|e| format!("listener: {e}"))?;
+    let metrics = Arc::clone(engine.metrics());
     let shared = Arc::new(Shared {
         engine,
+        metrics,
         shutdown: AtomicBool::new(false),
         active: AtomicUsize::new(0),
-        connections: AtomicU64::new(0),
-        requests: AtomicU64::new(0),
-        errors: AtomicU64::new(0),
-        rejected: AtomicU64::new(0),
-        e2e: Mutex::new(PowerHistogram::new()),
-        started: Instant::now(),
+        dump_lock: Mutex::new(()),
     });
     let mut acceptors = Vec::new();
-    for _ in 0..opts.accept_threads.max(1) {
+    for i in 0..opts.accept_threads.max(1) {
         let listener = listener
             .try_clone()
             .map_err(|e| format!("listener clone: {e}"))?;
         let shared = Arc::clone(&shared);
         let max_conns = opts.max_conns;
-        acceptors.push(thread::spawn(move || {
-            accept_loop(listener, shared, max_conns)
-        }));
+        acceptors.push(
+            thread::Builder::new()
+                .name(format!("accept-{i}"))
+                .spawn(move || accept_loop(listener, shared, max_conns))
+                .map_err(|e| format!("spawn accept thread: {e}"))?,
+        );
     }
+    let metrics_thread = match metrics_listener {
+        Some(l) => {
+            l.set_nonblocking(true)
+                .map_err(|e| format!("metrics listener: {e}"))?;
+            let shared = Arc::clone(&shared);
+            Some(
+                thread::Builder::new()
+                    .name("metrics-http".to_string())
+                    .spawn(move || metrics_loop(l, shared))
+                    .map_err(|e| format!("spawn metrics thread: {e}"))?,
+            )
+        }
+        None => None,
+    };
     // Supervise: periodic stats, then drain once shutdown is flagged.
     let mut last_stats = Instant::now();
     loop {
@@ -131,14 +207,13 @@ pub fn run(engine: Engine, listener: TcpListener, opts: &ServerOpts) -> Result<S
         if opts.stats_secs > 0 && last_stats.elapsed().as_secs() >= opts.stats_secs {
             last_stats = Instant::now();
             let snap = shared.engine.snapshot();
-            let e2e = shared.e2e.lock().expect("e2e lock poisoned").quantiles();
             eprintln!(
                 "{}",
                 stats_line(
                     &snap,
                     &shared.totals(),
-                    &e2e,
-                    shared.started.elapsed().as_secs_f64()
+                    &shared.e2e(),
+                    shared.metrics.uptime_secs()
                 )
             );
         }
@@ -148,6 +223,10 @@ pub fn run(engine: Engine, listener: TcpListener, opts: &ServerOpts) -> Result<S
     }
     for a in acceptors {
         a.join().map_err(|_| "accept thread panicked".to_string())?;
+    }
+    if let Some(t) = metrics_thread {
+        t.join()
+            .map_err(|_| "metrics thread panicked".to_string())?;
     }
     Ok(shared.report())
 }
@@ -161,24 +240,97 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, max_conns: usize) {
                 let was = shared.active.fetch_add(1, Ordering::SeqCst);
                 if was >= max_conns {
                     shared.active.fetch_sub(1, Ordering::SeqCst);
-                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.connections_rejected_total.inc();
                     let mut w = BufWriter::new(stream);
                     let _ = write_response(&mut w, ST_BUSY, b"connection limit reached");
                     let _ = w.flush();
                     continue;
                 }
-                shared.connections.fetch_add(1, Ordering::Relaxed);
-                let shared = Arc::clone(&shared);
-                thread::spawn(move || {
-                    let _guard = ActiveGuard(&shared.active);
-                    handle_conn(&shared, stream);
-                });
+                let conn_id = shared.metrics.connections_total.get();
+                shared.metrics.connections_total.inc();
+                shared.metrics.connections_active.inc();
+                let worker = Arc::clone(&shared);
+                let spawned = thread::Builder::new()
+                    .name(format!("conn-{conn_id}"))
+                    .spawn(move || {
+                        let _guard = ActiveGuard(&worker);
+                        handle_conn(&worker, stream);
+                    });
+                if spawned.is_err() {
+                    // The guard never existed; release the slot here.
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                    shared.metrics.connections_active.dec();
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(ACCEPT_POLL);
             }
             Err(_) => thread::sleep(ACCEPT_POLL),
         }
+    }
+}
+
+/// Serves Prometheus scrapes on the side listener until shutdown.
+/// Each scrape appends windowed rates derived from the previous one.
+fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let window = RateWindow::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => serve_scrape(&shared, &window, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_scrape(shared: &Shared, window: &RateWindow, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut r = BufReader::new(read_half);
+    let mut w = BufWriter::new(stream);
+    let path = match read_request_path(&mut r) {
+        Ok(Some(p)) => p,
+        Ok(None) => return,
+        Err(_) => {
+            let _ = write_http(&mut w, 400, "Bad Request", "text/plain", "bad request\n");
+            return;
+        }
+    };
+    if path != "/metrics" && path != "/" {
+        let _ = write_http(&mut w, 404, "Not Found", "text/plain", "try /metrics\n");
+        return;
+    }
+    let mut body = shared.metrics_text();
+    push_window_rates(shared, window, &mut body);
+    let _ = write_http(&mut w, 200, "OK", CONTENT_TYPE_METRICS, &body);
+}
+
+/// Appends `forhdc_window_*` gauges — rates over the interval since
+/// the previous scrape of this endpoint — once a previous scrape
+/// exists.
+fn push_window_rates(shared: &Shared, window: &RateWindow, body: &mut String) {
+    let m = &shared.metrics;
+    let reads = m.requests_total[OpKind::Read.index()].get();
+    let bytes = m.bytes_served_total.get();
+    if let Some((secs, rates)) = window.observe(&[reads, bytes]) {
+        body.push_str(&format!(
+            "# HELP forhdc_window_seconds Seconds since the previous scrape\n\
+             # TYPE forhdc_window_seconds gauge\n\
+             forhdc_window_seconds {secs:.3}\n\
+             # HELP forhdc_window_rps OK READs per second over the scrape window\n\
+             # TYPE forhdc_window_rps gauge\n\
+             forhdc_window_rps {:.3}\n\
+             # HELP forhdc_window_mbps Served payload megabytes per second over the scrape window\n\
+             # TYPE forhdc_window_mbps gauge\n\
+             forhdc_window_mbps {:.3}\n",
+            rates[0],
+            rates[1] / 1e6,
+        ));
     }
 }
 
@@ -194,27 +346,36 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean EOF between frames
             Err(FrameError::Malformed(m)) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.errors_total.inc();
                 let _ = write_response(&mut w, ST_BAD_REQUEST, m.as_bytes());
                 let _ = w.flush();
                 return;
             }
             Err(FrameError::Io(_)) => return,
         };
+        let _inflight = InflightGuard::new(&shared.metrics.inflight_ops);
         let t0 = Instant::now();
         let keep_going = match req {
-            Request::Ping => respond(shared, &mut w, ST_OK, b""),
+            Request::Ping => respond(shared, &mut w, OpKind::Ping, t0, ST_OK, b""),
             Request::Meta => {
                 let text = shared.engine.meta().to_text();
-                respond(shared, &mut w, ST_OK, text.as_bytes())
+                respond(shared, &mut w, OpKind::Meta, t0, ST_OK, text.as_bytes())
             }
             Request::Stats => {
                 let json = shared.report();
-                respond(shared, &mut w, ST_OK, json.as_bytes())
+                respond(shared, &mut w, OpKind::Stats, t0, ST_OK, json.as_bytes())
+            }
+            Request::Metrics => {
+                let text = shared.metrics_text();
+                respond(shared, &mut w, OpKind::Metrics, t0, ST_OK, text.as_bytes())
+            }
+            Request::Dump => {
+                let dump = shared.metrics.flight.dump_jsonl();
+                respond(shared, &mut w, OpKind::Dump, t0, ST_OK, dump.as_bytes())
             }
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
-                let _ = respond(shared, &mut w, ST_OK, b"draining");
+                let _ = respond(shared, &mut w, OpKind::Shutdown, t0, ST_OK, b"draining");
                 return;
             }
             Request::Read {
@@ -223,24 +384,26 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
                 nblocks,
             } => {
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    respond(shared, &mut w, ST_SHUTTING_DOWN, b"server is draining")
+                    respond(
+                        shared,
+                        &mut w,
+                        OpKind::Read,
+                        t0,
+                        ST_SHUTTING_DOWN,
+                        b"server is draining",
+                    )
                 } else {
                     let mut buf = Vec::new();
                     match shared.engine.read(file, offset, nblocks, &mut buf) {
-                        Ok(()) => {
-                            let ok = respond(shared, &mut w, ST_OK, &buf);
-                            if ok {
-                                shared
-                                    .e2e
-                                    .lock()
-                                    .expect("e2e lock poisoned")
-                                    .record(t0.elapsed().as_nanos() as u64);
-                            }
-                            ok
+                        Ok(()) => respond(shared, &mut w, OpKind::Read, t0, ST_OK, &buf),
+                        Err(ReadError::Range(m)) => {
+                            respond(shared, &mut w, OpKind::Read, t0, ST_RANGE, m.as_bytes())
                         }
-                        Err(ReadError::Range(m)) => respond(shared, &mut w, ST_RANGE, m.as_bytes()),
                         Err(ReadError::Internal(m)) => {
-                            respond(shared, &mut w, ST_INTERNAL, m.as_bytes())
+                            // An internal error means the images failed
+                            // underneath us: leave a post-mortem trail.
+                            shared.dump_flight_to_stderr(&m);
+                            respond(shared, &mut w, OpKind::Read, t0, ST_INTERNAL, m.as_bytes())
                         }
                     }
                 }
@@ -253,16 +416,29 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
 }
 
 /// Writes and flushes one response; returns `false` when the peer is
-/// gone. Counts OK responses as requests and the rest as errors.
-fn respond<W: Write>(shared: &Shared, w: &mut W, status: u8, payload: &[u8]) -> bool {
-    if status == ST_OK {
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-    } else {
-        shared.errors.fetch_add(1, Ordering::Relaxed);
-    }
-    write_response(w, status, payload)
+/// gone. Counts OK responses into the per-op request counters (and
+/// delivered ones into the per-op latency histogram), the rest into
+/// the error counter.
+fn respond<W: Write>(
+    shared: &Shared,
+    w: &mut W,
+    op: OpKind,
+    t0: Instant,
+    status: u8,
+    payload: &[u8],
+) -> bool {
+    let delivered = write_response(w, status, payload)
         .and_then(|()| w.flush())
-        .is_ok()
+        .is_ok();
+    if status == ST_OK {
+        shared.metrics.requests_total[op.index()].inc();
+        if delivered {
+            shared.metrics.op_latency_ns[op.index()].record(t0.elapsed().as_nanos() as u64);
+        }
+    } else {
+        shared.metrics.errors_total.inc();
+    }
+    delivered
 }
 
 #[cfg(test)]
@@ -296,7 +472,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let opts = ServerOpts::default();
-        let handle = thread::spawn(move || run(engine, listener, &opts));
+        let handle = thread::spawn(move || run(engine, listener, None, &opts));
         (dir, addr, handle)
     }
 
@@ -347,6 +523,100 @@ mod tests {
         assert!(report.contains("\"e2e_latency\""), "{report}");
         // Five OK responses: ping, read, meta, stats, shutdown ack.
         assert!(report.contains("\"requests\": 5"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_and_dump_frames_answer_over_the_protocol() {
+        let (dir, addr, handle) = spawn_server("frames");
+        let mut c = TcpStream::connect(addr).unwrap();
+        let (st, data) = request(
+            &mut c,
+            &Request::Read {
+                file: 1,
+                offset: 0,
+                nblocks: 2,
+            },
+        );
+        assert_eq!(st, ST_OK);
+        assert_eq!(data.len(), 2 * 4096);
+        let (st, text) = request(&mut c, &Request::Metrics);
+        assert_eq!(st, ST_OK);
+        let text = String::from_utf8(text).unwrap();
+        assert!(
+            text.contains("forhdc_requests_total{op=\"read\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE forhdc_disk_service_ns histogram"),
+            "{text}"
+        );
+        let (st, dump) = request(&mut c, &Request::Dump);
+        assert_eq!(st, ST_OK);
+        let dump = String::from_utf8(dump).unwrap();
+        let events = forhdc_trace::parse_jsonl(&dump).expect("dump parses");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, forhdc_trace::TraceEvent::Complete { .. })),
+            "{dump}"
+        );
+        let _ = request(&mut c, &Request::Shutdown);
+        drop(c);
+        handle.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn http_side_listener_scrapes_with_window_rates() {
+        let dir = std::env::temp_dir().join(format!("forhdc_server_http_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = DiskMeta {
+            block_bytes: 4096,
+            disks: 2,
+            unit_blocks: 4,
+            files: 16,
+            file_blocks: 2,
+            seed: 9,
+            fragmentation: 0.0,
+            disk_blocks: 0,
+        };
+        let meta = create_images(&dir, &meta).unwrap();
+        let engine = Engine::open(&dir, meta, ReadAheadKind::For, 0).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mlistener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let maddr = mlistener.local_addr().unwrap().to_string();
+        let opts = ServerOpts::default();
+        let handle = thread::spawn(move || run(engine, listener, Some(mlistener), &opts));
+        let scrape =
+            |path: &str| forhdc_metrics::http::http_get(&maddr, path, Duration::from_secs(10));
+        let first = scrape("/metrics").unwrap();
+        assert!(first.contains("forhdc_uptime_seconds"), "{first}");
+        // No window yet on the first scrape.
+        assert!(!first.contains("forhdc_window_seconds"), "{first}");
+        let mut c = TcpStream::connect(addr).unwrap();
+        let (st, _) = request(
+            &mut c,
+            &Request::Read {
+                file: 2,
+                offset: 0,
+                nblocks: 2,
+            },
+        );
+        assert_eq!(st, ST_OK);
+        let second = scrape("/metrics").unwrap();
+        assert!(second.contains("forhdc_window_seconds"), "{second}");
+        assert!(second.contains("forhdc_window_rps"), "{second}");
+        assert!(second.contains("forhdc_window_mbps"), "{second}");
+        assert!(
+            second.contains("forhdc_requests_total{op=\"read\"} 1"),
+            "{second}"
+        );
+        assert!(scrape("/nope").is_err());
+        let _ = request(&mut c, &Request::Shutdown);
+        drop(c);
+        handle.join().unwrap().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

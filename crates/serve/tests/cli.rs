@@ -140,6 +140,21 @@ fn serve_unbindable_port_exits_2() {
 }
 
 #[test]
+fn serve_unbindable_metrics_addr_exits_2() {
+    let dir = tmpdir("mbind");
+    mkdisk(&dir);
+    let holder = TcpListener::bind("127.0.0.1:0").unwrap();
+    let maddr = holder.local_addr().unwrap().to_string();
+    let out = serve()
+        .args(["run", "--metrics-addr", &maddr, "--dir"])
+        .arg(&dir)
+        .output()
+        .expect("spawn serve");
+    assert_usage_error(out, &format!("bind {maddr}"), "occupied metrics port");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_oversized_hdc_exits_2() {
     let dir = tmpdir("hdc");
     mkdisk(&dir);
@@ -163,6 +178,10 @@ fn loadgen_bad_arguments_exit_2() {
         (
             vec!["--addr", "127.0.0.1:1", "--requests", "lots"],
             "--requests",
+        ),
+        (
+            vec!["--addr", "127.0.0.1:1", "--dump-flight"],
+            "--dump-flight needs a value",
         ),
     ] {
         let out = loadgen().args(&args).output().expect("spawn loadgen");

@@ -8,6 +8,8 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
+use forhdc_metrics::{http::http_get, Scrape};
+
 fn serve_bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_serve"))
 }
@@ -151,6 +153,225 @@ fn smoke_sweep_verify_and_drain() {
         "\"media\"",
         "\"per_disk\"",
     ] {
+        assert!(report.contains(key), "missing {key} in report: {report}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The live telemetry contract, end to end: a loadgen sweep against a
+/// real server with `--metrics-addr` bound, scraped over HTTP before
+/// and after. The second scrape must conserve work (server-side READ
+/// count == loadgen completions, bytes == requests x file bytes), every
+/// counter must be monotone across the two scrapes, at least eight
+/// `forhdc_` families must be present with per-disk labels, the
+/// `--dump-flight` JSONL must parse with the forhdc-trace parser, and
+/// the loadgen JSON must embed merged server-side quantiles.
+#[test]
+fn metrics_scrape_conserves_work_and_flight_dump_parses() {
+    let dir = tmpdir("metrics");
+    let out = serve_bin()
+        .args([
+            "mkdisk",
+            "--disks",
+            "2",
+            "--files",
+            "32",
+            "--file-blocks",
+            "2",
+            "--seed",
+            "9",
+            "--dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn mkdisk");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mport_file = dir.join("mport");
+    let mport_arg = mport_file.to_str().unwrap().to_string();
+    let (mut server, addr) = start_server(
+        &dir,
+        &[
+            "--policy",
+            "for",
+            "--hdc",
+            "128",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--metrics-port-file",
+            &mport_arg,
+        ],
+    );
+    // The data port file is written before the metrics listener binds;
+    // wait for the metrics port separately.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let maddr = loop {
+        if let Ok(s) = std::fs::read_to_string(&mport_file) {
+            let s = s.trim().to_string();
+            if !s.is_empty() {
+                break format!("127.0.0.1:{s}");
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never wrote its metrics port file"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    let scrape = || {
+        let text = http_get(&maddr, "/metrics", Duration::from_secs(10)).expect("scrape");
+        (Scrape::parse(&text).expect("parse scrape"), text)
+    };
+    let (first, _) = scrape();
+
+    // A sweep with known totals: 60 requests/level x 2 levels.
+    let json_path = dir.join("sweep.json");
+    let flight_path = dir.join("flight.jsonl");
+    let out = loadgen_bin()
+        .args(["--addr", &addr, "--levels", "1,2", "--requests", "60"])
+        .args(["--seed", "3", "--verify", "--scrape", "--json"])
+        .arg(&json_path)
+        .arg("--dump-flight")
+        .arg(&flight_path)
+        .output()
+        .expect("spawn loadgen");
+    assert!(
+        out.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("srv_p50ms"), "{stdout}");
+    assert!(stdout.contains("srv_p99ms"), "{stdout}");
+
+    let (second, second_text) = scrape();
+
+    // Conservation: the server's READ counter equals the loadgen
+    // completions and the byte counter equals requests x file bytes.
+    let total_reads = 60u64 * 2;
+    assert_eq!(
+        second.counter("forhdc_requests_total", &[("op", "read")]),
+        Some(total_reads),
+        "server READ count != loadgen completions:\n{second_text}"
+    );
+    assert_eq!(
+        second.counter("forhdc_bytes_served_total", &[]),
+        Some(total_reads * 2 * 4096),
+        "served bytes != requests x file bytes:\n{second_text}"
+    );
+    // Work landed on both disks and every block came off the page
+    // store or the media — per-disk conservation.
+    let disk_sum = |name: &str| -> u64 {
+        (0..2)
+            .map(|d| {
+                second
+                    .counter(name, &[("disk", &d.to_string())])
+                    .unwrap_or_else(|| panic!("{name}{{disk={d}}} missing:\n{second_text}"))
+            })
+            .sum()
+    };
+    assert_eq!(
+        disk_sum("forhdc_disk_store_hits_total") + disk_sum("forhdc_disk_store_misses_total"),
+        total_reads * 2,
+        "store hits + misses != blocks requested:\n{second_text}"
+    );
+
+    // Monotonicity: every counter-family sample of the first scrape is
+    // <= its twin in the second.
+    let mut compared = 0usize;
+    for s in &first.samples {
+        if !["_total", "_count", "_bucket", "_sum"]
+            .iter()
+            .any(|suf| s.name.ends_with(suf))
+        {
+            continue;
+        }
+        let later = second
+            .samples
+            .iter()
+            .find(|x| x.name == s.name && x.labels == s.labels)
+            .unwrap_or_else(|| panic!("{} {:?} vanished from second scrape", s.name, s.labels));
+        assert!(
+            later.value >= s.value,
+            "{} {:?} went backwards: {} -> {}",
+            s.name,
+            s.labels,
+            s.value,
+            later.value
+        );
+        compared += 1;
+    }
+    assert!(compared >= 20, "only {compared} counter samples compared");
+
+    // Family coverage: at least eight forhdc_ families, per-disk labels
+    // present.
+    let mut families: Vec<&str> = second
+        .samples
+        .iter()
+        .filter(|s| s.name.starts_with("forhdc_"))
+        .map(|s| {
+            s.name
+                .strip_suffix("_bucket")
+                .or_else(|| s.name.strip_suffix("_sum"))
+                .or_else(|| s.name.strip_suffix("_count"))
+                .unwrap_or(&s.name)
+        })
+        .collect();
+    families.sort_unstable();
+    families.dedup();
+    assert!(
+        families.len() >= 8,
+        "want >= 8 forhdc_ families, got {}: {families:?}",
+        families.len()
+    );
+    for d in ["0", "1"] {
+        assert!(
+            second
+                .samples
+                .iter()
+                .any(|s| s.labels.iter().any(|(k, v)| k == "disk" && v == d)),
+            "no samples labeled disk=\"{d}\":\n{second_text}"
+        );
+    }
+
+    // The flight dump is JSONL the forhdc-trace parser accepts, and it
+    // recorded real request lifecycles.
+    let flight = std::fs::read_to_string(&flight_path).expect("flight dump written");
+    let events = forhdc_trace::parse_jsonl(&flight).expect("flight dump parses");
+    assert!(!events.is_empty(), "flight recorder captured nothing");
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, forhdc_trace::TraceEvent::Complete { .. })),
+        "no Complete events in flight dump"
+    );
+
+    // The loadgen JSON embeds per-level and merged server-side
+    // quantiles.
+    let sweep = std::fs::read_to_string(&json_path).expect("sweep json written");
+    assert!(sweep.contains("\"server_latency\""), "{sweep}");
+    assert!(sweep.contains("\"server\": {"), "{sweep}");
+
+    // Drain the server; the final report carries the extended totals.
+    let out = loadgen_bin()
+        .args(["--addr", &addr, "--levels", "1", "--requests", "2"])
+        .args(["--shutdown"])
+        .output()
+        .expect("spawn loadgen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let status = server.wait().expect("wait serve");
+    assert!(status.success(), "server exited {status}");
+    let report = std::fs::read_to_string(dir.join("report.json")).expect("report written");
+    for key in ["\"uptime_secs\"", "\"inflight\"", "\"store_hits\""] {
         assert!(report.contains(key), "missing {key} in report: {report}");
     }
     let _ = std::fs::remove_dir_all(&dir);

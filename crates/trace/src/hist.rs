@@ -32,9 +32,17 @@ impl PowerHistogram {
         }
     }
 
-    fn bucket_of(value: u64) -> usize {
+    /// The bucket index a value lands in: bucket `b` covers
+    /// `[2^b, 2^(b+1))` nanoseconds, with 0 and 1 both in bucket 0.
+    /// Public so external recorders (the live metrics registry keeps
+    /// its buckets in atomics) can share the exact same geometry.
+    pub fn bucket_index(value: u64) -> usize {
         // floor(log2(max(value, 1))): 0 and 1 land in bucket 0.
         63 - (value | 1).leading_zeros() as usize
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        Self::bucket_index(value)
     }
 
     /// Records one value (nanoseconds).
@@ -144,6 +152,31 @@ impl PowerHistogram {
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+    }
+
+    /// The raw per-bucket counts, bucket 0 first. Together with
+    /// [`PowerHistogram::sum`] and [`PowerHistogram::max`] this is the
+    /// histogram's full state; [`PowerHistogram::from_parts`] rebuilds
+    /// one from it, so distributions survive any transport (atomic
+    /// snapshots, a Prometheus scrape) and stay mergeable.
+    pub fn bucket_counts(&self) -> &[u64; 64] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from exported state: per-bucket counts,
+    /// the value sum, and the exact (or best-known) maximum. The total
+    /// count is recomputed from the buckets. Callers reconstructing
+    /// from a lossy transport that drops the maximum (Prometheus
+    /// bucket lines carry no max) may pass the highest occupied
+    /// bucket's lower bound as a conservative stand-in.
+    pub fn from_parts(counts: [u64; 64], sum: u128, max: u64) -> Self {
+        let count = counts.iter().sum();
+        PowerHistogram {
+            counts,
+            count,
+            sum,
+            max,
+        }
     }
 
     /// Occupied buckets as `(bucket lower bound, count)` pairs.
@@ -275,6 +308,60 @@ mod tests {
     #[test]
     fn empty_quantile_export_is_zero() {
         assert_eq!(PowerHistogram::new().quantiles(), Quantiles::default());
+    }
+
+    #[test]
+    fn from_parts_round_trips_full_state() {
+        let mut h = PowerHistogram::new();
+        for v in [0u64, 1, 5, 900, 77_000, u64::MAX] {
+            h.record(v);
+        }
+        let rebuilt = PowerHistogram::from_parts(*h.bucket_counts(), h.sum(), h.max());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.quantiles(), h.quantiles());
+    }
+
+    #[test]
+    fn empty_quantile_edge_cases() {
+        let h = PowerHistogram::new();
+        // Every quantile of an empty histogram is zero, including the
+        // boundaries.
+        for q in [0.0, 0.5, 0.999, 1.0, 2.0, -1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.quantile_set(&[0.5, 0.99]), vec![0, 0]);
+        assert_eq!(h.quantiles(), Quantiles::default());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut filled = PowerHistogram::new();
+        for v in [3u64, 9, 81, 6561] {
+            filled.record(v);
+        }
+        // Merging an empty histogram in changes nothing...
+        let mut a = filled.clone();
+        a.merge(&PowerHistogram::new());
+        assert_eq!(a, filled);
+        assert_eq!(a.quantiles(), filled.quantiles());
+        // ...and merging into an empty one yields the other side.
+        let mut b = PowerHistogram::new();
+        b.merge(&filled);
+        assert_eq!(b, filled);
+        // Empty into empty stays empty (quantiles all zero).
+        let mut c = PowerHistogram::new();
+        c.merge(&PowerHistogram::new());
+        assert!(c.is_empty());
+        assert_eq!(c.quantiles(), Quantiles::default());
+    }
+
+    #[test]
+    fn bucket_index_is_public_geometry() {
+        assert_eq!(PowerHistogram::bucket_index(0), 0);
+        assert_eq!(PowerHistogram::bucket_index(1), 0);
+        assert_eq!(PowerHistogram::bucket_index(2), 1);
+        assert_eq!(PowerHistogram::bucket_index((1 << 20) - 1), 19);
+        assert_eq!(PowerHistogram::bucket_index(1 << 20), 20);
     }
 
     #[test]
