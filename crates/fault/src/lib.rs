@@ -231,6 +231,118 @@ impl FaultModel for SeededFaults {
     }
 }
 
+/// Wall-clock recovery policy for the live serving path
+/// (`forhdc-serve`): bounded retries with exponential backoff plus
+/// deterministic jitter, and an optional per-request deadline that
+/// preempts remaining retries. The simulator's `RecoveryPolicy`
+/// (forhdc-core) is its sim-time twin; this one works in wall-clock
+/// nanoseconds and derives its jitter from `(seed, request, attempt)`
+/// with the same splitmix finalizer the media-error decision uses, so
+/// a backoff schedule is a pure function of the schedule seed —
+/// replayable, and unit-testable without sleeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallPolicy {
+    /// Retries allowed per operation after the initial attempt fails.
+    pub max_retries: u32,
+    /// Backoff before the first retry; retry `n` (1-based) waits
+    /// `base << (n-1)` plus jitter.
+    pub backoff_base_ns: u64,
+    /// Upper bound on any single backoff, jitter included.
+    pub backoff_cap_ns: u64,
+    /// Per-request deadline; a request older than this fails with a
+    /// timeout instead of spending its remaining retries (`None` =
+    /// no deadline).
+    pub deadline_ns: Option<u64>,
+}
+
+impl Default for WallPolicy {
+    fn default() -> Self {
+        WallPolicy {
+            max_retries: 3,
+            backoff_base_ns: 2_000_000,  // 2 ms
+            backoff_cap_ns: 200_000_000, // 200 ms
+            deadline_ns: None,
+        }
+    }
+}
+
+impl WallPolicy {
+    /// Backoff before retry `attempt` (1-based): exponential with up
+    /// to +50% deterministic jitter, capped. Pure in
+    /// `(seed, req, attempt)`.
+    pub fn backoff_ns(&self, seed: u64, req: u64, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(20);
+        let exp = self.backoff_base_ns.saturating_mul(1u64 << shift);
+        let jitter = hash_u01(seed, attempt as u16, req, JITTER_SALT);
+        let jittered = exp.saturating_add((exp as f64 * 0.5 * jitter) as u64);
+        jittered.min(self.backoff_cap_ns)
+    }
+
+    /// Whether a request `elapsed_ns` old has crossed the deadline.
+    pub fn expired(&self, elapsed_ns: u64) -> bool {
+        self.deadline_ns.is_some_and(|d| elapsed_ns >= d)
+    }
+
+    /// The backoff to wait before retry `attempt` (1-based), or `None`
+    /// when recovery should stop: retries exhausted, the deadline
+    /// already passed, or waiting out the backoff would cross the
+    /// deadline (the deadline preempts remaining retries).
+    pub fn next_backoff_ns(
+        &self,
+        seed: u64,
+        req: u64,
+        attempt: u32,
+        elapsed_ns: u64,
+    ) -> Option<u64> {
+        if attempt > self.max_retries || self.expired(elapsed_ns) {
+            return None;
+        }
+        let backoff = self.backoff_ns(seed, req, attempt);
+        match self.deadline_ns {
+            Some(d) if elapsed_ns.saturating_add(backoff) >= d => None,
+            _ => Some(backoff),
+        }
+    }
+}
+
+const JITTER_SALT: u64 = 0x4A;
+
+/// Parses a wall-clock offline-window spec for the live server:
+/// `DISK@START_MS+LEN_MS` entries joined by `;`, e.g.
+/// `0@500+300;1@0+100` (disk 0 offline from t=500ms for 300ms, disk 1
+/// from startup for 100ms). Times are relative to server start;
+/// returned windows are in nanoseconds, compatible with
+/// [`FaultModel::offline_until`].
+pub fn parse_offline_spec(spec: &str) -> Result<Vec<OfflineWindow>, String> {
+    let mut windows = Vec::new();
+    for part in spec.split(';').filter(|p| !p.is_empty()) {
+        let (disk, rest) = part
+            .split_once('@')
+            .ok_or_else(|| format!("offline entry '{part}': want DISK@START_MS+LEN_MS"))?;
+        let (start, len) = rest
+            .split_once('+')
+            .ok_or_else(|| format!("offline entry '{part}': want DISK@START_MS+LEN_MS"))?;
+        let disk: u16 = disk
+            .parse()
+            .map_err(|e| format!("offline entry '{part}': disk: {e}"))?;
+        let start_ms: u64 = start
+            .parse()
+            .map_err(|e| format!("offline entry '{part}': start: {e}"))?;
+        let len_ms: u64 = len
+            .parse()
+            .map_err(|e| format!("offline entry '{part}': length: {e}"))?;
+        if len_ms == 0 {
+            return Err(format!("offline entry '{part}': zero-length window"));
+        }
+        windows.push(OfflineWindow {
+            disk,
+            start_ns: start_ms * 1_000_000,
+            end_ns: (start_ms + len_ms) * 1_000_000,
+        });
+    }
+    Ok(windows)
+}
+
 /// Degraded-mode tallies: what the recovery policy observed and did.
 /// Merged across disks/points like the cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -415,6 +527,92 @@ mod tests {
                 }),
         );
         assert_eq!(f.offline_until(0, 20), Some(90));
+    }
+
+    #[test]
+    fn wall_backoff_is_deterministic_in_the_seed() {
+        let p = WallPolicy::default();
+        for attempt in 1..=5 {
+            for req in [0u64, 7, 1 << 40] {
+                assert_eq!(
+                    p.backoff_ns(42, req, attempt),
+                    p.backoff_ns(42, req, attempt)
+                );
+            }
+        }
+        // A different seed jitters differently somewhere in the grid.
+        assert!((1..=5).any(|a| p.backoff_ns(1, 9, a) != p.backoff_ns(2, 9, a)));
+        // Jitter stays within [exp, 1.5*exp] before the cap.
+        let exp = p.backoff_base_ns;
+        let b = p.backoff_ns(3, 3, 1);
+        assert!(b >= exp && b <= exp + exp / 2, "b = {b}");
+    }
+
+    #[test]
+    fn wall_backoff_grows_and_respects_the_cap() {
+        let p = WallPolicy {
+            max_retries: 40,
+            backoff_base_ns: 1_000,
+            backoff_cap_ns: 50_000,
+            deadline_ns: None,
+        };
+        let series: Vec<u64> = (1..=12).map(|a| p.backoff_ns(5, 0, a)).collect();
+        // Exponential until the cap, then pinned at the cap.
+        assert!(series.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(*series.last().unwrap(), 50_000);
+        assert!(series[0] < 2_000);
+        // Huge attempt numbers cannot overflow the shift.
+        assert_eq!(p.backoff_ns(5, 0, 1_000_000), 50_000);
+    }
+
+    #[test]
+    fn wall_deadline_preempts_remaining_retries() {
+        let p = WallPolicy {
+            max_retries: 10,
+            backoff_base_ns: 1_000_000,
+            backoff_cap_ns: 100_000_000,
+            deadline_ns: Some(5_000_000),
+        };
+        // Fresh request: retries proceed.
+        assert!(p.next_backoff_ns(1, 0, 1, 0).is_some());
+        // Past the deadline: no retry even though 9 remain.
+        assert!(p.next_backoff_ns(1, 0, 2, 5_000_000).is_none());
+        assert!(p.expired(5_000_000));
+        // Waiting out the backoff would cross the deadline: preempted.
+        assert!(p.next_backoff_ns(1, 0, 3, 4_500_000).is_none());
+        assert!(!p.expired(4_500_000));
+        // Retries exhausted ends recovery too.
+        let q = WallPolicy {
+            max_retries: 2,
+            deadline_ns: None,
+            ..p
+        };
+        assert!(q.next_backoff_ns(1, 0, 2, 0).is_some());
+        assert!(q.next_backoff_ns(1, 0, 3, 0).is_none());
+    }
+
+    #[test]
+    fn offline_spec_parses_and_rejects() {
+        let ws = parse_offline_spec("0@500+300;1@0+100").unwrap();
+        assert_eq!(
+            ws,
+            vec![
+                OfflineWindow {
+                    disk: 0,
+                    start_ns: 500_000_000,
+                    end_ns: 800_000_000,
+                },
+                OfflineWindow {
+                    disk: 1,
+                    start_ns: 0,
+                    end_ns: 100_000_000,
+                },
+            ]
+        );
+        assert!(parse_offline_spec("").unwrap().is_empty());
+        for bad in ["1@5", "x@1+2", "1@x+2", "1@2+x", "1@2+0", "nope"] {
+            assert!(parse_offline_spec(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

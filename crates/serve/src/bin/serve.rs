@@ -9,15 +9,28 @@
 //! serve run --dir DIR [--port P] [--threads N] [--policy P] [--hdc KB]
 //!           [--stats-secs S] [--port-file F] [--report F] [--max-conns N]
 //!           [--metrics-addr HOST:PORT] [--metrics-port-file F]
+//!           [--faults seed=S,media=R,offline=SPEC] [--deadline-ms MS]
+//!           [--retries N] [--backoff-ms MS] [--max-queue N]
+//!           [--max-inflight N]
 //!     Serve file reads from the images through the FOR/HDC stack.
 //!       --port 0 picks an ephemeral port; --port-file writes the
 //!       bound port for scripts. --metrics-addr binds a side HTTP
 //!       listener answering GET /metrics with Prometheus text
 //!       exposition (--metrics-port-file writes its bound port).
-//!       The server runs until a client sends SHUTDOWN, then drains
-//!       and prints a JSON report. A panic in any serving thread
-//!       prints a structured report plus a flight-recorder dump to
-//!       stderr before the thread dies.
+//!       --faults injects a deterministic fault schedule: per-block
+//!       media errors at rate R (pure in (seed, disk, block)) and
+//!       wall-clock per-disk offline windows (SPEC is
+//!       DISK@START_MS+LEN_MS entries joined by ';'). --retries and
+//!       --backoff-ms shape the bounded recovery of faulted media
+//!       reads; --deadline-ms fails a request `ERR Timeout` instead of
+//!       spending retries past its deadline. --max-queue sheds at a
+//!       per-disk queue bound, --max-inflight at a server-wide READ
+//!       bound; both answer `ERR Overload`.
+//!       The server runs until a client sends SHUTDOWN — or SIGTERM /
+//!       SIGINT arrives — then drains, dumps the flight recorder on a
+//!       signal, and prints a JSON report. A panic in any serving
+//!       thread prints a structured report plus a flight-recorder
+//!       dump to stderr before the thread dies.
 //! ```
 
 use std::collections::HashMap;
@@ -27,8 +40,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use forhdc_core::ReadAheadKind;
+use forhdc_fault::{parse_offline_spec, FaultConfig, WallPolicy};
+use forhdc_serve::engine::LiveOpts;
 use forhdc_serve::image::{create_images, open_dir, DiskMeta};
-use forhdc_serve::server::{run as run_server, ServerOpts};
+use forhdc_serve::server::{run as run_server, termination_flag, ServerOpts};
 use forhdc_serve::Engine;
 
 struct Args {
@@ -79,6 +94,9 @@ serve — live TCP front-end for the FOR/HDC disk-array stack
                [--policy segm|block|no-ra|for|track] [--hdc KB]
                [--stats-secs S] [--port-file F] [--report F] [--max-conns N]
                [--metrics-addr HOST:PORT] [--metrics-port-file F]
+               [--faults seed=S,media=R,offline=DISK@START_MS+LEN_MS;...]
+               [--deadline-ms MS] [--retries N] [--backoff-ms MS]
+               [--max-queue N] [--max-inflight N]
 ";
 
 fn main() -> ExitCode {
@@ -143,6 +161,56 @@ fn parse_policy(name: &str) -> Result<ReadAheadKind, String> {
     }
 }
 
+/// Parses `--faults seed=S,media=R,offline=SPEC` (comma-joined
+/// `key=value` entries, each optional).
+fn parse_faults(spec: &str) -> Result<FaultConfig, String> {
+    let mut cfg = FaultConfig::new(42);
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--faults entry '{part}': want key=value"))?;
+        match k {
+            "seed" => cfg.seed = v.parse().map_err(|e| format!("--faults seed: {e}"))?,
+            "media" => {
+                let rate: f64 = v.parse().map_err(|e| format!("--faults media: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--faults media={rate}: rate outside [0, 1]"));
+                }
+                cfg.read_error_rate = rate;
+            }
+            "offline" => {
+                cfg.offline = parse_offline_spec(v).map_err(|e| format!("--faults {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "--faults key '{other}' (want seed, media, offline)"
+                ))
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// Installs SIGTERM/SIGINT handlers that flip the server's termination
+/// flag. The handler body is async-signal-safe (one atomic store); the
+/// supervise loop does the actual drain/dump/report. Raw `signal(2)`
+/// through the C ABI keeps the repo dependency-free.
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        termination_flag().store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
 fn serve(args: &Args) -> Result<(), String> {
     let dir = PathBuf::from(args.required("dir")?);
     let meta = open_dir(&dir)?;
@@ -154,9 +222,29 @@ fn serve(args: &Args) -> Result<(), String> {
         accept_threads: args.flag("threads", 2usize)?.max(1),
         max_conns: args.flag("max-conns", 256usize)?.max(1),
         stats_secs: args.flag("stats-secs", 0u64)?,
+        max_inflight: args.flag("max-inflight", 0usize)?,
     };
-    let engine = Engine::open(&dir, meta, policy, hdc_blocks)?;
+    let faults = match args.flags.get("faults") {
+        Some(spec) => Some(parse_faults(spec)?),
+        None => None,
+    };
+    let recovery = WallPolicy {
+        max_retries: args.flag("retries", 3u32)?,
+        backoff_base_ns: args.flag("backoff-ms", 2u64)?.saturating_mul(1_000_000),
+        backoff_cap_ns: 200_000_000,
+        deadline_ns: match args.flag("deadline-ms", 0u64)? {
+            0 => None,
+            ms => Some(ms.saturating_mul(1_000_000)),
+        },
+    };
+    let live = LiveOpts {
+        faults,
+        recovery,
+        max_queue: args.flag("max-queue", 0u32)?,
+    };
+    let engine = Engine::open_with(&dir, meta, policy, hdc_blocks, live)?;
     install_panic_hook(&engine);
+    install_signal_handlers();
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
     let bound = listener

@@ -30,15 +30,17 @@
 //! reporting RPS and latency percentiles per level.
 
 pub mod engine;
+pub mod faults;
 pub mod image;
 pub mod metrics;
 pub mod protocol;
 pub mod report;
 pub mod server;
 
-pub use engine::{DiskSnapshot, Engine, EngineSnapshot, ReadError};
+pub use engine::{DiskSnapshot, Engine, EngineSnapshot, LiveOpts, ReadError};
+pub use faults::LiveFaults;
 pub use image::{block_payload, create_images, open_dir, rank_to_file, DiskMeta};
 pub use metrics::{OpKind, ServeMetrics};
-pub use protocol::{Request, MAX_READ_BLOCKS};
+pub use protocol::{ErrorCode, Request, MAX_READ_BLOCKS};
 pub use report::{server_report, stats_line, ServeTotals};
 pub use server::{run, ServerOpts};

@@ -26,6 +26,16 @@ use std::time::Instant;
 
 use forhdc_metrics::{AtomicHistogram, Counter, FlightRecorder, Gauge, Registry};
 
+use crate::protocol::ErrorCode;
+
+/// The `code` label value of `forhdc_errors_total` for failures that
+/// carry no [`ErrorCode`] (bad frames, range errors, internal errors,
+/// busy rejections); the structured codes use [`ErrorCode::label`].
+pub const ERROR_OTHER: &str = "other";
+/// Index of [`ERROR_OTHER`] in the `errors_total` vector (the
+/// structured codes occupy their [`ErrorCode::index`] slots).
+pub const ERROR_OTHER_INDEX: usize = ErrorCode::ALL.len();
+
 /// Flight-recorder rings: shards bound lock contention across worker
 /// threads, capacity bounds memory per shard.
 const FLIGHT_SHARDS: usize = 8;
@@ -50,11 +60,13 @@ pub enum OpKind {
     Dump,
     /// `SHUTDOWN` drain requests.
     Shutdown,
+    /// `FAULT` admin chaos frames.
+    Fault,
 }
 
 impl OpKind {
     /// Every operation, in label order.
-    pub const ALL: [OpKind; 7] = [
+    pub const ALL: [OpKind; 8] = [
         OpKind::Ping,
         OpKind::Read,
         OpKind::Meta,
@@ -62,6 +74,7 @@ impl OpKind {
         OpKind::Metrics,
         OpKind::Dump,
         OpKind::Shutdown,
+        OpKind::Fault,
     ];
 
     /// The `op` label value.
@@ -74,6 +87,7 @@ impl OpKind {
             OpKind::Metrics => "metrics",
             OpKind::Dump => "dump",
             OpKind::Shutdown => "shutdown",
+            OpKind::Fault => "fault",
         }
     }
 
@@ -111,8 +125,14 @@ pub struct ServeMetrics {
     pub inflight_ops: Arc<Gauge>,
     /// OK responses, by operation (`op` label).
     pub requests_total: Vec<Arc<Counter>>,
-    /// Non-OK responses of any kind.
-    pub errors_total: Arc<Counter>,
+    /// Non-OK responses, by failure code (`code` label): the four
+    /// structured [`ErrorCode`]s at their [`ErrorCode::index`] slots,
+    /// then [`ERROR_OTHER`] for unstructured failures.
+    pub errors_total: Vec<Arc<Counter>>,
+    /// Media-read retries issued by the recovery policy.
+    pub retries_total: Arc<Counter>,
+    /// Requests shed by admission control (inflight or queue limit).
+    pub shed_total: Arc<Counter>,
     /// Payload bytes of successful READs.
     pub bytes_served_total: Arc<Counter>,
     /// Wall-clock operation latency, by operation (`op` label).
@@ -144,6 +164,8 @@ pub struct ServeMetrics {
     pub disk_store_resident_blocks: Vec<Arc<Gauge>>,
     /// Requests waiting on or holding each disk's lock.
     pub disk_queue_depth: Vec<Arc<Gauge>>,
+    /// Whether each disk is inside an offline window (1) or serving (0).
+    pub disk_offline: Vec<Arc<Gauge>>,
     /// Media service time per disk (wall-clock nanoseconds).
     pub disk_service_ns: Vec<Arc<AtomicHistogram>>,
 }
@@ -174,7 +196,25 @@ impl ServeMetrics {
             "op",
             &op_labels,
         );
-        let errors_total = r.counter("forhdc_errors_total", "Non-OK responses of any kind");
+        let code_labels: Vec<String> = ErrorCode::ALL
+            .iter()
+            .map(|c| c.label().to_string())
+            .chain(std::iter::once(ERROR_OTHER.to_string()))
+            .collect();
+        let errors_total = r.counter_vec(
+            "forhdc_errors_total",
+            "Non-OK responses by failure code",
+            "code",
+            &code_labels,
+        );
+        let retries_total = r.counter(
+            "forhdc_retries_total",
+            "Media-read retries issued by the recovery policy",
+        );
+        let shed_total = r.counter(
+            "forhdc_shed_total",
+            "Requests shed by admission control (inflight or queue limit)",
+        );
         let bytes_served_total = r.counter(
             "forhdc_bytes_served_total",
             "Payload bytes of successful READs",
@@ -263,6 +303,12 @@ impl ServeMetrics {
             "disk",
             &disk_labels,
         );
+        let disk_offline = r.gauge_vec(
+            "forhdc_disk_offline",
+            "Whether the disk is inside an offline window (1) or serving (0)",
+            "disk",
+            &disk_labels,
+        );
         let disk_service_ns = r.histogram_vec(
             "forhdc_disk_service_ns",
             "Media service time in wall-clock nanoseconds",
@@ -281,6 +327,8 @@ impl ServeMetrics {
             inflight_ops,
             requests_total,
             errors_total,
+            retries_total,
+            shed_total,
             bytes_served_total,
             op_latency_ns,
             disk_media_reads_total,
@@ -296,8 +344,21 @@ impl ServeMetrics {
             disk_pinned_blocks,
             disk_store_resident_blocks,
             disk_queue_depth,
+            disk_offline,
             disk_service_ns,
         }
+    }
+
+    /// The `errors_total` counter for a failure code (`None` =
+    /// unstructured, the [`ERROR_OTHER`] slot).
+    pub fn error_counter(&self, code: Option<ErrorCode>) -> &Counter {
+        let i = code.map_or(ERROR_OTHER_INDEX, ErrorCode::index);
+        &self.errors_total[i]
+    }
+
+    /// Total non-OK responses across all failure codes.
+    pub fn errors_sum(&self) -> u64 {
+        self.errors_total.iter().map(|c| c.get()).sum()
     }
 
     /// Nanoseconds since the server started — the flight recorder's
@@ -343,12 +404,24 @@ mod tests {
         m.disk_media_reads_total[1].inc();
         m.disk_queue_depth[0].set(4);
         m.op_latency_ns[OpKind::Read.index()].record(1000);
+        m.error_counter(Some(ErrorCode::MediaError)).add(2);
+        m.error_counter(None).inc();
+        m.retries_total.add(5);
+        m.shed_total.inc();
+        m.disk_offline[1].set(1);
         let text = m.render();
         for needle in [
             "# TYPE forhdc_uptime_seconds gauge",
             "forhdc_connections_total 1",
             "forhdc_requests_total{op=\"read\"} 3",
             "forhdc_requests_total{op=\"shutdown\"} 0",
+            "forhdc_errors_total{code=\"media\"} 2",
+            "forhdc_errors_total{code=\"timeout\"} 0",
+            "forhdc_errors_total{code=\"other\"} 1",
+            "forhdc_retries_total 5",
+            "forhdc_shed_total 1",
+            "forhdc_disk_offline{disk=\"0\"} 0",
+            "forhdc_disk_offline{disk=\"1\"} 1",
             "forhdc_disk_media_reads_total{disk=\"0\"} 0",
             "forhdc_disk_media_reads_total{disk=\"1\"} 1",
             "forhdc_disk_queue_depth{disk=\"0\"} 4",
@@ -375,5 +448,19 @@ mod tests {
         m.requests_total[OpKind::Ping.index()].inc();
         m.requests_total[OpKind::Read.index()].add(2);
         assert_eq!(m.requests_ok(), 3);
+    }
+
+    #[test]
+    fn error_codes_map_to_distinct_counters() {
+        let m = ServeMetrics::new(1);
+        for code in ErrorCode::ALL {
+            m.error_counter(Some(code)).inc();
+        }
+        m.error_counter(None).add(2);
+        for code in ErrorCode::ALL {
+            assert_eq!(m.error_counter(Some(code)).get(), 1, "{code}");
+        }
+        assert_eq!(m.errors_total[ERROR_OTHER_INDEX].get(), 2);
+        assert_eq!(m.errors_sum(), 6);
     }
 }

@@ -3,7 +3,7 @@
 //! Frames are length-prefixed: a little-endian `u32` byte count
 //! followed by that many bytes, the first of which is the opcode
 //! (requests) or status (responses). All multi-byte integers are
-//! little-endian. The protocol is deliberately tiny — seven opcodes,
+//! little-endian. The protocol is deliberately tiny — eight opcodes,
 //! fixed-size request bodies — so a client fits in a few dozen lines
 //! and a malformed frame is cheap to reject.
 //!
@@ -16,6 +16,7 @@
 //!   SHUTDOWN                               (body empty)
 //!   METRICS                                (body empty)
 //!   DUMP                                   (body empty)
+//!   FAULT    sub:u8  args       (admin chaos frame; see below)
 //! response := len:u32  status:u8  payload
 //!   READ    OK → payload = nblocks × block_bytes of file data
 //!   META    OK → payload = the disk directory's meta.txt (UTF-8)
@@ -23,7 +24,19 @@
 //!   METRICS OK → payload = Prometheus text exposition (UTF-8)
 //!   DUMP    OK → payload = the flight recorder as JSONL (UTF-8)
 //!   errors     → payload = a one-line diagnostic (UTF-8)
+//!   ERR        → payload = code:u8 + a one-line diagnostic (UTF-8)
 //! ```
+//!
+//! `ERR` (status [`ST_ERR`]) is the structured failure frame: its
+//! first payload byte is an [`ErrorCode`], so clients can distinguish
+//! a persistent media error from an offline disk, a deadline timeout,
+//! or a load-shedding rejection — and pick a retry strategy per code.
+//!
+//! `FAULT` is the chaos-engineering admin frame (`sub` selects the
+//! action): take a disk offline for a wall-clock window, plant a
+//! persistent bad block under a `(file, offset)`, or stall a disk's
+//! media path. It exists so a harness (`loadgen chaos`) can inject
+//! component failure into a *running* server deterministically.
 
 use std::io::{self, Read, Write};
 
@@ -41,6 +54,17 @@ pub const OP_SHUTDOWN: u8 = 5;
 pub const OP_METRICS: u8 = 6;
 /// Fetch the flight recorder's retained events as JSONL.
 pub const OP_DUMP: u8 = 7;
+/// Admin chaos frame: inject a fault into the running server.
+pub const OP_FAULT: u8 = 8;
+
+/// `FAULT` sub-op: take a disk offline for a wall-clock window
+/// (`ms = 0` brings it back).
+pub const FAULT_OFFLINE: u8 = 1;
+/// `FAULT` sub-op: plant a persistent bad block under `(file, offset)`.
+pub const FAULT_PLANT: u8 = 2;
+/// `FAULT` sub-op: stall a disk's media path for a wall-clock window
+/// (ops wait it out instead of failing).
+pub const FAULT_STALL: u8 = 3;
 
 /// Request served successfully.
 pub const ST_OK: u8 = 0;
@@ -54,6 +78,90 @@ pub const ST_SHUTTING_DOWN: u8 = 3;
 pub const ST_INTERNAL: u8 = 4;
 /// The connection limit was reached; retry later.
 pub const ST_BUSY: u8 = 5;
+/// Structured failure: the first payload byte is an [`ErrorCode`],
+/// the rest a UTF-8 diagnostic.
+pub const ST_ERR: u8 = 6;
+
+/// The failure taxonomy carried by `ERR` frames. Codes are stable
+/// wire bytes; labels are the metric label values of
+/// `forhdc_errors_total{code=...}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// A persistent media error survived the server's retry budget.
+    MediaError = 1,
+    /// The target disk is inside an offline window; retry later.
+    DiskOffline = 2,
+    /// The request crossed its deadline (directly, or because the
+    /// deadline preempted the remaining retries).
+    Timeout = 3,
+    /// Admission control shed the request (inflight or per-disk queue
+    /// limit); retry after backoff.
+    Overload = 4,
+}
+
+impl ErrorCode {
+    /// Every code, in wire order.
+    pub const ALL: [ErrorCode; 4] = [
+        ErrorCode::MediaError,
+        ErrorCode::DiskOffline,
+        ErrorCode::Timeout,
+        ErrorCode::Overload,
+    ];
+
+    /// The stable label (metric label value and report key).
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::MediaError => "media",
+            ErrorCode::DiskOffline => "offline",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Overload => "overload",
+        }
+    }
+
+    /// Index into per-code instrument vectors (the [`ErrorCode::ALL`]
+    /// position).
+    pub fn index(self) -> usize {
+        self as usize - 1
+    }
+
+    /// Decodes a wire byte.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        match b {
+            1 => Some(ErrorCode::MediaError),
+            2 => Some(ErrorCode::DiskOffline),
+            3 => Some(ErrorCode::Timeout),
+            4 => Some(ErrorCode::Overload),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Serializes an `ERR` response: status [`ST_ERR`], payload =
+/// code byte + message.
+pub fn write_error<W: Write>(w: &mut W, code: ErrorCode, msg: &str) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(1 + msg.len());
+    payload.push(code as u8);
+    payload.extend_from_slice(msg.as_bytes());
+    write_response(w, ST_ERR, &payload)
+}
+
+/// Splits an `ERR` payload into its code and diagnostic. `None` code
+/// means the byte was unknown (a newer server).
+pub fn parse_error(payload: &[u8]) -> (Option<ErrorCode>, String) {
+    match payload.split_first() {
+        Some((&b, rest)) => (
+            ErrorCode::from_u8(b),
+            String::from_utf8_lossy(rest).into_owned(),
+        ),
+        None => (None, String::new()),
+    }
+}
 
 /// Upper bound on a request frame (op + largest fixed body).
 pub const MAX_REQUEST_FRAME: u32 = 64;
@@ -87,6 +195,29 @@ pub enum Request {
     Metrics,
     /// Fetch the flight recorder's retained events as JSONL.
     Dump,
+    /// Admin: take `disk` offline for `ms` wall-clock milliseconds
+    /// (`ms = 0` clears any admin window and brings it back).
+    FaultOffline {
+        /// Physical disk id.
+        disk: u16,
+        /// Window length from now, in milliseconds.
+        ms: u64,
+    },
+    /// Admin: plant a persistent bad block under `(file, offset)`.
+    FaultPlant {
+        /// File index in the layout.
+        file: u32,
+        /// Block offset within the file.
+        offset: u64,
+    },
+    /// Admin: stall `disk`'s media path for `ms` milliseconds — media
+    /// operations wait the window out instead of failing.
+    FaultStall {
+        /// Physical disk id.
+        disk: u16,
+        /// Window length from now, in milliseconds.
+        ms: u64,
+    },
 }
 
 /// Why an incoming request frame could not be parsed.
@@ -134,6 +265,24 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
         Request::Shutdown => body.push(OP_SHUTDOWN),
         Request::Metrics => body.push(OP_METRICS),
         Request::Dump => body.push(OP_DUMP),
+        Request::FaultOffline { disk, ms } => {
+            body.push(OP_FAULT);
+            body.push(FAULT_OFFLINE);
+            body.extend_from_slice(&disk.to_le_bytes());
+            body.extend_from_slice(&ms.to_le_bytes());
+        }
+        Request::FaultPlant { file, offset } => {
+            body.push(OP_FAULT);
+            body.push(FAULT_PLANT);
+            body.extend_from_slice(&file.to_le_bytes());
+            body.extend_from_slice(&offset.to_le_bytes());
+        }
+        Request::FaultStall { disk, ms } => {
+            body.push(OP_FAULT);
+            body.push(FAULT_STALL);
+            body.extend_from_slice(&disk.to_le_bytes());
+            body.extend_from_slice(&ms.to_le_bytes());
+        }
     }
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(&body)
@@ -174,6 +323,35 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, FrameError> {
         (OP_READ, n) => {
             return Err(FrameError::Malformed(format!(
                 "READ body of {n} bytes (want 16)"
+            )))
+        }
+        (OP_FAULT, 11) => {
+            let sub = args[0];
+            let rest = &args[1..];
+            match sub {
+                FAULT_OFFLINE | FAULT_STALL => {
+                    let disk = u16::from_le_bytes(rest[0..2].try_into().expect("2-byte slice"));
+                    let ms = u64::from_le_bytes(rest[2..10].try_into().expect("8-byte slice"));
+                    if sub == FAULT_OFFLINE {
+                        Request::FaultOffline { disk, ms }
+                    } else {
+                        Request::FaultStall { disk, ms }
+                    }
+                }
+                other => {
+                    return Err(FrameError::Malformed(format!(
+                        "unknown FAULT sub-op {other}"
+                    )))
+                }
+            }
+        }
+        (OP_FAULT, 13) if args[0] == FAULT_PLANT => Request::FaultPlant {
+            file: u32::from_le_bytes(args[1..5].try_into().expect("4-byte slice")),
+            offset: u64::from_le_bytes(args[5..13].try_into().expect("8-byte slice")),
+        },
+        (OP_FAULT, n) => {
+            return Err(FrameError::Malformed(format!(
+                "FAULT body of {n} bytes (want 11 or 13)"
             )))
         }
         (op, _) => return Err(FrameError::Malformed(format!("unknown opcode {op}"))),
@@ -224,6 +402,12 @@ mod tests {
                 offset: 123_456_789_012,
                 nblocks: 32,
             },
+            Request::FaultOffline { disk: 3, ms: 250 },
+            Request::FaultPlant {
+                file: 11,
+                offset: 2,
+            },
+            Request::FaultStall { disk: 1, ms: 500 },
         ];
         let mut buf = Vec::new();
         for r in &reqs {
@@ -276,6 +460,58 @@ mod tests {
         buf.extend_from_slice(&[0u8; 4]);
         match read_request(&mut Cursor::new(buf)) {
             Err(FrameError::Malformed(m)) => assert!(m.contains("READ body"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_frame_roundtrips_codes() {
+        let mut buf = Vec::new();
+        for code in ErrorCode::ALL {
+            write_error(&mut buf, code, "disk 1: boom").unwrap();
+        }
+        let mut c = Cursor::new(buf);
+        for code in ErrorCode::ALL {
+            let (st, payload) = read_response(&mut c).unwrap();
+            assert_eq!(st, ST_ERR);
+            let (parsed, msg) = parse_error(&payload);
+            assert_eq!(parsed, Some(code));
+            assert_eq!(msg, "disk 1: boom");
+        }
+        // Unknown code bytes degrade to None, keeping the diagnostic.
+        let (parsed, msg) = parse_error(&[200, b'x']);
+        assert_eq!(parsed, None);
+        assert_eq!(msg, "x");
+        assert_eq!(parse_error(&[]), (None, String::new()));
+        // Labels are distinct and stable; indices follow ALL order.
+        let mut seen = std::collections::HashSet::new();
+        for (i, code) in ErrorCode::ALL.into_iter().enumerate() {
+            assert!(seen.insert(code.label()));
+            assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
+            assert_eq!(code.index(), i);
+        }
+    }
+
+    #[test]
+    fn bad_fault_frames_rejected() {
+        // Unknown sub-op.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&12u32.to_le_bytes());
+        buf.push(OP_FAULT);
+        buf.push(99);
+        buf.extend_from_slice(&[0u8; 10]);
+        match read_request(&mut Cursor::new(buf)) {
+            Err(FrameError::Malformed(m)) => assert!(m.contains("sub-op"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        // Wrong body size.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.push(OP_FAULT);
+        buf.push(FAULT_OFFLINE);
+        buf.push(0);
+        match read_request(&mut Cursor::new(buf)) {
+            Err(FrameError::Malformed(m)) => assert!(m.contains("FAULT body"), "{m}"),
             other => panic!("{other:?}"),
         }
     }

@@ -8,6 +8,8 @@
 use forhdc_trace::Quantiles;
 
 use crate::engine::{Engine, EngineSnapshot};
+use crate::metrics::ERROR_OTHER;
+use crate::protocol::ErrorCode;
 
 /// Running totals the connection handlers maintain; the report
 /// combines them with an engine snapshot.
@@ -17,12 +19,35 @@ pub struct ServeTotals {
     pub connections: u64,
     /// Requests answered with `ST_OK`.
     pub requests: u64,
-    /// Requests refused (bad frame, bad range, internal error).
+    /// Requests refused (any non-OK response).
     pub errors: u64,
     /// Connections turned away at the connection limit.
     pub rejected: u64,
     /// Operations being served at snapshot time.
     pub inflight: u64,
+    /// Requests shed by admission control (inflight or queue limit).
+    pub shed: u64,
+    /// Media-read retries issued by the recovery policy.
+    pub retries: u64,
+    /// Non-OK responses by failure code: the four [`ErrorCode`]s in
+    /// [`ErrorCode::ALL`] order, then unstructured (`other`).
+    pub errors_by_code: [u64; 5],
+}
+
+impl ServeTotals {
+    /// Renders the `"errors_by_code"` JSON object.
+    fn errors_by_code_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, code) in ErrorCode::ALL.iter().enumerate() {
+            s.push_str(&format!(
+                "\"{}\": {}, ",
+                code.label(),
+                self.errors_by_code[i]
+            ));
+        }
+        s.push_str(&format!("\"{ERROR_OTHER}\": {}}}", self.errors_by_code[4]));
+        s
+    }
 }
 
 /// Renders the full server report.
@@ -55,12 +80,16 @@ pub fn server_report(
     s.push_str("},\n  \"totals\": {");
     s.push_str(&format!(
         "\"connections\": {}, \"requests\": {}, \"errors\": {}, \"rejected\": {}, \
-         \"inflight\": {}, \"elapsed_secs\": {:.3}, \"uptime_secs\": {:.3}, \"rps\": {:.1}",
+         \"inflight\": {}, \"shed\": {}, \"retries\": {}, \"errors_by_code\": {}, \
+         \"elapsed_secs\": {:.3}, \"uptime_secs\": {:.3}, \"rps\": {:.1}",
         totals.connections,
         totals.requests,
         totals.errors,
         totals.rejected,
         totals.inflight,
+        totals.shed,
+        totals.retries,
+        totals.errors_by_code_json(),
         elapsed_secs,
         elapsed_secs,
         if elapsed_secs > 0.0 {
@@ -119,12 +148,13 @@ pub fn stats_line(
     elapsed_secs: f64,
 ) -> String {
     let mut line = format!(
-        "serve: {:>8.1}s  conns={} reqs={} errs={} inflight={} rps={:.0}  hit={:.1}%  \
+        "serve: {:>8.1}s  conns={} reqs={} errs={} shed={} inflight={} rps={:.0}  hit={:.1}%  \
          p50={:.2}ms p99={:.2}ms  disks=[",
         elapsed_secs,
         totals.connections,
         totals.requests,
         totals.errors,
+        totals.shed,
         totals.inflight,
         if elapsed_secs > 0.0 {
             totals.requests as f64 / elapsed_secs
@@ -173,9 +203,12 @@ mod tests {
         let totals = ServeTotals {
             connections: 1,
             requests: 1,
-            errors: 0,
+            errors: 3,
             rejected: 0,
             inflight: 2,
+            shed: 1,
+            retries: 4,
+            errors_by_code: [1, 0, 1, 1, 0],
         };
         let e2e = Quantiles::default();
         let json = server_report(&engine, &snap, &totals, &e2e, 1.5);
@@ -190,6 +223,10 @@ mod tests {
             "\"p999_ns\"",
             "\"rps\"",
             "\"inflight\": 2",
+            "\"shed\": 1",
+            "\"retries\": 4",
+            "\"errors_by_code\": {\"media\": 1, \"offline\": 0, \"timeout\": 1, \
+             \"overload\": 1, \"other\": 0}",
             "\"uptime_secs\": 1.500",
             "\"store_hits\"",
             "\"store_misses\"",
@@ -198,6 +235,7 @@ mod tests {
         }
         let line = stats_line(&snap, &totals, &e2e, 1.5);
         assert!(line.contains("reqs=1"), "{line}");
+        assert!(line.contains("shed=1"), "{line}");
         assert!(line.contains("inflight=2"), "{line}");
         assert!(line.contains("disks=[0:"), "{line}");
         let _ = std::fs::remove_dir_all(&dir);

@@ -31,8 +31,8 @@ use forhdc_metrics::{Gauge, RateWindow};
 use crate::engine::{Engine, ReadError};
 use crate::metrics::{OpKind, ServeMetrics};
 use crate::protocol::{
-    read_request, write_response, FrameError, Request, ST_BAD_REQUEST, ST_BUSY, ST_INTERNAL, ST_OK,
-    ST_RANGE, ST_SHUTTING_DOWN,
+    read_request, write_error, write_response, ErrorCode, FrameError, Request, ST_BAD_REQUEST,
+    ST_BUSY, ST_INTERNAL, ST_OK, ST_RANGE, ST_SHUTTING_DOWN,
 };
 use crate::report::{server_report, stats_line, ServeTotals};
 
@@ -40,6 +40,23 @@ use crate::report::{server_report, stats_line, ServeTotals};
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 /// How often the main thread checks for drain completion.
 const DRAIN_POLL: Duration = Duration::from_millis(50);
+/// How long a drain waits for in-flight connections before the server
+/// exits anyway (clients holding idle connections open must not pin a
+/// terminating server forever).
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
+
+/// The process-wide termination request, flipped by the SIGTERM/SIGINT
+/// handler the `serve` binary installs. The supervise loop polls it
+/// and runs the same drain as a protocol `SHUTDOWN`, then dumps the
+/// flight recorder to stderr so an operator kill still leaves a
+/// post-mortem trail.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// The flag a signal handler should store `true` into to request a
+/// graceful drain (async-signal-safe: a relaxed atomic store).
+pub fn termination_flag() -> &'static AtomicBool {
+    &TERMINATE
+}
 
 /// Tunables for [`run`].
 #[derive(Debug, Clone)]
@@ -50,6 +67,10 @@ pub struct ServerOpts {
     pub max_conns: usize,
     /// Seconds between stderr stats lines (0 disables them).
     pub stats_secs: u64,
+    /// READs in flight beyond this are shed with `ERR Overload`
+    /// (0 = unbounded). The strict server-wide admission bound; the
+    /// engine's `--max-queue` is its per-disk sibling.
+    pub max_inflight: usize,
 }
 
 impl Default for ServerOpts {
@@ -58,6 +79,7 @@ impl Default for ServerOpts {
             accept_threads: 2,
             max_conns: 256,
             stats_secs: 0,
+            max_inflight: 0,
         }
     }
 }
@@ -67,6 +89,9 @@ struct Shared {
     metrics: Arc<ServeMetrics>,
     shutdown: AtomicBool,
     active: AtomicUsize,
+    /// READs currently admitted (strict semaphore for `max_inflight`).
+    read_slots: AtomicUsize,
+    max_inflight: usize,
     /// Serializes flight-recorder stderr dumps so two faulting workers
     /// cannot interleave their JSONL.
     dump_lock: Mutex<()>,
@@ -75,12 +100,19 @@ struct Shared {
 impl Shared {
     fn totals(&self) -> ServeTotals {
         let m = &self.metrics;
+        let mut errors_by_code = [0u64; 5];
+        for (slot, c) in errors_by_code.iter_mut().zip(&m.errors_total) {
+            *slot = c.get();
+        }
         ServeTotals {
             connections: m.connections_total.get(),
             requests: m.requests_ok(),
-            errors: m.errors_total.get(),
+            errors: m.errors_sum(),
             rejected: m.connections_rejected_total.get(),
             inflight: m.inflight_ops.get().max(0) as u64,
+            shed: m.shed_total.get(),
+            retries: m.retries_total.get(),
+            errors_by_code,
         }
     }
 
@@ -170,6 +202,8 @@ pub fn run(
         metrics,
         shutdown: AtomicBool::new(false),
         active: AtomicUsize::new(0),
+        read_slots: AtomicUsize::new(0),
+        max_inflight: opts.max_inflight,
         dump_lock: Mutex::new(()),
     });
     let mut acceptors = Vec::new();
@@ -200,8 +234,13 @@ pub fn run(
         }
         None => None,
     };
-    // Supervise: periodic stats, then drain once shutdown is flagged.
+    // Supervise: periodic stats, then drain once shutdown is flagged —
+    // by a protocol SHUTDOWN or by the signal handler's termination
+    // flag. The drain waits for in-flight connections up to a grace
+    // period, then exits anyway.
     let mut last_stats = Instant::now();
+    let mut draining_since: Option<Instant> = None;
+    let mut terminated = false;
     loop {
         thread::sleep(DRAIN_POLL);
         if opts.stats_secs > 0 && last_stats.elapsed().as_secs() >= opts.stats_secs {
@@ -217,8 +256,21 @@ pub fn run(
                 )
             );
         }
-        if shared.shutdown.load(Ordering::SeqCst) && shared.active.load(Ordering::SeqCst) == 0 {
-            break;
+        if TERMINATE.load(Ordering::SeqCst) && !terminated {
+            terminated = true;
+            eprintln!("serve: termination signal received, draining");
+            shared.shutdown.store(true, Ordering::SeqCst);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let since = *draining_since.get_or_insert_with(Instant::now);
+            let active = shared.active.load(Ordering::SeqCst);
+            if active == 0 {
+                break;
+            }
+            if since.elapsed() >= DRAIN_GRACE {
+                eprintln!("serve: drain grace expired with {active} connections, exiting");
+                break;
+            }
         }
     }
     for a in acceptors {
@@ -227,6 +279,9 @@ pub fn run(
     if let Some(t) = metrics_thread {
         t.join()
             .map_err(|_| "metrics thread panicked".to_string())?;
+    }
+    if terminated {
+        shared.dump_flight_to_stderr("termination signal");
     }
     Ok(shared.report())
 }
@@ -346,7 +401,7 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean EOF between frames
             Err(FrameError::Malformed(m)) => {
-                shared.metrics.errors_total.inc();
+                shared.metrics.error_counter(None).inc();
                 let _ = write_response(&mut w, ST_BAD_REQUEST, m.as_bytes());
                 let _ = w.flush();
                 return;
@@ -393,20 +448,35 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
                         b"server is draining",
                     )
                 } else {
-                    let mut buf = Vec::new();
-                    match shared.engine.read(file, offset, nblocks, &mut buf) {
-                        Ok(()) => respond(shared, &mut w, OpKind::Read, t0, ST_OK, &buf),
-                        Err(ReadError::Range(m)) => {
-                            respond(shared, &mut w, OpKind::Read, t0, ST_RANGE, m.as_bytes())
-                        }
-                        Err(ReadError::Internal(m)) => {
-                            // An internal error means the images failed
-                            // underneath us: leave a post-mortem trail.
-                            shared.dump_flight_to_stderr(&m);
-                            respond(shared, &mut w, OpKind::Read, t0, ST_INTERNAL, m.as_bytes())
-                        }
-                    }
+                    serve_read(shared, &mut w, t0, file, offset, nblocks)
                 }
+            }
+            Request::FaultOffline { disk, ms } => {
+                let res = shared.engine.set_offline_ms(disk, ms);
+                respond_fault(
+                    shared,
+                    &mut w,
+                    t0,
+                    res.map(|()| format!("disk {disk} offline {ms} ms")),
+                )
+            }
+            Request::FaultPlant { file, offset } => {
+                let res = shared.engine.plant_bad_block(file, offset);
+                respond_fault(
+                    shared,
+                    &mut w,
+                    t0,
+                    res.map(|(d, b)| format!("planted bad block: disk {d} block {b}")),
+                )
+            }
+            Request::FaultStall { disk, ms } => {
+                let res = shared.engine.set_stall_ms(disk, ms);
+                respond_fault(
+                    shared,
+                    &mut w,
+                    t0,
+                    res.map(|()| format!("disk {disk} stalled {ms} ms")),
+                )
             }
         };
         if !keep_going {
@@ -415,10 +485,107 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
     }
 }
 
+/// Strict `--max-inflight` semaphore: [`AdmitGuard::admit`] reserves a
+/// READ slot or refuses at the bound; dropping the guard releases it.
+struct AdmitGuard<'a>(Option<&'a Shared>);
+
+impl<'a> AdmitGuard<'a> {
+    fn admit(shared: &'a Shared) -> Option<Self> {
+        if shared.max_inflight == 0 {
+            return Some(AdmitGuard(None));
+        }
+        let prev = shared.read_slots.fetch_add(1, Ordering::SeqCst);
+        if prev >= shared.max_inflight {
+            shared.read_slots.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(AdmitGuard(Some(shared)))
+    }
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.0 {
+            s.read_slots.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Admits (or sheds) and serves one READ, mapping engine errors onto
+/// the wire: structured failures become `ERR` frames carrying their
+/// [`ErrorCode`]; the legacy range/internal paths keep their dedicated
+/// statuses.
+fn serve_read<W: Write>(
+    shared: &Shared,
+    w: &mut W,
+    t0: Instant,
+    file: u32,
+    offset: u64,
+    nblocks: u32,
+) -> bool {
+    let Some(_slot) = AdmitGuard::admit(shared) else {
+        shared.metrics.shed_total.inc();
+        return respond_err(
+            shared,
+            w,
+            ErrorCode::Overload,
+            &format!(
+                "READs in flight at the --max-inflight bound ({})",
+                shared.max_inflight
+            ),
+        );
+    };
+    let mut buf = Vec::new();
+    match shared.engine.read(file, offset, nblocks, &mut buf) {
+        Ok(()) => respond(shared, w, OpKind::Read, t0, ST_OK, &buf),
+        Err(ReadError::Range(m)) => respond(shared, w, OpKind::Read, t0, ST_RANGE, m.as_bytes()),
+        Err(ReadError::Internal(m)) => {
+            // An internal error means the images failed underneath us:
+            // leave a post-mortem trail.
+            shared.dump_flight_to_stderr(&m);
+            respond(shared, w, OpKind::Read, t0, ST_INTERNAL, m.as_bytes())
+        }
+        Err(ReadError::Media(m)) => respond_err(shared, w, ErrorCode::MediaError, &m),
+        Err(ReadError::Offline(m)) => respond_err(shared, w, ErrorCode::DiskOffline, &m),
+        Err(ReadError::Timeout(m)) => respond_err(shared, w, ErrorCode::Timeout, &m),
+        Err(ReadError::Overload(m)) => respond_err(shared, w, ErrorCode::Overload, &m),
+    }
+}
+
+/// Answers a `FAULT` admin frame: OK with a confirmation line, or
+/// `ST_RANGE` when the target is outside the array.
+fn respond_fault<W: Write>(
+    shared: &Shared,
+    w: &mut W,
+    t0: Instant,
+    res: Result<String, ReadError>,
+) -> bool {
+    match res {
+        Ok(msg) => respond(shared, w, OpKind::Fault, t0, ST_OK, msg.as_bytes()),
+        Err(e) => respond(
+            shared,
+            w,
+            OpKind::Fault,
+            t0,
+            ST_RANGE,
+            e.to_string().as_bytes(),
+        ),
+    }
+}
+
+/// Writes and flushes one structured `ERR` response, counting it into
+/// `forhdc_errors_total{code=...}`; returns `false` when the peer is
+/// gone.
+fn respond_err<W: Write>(shared: &Shared, w: &mut W, code: ErrorCode, msg: &str) -> bool {
+    let delivered = write_error(w, code, msg).and_then(|()| w.flush()).is_ok();
+    shared.metrics.error_counter(Some(code)).inc();
+    delivered
+}
+
 /// Writes and flushes one response; returns `false` when the peer is
 /// gone. Counts OK responses into the per-op request counters (and
 /// delivered ones into the per-op latency histogram), the rest into
-/// the error counter.
+/// the unstructured error counter.
 fn respond<W: Write>(
     shared: &Shared,
     w: &mut W,
@@ -436,7 +603,7 @@ fn respond<W: Write>(
             shared.metrics.op_latency_ns[op.index()].record(t0.elapsed().as_nanos() as u64);
         }
     } else {
-        shared.metrics.errors_total.inc();
+        shared.metrics.error_counter(None).inc();
     }
     delivered
 }
@@ -455,6 +622,22 @@ mod tests {
         std::net::SocketAddr,
         thread::JoinHandle<Result<String, String>>,
     ) {
+        spawn_server_opts(
+            tag,
+            crate::engine::LiveOpts::default(),
+            ServerOpts::default(),
+        )
+    }
+
+    fn spawn_server_opts(
+        tag: &str,
+        live: crate::engine::LiveOpts,
+        opts: ServerOpts,
+    ) -> (
+        std::path::PathBuf,
+        std::net::SocketAddr,
+        thread::JoinHandle<Result<String, String>>,
+    ) {
         let dir = std::env::temp_dir().join(format!("forhdc_server_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let meta = DiskMeta {
@@ -468,10 +651,9 @@ mod tests {
             disk_blocks: 0,
         };
         let meta = create_images(&dir, &meta).unwrap();
-        let engine = Engine::open(&dir, meta, ReadAheadKind::For, 0).unwrap();
+        let engine = Engine::open_with(&dir, meta, ReadAheadKind::For, 0, live).unwrap();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let opts = ServerOpts::default();
         let handle = thread::spawn(move || run(engine, listener, None, &opts));
         (dir, addr, handle)
     }
@@ -616,6 +798,161 @@ mod tests {
         assert!(scrape("/nope").is_err());
         let _ = request(&mut c, &Request::Shutdown);
         drop(c);
+        handle.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_frames_inject_and_err_frames_carry_codes() {
+        use crate::protocol::{parse_error, ST_ERR};
+        let live = crate::engine::LiveOpts {
+            recovery: forhdc_fault::WallPolicy {
+                max_retries: 2,
+                backoff_base_ns: 200_000,
+                backoff_cap_ns: 1_000_000,
+                deadline_ns: None,
+            },
+            ..Default::default()
+        };
+        let (dir, addr, handle) = spawn_server_opts("faults", live, ServerOpts::default());
+        let mut c = TcpStream::connect(addr).unwrap();
+        // Plant a bad block under file 3; a cold read must fail
+        // ERR MediaError after the retry budget.
+        let (st, msg) = request(&mut c, &Request::FaultPlant { file: 3, offset: 0 });
+        assert_eq!(st, ST_OK);
+        assert!(std::str::from_utf8(&msg).unwrap().contains("planted"));
+        let (st, payload) = request(
+            &mut c,
+            &Request::Read {
+                file: 3,
+                offset: 0,
+                nblocks: 2,
+            },
+        );
+        assert_eq!(st, ST_ERR);
+        let (code, m) = parse_error(&payload);
+        assert_eq!(code, Some(ErrorCode::MediaError));
+        assert!(m.contains("after 2 retries"), "{m}");
+        // Take both disks offline; reads fail fast with DiskOffline.
+        for disk in 0..2 {
+            let (st, _) = request(&mut c, &Request::FaultOffline { disk, ms: 60_000 });
+            assert_eq!(st, ST_OK);
+        }
+        let (st, payload) = request(
+            &mut c,
+            &Request::Read {
+                file: 5,
+                offset: 0,
+                nblocks: 2,
+            },
+        );
+        assert_eq!(st, ST_ERR);
+        assert_eq!(parse_error(&payload).0, Some(ErrorCode::DiskOffline));
+        // Bring them back; the same read now serves.
+        for disk in 0..2 {
+            let (st, _) = request(&mut c, &Request::FaultOffline { disk, ms: 0 });
+            assert_eq!(st, ST_OK);
+        }
+        let (st, data) = request(
+            &mut c,
+            &Request::Read {
+                file: 5,
+                offset: 0,
+                nblocks: 2,
+            },
+        );
+        assert_eq!(st, ST_OK);
+        assert_eq!(&data[..4096], &block_payload(5, 0, 4096)[..]);
+        // Admin frames validate their targets.
+        let (st, _) = request(&mut c, &Request::FaultOffline { disk: 9, ms: 10 });
+        assert_eq!(st, ST_RANGE);
+        // The error metrics carry the per-code split.
+        let (st, text) = request(&mut c, &Request::Metrics);
+        assert_eq!(st, ST_OK);
+        let text = String::from_utf8(text).unwrap();
+        assert!(
+            text.contains("forhdc_errors_total{code=\"media\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("forhdc_errors_total{code=\"offline\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("forhdc_retries_total 2"), "{text}");
+        let _ = request(&mut c, &Request::Shutdown);
+        drop(c);
+        let report = handle.join().unwrap().unwrap();
+        assert!(report.contains("\"errors_by_code\""), "{report}");
+        assert!(report.contains("\"media\": 1"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn max_inflight_sheds_overload_and_recovers() {
+        use crate::protocol::{parse_error, ST_ERR};
+        let (dir, addr, handle) = spawn_server_opts(
+            "shed",
+            crate::engine::LiveOpts::default(),
+            ServerOpts {
+                max_inflight: 1,
+                ..ServerOpts::default()
+            },
+        );
+        // Stall both disks so the first READ holds its admission slot.
+        let mut admin = TcpStream::connect(addr).unwrap();
+        for disk in 0..2 {
+            let (st, _) = request(&mut admin, &Request::FaultStall { disk, ms: 700 });
+            assert_eq!(st, ST_OK);
+        }
+        let slow = thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            request(
+                &mut c,
+                &Request::Read {
+                    file: 1,
+                    offset: 0,
+                    nblocks: 2,
+                },
+            )
+        });
+        // Let the slow READ take the only slot, then overload.
+        thread::sleep(Duration::from_millis(250));
+        let (st, payload) = request(
+            &mut admin,
+            &Request::Read {
+                file: 2,
+                offset: 0,
+                nblocks: 2,
+            },
+        );
+        assert_eq!(st, ST_ERR);
+        let (code, m) = parse_error(&payload);
+        assert_eq!(code, Some(ErrorCode::Overload));
+        assert!(m.contains("max-inflight"), "{m}");
+        // The stalled READ still completes OK...
+        let (st, data) = slow.join().unwrap();
+        assert_eq!(st, ST_OK);
+        assert_eq!(data.len(), 2 * 4096);
+        // ...and the slot is free again.
+        let (st, _) = request(
+            &mut admin,
+            &Request::Read {
+                file: 2,
+                offset: 0,
+                nblocks: 2,
+            },
+        );
+        assert_eq!(st, ST_OK);
+        let (st, text) = request(&mut admin, &Request::Metrics);
+        assert_eq!(st, ST_OK);
+        let text = String::from_utf8(text).unwrap();
+        assert!(text.contains("forhdc_shed_total 1"), "{text}");
+        assert!(
+            text.contains("forhdc_errors_total{code=\"overload\"} 1"),
+            "{text}"
+        );
+        let _ = request(&mut admin, &Request::Shutdown);
+        drop(admin);
         handle.join().unwrap().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -174,6 +174,24 @@ fn loadgen_bad_arguments_exit_2() {
         (vec![] as Vec<&str>, "--addr is required"),
         (vec!["--addr"], "--addr needs a value"),
         (vec!["positional"], "unexpected argument"),
+        (vec!["chaos", "extra"], "unexpected argument"),
+        (vec!["chaos"], "--dir is required"),
+        (
+            vec!["chaos", "--dir", "/tmp/x", "--tolerance", "1.5"],
+            "--tolerance",
+        ),
+        (
+            vec!["chaos", "--dir", "/tmp/x", "--conc", "0"],
+            "--conc must be >= 1",
+        ),
+        (
+            vec!["--addr", "127.0.0.1:1", "--retries", "some"],
+            "--retries",
+        ),
+        (
+            vec!["--addr", "127.0.0.1:1", "--backoff-ms", "-3"],
+            "--backoff-ms",
+        ),
         (vec!["--addr", "127.0.0.1:1", "--levels", "0"], "--levels"),
         (
             vec!["--addr", "127.0.0.1:1", "--requests", "lots"],
@@ -201,4 +219,29 @@ fn loadgen_unreachable_server_exits_2() {
         .output()
         .expect("spawn loadgen");
     assert_usage_error(out, "connect", "refused connection");
+}
+
+#[test]
+fn serve_bad_fault_flags_exit_2() {
+    let dir = tmpdir("badfaults");
+    mkdisk(&dir);
+    for (flags, needle) in [
+        (vec!["--faults", "media=2.0"], "rate outside [0, 1]"),
+        (vec!["--faults", "seed"], "want key=value"),
+        (vec!["--faults", "bogus=1"], "--faults key 'bogus'"),
+        (vec!["--faults", "offline=0@x+1"], "--faults"),
+        (vec!["--deadline-ms", "soon"], "--deadline-ms"),
+        (vec!["--retries", "-1"], "--retries"),
+        (vec!["--max-inflight", "many"], "--max-inflight"),
+        (vec!["--max-queue", "deep"], "--max-queue"),
+    ] {
+        let out = serve()
+            .args(["run", "--dir"])
+            .arg(&dir)
+            .args(&flags)
+            .output()
+            .expect("spawn serve");
+        assert_usage_error(out, needle, &format!("{flags:?}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -308,6 +308,26 @@ fn metrics_scrape_conserves_work_and_flight_dump_parses() {
     }
     assert!(compared >= 20, "only {compared} counter samples compared");
 
+    // The fault-tolerance families are registered and quiet on a
+    // healthy run: no errors of any code, no retries, no sheds, and
+    // every disk's offline gauge reads 0.
+    for code in ["media", "offline", "timeout", "overload", "other"] {
+        assert_eq!(
+            second.counter("forhdc_errors_total", &[("code", code)]),
+            Some(0),
+            "errors_total{{code={code}}} on a healthy run:\n{second_text}"
+        );
+    }
+    assert_eq!(second.counter("forhdc_retries_total", &[]), Some(0));
+    assert_eq!(second.counter("forhdc_shed_total", &[]), Some(0));
+    for d in ["0", "1"] {
+        assert_eq!(
+            second.value("forhdc_disk_offline", &[("disk", d)]),
+            Some(0.0),
+            "disk_offline{{disk={d}}}:\n{second_text}"
+        );
+    }
+
     // Family coverage: at least eight forhdc_ families, per-disk labels
     // present.
     let mut families: Vec<&str> = second
@@ -424,5 +444,306 @@ fn stats_over_the_wire_match_report_shape() {
     let report = std::fs::read_to_string(dir.join("report.json")).expect("report written");
     assert!(report.contains("\"policy\": \"Segm\""), "{report}");
     assert!(report.contains("\"requests\": "), "{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The media-fault contract over the wire: a planted bad block fails
+/// a READ with a structured `ERR MediaError` after exactly the
+/// configured number of server-side retries, and the retry/error
+/// counters agree.
+#[test]
+fn planted_bad_block_errs_after_exact_retries() {
+    use forhdc_serve::protocol::{
+        parse_error, read_response, write_request, ErrorCode, Request, ST_ERR, ST_OK,
+    };
+    use std::io::Write;
+
+    let dir = tmpdir("plant");
+    let out = serve_bin()
+        .args([
+            "mkdisk",
+            "--disks",
+            "2",
+            "--files",
+            "16",
+            "--file-blocks",
+            "2",
+            "--dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn mkdisk");
+    assert!(out.status.success());
+    let (mut server, addr) = start_server(&dir, &["--retries", "2", "--backoff-ms", "1"]);
+
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut r = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut w = std::io::BufWriter::new(stream);
+    let mut rpc = |req: &Request| {
+        write_request(&mut w, req).unwrap();
+        w.flush().unwrap();
+        read_response(&mut r).expect("response")
+    };
+
+    // Plant under (file 3, offset 0), then read the file cold.
+    let (st, _) = rpc(&Request::FaultPlant { file: 3, offset: 0 });
+    assert_eq!(st, ST_OK);
+    let (st, body) = rpc(&Request::Read {
+        file: 3,
+        offset: 0,
+        nblocks: 2,
+    });
+    assert_eq!(st, ST_ERR, "payload: {}", String::from_utf8_lossy(&body));
+    let (code, msg) = parse_error(&body);
+    assert_eq!(code, Some(ErrorCode::MediaError), "{msg}");
+    assert!(msg.contains("after 2 retries"), "{msg}");
+
+    // Exactly 2 retries and 1 media error on the counters.
+    let (st, body) = rpc(&Request::Metrics);
+    assert_eq!(st, ST_OK);
+    let scrape = Scrape::parse(std::str::from_utf8(&body).unwrap()).expect("parse metrics");
+    assert_eq!(scrape.counter("forhdc_retries_total", &[]), Some(2));
+    assert_eq!(
+        scrape.counter("forhdc_errors_total", &[("code", "media")]),
+        Some(1)
+    );
+    // A healthy file still reads fine on the same connection.
+    let (st, body) = rpc(&Request::Read {
+        file: 4,
+        offset: 0,
+        nblocks: 2,
+    });
+    assert_eq!(st, ST_OK);
+    assert_eq!(body.len(), 2 * 4096);
+
+    let (st, _) = rpc(&Request::Shutdown);
+    assert_eq!(st, ST_OK);
+    let status = server.wait().expect("wait serve");
+    assert!(status.success(), "server exited {status}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGTERM drains to a clean exit: the server announces the drain,
+/// dumps the flight recorder between parseable markers on stderr,
+/// writes its final JSON report, and exits 0.
+#[test]
+fn sigterm_drains_dumps_flight_and_exits_clean() {
+    let dir = tmpdir("sigterm");
+    let out = serve_bin()
+        .args([
+            "mkdisk",
+            "--disks",
+            "2",
+            "--files",
+            "16",
+            "--file-blocks",
+            "2",
+            "--dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn mkdisk");
+    assert!(out.status.success());
+
+    // start_server nulls stderr; spawn by hand to capture it.
+    let port_file = dir.join("port");
+    let report = dir.join("report.json");
+    let stderr_file = std::fs::File::create(dir.join("stderr.log")).unwrap();
+    let mut server = serve_bin()
+        .args(["run", "--port", "0", "--port-file"])
+        .arg(&port_file)
+        .args(["--report"])
+        .arg(&report)
+        .args(["--dir"])
+        .arg(&dir)
+        .stdout(Stdio::null())
+        .stderr(stderr_file)
+        .spawn()
+        .expect("spawn serve");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let port = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            if !s.trim().is_empty() {
+                break s.trim().to_string();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never wrote its port file"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let addr = format!("127.0.0.1:{port}");
+
+    // Some traffic so the flight recorder has lifecycles to dump.
+    let out = loadgen_bin()
+        .args(["--addr", &addr, "--levels", "2", "--requests", "20"])
+        .output()
+        .expect("spawn loadgen");
+    assert!(out.status.success());
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(kill.success());
+    let status = server.wait().expect("wait serve");
+    assert!(status.success(), "server exited {status} on SIGTERM");
+
+    let stderr = std::fs::read_to_string(dir.join("stderr.log")).unwrap();
+    assert!(
+        stderr.contains("serve: termination signal received, draining"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("reason: termination signal) begin"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("serve: flight recorder dump end"),
+        "{stderr}"
+    );
+    // The dumped JSONL between the markers parses.
+    let body: String = stderr
+        .lines()
+        .skip_while(|l| !l.contains("reason: termination signal) begin"))
+        .skip(1)
+        .take_while(|l| !l.starts_with("serve: flight recorder dump end"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let events = forhdc_trace::parse_jsonl(&body).expect("dump parses");
+    assert!(!events.is_empty(), "flight dump empty");
+
+    let report = std::fs::read_to_string(&report).expect("report written on SIGTERM");
+    assert!(report.contains("\"errors_by_code\""), "{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The shed path under pressure: with `--max-inflight 1` and 32
+/// closed-loop connections, the server must answer every request —
+/// shedding with `ERR Overload`, never hanging — and the client-side
+/// conservation total must balance.
+#[test]
+fn max_inflight_one_sheds_overload_and_never_hangs() {
+    let dir = tmpdir("shed");
+    let out = serve_bin()
+        .args([
+            "mkdisk",
+            "--disks",
+            "2",
+            "--files",
+            "32",
+            "--file-blocks",
+            "2",
+            "--dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn mkdisk");
+    assert!(out.status.success());
+    let (mut server, addr) = start_server(&dir, &["--max-inflight", "1"]);
+
+    let json_path = dir.join("shed.json");
+    let out = loadgen_bin()
+        .args(["--addr", &addr, "--levels", "32", "--requests", "640"])
+        .args(["--retries", "0", "--shutdown", "--json"])
+        .arg(&json_path)
+        .output()
+        .expect("spawn loadgen");
+    assert!(
+        out.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("balanced=true"), "{stdout}");
+
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    let overload: u64 = json
+        .split("\"overload\": ")
+        .skip(1)
+        .map(|s| {
+            s.split([',', '}'])
+                .next()
+                .unwrap()
+                .trim()
+                .parse::<u64>()
+                .unwrap()
+        })
+        .sum();
+    assert!(overload > 0, "no request shed with Overload: {json}");
+
+    let status = server.wait().expect("wait serve");
+    assert!(status.success(), "server exited {status}");
+    // The server counted its sheds too.
+    let report = std::fs::read_to_string(dir.join("report.json")).unwrap();
+    let shed: u64 = report
+        .split("\"shed\": ")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("shed total in report");
+    assert_eq!(shed, overload, "server shed != client overload: {report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The full chaos harness: kill -9 mid-sweep, same-port restart,
+/// per-code fault probes, recovery-throughput floor, conservation.
+#[test]
+fn chaos_harness_passes_end_to_end() {
+    let dir = tmpdir("chaos");
+    let out = serve_bin()
+        .args([
+            "mkdisk",
+            "--disks",
+            "4",
+            "--files",
+            "64",
+            "--file-blocks",
+            "4",
+            "--dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn mkdisk");
+    assert!(out.status.success());
+
+    let json_path = dir.join("chaos.json");
+    let out = loadgen_bin()
+        .arg("chaos")
+        .args(["--serve-bin", env!("CARGO_BIN_EXE_serve")])
+        .args(["--requests", "300", "--conc", "8", "--max-inflight", "4"])
+        .args(["--json"])
+        .arg(&json_path)
+        .args(["--dir"])
+        .arg(&dir)
+        .output()
+        .expect("spawn loadgen chaos");
+    assert!(
+        out.status.success(),
+        "chaos failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for marker in [
+        "chaos: probe media",
+        "chaos: probe offline",
+        "chaos: probe timeout",
+        "chaos: probe overload",
+        "chaos: PASS",
+    ] {
+        assert!(stdout.contains(marker), "missing {marker}: {stdout}");
+    }
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    for key in [
+        "\"rps_pre\"",
+        "\"rps_post\"",
+        "\"probes\": {\"media\": true, \"offline\": true, \"timeout\": true, \"overload\": true}",
+        "\"balanced\": true",
+        "\"pass\": true",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
