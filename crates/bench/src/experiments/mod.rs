@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod faults;
 pub mod micro;
+pub mod mirror;
 pub mod servers;
 pub mod synthetic;
 
@@ -41,6 +42,7 @@ pub const ALL: &[&str] = &[
     "ablation-coop",
     "model-check",
     "fig-faults",
+    "fig-mirror",
 ];
 
 /// Diagnostics runnable by explicit id but never part of `all`: they
@@ -86,6 +88,7 @@ pub fn plan(id: &str, opts: RunOptions) -> Option<PlannedExperiment> {
         "ablation-victim" => ablations::plan_victim(opts),
         "model-check" => micro::plan_model_check(opts),
         "fig-faults" => faults::plan_faults(opts),
+        "fig-mirror" => mirror::plan_mirror(opts),
         "selftest-panic" => faults::plan_selftest_panic(),
         "selftest-violation" => {
             crate::fuzz::plan_selftest_violation(std::path::PathBuf::from("results/repros"))

@@ -63,6 +63,19 @@ pub struct FinalDigest {
     pub dirty_unpins: u64,
     /// Dirty HDC blocks still resident at end of run.
     pub still_dirty: u64,
+    /// Mirrored read extents forwarded to a pair member (0 for
+    /// unmirrored arrays).
+    pub mirror_reads: u64,
+    /// Mirrored reads served by the read-split policy's own pick.
+    pub mirror_policy_reads: u64,
+    /// Mirrored reads steered to the surviving member because the
+    /// policy's pick was offline.
+    pub mirror_failover_reads: u64,
+    /// Blocks copied onto a rebuilding mirror member.
+    pub rebuilt_blocks: u64,
+    /// Capacity of the rebuild target in blocks (0 when no rebuild was
+    /// configured).
+    pub rebuild_target_blocks: u64,
 }
 
 /// The auditing facade. Every method has an inert default, so an
@@ -267,6 +280,24 @@ impl Auditor for FullAudit {
                 ),
             );
         }
+        if d.mirror_reads != d.mirror_policy_reads + d.mirror_failover_reads {
+            fail(
+                "conservation: mirror reads = policy picks + failovers",
+                format!(
+                    "mirror reads {} != policy {} + failover {}",
+                    d.mirror_reads, d.mirror_policy_reads, d.mirror_failover_reads
+                ),
+            );
+        }
+        if d.rebuilt_blocks > d.rebuild_target_blocks {
+            fail(
+                "conservation: rebuilt blocks <= rebuild target",
+                format!(
+                    "rebuilt {} > target {}",
+                    d.rebuilt_blocks, d.rebuild_target_blocks
+                ),
+            );
+        }
     }
 }
 
@@ -347,6 +378,11 @@ mod tests {
             lost_dirty: 2,
             dirty_unpins: 1,
             still_dirty: 1,
+            mirror_reads: 7,
+            mirror_policy_reads: 5,
+            mirror_failover_reads: 2,
+            rebuilt_blocks: 8,
+            rebuild_target_blocks: 8,
         });
     }
 
@@ -386,6 +422,29 @@ mod tests {
             issued: 1,
             completed: 1,
             in_flight: 0,
+            ..FinalDigest::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "mirror reads = policy picks + failovers")]
+    fn unbalanced_mirror_reads_panic() {
+        let mut a = FullAudit::new();
+        a.observe_final(&FinalDigest {
+            mirror_reads: 5,
+            mirror_policy_reads: 3,
+            mirror_failover_reads: 1,
+            ..FinalDigest::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuilt blocks <= rebuild target")]
+    fn overfull_rebuild_panics() {
+        let mut a = FullAudit::new();
+        a.observe_final(&FinalDigest {
+            rebuilt_blocks: 10,
+            rebuild_target_blocks: 8,
             ..FinalDigest::default()
         });
     }

@@ -56,6 +56,13 @@ pub struct Report {
     pub hdc_dirtied: u64,
     /// Dirty HDC blocks handed back to the host by unpins.
     pub hdc_dirty_unpins: u64,
+    /// Mirrored read extents routed to a member (0 unless mirrored).
+    /// Conservation: `mirror_reads == mirror_policy_reads +
+    /// faults.failover_reads`.
+    pub mirror_reads: u64,
+    /// The subset of `mirror_reads` routed by the configured
+    /// read-split policy (the rest were offline failovers).
+    pub mirror_policy_reads: u64,
 }
 
 impl Report {
@@ -213,6 +220,8 @@ mod tests {
             faults: FaultStats::default(),
             hdc_dirtied: 0,
             hdc_dirty_unpins: 0,
+            mirror_reads: 0,
+            mirror_policy_reads: 0,
         }
     }
 

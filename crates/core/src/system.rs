@@ -19,7 +19,7 @@ use forhdc_host::StreamDriver;
 use forhdc_layout::build_disk_bitmaps;
 use forhdc_sim::sched::{QueuedOp, Scheduler};
 use forhdc_sim::{
-    ArrayConfig, BusModel, DiskId, DiskMechanics, DiskStats, LaneCalendar, ReadWrite,
+    ArrayConfig, BusModel, DiskId, DiskMechanics, DiskStats, LaneCalendar, ReadSplit, ReadWrite,
     SchedulerKind, SimDuration, SimTime, StreamId, StripingMap,
 };
 use forhdc_trace::{FaultKind, NullTracer, ProbeResult, TraceEvent, Tracer};
@@ -65,6 +65,30 @@ impl Default for RecoveryPolicy {
     }
 }
 
+/// A mirror reconstruction running alongside the workload: starting at
+/// `start`, the target member is rebuilt from its twin, one paced chunk
+/// at a time. Each chunk is one real media read on the source and one
+/// real media write on the target, so the copy competes with foreground
+/// traffic for heads and queues (the pair's private copy path skips the
+/// shared host bus). Requires a mirrored array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildConfig {
+    /// Physical member being reconstructed (its twin is the source).
+    pub disk: u16,
+    /// Simulated time at which the copy starts (e.g. the end of the
+    /// offline window that replaced the disk).
+    pub start: SimDuration,
+    /// Pacing cap in bytes of reconstructed data per second of
+    /// simulated time (`0` = unpaced: the next chunk starts as soon as
+    /// the previous one lands).
+    pub rate_bytes_per_sec: u64,
+    /// Blocks copied per chunk (one source read + one target write).
+    pub chunk_blocks: u32,
+    /// Blocks to reconstruct — the used extent of the member, starting
+    /// at physical block 0.
+    pub total_blocks: u64,
+}
+
 /// Configuration of one experimental system (one curve point).
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -99,6 +123,9 @@ pub struct SystemConfig {
     /// Fault recovery policy (retries, backoff, timeout). Inert unless
     /// a fault model is attached.
     pub recovery: RecoveryPolicy,
+    /// Optional mirror reconstruction running as background media
+    /// traffic (requires a mirrored array).
+    pub rebuild: Option<RebuildConfig>,
 }
 
 impl SystemConfig {
@@ -113,6 +140,7 @@ impl SystemConfig {
             hdc_flush_period: None,
             trace_sample_period: None,
             recovery: RecoveryPolicy::default(),
+            rebuild: None,
         }
     }
 
@@ -198,6 +226,21 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the read-splitting policy for mirrored pairs (which member
+    /// serves each read). Only meaningful with mirroring enabled.
+    pub fn with_read_split(mut self, policy: ReadSplit) -> Self {
+        self.array.read_split = policy;
+        self
+    }
+
+    /// Attaches a mirror rebuild: starting at `rebuild.start`, the
+    /// target member is reconstructed from its twin as paced background
+    /// media traffic competing with the foreground workload.
+    pub fn with_rebuild(mut self, rebuild: RebuildConfig) -> Self {
+        self.rebuild = Some(rebuild);
+        self
+    }
+
     /// Enables cooperative HDC planning (global top-K with overflow
     /// into sibling controllers).
     pub fn with_cooperative_hdc(mut self) -> Self {
@@ -275,11 +318,20 @@ enum Event {
     Timeout {
         req: u64,
     },
+    /// Issue the next paced chunk of a mirror rebuild (rebuild runs
+    /// only).
+    RebuildTick,
 }
 
 /// Tokens at or above this mark internal flush write-backs: they carry
 /// no host request, so no bus transfer or completion is due.
 const FLUSH_TOKEN_BASE: u64 = 1 << 63;
+
+/// Tokens in `REBUILD_TOKEN_BASE..FLUSH_TOKEN_BASE` mark mirror-rebuild
+/// copy legs: real media work on a pair's members, moved over the
+/// pair's private copy path — no shared-bus transfer, no host
+/// completion.
+const REBUILD_TOKEN_BASE: u64 = 1 << 62;
 
 /// Host-stream lane offsets into the event calendar, past the
 /// per-disk media lanes (`0..disks`). Each names a stream whose
@@ -293,7 +345,8 @@ const LANE_FLUSH: usize = 1;
 const LANE_SAMPLE: usize = 2;
 const LANE_POWER: usize = 3;
 const LANE_TIMEOUT: usize = 4;
-const HOST_LANES: usize = 5;
+const LANE_REBUILD: usize = 5;
+const HOST_LANES: usize = 6;
 
 #[derive(Debug)]
 struct CurrentOp {
@@ -434,9 +487,12 @@ fn advance_media(
     d.busy_accum += now.since(d.busy_since);
     retire_op(d, &op);
     // Only the demanded payload of a host request crosses the bus;
-    // read-ahead stays in the controller cache, and flush write-backs
-    // move cache -> media only.
-    let bus = (op.token < FLUSH_TOKEN_BASE).then(|| (op.token, op.requested as u64 * block_bytes));
+    // read-ahead stays in the controller cache, flush write-backs move
+    // cache -> media only, and rebuild legs use the pair's copy path
+    // (rebuild disables the windowed engine anyway, so the guard is
+    // belt-and-braces here).
+    let bus =
+        (op.token < REBUILD_TOKEN_BASE).then(|| (op.token, op.requested as u64 * block_bytes));
     let next = service_next(d, now, scan_cost, is_for).map(|s| s.done);
     MediaStep { bus, next }
 }
@@ -527,6 +583,21 @@ pub struct System<T: Tracer = NullTracer, F: FaultModel = NoFaults, A: Auditor =
     /// Scratch buffer for the window gather, reused across windows so
     /// the hot loop stays allocation-free.
     win_buf: Vec<(DiskId, SimTime)>,
+    /// Round-robin read-split state: per virtual disk, whether the odd
+    /// member serves the next read (mirrored arrays only).
+    rr_next: Vec<bool>,
+    /// Mirrored reads routed in total, and the subset routed by the
+    /// configured policy. The remainder were failovers (counted in
+    /// `fstats.failover_reads`), so
+    /// `mirror_reads == mirror_policy_reads + failover_reads` always.
+    mirror_reads: u64,
+    mirror_policy_reads: u64,
+    /// Blocks of the rebuild target already issued (copied or skipped
+    /// after exhausted retries); the next chunk starts here.
+    rebuild_next: u64,
+    /// Earliest simulated time the next rebuild chunk may start (the
+    /// pacing anchor).
+    rebuild_pace_at: SimTime,
 }
 
 impl System {
@@ -774,6 +845,18 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
             workload.layout.total_blocks() <= disk_capacity * virtual_disks as u64,
             "workload footprint exceeds array capacity"
         );
+        if let Some(rb) = cfg.rebuild {
+            assert!(cfg.array.mirrored, "rebuild requires a mirrored array");
+            assert!(
+                (rb.disk as usize) < cfg.array.disks as usize,
+                "rebuild disk out of range"
+            );
+            assert!(
+                rb.total_blocks <= disk_capacity,
+                "rebuild target exceeds disk capacity"
+            );
+            assert!(rb.chunk_blocks > 0, "rebuild chunk must be non-zero");
+        }
         // Bitmaps and HDC plans address virtual disks; under mirroring
         // both members of a pair hold identical data and get identical
         // copies.
@@ -832,6 +915,7 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         let bus = BusModel::new(cfg.array.bus_rate, cfg.array.bus_overhead);
         let driver = StreamDriver::new(&workload.trace, workload.streams);
         let lanes = disks.len() + HOST_LANES;
+        let mirrored = cfg.array.mirrored;
         System {
             tracer,
             faults,
@@ -862,6 +946,15 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
             split_buf: Vec::new(),
             shards: 1,
             win_buf: Vec::new(),
+            rr_next: if mirrored {
+                vec![false; virtual_disks as usize]
+            } else {
+                Vec::new()
+            },
+            mirror_reads: 0,
+            mirror_policy_reads: 0,
+            rebuild_next: 0,
+            rebuild_pace_at: SimTime::ZERO,
         }
     }
 
@@ -936,15 +1029,24 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
                 );
             }
         }
+        if let Some(rb) = self.cfg.rebuild {
+            if !self.queue.is_empty() {
+                let lane = self.host_lane(LANE_REBUILD);
+                self.queue
+                    .schedule_lane(lane, SimTime::ZERO + rb.start, Event::RebuildTick);
+            }
+        }
         // The sharded engine only engages on fault-free, untraced,
-        // unaudited runs: tracing orders every emission globally, and
-        // faults/audits can couple disks at any event, so with any of
-        // them attached every event is an interaction point and the
-        // conservative window degenerates to the serial loop anyway.
+        // unaudited runs without a rebuild: tracing orders every
+        // emission globally, and faults/audits/rebuild copy legs can
+        // couple disks at any event, so with any of them attached every
+        // event is an interaction point and the conservative window
+        // degenerates to the serial loop anyway.
         let windowed = self.shards > 1
             && !self.tracer.enabled()
             && !self.faults.enabled()
-            && !self.auditor.enabled();
+            && !self.auditor.enabled()
+            && self.cfg.rebuild.is_none();
         loop {
             if windowed && self.run_window() {
                 continue;
@@ -968,6 +1070,7 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
                 Event::DiskOnline { disk } => self.disk_online(disk, fired.time),
                 Event::PowerLoss => self.power_loss(fired.time),
                 Event::Timeout { req } => self.timeout(req, fired.time),
+                Event::RebuildTick => self.rebuild_tick(fired.time),
             }
         }
         // The figure of merit is the completion of the last host
@@ -1051,22 +1154,64 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         }
     }
 
-    /// Picks the mirror member to serve a read: a member that already
-    /// caches the extent ("closest copy"), else the less-loaded one.
-    fn pick_read_member(&self, vd: usize, start: forhdc_sim::PhysBlock, nblocks: u32) -> usize {
+    /// Picks the mirror member to serve a read. A member inside an
+    /// offline window never wins while its twin is up — the pair
+    /// degrades to single-copy service instead of stalling the request
+    /// (counted as a failover read). Otherwise the configured
+    /// [`ReadSplit`] policy decides; the default `ClosestCopy` prefers
+    /// a member that already caches the extent, else the less-loaded
+    /// one.
+    fn pick_read_member(
+        &mut self,
+        vd: usize,
+        start: forhdc_sim::PhysBlock,
+        nblocks: u32,
+        now: SimTime,
+    ) -> usize {
         let a = 2 * vd;
         let b = 2 * vd + 1;
-        if self.disks[a].ctl.covers(start, nblocks) {
-            return a;
+        self.mirror_reads += 1;
+        if self.faults.enabled() {
+            let a_off = self
+                .faults
+                .offline_until(a as u16, now.as_nanos())
+                .is_some();
+            let b_off = self
+                .faults
+                .offline_until(b as u16, now.as_nanos())
+                .is_some();
+            if a_off != b_off {
+                self.fstats.failover_reads += 1;
+                return if a_off { b } else { a };
+            }
         }
-        if self.disks[b].ctl.covers(start, nblocks) {
-            return b;
-        }
-        let load = |i: usize| self.disks[i].sched.len() + usize::from(self.disks[i].busy);
-        if load(b) < load(a) {
-            b
-        } else {
-            a
+        self.mirror_policy_reads += 1;
+        let load = |d: &Self, i: usize| d.disks[i].sched.len() + usize::from(d.disks[i].busy);
+        match self.cfg.array.read_split {
+            ReadSplit::PrimaryOnly => a,
+            ReadSplit::RoundRobin => {
+                let flip = &mut self.rr_next[vd];
+                let pick = if *flip { b } else { a };
+                *flip = !*flip;
+                pick
+            }
+            ReadSplit::ShortestQueue => {
+                if load(self, b) < load(self, a) {
+                    b
+                } else {
+                    a
+                }
+            }
+            ReadSplit::ClosestCopy => {
+                if self.disks[a].ctl.covers(start, nblocks) {
+                    a
+                } else if self.disks[b].ctl.covers(start, nblocks) || load(self, b) < load(self, a)
+                {
+                    b
+                } else {
+                    a
+                }
+            }
         }
     }
 
@@ -1123,7 +1268,7 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
         let vd = extent.disk.as_usize();
         match kind {
             ReadWrite::Read => {
-                let member = self.pick_read_member(vd, extent.start, extent.nblocks);
+                let member = self.pick_read_member(vd, extent.start, extent.nblocks, now);
                 self.dispatch(id, member, extent.start, extent.nblocks, kind, now);
                 1
             }
@@ -1325,7 +1470,7 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
             debug_assert!(matches!(fired.event, Event::MediaDone { .. }));
             let d = &self.disks[lane];
             let op = d.current.as_ref().expect("media completion without an op");
-            if op.token < FLUSH_TOKEN_BASE {
+            if op.token < REBUILD_TOKEN_BASE {
                 // This completion will move its payload over the shared
                 // bus; its sub-completion lands at the predicted slot
                 // end and must stay outside the window.
@@ -1452,10 +1597,11 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
             // just installed the transferred run.
             self.audit_disk(disk.as_usize(), now);
         }
-        if op.token < FLUSH_TOKEN_BASE {
+        if op.token < REBUILD_TOKEN_BASE {
             // Only the demanded payload crosses the bus; read-ahead
-            // stays in the controller cache. Flush write-backs move
-            // cache -> media only, so they skip both bus and completion.
+            // stays in the controller cache. Flush write-backs and
+            // rebuild copy legs move data media <-> cache only, so they
+            // skip both bus and completion.
             self.reserve_bus_for(
                 op.token,
                 disk.index(),
@@ -1463,8 +1609,93 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
                 now,
                 0,
             );
+        } else if op.token < FLUSH_TOKEN_BASE {
+            self.rebuild_advance(&op, now);
         }
         self.start_next(disk, now);
+    }
+
+    /// Issues the next paced chunk of the mirror rebuild: one media
+    /// read on the source member (the target's twin). Its completion
+    /// queues the matching write leg via [`System::rebuild_advance`].
+    /// The copy stops once the target extent is covered or the
+    /// foreground workload has drained.
+    fn rebuild_tick(&mut self, now: SimTime) {
+        let Some(rb) = self.cfg.rebuild else { return };
+        if self.rebuild_next >= rb.total_blocks
+            || (self.pending.is_empty() && self.driver.is_done())
+        {
+            return;
+        }
+        let left = rb.total_blocks - self.rebuild_next;
+        let n = (rb.chunk_blocks as u64).min(left) as u32;
+        let start = forhdc_sim::PhysBlock::new(self.rebuild_next);
+        let src = (rb.disk ^ 1) as usize;
+        let token = REBUILD_TOKEN_BASE + self.next_req;
+        self.next_req += 1;
+        // Anchor the pacing to the chunk's issue time, so a cap of R
+        // bytes/s issues chunks no faster than R regardless of how long
+        // each copy takes under contention.
+        let bytes = n as u64 * self.cfg.array.disk.block_bytes() as u64;
+        self.rebuild_pace_at = match bytes
+            .saturating_mul(1_000_000_000)
+            .checked_div(rb.rate_bytes_per_sec)
+        {
+            Some(pace_ns) => now + SimDuration::from_nanos(pace_ns.max(1)),
+            None => now, // rate 0 = unpaced: next chunk as soon as this lands
+        };
+        let d = &mut self.disks[src];
+        let cylinder = d.mech.geometry().cylinder_of(start);
+        d.sched.push(QueuedOp {
+            token,
+            start,
+            nblocks: n,
+            requested: n,
+            kind: ReadWrite::Read,
+            cylinder,
+            queued_at: now,
+            attempt: 0,
+        });
+        d.stats.note_queue_depth(d.sched.len(), now);
+        if !self.disks[src].busy {
+            self.start_next(DiskId::new(src as u16), now);
+        }
+    }
+
+    /// Advances the rebuild after one of its media legs completed: a
+    /// finished source read queues the mirrored write onto the target;
+    /// a finished target write accounts the chunk and schedules the
+    /// next tick at the pacing anchor.
+    fn rebuild_advance(&mut self, op: &CurrentOp, now: SimTime) {
+        let Some(rb) = self.cfg.rebuild else { return };
+        match op.kind {
+            ReadWrite::Read => {
+                let tgt = rb.disk as usize;
+                let d = &mut self.disks[tgt];
+                let cylinder = d.mech.geometry().cylinder_of(op.start);
+                d.sched.push(QueuedOp {
+                    token: op.token,
+                    start: op.start,
+                    nblocks: op.total,
+                    requested: op.requested,
+                    kind: ReadWrite::Write,
+                    cylinder,
+                    queued_at: now,
+                    attempt: 0,
+                });
+                d.stats.note_queue_depth(d.sched.len(), now);
+                if !self.disks[tgt].busy {
+                    self.start_next(DiskId::new(tgt as u16), now);
+                }
+            }
+            ReadWrite::Write => {
+                self.fstats.rebuilt_blocks += op.total as u64;
+                self.rebuild_next += op.total as u64;
+                let lane = self.host_lane(LANE_REBUILD);
+                self.queue
+                    .schedule_lane(lane, self.rebuild_pace_at.max(now), Event::RebuildTick);
+            }
+        }
     }
 
     /// Handles a media completion under an active fault model: probes
@@ -1575,6 +1806,14 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
             let blocks: Vec<forhdc_sim::PhysBlock> =
                 (0..op.total as u64).map(|i| op.start.offset(i)).collect();
             self.fstats.lost_dirty_blocks += self.disks[disk.as_usize()].ctl.unflush_hdc(&blocks);
+        } else if op.token >= REBUILD_TOKEN_BASE {
+            // A rebuild leg exhausted its retries: skip the chunk (it
+            // stays unreconstructed, so it never counts as rebuilt) and
+            // keep the copy moving.
+            self.rebuild_next += op.total as u64;
+            let lane = self.host_lane(LANE_REBUILD);
+            self.queue
+                .schedule_lane(lane, self.rebuild_pace_at.max(now), Event::RebuildTick);
         } else if let Some(p) = self.pending.get_mut(&op.token) {
             // Host request: complete it as an error so the stream keeps
             // flowing in degraded mode.
@@ -1932,6 +2171,8 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
             faults: self.fstats,
             hdc_dirtied,
             hdc_dirty_unpins,
+            mirror_reads: self.mirror_reads,
+            mirror_policy_reads: self.mirror_policy_reads,
         };
         if self.auditor.enabled() {
             // The end-of-run conservation audit point, over the same
@@ -1946,6 +2187,11 @@ impl<T: Tracer, F: FaultModel, A: Auditor> System<T, F, A> {
                 lost_dirty: report.faults.lost_dirty_blocks,
                 dirty_unpins: report.hdc_dirty_unpins,
                 still_dirty,
+                mirror_reads: report.mirror_reads,
+                mirror_policy_reads: report.mirror_policy_reads,
+                mirror_failover_reads: report.faults.failover_reads,
+                rebuilt_blocks: report.faults.rebuilt_blocks,
+                rebuild_target_blocks: self.cfg.rebuild.map_or(0, |rb| rb.total_blocks),
             });
         }
         (report, self.tracer, self.auditor)
@@ -2218,6 +2464,223 @@ mod tests {
         let a = System::new(SystemConfig::for_().with_mirroring(), &wl).run();
         let b = System::new(SystemConfig::for_().with_mirroring(), &wl).run();
         assert_eq!(a.io_time, b.io_time);
+    }
+
+    #[test]
+    fn read_split_primary_only_leaves_replicas_read_idle() {
+        // small_wl is read-only, so under primary-only splitting the
+        // odd members never see any work at all.
+        let wl = small_wl(14);
+        let r = System::new(
+            SystemConfig::segm()
+                .with_mirroring()
+                .with_read_split(ReadSplit::PrimaryOnly),
+            &wl,
+        )
+        .run();
+        assert_eq!(r.requests, wl.trace.len() as u64);
+        assert!(r.mirror_reads > 0);
+        assert_eq!(r.mirror_reads, r.mirror_policy_reads);
+        for (i, busy) in r.per_disk_busy.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(busy.as_nanos(), 0, "replica {i} served reads");
+            }
+        }
+    }
+
+    #[test]
+    fn read_split_policies_complete_and_conserve() {
+        for policy in [
+            ReadSplit::ClosestCopy,
+            ReadSplit::RoundRobin,
+            ReadSplit::ShortestQueue,
+            ReadSplit::PrimaryOnly,
+        ] {
+            let wl = small_wl(15);
+            let cfg = SystemConfig::for_()
+                .with_mirroring()
+                .with_read_split(policy);
+            let a = System::new(cfg.clone(), &wl).run();
+            let b = System::new(cfg, &wl).run();
+            assert_eq!(a.requests, wl.trace.len() as u64, "{policy:?}");
+            assert_reports_identical(&a, &b);
+            // Fault-free: every routed read was a policy pick.
+            assert_eq!(a.mirror_reads, a.mirror_policy_reads, "{policy:?}");
+            assert_eq!(a.faults.failover_reads, 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_split_balances_the_members() {
+        let wl = SyntheticWorkload::builder()
+            .requests(600)
+            .files(4_000)
+            .file_blocks(4)
+            .streams(64)
+            .seed(16)
+            .build();
+        let r = System::new(
+            SystemConfig::segm()
+                .with_mirroring()
+                .with_read_split(ReadSplit::RoundRobin),
+            &wl,
+        )
+        .run();
+        let max = r.per_disk_busy.iter().map(|b| b.as_nanos()).max().unwrap();
+        let min = r.per_disk_busy.iter().map(|b| b.as_nanos()).min().unwrap();
+        assert!(min > 0, "an entire member idled");
+        assert!(max < min * 3, "round-robin imbalance {max} vs {min}");
+    }
+
+    #[test]
+    fn replica_offline_degrades_reads_without_failures() {
+        let wl = small_wl(17);
+        // One replica of pair 0 is out for the first 50 ms: its twin
+        // carries every read alone, and nothing fails.
+        let window = OfflineWindow {
+            disk: 1,
+            start_ns: 0,
+            end_ns: 50_000_000,
+        };
+        let fc = FaultConfig::new(2).with_offline(window);
+        let (r, _audit) = System::new_traced_faulted_audited(
+            SystemConfig::segm().with_mirroring(),
+            &wl,
+            NullTracer,
+            SeededFaults::new(fc),
+            FullAudit::new(),
+        )
+        .run_audited();
+        assert_eq!(r.requests, wl.trace.len() as u64);
+        assert_eq!(r.faults.failed_requests, 0);
+        assert!(
+            r.faults.failover_reads > 0,
+            "no reads failed over: {:?}",
+            r.faults
+        );
+        assert_eq!(
+            r.mirror_reads,
+            r.mirror_policy_reads + r.faults.failover_reads
+        );
+    }
+
+    #[test]
+    fn rebuild_reconstructs_target_under_load() {
+        let wl = SyntheticWorkload::builder()
+            .requests(1_200)
+            .files(3_000)
+            .file_blocks(4)
+            .streams(32)
+            .seed(18)
+            .build();
+        let rb = RebuildConfig {
+            disk: 1,
+            start: SimDuration::ZERO,
+            rate_bytes_per_sec: 0, // unpaced: finish well inside the run
+            chunk_blocks: 32,
+            total_blocks: 256,
+        };
+        let (r, _audit) =
+            System::new_checked(SystemConfig::segm().with_mirroring().with_rebuild(rb), &wl)
+                .run_audited();
+        assert_eq!(r.requests, wl.trace.len() as u64);
+        assert_eq!(
+            r.faults.rebuilt_blocks, rb.total_blocks,
+            "rebuild incomplete: {:?}",
+            r.faults
+        );
+    }
+
+    #[test]
+    fn rebuild_pacing_caps_the_copy_rate() {
+        let wl = small_wl(19);
+        let run = |rate: u64| {
+            let rb = RebuildConfig {
+                disk: 1,
+                start: SimDuration::ZERO,
+                rate_bytes_per_sec: rate,
+                chunk_blocks: 32,
+                total_blocks: 1 << 20,
+            };
+            System::new(SystemConfig::segm().with_mirroring().with_rebuild(rb), &wl).run()
+        };
+        let slow = run(1 << 20); // 1 MiB/s
+        let fast = run(64 << 20); // 64 MiB/s
+        assert!(
+            slow.faults.rebuilt_blocks < fast.faults.rebuilt_blocks,
+            "pacing had no effect: slow {} fast {}",
+            slow.faults.rebuilt_blocks,
+            fast.faults.rebuilt_blocks
+        );
+        // The cap bounds the copy directly: at most rate x io_time
+        // bytes land on the target (one in-flight chunk of slack).
+        let bb = SystemConfig::segm().array.disk.block_bytes() as f64;
+        let budget = slow.io_time.as_secs_f64() * (1u64 << 20) as f64 / bb;
+        assert!(
+            slow.faults.rebuilt_blocks as f64 <= budget + 32.0,
+            "paced copy overshot: {} blocks vs budget {budget:.0}",
+            slow.faults.rebuilt_blocks
+        );
+    }
+
+    #[test]
+    fn rebuild_matches_across_shard_counts() {
+        // A configured rebuild serializes the windowed engine, so any
+        // shard count must reproduce the serial run byte-for-byte.
+        let wl = small_wl(20);
+        let rb = RebuildConfig {
+            disk: 0,
+            start: SimDuration::from_millis(10),
+            rate_bytes_per_sec: 8 << 20,
+            chunk_blocks: 32,
+            total_blocks: 2048,
+        };
+        let cfg = SystemConfig::for_().with_mirroring().with_rebuild(rb);
+        let serial = System::new(cfg.clone(), &wl).run();
+        let sharded = System::new(cfg, &wl).with_shards(8).run();
+        assert_reports_identical(&serial, &sharded);
+        assert!(serial.faults.rebuilt_blocks > 0);
+    }
+
+    #[test]
+    fn offline_window_then_rebuild_composes() {
+        // The full failure story: a replica drops out (reads fail over
+        // to its twin), comes back, and is reconstructed under load —
+        // zero failed requests, all conservation laws audited.
+        let wl = small_wl(21);
+        let window = OfflineWindow {
+            disk: 1,
+            start_ns: 0,
+            end_ns: 20_000_000,
+        };
+        let rb = RebuildConfig {
+            disk: 1,
+            start: SimDuration::from_millis(20),
+            rate_bytes_per_sec: 0,
+            chunk_blocks: 32,
+            total_blocks: 512,
+        };
+        let fc = FaultConfig::new(4).with_offline(window);
+        let (r, _audit) = System::new_traced_faulted_audited(
+            SystemConfig::segm().with_mirroring().with_rebuild(rb),
+            &wl,
+            NullTracer,
+            SeededFaults::new(fc),
+            FullAudit::new(),
+        )
+        .run_audited();
+        assert_eq!(r.requests, wl.trace.len() as u64);
+        assert_eq!(r.faults.failed_requests, 0);
+        assert!(
+            r.faults.failover_reads > 0,
+            "no degraded reads: {:?}",
+            r.faults
+        );
+        assert!(
+            r.faults.rebuilt_blocks > 0,
+            "no rebuild progress: {:?}",
+            r.faults
+        );
     }
 
     #[test]

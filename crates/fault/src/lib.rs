@@ -374,6 +374,11 @@ pub struct FaultStats {
     pub flush_failures: u64,
     /// Media operations delayed because the target disk was offline.
     pub offline_stalls: u64,
+    /// Mirrored reads steered away from the policy's pick because that
+    /// member was inside an offline window (degraded-mode routing).
+    pub failover_reads: u64,
+    /// Blocks copied onto a rebuilding mirror member from its twin.
+    pub rebuilt_blocks: u64,
 }
 
 impl FaultStats {
@@ -390,6 +395,8 @@ impl FaultStats {
         self.lost_dirty_blocks += other.lost_dirty_blocks;
         self.flush_failures += other.flush_failures;
         self.offline_stalls += other.offline_stalls;
+        self.failover_reads += other.failover_reads;
+        self.rebuilt_blocks += other.rebuilt_blocks;
     }
 
     /// Whether every counter is zero (the report omits the degraded
@@ -405,7 +412,8 @@ impl std::fmt::Display for FaultStats {
             f,
             "media errors {}r/{}w, bus errors {}, retries {}, ra aborts {}, \
              failed requests {}, timeouts {}, power losses {}, lost dirty {}, \
-             flush failures {}, offline stalls {}",
+             flush failures {}, offline stalls {}, failover reads {}, \
+             rebuilt blocks {}",
             self.media_read_errors,
             self.media_write_errors,
             self.bus_errors,
@@ -416,7 +424,9 @@ impl std::fmt::Display for FaultStats {
             self.power_losses,
             self.lost_dirty_blocks,
             self.flush_failures,
-            self.offline_stalls
+            self.offline_stalls,
+            self.failover_reads,
+            self.rebuilt_blocks
         )
     }
 }

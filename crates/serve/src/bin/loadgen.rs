@@ -10,7 +10,7 @@
 //!         [--seed S] [--alpha A] [--deadline-ms MS] [--retries N]
 //!         [--backoff-ms MS] [--backoff-cap-ms MS] [--kill-at F]
 //!         [--tolerance F] [--faults SPEC] [--max-inflight N]
-//!         [--max-queue N] [--json FILE]
+//!         [--max-queue N] [--rebuild-mbps N] [--json FILE]
 //! ```
 //!
 //! Fetches the array metadata over the wire (`META`), then sweeps the
@@ -59,6 +59,17 @@
 //! surfaces as the matching structured `ERR` code and a non-zero
 //! `forhdc_errors_total{code=...}` counter, before draining the
 //! server with a clean SHUTDOWN.
+//!
+//! On a mirrored (RAID1/0) image directory the harness runs one more
+//! probe: it takes a single replica offline mid-run, sweeps a full
+//! degraded burst asserting that **zero** `DiskOffline` errors reach
+//! clients (reads fail over to the surviving twin, counted by
+//! `forhdc_failover_reads_total`) and that degraded throughput stays
+//! above the `--tolerance` floor, then clears the window — which
+//! auto-starts a rebuild — sends an explicit `REBUILD` frame, and
+//! waits for `forhdc_rebuild_progress` to reach 100 before the
+//! recovery phase. The conservation budget widens to four phases on a
+//! mirrored array and must still balance exactly.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
@@ -135,7 +146,7 @@ loadgen — closed-loop load generator and chaos harness for serve
           [--seed S] [--alpha A] [--deadline-ms MS] [--retries N]
           [--backoff-ms MS] [--backoff-cap-ms MS] [--kill-at F]
           [--tolerance F] [--faults SPEC] [--max-inflight N]
-          [--max-queue N] [--json FILE]
+          [--max-queue N] [--rebuild-mbps N] [--json FILE]
 ";
 
 fn main() -> ExitCode {
@@ -757,6 +768,7 @@ struct ChaosCfg {
     max_inflight: usize,
     max_queue: u32,
     faults: Option<String>,
+    rebuild_mbps: u64,
 }
 
 /// A spawned server process, SIGKILLed on drop unless already reaped.
@@ -807,6 +819,9 @@ fn spawn_server(cfg: &ChaosCfg, port: u16, port_file: &Path) -> Result<ServerPro
     }
     if let Some(spec) = &cfg.faults {
         cmd.arg("--faults").arg(spec);
+    }
+    if cfg.rebuild_mbps > 0 {
+        cmd.arg("--rebuild-mbps").arg(cfg.rebuild_mbps.to_string());
     }
     let child = cmd
         .spawn()
@@ -932,6 +947,7 @@ fn chaos(args: &Args) -> Result<(), String> {
         max_inflight: args.flag("max-inflight", 0usize)?,
         max_queue: args.flag("max-queue", 0u32)?,
         faults: args.flags.get("faults").cloned(),
+        rebuild_mbps: args.flag("rebuild-mbps", 0u64)?,
     };
 
     let port_file = std::env::temp_dir().join(format!("forhdc_chaos_port_{}", std::process::id()));
@@ -1019,8 +1035,10 @@ fn chaos(args: &Args) -> Result<(), String> {
     let disks: u16 = meta.disks;
     let mut probed: Vec<&str> = Vec::new();
 
-    // MediaError: plant a persistent bad block under the coldest file;
-    // the server's own retries exhaust against it.
+    // MediaError: plant a persistent bad block under the coldest file.
+    // Unmirrored, the server's own retries exhaust against it and the
+    // client sees ERR media; mirrored, the read must come back OK —
+    // served from the twin, with the planted sector repaired.
     let plant_file = meta.files - 1;
     inject(
         &addr,
@@ -1030,13 +1048,23 @@ fn chaos(args: &Args) -> Result<(), String> {
         },
         "fault plant",
     )?;
-    let msg = expect_err(
-        "media",
-        probe_read(&addr, plant_file, meta.file_blocks)?,
-        ErrorCode::MediaError,
-    )?;
-    println!("chaos: probe media    -> ERR media ({msg})");
-    probed.push("media");
+    if meta.mirrored {
+        let (st, code, msg) = probe_read(&addr, plant_file, meta.file_blocks)?;
+        if st != ST_OK {
+            return Err(format!(
+                "probe media: want OK via mirror failover, got status {st} code {code:?} ({msg})"
+            ));
+        }
+        println!("chaos: probe media    -> OK (served from the mirror)");
+    } else {
+        let msg = expect_err(
+            "media",
+            probe_read(&addr, plant_file, meta.file_blocks)?,
+            ErrorCode::MediaError,
+        )?;
+        println!("chaos: probe media    -> ERR media ({msg})");
+        probed.push("media");
+    }
 
     // DiskOffline: take every disk offline, read, bring them back.
     for d in 0..disks {
@@ -1147,6 +1175,100 @@ fn chaos(args: &Args) -> Result<(), String> {
         probed.push("overload");
     }
 
+    // Mirror probe (RAID1/0 arrays only): one replica of a pair going
+    // offline must be invisible to clients — reads fail over to the
+    // surviving twin — and clearing the window rebuilds the member
+    // from its mirror while the array keeps serving.
+    let mut mirror = None;
+    if meta.mirrored {
+        let member: u16 = 1; // twin of disk 0: every pair keeps a survivor
+        let member_label = member.to_string();
+        inject(
+            &addr,
+            &Request::FaultOffline {
+                disk: member,
+                ms: 600_000,
+            },
+            "fault offline (mirror)",
+        )?;
+        let m = run_level(
+            &addr,
+            &meta,
+            &perm,
+            &zipf,
+            conc,
+            requests,
+            seed + 3,
+            false,
+            policy,
+        )?;
+        let rps_degraded = m.requests as f64 / m.secs;
+        println!(
+            "chaos: phase M (degraded)   {} in {:.2}s, rps={rps_degraded:.0}",
+            m.outcomes.summary(),
+            m.secs
+        );
+        if m.outcomes.errs[EO_OFFLINE] != 0 {
+            return Err(format!(
+                "{} DiskOffline errors reached clients with replica {member} offline on a \
+                 mirrored array",
+                m.outcomes.errs[EO_OFFLINE]
+            ));
+        }
+        if rps_degraded < tolerance * rps_pre {
+            return Err(format!(
+                "degraded throughput {rps_degraded:.0} rps fell below {tolerance} x baseline \
+                 {rps_pre:.0} rps"
+            ));
+        }
+        let scrape = scrape_metrics(&addr)?;
+        let failovers = scrape
+            .counter("forhdc_failover_reads_total", &[("disk", &member_label)])
+            .unwrap_or(0);
+        if failovers == 0 {
+            return Err(format!(
+                "forhdc_failover_reads_total{{disk=\"{member}\"}} is zero with replica \
+                 {member} offline"
+            ));
+        }
+        // Clearing the window auto-starts the rebuild; the explicit
+        // REBUILD frame is then a no-op acknowledgement (or a restart
+        // if the copy already finished).
+        inject(
+            &addr,
+            &Request::FaultOffline {
+                disk: member,
+                ms: 0,
+            },
+            "fault offline clear (mirror)",
+        )?;
+        inject(&addr, &Request::Rebuild { disk: member }, "rebuild")?;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let rebuilt = loop {
+            let s = scrape_metrics(&addr)?;
+            let progress = s
+                .value("forhdc_rebuild_progress", &[("disk", &member_label)])
+                .unwrap_or(-1.0);
+            if progress >= 100.0 {
+                break s.counter("forhdc_rebuild_blocks_total", &[]).unwrap_or(0);
+            }
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "rebuild of disk {member} stuck at {progress}% after 60s"
+                ));
+            }
+            thread::sleep(Duration::from_millis(50));
+        };
+        if rebuilt == 0 {
+            return Err("forhdc_rebuild_blocks_total is zero after a completed rebuild".into());
+        }
+        println!(
+            "chaos: probe mirror   -> replica {member} offline invisibly ({failovers} \
+             failovers), rebuilt {rebuilt} blocks"
+        );
+        mirror = Some((m, failovers, rebuilt, rps_degraded));
+    }
+
     // Phase C: post-recovery burst on fresh connections.
     let c = run_level(
         &addr,
@@ -1196,13 +1318,19 @@ fn chaos(args: &Args) -> Result<(), String> {
         counter_bits.join(", ")
     );
 
-    // Conservation across all three phases: every issued request ended
-    // in exactly one of ok / error / shed.
+    // Conservation across every phase (three, or four with the mirror
+    // probe's degraded burst): every issued request ended in exactly
+    // one of ok / error / shed.
     let mut total = Outcomes::default();
     total.merge(&a.outcomes);
     total.merge(&b.outcomes);
+    if let Some((m, ..)) = &mirror {
+        total.merge(&m.outcomes);
+    }
     total.merge(&c.outcomes);
-    let balanced = total.issued() == total.ok + total.errors() && total.issued() == 3 * requests;
+    let phases = 3 + u64::from(mirror.is_some());
+    let balanced =
+        total.issued() == total.ok + total.errors() && total.issued() == phases * requests;
     println!(
         "chaos: conservation issued={} ok={} errors={} balanced={balanced}",
         total.issued(),
@@ -1213,7 +1341,7 @@ fn chaos(args: &Args) -> Result<(), String> {
         return Err(format!(
             "conservation broken: issued {} of the {} budget (ok {} + errors {})",
             total.issued(),
-            3 * requests,
+            phases * requests,
             total.ok,
             total.errors(),
         ));
@@ -1233,17 +1361,32 @@ fn chaos(args: &Args) -> Result<(), String> {
             .map(|label| format!("\"{label}\": true"))
             .collect::<Vec<_>>()
             .join(", ");
+        let mut phase_rows = vec![level_json(&a), level_json(&b)];
+        if let Some((m, ..)) = &mirror {
+            phase_rows.push(level_json(m));
+        }
+        phase_rows.push(level_json(&c));
+        let phases_json = phase_rows
+            .iter()
+            .map(|p| format!("    {p}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let mirror_json = match &mirror {
+            Some((_, failovers, rebuilt, rps_degraded)) => format!(
+                "  \"mirror\": {{\"failover_reads\": {failovers}, \"rebuilt_blocks\": \
+                 {rebuilt}, \"rps_degraded\": {rps_degraded:.1}}},\n"
+            ),
+            None => String::new(),
+        };
         let json = format!(
             "{{\n  \"chaos\": {{\"rps_pre\": {rps_pre:.1}, \"rps_post\": {rps_post:.1}, \
              \"tolerance\": {tolerance}, \"kill_after_secs\": {:.3}, \
-             \"restart_secs\": {restart_secs:.3}}},\n  \"phases\": [\n    {},\n    {},\n    {}\n  \
-             ],\n  \"probes\": {{{probes_json}}},\n  \"conservation\": {{\"issued\": {}, \
+             \"restart_secs\": {restart_secs:.3}}},\n  \"phases\": [\n{phases_json}\n  \
+             ],\n  \"probes\": {{{probes_json}}},\n{mirror_json}  \"conservation\": \
+             {{\"issued\": {}, \
              \"ok\": {}, \"errors\": {}, \"retries\": {}, \"balanced\": {balanced}}},\n  \
              \"pass\": true\n}}\n",
             kill_after.as_secs_f64(),
-            level_json(&a),
-            level_json(&b),
-            level_json(&c),
             total.issued(),
             total.ok,
             total.errors_json(),

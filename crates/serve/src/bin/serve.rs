@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! serve mkdisk --dir DIR [--disks N] [--files N] [--file-blocks N]
-//!              [--unit BLOCKS] [--seed S] [--frag Q]
+//!              [--unit BLOCKS] [--seed S] [--frag Q] [--mirror 1]
 //!     Create a deterministic disk-image directory (one image per
-//!     array disk plus a meta.txt manifest).
+//!     array disk plus a meta.txt manifest). --mirror 1 builds a
+//!     RAID1/0 array: disks pair up as identical replicas
+//!     (2v, 2v+1) striped over the pairs; --disks must be even.
 //!
 //! serve run --dir DIR [--port P] [--threads N] [--policy P] [--hdc KB]
 //!           [--stats-secs S] [--port-file F] [--report F] [--max-conns N]
 //!           [--metrics-addr HOST:PORT] [--metrics-port-file F]
 //!           [--faults seed=S,media=R,offline=SPEC] [--deadline-ms MS]
 //!           [--retries N] [--backoff-ms MS] [--max-queue N]
-//!           [--max-inflight N]
+//!           [--max-inflight N] [--rebuild-mbps N]
 //!     Serve file reads from the images through the FOR/HDC stack.
 //!       --port 0 picks an ephemeral port; --port-file writes the
 //!       bound port for scripts. --metrics-addr binds a side HTTP
@@ -25,7 +27,11 @@
 //!       reads; --deadline-ms fails a request `ERR Timeout` instead of
 //!       spending retries past its deadline. --max-queue sheds at a
 //!       per-disk queue bound, --max-inflight at a server-wide READ
-//!       bound; both answer `ERR Overload`.
+//!       bound; both answer `ERR Overload`. On a mirrored array,
+//!       reads split over each replica pair, fail over to the
+//!       surviving twin when a member is offline or bad, and a
+//!       REBUILD frame (or clearing an offline window) streams a
+//!       twin→member copy paced to --rebuild-mbps (0 = unpaced).
 //!       The server runs until a client sends SHUTDOWN — or SIGTERM /
 //!       SIGINT arrives — then drains, dumps the flight recorder on a
 //!       signal, and prints a JSON report. A panic in any serving
@@ -89,14 +95,14 @@ const USAGE: &str = "\
 serve — live TCP front-end for the FOR/HDC disk-array stack
 
   serve mkdisk --dir DIR [--disks N] [--files N] [--file-blocks N]
-               [--unit BLOCKS] [--seed S] [--frag Q]
+               [--unit BLOCKS] [--seed S] [--frag Q] [--mirror 1]
   serve run    --dir DIR [--port P] [--threads N]
                [--policy segm|block|no-ra|for|track] [--hdc KB]
                [--stats-secs S] [--port-file F] [--report F] [--max-conns N]
                [--metrics-addr HOST:PORT] [--metrics-port-file F]
                [--faults seed=S,media=R,offline=DISK@START_MS+LEN_MS;...]
                [--deadline-ms MS] [--retries N] [--backoff-ms MS]
-               [--max-queue N] [--max-inflight N]
+               [--max-queue N] [--max-inflight N] [--rebuild-mbps N]
 ";
 
 fn main() -> ExitCode {
@@ -135,14 +141,16 @@ fn mkdisk(args: &Args) -> Result<(), String> {
         seed: args.flag("seed", 42u64)?,
         fragmentation: args.flag("frag", 0.0f64)?,
         disk_blocks: 0,
+        mirrored: args.flag("mirror", 0u32)? != 0,
     };
     let meta = create_images(&dir, &meta)?;
     println!(
-        "wrote {} images of {} blocks ({} files x {} blocks) under {}",
+        "wrote {} images of {} blocks ({} files x {} blocks{}) under {}",
         meta.disks,
         meta.disk_blocks,
         meta.files,
         meta.file_blocks,
+        if meta.mirrored { ", mirrored" } else { "" },
         dir.display()
     );
     Ok(())
@@ -241,6 +249,7 @@ fn serve(args: &Args) -> Result<(), String> {
         faults,
         recovery,
         max_queue: args.flag("max-queue", 0u32)?,
+        rebuild_mbps: args.flag("rebuild-mbps", 0u64)?,
     };
     let engine = Engine::open_with(&dir, meta, policy, hdc_blocks, live)?;
     install_panic_hook(&engine);

@@ -12,9 +12,10 @@
 //! disk), so requests to different disks proceed in parallel while the
 //! single-threaded cache structures stay sound.
 
-use std::fs::File;
-use std::io::{Read, Seek, SeekFrom};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -35,6 +36,10 @@ use crate::protocol::MAX_READ_BLOCKS;
 /// Slack on top of the controller-resident block count before the
 /// page store is pruned back to the resident set.
 const STORE_PRUNE_SLACK: usize = 512;
+
+/// Blocks per rebuild copy chunk: large enough to stream, small enough
+/// that foreground reads interleave between chunks on the disk locks.
+const REBUILD_CHUNK_BLOCKS: u32 = 256;
 
 /// Why a read request was refused.
 #[derive(Debug)]
@@ -83,6 +88,9 @@ pub struct LiveOpts {
     /// Per-disk queue-depth bound; a request arriving at a disk whose
     /// queue is this deep is shed with `Overload` (0 = unbounded).
     pub max_queue: u32,
+    /// Rebuild pacing cap in MB/s: each copy chunk sleeps out the
+    /// remainder of its bandwidth budget (0 = unpaced).
+    pub rebuild_mbps: u64,
 }
 
 /// Decrements a queue-depth gauge when the request leaves the disk,
@@ -115,6 +123,14 @@ impl DiskState {
             .seek(SeekFrom::Start(start.index() * block_bytes as u64))?;
         self.file.read_exact(&mut buf)?;
         Ok(buf)
+    }
+
+    /// Writes `buf` over the image at `start` (rebuild streams only;
+    /// mirrored engines open their images writable for this).
+    fn pwrite(&mut self, start: PhysBlock, buf: &[u8], block_bytes: u32) -> std::io::Result<()> {
+        self.file
+            .seek(SeekFrom::Start(start.index() * block_bytes as u64))?;
+        self.file.write_all(buf)
     }
 
     /// Drops store pages the controller no longer holds, once the
@@ -156,6 +172,12 @@ pub struct DiskSnapshot {
     pub store_hits: u64,
     /// Demanded blocks that went to the media.
     pub store_misses: u64,
+    /// Mirrored reads failed over to the twin after this member failed.
+    pub failover_reads: u64,
+    /// Whether the disk is inside an offline window right now.
+    pub offline: bool,
+    /// Whether a rebuild stream is writing this disk right now.
+    pub rebuilding: bool,
     /// Media service-time quantiles (wall-clock nanoseconds).
     pub service: Quantiles,
 }
@@ -190,6 +212,11 @@ impl EngineSnapshot {
         self.disks.iter().map(|d| d.hdc_read_hits).sum()
     }
 
+    /// Total mirrored failover reads across disks.
+    pub fn failover_reads(&self) -> u64 {
+        self.disks.iter().map(|d| d.failover_reads).sum()
+    }
+
     /// Extent hit rate in `[0, 1]` (0 when idle).
     pub fn hit_rate(&self) -> f64 {
         let lookups = self.extent_lookups();
@@ -213,6 +240,15 @@ pub struct Engine {
     metrics: Arc<ServeMetrics>,
     live: LiveFaults,
     max_queue: u32,
+    /// Per-virtual-disk mirrored read-split cursors: each pair's
+    /// extents alternate members independently (the live analogue of
+    /// the simulator's round-robin read-split policy; a single global
+    /// cursor would correlate with the file→disk striping parity and
+    /// starve one member).
+    rr: Vec<AtomicU64>,
+    /// Per-disk rebuild-in-progress flags (idempotence gate).
+    rebuilding: Vec<AtomicBool>,
+    rebuild_mbps: u64,
 }
 
 impl Engine {
@@ -269,9 +305,18 @@ impl Engine {
         }
         let mut disks = Vec::with_capacity(meta.disks as usize);
         for d in 0..meta.disks {
-            let bitmap = bitmaps.as_ref().map(|bms| bms[d as usize].clone());
+            // Bitmaps are per *virtual* disk; mirror members share
+            // their pair's copy (the images are identical).
+            let vd = if meta.mirrored { d / 2 } else { d };
+            let bitmap = bitmaps.as_ref().map(|bms| bms[vd as usize].clone());
             let path = DiskMeta::image_path(dir, d);
-            let file = File::open(&path).map_err(|e| format!("open {}: {e}", path.display()))?;
+            // Mirrored images open writable so a rebuild stream can
+            // reconstruct a member in place.
+            let file = OpenOptions::new()
+                .read(true)
+                .write(meta.mirrored)
+                .open(&path)
+                .map_err(|e| format!("open {}: {e}", path.display()))?;
             disks.push(Mutex::new(DiskState {
                 ctl: DiskController::new(&cfg, policy, hdc_blocks, bitmap),
                 file,
@@ -280,6 +325,10 @@ impl Engine {
         }
         let metrics = Arc::new(ServeMetrics::new(meta.disks));
         let live = LiveFaults::new(meta.disks, opts.faults, opts.recovery);
+        let rebuilding = (0..meta.disks).map(|_| AtomicBool::new(false)).collect();
+        let rr = (0..meta.virtual_disks())
+            .map(|_| AtomicU64::new(0))
+            .collect();
         let engine = Engine {
             meta,
             map,
@@ -290,6 +339,9 @@ impl Engine {
             metrics,
             live,
             max_queue: opts.max_queue,
+            rr,
+            rebuilding,
+            rebuild_mbps: opts.rebuild_mbps,
         };
         if hdc_blocks > 0 {
             engine.pin_hottest()?;
@@ -338,8 +390,16 @@ impl Engine {
                 ReadError::Range(format!("file {file} offset {offset} is not mapped"))
             })?;
         let (disk, phys) = self.striping.locate(logical);
-        self.live.plant(disk.index(), phys.index());
-        Ok((disk.index(), phys.index()))
+        // Striping names a virtual disk; a bad sector lives on one
+        // physical member. Plant on the pair's primary — a read that
+        // lands there fails over to the twin and repairs the decree.
+        let member = if self.meta.mirrored {
+            disk.index() * 2
+        } else {
+            disk.index()
+        };
+        self.live.plant(member, phys.index());
+        Ok((member, phys.index()))
     }
 
     /// Admin (`FAULT OFFLINE`): takes `disk` offline for `ms`
@@ -375,6 +435,97 @@ impl Engine {
         Ok(())
     }
 
+    /// Admin (`REBUILD`): reconstructs `disk`'s image from its mirror
+    /// twin with a background copy stream — chunked, paced to the
+    /// engine's `--rebuild-mbps` cap, interleaving with foreground
+    /// reads on the per-disk locks. Progress lands in the
+    /// `forhdc_rebuild_progress` gauge and every copied block in
+    /// `forhdc_rebuild_blocks_total`. Idempotent: returns `Ok(false)`
+    /// if a rebuild of that disk is already streaming.
+    pub fn rebuild(self: &Arc<Engine>, disk: u16) -> Result<bool, ReadError> {
+        if !self.meta.mirrored {
+            return Err(ReadError::Range(
+                "REBUILD needs a mirrored array (mkdisk --mirror)".into(),
+            ));
+        }
+        if disk >= self.meta.disks {
+            return Err(ReadError::Range(format!("disk {disk} outside the array")));
+        }
+        if self.rebuilding[disk as usize].swap(true, Ordering::SeqCst) {
+            return Ok(false);
+        }
+        self.metrics.disk_rebuild_progress[disk as usize].set(0);
+        let engine = Arc::clone(self);
+        if let Err(e) = std::thread::Builder::new()
+            .name(format!("rebuild-{disk}"))
+            .spawn(move || engine.rebuild_stream(disk))
+        {
+            self.rebuilding[disk as usize].store(false, Ordering::SeqCst);
+            return Err(ReadError::Internal(format!("spawning rebuild: {e}")));
+        }
+        Ok(true)
+    }
+
+    /// Whether a rebuild stream is writing `disk` right now.
+    pub fn rebuild_active(&self, disk: u16) -> bool {
+        self.rebuilding
+            .get(disk as usize)
+            .is_some_and(|b| b.load(Ordering::SeqCst))
+    }
+
+    /// The rebuild thread body: copy the twin's image chunk by chunk
+    /// onto the target, lifting admin-planted bad-sector decrees over
+    /// each reconstructed range, pacing each chunk to the bandwidth
+    /// cap. Runs until the full image is covered; an I/O error aborts
+    /// the stream (the flag clears either way so a retry can restart).
+    fn rebuild_stream(&self, disk: u16) {
+        let bs = self.meta.block_bytes;
+        let total = self.meta.disk_blocks;
+        let src = (disk ^ 1) as usize;
+        let dst = disk as usize;
+        let m = &self.metrics;
+        let mut done = 0u64;
+        while done < total {
+            let n = (REBUILD_CHUNK_BLOCKS as u64).min(total - done) as u32;
+            let start = PhysBlock::new(done);
+            let t0 = Instant::now();
+            let copied = {
+                let mut s = self.disks[src].lock().expect("disk lock poisoned");
+                s.pread(start, n, bs)
+            }
+            .and_then(|buf| {
+                let mut d = self.disks[dst].lock().expect("disk lock poisoned");
+                d.pwrite(start, &buf, bs)
+            });
+            if copied.is_err() {
+                m.flight.record(TraceEvent::Fault {
+                    t: m.now_ns(),
+                    req: u64::MAX,
+                    disk,
+                    kind: FaultKind::MediaWrite,
+                });
+                m.error_counter(None).inc();
+                break;
+            }
+            self.live.unplant_range(disk, done..done + n as u64);
+            done += n as u64;
+            m.rebuild_blocks_total.add(n as u64);
+            m.disk_rebuild_progress[dst].set((done * 100 / total.max(1)) as i64);
+            // ns per chunk = bytes × 1e9 / (mbps × 1e6); mbps 0 = unpaced.
+            if let Some(pace_ns) = (n as u64 * bs as u64 * 1000).checked_div(self.rebuild_mbps) {
+                let budget = Duration::from_nanos(pace_ns);
+                let spent = t0.elapsed();
+                if budget > spent {
+                    std::thread::sleep(budget - spent);
+                }
+            }
+        }
+        if done >= total {
+            m.disk_rebuild_progress[dst].set(100);
+        }
+        self.rebuilding[dst].store(false, Ordering::SeqCst);
+    }
+
     /// Fills every disk's HDC region with the hottest files' blocks,
     /// walking the popularity permutation (a pure function of the
     /// image seed — the live analogue of the paper's host-side
@@ -389,21 +540,25 @@ impl Engine {
                     continue;
                 };
                 let (disk, phys) = self.striping.locate(logical);
-                let di = disk.as_usize();
-                if full[di] {
-                    continue;
-                }
-                let mut d = self.disks[di].lock().expect("disk lock poisoned");
-                if d.ctl.pin(phys) {
-                    let bytes = d
-                        .pread(phys, 1, self.meta.block_bytes)
-                        .map_err(|e| format!("disk {di}: loading pinned block: {e}"))?;
-                    d.store.insert(phys.index(), bytes.into_boxed_slice());
-                } else {
-                    full[di] = true;
-                    full_count += 1;
-                    if full_count == self.disks.len() {
-                        break 'files;
+                // Pin into every member of the (virtual) disk so either
+                // replica serves the HDC hit after a failover.
+                for member in self.meta.members(disk.index()) {
+                    let di = member as usize;
+                    if full[di] {
+                        continue;
+                    }
+                    let mut d = self.disks[di].lock().expect("disk lock poisoned");
+                    if d.ctl.pin(phys) {
+                        let bytes = d
+                            .pread(phys, 1, self.meta.block_bytes)
+                            .map_err(|e| format!("disk {di}: loading pinned block: {e}"))?;
+                        d.store.insert(phys.index(), bytes.into_boxed_slice());
+                    } else {
+                        full[di] = true;
+                        full_count += 1;
+                        if full_count == self.disks.len() {
+                            break 'files;
+                        }
                     }
                 }
             }
@@ -483,14 +638,53 @@ impl Engine {
         Ok(())
     }
 
-    /// One physically contiguous piece on one disk: admission control
-    /// and the fault gates run first (queue shed, stall wait, deadline,
-    /// offline), then the controller classifies the piece and the
-    /// engine copies resident bytes or performs (and times) the media
-    /// run the controller asked for — retrying faulted media under the
-    /// recovery policy. `t0` is the request's issue instant; the
-    /// deadline is measured against it.
+    /// One striping-unit-aligned piece on one (virtual) disk.
+    /// Unmirrored arrays go straight to the physical member; mirrored
+    /// arrays split reads over the pair round-robin and fail a piece
+    /// over to the twin when the chosen member is offline or its media
+    /// is bad — the twin holds an identical image, so the client never
+    /// sees the member fault. A media failover also repairs the failed
+    /// member's admin-planted sectors from the mirror (the sector-remap
+    /// model); seeded schedule errors stay, by the purity law.
     fn read_extent(
+        &self,
+        disk: DiskId,
+        start: PhysBlock,
+        nblocks: u32,
+        req: u64,
+        t0: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<(), ReadError> {
+        if !self.meta.mirrored {
+            return self.read_member(disk, start, nblocks, req, t0, out);
+        }
+        let tick = self.rr[disk.as_usize()].fetch_add(1, Ordering::Relaxed);
+        let first = disk.index() * 2 + (tick & 1) as u16;
+        let twin = first ^ 1;
+        let len0 = out.len();
+        match self.read_member(DiskId::new(first), start, nblocks, req, t0, out) {
+            Err(e @ (ReadError::Offline(_) | ReadError::Media(_))) => {
+                out.truncate(len0);
+                self.metrics.disk_failover_reads_total[first as usize].inc();
+                self.read_member(DiskId::new(twin), start, nblocks, req, t0, out)?;
+                if matches!(e, ReadError::Media(_)) {
+                    self.live
+                        .unplant_range(first, start.index()..start.index() + nblocks as u64);
+                }
+                Ok(())
+            }
+            r => r,
+        }
+    }
+
+    /// One physically contiguous piece on one physical disk: admission
+    /// control and the fault gates run first (queue shed, stall wait,
+    /// deadline, offline), then the controller classifies the piece and
+    /// the engine copies resident bytes or performs (and times) the
+    /// media run the controller asked for — retrying faulted media
+    /// under the recovery policy. `t0` is the request's issue instant;
+    /// the deadline is measured against it.
+    fn read_member(
         &self,
         disk: DiskId,
         start: PhysBlock,
@@ -740,7 +934,8 @@ impl Engine {
         let mut merged = PowerHistogram::new();
         let now = m.now_ns();
         for (i, mx) in self.disks.iter().enumerate() {
-            m.disk_offline[i].set(self.live.offline_until(i as u16, now).is_some() as i64);
+            let offline = self.live.offline_until(i as u16, now).is_some();
+            m.disk_offline[i].set(offline as i64);
             let d = mx.lock().expect("disk lock poisoned");
             let cache = d.ctl.cache_stats();
             let (extent_lookups, extent_hits) = (cache.extent_lookups, cache.extent_hits);
@@ -768,6 +963,9 @@ impl Engine {
                 store_fallbacks: m.disk_store_fallbacks_total[i].get(),
                 store_hits: m.disk_store_hits_total[i].get(),
                 store_misses: m.disk_store_misses_total[i].get(),
+                failover_reads: m.disk_failover_reads_total[i].get(),
+                offline,
+                rebuilding: self.rebuild_active(i as u16),
                 service: service.quantiles(),
             });
         }
@@ -804,10 +1002,40 @@ mod tests {
             seed: 11,
             fragmentation: 0.0,
             disk_blocks: 0,
+            mirrored: false,
         };
         let meta = create_images(&dir, &meta).unwrap();
         let engine = Engine::open_with(&dir, meta, policy, hdc, opts).unwrap();
         (dir, engine)
+    }
+
+    /// A 4-image mirrored array (2 virtual disks of 2 members each).
+    fn build_mirrored(tag: &str, opts: LiveOpts) -> (PathBuf, Engine) {
+        let dir =
+            std::env::temp_dir().join(format!("forhdc_engine_m_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = crate::image::DiskMeta {
+            block_bytes: 4096,
+            disks: 4,
+            unit_blocks: 4,
+            files: 64,
+            file_blocks: 4,
+            seed: 11,
+            fragmentation: 0.0,
+            disk_blocks: 0,
+            mirrored: true,
+        };
+        let meta = create_images(&dir, &meta).unwrap();
+        let engine = Engine::open_with(&dir, meta, ReadAheadKind::For, 0, opts).unwrap();
+        (dir, engine)
+    }
+
+    fn wait_rebuild(engine: &Engine, disk: u16) {
+        let t0 = Instant::now();
+        while engine.rebuild_active(disk) {
+            assert!(t0.elapsed() < Duration::from_secs(30), "rebuild stuck");
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     /// A recovery policy fast enough for tests: sub-millisecond
@@ -918,6 +1146,7 @@ mod tests {
             seed: 1,
             fragmentation: 0.0,
             disk_blocks: 0,
+            mirrored: false,
         };
         let meta = create_images(&dir, &meta).unwrap();
         let err = Engine::open(&dir, meta, ReadAheadKind::BlindBlock, 1024).unwrap_err();
@@ -1124,5 +1353,153 @@ mod tests {
             assert_eq!(&out[4096..], &block_payload(7, 2, 4096)[..]);
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+
+    #[test]
+    fn mirrored_reads_split_over_both_members_and_verify() {
+        let (dir, engine) = build_mirrored("split", LiveOpts::default());
+        let mut out = Vec::new();
+        for file in 0..64u32 {
+            out.clear();
+            engine.read(file, 0, 4, &mut out).unwrap();
+            assert_eq!(out.len(), 4 * 4096);
+            for off in 0..4u64 {
+                assert_eq!(
+                    &out[off as usize * 4096..(off as usize + 1) * 4096],
+                    &block_payload(file, off, 4096)[..],
+                    "file {file} block {off}"
+                );
+            }
+        }
+        let snap = engine.snapshot();
+        // Round-robin: every member of every pair took media traffic,
+        // and none of it was failover.
+        for d in &snap.disks {
+            assert!(d.media_ops > 0, "member {} saw no media traffic", d.disk);
+        }
+        assert_eq!(snap.failover_reads(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mirrored_offline_member_fails_over_invisibly() {
+        let (dir, engine) = build_mirrored("failover", LiveOpts::default());
+        engine.set_offline_ms(1, 60_000).unwrap();
+        let mut out = Vec::new();
+        for file in 0..64u32 {
+            out.clear();
+            engine.read(file, 0, 4, &mut out).unwrap();
+            assert_eq!(out.len(), 4 * 4096);
+            assert_eq!(&out[..4096], &block_payload(file, 0, 4096)[..]);
+        }
+        let m = engine.metrics();
+        assert!(
+            m.disk_failover_reads_total[1].get() > 0,
+            "round-robin must have routed reads at the offline member"
+        );
+        assert_eq!(m.errors_sum(), 0);
+        // The survivor never failed over.
+        assert_eq!(m.disk_failover_reads_total[0].get(), 0);
+        engine.set_offline_ms(1, 0).unwrap();
+        out.clear();
+        engine.read(0, 0, 4, &mut out).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mirrored_media_error_repairs_from_the_twin() {
+        let opts = LiveOpts {
+            recovery: fast_policy(None),
+            ..LiveOpts::default()
+        };
+        let (dir, engine) = build_mirrored("repair", opts);
+        let (member, phys) = engine.plant_bad_block(9, 1).unwrap();
+        assert_eq!(member % 2, 0, "plants land on the pair's primary");
+        assert!(engine.live_faults().planted(member, phys));
+        // Two reads visit both members of the pair (round-robin); the
+        // one that lands on the planted member exhausts retries, fails
+        // over, and repairs the decree from the mirror.
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            out.clear();
+            engine.read(9, 0, 4, &mut out).unwrap();
+            assert_eq!(&out[4096..2 * 4096], &block_payload(9, 1, 4096)[..]);
+        }
+        assert_eq!(
+            engine.metrics().disk_failover_reads_total[member as usize].get(),
+            1
+        );
+        assert!(
+            !engine.live_faults().planted(member, phys),
+            "failover must repair the planted sector from the twin"
+        );
+        // Repaired: further reads touch the member without faulting.
+        let retries = engine.metrics().retries_total.get();
+        for _ in 0..2 {
+            out.clear();
+            engine.read(9, 0, 4, &mut out).unwrap();
+        }
+        assert_eq!(engine.metrics().retries_total.get(), retries);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebuild_restores_a_corrupted_member_bit_exactly() {
+        let (dir, engine) = build_mirrored("rebuild", LiveOpts::default());
+        let engine = Arc::new(engine);
+        let total = engine.meta().disk_blocks;
+        // Scribble over member 3's image behind the engine's back —
+        // the "replaced disk" whose content is garbage.
+        let path3 = DiskMeta::image_path(&dir, 3);
+        let junk = vec![0xAAu8; (total * 4096 / 2) as usize];
+        {
+            let mut f = OpenOptions::new().write(true).open(&path3).unwrap();
+            f.seek(SeekFrom::Start(4096)).unwrap();
+            f.write_all(&junk).unwrap();
+        }
+        assert!(engine.rebuild(3).unwrap());
+        wait_rebuild(&engine, 3);
+        let m = engine.metrics();
+        assert_eq!(m.rebuild_blocks_total.get(), total);
+        assert_eq!(m.disk_rebuild_progress[3].get(), 100);
+        // Bit-exact against the surviving twin (itself pure
+        // block_payload output from mkdisk).
+        let twin = std::fs::read(DiskMeta::image_path(&dir, 2)).unwrap();
+        let rebuilt = std::fs::read(&path3).unwrap();
+        assert_eq!(twin.len(), rebuilt.len());
+        assert!(twin == rebuilt, "rebuilt image differs from its mirror");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebuild_is_paced_gated_and_mirror_only() {
+        // Unmirrored arrays reject REBUILD cleanly.
+        let (dir, engine) = build("norebuild", ReadAheadKind::For, 0);
+        let engine = Arc::new(engine);
+        assert!(matches!(engine.rebuild(0), Err(ReadError::Range(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A paced rebuild is slow enough to observe in flight: the
+        // second trigger reports "already running", and the copy takes
+        // at least its bandwidth budget.
+        let opts = LiveOpts {
+            rebuild_mbps: 4,
+            ..LiveOpts::default()
+        };
+        let (dir, engine) = build_mirrored("paced", opts);
+        let engine = Arc::new(engine);
+        assert!(matches!(engine.rebuild(9), Err(ReadError::Range(_))));
+        let total = engine.meta().disk_blocks;
+        let t0 = Instant::now();
+        assert!(engine.rebuild(1).unwrap());
+        assert!(!engine.rebuild(1).unwrap(), "second trigger must no-op");
+        wait_rebuild(&engine, 1);
+        let budget = Duration::from_nanos(total * 4096 * 1000 / 4);
+        assert!(
+            t0.elapsed() >= budget / 2,
+            "paced rebuild finished implausibly fast: {:?} for a {budget:?} budget",
+            t0.elapsed()
+        );
+        assert_eq!(engine.metrics().rebuild_blocks_total.get(), total);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

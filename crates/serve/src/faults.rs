@@ -116,6 +116,25 @@ impl LiveFaults {
         self.has_planted.store(true, Ordering::Relaxed);
     }
 
+    /// Removes planted bad blocks on `disk` inside `blocks` — the
+    /// sector-remap model: a mirrored engine that reconstructed the
+    /// range from the twin (failover repair or a rebuild stream) has
+    /// mapped the decree-bad sectors to healthy spares. Returns how
+    /// many entries were repaired. Seeded schedule errors are a pure
+    /// function of `(seed, disk, block)` and stay, by the purity law.
+    pub fn unplant_range(&self, disk: u16, blocks: std::ops::Range<u64>) -> u64 {
+        if !self.has_planted.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let mut p = self.planted.lock().expect("planted lock poisoned");
+        let before = p.len();
+        p.retain(|&(d, b)| d != disk || !blocks.contains(&b));
+        if p.is_empty() {
+            self.has_planted.store(false, Ordering::Relaxed);
+        }
+        (before - p.len()) as u64
+    }
+
     /// If `disk` is offline at `now_ns` (scheduled window or admin
     /// frame), the instant it comes back.
     pub fn offline_until(&self, disk: u16, now_ns: u64) -> Option<u64> {
@@ -181,6 +200,22 @@ mod tests {
         assert!(f.media_error(1, 77));
         assert!(!f.media_error(1, 78));
         assert!(!f.media_error(0, 77));
+    }
+
+    #[test]
+    fn unplanting_repairs_only_the_range_on_the_disk() {
+        let f = LiveFaults::new(2, None, WallPolicy::default());
+        f.plant(0, 5);
+        f.plant(0, 9);
+        f.plant(1, 5);
+        assert_eq!(f.unplant_range(0, 0..8), 1);
+        assert!(!f.media_error(0, 5));
+        assert!(f.media_error(0, 9));
+        assert!(f.media_error(1, 5));
+        assert_eq!(f.unplant_range(0, 0..8), 0);
+        assert_eq!(f.unplant_range(0, 8..10), 1);
+        assert_eq!(f.unplant_range(1, 0..10), 1);
+        assert!(!f.media_armed());
     }
 
     #[test]

@@ -47,12 +47,18 @@ pub struct DiskMeta {
     pub fragmentation: f64,
     /// Per-disk image size in blocks (allocated space + padding).
     pub disk_blocks: u64,
+    /// RAID1/0 mirroring: adjacent image pairs (`2v`, `2v+1`) hold
+    /// identical data and back virtual disk `v`. Absent from
+    /// pre-mirror manifests, which parse as unmirrored.
+    pub mirrored: bool,
 }
 
 impl DiskMeta {
-    /// Serializes the manifest as `meta.txt` content.
+    /// Serializes the manifest as `meta.txt` content. The `mirror` key
+    /// is only emitted when set, so unmirrored manifests stay
+    /// byte-identical to pre-mirror ones.
     pub fn to_text(&self) -> String {
-        format!(
+        let mut text = format!(
             "forhdc-disk-meta v1\n\
              block_bytes {}\n\
              disks {}\n\
@@ -70,7 +76,11 @@ impl DiskMeta {
             self.seed,
             self.fragmentation,
             self.disk_blocks
-        )
+        );
+        if self.mirrored {
+            text.push_str("mirror 1\n");
+        }
+        text
     }
 
     /// Parses `meta.txt` content, validating the header and every
@@ -114,6 +124,11 @@ impl DiskMeta {
             seed: get(&fields, "seed")?,
             fragmentation: get(&fields, "fragmentation")?,
             disk_blocks: get(&fields, "disk_blocks")?,
+            mirrored: match fields.get("mirror").map(String::as_str) {
+                None | Some("0") => false,
+                Some("1") => true,
+                Some(other) => return Err(format!("manifest field 'mirror': bad value '{other}'")),
+            },
         };
         if meta.block_bytes == 0
             || meta.disks == 0
@@ -122,6 +137,12 @@ impl DiskMeta {
             || meta.file_blocks == 0
         {
             return Err("manifest has a zero-sized dimension".into());
+        }
+        if meta.mirrored && !meta.disks.is_multiple_of(2) {
+            return Err(format!(
+                "mirroring needs disk pairs, got {} disks",
+                meta.disks
+            ));
         }
         if !(0.0..=1.0).contains(&meta.fragmentation) {
             return Err(format!(
@@ -142,9 +163,28 @@ impl DiskMeta {
             .build(&sizes)
     }
 
-    /// The striping map over the manifest's array.
+    /// Virtual disks the striping addresses: mirrored pairs count once.
+    pub fn virtual_disks(&self) -> u16 {
+        if self.mirrored {
+            self.disks / 2
+        } else {
+            self.disks
+        }
+    }
+
+    /// The physical members backing virtual disk `vd` (one, or the
+    /// mirror pair).
+    pub fn members(&self, vd: u16) -> std::ops::Range<u16> {
+        if self.mirrored {
+            2 * vd..2 * vd + 2
+        } else {
+            vd..vd + 1
+        }
+    }
+
+    /// The striping map over the manifest's array (virtual disks).
     pub fn striping(&self) -> StripingMap {
-        StripingMap::new(self.disks, self.unit_blocks)
+        StripingMap::new(self.virtual_disks(), self.unit_blocks)
     }
 
     /// Path of disk `d`'s image file under `dir`.
@@ -211,11 +251,14 @@ pub fn create_images(dir: &Path, meta: &DiskMeta) -> Result<DiskMeta, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let zero = vec![0u8; meta.block_bytes as usize];
     for d in 0..meta.disks {
+        // Under mirroring both members of a pair carry the same
+        // virtual disk's blocks, so their images come out identical.
+        let vd = if meta.mirrored { d / 2 } else { d };
         let path = DiskMeta::image_path(dir, d);
         let file = File::create(&path).map_err(|e| format!("create {}: {e}", path.display()))?;
         let mut w = BufWriter::new(file);
         for p in 0..meta.disk_blocks {
-            let logical = striping.logical_of(DiskId::new(d), forhdc_sim::PhysBlock::new(p));
+            let logical = striping.logical_of(DiskId::new(vd), forhdc_sim::PhysBlock::new(p));
             let block = match map.owner(logical) {
                 Some(owner) => block_payload(owner.file.index(), owner.offset, meta.block_bytes),
                 None => zero.clone(),
@@ -270,6 +313,7 @@ mod tests {
             seed: 9,
             fragmentation: 0.0,
             disk_blocks: 0, // filled by create_images
+            mirrored: false,
         }
     }
 
@@ -291,6 +335,47 @@ mod tests {
         assert!(DiskMeta::from_text("not a manifest").is_err());
         assert!(DiskMeta::from_text("forhdc-disk-meta v1\nblock_bytes x\n").is_err());
         assert!(DiskMeta::from_text("forhdc-disk-meta v1\nblock_bytes 4096\n").is_err());
+    }
+
+    #[test]
+    fn mirrored_meta_roundtrips_and_old_manifests_parse_unmirrored() {
+        let mut m = small_meta();
+        m.mirrored = true;
+        m.disk_blocks = 64;
+        let text = m.to_text();
+        assert!(text.contains("mirror 1"));
+        assert_eq!(DiskMeta::from_text(&text).unwrap(), m);
+        // A pre-mirror manifest (no `mirror` key) parses as unmirrored,
+        // and an unmirrored manifest never emits the key.
+        m.mirrored = false;
+        assert!(!m.to_text().contains("mirror"));
+        assert_eq!(DiskMeta::from_text(&m.to_text()).unwrap(), m);
+    }
+
+    #[test]
+    fn mirrored_meta_rejects_odd_disks() {
+        let mut m = small_meta();
+        m.mirrored = true;
+        m.disks = 3;
+        let err = DiskMeta::from_text(&m.to_text()).unwrap_err();
+        assert!(err.contains("pairs"), "{err}");
+    }
+
+    #[test]
+    fn mirrored_images_are_identical_pairs() {
+        let dir = tmpdir("mirror");
+        let mut m = small_meta();
+        m.mirrored = true;
+        m.disks = 4;
+        let meta = create_images(&dir, &m).unwrap();
+        assert_eq!(open_dir(&dir).unwrap(), meta);
+        for vd in 0..meta.virtual_disks() {
+            let a = std::fs::read(DiskMeta::image_path(&dir, 2 * vd)).unwrap();
+            let b = std::fs::read(DiskMeta::image_path(&dir, 2 * vd + 1)).unwrap();
+            assert_eq!(a, b, "pair {vd} differs");
+            assert!(a.iter().any(|&x| x != 0), "pair {vd} all zero");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

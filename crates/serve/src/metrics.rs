@@ -168,6 +168,14 @@ pub struct ServeMetrics {
     pub disk_offline: Vec<Arc<Gauge>>,
     /// Media service time per disk (wall-clock nanoseconds).
     pub disk_service_ns: Vec<Arc<AtomicHistogram>>,
+    /// Mirrored read extents that failed over to the twin after this
+    /// member failed (labelled by the *failed* member).
+    pub disk_failover_reads_total: Vec<Arc<Counter>>,
+    /// Blocks copied twin→target by rebuild streams (all disks).
+    pub rebuild_blocks_total: Arc<Counter>,
+    /// Rebuild progress per disk in percent (0 idle/complete never run,
+    /// 100 = last rebuild finished).
+    pub disk_rebuild_progress: Vec<Arc<Gauge>>,
 }
 
 impl ServeMetrics {
@@ -315,6 +323,22 @@ impl ServeMetrics {
             "disk",
             &disk_labels,
         );
+        let disk_failover_reads_total = r.counter_vec(
+            "forhdc_failover_reads_total",
+            "Mirrored reads failed over to the twin after this member failed",
+            "disk",
+            &disk_labels,
+        );
+        let rebuild_blocks_total = r.counter(
+            "forhdc_rebuild_blocks_total",
+            "Blocks copied from the surviving twin by rebuild streams",
+        );
+        let disk_rebuild_progress = r.gauge_vec(
+            "forhdc_rebuild_progress",
+            "Rebuild progress in percent (100 = last rebuild finished)",
+            "disk",
+            &disk_labels,
+        );
         ServeMetrics {
             registry: r,
             flight: FlightRecorder::new(FLIGHT_SHARDS, FLIGHT_CAPACITY),
@@ -346,6 +370,9 @@ impl ServeMetrics {
             disk_queue_depth,
             disk_offline,
             disk_service_ns,
+            disk_failover_reads_total,
+            rebuild_blocks_total,
+            disk_rebuild_progress,
         }
     }
 
@@ -409,8 +436,15 @@ mod tests {
         m.retries_total.add(5);
         m.shed_total.inc();
         m.disk_offline[1].set(1);
+        m.disk_failover_reads_total[0].add(4);
+        m.rebuild_blocks_total.add(9);
+        m.disk_rebuild_progress[1].set(50);
         let text = m.render();
         for needle in [
+            "forhdc_failover_reads_total{disk=\"0\"} 4",
+            "forhdc_failover_reads_total{disk=\"1\"} 0",
+            "forhdc_rebuild_blocks_total 9",
+            "forhdc_rebuild_progress{disk=\"1\"} 50",
             "# TYPE forhdc_uptime_seconds gauge",
             "forhdc_connections_total 1",
             "forhdc_requests_total{op=\"read\"} 3",

@@ -3,7 +3,7 @@
 //! Frames are length-prefixed: a little-endian `u32` byte count
 //! followed by that many bytes, the first of which is the opcode
 //! (requests) or status (responses). All multi-byte integers are
-//! little-endian. The protocol is deliberately tiny — eight opcodes,
+//! little-endian. The protocol is deliberately tiny — nine opcodes,
 //! fixed-size request bodies — so a client fits in a few dozen lines
 //! and a malformed frame is cheap to reject.
 //!
@@ -17,6 +17,7 @@
 //!   METRICS                                (body empty)
 //!   DUMP                                   (body empty)
 //!   FAULT    sub:u8  args       (admin chaos frame; see below)
+//!   REBUILD  disk:u16            (admin: rebuild a mirror member)
 //! response := len:u32  status:u8  payload
 //!   READ    OK → payload = nblocks × block_bytes of file data
 //!   META    OK → payload = the disk directory's meta.txt (UTF-8)
@@ -56,6 +57,8 @@ pub const OP_METRICS: u8 = 6;
 pub const OP_DUMP: u8 = 7;
 /// Admin chaos frame: inject a fault into the running server.
 pub const OP_FAULT: u8 = 8;
+/// Admin frame: rebuild a mirrored disk's image from its twin.
+pub const OP_REBUILD: u8 = 9;
 
 /// `FAULT` sub-op: take a disk offline for a wall-clock window
 /// (`ms = 0` brings it back).
@@ -218,6 +221,12 @@ pub enum Request {
         /// Window length from now, in milliseconds.
         ms: u64,
     },
+    /// Admin: start a background rebuild of `disk` from its mirror
+    /// twin (mirrored arrays only; idempotent while one is running).
+    Rebuild {
+        /// Physical disk id of the member to reconstruct.
+        disk: u16,
+    },
 }
 
 /// Why an incoming request frame could not be parsed.
@@ -282,6 +291,10 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
             body.push(FAULT_STALL);
             body.extend_from_slice(&disk.to_le_bytes());
             body.extend_from_slice(&ms.to_le_bytes());
+        }
+        Request::Rebuild { disk } => {
+            body.push(OP_REBUILD);
+            body.extend_from_slice(&disk.to_le_bytes());
         }
     }
     w.write_all(&(body.len() as u32).to_le_bytes())?;
@@ -354,6 +367,14 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, FrameError> {
                 "FAULT body of {n} bytes (want 11 or 13)"
             )))
         }
+        (OP_REBUILD, 2) => Request::Rebuild {
+            disk: u16::from_le_bytes(args[0..2].try_into().expect("2-byte slice")),
+        },
+        (OP_REBUILD, n) => {
+            return Err(FrameError::Malformed(format!(
+                "REBUILD body of {n} bytes (want 2)"
+            )))
+        }
         (op, _) => return Err(FrameError::Malformed(format!("unknown opcode {op}"))),
     };
     Ok(Some(req))
@@ -408,6 +429,7 @@ mod tests {
                 offset: 2,
             },
             Request::FaultStall { disk: 1, ms: 500 },
+            Request::Rebuild { disk: 2 },
         ];
         let mut buf = Vec::new();
         for r in &reqs {

@@ -67,7 +67,8 @@ pub fn server_report(
     s.push_str("{\n  \"serve\": {");
     s.push_str(&format!(
         "\"policy\": \"{}\", \"hdc_blocks\": {}, \"disks\": {}, \"files\": {}, \
-         \"file_blocks\": {}, \"block_bytes\": {}, \"unit_blocks\": {}, \"seed\": {}",
+         \"file_blocks\": {}, \"block_bytes\": {}, \"unit_blocks\": {}, \"seed\": {}, \
+         \"mirrored\": {}",
         engine.policy().label(),
         engine.hdc_blocks(),
         meta.disks,
@@ -76,6 +77,7 @@ pub fn server_report(
         meta.block_bytes,
         meta.unit_blocks,
         meta.seed,
+        meta.mirrored,
     ));
     s.push_str("},\n  \"totals\": {");
     s.push_str(&format!(
@@ -118,7 +120,9 @@ pub fn server_report(
              \"hdc_read_hits\": {}, \"pinned\": {}, \"media_ops\": {}, \
              \"media_blocks\": {}, \"read_ahead_blocks\": {}, \
              \"store_resident\": {}, \"store_fallbacks\": {}, \
-             \"store_hits\": {}, \"store_misses\": {}, \"service\": {}}}{}\n",
+             \"store_hits\": {}, \"store_misses\": {}, \
+             \"failover_reads\": {}, \"offline\": {}, \"rebuilding\": {}, \
+             \"service\": {}}}{}\n",
             d.disk,
             d.extent_lookups,
             d.extent_hits,
@@ -131,6 +135,9 @@ pub fn server_report(
             d.store_fallbacks,
             d.store_hits,
             d.store_misses,
+            d.failover_reads,
+            d.offline,
+            d.rebuilding,
             d.service.to_json(),
             if i + 1 < snap.disks.len() { "," } else { "" },
         ));
@@ -170,6 +177,17 @@ pub fn stats_line(
             line.push(' ');
         }
         line.push_str(&format!("{}:{}/{}", d.disk, d.store_hits, d.store_misses));
+        // Degraded-state markers, appended only when live so healthy
+        // lines keep their historical shape.
+        if d.failover_reads > 0 {
+            line.push_str(&format!("+fo{}", d.failover_reads));
+        }
+        if d.offline {
+            line.push_str("!off");
+        }
+        if d.rebuilding {
+            line.push_str("!rb");
+        }
     }
     line.push(']');
     line
@@ -194,6 +212,7 @@ mod tests {
             seed: 3,
             fragmentation: 0.0,
             disk_blocks: 0,
+            mirrored: false,
         };
         let meta = create_images(&dir, &meta).unwrap();
         let engine = Engine::open(&dir, meta, ReadAheadKind::For, 16).unwrap();
@@ -230,6 +249,10 @@ mod tests {
             "\"uptime_secs\": 1.500",
             "\"store_hits\"",
             "\"store_misses\"",
+            "\"mirrored\": false",
+            "\"failover_reads\": 0",
+            "\"offline\": false",
+            "\"rebuilding\": false",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -85,7 +85,7 @@ impl Default for ServerOpts {
 }
 
 struct Shared {
-    engine: Engine,
+    engine: Arc<Engine>,
     metrics: Arc<ServeMetrics>,
     shutdown: AtomicBool,
     active: AtomicUsize,
@@ -198,7 +198,7 @@ pub fn run(
         .map_err(|e| format!("listener: {e}"))?;
     let metrics = Arc::clone(engine.metrics());
     let shared = Arc::new(Shared {
-        engine,
+        engine: Arc::new(engine),
         metrics,
         shutdown: AtomicBool::new(false),
         active: AtomicUsize::new(0),
@@ -453,11 +453,24 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             }
             Request::FaultOffline { disk, ms } => {
                 let res = shared.engine.set_offline_ms(disk, ms);
+                // Clearing a mirrored member's window means the
+                // "replaced disk" is back: resynchronize it from its
+                // twin automatically (a client can also REBUILD
+                // explicitly; both are idempotent).
+                let rebuilding = res.is_ok()
+                    && ms == 0
+                    && shared.engine.meta().mirrored
+                    && shared.engine.rebuild(disk).unwrap_or(false);
                 respond_fault(
                     shared,
                     &mut w,
                     t0,
-                    res.map(|()| format!("disk {disk} offline {ms} ms")),
+                    res.map(|()| {
+                        format!(
+                            "disk {disk} offline {ms} ms{}",
+                            if rebuilding { ", rebuild started" } else { "" }
+                        )
+                    }),
                 )
             }
             Request::FaultPlant { file, offset } => {
@@ -476,6 +489,21 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
                     &mut w,
                     t0,
                     res.map(|()| format!("disk {disk} stalled {ms} ms")),
+                )
+            }
+            Request::Rebuild { disk } => {
+                let res = shared.engine.rebuild(disk);
+                respond_fault(
+                    shared,
+                    &mut w,
+                    t0,
+                    res.map(|started| {
+                        if started {
+                            format!("rebuilding disk {disk} from its mirror")
+                        } else {
+                            format!("disk {disk} rebuild already running")
+                        }
+                    }),
                 )
             }
         };
@@ -649,6 +677,7 @@ mod tests {
             seed: 9,
             fragmentation: 0.0,
             disk_blocks: 0,
+            mirrored: false,
         };
         let meta = create_images(&dir, &meta).unwrap();
         let engine = Engine::open_with(&dir, meta, ReadAheadKind::For, 0, live).unwrap();
@@ -762,6 +791,7 @@ mod tests {
             seed: 9,
             fragmentation: 0.0,
             disk_blocks: 0,
+            mirrored: false,
         };
         let meta = create_images(&dir, &meta).unwrap();
         let engine = Engine::open(&dir, meta, ReadAheadKind::For, 0).unwrap();
@@ -884,6 +914,129 @@ mod tests {
         let report = handle.join().unwrap().unwrap();
         assert!(report.contains("\"errors_by_code\""), "{report}");
         assert!(report.contains("\"media\": 1"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn spawn_mirrored_server(
+        tag: &str,
+    ) -> (
+        std::path::PathBuf,
+        std::net::SocketAddr,
+        thread::JoinHandle<Result<String, String>>,
+    ) {
+        let dir =
+            std::env::temp_dir().join(format!("forhdc_server_m_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = DiskMeta {
+            block_bytes: 4096,
+            disks: 4,
+            unit_blocks: 4,
+            files: 16,
+            file_blocks: 2,
+            seed: 9,
+            fragmentation: 0.0,
+            disk_blocks: 0,
+            mirrored: true,
+        };
+        let meta = create_images(&dir, &meta).unwrap();
+        let engine = Engine::open(&dir, meta, ReadAheadKind::For, 0).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let opts = ServerOpts::default();
+        let handle = thread::spawn(move || run(engine, listener, None, &opts));
+        (dir, addr, handle)
+    }
+
+    /// Parses the value of a metric line like `name{labels} 42`.
+    fn metric_value(text: &str, prefix: &str) -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(prefix))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no metric {prefix} in:\n{text}"))
+    }
+
+    #[test]
+    fn mirrored_server_fails_over_and_rebuilds_over_the_wire() {
+        let (dir, addr, handle) = spawn_mirrored_server("failover");
+        let mut c = TcpStream::connect(addr).unwrap();
+        // Take one member of pair 0 offline; every read must still
+        // answer OK from the surviving twin.
+        let (st, _) = request(
+            &mut c,
+            &Request::FaultOffline {
+                disk: 1,
+                ms: 60_000,
+            },
+        );
+        assert_eq!(st, ST_OK);
+        for file in 0..16 {
+            let (st, data) = request(
+                &mut c,
+                &Request::Read {
+                    file,
+                    offset: 0,
+                    nblocks: 2,
+                },
+            );
+            assert_eq!(st, ST_OK, "file {file} failed with one replica offline");
+            assert_eq!(&data[..4096], &block_payload(file, 0, 4096)[..]);
+        }
+        let (st, text) = request(&mut c, &Request::Metrics);
+        assert_eq!(st, ST_OK);
+        let text = String::from_utf8(text).unwrap();
+        assert!(
+            metric_value(&text, "forhdc_failover_reads_total{disk=\"1\"}") > 0,
+            "{text}"
+        );
+        assert_eq!(
+            metric_value(&text, "forhdc_errors_total{code=\"offline\"}"),
+            0
+        );
+        // Clearing the window auto-starts a rebuild from the twin.
+        let (st, msg) = request(&mut c, &Request::FaultOffline { disk: 1, ms: 0 });
+        assert_eq!(st, ST_OK);
+        assert!(
+            std::str::from_utf8(&msg)
+                .unwrap()
+                .contains("rebuild started"),
+            "{msg:?}"
+        );
+        let t0 = Instant::now();
+        loop {
+            let (st, text) = request(&mut c, &Request::Metrics);
+            assert_eq!(st, ST_OK);
+            let text = String::from_utf8(text).unwrap();
+            if metric_value(&text, "forhdc_rebuild_progress{disk=\"1\"}") == 100 {
+                assert!(metric_value(&text, "forhdc_rebuild_blocks_total") > 0);
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(30),
+                "rebuild never finished"
+            );
+            thread::sleep(Duration::from_millis(5));
+        }
+        // An explicit REBUILD frame is valid too; out-of-range rejects.
+        let (st, _) = request(&mut c, &Request::Rebuild { disk: 1 });
+        assert_eq!(st, ST_OK);
+        let (st, _) = request(&mut c, &Request::Rebuild { disk: 9 });
+        assert_eq!(st, ST_RANGE);
+        let (st, data) = request(
+            &mut c,
+            &Request::Read {
+                file: 0,
+                offset: 0,
+                nblocks: 2,
+            },
+        );
+        assert_eq!(st, ST_OK);
+        assert_eq!(data.len(), 2 * 4096);
+        let _ = request(&mut c, &Request::Shutdown);
+        drop(c);
+        let report = handle.join().unwrap().unwrap();
+        assert!(report.contains("\"mirrored\": true"), "{report}");
+        assert!(report.contains("\"failover_reads\""), "{report}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -34,6 +34,40 @@ pub enum SchedulerKind {
     Clook,
 }
 
+/// How mirrored reads are split across the two members of a pair.
+///
+/// The default reproduces the original closest-copy dispatch ("accessing
+/// the closest copy", §2.2): a member that already caches the extent
+/// wins, else the less-loaded one. The alternatives are the classic
+/// read-splitting policies of the mirrored-array literature (Thomasian),
+/// swept by `fig-mirror`. Only consulted when `ArrayConfig::mirrored`
+/// is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReadSplit {
+    /// Cache-affinity first, then least-loaded (the original policy).
+    #[default]
+    ClosestCopy,
+    /// Strict alternation per virtual disk, ignoring load.
+    RoundRobin,
+    /// The member with the shorter queue (ties go to the primary).
+    ShortestQueue,
+    /// All reads to the even member; the replica only absorbs writes
+    /// (and failovers).
+    PrimaryOnly,
+}
+
+impl ReadSplit {
+    /// Stable CLI/CSV label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReadSplit::ClosestCopy => "closest",
+            ReadSplit::RoundRobin => "rr",
+            ReadSplit::ShortestQueue => "sq",
+            ReadSplit::PrimaryOnly => "primary",
+        }
+    }
+}
+
 /// Configuration of a single disk drive and its controller resources.
 ///
 /// Defaults model the IBM Ultrastar 36Z15 of Table 1.
@@ -175,6 +209,9 @@ pub struct ArrayConfig {
     /// served by either member ("accessing the closest copy"); writes
     /// go to both. Requires an even disk count.
     pub mirrored: bool,
+    /// Read-splitting policy for mirrored pairs (ignored unless
+    /// `mirrored`).
+    pub read_split: ReadSplit,
 }
 
 impl ArrayConfig {
@@ -234,6 +271,7 @@ impl Default for ArrayConfig {
             bus_rate: 160_000_000,
             bus_overhead: SimDuration::from_micros(20),
             mirrored: false,
+            read_split: ReadSplit::ClosestCopy,
         }
     }
 }

@@ -64,7 +64,7 @@ pub mod zones;
 pub use array::StripingMap;
 pub use bus::BusModel;
 pub use calendar::LaneCalendar;
-pub use config::{ArrayConfig, DiskConfig, SchedulerKind};
+pub use config::{ArrayConfig, DiskConfig, ReadSplit, SchedulerKind};
 pub use engine::EventQueue;
 pub use geometry::{BlockAddress, DiskGeometry};
 pub use mechanics::{DiskMechanics, ServiceTiming};
